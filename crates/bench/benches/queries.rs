@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks: query latency per encoding (the statistical
+//! companion to experiment E3 — run `report e3` for the full table with
+//! engine counters).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ordxml::{Encoding, OrderConfig, XmlStore};
+use ordxml_bench::datagen;
+use ordxml_rdbms::Database;
+use std::time::Duration;
+
+fn bench_queries(c: &mut Criterion) {
+    let items = 200;
+    let doc = datagen::catalog(items, 1);
+    let queries = [
+        ("child_scan", "/catalog/item".to_string()),
+        ("position_point", format!("/catalog/item[{}]", items / 2)),
+        ("last", "/catalog/item[last()]".to_string()),
+        ("descendants", "//author".to_string()),
+        (
+            "sibling_window",
+            format!("/catalog/item[{}]/following-sibling::item[position() <= 5]", items / 2),
+        ),
+        ("attribute_filter", "/catalog/item[@id = 'i42']".to_string()),
+    ];
+    let mut group = c.benchmark_group("xpath_query");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for enc in Encoding::all() {
+        let mut store = XmlStore::new(Database::in_memory(), enc);
+        let d = store
+            .load_document_with(&doc, "bench", OrderConfig::default())
+            .unwrap();
+        for (name, q) in &queries {
+            let path = ordxml::xpath::parse(q).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(*name, enc.name()),
+                &path,
+                |b, path| {
+                    b.iter(|| store.xpath_parsed(d, path).unwrap().len());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks: shredding (bulk-load) throughput per
+//! encoding and XML parsing, the statistical companions to E1/E2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ordxml::{Encoding, OrderConfig, XmlStore};
+use ordxml_bench::datagen;
+use ordxml_rdbms::Database;
+use std::time::Duration;
+
+fn bench_shred(c: &mut Criterion) {
+    let items = 500;
+    let doc = datagen::catalog(items, 1);
+    let rows = datagen::row_count(&doc) as u64;
+    let mut group = c.benchmark_group("shred");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3))
+        .throughput(Throughput::Elements(rows));
+    for enc in Encoding::all() {
+        group.bench_with_input(BenchmarkId::new("catalog", enc.name()), &doc, |b, doc| {
+            b.iter(|| {
+                let mut store = XmlStore::new(Database::in_memory(), enc);
+                store
+                    .load_document_with(doc, "b", OrderConfig::default())
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse_and_reconstruct(c: &mut Criterion) {
+    let doc = datagen::catalog(500, 1);
+    let xml = doc.to_xml();
+    let mut group = c.benchmark_group("xml");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .throughput(Throughput::Bytes(xml.len() as u64));
+    group.bench_function("parse", |b| {
+        b.iter(|| ordxml_xml::parse(&xml).unwrap().len());
+    });
+    group.bench_function("serialize", |b| {
+        b.iter(|| doc.to_xml().len());
+    });
+    for enc in Encoding::all() {
+        let mut store = XmlStore::new(Database::in_memory(), enc);
+        let d = store
+            .load_document_with(&doc, "b", OrderConfig::default())
+            .unwrap();
+        group.bench_function(BenchmarkId::new("reconstruct", enc.name()), |b| {
+            b.iter(|| store.reconstruct_document(d).unwrap().len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shred, bench_parse_and_reconstruct);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion micro-benchmarks: ordered-update cost per encoding (the
+//! statistical companion to experiments E7/E8).
+//!
+//! Each iteration loads a fresh store and performs one insertion, so the
+//! numbers include the renumbering work the insertion position implies
+//! under dense (gap = 1) numbering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ordxml::{Encoding, OrderConfig, XmlStore};
+use ordxml_bench::datagen;
+use ordxml_rdbms::Database;
+use ordxml_xml::NodePath;
+use std::time::Duration;
+
+fn bench_inserts(c: &mut Criterion) {
+    let items = 150;
+    let doc = datagen::catalog(items, 1);
+    let frag = ordxml_xml::parse("<item id=\"b\"><name>B</name></item>").unwrap();
+    let mut group = c.benchmark_group("dense_insert");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for enc in Encoding::all() {
+        for (pos_name, index) in [("front", 0usize), ("middle", items / 2), ("append", usize::MAX)]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(pos_name, enc.name()),
+                &index,
+                |b, &index| {
+                    b.iter_with_setup(
+                        || {
+                            let mut store = XmlStore::new(Database::in_memory(), enc);
+                            let d = store
+                                .load_document_with(&doc, "b", OrderConfig::with_gap(1))
+                                .unwrap();
+                            (store, d)
+                        },
+                        |(mut store, d)| {
+                            store
+                                .insert_fragment(d, &NodePath(vec![]), index, &frag)
+                                .unwrap()
+                        },
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_gapped_inserts(c: &mut Criterion) {
+    // With the default gap, repeated middle inserts mostly avoid
+    // renumbering: this is the amortized cost users actually see.
+    let items = 150;
+    let doc = datagen::catalog(items, 1);
+    let frag = ordxml_xml::parse("<x/>").unwrap();
+    let mut group = c.benchmark_group("gapped_insert_amortized");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for enc in Encoding::all() {
+        group.bench_function(BenchmarkId::new("middle", enc.name()), |b| {
+            let mut store = XmlStore::new(Database::in_memory(), enc);
+            let d = store
+                .load_document_with(&doc, "b", OrderConfig::default())
+                .unwrap();
+            let mut n = items;
+            b.iter(|| {
+                let cost = store
+                    .insert_fragment(d, &NodePath(vec![]), n / 2, &frag)
+                    .unwrap();
+                n += 1;
+                cost
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts, bench_gapped_inserts);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! The experiment runner: prints the paper-style tables for E1–E10.
+//!
+//! ```text
+//! report              # all experiments, quick scale
+//! report all --full   # all experiments, paper-scale documents
+//! report e3 e7        # selected experiments
+//! ```
+
+use ordxml_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    let ids: Vec<&str> = if selected.is_empty() || selected.iter().any(|s| s == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        selected.iter().map(String::as_str).collect()
+    };
+    println!(
+        "ordxml experiment report — scale: {scale:?} (pass --full for paper-scale runs)"
+    );
+    for id in ids {
+        if !experiments::run(id, scale) {
+            eprintln!("unknown experiment `{id}` (expected e1..e10 or `all`)");
+            std::process::exit(2);
+        }
+    }
+}

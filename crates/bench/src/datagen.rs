@@ -1,0 +1,109 @@
+//! Benchmark document generators.
+//!
+//! Beyond the generic shape generator in [`ordxml_xml::generate`], the
+//! experiments need documents whose *schema* is known so the query workload
+//! (Q1–Q10) can name tags and whose shape parameters (fan-out, depth,
+//! subtree size) are directly controllable — the variables the paper sweeps.
+
+use ordxml_xml::Document;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A book/product catalog: `<catalog>` with `items` ordered `<item>`
+/// children, each carrying `@id`, a `<name>`, a `<price>`, and 1–3 ordered
+/// `<author>`s. This is the workload document for the Q1–Q10 query set
+/// (≈ 6–8 node rows per item).
+pub fn catalog(items: usize, seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut doc = Document::new("catalog");
+    let root = doc.root();
+    for i in 0..items {
+        let item = doc.append_element(root, "item");
+        doc.set_attr(item, "id", format!("i{i}"));
+        let name = doc.append_element(item, "name");
+        doc.append_text(name, format!("Item {i:06}"));
+        let price = doc.append_element(item, "price");
+        doc.append_text(price, format!("{:05}.99", rng.gen_range(1..900)));
+        for a in 0..rng.gen_range(1..=3) {
+            let author = doc.append_element(item, "author");
+            doc.append_text(author, format!("Author {:04}-{a}", rng.gen_range(0..5000)));
+        }
+    }
+    doc
+}
+
+/// A flat document: one `<root>` with exactly `fanout` `<c>` children, each
+/// holding one text node. Isolates sibling-count effects (positional and
+/// sibling-axis experiments E4/E5).
+pub fn flat(fanout: usize) -> Document {
+    let mut doc = Document::new("root");
+    let root = doc.root();
+    for i in 0..fanout {
+        let c = doc.append_element(root, "c");
+        doc.append_text(c, format!("v{i}"));
+    }
+    doc
+}
+
+/// A spine of `depth` nested `<d>` elements; the deepest carries `leaves`
+/// `<leaf>` children. Isolates depth effects for the descendant-axis
+/// experiment (E6): `//leaf` must reach through `depth` levels.
+pub fn deep(depth: usize, leaves: usize) -> Document {
+    let mut doc = Document::new("root");
+    let mut cur = doc.root();
+    for _ in 0..depth {
+        cur = doc.append_element(cur, "d");
+    }
+    for i in 0..leaves {
+        let leaf = doc.append_element(cur, "leaf");
+        doc.append_text(leaf, format!("L{i}"));
+    }
+    doc
+}
+
+/// Total node-row count a document will shred into (elements + text +
+/// attributes + comments + PIs).
+pub fn row_count(doc: &Document) -> usize {
+    doc.iter()
+        .map(|n| 1 + doc.attrs(n).len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_shape() {
+        let doc = catalog(10, 1);
+        assert_eq!(doc.children(doc.root()).len(), 10);
+        let item = doc.children(doc.root())[0];
+        assert_eq!(doc.attr(item, "id"), Some("i0"));
+        let tags: Vec<&str> = doc
+            .children(item)
+            .iter()
+            .filter_map(|&c| doc.tag(c))
+            .collect();
+        assert_eq!(&tags[..2], &["name", "price"]);
+        assert!(tags[2..].iter().all(|t| *t == "author"));
+        // Deterministic.
+        assert!(catalog(10, 1).tree_eq(&doc));
+        assert!(!catalog(10, 2).tree_eq(&doc));
+    }
+
+    #[test]
+    fn flat_and_deep_shapes() {
+        let f = flat(50);
+        assert_eq!(f.children(f.root()).len(), 50);
+        let d = deep(20, 5);
+        let max_depth = d.iter().map(|n| d.depth(n)).max().unwrap();
+        assert_eq!(max_depth, 22, "root + 20 spine + leaf + text");
+    }
+
+    #[test]
+    fn row_count_counts_attrs() {
+        let doc = catalog(5, 1);
+        let plain = doc.len();
+        assert_eq!(row_count(&doc), plain + 5, "one @id per item");
+    }
+}

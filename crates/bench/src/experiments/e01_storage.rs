@@ -1,0 +1,45 @@
+//! E1 — Storage cost by encoding.
+//!
+//! Paper claim: the encodings' storage footprints are comparable; Dewey
+//! keys grow with depth (deep documents pay more), Global pays one extra
+//! column (`desc_max`), Local pays the id/parent-id pair.
+
+use crate::datagen;
+use crate::harness::{fmt_count, load_all, Table};
+use crate::Scale;
+use ordxml::OrderConfig;
+use ordxml_rdbms::storage::PAGE_SIZE;
+use ordxml_xml::GenConfig;
+
+pub fn run(scale: Scale) {
+    let sizes = scale.pick(vec![1_000usize, 5_000], vec![1_000, 10_000, 100_000]);
+    let mut table = Table::new(
+        "E1: storage cost (node rows, pages, KiB) by encoding",
+        &["shape", "nodes", "encoding", "rows", "pages", "KiB", "B/row"],
+    );
+    for &size in &sizes {
+        let shapes: Vec<(&str, ordxml_xml::Document)> = vec![
+            ("catalog", datagen::catalog(size / 7, 1)),
+            ("wide", GenConfig::wide(size).generate()),
+            ("deep", GenConfig::deep(size).generate()),
+            ("mixed", GenConfig::mixed(size).generate()),
+        ];
+        for (shape, doc) in shapes {
+            for l in load_all(&doc, OrderConfig::default()).iter_mut() {
+                let rows = l.store.node_count(l.doc).unwrap();
+                let pages = l.store.db().page_count() as u64;
+                let kib = pages * PAGE_SIZE as u64 / 1024;
+                table.row(vec![
+                    shape.to_string(),
+                    fmt_count(size as u64),
+                    l.enc.to_string(),
+                    fmt_count(rows),
+                    fmt_count(pages),
+                    fmt_count(kib),
+                    format!("{:.0}", (pages * PAGE_SIZE as u64) as f64 / rows as f64),
+                ]);
+            }
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,41 @@
+//! E2 — Shredding / bulk-load throughput.
+//!
+//! Paper context: shredding is a bulk operation; all encodings assign their
+//! order keys in one preorder pass, so load cost should be near-identical —
+//! Dewey pays a little extra for materializing variable-length keys.
+
+use crate::datagen;
+use crate::harness::{fmt_count, fmt_dur, Table};
+use crate::Scale;
+use ordxml::{Encoding, OrderConfig, XmlStore};
+use ordxml_rdbms::Database;
+use std::time::Instant;
+
+pub fn run(scale: Scale) {
+    let sizes = scale.pick(vec![2_000usize, 10_000], vec![10_000, 50_000, 100_000]);
+    let mut table = Table::new(
+        "E2: bulk-load (shred) throughput",
+        &["items", "rows", "encoding", "load time", "rows/s"],
+    );
+    for &items in &sizes {
+        let doc = datagen::catalog(items, 1);
+        let rows = datagen::row_count(&doc) as u64;
+        for enc in Encoding::all() {
+            let mut store = XmlStore::new(Database::in_memory(), enc);
+            let t0 = Instant::now();
+            let d = store
+                .load_document_with(&doc, "load", OrderConfig::default())
+                .unwrap();
+            let dt = t0.elapsed();
+            assert_eq!(store.node_count(d).unwrap(), rows);
+            table.row(vec![
+                fmt_count(items as u64),
+                fmt_count(rows),
+                enc.to_string(),
+                fmt_dur(dt),
+                fmt_count((rows as f64 / dt.as_secs_f64()) as u64),
+            ]);
+        }
+    }
+    table.print();
+}

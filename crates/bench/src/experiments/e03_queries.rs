@@ -1,0 +1,68 @@
+//! E3 — Ordered-query performance by encoding (the paper's headline query
+//! figure), plus the in-memory DOM baseline.
+//!
+//! Expected shape: Global and Dewey answer every class with indexed scans
+//! and deliver document order straight off an index; Local matches on pure
+//! child/position classes (its sibling `ord` is local, which is exactly
+//! what position predicates need) but loses badly on descendant scans
+//! (Q7), where it degenerates to one query per visited node.
+
+use crate::datagen;
+use crate::harness::{fmt_count, fmt_dur, load_all, time_median, Table};
+use crate::workload::QUERIES;
+use crate::Scale;
+use ordxml::naive::NaiveEvaluator;
+use ordxml::OrderConfig;
+
+pub fn run(scale: Scale) {
+    let items = scale.pick(300usize, 2_000);
+    let reps = scale.pick(3usize, 3);
+    let doc = datagen::catalog(items, 1);
+    let mut loaded = load_all(&doc, OrderConfig::default());
+    let ev = NaiveEvaluator::new(&doc);
+    let mut table = Table::new(
+        format!(
+            "E3: query latency over a {items}-item catalog ({} rows)",
+            fmt_count(datagen::row_count(&doc) as u64)
+        ),
+        &[
+            "query", "class", "hits", "dom", "global", "local", "dewey",
+            "g:rows", "l:rows", "d:rows", "l:queries",
+        ],
+    );
+    for q in QUERIES {
+        let path = ordxml::xpath::parse(q.xpath).unwrap();
+        let (dom_time, dom_hits) = time_median(reps, || ev.eval(&path).len());
+        let mut cells = vec![
+            q.id.to_string(),
+            q.what.to_string(),
+            fmt_count(dom_hits as u64),
+            fmt_dur(dom_time),
+        ];
+        let mut rows_read = Vec::new();
+        let mut local_queries = 0u64;
+        for l in loaded.iter_mut() {
+            let store = &mut l.store;
+            let d = l.doc;
+            store.db().reset_stats();
+            let (t, hits) = time_median(reps, || store.xpath_parsed(d, &path).unwrap().len());
+            assert_eq!(hits, dom_hits, "{} under {}", q.id, l.enc);
+            let stats = store.db().total_stats();
+            cells.push(fmt_dur(t));
+            rows_read.push(stats.rows_scanned / reps as u64);
+            if l.enc == ordxml::Encoding::Local {
+                local_queries = stats.index_scans / reps as u64;
+            }
+        }
+        for r in rows_read {
+            cells.push(fmt_count(r));
+        }
+        cells.push(fmt_count(local_queries));
+        table.row(cells);
+    }
+    table.print();
+    println!(
+        "  (rows = heap rows fetched per run; l:queries = index scans the Local\n   \
+         encoding issued, counting its mediator round trips)"
+    );
+}

@@ -1,0 +1,50 @@
+//! E5 — Sibling-axis queries vs fan-out.
+//!
+//! `following-sibling` / `preceding-sibling` are pure order-column range
+//! scans on the (parent, order-key) index under every encoding — the reason
+//! the paper argues order *values* beat order-agnostic shredding.
+
+use crate::datagen;
+use crate::harness::{fmt_count, fmt_dur, load_all, time_median, Table};
+use crate::Scale;
+use ordxml::OrderConfig;
+
+pub fn run(scale: Scale) {
+    let fanouts = scale.pick(vec![100usize, 1_000], vec![100, 1_000, 4_000]);
+    let reps = scale.pick(3usize, 3);
+    let mut table = Table::new(
+        "E5: sibling-axis queries vs fan-out",
+        &["fanout", "query", "hits", "global", "local", "dewey"],
+    );
+    for &fanout in &fanouts {
+        let doc = datagen::flat(fanout);
+        let mut loaded = load_all(&doc, OrderConfig::default());
+        // Anchor the context node by value (an indexed EXISTS probe), so the
+        // sibling-axis step dominates the measurement rather than the
+        // positional-anchor counting cost (that effect is E4's).
+        let mid = fanout / 2;
+        let queries = [
+            format!("/root/c[. = 'v{mid}']/following-sibling::c"),
+            format!("/root/c[. = 'v{mid}']/following-sibling::c[position() <= 10]"),
+            format!("/root/c[. = 'v{mid}']/preceding-sibling::c[1]"),
+            format!("/root/c[. = 'v{mid}']/following-sibling::c[last()]"),
+        ];
+        for q in &queries {
+            let path = ordxml::xpath::parse(q).unwrap();
+            let mut hits = 0usize;
+            let mut cells = vec![fmt_count(fanout as u64), q.clone()];
+            let mut times = Vec::new();
+            for l in loaded.iter_mut() {
+                let store = &mut l.store;
+                let d = l.doc;
+                let (t, h) = time_median(reps, || store.xpath_parsed(d, &path).unwrap().len());
+                hits = h;
+                times.push(fmt_dur(t));
+            }
+            cells.push(fmt_count(hits as u64));
+            cells.extend(times);
+            table.row(cells);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,50 @@
+//! E6 — Descendant (`//`) navigation vs depth.
+//!
+//! The structural contrast of the three encodings:
+//!
+//! * Global answers `x//leaf` with one `pos BETWEEN` interval scan,
+//! * Dewey with one key prefix-range scan (its signature strength),
+//! * Local has no descendant translation at all — the mediator walks the
+//!   subtree issuing one child query per visited node, so its cost grows
+//!   with subtree *size*, not result size.
+
+use crate::datagen;
+use crate::harness::{fmt_count, fmt_dur, load_all, time_median, Table};
+use crate::Scale;
+use ordxml::OrderConfig;
+
+pub fn run(scale: Scale) {
+    let depths = scale.pick(vec![8usize, 64], vec![10, 100, 500]);
+    let reps = scale.pick(3usize, 3);
+    let mut table = Table::new(
+        "E6: descendant-axis queries vs spine depth (20 leaves at the bottom)",
+        &["depth", "query", "hits", "global", "local", "dewey"],
+    );
+    for &depth in &depths {
+        let doc = datagen::deep(depth, 20);
+        let mut loaded = load_all(&doc, OrderConfig::default());
+        let queries = [
+            "//leaf".to_string(),
+            "/root//leaf".to_string(),
+            "/root/d//leaf[1]".to_string(),
+            "//d[not(d)]".to_string(),
+        ];
+        for q in &queries {
+            let path = ordxml::xpath::parse(q).unwrap();
+            let mut cells = vec![fmt_count(depth as u64), q.clone()];
+            let mut hits = 0;
+            let mut times = Vec::new();
+            for l in loaded.iter_mut() {
+                let store = &mut l.store;
+                let d = l.doc;
+                let (t, h) = time_median(reps, || store.xpath_parsed(d, &path).unwrap().len());
+                hits = h;
+                times.push(fmt_dur(t));
+            }
+            cells.push(fmt_count(hits as u64));
+            cells.extend(times);
+            table.row(cells);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,130 @@
+//! The query and update workloads (Q1–Q10, U1–U6).
+//!
+//! Every query class the paper's evaluation exercises, over the catalog
+//! document of [`crate::datagen::catalog`]. The ids are stable: EXPERIMENTS.md
+//! references them when mapping measurements back to the paper's claims.
+
+/// One workload query.
+#[derive(Debug, Clone, Copy)]
+pub struct Query {
+    /// Stable id (`Q1`..`Q10`).
+    pub id: &'static str,
+    /// What the query exercises.
+    pub what: &'static str,
+    /// The XPath text (over the catalog document).
+    pub xpath: &'static str,
+}
+
+/// The ordered-query workload over the catalog document.
+pub const QUERIES: &[Query] = &[
+    Query {
+        id: "Q1",
+        what: "root lookup",
+        xpath: "/catalog",
+    },
+    Query {
+        id: "Q2",
+        what: "full child scan",
+        xpath: "/catalog/item",
+    },
+    Query {
+        id: "Q3",
+        what: "position point",
+        xpath: "/catalog/item[100]",
+    },
+    Query {
+        id: "Q4",
+        what: "position range",
+        xpath: "/catalog/item[position() <= 10]",
+    },
+    Query {
+        id: "Q5",
+        what: "last()",
+        xpath: "/catalog/item[last()]",
+    },
+    Query {
+        id: "Q6",
+        what: "following siblings",
+        xpath: "/catalog/item[100]/following-sibling::item[position() <= 5]",
+    },
+    Query {
+        id: "Q7",
+        what: "descendant scan",
+        xpath: "//author",
+    },
+    Query {
+        id: "Q8",
+        what: "attribute point",
+        xpath: "/catalog/item[@id = 'i42']",
+    },
+    Query {
+        id: "Q9",
+        what: "value filter + child",
+        xpath: "/catalog/item[name = 'Item 000007']/author",
+    },
+    Query {
+        id: "Q10",
+        what: "mixed position chain",
+        xpath: "/catalog/item[50]/author[last()]",
+    },
+    Query {
+        id: "Q11",
+        what: "following axis",
+        xpath: "/catalog/item[@id = 'i100']/following::author[position() <= 10]",
+    },
+    Query {
+        id: "Q12",
+        what: "preceding axis",
+        xpath: "/catalog/item[@id = 'i100']/preceding::name[1]",
+    },
+];
+
+/// One workload update.
+#[derive(Debug, Clone, Copy)]
+pub struct Update {
+    /// Stable id (`U1`..`U6`).
+    pub id: &'static str,
+    /// What the update exercises.
+    pub what: &'static str,
+}
+
+/// The update workload (applied by experiment E7; the kinds matter, the
+/// concrete targets are chosen there).
+pub const UPDATES: &[Update] = &[
+    Update { id: "U1", what: "append at document end" },
+    Update { id: "U2", what: "insert at document front" },
+    Update { id: "U3", what: "insert at random middle" },
+    Update { id: "U4", what: "insert 20-node subtree" },
+    Update { id: "U5", what: "delete middle subtree" },
+    Update { id: "U6", what: "update one text value" },
+    Update { id: "U7", what: "move last item to front" },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_parse_and_run_on_the_catalog() {
+        let doc = crate::datagen::catalog(150, 1);
+        for q in QUERIES {
+            let path = ordxml::xpath::parse(q.xpath).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+            // Each query must run under every encoding.
+            for l in crate::harness::load_all(&doc, Default::default()).iter_mut() {
+                l.store
+                    .xpath_parsed(l.doc, &path)
+                    .unwrap_or_else(|e| panic!("{} under {}: {e}", q.id, l.enc));
+            }
+        }
+    }
+
+    #[test]
+    fn queries_have_unique_ids() {
+        let mut ids: Vec<&str> = QUERIES.iter().map(|q| q.id).collect();
+        ids.extend(UPDATES.iter().map(|u| u.id));
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+}

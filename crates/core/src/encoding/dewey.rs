@@ -1,0 +1,303 @@
+//! Dewey order keys.
+//!
+//! A Dewey key is the root-to-node path of (sparse) sibling positions:
+//! the root is `1`, its third child might be `1.96`, that child's first
+//! child `1.96.32`, and so on. Two properties make Dewey the interesting
+//! middle ground of the paper:
+//!
+//! * **lexicographic component order == document order** — so a B+tree over
+//!   Dewey keys delivers document order for free, and
+//! * **ancestry is a key-prefix test** — the descendants of a node are
+//!   exactly the keys with its key as a proper prefix, so the descendant
+//!   axis is a single index range scan, with no joins at all.
+//!
+//! [`DeweyKey::to_bytes`] produces a *binary, order-preserving* encoding so
+//! both properties survive into the B+tree: each component is encoded as a
+//! length byte (`0x80 + n`) followed by `n` big-endian bytes. Because longer
+//! encodings start with a larger length byte, numeric component order equals
+//! byte order across lengths; because components are self-delimiting, a key
+//! is a byte-prefix of another exactly when it is a component-prefix.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A Dewey order key: a non-empty vector of sibling positions from the root.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DeweyKey {
+    components: Vec<u64>,
+}
+
+impl DeweyKey {
+    /// The key of a document root (`1`).
+    pub fn root() -> DeweyKey {
+        DeweyKey {
+            components: vec![1],
+        }
+    }
+
+    /// Builds a key from components.
+    ///
+    /// # Panics
+    /// Panics on an empty component list.
+    pub fn new(components: Vec<u64>) -> DeweyKey {
+        assert!(!components.is_empty(), "a Dewey key has at least one component");
+        DeweyKey { components }
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[u64] {
+        &self.components
+    }
+
+    /// Depth of the node this key addresses (root = 0).
+    pub fn depth(&self) -> usize {
+        self.components.len() - 1
+    }
+
+    /// The parent key, or `None` for the root.
+    pub fn parent(&self) -> Option<DeweyKey> {
+        if self.components.len() == 1 {
+            None
+        } else {
+            Some(DeweyKey {
+                components: self.components[..self.components.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// The key of a child at sparse sibling position `ord`.
+    pub fn child(&self, ord: u64) -> DeweyKey {
+        let mut components = self.components.clone();
+        components.push(ord);
+        DeweyKey { components }
+    }
+
+    /// The last component (the node's sparse position among its siblings).
+    pub fn last(&self) -> u64 {
+        *self.components.last().expect("non-empty")
+    }
+
+    /// Replaces the last component (sibling move during renumbering).
+    pub fn with_last(&self, ord: u64) -> DeweyKey {
+        let mut components = self.components.clone();
+        *components.last_mut().expect("non-empty") = ord;
+        DeweyKey { components }
+    }
+
+    /// Re-roots a key: replaces the prefix `old_prefix` with `new_prefix`
+    /// (used when a subtree's root key changes during renumbering).
+    ///
+    /// # Panics
+    /// Panics if `old_prefix` is not a prefix of `self`.
+    pub fn rebase(&self, old_prefix: &DeweyKey, new_prefix: &DeweyKey) -> DeweyKey {
+        assert!(
+            old_prefix.is_prefix_of(self),
+            "{old_prefix} is not a prefix of {self}"
+        );
+        let mut components = new_prefix.components.clone();
+        components.extend_from_slice(&self.components[old_prefix.components.len()..]);
+        DeweyKey { components }
+    }
+
+    /// `true` if `self` is a (non-strict) component-prefix of `other` —
+    /// i.e. `other` is in the subtree rooted at `self`.
+    pub fn is_prefix_of(&self, other: &DeweyKey) -> bool {
+        other.components.len() >= self.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// Document-order comparison (lexicographic on components; a node
+    /// precedes its descendants).
+    pub fn doc_cmp(&self, other: &DeweyKey) -> Ordering {
+        self.components.cmp(&other.components)
+    }
+
+    /// The binary, order-preserving encoding (see module docs).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.components.len() * 3);
+        for &c in &self.components {
+            let n = byte_len(c);
+            out.push(0x80 + n as u8);
+            out.extend_from_slice(&c.to_be_bytes()[8 - n..]);
+        }
+        out
+    }
+
+    /// Decodes [`DeweyKey::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Option<DeweyKey> {
+        let mut components = Vec::new();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let len_byte = bytes[pos];
+            if !(0x81..=0x88).contains(&len_byte) {
+                return None;
+            }
+            let n = (len_byte - 0x80) as usize;
+            pos += 1;
+            let raw = bytes.get(pos..pos + n)?;
+            let mut buf = [0u8; 8];
+            buf[8 - n..].copy_from_slice(raw);
+            components.push(u64::from_be_bytes(buf));
+            pos += n;
+        }
+        if components.is_empty() {
+            None
+        } else {
+            Some(DeweyKey { components })
+        }
+    }
+
+    /// The smallest byte string greater than every key in this key's
+    /// subtree: the (exclusive) upper bound of the descendant range
+    /// `(self.to_bytes(), self.subtree_upper_bound())`.
+    pub fn subtree_upper_bound(&self) -> Vec<u8> {
+        let mut bytes = self.to_bytes();
+        // Component length bytes are at most 0x88 < 0xFF, so incrementing the
+        // final byte always succeeds without carry beyond one byte... unless
+        // the last payload byte is 0xFF; handle the general carry.
+        while let Some(&last) = bytes.last() {
+            if last == 0xFF {
+                bytes.pop();
+            } else {
+                *bytes.last_mut().expect("non-empty") += 1;
+                return bytes;
+            }
+        }
+        unreachable!("keys start with a length byte < 0xFF");
+    }
+}
+
+/// Minimal big-endian byte length of `c` (at least 1).
+fn byte_len(c: u64) -> usize {
+    (8 - (c.leading_zeros() / 8) as usize).max(1)
+}
+
+impl fmt::Display for DeweyKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl PartialOrd for DeweyKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for DeweyKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.doc_cmp(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(c: &[u64]) -> DeweyKey {
+        DeweyKey::new(c.to_vec())
+    }
+
+    #[test]
+    fn navigation() {
+        let k = key(&[1, 64, 32]);
+        assert_eq!(k.depth(), 2);
+        assert_eq!(k.parent(), Some(key(&[1, 64])));
+        assert_eq!(k.child(96), key(&[1, 64, 32, 96]));
+        assert_eq!(k.last(), 32);
+        assert_eq!(k.with_last(48), key(&[1, 64, 48]));
+        assert_eq!(DeweyKey::root().parent(), None);
+        assert_eq!(k.to_string(), "1.64.32");
+    }
+
+    #[test]
+    fn prefix_and_rebase() {
+        let anc = key(&[1, 64]);
+        let desc = key(&[1, 64, 32, 7]);
+        assert!(anc.is_prefix_of(&desc));
+        assert!(anc.is_prefix_of(&anc));
+        assert!(!desc.is_prefix_of(&anc));
+        assert!(!key(&[1, 65]).is_prefix_of(&desc));
+        let rebased = desc.rebase(&anc, &key(&[1, 96]));
+        assert_eq!(rebased, key(&[1, 96, 32, 7]));
+    }
+
+    #[test]
+    fn binary_roundtrip_various_magnitudes() {
+        for k in [
+            DeweyKey::root(),
+            key(&[1, 0]),
+            key(&[1, 255, 256, 65535, 65536]),
+            key(&[1, u64::MAX]),
+            key(&[1, 1, 1, 1, 1, 1, 1, 1, 1, 1]),
+        ] {
+            let b = k.to_bytes();
+            assert_eq!(DeweyKey::from_bytes(&b), Some(k.clone()), "{k}");
+        }
+        assert_eq!(DeweyKey::from_bytes(&[]), None);
+        assert_eq!(DeweyKey::from_bytes(&[0x00]), None);
+        assert_eq!(DeweyKey::from_bytes(&[0x82, 0x01]), None, "truncated");
+    }
+
+    #[test]
+    fn byte_order_equals_document_order() {
+        // Keys deliberately crossing component-magnitude boundaries.
+        let keys = [
+            key(&[1]),
+            key(&[1, 1]),
+            key(&[1, 1, 1]),
+            key(&[1, 2]),
+            key(&[1, 255]),
+            key(&[1, 256]),
+            key(&[1, 256, 1]),
+            key(&[1, 300]),
+            key(&[1, 65535]),
+            key(&[1, 65536]),
+            key(&[2]),
+        ];
+        for a in &keys {
+            for b in &keys {
+                assert_eq!(
+                    a.to_bytes().cmp(&b.to_bytes()),
+                    a.doc_cmp(b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_is_byte_prefix() {
+        let anc = key(&[1, 300]);
+        let desc = key(&[1, 300, 7, 65536]);
+        let not_desc = key(&[1, 301]);
+        assert!(desc.to_bytes().starts_with(&anc.to_bytes()));
+        assert!(!not_desc.to_bytes().starts_with(&anc.to_bytes()));
+    }
+
+    #[test]
+    fn subtree_upper_bound_brackets_descendants() {
+        let k = key(&[1, 255]); // payload byte 0xFF exercises the carry
+        let lo = k.to_bytes();
+        let hi = k.subtree_upper_bound();
+        let desc = key(&[1, 255, 1, 99]).to_bytes();
+        let next_sibling = key(&[1, 256]).to_bytes();
+        let prev = key(&[1, 254, 9]).to_bytes();
+        assert!(desc > lo && desc < hi);
+        assert!(next_sibling >= hi, "{next_sibling:?} vs {hi:?}");
+        assert!(prev < lo);
+    }
+
+    #[test]
+    fn display_parse_symmetry_via_components() {
+        let k = key(&[1, 96, 0, 12]);
+        assert_eq!(k.to_string(), "1.96.0.12");
+        assert_eq!(k.components(), &[1, 96, 0, 12]);
+    }
+}

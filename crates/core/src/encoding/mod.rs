@@ -1,0 +1,120 @@
+//! The three order encodings of the paper.
+//!
+//! Order is stored *as data*. Each encoding chooses a different order key:
+//!
+//! | encoding | key | document order | insert damage |
+//! |---|---|---|---|
+//! | [`Encoding::Global`] | absolute (sparse) preorder position | direct | everything after the insertion point |
+//! | [`Encoding::Local`]  | (node id, sparse sibling position) | join the root path | following siblings only |
+//! | [`Encoding::Dewey`]  | root-to-node path of sparse sibling positions | direct (lexicographic) | following siblings *and their subtrees* |
+//!
+//! All three use **sparse numbering** ([`OrderConfig::gap`]): consecutive
+//! order values are `gap` apart so that most insertions find an unused value
+//! between their neighbours and relabel nothing. Only when a gap is
+//! exhausted does the encoding pay its structural renumbering cost — that
+//! amortization is one of the paper's key points (experiment E8).
+
+pub mod dewey;
+pub mod ops;
+
+pub use dewey::DeweyKey;
+
+/// Which order encoding a store uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// Absolute document position (preorder rank) as the order key.
+    Global,
+    /// Sibling-local position plus an immutable node id.
+    Local,
+    /// Dewey path keys.
+    Dewey,
+}
+
+impl Encoding {
+    /// All encodings, in the paper's presentation order.
+    pub fn all() -> [Encoding; 3] {
+        [Encoding::Global, Encoding::Local, Encoding::Dewey]
+    }
+
+    /// Short lower-case name (also the table-name prefix).
+    pub fn name(self) -> &'static str {
+        match self {
+            Encoding::Global => "global",
+            Encoding::Local => "local",
+            Encoding::Dewey => "dewey",
+        }
+    }
+
+    /// The node-table name for this encoding.
+    pub fn node_table(self) -> String {
+        format!("{}_node", self.name())
+    }
+
+    /// The per-document metadata table name for this encoding.
+    pub fn docs_table(self) -> String {
+        format!("{}_docs", self.name())
+    }
+}
+
+impl std::fmt::Display for Encoding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Encoding {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "global" => Ok(Encoding::Global),
+            "local" => Ok(Encoding::Local),
+            "dewey" => Ok(Encoding::Dewey),
+            other => Err(format!("unknown encoding `{other}` (global/local/dewey)")),
+        }
+    }
+}
+
+/// Sparse-numbering configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderConfig {
+    /// Spacing between consecutive order values at load time. `1` means
+    /// dense numbering (every insertion renumbers); larger gaps absorb
+    /// insertions until exhausted.
+    pub gap: u64,
+}
+
+impl OrderConfig {
+    /// A configuration with the given gap (clamped to at least 1).
+    pub fn with_gap(gap: u64) -> OrderConfig {
+        OrderConfig { gap: gap.max(1) }
+    }
+}
+
+impl Default for OrderConfig {
+    fn default() -> Self {
+        // The default gap balances storage (values stay small) against
+        // insertion absorption; experiment E8 sweeps this parameter.
+        OrderConfig { gap: 32 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_parse() {
+        for e in Encoding::all() {
+            assert_eq!(e.name().parse::<Encoding>().unwrap(), e);
+            assert_eq!(e.node_table(), format!("{e}_node"));
+        }
+        assert!("nope".parse::<Encoding>().is_err());
+    }
+
+    #[test]
+    fn gap_clamps() {
+        assert_eq!(OrderConfig::with_gap(0).gap, 1);
+        assert_eq!(OrderConfig::default().gap, 32);
+    }
+}

@@ -1,0 +1,100 @@
+//! Shared sparse-numbering arithmetic.
+//!
+//! All three encodings assign order values with gaps and insert into the
+//! open interval between two neighbouring values. [`spread`] is the single
+//! primitive: place `n` new values strictly between `lo` and `hi`, as evenly
+//! as possible, or report that the gap is exhausted (the caller then pays
+//! its encoding-specific renumbering cost).
+
+/// Places `n` strictly increasing values in the open interval `(lo, hi)`,
+/// spaced as evenly as possible. Returns `None` when fewer than `n` integers
+/// exist in the interval (gap exhausted → renumber).
+pub fn spread(lo: i64, hi: i64, n: usize) -> Option<Vec<i64>> {
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let room = hi.checked_sub(lo)?.checked_sub(1)?;
+    if room < n as i64 {
+        return None;
+    }
+    // Even placement: value_i = lo + (i+1) * (hi - lo) / (n + 1), nudged to
+    // stay strictly increasing when the interval is tight.
+    let span = hi - lo;
+    let mut out = Vec::with_capacity(n);
+    let mut prev = lo;
+    for i in 0..n {
+        let ideal = lo + ((i as i64 + 1) * span) / (n as i64 + 1);
+        let v = ideal.max(prev + 1).min(hi - (n as i64 - i as i64));
+        debug_assert!(v > prev && v < hi);
+        out.push(v);
+        prev = v;
+    }
+    Some(out)
+}
+
+/// [`spread`] over `u64` (Dewey components).
+pub fn spread_u64(lo: u64, hi: u64, n: usize) -> Option<Vec<u64>> {
+    // Dewey components stay far below i64::MAX in practice; route through
+    // the i64 implementation, rejecting the (unreachable) overflow case.
+    let lo = i64::try_from(lo).ok()?;
+    let hi = i64::try_from(hi.min(i64::MAX as u64)).ok()?;
+    spread(lo, hi, n).map(|v| v.into_iter().map(|x| x as u64).collect())
+}
+
+/// Dense relabelling: the value of the `i`-th (0-based) item under gap `g`,
+/// i.e. `(i + 1) * g`. Used when a sibling list (Local/Dewey) or a whole
+/// document (Global) is renumbered from scratch.
+pub fn renumber_value(i: usize, gap: u64) -> i64 {
+    ((i as u64 + 1) * gap) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_even_placement() {
+        let got = spread(0, 100, 3).unwrap();
+        assert_eq!(got, vec![25, 50, 75]);
+        assert_eq!(spread(0, 10, 1).unwrap(), vec![5]);
+        assert_eq!(spread(0, 10, 0).unwrap(), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn spread_tight_intervals() {
+        // Exactly enough room.
+        assert_eq!(spread(0, 4, 3).unwrap(), vec![1, 2, 3]);
+        assert_eq!(spread(5, 7, 1).unwrap(), vec![6]);
+        // Not enough room.
+        assert_eq!(spread(0, 4, 4), None);
+        assert_eq!(spread(0, 1, 1), None);
+        assert_eq!(spread(3, 3, 1), None);
+        assert_eq!(spread(5, 3, 1), None, "inverted interval");
+    }
+
+    #[test]
+    fn spread_is_strictly_increasing_and_in_bounds() {
+        for (lo, hi, n) in [(0i64, 1000, 37), (-50, 50, 99), (10, 12, 1), (0, 7, 6)] {
+            let got = spread(lo, hi, n).unwrap();
+            assert_eq!(got.len(), n);
+            let mut prev = lo;
+            for &v in &got {
+                assert!(v > prev && v < hi, "({lo},{hi},{n}) produced {got:?}");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn spread_u64_matches() {
+        assert_eq!(spread_u64(0, 100, 3).unwrap(), vec![25, 50, 75]);
+        assert_eq!(spread_u64(0, 2, 2), None);
+    }
+
+    #[test]
+    fn renumber_values_are_gapped() {
+        assert_eq!(renumber_value(0, 32), 32);
+        assert_eq!(renumber_value(2, 32), 96);
+        assert_eq!(renumber_value(0, 1), 1);
+    }
+}

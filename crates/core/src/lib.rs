@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! `ordxml` — storing and querying **ordered** XML in a relational database.
+//!
+//! A full reproduction of Tatarinov et al., *"Storing and Querying Ordered
+//! XML Using a Relational Database System"* (SIGMOD 2002): XML's ordered
+//! data model is supported on an (unordered) relational engine by encoding
+//! order **as a data value**, under three encodings — **Global** order,
+//! **Local** order, and **Dewey** order — with XPath queries translated to
+//! SQL and ordered updates implemented by (sparse, gap-based) renumbering.
+//!
+//! * [`encoding`] — the three order encodings and their key algebra.
+//! * [`shred`] — XML documents → relational tuples (one schema per encoding).
+//! * [`xpath`] — the ordered XPath subset (axes + positional predicates).
+//! * [`translate`] — XPath → SQL, one strategy per encoding.
+//! * [`update`] — ordered insert/delete with gap-based renumbering.
+//! * [`reconstruct`] — relational rows → XML subtrees, in document order.
+//! * [`naive`] — an in-memory DOM evaluator (correctness oracle & baseline).
+//! * [`store`] — [`XmlStore`], the user-facing facade.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ordxml::{Encoding, XmlStore};
+//! use ordxml_rdbms::Database;
+//!
+//! let mut store = XmlStore::new(Database::in_memory(), Encoding::Dewey);
+//! let doc = ordxml_xml::parse(
+//!     "<catalog><item id=\"i1\"><name>Alpha</name></item>\
+//!      <item id=\"i2\"><name>Beta</name></item></catalog>").unwrap();
+//! let d = store.load_document(&doc, "catalog").unwrap();
+//!
+//! // Ordered query: the *second* item, by document order.
+//! let hits = store.xpath(d, "/catalog/item[2]/name").unwrap();
+//! assert_eq!(store.serialize(d, &hits[0]).unwrap(), "<name>Beta</name>");
+//! ```
+
+pub mod encoding;
+pub mod naive;
+pub mod reconstruct;
+pub mod shred;
+pub mod store;
+pub mod translate;
+pub mod update;
+pub mod xpath;
+
+pub use encoding::{DeweyKey, Encoding, OrderConfig};
+pub use store::{NodeRef, StoreError, StoreResult, XNode, XmlStore};
+pub use translate::PositionStrategy;
+pub use update::UpdateCost;

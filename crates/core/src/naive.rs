@@ -1,0 +1,509 @@
+//! A direct in-memory XPath evaluator over the DOM.
+//!
+//! Two roles:
+//!
+//! 1. **Correctness oracle** — the property tests evaluate random paths both
+//!    here and through every relational translation and require identical
+//!    results.
+//! 2. **Baseline** — the "no database" comparator in the benchmark harness:
+//!    what you give up (bulk storage, declarative queries, shared data) and
+//!    gain (raw pointer-chasing speed) by not shredding.
+//!
+//! Semantics match the documented subset deviations in [`crate::xpath`].
+
+use crate::shred::{KIND_ATTR, KIND_COMMENT, KIND_ELEMENT, KIND_PI, KIND_TEXT};
+use crate::xpath::{Axis, NodeTest, Path, Pred, SimpleStep};
+use ordxml_xml::{Document, NodeId, NodeKind};
+use std::collections::HashMap;
+
+/// A node of the *virtual* shredded tree: a DOM node or an attribute of one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DomNode {
+    /// A real DOM node.
+    Node(NodeId),
+    /// The `i`-th attribute of an element.
+    Attr(NodeId, usize),
+}
+
+impl DomNode {
+    /// Kind code as stored by the shredder.
+    pub fn kind(self, doc: &Document) -> i64 {
+        match self {
+            DomNode::Attr(..) => KIND_ATTR,
+            DomNode::Node(id) => match doc.node(id).kind() {
+                NodeKind::Element { .. } => KIND_ELEMENT,
+                NodeKind::Text(_) => KIND_TEXT,
+                NodeKind::Comment(_) => KIND_COMMENT,
+                NodeKind::Pi { .. } => KIND_PI,
+            },
+        }
+    }
+
+    /// Tag / name column equivalent (`None` for text and comments).
+    pub fn tag(self, doc: &Document) -> Option<String> {
+        match self {
+            DomNode::Attr(owner, i) => Some(doc.attrs(owner)[i].0.clone()),
+            DomNode::Node(id) => match doc.node(id).kind() {
+                NodeKind::Element { tag, .. } => Some(tag.clone()),
+                NodeKind::Pi { target, .. } => Some(target.clone()),
+                _ => None,
+            },
+        }
+    }
+
+    /// Value column equivalent (`None` for elements).
+    pub fn value(self, doc: &Document) -> Option<String> {
+        match self {
+            DomNode::Attr(owner, i) => Some(doc.attrs(owner)[i].1.clone()),
+            DomNode::Node(id) => match doc.node(id).kind() {
+                NodeKind::Element { .. } => None,
+                NodeKind::Text(t) | NodeKind::Comment(t) => Some(t.clone()),
+                NodeKind::Pi { data, .. } => Some(data.clone()),
+            },
+        }
+    }
+}
+
+/// The naive evaluator. Holds a document-order index of the virtual tree so
+/// result sets sort in document order.
+pub struct NaiveEvaluator<'a> {
+    doc: &'a Document,
+    /// Preorder rank of every virtual node (attributes between their element
+    /// and its content, in attribute order — matching the shredder).
+    rank: HashMap<DomNode, usize>,
+    /// The virtual tree in document order (`order[rank[v]] == v`).
+    order: Vec<DomNode>,
+}
+
+impl<'a> NaiveEvaluator<'a> {
+    /// Builds the evaluator (one O(n) pass).
+    pub fn new(doc: &'a Document) -> Self {
+        let mut rank = HashMap::new();
+        let mut order = Vec::new();
+        let mut stack = vec![DomNode::Node(doc.root())];
+        while let Some(v) = stack.pop() {
+            rank.insert(v, order.len());
+            order.push(v);
+            for c in vchildren(doc, v).into_iter().rev() {
+                stack.push(c);
+            }
+        }
+        NaiveEvaluator { doc, rank, order }
+    }
+
+    /// Number of virtual nodes in the subtree rooted at `v`.
+    fn subtree_vnodes(&self, v: DomNode) -> usize {
+        let mut n = 0;
+        let mut stack = vec![v];
+        while let Some(x) = stack.pop() {
+            n += 1;
+            stack.extend(vchildren(self.doc, x));
+        }
+        n
+    }
+
+    /// Document-order rank of a virtual node.
+    pub fn rank(&self, v: DomNode) -> usize {
+        self.rank[&v]
+    }
+
+    /// Evaluates an absolute path against the document, returning matching
+    /// virtual nodes in document order (duplicates removed).
+    pub fn eval(&self, path: &Path) -> Vec<DomNode> {
+        let mut context: Vec<DomNode> = vec![DomNode::Node(self.doc.root())];
+        let mut first = true;
+        for step in &path.steps {
+            let mut next: Vec<DomNode> = Vec::new();
+            for &ctx in &context {
+                // The first step of an absolute path applies to the
+                // document node: its child axis selects the root element.
+                let candidates: Vec<DomNode> = if first && step.axis == Axis::Child {
+                    vec![DomNode::Node(self.doc.root())]
+                } else if first && matches!(step.axis, Axis::Descendant) {
+                    // Descendants of the document node include the root.
+                    self.axis_nodes(ctx, Axis::DescendantOrSelf)
+                } else {
+                    self.axis_nodes(ctx, step.axis)
+                };
+                let matching: Vec<DomNode> = candidates
+                    .into_iter()
+                    .filter(|&v| self.test_matches(v, &step.test, step.axis))
+                    .collect();
+                let size = matching.len();
+                for (i, v) in matching.into_iter().enumerate() {
+                    if step
+                        .preds
+                        .iter()
+                        .all(|p| self.pred_holds(v, p, i + 1, size))
+                    {
+                        next.push(v);
+                    }
+                }
+            }
+            next.sort_by_key(|v| self.rank[v]);
+            next.dedup();
+            context = next;
+            first = false;
+        }
+        context
+    }
+
+    /// Nodes reachable from `ctx` along `axis`, in axis order (reverse axes
+    /// yield nearest-first).
+    fn axis_nodes(&self, ctx: DomNode, axis: Axis) -> Vec<DomNode> {
+        let doc = self.doc;
+        match axis {
+            Axis::Child => vchildren(doc, ctx)
+                .into_iter()
+                .filter(|v| !matches!(v, DomNode::Attr(..)))
+                .collect(),
+            Axis::Attribute => vchildren(doc, ctx)
+                .into_iter()
+                .filter(|v| matches!(v, DomNode::Attr(..)))
+                .collect(),
+            Axis::SelfAxis => vec![ctx],
+            Axis::Parent => parent_of(doc, ctx).into_iter().collect(),
+            Axis::Descendant | Axis::DescendantOrSelf => {
+                let mut out = Vec::new();
+                let mut stack = vec![ctx];
+                while let Some(v) = stack.pop() {
+                    if v != ctx || axis == Axis::DescendantOrSelf {
+                        out.push(v);
+                    }
+                    for c in vchildren(doc, v).into_iter().rev() {
+                        stack.push(c);
+                    }
+                }
+                out.sort_by_key(|v| self.rank[v]);
+                out
+            }
+            Axis::FollowingSibling | Axis::PrecedingSibling => {
+                let Some(parent) = parent_of(doc, ctx) else {
+                    return Vec::new();
+                };
+                let siblings: Vec<DomNode> = vchildren(doc, parent)
+                    .into_iter()
+                    .filter(|v| !matches!(v, DomNode::Attr(..)))
+                    .collect();
+                let Some(idx) = siblings.iter().position(|&v| v == ctx) else {
+                    return Vec::new(); // attributes have no siblings
+                };
+                if axis == Axis::FollowingSibling {
+                    siblings[idx + 1..].to_vec()
+                } else {
+                    let mut out = siblings[..idx].to_vec();
+                    out.reverse(); // nearest first
+                    out
+                }
+            }
+            Axis::Following => {
+                // Everything after the subtree of ctx, in document order.
+                let end = self.rank[&ctx] + self.subtree_vnodes(ctx);
+                self.order[end..].to_vec()
+            }
+            Axis::Preceding => {
+                // Everything before ctx except its ancestors, nearest first.
+                let ancestors: Vec<DomNode> = {
+                    let mut a = Vec::new();
+                    let mut cur = parent_of(doc, ctx);
+                    while let Some(p) = cur {
+                        a.push(p);
+                        cur = parent_of(doc, p);
+                    }
+                    a
+                };
+                self.order[..self.rank[&ctx]]
+                    .iter()
+                    .rev()
+                    .copied()
+                    .filter(|v| !ancestors.contains(v))
+                    .collect()
+            }
+            Axis::Ancestor => {
+                let mut out = Vec::new();
+                let mut cur = parent_of(doc, ctx);
+                while let Some(p) = cur {
+                    out.push(p);
+                    cur = parent_of(doc, p);
+                }
+                out // nearest first
+            }
+        }
+    }
+
+    fn test_matches(&self, v: DomNode, test: &NodeTest, axis: Axis) -> bool {
+        let doc = self.doc;
+        match test {
+            NodeTest::Node => true,
+            NodeTest::Text => v.kind(doc) == KIND_TEXT,
+            NodeTest::Any => {
+                if axis == Axis::Attribute {
+                    v.kind(doc) == KIND_ATTR
+                } else {
+                    v.kind(doc) == KIND_ELEMENT
+                }
+            }
+            NodeTest::Name(n) => {
+                let want_kind = if axis == Axis::Attribute {
+                    KIND_ATTR
+                } else {
+                    KIND_ELEMENT
+                };
+                v.kind(doc) == want_kind && v.tag(doc).as_deref() == Some(n)
+            }
+        }
+    }
+
+    fn pred_holds(&self, v: DomNode, pred: &Pred, position: usize, size: usize) -> bool {
+        match pred {
+            Pred::Or(l, r) => {
+                self.pred_holds(v, l, position, size) || self.pred_holds(v, r, position, size)
+            }
+            Pred::And(l, r) => {
+                self.pred_holds(v, l, position, size) && self.pred_holds(v, r, position, size)
+            }
+            Pred::Not(p) => !self.pred_holds(v, p, position, size),
+            Pred::Position(op, k) => op.holds((position as u64).cmp(k)),
+            Pred::Last { offset } => position as u64 + offset == size as u64,
+            Pred::Exists(path) => !self.simple_path(v, path).is_empty(),
+            Pred::Compare { path, op, value } => {
+                let targets = if path.is_empty() {
+                    vec![v]
+                } else {
+                    self.simple_path(v, path)
+                };
+                targets.iter().any(|&t| {
+                    self.comparison_values(t)
+                        .iter()
+                        .any(|cv| op.holds(cv.as_str().cmp(value.as_str())))
+                })
+            }
+        }
+    }
+
+    /// Values a node contributes to a comparison: its own value, or — for an
+    /// element — the values of its immediate text children.
+    fn comparison_values(&self, v: DomNode) -> Vec<String> {
+        match v.value(self.doc) {
+            Some(val) => vec![val],
+            None => vchildren(self.doc, v)
+                .into_iter()
+                .filter(|c| c.kind(self.doc) == KIND_TEXT)
+                .filter_map(|c| c.value(self.doc))
+                .collect(),
+        }
+    }
+
+    /// Evaluates a predicate-internal simple path.
+    fn simple_path(&self, from: DomNode, path: &[SimpleStep]) -> Vec<DomNode> {
+        let mut context = vec![from];
+        for step in path {
+            let mut next = Vec::new();
+            for &ctx in &context {
+                match step {
+                    SimpleStep::Child(name) => {
+                        for c in self.axis_nodes(ctx, Axis::Child) {
+                            if c.kind(self.doc) == KIND_ELEMENT
+                                && name
+                                    .as_deref()
+                                    .is_none_or(|n| c.tag(self.doc).as_deref() == Some(n))
+                            {
+                                next.push(c);
+                            }
+                        }
+                    }
+                    SimpleStep::Attr(name) => {
+                        for c in self.axis_nodes(ctx, Axis::Attribute) {
+                            if name
+                                .as_deref()
+                                .is_none_or(|n| c.tag(self.doc).as_deref() == Some(n))
+                            {
+                                next.push(c);
+                            }
+                        }
+                    }
+                    SimpleStep::Text => {
+                        for c in self.axis_nodes(ctx, Axis::Child) {
+                            if c.kind(self.doc) == KIND_TEXT {
+                                next.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+            context = next;
+        }
+        context
+    }
+}
+
+/// Ordered virtual children (attributes first) — must match the shredder.
+fn vchildren(doc: &Document, v: DomNode) -> Vec<DomNode> {
+    match v {
+        DomNode::Attr(..) => Vec::new(),
+        DomNode::Node(id) => {
+            let mut out: Vec<DomNode> = (0..doc.attrs(id).len())
+                .map(|i| DomNode::Attr(id, i))
+                .collect();
+            out.extend(doc.children(id).iter().map(|&c| DomNode::Node(c)));
+            out
+        }
+    }
+}
+
+fn parent_of(doc: &Document, v: DomNode) -> Option<DomNode> {
+    match v {
+        DomNode::Attr(owner, _) => Some(DomNode::Node(owner)),
+        DomNode::Node(id) => doc.parent(id).map(DomNode::Node),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xpath::parse;
+    use ordxml_xml::parse as parse_xml;
+
+    fn eval(xml: &str, xpath: &str) -> Vec<String> {
+        let doc = parse_xml(xml).unwrap();
+        let ev = NaiveEvaluator::new(&doc);
+        let path = parse(xpath).unwrap();
+        ev.eval(&path)
+            .into_iter()
+            .map(|v| match v {
+                DomNode::Node(id) => match doc.node(id).kind() {
+                    NodeKind::Element { .. } => doc.subtree_to_xml(id),
+                    _ => v.value(&doc).unwrap_or_default(),
+                },
+                DomNode::Attr(..) => {
+                    format!("{}={}", v.tag(&doc).unwrap(), v.value(&doc).unwrap())
+                }
+            })
+            .collect()
+    }
+
+    const CATALOG: &str = "<catalog>\
+        <item id=\"i1\"><name>Alpha</name><price>30</price><author>Ann</author></item>\
+        <item id=\"i2\"><name>Beta</name><price>10</price><author>Bob</author><author>Cid</author></item>\
+        <item id=\"i3\"><name>Gamma</name><price>20</price></item>\
+        </catalog>";
+
+    #[test]
+    fn child_chain() {
+        let names = eval(CATALOG, "/catalog/item/name");
+        assert_eq!(
+            names,
+            vec![
+                "<name>Alpha</name>",
+                "<name>Beta</name>",
+                "<name>Gamma</name>"
+            ]
+        );
+    }
+
+    #[test]
+    fn root_test_must_match() {
+        assert!(eval(CATALOG, "/nope/item").is_empty());
+        assert_eq!(eval(CATALOG, "/catalog").len(), 1);
+    }
+
+    #[test]
+    fn positional_predicates() {
+        assert_eq!(eval(CATALOG, "/catalog/item[2]/name"), vec!["<name>Beta</name>"]);
+        assert_eq!(
+            eval(CATALOG, "/catalog/item[position() <= 2]/name").len(),
+            2
+        );
+        assert_eq!(eval(CATALOG, "/catalog/item[last()]/name"), vec!["<name>Gamma</name>"]);
+        assert_eq!(eval(CATALOG, "/catalog/item[last() - 1]/name"), vec!["<name>Beta</name>"]);
+        // position counts only matching siblings: the 2nd author of item 2.
+        assert_eq!(eval(CATALOG, "/catalog/item/author[2]"), vec!["<author>Cid</author>"]);
+    }
+
+    #[test]
+    fn descendants() {
+        assert_eq!(eval(CATALOG, "//author").len(), 3);
+        assert_eq!(eval(CATALOG, "//item//text()").len(), 9);
+        assert_eq!(eval(CATALOG, "/catalog//name").len(), 3);
+        // descendant axis from the document includes the root element.
+        assert_eq!(eval(CATALOG, "//catalog").len(), 1);
+    }
+
+    #[test]
+    fn siblings() {
+        assert_eq!(
+            eval(CATALOG, "/catalog/item[1]/following-sibling::item").len(),
+            2
+        );
+        assert_eq!(
+            eval(CATALOG, "/catalog/item[3]/preceding-sibling::item[1]/name"),
+            vec!["<name>Beta</name>"],
+            "preceding-sibling position 1 is the nearest"
+        );
+        assert_eq!(
+            eval(CATALOG, "/catalog/item[2]/name/following-sibling::*").len(),
+            3
+        );
+    }
+
+    #[test]
+    fn attributes() {
+        assert_eq!(
+            eval(CATALOG, "/catalog/item/@id"),
+            vec!["id=i1", "id=i2", "id=i3"]
+        );
+        assert_eq!(eval(CATALOG, "/catalog/item[@id = 'i2']/name"), vec!["<name>Beta</name>"]);
+        assert_eq!(eval(CATALOG, "/catalog/item[@id]").len(), 3);
+    }
+
+    #[test]
+    fn value_comparisons_are_string_compares() {
+        assert_eq!(
+            eval(CATALOG, "/catalog/item[price = '10']/name"),
+            vec!["<name>Beta</name>"]
+        );
+        // String order: '10' < '20' < '30'.
+        assert_eq!(eval(CATALOG, "/catalog/item[price < '30']").len(), 2);
+        assert_eq!(eval(CATALOG, "/catalog/item/name[. = 'Alpha']").len(), 1);
+    }
+
+    #[test]
+    fn existence_and_boolean() {
+        assert_eq!(eval(CATALOG, "/catalog/item[author]").len(), 2);
+        assert_eq!(eval(CATALOG, "/catalog/item[not(author)]/name"), vec!["<name>Gamma</name>"]);
+        assert_eq!(
+            eval(CATALOG, "/catalog/item[author and price = '10']/name"),
+            vec!["<name>Beta</name>"]
+        );
+        assert_eq!(
+            eval(CATALOG, "/catalog/item[price = '30' or price = '20']").len(),
+            2
+        );
+    }
+
+    #[test]
+    fn parent_and_ancestor() {
+        assert_eq!(eval(CATALOG, "/catalog/item/name/..").len(), 3);
+        assert_eq!(eval(CATALOG, "//author/ancestor::catalog").len(), 1);
+        assert_eq!(eval(CATALOG, "//author/ancestor::*").len(), 3, "2 items + catalog");
+        assert_eq!(eval(CATALOG, "/catalog/item/@id/..").len(), 3, "attr parent");
+    }
+
+    #[test]
+    fn results_in_document_order_without_duplicates() {
+        // //item//text() visits overlapping subtree scans; order must hold.
+        let texts = eval(CATALOG, "//text()");
+        assert_eq!(
+            texts,
+            vec!["Alpha", "30", "Ann", "Beta", "10", "Bob", "Cid", "Gamma", "20"]
+        );
+        let all = eval(CATALOG, "//item/ancestor::catalog");
+        assert_eq!(all.len(), 1, "deduplicated");
+    }
+
+    #[test]
+    fn self_axis_and_node_test() {
+        assert_eq!(eval(CATALOG, "/catalog/./item[1]/name"), vec!["<name>Alpha</name>"]);
+        assert_eq!(eval(CATALOG, "/catalog/item[1]/node()").len(), 3, "name, price, author");
+    }
+}

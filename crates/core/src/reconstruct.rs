@@ -1,0 +1,271 @@
+//! Reconstruction: relational rows → XML subtrees.
+//!
+//! Reconstruction fetches a subtree's rows *in document order* — a single
+//! interval scan for Global (`pos BETWEEN pos AND desc_max`), a single key
+//! prefix-range scan for Dewey, and a DFS of per-node child queries for
+//! Local — and rebuilds the tree by parent linkage, which works in one pass
+//! precisely because document order lists every parent before its children.
+
+use crate::encoding::Encoding;
+use crate::shred::{KIND_ATTR, KIND_COMMENT, KIND_ELEMENT, KIND_PI, KIND_TEXT};
+use crate::store::{decode_node_row, select_list, NodeRef, StoreError, StoreResult, XNode};
+use ordxml_rdbms::{Database, Value};
+use ordxml_xml::{Document, NodeId, NodeKind, WriteOptions};
+use std::collections::HashMap;
+
+/// Serializes the subtree rooted at `node`: XML text for elements, the raw
+/// value for text/attribute/comment/PI nodes.
+pub fn serialize_subtree(
+    db: &mut Database,
+    enc: Encoding,
+    doc: i64,
+    node: &XNode,
+) -> StoreResult<String> {
+    if node.kind != KIND_ELEMENT {
+        return Ok(node.value.clone().unwrap_or_default());
+    }
+    let document = subtree_document(db, enc, doc, node)?;
+    Ok(ordxml_xml::writer::write(&document, &WriteOptions::compact()))
+}
+
+/// Rebuilds the subtree rooted at `node` (an element) as a standalone
+/// [`Document`].
+pub fn subtree_document(
+    db: &mut Database,
+    enc: Encoding,
+    doc: i64,
+    node: &XNode,
+) -> StoreResult<Document> {
+    if node.kind != KIND_ELEMENT {
+        return Err(StoreError::BadNode(
+            "only element subtrees can be reconstructed as documents".into(),
+        ));
+    }
+    let rows = fetch_subtree(db, enc, doc, node)?;
+    build_tree(node, &rows)
+}
+
+/// All nodes of the subtree rooted at `root` (excluding `root` itself), in
+/// document order.
+pub fn fetch_subtree(
+    db: &mut Database,
+    enc: Encoding,
+    doc: i64,
+    root: &XNode,
+) -> StoreResult<Vec<XNode>> {
+    match &root.node {
+        NodeRef::Global { pos, desc_max, .. } => {
+            let rows = db.query(
+                &format!(
+                    "SELECT {} FROM global_node n \
+                     WHERE n.doc = ? AND n.pos > ? AND n.pos <= ? ORDER BY n.pos",
+                    select_list(enc, "n")
+                ),
+                &[Value::Int(doc), Value::Int(*pos), Value::Int(*desc_max)],
+            )?;
+            rows.iter().map(|r| decode_node_row(enc, doc, r)).collect()
+        }
+        NodeRef::Dewey { key } => {
+            let rows = db.query(
+                &format!(
+                    "SELECT {} FROM dewey_node n \
+                     WHERE n.doc = ? AND n.key > ? AND n.key < ? ORDER BY n.key",
+                    select_list(enc, "n")
+                ),
+                &[
+                    Value::Int(doc),
+                    Value::Bytes(key.to_bytes()),
+                    Value::Bytes(key.subtree_upper_bound()),
+                ],
+            )?;
+            rows.iter().map(|r| decode_node_row(enc, doc, r)).collect()
+        }
+        NodeRef::Local { .. } => {
+            // DFS of child queries, yielding document order directly.
+            let mut out = Vec::new();
+            let mut stack: Vec<XNode> = children_local(db, enc, doc, root)?
+                .into_iter()
+                .rev()
+                .collect();
+            while let Some(n) = stack.pop() {
+                let kids = children_local(db, enc, doc, &n)?;
+                out.push(n);
+                for k in kids.into_iter().rev() {
+                    stack.push(k);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn children_local(
+    db: &mut Database,
+    enc: Encoding,
+    doc: i64,
+    node: &XNode,
+) -> StoreResult<Vec<XNode>> {
+    let NodeRef::Local { id, .. } = &node.node else {
+        unreachable!("local children query on a non-Local node")
+    };
+    let rows = db.query(
+        &format!(
+            "SELECT {} FROM local_node n \
+             WHERE n.doc = ? AND n.parent_id = ? ORDER BY n.ord",
+            select_list(enc, "n")
+        ),
+        &[Value::Int(doc), Value::Int(*id)],
+    )?;
+    rows.iter().map(|r| decode_node_row(enc, doc, r)).collect()
+}
+
+/// Parent token used to wire children to their parents during the build.
+fn parent_token(n: &XNode) -> Vec<u8> {
+    match &n.node {
+        NodeRef::Global { parent, .. } => parent.to_be_bytes().to_vec(),
+        NodeRef::Local { parent, .. } => parent.to_be_bytes().to_vec(),
+        NodeRef::Dewey { key } => key
+            .parent()
+            .map(|p| p.to_bytes())
+            .unwrap_or_default(),
+    }
+}
+
+fn self_token(n: &XNode) -> Vec<u8> {
+    match &n.node {
+        NodeRef::Global { pos, .. } => pos.to_be_bytes().to_vec(),
+        NodeRef::Local { id, .. } => id.to_be_bytes().to_vec(),
+        NodeRef::Dewey { key } => key.to_bytes(),
+    }
+}
+
+/// Builds a [`Document`] from a root element node plus its descendants in
+/// document order.
+fn build_tree(root: &XNode, descendants: &[XNode]) -> StoreResult<Document> {
+    let root_tag = root
+        .tag
+        .clone()
+        .ok_or_else(|| StoreError::BadNode("element row without a tag".into()))?;
+    let mut document = Document::new(root_tag);
+    let mut by_token: HashMap<Vec<u8>, NodeId> = HashMap::new();
+    by_token.insert(self_token(root), document.root());
+    for n in descendants {
+        let parent = *by_token.get(&parent_token(n)).ok_or_else(|| {
+            StoreError::BadNode(format!(
+                "orphan row {} during reconstruction",
+                n.node.display_key()
+            ))
+        })?;
+        match n.kind {
+            KIND_ATTR => {
+                document.set_attr(
+                    parent,
+                    n.tag.clone().unwrap_or_default(),
+                    n.value.clone().unwrap_or_default(),
+                );
+            }
+            KIND_ELEMENT => {
+                let id = document.insert_node(
+                    parent,
+                    usize::MAX,
+                    NodeKind::Element {
+                        tag: n.tag.clone().unwrap_or_default(),
+                        attrs: Vec::new(),
+                    },
+                );
+                by_token.insert(self_token(n), id);
+            }
+            KIND_TEXT => {
+                document.insert_node(
+                    parent,
+                    usize::MAX,
+                    NodeKind::Text(n.value.clone().unwrap_or_default()),
+                );
+            }
+            KIND_COMMENT => {
+                document.insert_node(
+                    parent,
+                    usize::MAX,
+                    NodeKind::Comment(n.value.clone().unwrap_or_default()),
+                );
+            }
+            KIND_PI => {
+                document.insert_node(
+                    parent,
+                    usize::MAX,
+                    NodeKind::Pi {
+                        target: n.tag.clone().unwrap_or_default(),
+                        data: n.value.clone().unwrap_or_default(),
+                    },
+                );
+            }
+            k => {
+                return Err(StoreError::BadNode(format!("unknown node kind {k}")));
+            }
+        }
+    }
+    Ok(document)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Encoding;
+    use crate::store::XmlStore;
+    use ordxml_rdbms::Database;
+    use ordxml_xml::parse as parse_xml;
+
+    const XML: &str =
+        "<a x=\"1\"><b>t<!-- c --><?pi d?></b><c><d/><e>deep</e></c></a>";
+
+    fn store_with(enc: Encoding) -> (XmlStore, i64) {
+        let mut s = XmlStore::new(Database::in_memory(), enc);
+        let d = s.load_document(&parse_xml(XML).unwrap(), "t").unwrap();
+        (s, d)
+    }
+
+    #[test]
+    fn inner_subtree_serialization() {
+        for enc in Encoding::all() {
+            let (mut s, d) = store_with(enc);
+            let hits = s.xpath(d, "/a/c").unwrap();
+            assert_eq!(
+                s.serialize(d, &hits[0]).unwrap(),
+                "<c><d/><e>deep</e></c>",
+                "{enc}"
+            );
+            // Mixed-content subtree with comment and PI.
+            let hits = s.xpath(d, "/a/b").unwrap();
+            assert_eq!(
+                s.serialize(d, &hits[0]).unwrap(),
+                "<b>t<!-- c --><?pi d?></b>",
+                "{enc}"
+            );
+        }
+    }
+
+    #[test]
+    fn fetch_subtree_is_document_ordered_and_excludes_root() {
+        for enc in Encoding::all() {
+            let (mut s, d) = store_with(enc);
+            let root = s.root(d).unwrap();
+            let all = fetch_subtree(s.db(), enc, d, &root).unwrap();
+            // 9 rows follow the root: @x, b, "t", comment, pi, c, d, e, "deep".
+            assert_eq!(all.len(), 9, "{enc}");
+            assert_eq!(all[0].kind, crate::shred::KIND_ATTR, "{enc}");
+            assert_eq!(all[1].tag.as_deref(), Some("b"), "{enc}");
+            assert_eq!(all.last().unwrap().value.as_deref(), Some("deep"), "{enc}");
+        }
+    }
+
+    #[test]
+    fn non_element_reconstruction_is_rejected() {
+        for enc in Encoding::all() {
+            let (mut s, d) = store_with(enc);
+            let text = &s.xpath(d, "/a/b/text()").unwrap()[0].clone();
+            assert!(subtree_document(s.db(), enc, d, text).is_err(), "{enc}");
+            // But serialize returns its value.
+            assert_eq!(s.serialize(d, text).unwrap(), "t", "{enc}");
+        }
+    }
+}

@@ -1,0 +1,602 @@
+//! Shredding: XML documents → relational tuples, per encoding.
+//!
+//! One node table per encoding (see the schemas below) plus a per-encoding
+//! document-metadata table holding each document's sparse-numbering gap and
+//! the Local encoding's node-id counter.
+//!
+//! Attributes become child rows of kind [`KIND_ATTR`], ordered *before* the
+//! element's regular children — so document order of the shredded tree is
+//! "element, its attributes, its content", matching the DOM serialization
+//! order. Child positions used by the update API count only non-attribute
+//! children, keeping [`ordxml_xml::NodePath`] addresses stable between the
+//! DOM and the store.
+
+use crate::encoding::{DeweyKey, Encoding, OrderConfig};
+use ordxml_rdbms::{Database, DbResult, Row, Value};
+use ordxml_xml::{Document, NodeId, NodeKind};
+
+/// Node-kind codes stored in the `kind` column.
+pub const KIND_ELEMENT: i64 = 0;
+/// Text node.
+pub const KIND_TEXT: i64 = 1;
+/// Attribute (shredded as an ordered child row).
+pub const KIND_ATTR: i64 = 2;
+/// Comment.
+pub const KIND_COMMENT: i64 = 3;
+/// Processing instruction.
+pub const KIND_PI: i64 = 4;
+
+/// Sentinel `parent` value for the root under Global/Local encodings.
+pub const NO_PARENT: i64 = -1;
+
+/// Statistics from one shredding run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShredStats {
+    /// Rows written into the node table (elements + text + attributes + ...).
+    pub rows: u64,
+}
+
+/// Creates the node and metadata tables (and their indexes) for `enc`.
+/// Idempotent: does nothing if the tables already exist.
+pub fn create_schema(db: &mut Database, enc: Encoding) -> DbResult<()> {
+    let node = enc.node_table();
+    if db.catalog().has_table(&node) {
+        return Ok(());
+    }
+    match enc {
+        Encoding::Global => {
+            db.execute(
+                "CREATE TABLE global_node (\
+                   doc INTEGER NOT NULL, pos INTEGER NOT NULL, \
+                   parent_pos INTEGER NOT NULL, desc_max INTEGER NOT NULL, \
+                   depth INTEGER NOT NULL, kind INTEGER NOT NULL, \
+                   tag TEXT, value TEXT, \
+                   PRIMARY KEY (doc, pos))",
+                &[],
+            )?;
+            db.execute(
+                "CREATE INDEX global_parent ON global_node (doc, parent_pos, pos)",
+                &[],
+            )?;
+            db.execute(
+                "CREATE INDEX global_tag ON global_node (doc, tag, pos)",
+                &[],
+            )?;
+        }
+        Encoding::Local => {
+            db.execute(
+                "CREATE TABLE local_node (\
+                   doc INTEGER NOT NULL, id INTEGER NOT NULL, \
+                   parent_id INTEGER NOT NULL, ord INTEGER NOT NULL, \
+                   depth INTEGER NOT NULL, kind INTEGER NOT NULL, \
+                   tag TEXT, value TEXT, \
+                   PRIMARY KEY (doc, id))",
+                &[],
+            )?;
+            db.execute(
+                "CREATE INDEX local_parent ON local_node (doc, parent_id, ord)",
+                &[],
+            )?;
+            db.execute("CREATE INDEX local_tag ON local_node (doc, tag)", &[])?;
+        }
+        Encoding::Dewey => {
+            db.execute(
+                "CREATE TABLE dewey_node (\
+                   doc INTEGER NOT NULL, key BLOB NOT NULL, parent BLOB NOT NULL, \
+                   depth INTEGER NOT NULL, kind INTEGER NOT NULL, \
+                   tag TEXT, value TEXT, \
+                   PRIMARY KEY (doc, key))",
+                &[],
+            )?;
+            db.execute(
+                "CREATE INDEX dewey_parent ON dewey_node (doc, parent, key)",
+                &[],
+            )?;
+            db.execute(
+                "CREATE INDEX dewey_tag ON dewey_node (doc, tag, key)",
+                &[],
+            )?;
+        }
+    }
+    db.execute(
+        &format!(
+            "CREATE TABLE {} (doc INTEGER NOT NULL, name TEXT, \
+             gap INTEGER NOT NULL, next_id INTEGER NOT NULL, \
+             PRIMARY KEY (doc))",
+            enc.docs_table()
+        ),
+        &[],
+    )?;
+    Ok(())
+}
+
+/// A "virtual node" of the shredded tree: a real DOM node or an attribute
+/// lifted into the child list.
+#[derive(Clone, Copy)]
+enum VNode {
+    Node(NodeId),
+    Attr(NodeId, usize),
+}
+
+/// kind / tag / value columns for a virtual node.
+fn node_columns(doc: &Document, v: VNode) -> (i64, Value, Value) {
+    match v {
+        VNode::Attr(owner, i) => {
+            let (name, value) = &doc.attrs(owner)[i];
+            (
+                KIND_ATTR,
+                Value::text(name.clone()),
+                Value::text(value.clone()),
+            )
+        }
+        VNode::Node(id) => match doc.node(id).kind() {
+            NodeKind::Element { tag, .. } => (KIND_ELEMENT, Value::text(tag.clone()), Value::Null),
+            NodeKind::Text(t) => (KIND_TEXT, Value::Null, Value::text(t.clone())),
+            NodeKind::Comment(t) => (KIND_COMMENT, Value::Null, Value::text(t.clone())),
+            NodeKind::Pi { target, data } => (
+                KIND_PI,
+                Value::text(target.clone()),
+                Value::text(data.clone()),
+            ),
+        },
+    }
+}
+
+/// Ordered virtual children: attributes first, then regular children.
+fn vchildren(doc: &Document, v: VNode) -> Vec<VNode> {
+    match v {
+        VNode::Attr(..) => Vec::new(),
+        VNode::Node(id) => {
+            let mut out: Vec<VNode> = (0..doc.attrs(id).len())
+                .map(|i| VNode::Attr(id, i))
+                .collect();
+            out.extend(doc.children(id).iter().map(|&c| VNode::Node(c)));
+            out
+        }
+    }
+}
+
+/// Shreds `document` into the node table of `enc` under document id `doc`,
+/// registering it in the metadata table. The caller picks a fresh `doc` id
+/// (see [`crate::store::XmlStore::load_document`]).
+pub fn shred(
+    db: &mut Database,
+    enc: Encoding,
+    doc: i64,
+    document: &Document,
+    cfg: OrderConfig,
+    name: &str,
+) -> DbResult<ShredStats> {
+    create_schema(db, enc)?;
+    let gap = cfg.gap;
+    let (rows, next_id) = match enc {
+        Encoding::Global => (shred_global(doc, document, gap), 0),
+        Encoding::Local => shred_local(doc, document, gap),
+        Encoding::Dewey => (shred_dewey(doc, document, gap), 0),
+    };
+    let n = rows.len() as u64;
+    db.insert_many(&enc.node_table(), rows)?;
+    db.execute(
+        &format!(
+            "INSERT INTO {} (doc, name, gap, next_id) VALUES (?, ?, ?, ?)",
+            enc.docs_table()
+        ),
+        &[
+            Value::Int(doc),
+            Value::text(name),
+            Value::Int(gap as i64),
+            Value::Int(next_id),
+        ],
+    )?;
+    Ok(ShredStats { rows: n })
+}
+
+/// Global encoding: sparse preorder positions + subtree interval bound.
+fn shred_global(doc: i64, document: &Document, gap: u64) -> Vec<Row> {
+    enum Ev {
+        Enter {
+            v: VNode,
+            parent_pos: i64,
+            depth: i64,
+        },
+        Exit {
+            row: usize,
+        },
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut next_pos: i64 = 0;
+    let mut stack = vec![Ev::Enter {
+        v: VNode::Node(document.root()),
+        parent_pos: NO_PARENT,
+        depth: 0,
+    }];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Enter { v, parent_pos, depth } => {
+                next_pos += gap as i64;
+                let pos = next_pos;
+                let (kind, tag, value) = node_columns(document, v);
+                let row_idx = rows.len();
+                rows.push(vec![
+                    Value::Int(doc),
+                    Value::Int(pos),
+                    Value::Int(parent_pos),
+                    Value::Int(pos), // desc_max placeholder, fixed at Exit
+                    Value::Int(depth),
+                    Value::Int(kind),
+                    tag,
+                    value,
+                ]);
+                stack.push(Ev::Exit { row: row_idx });
+                for c in vchildren(document, v).into_iter().rev() {
+                    stack.push(Ev::Enter {
+                        v: c,
+                        parent_pos: pos,
+                        depth: depth + 1,
+                    });
+                }
+            }
+            Ev::Exit { row } => {
+                rows[row][3] = Value::Int(next_pos);
+            }
+        }
+    }
+    rows
+}
+
+/// Local encoding: immutable preorder ids + sparse sibling positions.
+/// Returns `(rows, next unused id)`.
+fn shred_local(doc: i64, document: &Document, gap: u64) -> (Vec<Row>, i64) {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut next_id: i64 = 0;
+    // (vnode, parent id, sibling index, depth)
+    let mut stack: Vec<(VNode, i64, usize, i64)> =
+        vec![(VNode::Node(document.root()), NO_PARENT, 0, 0)];
+    while let Some((v, parent_id, sib_idx, depth)) = stack.pop() {
+        next_id += 1;
+        let id = next_id;
+        let ord = ((sib_idx as u64 + 1) * gap) as i64;
+        let (kind, tag, value) = node_columns(document, v);
+        rows.push(vec![
+            Value::Int(doc),
+            Value::Int(id),
+            Value::Int(parent_id),
+            Value::Int(ord),
+            Value::Int(depth),
+            Value::Int(kind),
+            tag,
+            value,
+        ]);
+        for (i, c) in vchildren(document, v).into_iter().enumerate().rev() {
+            stack.push((c, id, i, depth + 1));
+        }
+    }
+    (rows, next_id + 1)
+}
+
+/// Dewey encoding: path keys with sparse components.
+fn shred_dewey(doc: i64, document: &Document, gap: u64) -> Vec<Row> {
+    let mut rows: Vec<Row> = Vec::new();
+    let root_key = DeweyKey::root();
+    let mut stack: Vec<(VNode, DeweyKey)> = vec![(VNode::Node(document.root()), root_key)];
+    while let Some((v, key)) = stack.pop() {
+        let (kind, tag, value) = node_columns(document, v);
+        let parent_bytes = key.parent().map(|p| p.to_bytes()).unwrap_or_default();
+        rows.push(vec![
+            Value::Int(doc),
+            Value::Bytes(key.to_bytes()),
+            Value::Bytes(parent_bytes),
+            Value::Int(key.depth() as i64),
+            Value::Int(kind),
+            tag,
+            value,
+        ]);
+        for (i, c) in vchildren(document, v).into_iter().enumerate().rev() {
+            stack.push((c, key.child((i as u64 + 1) * gap)));
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Fragment-row builders (used by the ordered-update layer)
+// ---------------------------------------------------------------------
+
+/// Number of rows the subtree rooted at `root` shreds into (including
+/// lifted attributes).
+pub(crate) fn vnode_count(document: &Document, root: NodeId) -> usize {
+    let mut n = 0;
+    let mut stack = vec![VNode::Node(root)];
+    while let Some(v) = stack.pop() {
+        n += 1;
+        stack.extend(vchildren(document, v));
+    }
+    n
+}
+
+/// Rows for a fragment subtree under the Global encoding. `positions` must
+/// hold [`vnode_count`] strictly increasing values, assigned in preorder;
+/// `desc_max` is derived from them.
+pub(crate) fn fragment_global_rows(
+    doc: i64,
+    document: &Document,
+    root: NodeId,
+    positions: &[i64],
+    parent_pos: i64,
+    depth0: i64,
+) -> Vec<Row> {
+    enum Ev {
+        Enter(VNode, i64, i64),
+        Exit(usize),
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut next = 0usize;
+    let mut stack = vec![Ev::Enter(VNode::Node(root), parent_pos, depth0)];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Enter(v, parent, depth) => {
+                let pos = positions[next];
+                next += 1;
+                let (kind, tag, value) = node_columns(document, v);
+                let row_idx = rows.len();
+                rows.push(vec![
+                    Value::Int(doc),
+                    Value::Int(pos),
+                    Value::Int(parent),
+                    Value::Int(pos),
+                    Value::Int(depth),
+                    Value::Int(kind),
+                    tag,
+                    value,
+                ]);
+                stack.push(Ev::Exit(row_idx));
+                for c in vchildren(document, v).into_iter().rev() {
+                    stack.push(Ev::Enter(c, pos, depth + 1));
+                }
+            }
+            Ev::Exit(row_idx) => {
+                rows[row_idx][3] = Value::Int(positions[next - 1]);
+            }
+        }
+    }
+    debug_assert_eq!(next, positions.len());
+    rows
+}
+
+/// Rows for a fragment subtree under the Local encoding. Fresh ids start at
+/// `first_id`; the fragment root takes `root_ord` while descendants get
+/// dense gapped ords. Returns `(rows, next unused id)`.
+#[allow(clippy::too_many_arguments)] // one parameter per schema column
+pub(crate) fn fragment_local_rows(
+    doc: i64,
+    document: &Document,
+    root: NodeId,
+    first_id: i64,
+    root_ord: i64,
+    parent_id: i64,
+    depth0: i64,
+    gap: u64,
+) -> (Vec<Row>, i64) {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut next_id = first_id;
+    let mut stack: Vec<(VNode, i64, i64, i64)> =
+        vec![(VNode::Node(root), parent_id, root_ord, depth0)];
+    while let Some((v, parent, ord, depth)) = stack.pop() {
+        let id = next_id;
+        next_id += 1;
+        let (kind, tag, value) = node_columns(document, v);
+        rows.push(vec![
+            Value::Int(doc),
+            Value::Int(id),
+            Value::Int(parent),
+            Value::Int(ord),
+            Value::Int(depth),
+            Value::Int(kind),
+            tag,
+            value,
+        ]);
+        for (i, c) in vchildren(document, v).into_iter().enumerate().rev() {
+            stack.push((c, id, ((i as u64 + 1) * gap) as i64, depth + 1));
+        }
+    }
+    (rows, next_id)
+}
+
+/// Rows for a fragment subtree under the Dewey encoding; the fragment root
+/// takes `root_key`, descendants dense gapped components below it.
+pub(crate) fn fragment_dewey_rows(
+    doc: i64,
+    document: &Document,
+    root: NodeId,
+    root_key: DeweyKey,
+    gap: u64,
+) -> Vec<Row> {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut stack = vec![(VNode::Node(root), root_key)];
+    while let Some((v, key)) = stack.pop() {
+        let (kind, tag, value) = node_columns(document, v);
+        rows.push(vec![
+            Value::Int(doc),
+            Value::Bytes(key.to_bytes()),
+            Value::Bytes(key.parent().map(|p| p.to_bytes()).unwrap_or_default()),
+            Value::Int(key.depth() as i64),
+            Value::Int(kind),
+            tag,
+            value,
+        ]);
+        for (i, c) in vchildren(document, v).into_iter().enumerate().rev() {
+            stack.push((c, key.child((i as u64 + 1) * gap)));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ordxml_xml::parse;
+
+    fn sample() -> Document {
+        parse("<a x=\"1\"><b>t1</b><c><d/>t2</c></a>").unwrap()
+    }
+
+    fn load(enc: Encoding) -> Database {
+        let mut db = Database::in_memory();
+        shred(&mut db, enc, 1, &sample(), OrderConfig::default(), "sample").unwrap();
+        db
+    }
+
+    #[test]
+    fn global_positions_are_preorder_and_sparse() {
+        let mut db = load(Encoding::Global);
+        let rows = db
+            .query(
+                "SELECT pos, parent_pos, desc_max, depth, kind, tag, value \
+                 FROM global_node WHERE doc = 1 ORDER BY pos",
+                &[],
+            )
+            .unwrap();
+        // Preorder: a, @x, b, t1, c, d, t2  (7 rows).
+        assert_eq!(rows.len(), 7);
+        let g = 32i64;
+        let pos: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(pos, vec![g, 2 * g, 3 * g, 4 * g, 5 * g, 6 * g, 7 * g]);
+        // Root interval covers everything.
+        assert_eq!(rows[0][2], Value::Int(7 * g));
+        assert_eq!(rows[0][1], Value::Int(NO_PARENT));
+        // <c> (position 5) has desc_max = pos of t2 (position 7).
+        assert_eq!(rows[4][5], Value::text("c"));
+        assert_eq!(rows[4][2], Value::Int(7 * g));
+        // Leaf <d> interval is itself.
+        assert_eq!(rows[5][2], rows[5][0]);
+        // Attribute row.
+        assert_eq!(rows[1][4], Value::Int(KIND_ATTR));
+        assert_eq!(rows[1][5], Value::text("x"));
+        assert_eq!(rows[1][6], Value::text("1"));
+        // Depths.
+        let depth: Vec<i64> = rows.iter().map(|r| r[3].as_int().unwrap()).collect();
+        assert_eq!(depth, vec![0, 1, 1, 2, 1, 2, 2]);
+    }
+
+    #[test]
+    fn local_ids_immutable_and_ords_sparse() {
+        let mut db = load(Encoding::Local);
+        let rows = db
+            .query(
+                "SELECT id, parent_id, ord, kind, tag FROM local_node \
+                 WHERE doc = 1 ORDER BY id",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 7);
+        // ids are assigned in preorder 1..=7.
+        let ids: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, (1..=7).collect::<Vec<i64>>());
+        // Root's children: @x ord 32, b ord 64, c ord 96.
+        let children: Vec<(i64, i64)> = rows
+            .iter()
+            .filter(|r| r[1] == Value::Int(1))
+            .map(|r| (r[2].as_int().unwrap(), r[3].as_int().unwrap()))
+            .collect();
+        assert_eq!(children, vec![(32, KIND_ATTR), (64, KIND_ELEMENT), (96, KIND_ELEMENT)]);
+    }
+
+    #[test]
+    fn dewey_keys_follow_structure() {
+        let mut db = load(Encoding::Dewey);
+        let rows = db
+            .query(
+                "SELECT key, parent, depth, tag FROM dewey_node WHERE doc = 1 ORDER BY key",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 7);
+        let keys: Vec<DeweyKey> = rows
+            .iter()
+            .map(|r| DeweyKey::from_bytes(r[0].as_bytes().unwrap()).unwrap())
+            .collect();
+        // Document order by key bytes equals preorder: a, @x, b, t1, c, d, t2.
+        assert_eq!(keys[0], DeweyKey::root());
+        assert_eq!(keys[1], DeweyKey::new(vec![1, 32])); // @x
+        assert_eq!(keys[2], DeweyKey::new(vec![1, 64])); // b
+        assert_eq!(keys[3], DeweyKey::new(vec![1, 64, 32])); // t1
+        assert_eq!(keys[4], DeweyKey::new(vec![1, 96])); // c
+        assert_eq!(keys[5], DeweyKey::new(vec![1, 96, 32])); // d
+        assert_eq!(keys[6], DeweyKey::new(vec![1, 96, 64])); // t2
+        // Parent pointers match key prefixes.
+        for (i, row) in rows.iter().enumerate() {
+            let parent = row[1].as_bytes().unwrap();
+            match keys[i].parent() {
+                None => assert!(parent.is_empty()),
+                Some(p) => assert_eq!(parent, p.to_bytes()),
+            }
+        }
+    }
+
+    #[test]
+    fn schema_creation_is_idempotent() {
+        let mut db = Database::in_memory();
+        for enc in Encoding::all() {
+            create_schema(&mut db, enc).unwrap();
+            create_schema(&mut db, enc).unwrap();
+        }
+        for enc in Encoding::all() {
+            assert!(db.catalog().has_table(&enc.node_table()));
+            assert!(db.catalog().has_table(&enc.docs_table()));
+        }
+    }
+
+    #[test]
+    fn multiple_documents_coexist() {
+        let mut db = Database::in_memory();
+        let d1 = parse("<a><b/></a>").unwrap();
+        let d2 = parse("<x><y/><z/></x>").unwrap();
+        shred(&mut db, Encoding::Global, 1, &d1, OrderConfig::default(), "d1").unwrap();
+        shred(&mut db, Encoding::Global, 2, &d2, OrderConfig::default(), "d2").unwrap();
+        let rows = db
+            .query("SELECT COUNT(*) FROM global_node WHERE doc = 1", &[])
+            .unwrap();
+        assert_eq!(rows[0][0], Value::Int(2));
+        let rows = db
+            .query("SELECT COUNT(*) FROM global_node WHERE doc = 2", &[])
+            .unwrap();
+        assert_eq!(rows[0][0], Value::Int(3));
+        let rows = db
+            .query("SELECT name FROM global_docs WHERE doc = 2", &[])
+            .unwrap();
+        assert_eq!(rows[0][0], Value::text("d2"));
+    }
+
+    #[test]
+    fn gap_one_gives_dense_numbering() {
+        let mut db = Database::in_memory();
+        shred(
+            &mut db,
+            Encoding::Global,
+            1,
+            &sample(),
+            OrderConfig::with_gap(1),
+            "dense",
+        )
+        .unwrap();
+        let rows = db
+            .query("SELECT pos FROM global_node WHERE doc = 1 ORDER BY pos", &[])
+            .unwrap();
+        let pos: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(pos, (1..=7).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn row_counts_match_across_encodings() {
+        for enc in Encoding::all() {
+            let mut db = load(enc);
+            let rows = db
+                .query(
+                    &format!("SELECT COUNT(*) FROM {}", enc.node_table()),
+                    &[],
+                )
+                .unwrap();
+            assert_eq!(rows[0][0], Value::Int(7), "{enc}");
+        }
+    }
+}

@@ -1,0 +1,672 @@
+//! [`XmlStore`] — the user-facing facade: one relational database + one
+//! order encoding = an ordered XML store.
+//!
+//! The store API works in terms of [`XNode`]s, the relational image of one
+//! XML node: its order key ([`NodeRef`], encoding-specific), node kind, tag,
+//! and value. Queries ([`XmlStore::xpath`]) return `XNode`s in document
+//! order; updates address nodes by structural [`NodePath`]s so that the same
+//! logical operation can be replayed against a DOM and against all three
+//! encodings (which the test suite does).
+
+use crate::encoding::{DeweyKey, Encoding, OrderConfig};
+use crate::shred::{self, KIND_ATTR, KIND_ELEMENT};
+use crate::update::UpdateCost;
+use crate::xpath::{self, XPathError};
+use ordxml_rdbms::{Database, DbError, Row, Value};
+use ordxml_xml::{Document, NodePath};
+use std::fmt;
+
+/// Errors of the store layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying database failed.
+    Db(DbError),
+    /// The XPath expression failed to parse.
+    XPath(XPathError),
+    /// The XPath expression parses but is outside the translatable subset.
+    Unsupported(String),
+    /// A node address (path, id) did not resolve.
+    BadNode(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Db(e) => write!(f, "database error: {e}"),
+            StoreError::XPath(e) => write!(f, "{e}"),
+            StoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            StoreError::BadNode(m) => write!(f, "bad node reference: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<DbError> for StoreError {
+    fn from(e: DbError) -> Self {
+        StoreError::Db(e)
+    }
+}
+
+impl From<XPathError> for StoreError {
+    fn from(e: XPathError) -> Self {
+        StoreError::XPath(e)
+    }
+}
+
+/// Store-layer result alias.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// The encoding-specific identity + order key of a stored node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeRef {
+    /// Global order: sparse preorder position and subtree interval.
+    Global {
+        /// Sparse preorder position (the order key).
+        pos: i64,
+        /// Parent's position (`-1` for the root).
+        parent: i64,
+        /// Largest position in this node's subtree.
+        desc_max: i64,
+        /// Depth below the root.
+        depth: i64,
+    },
+    /// Local order: immutable id, parent id, sparse sibling position.
+    Local {
+        /// Immutable node id.
+        id: i64,
+        /// Parent's id (`-1` for the root).
+        parent: i64,
+        /// Sparse sibling position (the order key).
+        ord: i64,
+        /// Depth below the root.
+        depth: i64,
+    },
+    /// Dewey order: the path key.
+    Dewey {
+        /// The Dewey key (identity *and* order key).
+        key: DeweyKey,
+    },
+}
+
+impl NodeRef {
+    /// Which encoding this reference belongs to.
+    pub fn encoding(&self) -> Encoding {
+        match self {
+            NodeRef::Global { .. } => Encoding::Global,
+            NodeRef::Local { .. } => Encoding::Local,
+            NodeRef::Dewey { .. } => Encoding::Dewey,
+        }
+    }
+
+    /// A human-readable order-key rendering (`pos`, `id`, or dotted Dewey).
+    pub fn display_key(&self) -> String {
+        match self {
+            NodeRef::Global { pos, .. } => pos.to_string(),
+            NodeRef::Local { id, .. } => format!("#{id}"),
+            NodeRef::Dewey { key } => key.to_string(),
+        }
+    }
+
+    /// A byte token that (within one encoding) identifies the node and — for
+    /// Global and Dewey — sorts in document order. Local tokens identify but
+    /// do not order (ordering a Local result set requires climbing; see
+    /// [`crate::translate`]).
+    pub fn token(&self) -> Vec<u8> {
+        match self {
+            NodeRef::Global { pos, .. } => pos.to_be_bytes().to_vec(),
+            NodeRef::Local { id, .. } => id.to_be_bytes().to_vec(),
+            NodeRef::Dewey { key } => key.to_bytes(),
+        }
+    }
+}
+
+/// The relational image of one XML node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XNode {
+    /// Document id.
+    pub doc: i64,
+    /// Identity and order key.
+    pub node: NodeRef,
+    /// Node kind (see [`crate::shred`] `KIND_*`).
+    pub kind: i64,
+    /// Element/attribute/PI name.
+    pub tag: Option<String>,
+    /// Text/attribute/comment/PI value.
+    pub value: Option<String>,
+}
+
+impl XNode {
+    /// `true` for element nodes.
+    pub fn is_element(&self) -> bool {
+        self.kind == KIND_ELEMENT
+    }
+
+    /// `true` for attribute nodes.
+    pub fn is_attribute(&self) -> bool {
+        self.kind == KIND_ATTR
+    }
+}
+
+/// The SELECT column list (unqualified) for an encoding's node table, in the
+/// canonical order [`decode_node_row`] expects.
+pub(crate) fn node_columns(enc: Encoding) -> &'static [&'static str] {
+    match enc {
+        Encoding::Global => &["pos", "parent_pos", "desc_max", "depth", "kind", "tag", "value"],
+        Encoding::Local => &["id", "parent_id", "ord", "depth", "kind", "tag", "value"],
+        Encoding::Dewey => &["key", "depth", "kind", "tag", "value"],
+    }
+}
+
+/// Renders the canonical column list qualified with `alias`.
+pub(crate) fn select_list(enc: Encoding, alias: &str) -> String {
+    node_columns(enc)
+        .iter()
+        .map(|c| format!("{alias}.{c}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Decodes a row shaped by [`select_list`] into an [`XNode`].
+pub(crate) fn decode_node_row(enc: Encoding, doc: i64, row: &Row) -> StoreResult<XNode> {
+    let text = |v: &Value| -> Option<String> {
+        match v {
+            Value::Text(s) => Some(s.clone()),
+            _ => None,
+        }
+    };
+    let node = match enc {
+        Encoding::Global => NodeRef::Global {
+            pos: row[0].as_int()?,
+            parent: row[1].as_int()?,
+            desc_max: row[2].as_int()?,
+            depth: row[3].as_int()?,
+        },
+        Encoding::Local => NodeRef::Local {
+            id: row[0].as_int()?,
+            parent: row[1].as_int()?,
+            ord: row[2].as_int()?,
+            depth: row[3].as_int()?,
+        },
+        Encoding::Dewey => NodeRef::Dewey {
+            key: DeweyKey::from_bytes(row[0].as_bytes()?)
+                .ok_or_else(|| StoreError::BadNode("corrupt Dewey key".into()))?,
+        },
+    };
+    let (kind_idx, tag_idx, value_idx) = match enc {
+        Encoding::Dewey => (2, 3, 4),
+        _ => (4, 5, 6),
+    };
+    Ok(XNode {
+        doc,
+        node,
+        kind: row[kind_idx].as_int()?,
+        tag: text(&row[tag_idx]),
+        value: text(&row[value_idx]),
+    })
+}
+
+/// Fetches all stored children of `node` (attributes included), in sibling
+/// order, via one indexed query. Shared by the facade, the translator's
+/// mediator, and the update layer.
+pub(crate) fn fetch_children(
+    db: &mut Database,
+    enc: Encoding,
+    doc: i64,
+    node: &XNode,
+) -> StoreResult<Vec<XNode>> {
+    let (sql, params) = match &node.node {
+        NodeRef::Global { pos, .. } => (
+            format!(
+                "SELECT {} FROM global_node n \
+                 WHERE n.doc = ? AND n.parent_pos = ? ORDER BY n.pos",
+                select_list(enc, "n")
+            ),
+            vec![Value::Int(doc), Value::Int(*pos)],
+        ),
+        NodeRef::Local { id, .. } => (
+            format!(
+                "SELECT {} FROM local_node n \
+                 WHERE n.doc = ? AND n.parent_id = ? ORDER BY n.ord",
+                select_list(enc, "n")
+            ),
+            vec![Value::Int(doc), Value::Int(*id)],
+        ),
+        NodeRef::Dewey { key } => (
+            format!(
+                "SELECT {} FROM dewey_node n \
+                 WHERE n.doc = ? AND n.parent = ? ORDER BY n.key",
+                select_list(enc, "n")
+            ),
+            vec![Value::Int(doc), Value::Bytes(key.to_bytes())],
+        ),
+    };
+    let rows = db.query(&sql, &params)?;
+    rows.iter().map(|r| decode_node_row(enc, doc, r)).collect()
+}
+
+/// An ordered XML store over a relational database.
+pub struct XmlStore {
+    db: Database,
+    encoding: Encoding,
+    schema_ready: bool,
+    position_strategy: crate::translate::PositionStrategy,
+}
+
+impl XmlStore {
+    /// Wraps a database with the chosen order encoding. The relational
+    /// schema is created lazily on first use.
+    pub fn new(db: Database, encoding: Encoding) -> XmlStore {
+        XmlStore {
+            db,
+            encoding,
+            schema_ready: false,
+            position_strategy: crate::translate::PositionStrategy::default(),
+        }
+    }
+
+    /// Chooses how positional predicates are evaluated (an ablation knob;
+    /// see [`crate::translate::PositionStrategy`]). The default is the
+    /// paper's pure-SQL correlated-count translation.
+    pub fn set_position_strategy(&mut self, strategy: crate::translate::PositionStrategy) {
+        self.position_strategy = strategy;
+    }
+
+    /// The store's encoding.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Direct access to the underlying database (for diagnostics and the
+    /// benchmark harness's counter collection).
+    pub fn db(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    pub(crate) fn ensure_schema(&mut self) -> StoreResult<()> {
+        if !self.schema_ready {
+            shred::create_schema(&mut self.db, self.encoding)?;
+            self.schema_ready = true;
+        }
+        Ok(())
+    }
+
+    /// Loads (shreds) a document with the default sparse-numbering gap and
+    /// returns its document id.
+    pub fn load_document(&mut self, document: &Document, name: &str) -> StoreResult<i64> {
+        self.load_document_with(document, name, OrderConfig::default())
+    }
+
+    /// Loads a document with an explicit [`OrderConfig`].
+    pub fn load_document_with(
+        &mut self,
+        document: &Document,
+        name: &str,
+        cfg: OrderConfig,
+    ) -> StoreResult<i64> {
+        self.ensure_schema()?;
+        let doc = self.next_doc_id()?;
+        shred::shred(&mut self.db, self.encoding, doc, document, cfg, name)?;
+        Ok(doc)
+    }
+
+    fn next_doc_id(&mut self) -> StoreResult<i64> {
+        let rows = self.db.query(
+            &format!(
+                "SELECT doc FROM {} ORDER BY doc DESC LIMIT 1",
+                self.encoding.docs_table()
+            ),
+            &[],
+        )?;
+        Ok(rows.first().map(|r| r[0].as_int()).transpose()?.unwrap_or(0) + 1)
+    }
+
+    /// Ids of all loaded documents.
+    pub fn document_ids(&mut self) -> StoreResult<Vec<i64>> {
+        self.ensure_schema()?;
+        let rows = self.db.query(
+            &format!("SELECT doc FROM {} ORDER BY doc", self.encoding.docs_table()),
+            &[],
+        )?;
+        rows.iter()
+            .map(|r| r[0].as_int().map_err(StoreError::from))
+            .collect()
+    }
+
+    /// The sparse-numbering gap a document was loaded with.
+    pub fn gap(&mut self, doc: i64) -> StoreResult<u64> {
+        let rows = self.db.query(
+            &format!("SELECT gap FROM {} WHERE doc = ?", self.encoding.docs_table()),
+            &[Value::Int(doc)],
+        )?;
+        let row = rows
+            .first()
+            .ok_or_else(|| StoreError::BadNode(format!("no document {doc}")))?;
+        Ok(row[0].as_int()? as u64)
+    }
+
+    /// Number of stored node rows for a document.
+    pub fn node_count(&mut self, doc: i64) -> StoreResult<u64> {
+        self.ensure_schema()?;
+        let rows = self.db.query(
+            &format!(
+                "SELECT COUNT(*) FROM {} WHERE doc = ?",
+                self.encoding.node_table()
+            ),
+            &[Value::Int(doc)],
+        )?;
+        Ok(rows[0][0].as_int()? as u64)
+    }
+
+    /// Evaluates an XPath expression, returning matching nodes in document
+    /// order.
+    pub fn xpath(&mut self, doc: i64, expr: &str) -> StoreResult<Vec<XNode>> {
+        let path = xpath::parse(expr)?;
+        self.xpath_parsed(doc, &path)
+    }
+
+    /// Evaluates a pre-parsed path.
+    pub fn xpath_parsed(&mut self, doc: i64, path: &xpath::Path) -> StoreResult<Vec<XNode>> {
+        self.ensure_schema()?;
+        crate::translate::execute_with(
+            &mut self.db,
+            self.encoding,
+            doc,
+            path,
+            self.position_strategy,
+        )
+    }
+
+    /// The root node of a document.
+    pub fn root(&mut self, doc: i64) -> StoreResult<XNode> {
+        self.ensure_schema()?;
+        let enc = self.encoding;
+        let sql = match enc {
+            Encoding::Global => format!(
+                "SELECT {} FROM global_node n WHERE n.doc = ? AND n.parent_pos = ?",
+                select_list(enc, "n")
+            ),
+            Encoding::Local => format!(
+                "SELECT {} FROM local_node n WHERE n.doc = ? AND n.parent_id = ?",
+                select_list(enc, "n")
+            ),
+            Encoding::Dewey => format!(
+                "SELECT {} FROM dewey_node n WHERE n.doc = ? AND n.key = ?",
+                select_list(enc, "n")
+            ),
+        };
+        let params = match enc {
+            Encoding::Dewey => vec![Value::Int(doc), Value::Bytes(DeweyKey::root().to_bytes())],
+            _ => vec![Value::Int(doc), Value::Int(shred::NO_PARENT)],
+        };
+        let rows = self.db.query(&sql, &params)?;
+        let row = rows
+            .first()
+            .ok_or_else(|| StoreError::BadNode(format!("no document {doc}")))?;
+        decode_node_row(enc, doc, row)
+    }
+
+    /// All stored children of a node (attributes included), in order.
+    pub fn children(&mut self, doc: i64, node: &XNode) -> StoreResult<Vec<XNode>> {
+        fetch_children(&mut self.db, self.encoding, doc, node)
+    }
+
+    /// Resolves a structural [`NodePath`] (child indexes counting non-
+    /// attribute children, as in the DOM) to a stored node.
+    pub fn resolve(&mut self, doc: i64, path: &NodePath) -> StoreResult<XNode> {
+        let mut cur = self.root(doc)?;
+        for &idx in &path.0 {
+            let kids = self.children(doc, &cur)?;
+            let non_attr: Vec<XNode> = kids.into_iter().filter(|k| !k.is_attribute()).collect();
+            cur = non_attr.into_iter().nth(idx).ok_or_else(|| {
+                StoreError::BadNode(format!("path {path} has no child {idx}"))
+            })?;
+        }
+        Ok(cur)
+    }
+
+    /// Serializes the subtree rooted at `node` back to XML text (elements),
+    /// or returns the node's value (text/attribute/comment/PI nodes).
+    pub fn serialize(&mut self, doc: i64, node: &XNode) -> StoreResult<String> {
+        crate::reconstruct::serialize_subtree(&mut self.db, self.encoding, doc, node)
+    }
+
+    /// Reconstructs the full document from its relational image.
+    pub fn reconstruct_document(&mut self, doc: i64) -> StoreResult<Document> {
+        let root = self.root(doc)?;
+        crate::reconstruct::subtree_document(&mut self.db, self.encoding, doc, &root)
+    }
+
+    // -----------------------------------------------------------------
+    // Ordered updates
+    // -----------------------------------------------------------------
+
+    /// Inserts (a deep copy of) `fragment`'s root subtree as the `index`-th
+    /// non-attribute child of the node at `parent` (clamped to append).
+    pub fn insert_fragment(
+        &mut self,
+        doc: i64,
+        parent: &NodePath,
+        index: usize,
+        fragment: &Document,
+    ) -> StoreResult<UpdateCost> {
+        let parent_node = self.resolve(doc, parent)?;
+        crate::update::insert_fragment(
+            &mut self.db,
+            self.encoding,
+            doc,
+            &parent_node,
+            index,
+            fragment,
+        )
+    }
+
+    /// Deletes the subtree rooted at `target`.
+    pub fn delete_subtree(&mut self, doc: i64, target: &NodePath) -> StoreResult<UpdateCost> {
+        let node = self.resolve(doc, target)?;
+        crate::update::delete_subtree(&mut self.db, self.encoding, doc, &node)
+    }
+
+    /// Moves the subtree at `target` to become the `index`-th non-attribute
+    /// child of the node at `new_parent` (index interpreted against the
+    /// destination's child list without the target). See
+    /// [`crate::update::move_subtree`] for the per-encoding cost story.
+    pub fn move_subtree(
+        &mut self,
+        doc: i64,
+        target: &NodePath,
+        new_parent: &NodePath,
+        index: usize,
+    ) -> StoreResult<UpdateCost> {
+        let t = self.resolve(doc, target)?;
+        let p = self.resolve(doc, new_parent)?;
+        crate::update::move_subtree(&mut self.db, self.encoding, doc, &t, &p, index)
+    }
+
+    /// Renumbers a document from scratch, restoring full sparse-numbering
+    /// gaps everywhere (the paper's "periodic renumbering" maintenance
+    /// operation: run it offline when accumulated insertions have eaten the
+    /// gaps, instead of paying renumbering inline on every exhausted
+    /// insertion). Returns the number of rows rewritten.
+    pub fn renumber_document(&mut self, doc: i64) -> StoreResult<u64> {
+        let document = self.reconstruct_document(doc)?;
+        let gap = self.gap(doc)?;
+        let name_rows = self.db.query(
+            &format!("SELECT name FROM {} WHERE doc = ?", self.encoding.docs_table()),
+            &[Value::Int(doc)],
+        )?;
+        let name = name_rows
+            .first()
+            .and_then(|r| match &r[0] {
+                Value::Text(s) => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        self.db.execute(
+            &format!("DELETE FROM {} WHERE doc = ?", self.encoding.node_table()),
+            &[Value::Int(doc)],
+        )?;
+        self.db.execute(
+            &format!("DELETE FROM {} WHERE doc = ?", self.encoding.docs_table()),
+            &[Value::Int(doc)],
+        )?;
+        let stats = shred::shred(
+            &mut self.db,
+            self.encoding,
+            doc,
+            &document,
+            OrderConfig::with_gap(gap),
+            &name,
+        )?;
+        Ok(stats.rows)
+    }
+
+    /// Replaces the value of the text node at `target`.
+    pub fn update_text(
+        &mut self,
+        doc: i64,
+        target: &NodePath,
+        text: &str,
+    ) -> StoreResult<UpdateCost> {
+        let node = self.resolve(doc, target)?;
+        crate::update::update_text(&mut self.db, self.encoding, doc, &node, text)
+    }
+}
+
+impl fmt::Debug for XmlStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("XmlStore")
+            .field("encoding", &self.encoding)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ordxml_xml::parse;
+
+    const XML: &str = "<a x=\"1\"><b>t</b><c><d/></c><b>u</b></a>";
+
+    fn stores() -> Vec<(XmlStore, i64)> {
+        Encoding::all()
+            .into_iter()
+            .map(|enc| {
+                let mut s = XmlStore::new(Database::in_memory(), enc);
+                let d = s.load_document(&parse(XML).unwrap(), "t").unwrap();
+                (s, d)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn root_and_children() {
+        for (mut s, d) in stores() {
+            let root = s.root(d).unwrap();
+            assert_eq!(root.tag.as_deref(), Some("a"));
+            assert!(root.is_element());
+            let kids = s.children(d, &root).unwrap();
+            // @x, b, c, b.
+            assert_eq!(kids.len(), 4, "{}", s.encoding());
+            assert!(kids[0].is_attribute());
+            assert_eq!(kids[0].tag.as_deref(), Some("x"));
+            assert_eq!(kids[0].value.as_deref(), Some("1"));
+            assert_eq!(kids[1].tag.as_deref(), Some("b"));
+        }
+    }
+
+    #[test]
+    fn resolve_skips_attributes() {
+        for (mut s, d) in stores() {
+            // Path /1/0 = second child element <c>'s first child <d>.
+            let n = s.resolve(d, &NodePath(vec![1, 0])).unwrap();
+            assert_eq!(n.tag.as_deref(), Some("d"), "{}", s.encoding());
+            assert!(matches!(
+                s.resolve(d, &NodePath(vec![9])),
+                Err(StoreError::BadNode(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn serialize_non_elements_returns_values() {
+        for (mut s, d) in stores() {
+            let root = s.root(d).unwrap();
+            let kids = s.children(d, &root).unwrap();
+            assert_eq!(s.serialize(d, &kids[0]).unwrap(), "1", "attr value");
+            let b_kids = s.children(d, &kids[1]).unwrap();
+            assert_eq!(s.serialize(d, &b_kids[0]).unwrap(), "t", "text value");
+        }
+    }
+
+    #[test]
+    fn gap_and_counts_and_ids() {
+        for (mut s, d) in stores() {
+            assert_eq!(s.gap(d).unwrap(), OrderConfig::default().gap);
+            // a, @x, b, "t", c, d, b, "u" = 8 rows.
+            assert_eq!(s.node_count(d).unwrap(), 8);
+            assert_eq!(s.document_ids().unwrap(), vec![d]);
+            assert!(s.gap(999).is_err());
+        }
+    }
+
+    #[test]
+    fn doc_ids_are_sequential() {
+        let mut s = XmlStore::new(Database::in_memory(), Encoding::Dewey);
+        let d1 = s.load_document(&parse("<a/>").unwrap(), "one").unwrap();
+        let d2 = s.load_document(&parse("<b/>").unwrap(), "two").unwrap();
+        assert_eq!((d1, d2), (1, 2));
+    }
+
+    #[test]
+    fn bad_xpath_is_an_xpath_error() {
+        for (mut s, d) in stores() {
+            assert!(matches!(s.xpath(d, "/a["), Err(StoreError::XPath(_))));
+        }
+    }
+
+    #[test]
+    fn renumber_restores_gaps() {
+        for enc in Encoding::all() {
+            let mut s = XmlStore::new(Database::in_memory(), enc);
+            let d = s
+                .load_document_with(
+                    &parse("<r><a/><b/></r>").unwrap(),
+                    "rn",
+                    OrderConfig::with_gap(8),
+                )
+                .unwrap();
+            // Chew up the gap between <a> and <b>.
+            let frag = parse("<m/>").unwrap();
+            for _ in 0..5 {
+                s.insert_fragment(d, &NodePath(vec![]), 1, &frag).unwrap();
+            }
+            let before = s.reconstruct_document(d).unwrap();
+            let rewritten = s.renumber_document(d).unwrap();
+            assert_eq!(rewritten, s.node_count(d).unwrap(), "{enc}");
+            let after = s.reconstruct_document(d).unwrap();
+            assert!(before.tree_eq(&after), "{enc}: content unchanged");
+            // A fresh midpoint insert now fits without relabeling.
+            let cost = s.insert_fragment(d, &NodePath(vec![]), 1, &frag).unwrap();
+            assert_eq!(cost.relabeled, 0, "{enc}: gaps restored");
+            // Queries still work.
+            assert_eq!(s.xpath(d, "/r/m").unwrap().len(), 6, "{enc}");
+        }
+    }
+
+    #[test]
+    fn node_refs_expose_order_tokens() {
+        for (mut s, d) in stores() {
+            let hits = s.xpath(d, "/a/b").unwrap();
+            assert_eq!(hits.len(), 2);
+            let t0 = hits[0].node.token();
+            let t1 = hits[1].node.token();
+            assert_ne!(t0, t1, "{}", s.encoding());
+            if s.encoding() != Encoding::Local {
+                assert!(t0 < t1, "tokens order in document order");
+            }
+            assert_eq!(hits[0].node.encoding(), s.encoding());
+            assert!(!hits[0].node.display_key().is_empty());
+        }
+    }
+}

@@ -1,0 +1,1692 @@
+//! XPath → SQL translation, one strategy per encoding.
+//!
+//! A location path is compiled into *phases*. Each phase is either
+//!
+//! * a **SQL segment** — a maximal run of steps expressed as one SQL
+//!   statement (one table alias per step, self-joins between them), or
+//! * a **mediator step** — a step the encoding cannot express in one SQL
+//!   statement, evaluated by the translation layer with one (indexed) SQL
+//!   statement *per context node*.
+//!
+//! Which steps break into mediator phases is exactly the paper's story:
+//!
+//! * **Global** never breaks: every axis — including `descendant` (the
+//!   `(pos, desc_max]` interval) and `ancestor` (interval containment) — is
+//!   a range predicate on the position column.
+//! * **Dewey** breaks only on `descendant`/`ancestor` *below* the top level:
+//!   the descendant range `[key, successor(key))` needs the mediator to
+//!   compute the successor bound, after which it is a single indexed range
+//!   scan per context — no joins. Ancestors are the key's prefixes,
+//!   fetched by primary key.
+//! * **Local** breaks on `descendant` (evaluated as a per-context DFS of
+//!   child queries) and `ancestor` (a climb), and — even when a query is a
+//!   single SQL segment — recovering *document order* requires either
+//!   ordering by every ancestor's `ord` along the join chain or climbing
+//!   parent pointers in the mediator. That is the encoding's query-side
+//!   penalty.
+//!
+//! Positional predicates translate to correlated `COUNT(*)` subqueries over
+//! the order column ("how many matching candidates precede this node"),
+//! value/existence predicates to `EXISTS` subqueries.
+
+use crate::encoding::{DeweyKey, Encoding};
+use crate::shred::{KIND_ATTR, KIND_ELEMENT, KIND_TEXT, NO_PARENT};
+use crate::store::{decode_node_row, select_list, NodeRef, StoreError, StoreResult, XNode};
+use crate::xpath::{Axis, CmpOp, NodeTest, Path, Pred, SimpleStep, Step};
+use ordxml_rdbms::{Database, Value};
+use std::collections::HashMap;
+
+/// How positional predicates (`[k]`, `position() op k`, `last()`) are
+/// evaluated — an ablation knob (experiment E4 compares the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PositionStrategy {
+    /// The paper's pure-SQL translation: a correlated `COUNT(*)` subquery
+    /// counting preceding candidates per result row — O(siblings) work for
+    /// *each* candidate, O(siblings²) per step.
+    #[default]
+    CountSubquery,
+    /// Mediator slicing: fetch the step's candidates in axis order (one
+    /// indexed, ordered scan) and apply the position arithmetic in the
+    /// translation layer — O(siblings) per step, at the price of moving
+    /// work out of the database.
+    MediatorSlice,
+}
+
+/// Evaluates an absolute path against document `doc`, returning matching
+/// nodes in document order (duplicates removed).
+pub fn execute(
+    db: &mut Database,
+    enc: Encoding,
+    doc: i64,
+    path: &Path,
+) -> StoreResult<Vec<XNode>> {
+    execute_with(db, enc, doc, path, PositionStrategy::CountSubquery)
+}
+
+/// [`execute`] with an explicit positional-predicate strategy.
+pub fn execute_with(
+    db: &mut Database,
+    enc: Encoding,
+    doc: i64,
+    path: &Path,
+    strategy: PositionStrategy,
+) -> StoreResult<Vec<XNode>> {
+    // Axes that are empty from the document node end the query immediately.
+    if matches!(
+        path.steps.first().map(|s| s.axis),
+        Some(
+            Axis::Parent
+                | Axis::Ancestor
+                | Axis::Following
+                | Axis::Preceding
+                | Axis::FollowingSibling
+                | Axis::PrecedingSibling
+        )
+    ) {
+        return Ok(Vec::new());
+    }
+    let mut t = Translator { db, enc, doc, strategy };
+    // `None` means "anchored at the document node".
+    let mut ctx: Option<Vec<XNode>> = None;
+    let mut ordered = false;
+    let steps = &path.steps;
+    let mut i = 0;
+    while i < steps.len() {
+        let first = i == 0 && ctx.is_none();
+        if t.is_break_step(&steps[i], first) {
+            ctx = Some(t.mediator_step(ctx.take(), &steps[i], first)?);
+            ordered = false;
+            i += 1;
+        } else {
+            let mut j = i + 1;
+            while j < steps.len() && !t.is_break_step(&steps[j], false) {
+                j += 1;
+            }
+            let (results, seg_ordered) = t.sql_segment(ctx.take(), &steps[i..j], first)?;
+            ordered = seg_ordered && i == 0;
+            ctx = Some(results);
+            i = j;
+        }
+    }
+    let mut result = ctx.unwrap_or_default();
+    t.finalize(&mut result, ordered && i == steps.len())?;
+    Ok(result)
+}
+
+/// A context-derived parameter of a per-context SQL statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtxField {
+    GPos,
+    GParent,
+    GDescMax,
+    LId,
+    LParent,
+    LOrd,
+    DKey,
+    DParent,
+}
+
+impl CtxField {
+    fn extract(self, node: &XNode) -> Value {
+        match (self, &node.node) {
+            (CtxField::GPos, NodeRef::Global { pos, .. }) => Value::Int(*pos),
+            (CtxField::GParent, NodeRef::Global { parent, .. }) => Value::Int(*parent),
+            (CtxField::GDescMax, NodeRef::Global { desc_max, .. }) => Value::Int(*desc_max),
+            (CtxField::LId, NodeRef::Local { id, .. }) => Value::Int(*id),
+            (CtxField::LParent, NodeRef::Local { parent, .. }) => Value::Int(*parent),
+            (CtxField::LOrd, NodeRef::Local { ord, .. }) => Value::Int(*ord),
+            (CtxField::DKey, NodeRef::Dewey { key }) => Value::Bytes(key.to_bytes()),
+            (CtxField::DParent, NodeRef::Dewey { key }) => Value::Bytes(
+                key.parent().map(|p| p.to_bytes()).unwrap_or_default(),
+            ),
+            _ => unreachable!("ctx field/encoding mismatch"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Fixed(Value),
+    Ctx(CtxField),
+}
+
+/// How a step's conditions are anchored.
+#[derive(Debug, Clone)]
+enum Anchor {
+    /// The document node (first step of an absolute path).
+    Document,
+    /// The per-context parameters of a phase boundary.
+    Ctx,
+    /// A previous table alias within the same SQL statement.
+    Alias(usize),
+}
+
+/// Incremental SQL builder: WHERE text and parameters grow strictly in
+/// step so `?` occurrence order matches the parameter list.
+struct Sql {
+    enc: Encoding,
+    from: Vec<String>,
+    where_sql: String,
+    params: Vec<Slot>,
+    /// Fresh alias counter for predicate subqueries.
+    sub_counter: usize,
+}
+
+impl Sql {
+    fn new(enc: Encoding) -> Sql {
+        Sql {
+            enc,
+            from: Vec::new(),
+            where_sql: String::new(),
+            params: Vec::new(),
+            sub_counter: 0,
+        }
+    }
+
+    fn table(&self) -> String {
+        self.enc.node_table()
+    }
+
+    fn add_alias(&mut self, alias: &str) {
+        self.from.push(format!("{} {alias}", self.table()));
+    }
+
+    fn and(&mut self) {
+        if !self.where_sql.is_empty() && !self.where_sql.ends_with('(') {
+            self.where_sql.push_str(" AND ");
+        }
+    }
+
+    fn raw(&mut self, s: &str) {
+        self.where_sql.push_str(s);
+    }
+
+    /// Appends a `?` and records its value.
+    fn param(&mut self, slot: Slot) {
+        self.where_sql.push('?');
+        self.params.push(slot);
+    }
+
+    fn fixed(&mut self, v: Value) {
+        self.param(Slot::Fixed(v));
+    }
+
+    fn fresh_sub(&mut self) -> String {
+        self.sub_counter += 1;
+        format!("s{}", self.sub_counter)
+    }
+}
+
+struct Translator<'a> {
+    db: &'a mut Database,
+    enc: Encoding,
+    doc: i64,
+    strategy: PositionStrategy,
+}
+
+impl<'a> Translator<'a> {
+    /// Steps this encoding must evaluate in the mediator.
+    fn is_break_step(&self, step: &Step, first: bool) -> bool {
+        // Ablation: under MediatorSlice, every positionally-predicated step
+        // runs in the mediator regardless of encoding.
+        if self.strategy == PositionStrategy::MediatorSlice
+            && step.preds.iter().any(pred_positional)
+        {
+            return true;
+        }
+        match self.enc {
+            // Global expresses every axis in SQL; only positional predicates
+            // on the (reverse-ordered) ancestor/preceding axes need the
+            // mediator.
+            Encoding::Global => {
+                matches!(step.axis, Axis::Ancestor | Axis::Preceding)
+                    && step.preds.iter().any(pred_positional)
+            }
+            Encoding::Dewey => match step.axis {
+                Axis::Descendant | Axis::DescendantOrSelf => !first,
+                Axis::Ancestor | Axis::Following | Axis::Preceding => true,
+                _ => false,
+            },
+            Encoding::Local => match step.axis {
+                Axis::Descendant | Axis::DescendantOrSelf => {
+                    // Anchored at the document, a descendant scan is a plain
+                    // table predicate — unless a positional predicate needs
+                    // document order, which Local cannot count in SQL.
+                    !first || step.preds.iter().any(pred_positional)
+                }
+                Axis::Ancestor | Axis::Following | Axis::Preceding => true,
+                _ => false,
+            },
+        }
+    }
+
+    // =================================================================
+    // SQL segments
+    // =================================================================
+
+    /// Translates `steps` into one SQL statement and runs it (once, or once
+    /// per context node). Returns the nodes plus whether the SQL already
+    /// delivered them in document order.
+    fn sql_segment(
+        &mut self,
+        ctx: Option<Vec<XNode>>,
+        steps: &[Step],
+        first: bool,
+    ) -> StoreResult<(Vec<XNode>, bool)> {
+        let mut sql = Sql::new(self.enc);
+        // Alias chain used to rebuild document order for Local results:
+        // the aliases of the result's root-to-node ancestor path.
+        // `None` once the chain is unknown (e.g. after a descendant step).
+        let mut chain: Option<Vec<usize>> = Some(Vec::new());
+        let mut anchor = if first { Anchor::Document } else { Anchor::Ctx };
+        let mut dedup_needed = false;
+        for (idx, step) in steps.iter().enumerate() {
+            let alias = format!("t{idx}");
+            sql.add_alias(&alias);
+            // doc filter for every alias.
+            sql.and();
+            sql.raw(&format!("{alias}.doc = "));
+            sql.fixed(Value::Int(self.doc));
+            self.gen_step(&mut sql, &alias, &anchor, step)?;
+            for pred in &step.preds {
+                sql.and();
+                self.gen_pred(&mut sql, &alias, &anchor, step, pred)?;
+            }
+            // Track the ancestor-alias chain (for Local ordering).
+            chain = match (chain, step.axis) {
+                (Some(mut c), Axis::Child | Axis::Attribute) => {
+                    c.push(idx);
+                    Some(c)
+                }
+                (Some(c), Axis::SelfAxis) => Some(c),
+                (Some(mut c), Axis::Parent) => {
+                    c.pop();
+                    Some(c)
+                }
+                (Some(mut c), Axis::FollowingSibling | Axis::PrecedingSibling) => {
+                    c.pop();
+                    c.push(idx);
+                    Some(c)
+                }
+                _ => None,
+            };
+            if matches!(
+                step.axis,
+                Axis::Descendant | Axis::DescendantOrSelf | Axis::Ancestor
+            ) && idx > 0
+            {
+                // Overlapping subtree scans below a join can duplicate nodes.
+                dedup_needed = true;
+            }
+            anchor = Anchor::Alias(idx);
+        }
+        let last = format!("t{}", steps.len() - 1);
+        let distinct = if dedup_needed { "DISTINCT " } else { "" };
+        let (order_by, ordered) = match self.enc {
+            Encoding::Global => (format!(" ORDER BY {last}.pos"), true),
+            Encoding::Dewey => (format!(" ORDER BY {last}.key"), true),
+            Encoding::Local => match (&chain, first) {
+                (Some(aliases), true) if !aliases.is_empty() => {
+                    let keys: Vec<String> =
+                        aliases.iter().map(|i| format!("t{i}.ord")).collect();
+                    (format!(" ORDER BY {}", keys.join(", ")), true)
+                }
+                _ => (String::new(), false),
+            },
+        };
+        let text = format!(
+            "SELECT {distinct}{} FROM {} WHERE {}{}",
+            select_list(self.enc, &last),
+            sql.from.join(", "),
+            sql.where_sql,
+            order_by,
+        );
+        // Execute.
+        let mut out = Vec::new();
+        match ctx {
+            None => {
+                let params = self.bind(&sql.params, None)?;
+                for row in self.db.query(&text, &params)? {
+                    out.push(decode_node_row(self.enc, self.doc, &row)?);
+                }
+            }
+            Some(ctx_nodes) => {
+                // Sibling axes of an attribute context are empty by
+                // definition; skip those context nodes.
+                let skip_attr_ctx = matches!(
+                    steps[0].axis,
+                    Axis::FollowingSibling | Axis::PrecedingSibling
+                );
+                for c in &ctx_nodes {
+                    if skip_attr_ctx && c.kind == KIND_ATTR {
+                        continue;
+                    }
+                    let params = self.bind(&sql.params, Some(c))?;
+                    for row in self.db.query(&text, &params)? {
+                        out.push(decode_node_row(self.enc, self.doc, &row)?);
+                    }
+                }
+            }
+        }
+        Ok((out, ordered))
+    }
+
+    fn bind(&self, slots: &[Slot], ctx: Option<&XNode>) -> StoreResult<Vec<Value>> {
+        slots
+            .iter()
+            .map(|s| match s {
+                Slot::Fixed(v) => Ok(v.clone()),
+                Slot::Ctx(f) => {
+                    let node = ctx.ok_or_else(|| {
+                        StoreError::Unsupported("context parameter without context".into())
+                    })?;
+                    Ok(f.extract(node))
+                }
+            })
+            .collect()
+    }
+
+    /// Structural + node-test conditions for one step.
+    fn gen_step(
+        &self,
+        sql: &mut Sql,
+        alias: &str,
+        anchor: &Anchor,
+        step: &Step,
+    ) -> StoreResult<()> {
+        self.gen_axis(sql, alias, anchor, step.axis)?;
+        sql.and();
+        self.gen_test(sql, alias, step.axis, &step.test);
+        Ok(())
+    }
+
+    /// Renders an anchor field reference: either the alias column or a
+    /// context parameter.
+    fn anchor_ref(&self, sql: &mut Sql, anchor: &Anchor, col: &str, field: CtxField) {
+        match anchor {
+            Anchor::Alias(i) => sql.raw(&format!("t{i}.{col}")),
+            Anchor::Ctx => sql.param(Slot::Ctx(field)),
+            Anchor::Document => unreachable!("document anchors are handled per axis"),
+        }
+    }
+
+    fn gen_axis(&self, sql: &mut Sql, t: &str, anchor: &Anchor, axis: Axis) -> StoreResult<()> {
+        use Encoding::*;
+        let enc = self.enc;
+        // Document-anchored axes first.
+        if matches!(anchor, Anchor::Document) {
+            match axis {
+                Axis::Child | Axis::SelfAxis => {
+                    // The root element.
+                    sql.and();
+                    match enc {
+                        Global => {
+                            sql.raw(&format!("{t}.parent_pos = "));
+                            sql.fixed(Value::Int(NO_PARENT));
+                        }
+                        Local => {
+                            sql.raw(&format!("{t}.parent_id = "));
+                            sql.fixed(Value::Int(NO_PARENT));
+                        }
+                        Dewey => {
+                            sql.raw(&format!("{t}.key = "));
+                            sql.fixed(Value::Bytes(DeweyKey::root().to_bytes()));
+                        }
+                    }
+                    return Ok(());
+                }
+                Axis::Descendant | Axis::DescendantOrSelf => {
+                    // Every node of the document; the doc filter suffices.
+                    return Ok(());
+                }
+                _ => {
+                    return Err(StoreError::Unsupported(format!(
+                        "axis {} on the document root",
+                        axis.name()
+                    )))
+                }
+            }
+        }
+        sql.and();
+        match (enc, axis) {
+            (Global, Axis::Child) | (Global, Axis::Attribute) => {
+                sql.raw(&format!("{t}.parent_pos = "));
+                self.anchor_ref(sql, anchor, "pos", CtxField::GPos);
+            }
+            (Global, Axis::Descendant) => {
+                sql.raw(&format!("{t}.pos > "));
+                self.anchor_ref(sql, anchor, "pos", CtxField::GPos);
+                sql.raw(&format!(" AND {t}.pos <= "));
+                self.anchor_ref(sql, anchor, "desc_max", CtxField::GDescMax);
+            }
+            (Global, Axis::DescendantOrSelf) => {
+                sql.raw(&format!("{t}.pos >= "));
+                self.anchor_ref(sql, anchor, "pos", CtxField::GPos);
+                sql.raw(&format!(" AND {t}.pos <= "));
+                self.anchor_ref(sql, anchor, "desc_max", CtxField::GDescMax);
+            }
+            (Global, Axis::SelfAxis) => {
+                sql.raw(&format!("{t}.pos = "));
+                self.anchor_ref(sql, anchor, "pos", CtxField::GPos);
+            }
+            (Global, Axis::Parent) => {
+                sql.raw(&format!("{t}.pos = "));
+                self.anchor_ref(sql, anchor, "parent_pos", CtxField::GParent);
+            }
+            (Global, Axis::FollowingSibling) => {
+                self.sibling_guard(sql, anchor);
+                sql.raw(&format!("{t}.parent_pos = "));
+                self.anchor_ref(sql, anchor, "parent_pos", CtxField::GParent);
+                sql.raw(&format!(" AND {t}.pos > "));
+                self.anchor_ref(sql, anchor, "pos", CtxField::GPos);
+            }
+            (Global, Axis::PrecedingSibling) => {
+                self.sibling_guard(sql, anchor);
+                sql.raw(&format!("{t}.parent_pos = "));
+                self.anchor_ref(sql, anchor, "parent_pos", CtxField::GParent);
+                sql.raw(&format!(" AND {t}.pos < "));
+                self.anchor_ref(sql, anchor, "pos", CtxField::GPos);
+            }
+            (Global, Axis::Following) => {
+                // Everything after the context's subtree: one open interval.
+                sql.raw(&format!("{t}.pos > "));
+                self.anchor_ref(sql, anchor, "desc_max", CtxField::GDescMax);
+            }
+            (Global, Axis::Preceding) => {
+                // Before the context, excluding ancestors (whose intervals
+                // contain the context position).
+                sql.raw(&format!("{t}.pos < "));
+                self.anchor_ref(sql, anchor, "pos", CtxField::GPos);
+                sql.raw(&format!(" AND {t}.desc_max < "));
+                self.anchor_ref(sql, anchor, "pos", CtxField::GPos);
+            }
+            (Global, Axis::Ancestor) => {
+                // Interval containment: the elegant Global translation.
+                sql.raw(&format!("{t}.pos < "));
+                self.anchor_ref(sql, anchor, "pos", CtxField::GPos);
+                sql.raw(&format!(" AND {t}.desc_max >= "));
+                self.anchor_ref(sql, anchor, "pos", CtxField::GPos);
+            }
+            (Local, Axis::Child) | (Local, Axis::Attribute) => {
+                sql.raw(&format!("{t}.parent_id = "));
+                self.anchor_ref(sql, anchor, "id", CtxField::LId);
+            }
+            (Local, Axis::SelfAxis) => {
+                sql.raw(&format!("{t}.id = "));
+                self.anchor_ref(sql, anchor, "id", CtxField::LId);
+            }
+            (Local, Axis::Parent) => {
+                sql.raw(&format!("{t}.id = "));
+                self.anchor_ref(sql, anchor, "parent_id", CtxField::LParent);
+            }
+            (Local, Axis::FollowingSibling) => {
+                self.sibling_guard(sql, anchor);
+                sql.raw(&format!("{t}.parent_id = "));
+                self.anchor_ref(sql, anchor, "parent_id", CtxField::LParent);
+                sql.raw(&format!(" AND {t}.ord > "));
+                self.anchor_ref(sql, anchor, "ord", CtxField::LOrd);
+            }
+            (Local, Axis::PrecedingSibling) => {
+                self.sibling_guard(sql, anchor);
+                sql.raw(&format!("{t}.parent_id = "));
+                self.anchor_ref(sql, anchor, "parent_id", CtxField::LParent);
+                sql.raw(&format!(" AND {t}.ord < "));
+                self.anchor_ref(sql, anchor, "ord", CtxField::LOrd);
+            }
+            (Dewey, Axis::Child) | (Dewey, Axis::Attribute) => {
+                sql.raw(&format!("{t}.parent = "));
+                self.anchor_ref(sql, anchor, "key", CtxField::DKey);
+            }
+            (Dewey, Axis::SelfAxis) => {
+                sql.raw(&format!("{t}.key = "));
+                self.anchor_ref(sql, anchor, "key", CtxField::DKey);
+            }
+            (Dewey, Axis::Parent) => {
+                sql.raw(&format!("{t}.key = "));
+                self.anchor_ref(sql, anchor, "parent", CtxField::DParent);
+            }
+            (Dewey, Axis::FollowingSibling) => {
+                self.sibling_guard(sql, anchor);
+                sql.raw(&format!("{t}.parent = "));
+                self.anchor_ref(sql, anchor, "parent", CtxField::DParent);
+                sql.raw(&format!(" AND {t}.key > "));
+                self.anchor_ref(sql, anchor, "key", CtxField::DKey);
+            }
+            (Dewey, Axis::PrecedingSibling) => {
+                self.sibling_guard(sql, anchor);
+                sql.raw(&format!("{t}.parent = "));
+                self.anchor_ref(sql, anchor, "parent", CtxField::DParent);
+                sql.raw(&format!(" AND {t}.key < "));
+                self.anchor_ref(sql, anchor, "key", CtxField::DKey);
+            }
+            (enc, axis) => {
+                return Err(StoreError::Unsupported(format!(
+                    "axis {} in a SQL segment under the {enc} encoding",
+                    axis.name()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Sibling axes are empty for attribute context nodes; when the anchor
+    /// is an in-statement alias the guard must be part of the SQL. (Ctx
+    /// anchors are guarded in the driver loop instead.)
+    fn sibling_guard(&self, sql: &mut Sql, anchor: &Anchor) {
+        if let Anchor::Alias(i) = anchor {
+            sql.raw(&format!("t{i}.kind <> "));
+            sql.fixed(Value::Int(KIND_ATTR));
+            sql.raw(" AND ");
+        }
+    }
+
+    /// Node-test condition.
+    fn gen_test(&self, sql: &mut Sql, t: &str, axis: Axis, test: &NodeTest) {
+        match test {
+            NodeTest::Node => {
+                if matches!(axis, Axis::Child | Axis::FollowingSibling | Axis::PrecedingSibling) {
+                    sql.raw(&format!("{t}.kind <> "));
+                    sql.fixed(Value::Int(KIND_ATTR));
+                } else if axis == Axis::Attribute {
+                    sql.raw(&format!("{t}.kind = "));
+                    sql.fixed(Value::Int(KIND_ATTR));
+                } else {
+                    // Always-true placeholder keeps the conjunction simple.
+                    sql.raw(&format!("{t}.kind >= "));
+                    sql.fixed(Value::Int(0));
+                }
+            }
+            NodeTest::Text => {
+                sql.raw(&format!("{t}.kind = "));
+                sql.fixed(Value::Int(KIND_TEXT));
+            }
+            NodeTest::Any => {
+                let kind = if axis == Axis::Attribute {
+                    KIND_ATTR
+                } else {
+                    KIND_ELEMENT
+                };
+                sql.raw(&format!("{t}.kind = "));
+                sql.fixed(Value::Int(kind));
+            }
+            NodeTest::Name(name) => {
+                let kind = if axis == Axis::Attribute {
+                    KIND_ATTR
+                } else {
+                    KIND_ELEMENT
+                };
+                sql.raw(&format!("{t}.kind = "));
+                sql.fixed(Value::Int(kind));
+                sql.raw(&format!(" AND {t}.tag = "));
+                sql.fixed(Value::text(name.clone()));
+            }
+        }
+    }
+
+    // =================================================================
+    // Predicates
+    // =================================================================
+
+    fn gen_pred(
+        &self,
+        sql: &mut Sql,
+        t: &str,
+        anchor: &Anchor,
+        step: &Step,
+        pred: &Pred,
+    ) -> StoreResult<()> {
+        match pred {
+            Pred::And(l, r) => {
+                sql.raw("(");
+                self.gen_pred(sql, t, anchor, step, l)?;
+                sql.raw(" AND ");
+                self.gen_pred(sql, t, anchor, step, r)?;
+                sql.raw(")");
+            }
+            Pred::Or(l, r) => {
+                sql.raw("(");
+                self.gen_pred(sql, t, anchor, step, l)?;
+                sql.raw(" OR ");
+                self.gen_pred(sql, t, anchor, step, r)?;
+                sql.raw(")");
+            }
+            Pred::Not(p) => {
+                sql.raw("NOT (");
+                self.gen_pred(sql, t, anchor, step, p)?;
+                sql.raw(")");
+            }
+            Pred::Position(op, k) => {
+                // position() op k  ⇔  |preceding candidates| op (k - 1).
+                sql.raw("(");
+                self.gen_candidate_count(sql, t, anchor, step, CountSide::Preceding)?;
+                sql.raw(&format!(") {} ", op.sql()));
+                sql.fixed(Value::Int(*k as i64 - 1));
+            }
+            Pred::Last { offset } => {
+                // position() = last() - offset ⇔ |following candidates| = offset.
+                sql.raw("(");
+                self.gen_candidate_count(sql, t, anchor, step, CountSide::Following)?;
+                sql.raw(") = ");
+                sql.fixed(Value::Int(*offset as i64));
+            }
+            Pred::Exists(path) => {
+                self.gen_exists(sql, t, path, None)?;
+            }
+            Pred::Compare { path, op, value } => {
+                if path.is_empty() {
+                    // Self value: the node's own value, or — for elements —
+                    // an immediate text child's value.
+                    sql.raw(&format!("({t}.value {} ", op.sql()));
+                    sql.fixed(Value::text(value.clone()));
+                    sql.raw(" OR ");
+                    self.gen_exists(sql, t, &[SimpleStep::Text], Some((*op, value)))?;
+                    sql.raw(")");
+                } else {
+                    self.gen_exists(sql, t, path, Some((*op, value)))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits the correlated `COUNT(*)` subquery counting step candidates on
+    /// the requested side of `t` in axis order.
+    fn gen_candidate_count(
+        &self,
+        sql: &mut Sql,
+        t: &str,
+        anchor: &Anchor,
+        step: &Step,
+        side: CountSide,
+    ) -> StoreResult<()> {
+        let y = sql.fresh_sub();
+        sql.raw(&format!(
+            "SELECT COUNT(*) FROM {} {y} WHERE {y}.doc = {t}.doc AND ",
+            sql.table()
+        ));
+        let enc = self.enc;
+        // Order columns per encoding.
+        let (parent_col, order_col) = match enc {
+            Encoding::Global => ("parent_pos", "pos"),
+            Encoding::Local => ("parent_id", "ord"),
+            Encoding::Dewey => ("parent", "key"),
+        };
+        // `before` in axis order: reverse axes flip the order column.
+        let (before_op, after_op) = if step.axis.is_reverse() {
+            (">", "<")
+        } else {
+            ("<", ">")
+        };
+        let cmp = match side {
+            CountSide::Preceding => before_op,
+            CountSide::Following => after_op,
+        };
+        match step.axis {
+            Axis::Child | Axis::Attribute => {
+                sql.raw(&format!(
+                    "{y}.{parent_col} = {t}.{parent_col} AND {y}.{order_col} {cmp} {t}.{order_col}"
+                ));
+            }
+            Axis::FollowingSibling | Axis::PrecedingSibling => {
+                sql.raw(&format!(
+                    "{y}.{parent_col} = {t}.{parent_col} AND {y}.{order_col} {cmp} {t}.{order_col}"
+                ));
+                // Candidates start strictly beyond the anchor.
+                let dir = if step.axis == Axis::FollowingSibling {
+                    ">"
+                } else {
+                    "<"
+                };
+                sql.raw(&format!(" AND {y}.{order_col} {dir} "));
+                match enc {
+                    Encoding::Global => self.anchor_ref(sql, anchor, "pos", CtxField::GPos),
+                    Encoding::Local => self.anchor_ref(sql, anchor, "ord", CtxField::LOrd),
+                    Encoding::Dewey => self.anchor_ref(sql, anchor, "key", CtxField::DKey),
+                }
+            }
+            Axis::Descendant | Axis::DescendantOrSelf => {
+                // Document order among the anchor's subtree.
+                match enc {
+                    Encoding::Global => {
+                        sql.raw(&format!("{y}.pos {cmp} {t}.pos"));
+                        if !matches!(anchor, Anchor::Document) {
+                            sql.raw(&format!(" AND {y}.pos > "));
+                            self.anchor_ref(sql, anchor, "pos", CtxField::GPos);
+                            sql.raw(&format!(" AND {y}.pos <= "));
+                            self.anchor_ref(sql, anchor, "desc_max", CtxField::GDescMax);
+                        }
+                    }
+                    Encoding::Dewey if matches!(anchor, Anchor::Document) => {
+                        sql.raw(&format!("{y}.key {cmp} {t}.key"));
+                    }
+                    _ => {
+                        return Err(StoreError::Unsupported(format!(
+                            "positional predicate on the {} axis under the {enc} encoding",
+                            step.axis.name()
+                        )))
+                    }
+                }
+            }
+            Axis::Following if self.enc == Encoding::Global => {
+                // Candidates between the anchor's subtree end and t.
+                sql.raw(&format!("{y}.pos {cmp} {t}.pos AND {y}.pos > "));
+                self.anchor_ref(sql, anchor, "desc_max", CtxField::GDescMax);
+            }
+            _ => {
+                return Err(StoreError::Unsupported(format!(
+                    "positional predicate on the {} axis",
+                    step.axis.name()
+                )))
+            }
+        }
+        sql.raw(" AND ");
+        self.gen_test(sql, &y, step.axis, &step.test);
+        Ok(())
+    }
+
+    /// Emits `EXISTS (SELECT 1 FROM ... chain from t ...)`, optionally with a
+    /// value comparison at the end of the chain.
+    fn gen_exists(
+        &self,
+        sql: &mut Sql,
+        t: &str,
+        path: &[SimpleStep],
+        compare: Option<(CmpOp, &str)>,
+    ) -> StoreResult<()> {
+        // An element's comparison value lives in its text children: when a
+        // comparison targets a Child step, extend the chain with a text step.
+        let mut chain: Vec<SimpleStep> = path.to_vec();
+        if compare.is_some() && matches!(chain.last(), Some(SimpleStep::Child(_))) {
+            chain.push(SimpleStep::Text);
+        }
+        let aliases: Vec<String> = (0..chain.len()).map(|_| sql.fresh_sub()).collect();
+        sql.raw("EXISTS (SELECT 1 FROM ");
+        let froms: Vec<String> = aliases
+            .iter()
+            .map(|a| format!("{} {a}", sql.table()))
+            .collect();
+        sql.raw(&froms.join(", "));
+        sql.raw(" WHERE ");
+        let mut prev = t.to_string();
+        for (i, step) in chain.iter().enumerate() {
+            let a = &aliases[i];
+            if i > 0 {
+                sql.raw(" AND ");
+            }
+            sql.raw(&format!("{a}.doc = {prev}.doc AND "));
+            // Parent linkage.
+            match self.enc {
+                Encoding::Global => sql.raw(&format!("{a}.parent_pos = {prev}.pos")),
+                Encoding::Local => sql.raw(&format!("{a}.parent_id = {prev}.id")),
+                Encoding::Dewey => sql.raw(&format!("{a}.parent = {prev}.key")),
+            }
+            sql.raw(" AND ");
+            match step {
+                SimpleStep::Child(name) => {
+                    sql.raw(&format!("{a}.kind = "));
+                    sql.fixed(Value::Int(KIND_ELEMENT));
+                    if let Some(n) = name {
+                        sql.raw(&format!(" AND {a}.tag = "));
+                        sql.fixed(Value::text(n.clone()));
+                    }
+                }
+                SimpleStep::Attr(name) => {
+                    sql.raw(&format!("{a}.kind = "));
+                    sql.fixed(Value::Int(KIND_ATTR));
+                    if let Some(n) = name {
+                        sql.raw(&format!(" AND {a}.tag = "));
+                        sql.fixed(Value::text(n.clone()));
+                    }
+                }
+                SimpleStep::Text => {
+                    sql.raw(&format!("{a}.kind = "));
+                    sql.fixed(Value::Int(KIND_TEXT));
+                }
+            }
+            prev = a.clone();
+        }
+        if let Some((op, value)) = compare {
+            sql.raw(&format!(" AND {prev}.value {} ", op.sql()));
+            sql.fixed(Value::text(value.to_string()));
+        }
+        sql.raw(")");
+        Ok(())
+    }
+
+    // =================================================================
+    // Mediator steps
+    // =================================================================
+
+    /// Evaluates a break step: per context node, fetch the axis candidates
+    /// matching the node test in axis order (one indexed SQL statement per
+    /// context or per ancestor), then apply predicates in the mediator.
+    fn mediator_step(
+        &mut self,
+        ctx: Option<Vec<XNode>>,
+        step: &Step,
+        first: bool,
+    ) -> StoreResult<Vec<XNode>> {
+        let ctx_nodes = match ctx {
+            Some(nodes) => nodes,
+            None => {
+                if first {
+                    vec![self.fetch_root()?]
+                } else {
+                    return Ok(Vec::new());
+                }
+            }
+        };
+        let mut out = Vec::new();
+        for c in &ctx_nodes {
+            let candidates = match step.axis {
+                Axis::Descendant | Axis::DescendantOrSelf => {
+                    let include_self = step.axis == Axis::DescendantOrSelf || first;
+                    self.axis_descendants(c, include_self, step)?
+                }
+                Axis::Ancestor => self.axis_ancestors(c, step)?,
+                Axis::Child | Axis::Attribute if first => {
+                    // Child axis of the document node selects the root
+                    // element itself.
+                    if step.axis == Axis::Child {
+                        std::iter::once(c.clone())
+                            .filter(|n| self.test_matches(n, step))
+                            .collect()
+                    } else {
+                        crate::store::fetch_children(self.db, self.enc, self.doc, c)?
+                            .into_iter()
+                            .filter(|n| self.test_matches(n, step))
+                            .collect()
+                    }
+                }
+                Axis::Child | Axis::Attribute => {
+                    crate::store::fetch_children(self.db, self.enc, self.doc, c)?
+                        .into_iter()
+                        .filter(|n| self.test_matches(n, step))
+                        .collect()
+                }
+                Axis::FollowingSibling | Axis::PrecedingSibling => {
+                    if first || c.kind == KIND_ATTR {
+                        Vec::new()
+                    } else {
+                        self.axis_siblings(c, step)?
+                    }
+                }
+                Axis::SelfAxis => std::iter::once(c.clone())
+                    .filter(|n| self.test_matches(n, step))
+                    .collect(),
+                Axis::Following => self.axis_following(c, step)?,
+                Axis::Preceding => self.axis_preceding(c, step)?,
+                Axis::Parent => {
+                    return Err(StoreError::Unsupported(
+                        "positional predicate on the parent axis".into(),
+                    ))
+                }
+            };
+            let size = candidates.len();
+            for (i, cand) in candidates.into_iter().enumerate() {
+                let mut keep = true;
+                for pred in &step.preds {
+                    if !self.eval_pred_mediator(&cand, pred, i + 1, size)? {
+                        keep = false;
+                        break;
+                    }
+                }
+                if keep {
+                    out.push(cand);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn fetch_root(&mut self) -> StoreResult<XNode> {
+        let enc = self.enc;
+        let (sql, params) = match enc {
+            Encoding::Dewey => (
+                format!(
+                    "SELECT {} FROM dewey_node n WHERE n.doc = ? AND n.key = ?",
+                    select_list(enc, "n")
+                ),
+                vec![Value::Int(self.doc), Value::Bytes(DeweyKey::root().to_bytes())],
+            ),
+            Encoding::Local => (
+                format!(
+                    "SELECT {} FROM local_node n WHERE n.doc = ? AND n.parent_id = ?",
+                    select_list(enc, "n")
+                ),
+                vec![Value::Int(self.doc), Value::Int(NO_PARENT)],
+            ),
+            Encoding::Global => (
+                format!(
+                    "SELECT {} FROM global_node n WHERE n.doc = ? AND n.parent_pos = ?",
+                    select_list(enc, "n")
+                ),
+                vec![Value::Int(self.doc), Value::Int(NO_PARENT)],
+            ),
+        };
+        let rows = self.db.query(&sql, &params)?;
+        let row = rows
+            .first()
+            .ok_or_else(|| StoreError::BadNode(format!("no document {}", self.doc)))?;
+        decode_node_row(enc, self.doc, row)
+    }
+
+    /// Candidates of a descendant(-or-self) break step, in document order.
+    fn axis_descendants(
+        &mut self,
+        ctx: &XNode,
+        include_self: bool,
+        step: &Step,
+    ) -> StoreResult<Vec<XNode>> {
+        match &ctx.node {
+            NodeRef::Dewey { key } => {
+                // One indexed range scan per context: Dewey's strength.
+                let mut sql = Sql::new(self.enc);
+                sql.raw("n.doc = ");
+                sql.fixed(Value::Int(self.doc));
+                sql.raw(if include_self { " AND n.key >= " } else { " AND n.key > " });
+                sql.fixed(Value::Bytes(key.to_bytes()));
+                sql.raw(" AND n.key < ");
+                sql.fixed(Value::Bytes(key.subtree_upper_bound()));
+                sql.raw(" AND ");
+                self.gen_test(&mut sql, "n", step.axis, &step.test);
+                let text = format!(
+                    "SELECT {} FROM dewey_node n WHERE {} ORDER BY n.key",
+                    select_list(self.enc, "n"),
+                    sql.where_sql
+                );
+                let params = self.bind(&sql.params, None)?;
+                let rows = self.db.query(&text, &params)?;
+                rows.iter()
+                    .map(|r| decode_node_row(self.enc, self.doc, r))
+                    .collect()
+            }
+            NodeRef::Local { .. } => {
+                // DFS of per-node child queries: Local's weakness, priced
+                // honestly as one indexed query per visited node.
+                let mut out = Vec::new();
+                let mut stack = vec![(ctx.clone(), include_self)];
+                while let Some((node, emit)) = stack.pop() {
+                    if emit && self.test_matches(&node, step) {
+                        out.push(node.clone());
+                    }
+                    let children = self.children_of(&node)?;
+                    for child in children.into_iter().rev() {
+                        stack.push((child, true));
+                    }
+                }
+                Ok(out)
+            }
+            NodeRef::Global { pos, desc_max, .. } => {
+                // One interval scan (reached under MediatorSlice only).
+                let op = if include_self { ">=" } else { ">" };
+                let mut sql = Sql::new(self.enc);
+                sql.raw("n.doc = ");
+                sql.fixed(Value::Int(self.doc));
+                sql.raw(&format!(" AND n.pos {op} "));
+                sql.fixed(Value::Int(*pos));
+                sql.raw(" AND n.pos <= ");
+                sql.fixed(Value::Int(*desc_max));
+                sql.raw(" AND ");
+                self.gen_test(&mut sql, "n", step.axis, &step.test);
+                let text = format!(
+                    "SELECT {} FROM global_node n WHERE {} ORDER BY n.pos",
+                    select_list(self.enc, "n"),
+                    sql.where_sql
+                );
+                let params = self.bind(&sql.params, None)?;
+                let rows = self.db.query(&text, &params)?;
+                rows.iter()
+                    .map(|r| decode_node_row(self.enc, self.doc, r))
+                    .collect()
+            }
+        }
+    }
+
+    /// Candidates of an ancestor break step, nearest-first.
+    fn axis_ancestors(&mut self, ctx: &XNode, step: &Step) -> StoreResult<Vec<XNode>> {
+        let mut out = Vec::new();
+        match &ctx.node {
+            NodeRef::Dewey { key } => {
+                let mut cur = key.parent();
+                while let Some(k) = cur {
+                    let rows = self.db.query(
+                        &format!(
+                            "SELECT {} FROM dewey_node n WHERE n.doc = ? AND n.key = ?",
+                            select_list(self.enc, "n")
+                        ),
+                        &[Value::Int(self.doc), Value::Bytes(k.to_bytes())],
+                    )?;
+                    if let Some(row) = rows.first() {
+                        let node = decode_node_row(self.enc, self.doc, row)?;
+                        if self.test_matches(&node, step) {
+                            out.push(node);
+                        }
+                    }
+                    cur = k.parent();
+                }
+            }
+            NodeRef::Local { parent, .. } => {
+                let mut cur = *parent;
+                while cur != NO_PARENT {
+                    let rows = self.db.query(
+                        &format!(
+                            "SELECT {} FROM local_node n WHERE n.doc = ? AND n.id = ?",
+                            select_list(self.enc, "n")
+                        ),
+                        &[Value::Int(self.doc), Value::Int(cur)],
+                    )?;
+                    let Some(row) = rows.first() else { break };
+                    let node = decode_node_row(self.enc, self.doc, row)?;
+                    let NodeRef::Local { parent, .. } = &node.node else {
+                        unreachable!()
+                    };
+                    let next = *parent;
+                    if self.test_matches(&node, step) {
+                        out.push(node);
+                    }
+                    cur = next;
+                }
+            }
+            NodeRef::Global { parent, .. } => {
+                // Climb parent positions (only reached for positional
+                // predicates, which need nearest-first candidate order).
+                let mut cur = *parent;
+                while cur != NO_PARENT {
+                    let rows = self.db.query(
+                        &format!(
+                            "SELECT {} FROM global_node n WHERE n.doc = ? AND n.pos = ?",
+                            select_list(self.enc, "n")
+                        ),
+                        &[Value::Int(self.doc), Value::Int(cur)],
+                    )?;
+                    let Some(row) = rows.first() else { break };
+                    let node = decode_node_row(self.enc, self.doc, row)?;
+                    let NodeRef::Global { parent, .. } = &node.node else {
+                        unreachable!()
+                    };
+                    let next = *parent;
+                    if self.test_matches(&node, step) {
+                        out.push(node);
+                    }
+                    cur = next;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `following` axis candidates in document order.
+    ///
+    /// * Dewey: one range scan from the subtree's key upper bound — the key
+    ///   algebra makes "everything after my subtree" a single comparison.
+    /// * Global (MediatorSlice only): one range scan past `desc_max`.
+    /// * Local: climb the ancestor chain; at each level take the following
+    ///   siblings and their whole subtrees (per-node child queries).
+    fn axis_following(&mut self, ctx: &XNode, step: &Step) -> StoreResult<Vec<XNode>> {
+        match &ctx.node {
+            NodeRef::Dewey { key } => {
+                let rows = self.db.query(
+                    &format!(
+                        "SELECT {} FROM dewey_node n \
+                         WHERE n.doc = ? AND n.key >= ? ORDER BY n.key",
+                        select_list(self.enc, "n")
+                    ),
+                    &[Value::Int(self.doc), Value::Bytes(key.subtree_upper_bound())],
+                )?;
+                Ok(rows
+                    .iter()
+                    .map(|r| decode_node_row(self.enc, self.doc, r))
+                    .collect::<StoreResult<Vec<_>>>()?
+                    .into_iter()
+                    .filter(|n| self.test_matches(n, step))
+                    .collect())
+            }
+            NodeRef::Global { desc_max, .. } => {
+                let rows = self.db.query(
+                    &format!(
+                        "SELECT {} FROM global_node n \
+                         WHERE n.doc = ? AND n.pos > ? ORDER BY n.pos",
+                        select_list(self.enc, "n")
+                    ),
+                    &[Value::Int(self.doc), Value::Int(*desc_max)],
+                )?;
+                Ok(rows
+                    .iter()
+                    .map(|r| decode_node_row(self.enc, self.doc, r))
+                    .collect::<StoreResult<Vec<_>>>()?
+                    .into_iter()
+                    .filter(|n| self.test_matches(n, step))
+                    .collect())
+            }
+            NodeRef::Local { .. } => {
+                let mut out = Vec::new();
+                let mut cur = ctx.clone();
+                loop {
+                    let sib_step = Step {
+                        axis: Axis::FollowingSibling,
+                        test: NodeTest::Node,
+                        preds: Vec::new(),
+                    };
+                    if cur.kind != KIND_ATTR {
+                        for sib in self.axis_siblings(&cur, &sib_step)? {
+                            if self.test_matches(&sib, step) {
+                                out.push(sib.clone());
+                            }
+                            for d in crate::reconstruct::fetch_subtree(
+                                self.db, self.enc, self.doc, &sib,
+                            )? {
+                                if self.test_matches(&d, step) {
+                                    out.push(d);
+                                }
+                            }
+                        }
+                    }
+                    let NodeRef::Local { parent, .. } = &cur.node else {
+                        unreachable!()
+                    };
+                    if *parent == NO_PARENT {
+                        break;
+                    }
+                    let rows = self.db.query(
+                        &format!(
+                            "SELECT {} FROM local_node n WHERE n.doc = ? AND n.id = ?",
+                            select_list(self.enc, "n")
+                        ),
+                        &[Value::Int(self.doc), Value::Int(*parent)],
+                    )?;
+                    let Some(row) = rows.first() else { break };
+                    cur = decode_node_row(self.enc, self.doc, row)?;
+                }
+                // Bottom-up climb appends nearest levels first, which *is*
+                // document order for the following axis.
+                Ok(out)
+            }
+        }
+    }
+
+    /// `preceding` axis candidates in axis order (nearest first = reverse
+    /// document order).
+    fn axis_preceding(&mut self, ctx: &XNode, step: &Step) -> StoreResult<Vec<XNode>> {
+        match &ctx.node {
+            NodeRef::Dewey { key } => {
+                // One reverse range scan below the context key; ancestors
+                // (the key's proper prefixes) are filtered out here.
+                let rows = self.db.query(
+                    &format!(
+                        "SELECT {} FROM dewey_node n \
+                         WHERE n.doc = ? AND n.key < ? ORDER BY n.key DESC",
+                        select_list(self.enc, "n")
+                    ),
+                    &[Value::Int(self.doc), Value::Bytes(key.to_bytes())],
+                )?;
+                Ok(rows
+                    .iter()
+                    .map(|r| decode_node_row(self.enc, self.doc, r))
+                    .collect::<StoreResult<Vec<_>>>()?
+                    .into_iter()
+                    .filter(|n| {
+                        let NodeRef::Dewey { key: k } = &n.node else {
+                            unreachable!()
+                        };
+                        !k.is_prefix_of(key) && self.test_matches(n, step)
+                    })
+                    .collect())
+            }
+            NodeRef::Global { pos, .. } => {
+                let rows = self.db.query(
+                    &format!(
+                        "SELECT {} FROM global_node n \
+                         WHERE n.doc = ? AND n.pos < ? AND n.desc_max < ? \
+                         ORDER BY n.pos DESC",
+                        select_list(self.enc, "n")
+                    ),
+                    &[Value::Int(self.doc), Value::Int(*pos), Value::Int(*pos)],
+                )?;
+                Ok(rows
+                    .iter()
+                    .map(|r| decode_node_row(self.enc, self.doc, r))
+                    .collect::<StoreResult<Vec<_>>>()?
+                    .into_iter()
+                    .filter(|n| self.test_matches(n, step))
+                    .collect())
+            }
+            NodeRef::Local { .. } => {
+                let mut out = Vec::new();
+                let mut cur = ctx.clone();
+                loop {
+                    let sib_step = Step {
+                        axis: Axis::PrecedingSibling,
+                        test: NodeTest::Node,
+                        preds: Vec::new(),
+                    };
+                    if cur.kind != KIND_ATTR {
+                        // Nearest-first siblings; within each sibling, the
+                        // subtree in reverse document order.
+                        for sib in self.axis_siblings(&cur, &sib_step)? {
+                            let mut chunk = vec![sib.clone()];
+                            chunk.extend(crate::reconstruct::fetch_subtree(
+                                self.db, self.enc, self.doc, &sib,
+                            )?);
+                            for d in chunk.into_iter().rev() {
+                                if self.test_matches(&d, step) {
+                                    out.push(d);
+                                }
+                            }
+                        }
+                    }
+                    let NodeRef::Local { parent, .. } = &cur.node else {
+                        unreachable!()
+                    };
+                    if *parent == NO_PARENT {
+                        break;
+                    }
+                    let rows = self.db.query(
+                        &format!(
+                            "SELECT {} FROM local_node n WHERE n.doc = ? AND n.id = ?",
+                            select_list(self.enc, "n")
+                        ),
+                        &[Value::Int(self.doc), Value::Int(*parent)],
+                    )?;
+                    let Some(row) = rows.first() else { break };
+                    cur = decode_node_row(self.enc, self.doc, row)?;
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Sibling-axis candidates of `ctx`, matching the step's node test, in
+    /// axis order (nearest-first for preceding-sibling). One indexed scan.
+    fn axis_siblings(&mut self, ctx: &XNode, step: &Step) -> StoreResult<Vec<XNode>> {
+        let following = step.axis == Axis::FollowingSibling;
+        let (cmp, order) = if following { (">", "") } else { ("<", " DESC") };
+        let (sql, params) = match &ctx.node {
+            NodeRef::Global { pos, parent, .. } => (
+                format!(
+                    "SELECT {} FROM global_node n WHERE n.doc = ? AND n.parent_pos = ? \
+                     AND n.pos {cmp} ? ORDER BY n.pos{order}",
+                    select_list(self.enc, "n")
+                ),
+                vec![Value::Int(self.doc), Value::Int(*parent), Value::Int(*pos)],
+            ),
+            NodeRef::Local { parent, ord, .. } => (
+                format!(
+                    "SELECT {} FROM local_node n WHERE n.doc = ? AND n.parent_id = ? \
+                     AND n.ord {cmp} ? ORDER BY n.ord{order}",
+                    select_list(self.enc, "n")
+                ),
+                vec![Value::Int(self.doc), Value::Int(*parent), Value::Int(*ord)],
+            ),
+            NodeRef::Dewey { key } => (
+                format!(
+                    "SELECT {} FROM dewey_node n WHERE n.doc = ? AND n.parent = ? \
+                     AND n.key {cmp} ? ORDER BY n.key{order}",
+                    select_list(self.enc, "n")
+                ),
+                vec![
+                    Value::Int(self.doc),
+                    Value::Bytes(key.parent().map(|p| p.to_bytes()).unwrap_or_default()),
+                    Value::Bytes(key.to_bytes()),
+                ],
+            ),
+        };
+        let rows = self.db.query(&sql, &params)?;
+        Ok(rows
+            .iter()
+            .map(|r| decode_node_row(self.enc, self.doc, r))
+            .collect::<StoreResult<Vec<_>>>()?
+            .into_iter()
+            .filter(|n| self.test_matches(n, step))
+            .collect())
+    }
+
+    /// All stored children of a node, in sibling order.
+    fn children_of(&mut self, node: &XNode) -> StoreResult<Vec<XNode>> {
+        let NodeRef::Local { id, .. } = &node.node else {
+            unreachable!("children_of is only used by the Local mediator")
+        };
+        let rows = self.db.query(
+            &format!(
+                "SELECT {} FROM local_node n \
+                 WHERE n.doc = ? AND n.parent_id = ? ORDER BY n.ord",
+                select_list(self.enc, "n")
+            ),
+            &[Value::Int(self.doc), Value::Int(*id)],
+        )?;
+        rows.iter()
+            .map(|r| decode_node_row(self.enc, self.doc, r))
+            .collect()
+    }
+
+    /// Mediator-side node-test check (mirrors [`Translator::gen_test`]).
+    fn test_matches(&self, node: &XNode, step: &Step) -> bool {
+        let on_attr_axis = step.axis == Axis::Attribute;
+        match &step.test {
+            NodeTest::Node => {
+                if matches!(
+                    step.axis,
+                    Axis::Child | Axis::FollowingSibling | Axis::PrecedingSibling
+                ) {
+                    node.kind != KIND_ATTR
+                } else if on_attr_axis {
+                    node.kind == KIND_ATTR
+                } else {
+                    true
+                }
+            }
+            NodeTest::Text => node.kind == KIND_TEXT,
+            NodeTest::Any => {
+                node.kind == if on_attr_axis { KIND_ATTR } else { KIND_ELEMENT }
+            }
+            NodeTest::Name(n) => {
+                let want = if on_attr_axis { KIND_ATTR } else { KIND_ELEMENT };
+                node.kind == want && node.tag.as_deref() == Some(n.as_str())
+            }
+        }
+    }
+
+    /// Mediator-side predicate evaluation: positional arithmetic locally,
+    /// value/existence predicates via one probe SQL statement each.
+    fn eval_pred_mediator(
+        &mut self,
+        node: &XNode,
+        pred: &Pred,
+        position: usize,
+        size: usize,
+    ) -> StoreResult<bool> {
+        match pred {
+            Pred::And(l, r) => Ok(self.eval_pred_mediator(node, l, position, size)?
+                && self.eval_pred_mediator(node, r, position, size)?),
+            Pred::Or(l, r) => Ok(self.eval_pred_mediator(node, l, position, size)?
+                || self.eval_pred_mediator(node, r, position, size)?),
+            Pred::Not(p) => Ok(!self.eval_pred_mediator(node, p, position, size)?),
+            Pred::Position(op, k) => Ok(op.holds((position as u64).cmp(k))),
+            Pred::Last { offset } => Ok(position as u64 + offset == size as u64),
+            Pred::Exists(_) | Pred::Compare { .. } => self.probe_pred(node, pred),
+        }
+    }
+
+    /// Runs `SELECT 1 ... WHERE <identity> AND <pred> LIMIT 1` for a
+    /// value/existence predicate against one node.
+    fn probe_pred(&mut self, node: &XNode, pred: &Pred) -> StoreResult<bool> {
+        let mut sql = Sql::new(self.enc);
+        sql.add_alias("t0");
+        sql.raw("t0.doc = ");
+        sql.fixed(Value::Int(self.doc));
+        sql.raw(" AND ");
+        match &node.node {
+            NodeRef::Global { pos, .. } => {
+                sql.raw("t0.pos = ");
+                sql.fixed(Value::Int(*pos));
+            }
+            NodeRef::Local { id, .. } => {
+                sql.raw("t0.id = ");
+                sql.fixed(Value::Int(*id));
+            }
+            NodeRef::Dewey { key } => {
+                sql.raw("t0.key = ");
+                sql.fixed(Value::Bytes(key.to_bytes()));
+            }
+        }
+        sql.and();
+        // The probe anchors at the node itself; axis/position context is not
+        // available here, which is fine: only Exists/Compare reach probes.
+        let dummy_step = Step {
+            axis: Axis::SelfAxis,
+            test: NodeTest::Node,
+            preds: Vec::new(),
+        };
+        self.gen_pred(&mut sql, "t0", &Anchor::Alias(0), &dummy_step, pred)?;
+        let text = format!(
+            "SELECT 1 FROM {} WHERE {} LIMIT 1",
+            sql.from.join(", "),
+            sql.where_sql
+        );
+        let params = self.bind(&sql.params, None)?;
+        Ok(!self.db.query(&text, &params)?.is_empty())
+    }
+
+    // =================================================================
+    // Final ordering
+    // =================================================================
+
+    /// Sorts the result set into document order and removes duplicates.
+    fn finalize(&mut self, nodes: &mut Vec<XNode>, already_ordered: bool) -> StoreResult<()> {
+        match self.enc {
+            Encoding::Global | Encoding::Dewey => {
+                // The order token *is* the document order.
+                nodes.sort_by_key(|a| a.node.token());
+                nodes.dedup_by(|a, b| a.node.token() == b.node.token());
+            }
+            Encoding::Local => {
+                if already_ordered {
+                    // Single root-anchored segment whose SQL ordered by the
+                    // full ancestor chain; only deduplicate, preserving order.
+                    let mut seen = std::collections::HashSet::new();
+                    nodes.retain(|n| seen.insert(n.node.token()));
+                } else {
+                    // Reconstruct order by climbing parent pointers — the
+                    // Local encoding's documented cost.
+                    let mut memo: HashMap<i64, (i64, i64)> = HashMap::new();
+                    let mut keyed: Vec<(Vec<i64>, XNode)> = Vec::with_capacity(nodes.len());
+                    for n in nodes.drain(..) {
+                        let key = self.local_order_path(&n, &mut memo)?;
+                        keyed.push((key, n));
+                    }
+                    keyed.sort_by(|(a, _), (b, _)| a.cmp(b));
+                    keyed.dedup_by(|(a, _), (b, _)| a == b);
+                    nodes.extend(keyed.into_iter().map(|(_, n)| n));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The root-to-node `ord` path of a Local node, via memoized parent
+    /// lookups.
+    fn local_order_path(
+        &mut self,
+        node: &XNode,
+        memo: &mut HashMap<i64, (i64, i64)>,
+    ) -> StoreResult<Vec<i64>> {
+        let NodeRef::Local { id, parent, ord, .. } = &node.node else {
+            unreachable!()
+        };
+        memo.insert(*id, (*parent, *ord));
+        let mut path = vec![*ord];
+        let mut cur = *parent;
+        while cur != NO_PARENT {
+            let (parent, ord) = match memo.get(&cur) {
+                Some(&e) => e,
+                None => {
+                    let rows = self.db.query(
+                        "SELECT parent_id, ord FROM local_node WHERE doc = ? AND id = ?",
+                        &[Value::Int(self.doc), Value::Int(cur)],
+                    )?;
+                    let row = rows.first().ok_or_else(|| {
+                        StoreError::BadNode(format!("dangling parent id {cur}"))
+                    })?;
+                    let e = (row[0].as_int()?, row[1].as_int()?);
+                    memo.insert(cur, e);
+                    e
+                }
+            };
+            path.push(ord);
+            cur = parent;
+        }
+        path.reverse();
+        // No tie-break needed: sibling `ord`s are unique, so root-to-node
+        // ord paths are unique. (Appending anything non-structural here
+        // would corrupt ancestor-vs-descendant comparisons.)
+        Ok(path)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CountSide {
+    Preceding,
+    Following,
+}
+
+fn pred_positional(p: &Pred) -> bool {
+    match p {
+        Pred::Position(..) | Pred::Last { .. } => true,
+        Pred::And(l, r) | Pred::Or(l, r) => pred_positional(l) || pred_positional(r),
+        Pred::Not(x) => pred_positional(x),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::XmlStore;
+    use ordxml_xml::parse as parse_xml;
+
+    fn store_with(enc: Encoding, xml: &str) -> (XmlStore, i64) {
+        let mut s = XmlStore::new(Database::in_memory(), enc);
+        let d = s.load_document(&parse_xml(xml).unwrap(), "t").unwrap();
+        (s, d)
+    }
+
+    const XML: &str = "<r><a><b>1</b></a><a><b>2</b><b>3</b></a><c/></r>";
+
+    #[test]
+    fn child_steps_run_as_indexed_plans() {
+        for enc in Encoding::all() {
+            let (mut s, d) = store_with(enc, XML);
+            s.db().reset_stats();
+            let hits = s.xpath(d, "/r/a/b").unwrap();
+            assert_eq!(hits.len(), 3, "{enc}");
+            let stats = s.db().total_stats();
+            assert!(stats.index_scans >= 1, "{enc}: {stats:?}");
+            // No full scans: rows read stay near the touched node count.
+            assert!(stats.rows_scanned < 12, "{enc}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn plan_cache_is_shared_across_tags() {
+        // Tags and the document id travel as parameters, so structurally
+        // identical paths share one cached plan (prepared-statement reuse).
+        let (mut s, d) = store_with(Encoding::Global, XML);
+        s.xpath(d, "/r/a").unwrap();
+        s.xpath(d, "/r/c").unwrap(); // same shape, different tag
+        // Both executed; correctness is the observable here (cache size is
+        // internal to the Database), so just verify results differ properly.
+        assert_eq!(s.xpath(d, "/r/a").unwrap().len(), 2);
+        assert_eq!(s.xpath(d, "/r/c").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn break_steps_by_encoding() {
+        let step_desc = Step {
+            axis: Axis::Descendant,
+            test: NodeTest::Any,
+            preds: vec![],
+        };
+        let step_anc = Step {
+            axis: Axis::Ancestor,
+            test: NodeTest::Any,
+            preds: vec![],
+        };
+        let mut db = Database::in_memory();
+        for enc in Encoding::all() {
+            let t = Translator {
+                db: &mut db,
+                enc,
+                doc: 1,
+                strategy: PositionStrategy::CountSubquery,
+            };
+            match enc {
+                Encoding::Global => {
+                    assert!(!t.is_break_step(&step_desc, false));
+                    assert!(!t.is_break_step(&step_anc, false));
+                }
+                Encoding::Local | Encoding::Dewey => {
+                    assert!(t.is_break_step(&step_desc, false));
+                    assert!(!t.is_break_step(&step_desc, true) || enc == Encoding::Local);
+                    assert!(t.is_break_step(&step_anc, true));
+                }
+            }
+        }
+        // Local descendant with a positional predicate breaks even at the
+        // top level (SQL cannot count document order under Local).
+        let step_desc_pos = Step {
+            axis: Axis::Descendant,
+            test: NodeTest::Any,
+            preds: vec![Pred::Position(crate::xpath::CmpOp::Eq, 1)],
+        };
+        let t = Translator {
+            db: &mut db,
+            enc: Encoding::Local,
+            doc: 1,
+            strategy: PositionStrategy::CountSubquery,
+        };
+        assert!(t.is_break_step(&step_desc_pos, true));
+    }
+
+    #[test]
+    fn ancestor_positional_goes_through_the_mediator() {
+        for enc in Encoding::all() {
+            let (mut s, d) = store_with(enc, XML);
+            // Nearest ancestor of each <b> is its <a>.
+            let hits = s.xpath(d, "/r/a/b/ancestor::*[1]").unwrap();
+            assert_eq!(hits.len(), 2, "{enc}");
+            assert!(hits.iter().all(|h| h.tag.as_deref() == Some("a")), "{enc}");
+        }
+    }
+
+    #[test]
+    fn unsupported_forms_error_cleanly() {
+        for enc in Encoding::all() {
+            let (mut s, d) = store_with(enc, XML);
+            // A positional predicate on the parent axis has no translation
+            // under any encoding (and no mediator path).
+            let err = s.xpath(d, "/r/a/b/..[2]");
+            assert!(
+                matches!(err, Err(crate::store::StoreError::Unsupported(_))),
+                "{enc}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_results_are_not_errors() {
+        for enc in Encoding::all() {
+            let (mut s, d) = store_with(enc, XML);
+            assert!(s.xpath(d, "/nope").unwrap().is_empty());
+            assert!(s.xpath(d, "/r/zzz//b").unwrap().is_empty());
+            assert!(s.xpath(d, "/r/a[9]").unwrap().is_empty());
+            assert!(s.xpath(d, "/r/c/following-sibling::*").unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn local_results_are_document_ordered_after_mediator_phases() {
+        // //b under Local goes through the mediator; order must still be
+        // document order.
+        let (mut s, d) = store_with(Encoding::Local, XML);
+        let hits = s.xpath(d, "//b").unwrap();
+        let texts: Vec<String> = hits
+            .iter()
+            .map(|h| s.serialize(d, h).unwrap())
+            .collect();
+        assert_eq!(texts, vec!["<b>1</b>", "<b>2</b>", "<b>3</b>"]);
+    }
+
+    #[test]
+    fn dewey_descendant_is_one_range_scan_per_context() {
+        let (mut s, d) = store_with(Encoding::Dewey, XML);
+        s.db().reset_stats();
+        let hits = s.xpath(d, "/r/a//b").unwrap();
+        assert_eq!(hits.len(), 3);
+        let stats = s.db().total_stats();
+        // 1 scan for /r/a (2 hits) + 1 prefix range per context = 3 total.
+        assert!(
+            stats.index_scans <= 4,
+            "dewey descendant should not climb: {stats:?}"
+        );
+    }
+}

@@ -1,0 +1,808 @@
+//! The XPath subset of the translation layer.
+//!
+//! Location paths with the axes the paper's ordered workload needs —
+//! `child`, `descendant`, `descendant-or-self`, `self`, `parent`,
+//! `attribute`, `following-sibling`, `preceding-sibling`, `ancestor` — plus
+//! the predicate forms that exercise order support:
+//!
+//! * positional: `[4]`, `[position() < 3]`, `[last()]`, `[last() - 1]`
+//! * structural: `[author]`, `[chapter/title]`, `[@id]`
+//! * value: `[. = 'x']`, `[price < '20']`, `[@id = 'i7']`,
+//!   `[author/text() = 'Jane']`
+//! * boolean: `and`, `or`, `not(...)`
+//!
+//! Two documented deviations from XPath 1.0, shared by the naive evaluator
+//! and all three SQL translations so results always agree:
+//!
+//! 1. Value comparisons are *string* comparisons (`<` is lexicographic, not
+//!    numeric).
+//! 2. An element's comparison value is the value of its *immediate* text
+//!    children (existential), not the concatenated string-value of the
+//!    subtree.
+
+use std::fmt;
+
+/// Comparison operators in predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Compares using this operator.
+    pub fn holds(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql())
+    }
+}
+
+/// Axes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// Direct children (attributes excluded).
+    Child,
+    /// All descendants, any depth.
+    Descendant,
+    /// The node itself plus all descendants.
+    DescendantOrSelf,
+    /// The node itself (`.`).
+    SelfAxis,
+    /// The parent node (`..`).
+    Parent,
+    /// The node's attributes (`@`).
+    Attribute,
+    /// Later siblings, in document order.
+    FollowingSibling,
+    /// Earlier siblings, nearest first.
+    PrecedingSibling,
+    /// The ancestor chain, nearest first.
+    Ancestor,
+    /// Everything after the context node in document order, excluding its
+    /// descendants.
+    Following,
+    /// Everything before the context node in document order, excluding its
+    /// ancestors.
+    Preceding,
+}
+
+impl Axis {
+    /// XPath spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::SelfAxis => "self",
+            Axis::Parent => "parent",
+            Axis::Attribute => "attribute",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::PrecedingSibling => "preceding-sibling",
+            Axis::Ancestor => "ancestor",
+            Axis::Following => "following",
+            Axis::Preceding => "preceding",
+        }
+    }
+
+    /// `true` for axes whose natural order is reverse document order
+    /// (position 1 is the *nearest* node).
+    pub fn is_reverse(self) -> bool {
+        matches!(
+            self,
+            Axis::PrecedingSibling | Axis::Ancestor | Axis::Preceding
+        )
+    }
+}
+
+/// Node tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// A name test (`item`). Matches elements on most axes, attributes on
+    /// the attribute axis.
+    Name(String),
+    /// `*`: any element (any attribute on the attribute axis).
+    Any,
+    /// `text()`.
+    Text,
+    /// `node()`: any node kind (used by `.` and `..`).
+    Node,
+}
+
+/// One step of a simple (predicate-free, downward) relative path inside a
+/// predicate: `chapter/title`, `@id`, `author/text()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimpleStep {
+    /// `child::name` (or `*`, with `None`).
+    Child(Option<String>),
+    /// `@name` (or `@*`, with `None`).
+    Attr(Option<String>),
+    /// `text()`.
+    Text,
+}
+
+/// A predicate expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// `a or b`.
+    Or(Box<Pred>, Box<Pred>),
+    /// `a and b`.
+    And(Box<Pred>, Box<Pred>),
+    /// `not(a)`.
+    Not(Box<Pred>),
+    /// `position() op k` (also the `[k]` shorthand with `op = Eq`).
+    Position(CmpOp, u64),
+    /// `last() - offset` (the `[last()]` shorthand has `offset = 0`).
+    Last {
+        /// Distance from the last candidate.
+        offset: u64,
+    },
+    /// Existence of a relative path: `[author]`, `[@id]`, `[a/b/text()]`.
+    Exists(Vec<SimpleStep>),
+    /// Value comparison on a relative path; the empty path is `.` (self).
+    Compare {
+        /// The relative path (empty = the context node itself).
+        path: Vec<SimpleStep>,
+        /// Comparison operator.
+        op: CmpOp,
+        /// The (string) literal compared against.
+        value: String,
+    },
+}
+
+/// One location step: `axis::test[pred]*`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The axis to walk.
+    pub axis: Axis,
+    /// The node test filtering candidates.
+    pub test: NodeTest,
+    /// Predicates applied to matching candidates, in order.
+    pub preds: Vec<Pred>,
+}
+
+/// A parsed location path. The store API evaluates absolute paths; relative
+/// paths are used by the predicate machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// `true` for `/a/b`, `false` for `a/b`.
+    pub absolute: bool,
+    /// The location steps.
+    pub steps: Vec<Step>,
+}
+
+/// XPath parse error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XPathError {
+    /// Byte offset of the error in the expression.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XPathError {}
+
+/// Parses an XPath expression from the supported subset.
+///
+/// ```
+/// let p = ordxml::xpath::parse("/catalog/item[2]/author[last()]").unwrap();
+/// assert!(p.absolute);
+/// assert_eq!(p.steps.len(), 3);
+/// ```
+pub fn parse(input: &str) -> Result<Path, XPathError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    let path = p.parse_path()?;
+    p.skip_ws();
+    if p.pos < p.input.len() {
+        return Err(p.error("trailing input after path"));
+    }
+    if path.steps.is_empty() {
+        return Err(XPathError {
+            offset: 0,
+            message: "empty path".into(),
+        });
+    }
+    Ok(path)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> XPathError {
+        XPathError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.input[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ws(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        self.eat(s)
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), XPathError> {
+        if self.eat_ws(s) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{s}`")))
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XPathError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
+            // `.` only mid-name (avoid eating `..`); `-` fine mid-name.
+            if !ok {
+                break;
+            }
+            if b == b'.' && self.pos == start {
+                break;
+            }
+            // A double colon is the axis separator, not part of a QName.
+            if b == b':' && self.input.get(self.pos + 1) == Some(&b':') {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .map(str::to_string)
+            .map_err(|_| self.error("name is not valid UTF-8"))
+    }
+
+    fn integer(&mut self) -> Result<u64, XPathError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected an integer"));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .expect("digits")
+            .parse()
+            .map_err(|_| self.error("integer out of range"))
+    }
+
+    fn string_literal(&mut self) -> Result<String, XPathError> {
+        self.skip_ws();
+        let quote = match self.peek() {
+            Some(q @ (b'\'' | b'"')) => q,
+            _ => return Err(self.error("expected a string literal")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let s = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.error("literal is not valid UTF-8"))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated string literal"))
+    }
+
+    fn parse_path(&mut self) -> Result<Path, XPathError> {
+        self.skip_ws();
+        let absolute = self.peek() == Some(b'/');
+        let mut steps = Vec::new();
+        let mut first = true;
+        loop {
+            self.skip_ws();
+            // Separator handling: `//` injects a descendant axis.
+            let mut forced_axis = None;
+            if first {
+                if self.eat("//") {
+                    forced_axis = Some(Axis::Descendant);
+                } else {
+                    self.eat("/");
+                }
+                if self.pos >= self.input.len() {
+                    break; // bare "/" is rejected by the caller (empty steps)
+                }
+            } else {
+                if self.eat("//") {
+                    forced_axis = Some(Axis::Descendant);
+                } else if !self.eat("/") {
+                    break;
+                }
+            }
+            first = false;
+            steps.push(self.parse_step(forced_axis)?);
+        }
+        if steps.is_empty() && !absolute {
+            // A relative path must still start with a step.
+            if self.pos < self.input.len() {
+                steps.push(self.parse_step(None)?);
+                while self.eat_ws("//") || self.eat_ws("/") {
+                    steps.push(self.parse_step(None)?);
+                }
+            }
+        }
+        Ok(Path { absolute, steps })
+    }
+
+    fn parse_step(&mut self, forced_axis: Option<Axis>) -> Result<Step, XPathError> {
+        self.skip_ws();
+        // Abbreviations.
+        if self.eat("..") {
+            return Ok(Step {
+                axis: Axis::Parent,
+                test: NodeTest::Node,
+                preds: self.parse_predicates()?,
+            });
+        }
+        if self.peek() == Some(b'.') && self.input.get(self.pos + 1) != Some(&b'.') {
+            self.pos += 1;
+            return Ok(Step {
+                axis: Axis::SelfAxis,
+                test: NodeTest::Node,
+                preds: self.parse_predicates()?,
+            });
+        }
+        let mut axis = forced_axis.unwrap_or(Axis::Child);
+        if self.eat("@") {
+            axis = Axis::Attribute;
+        } else {
+            // Explicit axis?
+            let save = self.pos;
+            if let Ok(name) = self.name() {
+                if self.eat("::") {
+                    axis = match name.as_str() {
+                        "child" => Axis::Child,
+                        "descendant" => Axis::Descendant,
+                        "descendant-or-self" => Axis::DescendantOrSelf,
+                        "self" => Axis::SelfAxis,
+                        "parent" => Axis::Parent,
+                        "attribute" => Axis::Attribute,
+                        "following-sibling" => Axis::FollowingSibling,
+                        "preceding-sibling" => Axis::PrecedingSibling,
+                        "ancestor" => Axis::Ancestor,
+                        "following" => Axis::Following,
+                        "preceding" => Axis::Preceding,
+                        other => return Err(self.error(format!("unsupported axis `{other}`"))),
+                    };
+                } else {
+                    self.pos = save;
+                }
+            } else {
+                self.pos = save;
+            }
+        }
+        let test = self.parse_node_test()?;
+        let preds = self.parse_predicates()?;
+        Ok(Step { axis, test, preds })
+    }
+
+    fn parse_node_test(&mut self) -> Result<NodeTest, XPathError> {
+        self.skip_ws();
+        if self.eat("*") {
+            return Ok(NodeTest::Any);
+        }
+        let save = self.pos;
+        let name = self.name()?;
+        if self.eat("()") {
+            return match name.as_str() {
+                "text" => Ok(NodeTest::Text),
+                "node" => Ok(NodeTest::Node),
+                other => {
+                    self.pos = save;
+                    Err(self.error(format!("unsupported node test `{other}()`")))
+                }
+            };
+        }
+        Ok(NodeTest::Name(name))
+    }
+
+    fn parse_predicates(&mut self) -> Result<Vec<Pred>, XPathError> {
+        let mut preds = Vec::new();
+        while self.eat_ws("[") {
+            preds.push(self.parse_pred_or()?);
+            self.expect("]")?;
+        }
+        Ok(preds)
+    }
+
+    fn parse_pred_or(&mut self) -> Result<Pred, XPathError> {
+        let mut lhs = self.parse_pred_and()?;
+        loop {
+            let save = self.pos;
+            self.skip_ws();
+            if self.eat("or")
+                && self
+                    .peek()
+                    .is_none_or(|b| !(b.is_ascii_alphanumeric() || b == b'_'))
+            {
+                let rhs = self.parse_pred_and()?;
+                lhs = Pred::Or(Box::new(lhs), Box::new(rhs));
+            } else {
+                self.pos = save;
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_pred_and(&mut self) -> Result<Pred, XPathError> {
+        let mut lhs = self.parse_pred_atom()?;
+        loop {
+            let save = self.pos;
+            self.skip_ws();
+            if self.eat("and")
+                && self
+                    .peek()
+                    .is_none_or(|b| !(b.is_ascii_alphanumeric() || b == b'_'))
+            {
+                let rhs = self.parse_pred_atom()?;
+                lhs = Pred::And(Box::new(lhs), Box::new(rhs));
+            } else {
+                self.pos = save;
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_cmp(&mut self) -> Option<CmpOp> {
+        self.skip_ws();
+        for (text, op) in [
+            ("!=", CmpOp::Ne),
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("=", CmpOp::Eq),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.eat(text) {
+                return Some(op);
+            }
+        }
+        None
+    }
+
+    fn parse_pred_atom(&mut self) -> Result<Pred, XPathError> {
+        self.skip_ws();
+        if self.eat("(") {
+            let inner = self.parse_pred_or()?;
+            self.expect(")")?;
+            return Ok(inner);
+        }
+        // not(...)
+        let save = self.pos;
+        if self.eat("not") {
+            self.skip_ws();
+            if self.eat("(") {
+                let inner = self.parse_pred_or()?;
+                self.expect(")")?;
+                return Ok(Pred::Not(Box::new(inner)));
+            }
+            self.pos = save;
+        }
+        // position() op k
+        if self.eat("position()") {
+            let op = self
+                .parse_cmp()
+                .ok_or_else(|| self.error("expected a comparison after position()"))?;
+            let k = self.integer()?;
+            return Ok(Pred::Position(op, k));
+        }
+        // last() [- k]
+        if self.eat("last()") {
+            self.skip_ws();
+            let offset = if self.eat("-") {
+                self.integer()?
+            } else {
+                0
+            };
+            return Ok(Pred::Last { offset });
+        }
+        // Bare integer: positional shorthand.
+        if self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            let k = self.integer()?;
+            return Ok(Pred::Position(CmpOp::Eq, k));
+        }
+        // `.` comparison or a relative path (existence / comparison).
+        let path = if self.peek() == Some(b'.') && self.input.get(self.pos + 1) != Some(&b'.') {
+            self.pos += 1;
+            Vec::new()
+        } else {
+            self.parse_simple_path()?
+        };
+        if let Some(op) = self.parse_cmp() {
+            let value = self.string_literal()?;
+            return Ok(Pred::Compare { path, op, value });
+        }
+        if path.is_empty() {
+            return Err(self.error("`.` needs a comparison"));
+        }
+        Ok(Pred::Exists(path))
+    }
+
+    fn parse_simple_path(&mut self) -> Result<Vec<SimpleStep>, XPathError> {
+        let mut steps = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.eat("@") {
+                if self.eat("*") {
+                    steps.push(SimpleStep::Attr(None));
+                } else {
+                    steps.push(SimpleStep::Attr(Some(self.name()?)));
+                }
+                // Attributes end a simple path.
+                return Ok(steps);
+            }
+            if self.eat("text()") {
+                steps.push(SimpleStep::Text);
+                return Ok(steps);
+            }
+            if self.eat("*") {
+                steps.push(SimpleStep::Child(None));
+            } else {
+                steps.push(SimpleStep::Child(Some(self.name()?)));
+            }
+            self.skip_ws();
+            if !self.eat("/") {
+                return Ok(steps);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 || self.absolute {
+                f.write_str("/")?;
+            }
+            write!(f, "{}::", s.axis.name())?;
+            match &s.test {
+                NodeTest::Name(n) => f.write_str(n)?,
+                NodeTest::Any => f.write_str("*")?,
+                NodeTest::Text => f.write_str("text()")?,
+                NodeTest::Node => f.write_str("node()")?,
+            }
+            for p in &s.preds {
+                write!(f, "[{p:?}]")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_absolute_path() {
+        let p = parse("/catalog/item/name").unwrap();
+        assert!(p.absolute);
+        assert_eq!(p.steps.len(), 3);
+        assert!(p.steps.iter().all(|s| s.axis == Axis::Child));
+        assert_eq!(p.steps[1].test, NodeTest::Name("item".into()));
+    }
+
+    #[test]
+    fn descendant_abbreviation() {
+        let p = parse("//item//name").unwrap();
+        assert_eq!(p.steps[0].axis, Axis::Descendant);
+        assert_eq!(p.steps[1].axis, Axis::Descendant);
+        let p = parse("/a//b").unwrap();
+        assert_eq!(p.steps[0].axis, Axis::Child);
+        assert_eq!(p.steps[1].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn explicit_axes() {
+        let p = parse("/a/following-sibling::b/preceding-sibling::*/ancestor::c").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::FollowingSibling);
+        assert_eq!(p.steps[2].axis, Axis::PrecedingSibling);
+        assert_eq!(p.steps[2].test, NodeTest::Any);
+        assert_eq!(p.steps[3].axis, Axis::Ancestor);
+        assert!(p.steps[3].axis.is_reverse());
+    }
+
+    #[test]
+    fn attribute_and_text_tests() {
+        let p = parse("/item/@id").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::Attribute);
+        assert_eq!(p.steps[1].test, NodeTest::Name("id".into()));
+        let p = parse("/item/text()").unwrap();
+        assert_eq!(p.steps[1].test, NodeTest::Text);
+        let p = parse("/item/node()").unwrap();
+        assert_eq!(p.steps[1].test, NodeTest::Node);
+    }
+
+    #[test]
+    fn dot_and_dotdot() {
+        let p = parse("/a/./..").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::SelfAxis);
+        assert_eq!(p.steps[2].axis, Axis::Parent);
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let p = parse("/a/b[3]").unwrap();
+        assert_eq!(p.steps[1].preds, vec![Pred::Position(CmpOp::Eq, 3)]);
+        let p = parse("/a/b[position() <= 5]").unwrap();
+        assert_eq!(p.steps[1].preds, vec![Pred::Position(CmpOp::Le, 5)]);
+        let p = parse("/a/b[last()]").unwrap();
+        assert_eq!(p.steps[1].preds, vec![Pred::Last { offset: 0 }]);
+        let p = parse("/a/b[last() - 2]").unwrap();
+        assert_eq!(p.steps[1].preds, vec![Pred::Last { offset: 2 }]);
+    }
+
+    #[test]
+    fn value_and_existence_predicates() {
+        let p = parse("/item[@id = 'i7']").unwrap();
+        assert_eq!(
+            p.steps[0].preds,
+            vec![Pred::Compare {
+                path: vec![SimpleStep::Attr(Some("id".into()))],
+                op: CmpOp::Eq,
+                value: "i7".into()
+            }]
+        );
+        let p = parse("/item[author]").unwrap();
+        assert_eq!(
+            p.steps[0].preds,
+            vec![Pred::Exists(vec![SimpleStep::Child(Some("author".into()))])]
+        );
+        let p = parse("/item[a/b/text() != \"x\"]").unwrap();
+        assert_eq!(
+            p.steps[0].preds,
+            vec![Pred::Compare {
+                path: vec![
+                    SimpleStep::Child(Some("a".into())),
+                    SimpleStep::Child(Some("b".into())),
+                    SimpleStep::Text
+                ],
+                op: CmpOp::Ne,
+                value: "x".into()
+            }]
+        );
+        let p = parse("/item[. = 'v']").unwrap();
+        assert_eq!(
+            p.steps[0].preds,
+            vec![Pred::Compare {
+                path: vec![],
+                op: CmpOp::Eq,
+                value: "v".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn boolean_predicates() {
+        let p = parse("/i[a and not(b) or @c = '1']").unwrap();
+        let Pred::Or(l, r) = &p.steps[0].preds[0] else {
+            panic!("{:?}", p.steps[0].preds)
+        };
+        assert!(matches!(**l, Pred::And(_, _)));
+        assert!(matches!(**r, Pred::Compare { .. }));
+        // `and` binds tighter than `or`.
+        let p = parse("/i[a or b and c]").unwrap();
+        assert!(matches!(&p.steps[0].preds[0], Pred::Or(_, r) if matches!(**r, Pred::And(_, _))));
+    }
+
+    #[test]
+    fn multiple_predicates_on_one_step() {
+        let p = parse("/a/b[@k = 'v'][2]").unwrap();
+        assert_eq!(p.steps[1].preds.len(), 2);
+    }
+
+    #[test]
+    fn relative_paths() {
+        let p = parse("a/b").unwrap();
+        assert!(!p.absolute);
+        assert_eq!(p.steps.len(), 2);
+    }
+
+    #[test]
+    fn following_and_preceding_axes() {
+        let p = parse("/a/following::b/preceding::*").unwrap();
+        assert_eq!(p.steps[1].axis, Axis::Following);
+        assert_eq!(p.steps[2].axis, Axis::Preceding);
+        assert!(!p.steps[1].axis.is_reverse());
+        assert!(p.steps[2].axis.is_reverse());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("/a/namespace::b").is_err(), "unsupported axis");
+        assert!(parse("/").is_err());
+        assert!(parse("/a[").is_err());
+        assert!(parse("/a[]").is_err());
+        assert!(parse("/a[position() 3]").is_err());
+        assert!(parse("/a[.]").is_err());
+        assert!(parse("/a/comment()").is_err(), "unsupported node test");
+        assert!(parse("/a extra").is_err());
+    }
+
+    #[test]
+    fn names_with_punctuation() {
+        let p = parse("/ns:tag/sub-name/x_1").unwrap();
+        assert_eq!(p.steps[0].test, NodeTest::Name("ns:tag".into()));
+        assert_eq!(p.steps[1].test, NodeTest::Name("sub-name".into()));
+        assert_eq!(p.steps[2].test, NodeTest::Name("x_1".into()));
+    }
+
+    #[test]
+    fn whitespace_tolerance() {
+        let p = parse("/ a / b [ position( ) = 2 ]".replace("position( )", "position()").as_str());
+        // position() cannot contain spaces, but surrounding whitespace is fine.
+        assert!(p.is_ok(), "{p:?}");
+    }
+}

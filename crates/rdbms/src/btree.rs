@@ -1,0 +1,867 @@
+//! An in-memory B+tree over byte-string keys.
+//!
+//! Keys are order-preserving encodings produced by
+//! [`crate::value::encode_key`]; values are packed row ids
+//! (see [`crate::storage::RowId::pack`]). The tree supports point lookups,
+//! ordered range scans in both directions, and full delete rebalancing
+//! (borrow from siblings, then merge), so it behaves like a disk B+tree
+//! without paying page-serialization costs in the experiments — the paper's
+//! cost model differences come from *how many* index entries the encodings
+//! touch, which this structure measures faithfully.
+//!
+//! Duplicate keys are not stored: the table layer makes non-unique index
+//! keys unique by appending the row id to the key, the standard technique.
+
+use std::ops::Bound;
+
+/// Maximum number of entries (leaf) or children minus one (inner) per node.
+const MAX_KEYS: usize = 64;
+/// Minimum fill for non-root nodes.
+const MIN_KEYS: usize = MAX_KEYS / 2;
+/// Sentinel "no node".
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        keys: Vec<Vec<u8>>,
+        vals: Vec<u64>,
+        next: u32,
+        prev: u32,
+    },
+    Inner {
+        /// `keys[i]` separates `children[i]` (< key) from `children[i+1]` (>= key).
+        keys: Vec<Vec<u8>>,
+        children: Vec<u32>,
+    },
+    /// A node on the free list.
+    Free,
+}
+
+/// The B+tree. See the module docs.
+#[derive(Debug)]
+pub struct BTree {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    len: u64,
+}
+
+impl Default for BTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        BTree {
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                next: NIL,
+                prev: NIL,
+            }],
+            free: Vec::new(),
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` if the tree stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        *self = BTree::new();
+    }
+
+    fn alloc(&mut self, node: Node) -> u32 {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id as usize] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn dealloc(&mut self, id: u32) {
+        self.nodes[id as usize] = Node::Free;
+        self.free.push(id);
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur as usize] {
+                Node::Inner { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    cur = children[idx];
+                }
+                Node::Leaf { keys, vals, .. } => {
+                    return keys
+                        .binary_search_by(|k| k.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| vals[i]);
+                }
+                Node::Free => unreachable!("walked into a freed node"),
+            }
+        }
+    }
+
+    /// `true` if the key is present.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `key -> val`. Returns the previous value if the key existed
+    /// (in which case the value was replaced).
+    pub fn insert(&mut self, key: &[u8], val: u64) -> Option<u64> {
+        let (split, old) = self.insert_rec(self.root, key, val);
+        if let Some((sep, right)) = split {
+            let new_root = self.alloc(Node::Inner {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            });
+            self.root = new_root;
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_rec(&mut self, node: u32, key: &[u8], val: u64) -> (Option<(Vec<u8>, u32)>, Option<u64>) {
+        match &mut self.nodes[node as usize] {
+            Node::Leaf { keys, vals, next, .. } => {
+                match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        let old = vals[i];
+                        vals[i] = val;
+                        (None, Some(old))
+                    }
+                    Err(i) => {
+                        keys.insert(i, key.to_vec());
+                        vals.insert(i, val);
+                        if keys.len() <= MAX_KEYS {
+                            return (None, None);
+                        }
+                        // Split.
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid);
+                        let right_vals = vals.split_off(mid);
+                        let sep = right_keys[0].clone();
+                        let old_next = *next;
+                        // The leaf borrow ends here; allocate the right sibling.
+                        let right = self.alloc(Node::Leaf {
+                            keys: right_keys,
+                            vals: right_vals,
+                            next: old_next,
+                            prev: node,
+                        });
+                        // Re-borrow to fix the left leaf's next pointer.
+                        if let Node::Leaf { next, .. } = &mut self.nodes[node as usize] {
+                            *next = right;
+                        }
+                        if old_next != NIL {
+                            if let Node::Leaf { prev, .. } = &mut self.nodes[old_next as usize] {
+                                *prev = right;
+                            }
+                        }
+                        (Some((sep, right)), None)
+                    }
+                }
+            }
+            Node::Inner { keys, children } => {
+                let idx = keys.partition_point(|k| k.as_slice() <= key);
+                let child = children[idx];
+                let (split, old) = self.insert_rec(child, key, val);
+                if let Some((sep, right)) = split {
+                    let Node::Inner { keys, children } = &mut self.nodes[node as usize] else {
+                        unreachable!()
+                    };
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                    if keys.len() > MAX_KEYS {
+                        // Split the inner node; the middle key moves up.
+                        let mid = keys.len() / 2;
+                        let promote = keys[mid].clone();
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // drop the promoted key from the left
+                        let right_children = children.split_off(mid + 1);
+                        let right = self.alloc(Node::Inner {
+                            keys: right_keys,
+                            children: right_children,
+                        });
+                        return (Some((promote, right)), old);
+                    }
+                }
+                (None, old)
+            }
+            Node::Free => unreachable!("walked into a freed node"),
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &[u8]) -> Option<u64> {
+        let removed = self.remove_rec(self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        // Collapse a root inner node with a single child.
+        if let Node::Inner { children, keys } = &self.nodes[self.root as usize] {
+            if keys.is_empty() && children.len() == 1 {
+                let child = children[0];
+                let old_root = self.root;
+                self.root = child;
+                self.dealloc(old_root);
+            }
+        }
+        removed
+    }
+
+    fn remove_rec(&mut self, node: u32, key: &[u8]) -> Option<u64> {
+        match &mut self.nodes[node as usize] {
+            Node::Leaf { keys, vals, .. } => {
+                match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        keys.remove(i);
+                        Some(vals.remove(i))
+                    }
+                    Err(_) => None,
+                }
+            }
+            Node::Inner { keys, children } => {
+                let idx = keys.partition_point(|k| k.as_slice() <= key);
+                let child = children[idx];
+                let removed = self.remove_rec(child, key)?;
+                self.rebalance_child(node, idx);
+                Some(removed)
+            }
+            Node::Free => unreachable!("walked into a freed node"),
+        }
+    }
+
+    fn node_len(&self, id: u32) -> usize {
+        match &self.nodes[id as usize] {
+            Node::Leaf { keys, .. } => keys.len(),
+            Node::Inner { keys, .. } => keys.len(),
+            Node::Free => unreachable!(),
+        }
+    }
+
+    /// After a removal in `children[idx]` of inner node `parent`, restore the
+    /// minimum-fill invariant by borrowing from a sibling or merging.
+    fn rebalance_child(&mut self, parent: u32, idx: usize) {
+        let Node::Inner { children, .. } = &self.nodes[parent as usize] else {
+            unreachable!()
+        };
+        let child = children[idx];
+        if self.node_len(child) >= MIN_KEYS {
+            return;
+        }
+        let n_children = {
+            let Node::Inner { children, .. } = &self.nodes[parent as usize] else {
+                unreachable!()
+            };
+            children.len()
+        };
+        // Try borrowing from the left sibling.
+        if idx > 0 {
+            let Node::Inner { children, .. } = &self.nodes[parent as usize] else {
+                unreachable!()
+            };
+            let left = children[idx - 1];
+            if self.node_len(left) > MIN_KEYS {
+                self.borrow_from_left(parent, idx);
+                return;
+            }
+        }
+        // Try borrowing from the right sibling.
+        if idx + 1 < n_children {
+            let Node::Inner { children, .. } = &self.nodes[parent as usize] else {
+                unreachable!()
+            };
+            let right = children[idx + 1];
+            if self.node_len(right) > MIN_KEYS {
+                self.borrow_from_right(parent, idx);
+                return;
+            }
+        }
+        // Merge with a sibling.
+        if idx > 0 {
+            self.merge_children(parent, idx - 1);
+        } else if idx + 1 < n_children {
+            self.merge_children(parent, idx);
+        }
+    }
+
+    /// Moves the last entry of `children[idx-1]` into `children[idx]`.
+    fn borrow_from_left(&mut self, parent: u32, idx: usize) {
+        let (left_id, child_id, sep_idx) = {
+            let Node::Inner { children, .. } = &self.nodes[parent as usize] else {
+                unreachable!()
+            };
+            (children[idx - 1], children[idx], idx - 1)
+        };
+        let is_leaf = matches!(self.nodes[child_id as usize], Node::Leaf { .. });
+        if is_leaf {
+            let (k, v) = {
+                let Node::Leaf { keys, vals, .. } = &mut self.nodes[left_id as usize] else {
+                    unreachable!()
+                };
+                (keys.pop().expect("left has > MIN"), vals.pop().expect("left has > MIN"))
+            };
+            let new_sep = k.clone();
+            {
+                let Node::Leaf { keys, vals, .. } = &mut self.nodes[child_id as usize] else {
+                    unreachable!()
+                };
+                keys.insert(0, k);
+                vals.insert(0, v);
+            }
+            let Node::Inner { keys, .. } = &mut self.nodes[parent as usize] else {
+                unreachable!()
+            };
+            keys[sep_idx] = new_sep;
+        } else {
+            // Rotate through the parent separator.
+            let old_sep = {
+                let Node::Inner { keys, .. } = &self.nodes[parent as usize] else {
+                    unreachable!()
+                };
+                keys[sep_idx].clone()
+            };
+            let (k, c) = {
+                let Node::Inner { keys, children } = &mut self.nodes[left_id as usize] else {
+                    unreachable!()
+                };
+                (keys.pop().expect("left has > MIN"), children.pop().expect("left has > MIN"))
+            };
+            {
+                let Node::Inner { keys, children } = &mut self.nodes[child_id as usize] else {
+                    unreachable!()
+                };
+                keys.insert(0, old_sep);
+                children.insert(0, c);
+            }
+            let Node::Inner { keys, .. } = &mut self.nodes[parent as usize] else {
+                unreachable!()
+            };
+            keys[sep_idx] = k;
+        }
+    }
+
+    /// Moves the first entry of `children[idx+1]` into `children[idx]`.
+    fn borrow_from_right(&mut self, parent: u32, idx: usize) {
+        let (child_id, right_id, sep_idx) = {
+            let Node::Inner { children, .. } = &self.nodes[parent as usize] else {
+                unreachable!()
+            };
+            (children[idx], children[idx + 1], idx)
+        };
+        let is_leaf = matches!(self.nodes[child_id as usize], Node::Leaf { .. });
+        if is_leaf {
+            let (k, v, new_sep) = {
+                let Node::Leaf { keys, vals, .. } = &mut self.nodes[right_id as usize] else {
+                    unreachable!()
+                };
+                let k = keys.remove(0);
+                let v = vals.remove(0);
+                (k, v, keys[0].clone())
+            };
+            {
+                let Node::Leaf { keys, vals, .. } = &mut self.nodes[child_id as usize] else {
+                    unreachable!()
+                };
+                keys.push(k);
+                vals.push(v);
+            }
+            let Node::Inner { keys, .. } = &mut self.nodes[parent as usize] else {
+                unreachable!()
+            };
+            keys[sep_idx] = new_sep;
+        } else {
+            let old_sep = {
+                let Node::Inner { keys, .. } = &self.nodes[parent as usize] else {
+                    unreachable!()
+                };
+                keys[sep_idx].clone()
+            };
+            let (k, c) = {
+                let Node::Inner { keys, children } = &mut self.nodes[right_id as usize] else {
+                    unreachable!()
+                };
+                (keys.remove(0), children.remove(0))
+            };
+            {
+                let Node::Inner { keys, children } = &mut self.nodes[child_id as usize] else {
+                    unreachable!()
+                };
+                keys.push(old_sep);
+                children.push(c);
+            }
+            let Node::Inner { keys, .. } = &mut self.nodes[parent as usize] else {
+                unreachable!()
+            };
+            keys[sep_idx] = k;
+        }
+    }
+
+    /// Merges `children[idx+1]` into `children[idx]` and drops the separator.
+    fn merge_children(&mut self, parent: u32, idx: usize) {
+        let (left_id, right_id, sep) = {
+            let Node::Inner { keys, children } = &mut self.nodes[parent as usize] else {
+                unreachable!()
+            };
+            let left = children[idx];
+            let right = children.remove(idx + 1);
+            let sep = keys.remove(idx);
+            (left, right, sep)
+        };
+        let right_node = std::mem::replace(&mut self.nodes[right_id as usize], Node::Free);
+        self.free.push(right_id);
+        match right_node {
+            Node::Leaf {
+                keys: rkeys,
+                vals: rvals,
+                next: rnext,
+                ..
+            } => {
+                let Node::Leaf { keys, vals, next, .. } = &mut self.nodes[left_id as usize] else {
+                    unreachable!()
+                };
+                keys.extend(rkeys);
+                vals.extend(rvals);
+                *next = rnext;
+                if rnext != NIL {
+                    if let Node::Leaf { prev, .. } = &mut self.nodes[rnext as usize] {
+                        *prev = left_id;
+                    }
+                }
+            }
+            Node::Inner {
+                keys: rkeys,
+                children: rchildren,
+            } => {
+                let Node::Inner { keys, children } = &mut self.nodes[left_id as usize] else {
+                    unreachable!()
+                };
+                keys.push(sep);
+                keys.extend(rkeys);
+                children.extend(rchildren);
+            }
+            Node::Free => unreachable!(),
+        }
+    }
+
+    /// Finds `(leaf, index)` of the first entry `>=`/`>` the bound, walking
+    /// down from the root.
+    fn seek_lower(&self, bound: Bound<&[u8]>) -> (u32, usize) {
+        let key = match bound {
+            Bound::Unbounded => {
+                // Leftmost leaf.
+                let mut cur = self.root;
+                loop {
+                    match &self.nodes[cur as usize] {
+                        Node::Inner { children, .. } => cur = children[0],
+                        Node::Leaf { .. } => return (cur, 0),
+                        Node::Free => unreachable!(),
+                    }
+                }
+            }
+            Bound::Included(k) | Bound::Excluded(k) => k,
+        };
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur as usize] {
+                Node::Inner { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    cur = children[idx];
+                }
+                Node::Leaf { keys, .. } => {
+                    let idx = match bound {
+                        Bound::Included(k) => keys.partition_point(|x| x.as_slice() < k),
+                        Bound::Excluded(k) => keys.partition_point(|x| x.as_slice() <= k),
+                        Bound::Unbounded => 0,
+                    };
+                    return (cur, idx);
+                }
+                Node::Free => unreachable!(),
+            }
+        }
+    }
+
+    /// Ascending iterator over entries in `(lower, upper)` bounds.
+    pub fn range(&self, lower: Bound<&[u8]>, upper: Bound<&[u8]>) -> Range<'_> {
+        let (leaf, idx) = self.seek_lower(lower);
+        Range {
+            tree: self,
+            leaf,
+            idx,
+            upper: match upper {
+                Bound::Unbounded => None,
+                Bound::Included(k) => Some((k.to_vec(), true)),
+                Bound::Excluded(k) => Some((k.to_vec(), false)),
+            },
+        }
+    }
+
+    /// Descending iterator over entries in `(lower, upper)` bounds.
+    pub fn range_rev(&self, lower: Bound<&[u8]>, upper: Bound<&[u8]>) -> RangeRev<'_> {
+        // Position one past the last entry within `upper`.
+        let (mut leaf, mut idx) = match &upper {
+            Bound::Unbounded => {
+                let mut cur = self.root;
+                loop {
+                    match &self.nodes[cur as usize] {
+                        Node::Inner { children, .. } => {
+                            cur = *children.last().expect("inner node has children")
+                        }
+                        Node::Leaf { keys, .. } => break (cur, keys.len()),
+                        Node::Free => unreachable!(),
+                    }
+                }
+            }
+            Bound::Included(k) => {
+                let (leaf, idx) = self.seek_lower(Bound::Excluded(*k));
+                (leaf, idx)
+            }
+            Bound::Excluded(k) => {
+                let (leaf, idx) = self.seek_lower(Bound::Included(*k));
+                (leaf, idx)
+            }
+        };
+        // If idx == 0, step to the previous leaf.
+        if idx == 0 {
+            let prev = match &self.nodes[leaf as usize] {
+                Node::Leaf { prev, .. } => *prev,
+                _ => unreachable!(),
+            };
+            if prev == NIL {
+                // Empty range: mark exhausted with leaf = NIL.
+                leaf = NIL;
+            } else {
+                leaf = prev;
+                idx = self.node_len(leaf);
+            }
+        }
+        RangeRev {
+            tree: self,
+            leaf,
+            idx,
+            lower: match lower {
+                Bound::Unbounded => None,
+                Bound::Included(k) => Some((k.to_vec(), true)),
+                Bound::Excluded(k) => Some((k.to_vec(), false)),
+            },
+        }
+    }
+
+    /// Iterator over all entries in key order.
+    pub fn iter(&self) -> Range<'_> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        fn walk(tree: &BTree, node: u32, depth: usize, leaf_depth: &mut Option<usize>, is_root: bool) {
+            match &tree.nodes[node as usize] {
+                Node::Leaf { keys, vals, .. } => {
+                    assert_eq!(keys.len(), vals.len());
+                    assert!(keys.windows(2).all(|w| w[0] < w[1]), "leaf keys sorted");
+                    if !is_root {
+                        assert!(keys.len() >= MIN_KEYS.min(1), "leaf fill");
+                    }
+                    match leaf_depth {
+                        None => *leaf_depth = Some(depth),
+                        Some(d) => assert_eq!(*d, depth, "all leaves at equal depth"),
+                    }
+                }
+                Node::Inner { keys, children } => {
+                    assert_eq!(children.len(), keys.len() + 1);
+                    assert!(keys.windows(2).all(|w| w[0] < w[1]), "inner keys sorted");
+                    if !is_root {
+                        assert!(keys.len() >= MIN_KEYS, "inner fill: {} < {MIN_KEYS}", keys.len());
+                    }
+                    for &c in children {
+                        walk(tree, c, depth + 1, leaf_depth, false);
+                    }
+                }
+                Node::Free => panic!("live tree references a freed node"),
+            }
+        }
+        let mut leaf_depth = None;
+        walk(self, self.root, 0, &mut leaf_depth, true);
+    }
+}
+
+/// Ascending range iterator. See [`BTree::range`].
+pub struct Range<'a> {
+    tree: &'a BTree,
+    leaf: u32,
+    idx: usize,
+    upper: Option<(Vec<u8>, bool)>,
+}
+
+impl<'a> Iterator for Range<'a> {
+    type Item = (&'a [u8], u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.leaf == NIL {
+                return None;
+            }
+            let Node::Leaf { keys, vals, next, .. } = &self.tree.nodes[self.leaf as usize] else {
+                unreachable!()
+            };
+            if self.idx >= keys.len() {
+                self.leaf = *next;
+                self.idx = 0;
+                continue;
+            }
+            let key = keys[self.idx].as_slice();
+            if let Some((upper, inclusive)) = &self.upper {
+                let in_range = if *inclusive {
+                    key <= upper.as_slice()
+                } else {
+                    key < upper.as_slice()
+                };
+                if !in_range {
+                    self.leaf = NIL;
+                    return None;
+                }
+            }
+            let val = vals[self.idx];
+            self.idx += 1;
+            return Some((key, val));
+        }
+    }
+}
+
+/// Descending range iterator. See [`BTree::range_rev`].
+pub struct RangeRev<'a> {
+    tree: &'a BTree,
+    leaf: u32,
+    /// One past the next entry to yield.
+    idx: usize,
+    lower: Option<(Vec<u8>, bool)>,
+}
+
+impl<'a> Iterator for RangeRev<'a> {
+    type Item = (&'a [u8], u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.leaf == NIL {
+                return None;
+            }
+            let Node::Leaf { keys, vals, prev, .. } = &self.tree.nodes[self.leaf as usize] else {
+                unreachable!()
+            };
+            if self.idx == 0 {
+                self.leaf = *prev;
+                if self.leaf != NIL {
+                    self.idx = self.tree.node_len(self.leaf);
+                }
+                continue;
+            }
+            let key = keys[self.idx - 1].as_slice();
+            if let Some((lower, inclusive)) = &self.lower {
+                let in_range = if *inclusive {
+                    key >= lower.as_slice()
+                } else {
+                    key > lower.as_slice()
+                };
+                if !in_range {
+                    self.leaf = NIL;
+                    return None;
+                }
+            }
+            let val = vals[self.idx - 1];
+            self.idx -= 1;
+            return Some((key, val));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use std::ops::Bound::{Excluded, Included, Unbounded};
+
+    fn key(i: u64) -> Vec<u8> {
+        i.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let mut t = BTree::new();
+        assert_eq!(t.insert(&key(5), 50), None);
+        assert_eq!(t.insert(&key(3), 30), None);
+        assert_eq!(t.insert(&key(5), 55), Some(50), "replace returns old");
+        assert_eq!(t.get(&key(5)), Some(55));
+        assert_eq!(t.get(&key(3)), Some(30));
+        assert_eq!(t.get(&key(4)), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn splits_preserve_order_and_invariants() {
+        let mut t = BTree::new();
+        // Insert in adversarial (descending) order to force left-heavy splits.
+        for i in (0..5000u64).rev() {
+            t.insert(&key(i), i);
+        }
+        t.check_invariants();
+        let all: Vec<u64> = t.iter().map(|(_, v)| v).collect();
+        assert_eq!(all, (0..5000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn range_bounds_semantics() {
+        let mut t = BTree::new();
+        for i in 0..100u64 {
+            t.insert(&key(i * 2), i * 2); // even keys 0..198
+        }
+        let got: Vec<u64> = t
+            .range(Included(&key(10)), Excluded(&key(20)))
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(got, vec![10, 12, 14, 16, 18]);
+        let got: Vec<u64> = t
+            .range(Excluded(&key(10)), Included(&key(20)))
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(got, vec![12, 14, 16, 18, 20]);
+        // Bounds between keys.
+        let got: Vec<u64> = t
+            .range(Included(&key(11)), Included(&key(15)))
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(got, vec![12, 14]);
+        // Empty range.
+        assert_eq!(t.range(Included(&key(13)), Excluded(&key(14))).count(), 0);
+    }
+
+    #[test]
+    fn reverse_range_matches_forward() {
+        let mut t = BTree::new();
+        for i in 0..1000u64 {
+            t.insert(&key(i * 3), i);
+        }
+        let fwd: Vec<u64> = t
+            .range(Included(&key(100)), Excluded(&key(2000)))
+            .map(|(_, v)| v)
+            .collect();
+        let mut rev: Vec<u64> = t
+            .range_rev(Included(&key(100)), Excluded(&key(2000)))
+            .map(|(_, v)| v)
+            .collect();
+        rev.reverse();
+        assert_eq!(fwd, rev);
+        // Unbounded both sides.
+        let mut all_rev: Vec<u64> = t.range_rev(Unbounded, Unbounded).map(|(_, v)| v).collect();
+        all_rev.reverse();
+        assert_eq!(all_rev, (0..1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn delete_with_rebalancing() {
+        let mut t = BTree::new();
+        let n = 3000u64;
+        for i in 0..n {
+            t.insert(&key(i), i);
+        }
+        // Remove the middle half, checking invariants periodically.
+        for i in n / 4..3 * n / 4 {
+            assert_eq!(t.remove(&key(i)), Some(i));
+            if i % 97 == 0 {
+                t.check_invariants();
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), n / 2);
+        let got: Vec<u64> = t.iter().map(|(_, v)| v).collect();
+        let expect: Vec<u64> = (0..n / 4).chain(3 * n / 4..n).collect();
+        assert_eq!(got, expect);
+        // Remove everything.
+        for i in (0..n / 4).chain(3 * n / 4..n) {
+            assert_eq!(t.remove(&key(i)), Some(i));
+        }
+        assert!(t.is_empty());
+        t.check_invariants();
+        assert_eq!(t.remove(&key(0)), None);
+    }
+
+    #[test]
+    fn model_check_against_btreemap() {
+        // Deterministic pseudo-random workload vs std BTreeMap.
+        let mut t = BTree::new();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        let mut state = 0x12345678u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for step in 0..20_000 {
+            let k = key(rng() % 500);
+            match rng() % 3 {
+                0 | 1 => {
+                    let v = rng();
+                    assert_eq!(t.insert(&k, v), model.insert(k.clone(), v), "step {step}");
+                }
+                _ => {
+                    assert_eq!(t.remove(&k), model.remove(&k), "step {step}");
+                }
+            }
+            if step % 2500 == 0 {
+                t.check_invariants();
+                let got: Vec<(Vec<u8>, u64)> =
+                    t.iter().map(|(k, v)| (k.to_vec(), v)).collect();
+                let expect: Vec<(Vec<u8>, u64)> =
+                    model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+                assert_eq!(got, expect, "step {step}");
+            }
+        }
+        assert_eq!(t.len(), model.len() as u64);
+    }
+
+    #[test]
+    fn variable_length_keys_prefix_scan() {
+        let mut t = BTree::new();
+        for k in ["a", "ab", "abc", "abd", "ac", "b", "ba"] {
+            t.insert(k.as_bytes(), k.len() as u64);
+        }
+        // All keys with prefix "ab": range ["ab", "ac").
+        let got: Vec<Vec<u8>> = t
+            .range(Included(b"ab".as_slice()), Excluded(b"ac".as_slice()))
+            .map(|(k, _)| k.to_vec())
+            .collect();
+        assert_eq!(got, vec![b"ab".to_vec(), b"abc".to_vec(), b"abd".to_vec()]);
+    }
+
+    #[test]
+    fn empty_tree_edge_cases() {
+        let t = BTree::new();
+        assert_eq!(t.get(b"x"), None);
+        assert_eq!(t.iter().count(), 0);
+        assert_eq!(t.range_rev(Unbounded, Unbounded).count(), 0);
+        assert_eq!(
+            t.range(Included(b"a".as_slice()), Excluded(b"z".as_slice()))
+                .count(),
+            0
+        );
+    }
+}

@@ -1,0 +1,925 @@
+//! The embedded database facade: statement execution, plan caching, and
+//! file-backed persistence.
+//!
+//! Durability model: checkpoint-based. Data pages go through the pager's
+//! buffer pool; [`Database::checkpoint`] serializes the catalog into
+//! dedicated pages and flushes everything. There is no write-ahead log —
+//! the workload this engine serves (the paper's experiments) is
+//! single-statement, and the translation layer treats each logical XML
+//! update as one mediator-level operation.
+
+use crate::catalog::Catalog;
+use crate::error::{DbError, DbResult};
+use crate::exec::{run_select, scan_for_update, Env, ExecStats};
+use crate::expr::{eval, Expr, SimpleCtx};
+use crate::plan::{plan_select, plan_table_access, SelectPlan};
+use crate::schema::{ColumnDef, IndexDef, TableSchema};
+use crate::sql::ast::{ParsedStmt, Stmt};
+use crate::sql::parse;
+use crate::storage::{PageId, Pager, RowId};
+use crate::value::{Row, Value};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// The result of running one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names (empty for non-SELECT statements).
+    pub columns: Vec<String>,
+    /// Result rows (empty for non-SELECT statements).
+    pub rows: Vec<Row>,
+    /// Rows inserted/updated/deleted.
+    pub rows_affected: u64,
+    /// Execution counters for this statement.
+    pub stats: ExecStats,
+}
+
+/// Maximum record bytes stored per catalog page during a checkpoint.
+const CATALOG_CHUNK: usize = 7000;
+
+struct Cached {
+    parsed: ParsedStmt,
+    /// Plan, for SELECT statements.
+    plan: Option<SelectPlan>,
+}
+
+/// An embedded relational database.
+pub struct Database {
+    pager: Pager,
+    catalog: Catalog,
+    plan_cache: HashMap<String, Cached>,
+    /// Cumulative execution counters across all statements.
+    total_stats: ExecStats,
+    /// Pages holding the serialized catalog (file mode only; page 0 is the
+    /// meta page pointing at them).
+    catalog_pages: Vec<PageId>,
+    file_backed: bool,
+}
+
+impl Database {
+    /// A fresh, fully in-memory database.
+    pub fn in_memory() -> Database {
+        Database {
+            pager: Pager::in_memory(),
+            catalog: Catalog::new(),
+            plan_cache: HashMap::new(),
+            total_stats: ExecStats::default(),
+            catalog_pages: Vec::new(),
+            file_backed: false,
+        }
+    }
+
+    /// Opens (or creates) a file-backed database with a buffer pool of
+    /// `cache_pages` frames. Indexes are rebuilt from the heaps on open.
+    pub fn open(path: &Path, cache_pages: usize) -> DbResult<Database> {
+        let pager = Pager::open_file(path, cache_pages)?;
+        let (catalog, catalog_pages) = if pager.page_count() == 0 {
+            // Fresh file: page 0 is the meta page.
+            let meta = pager.allocate()?;
+            debug_assert_eq!(meta, 0);
+            pager.with_page_mut(0, |p| {
+                p.insert(&encode_meta(&[]))
+                    .expect("meta record fits an empty page");
+            })?;
+            (Catalog::new(), Vec::new())
+        } else {
+            let meta = pager.with_page(0, |p| {
+                p.get(0).map(<[u8]>::to_vec)
+            })?;
+            let meta = meta.ok_or_else(|| DbError::Storage("missing meta record".into()))?;
+            let pages = decode_meta(&meta)?;
+            let mut blob = Vec::new();
+            for &pid in &pages {
+                let chunk = pager
+                    .with_page(pid, |p| p.get(0).map(<[u8]>::to_vec))?
+                    .ok_or_else(|| DbError::Storage("missing catalog chunk".into()))?;
+                blob.extend_from_slice(&chunk);
+            }
+            (Catalog::decode(&blob, &pager)?, pages)
+        };
+        Ok(Database {
+            pager,
+            catalog,
+            plan_cache: HashMap::new(),
+            total_stats: ExecStats::default(),
+            catalog_pages,
+            file_backed: true,
+        })
+    }
+
+    /// The catalog (read-only view).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The pager's I/O statistics handle.
+    pub fn pager_stats(&self) -> std::sync::Arc<crate::storage::PagerStats> {
+        self.pager.stats()
+    }
+
+    /// Cumulative execution counters across all statements so far.
+    pub fn total_stats(&self) -> ExecStats {
+        self.total_stats
+    }
+
+    /// Resets the cumulative counters (useful between benchmark phases).
+    pub fn reset_stats(&mut self) {
+        self.total_stats = ExecStats::default();
+    }
+
+    /// Number of pages allocated by the pager (a proxy for database size;
+    /// multiply by [`crate::storage::PAGE_SIZE`] for bytes).
+    pub fn page_count(&self) -> u32 {
+        self.pager.page_count()
+    }
+
+    /// Runs a statement and returns only its rows (convenience for SELECT).
+    pub fn query(&mut self, sql: &str, params: &[Value]) -> DbResult<Vec<Row>> {
+        Ok(self.run(sql, params)?.rows)
+    }
+
+    /// Runs a statement and returns only the affected-row count.
+    pub fn execute(&mut self, sql: &str, params: &[Value]) -> DbResult<u64> {
+        Ok(self.run(sql, params)?.rows_affected)
+    }
+
+    /// Runs one SQL statement. Statements are parsed and (for SELECT)
+    /// planned once, then cached by SQL text, so parameterized statements
+    /// behave as prepared statements.
+    pub fn run(&mut self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
+        if !self.plan_cache.contains_key(sql) {
+            let parsed = parse(sql)?;
+            let plan = match &parsed.stmt {
+                Stmt::Select(s) => Some(plan_select(
+                    &self.catalog,
+                    s,
+                    &parsed.subqueries,
+                    None,
+                )?),
+                _ => None,
+            };
+            self.plan_cache
+                .insert(sql.to_string(), Cached { parsed, plan });
+        }
+        // Clone the cached entry pieces we need (plans are shared per call;
+        // cloning keeps the borrow checker out of the execution path).
+        let cached = &self.plan_cache[sql];
+        let stmt = cached.parsed.stmt.clone();
+        let has_subqueries = !cached.parsed.subqueries.is_empty();
+        let plan = cached.plan.clone();
+        let mut stats = ExecStats::default();
+        let result = match stmt {
+            Stmt::Select(_) => {
+                let plan = plan.expect("SELECT statements are planned at cache time");
+                let env = Env {
+                    catalog: &self.catalog,
+                    pager: &self.pager,
+                    params,
+                };
+                let rows = run_select(&env, &mut stats, &plan, None)?;
+                QueryResult {
+                    columns: plan.columns.clone(),
+                    rows,
+                    rows_affected: 0,
+                    stats,
+                }
+            }
+            Stmt::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
+                self.invalidate_plans();
+                let mut cols = Vec::new();
+                let mut pk: Vec<usize> = Vec::new();
+                for (i, c) in columns.iter().enumerate() {
+                    if c.inline_pk {
+                        pk.push(i);
+                    }
+                    cols.push(ColumnDef {
+                        name: c.name.clone(),
+                        ty: c.ty,
+                        nullable: c.nullable,
+                    });
+                }
+                if !primary_key.is_empty() {
+                    if !pk.is_empty() {
+                        return Err(DbError::Schema(
+                            "both inline and table-level PRIMARY KEY".into(),
+                        ));
+                    }
+                    for name in &primary_key {
+                        let idx = cols
+                            .iter()
+                            .position(|c| c.name.eq_ignore_ascii_case(name))
+                            .ok_or_else(|| {
+                                DbError::Unknown(format!("primary key column `{name}`"))
+                            })?;
+                        // PK columns are implicitly NOT NULL.
+                        cols[idx].nullable = false;
+                        pk.push(idx);
+                    }
+                }
+                self.catalog.create_table(TableSchema {
+                    name: name.to_ascii_lowercase(),
+                    columns: cols,
+                    primary_key: pk,
+                })?;
+                QueryResult {
+                    columns: vec![],
+                    rows: vec![],
+                    rows_affected: 0,
+                    stats,
+                }
+            }
+            Stmt::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+            } => {
+                self.invalidate_plans();
+                let t = self.catalog.table(&table)?;
+                let cols = columns
+                    .iter()
+                    .map(|c| {
+                        t.schema
+                            .col_index(c)
+                            .ok_or_else(|| DbError::Unknown(format!("column `{c}`")))
+                    })
+                    .collect::<DbResult<Vec<_>>>()?;
+                self.catalog.create_index(
+                    &self.pager,
+                    &table,
+                    IndexDef {
+                        name: name.to_ascii_lowercase(),
+                        columns: cols,
+                        unique,
+                    },
+                )?;
+                QueryResult {
+                    columns: vec![],
+                    rows: vec![],
+                    rows_affected: 0,
+                    stats,
+                }
+            }
+            Stmt::DropTable { name, if_exists } => {
+                self.invalidate_plans();
+                match self.catalog.drop_table(&name) {
+                    Ok(()) => {}
+                    Err(DbError::Unknown(_)) if if_exists => {}
+                    Err(e) => return Err(e),
+                }
+                QueryResult {
+                    columns: vec![],
+                    rows: vec![],
+                    rows_affected: 0,
+                    stats,
+                }
+            }
+            Stmt::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                if has_subqueries {
+                    return Err(DbError::Unsupported("subqueries in INSERT".into()));
+                }
+                let n = self.run_insert(&table, columns.as_deref(), &rows, params, &mut stats)?;
+                QueryResult {
+                    columns: vec![],
+                    rows: vec![],
+                    rows_affected: n,
+                    stats,
+                }
+            }
+            Stmt::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
+                if has_subqueries {
+                    return Err(DbError::Unsupported("subqueries in UPDATE".into()));
+                }
+                let n = self.run_update(&table, &sets, where_clause.as_ref(), params, &mut stats)?;
+                QueryResult {
+                    columns: vec![],
+                    rows: vec![],
+                    rows_affected: n,
+                    stats,
+                }
+            }
+            Stmt::Delete {
+                table,
+                where_clause,
+            } => {
+                if has_subqueries {
+                    return Err(DbError::Unsupported("subqueries in DELETE".into()));
+                }
+                let n = self.run_delete(&table, where_clause.as_ref(), params, &mut stats)?;
+                QueryResult {
+                    columns: vec![],
+                    rows: vec![],
+                    rows_affected: n,
+                    stats,
+                }
+            }
+        };
+        self.total_stats.merge(&result.stats);
+        Ok(result)
+    }
+
+    /// Bulk-inserts pre-built rows into a table, bypassing SQL parsing and
+    /// per-statement overhead. This is the shredder's bulk-load path.
+    pub fn insert_many(&mut self, table: &str, rows: Vec<Row>) -> DbResult<u64> {
+        let t = self.catalog.table_mut(table)?;
+        let mut n = 0;
+        for row in rows {
+            t.insert_row(&self.pager, row)?;
+            n += 1;
+        }
+        self.total_stats.rows_written += n;
+        Ok(n)
+    }
+
+    fn run_insert(
+        &mut self,
+        table: &str,
+        columns: Option<&[String]>,
+        rows: &[Vec<Expr>],
+        params: &[Value],
+        stats: &mut ExecStats,
+    ) -> DbResult<u64> {
+        // Resolve the column mapping first (before mutating anything).
+        let t = self.catalog.table(table)?;
+        let n_cols = t.schema.columns.len();
+        let mapping: Option<Vec<usize>> = match columns {
+            None => None,
+            Some(names) => Some(
+                names
+                    .iter()
+                    .map(|n| {
+                        t.schema
+                            .col_index(n)
+                            .ok_or_else(|| DbError::Unknown(format!("column `{n}`")))
+                    })
+                    .collect::<DbResult<Vec<_>>>()?,
+            ),
+        };
+        let mut count = 0;
+        for exprs in rows {
+            let expected = mapping.as_ref().map_or(n_cols, Vec::len);
+            if exprs.len() != expected {
+                return Err(DbError::Schema(format!(
+                    "INSERT supplies {} values for {} columns",
+                    exprs.len(),
+                    expected
+                )));
+            }
+            let mut ctx = SimpleCtx { row: &[], params };
+            let mut row = vec![Value::Null; n_cols];
+            for (i, e) in exprs.iter().enumerate() {
+                let v = eval(e, &mut ctx)?;
+                let slot = mapping.as_ref().map_or(i, |m| m[i]);
+                row[slot] = v;
+            }
+            let t = self.catalog.table_mut(table)?;
+            t.insert_row(&self.pager, row)?;
+            count += 1;
+        }
+        stats.rows_written += count;
+        Ok(count)
+    }
+
+    fn run_update(
+        &mut self,
+        table: &str,
+        sets: &[(String, Expr)],
+        where_clause: Option<&Expr>,
+        params: &[Value],
+        stats: &mut ExecStats,
+    ) -> DbResult<u64> {
+        let (path, residual, scope) = plan_table_access(&self.catalog, table, where_clause)?;
+        // Bind SET expressions against the table's row.
+        let t = self.catalog.table(table)?;
+        let bound_sets: Vec<(usize, Expr)> = sets
+            .iter()
+            .map(|(name, e)| {
+                let col = t
+                    .schema
+                    .col_index(name)
+                    .ok_or_else(|| DbError::Unknown(format!("column `{name}`")))?;
+                let bound = e.clone().map(&mut |x| match x {
+                    Expr::Name(n) => scope.resolve(&n).map(Expr::Column),
+                    other => Ok(other),
+                })?;
+                Ok((col, bound))
+            })
+            .collect::<DbResult<Vec<_>>>()?;
+        // Materialize targets first (no Halloween problem).
+        let victims = {
+            let env = Env {
+                catalog: &self.catalog,
+                pager: &self.pager,
+                params,
+            };
+            scan_for_update(&env, stats, table, &path)?
+        };
+        let mut count = 0;
+        for (rid, row) in victims {
+            if let Some(pred) = &residual {
+                let mut ctx = SimpleCtx { row: &row, params };
+                if !eval(pred, &mut ctx)?.is_true() {
+                    continue;
+                }
+            }
+            let mut new_row = row.clone();
+            for (col, e) in &bound_sets {
+                let mut ctx = SimpleCtx { row: &row, params };
+                new_row[*col] = eval(e, &mut ctx)?;
+            }
+            let t = self.catalog.table_mut(table)?;
+            t.update_row(&self.pager, rid, new_row)?;
+            count += 1;
+        }
+        stats.rows_written += count;
+        Ok(count)
+    }
+
+    fn run_delete(
+        &mut self,
+        table: &str,
+        where_clause: Option<&Expr>,
+        params: &[Value],
+        stats: &mut ExecStats,
+    ) -> DbResult<u64> {
+        let (path, residual, _scope) = plan_table_access(&self.catalog, table, where_clause)?;
+        let victims = {
+            let env = Env {
+                catalog: &self.catalog,
+                pager: &self.pager,
+                params,
+            };
+            scan_for_update(&env, stats, table, &path)?
+        };
+        let mut count = 0;
+        for (rid, row) in victims {
+            if let Some(pred) = &residual {
+                let mut ctx = SimpleCtx { row: &row, params };
+                if !eval(pred, &mut ctx)?.is_true() {
+                    continue;
+                }
+            }
+            let t = self.catalog.table_mut(table)?;
+            t.delete_row(&self.pager, rid)?;
+            count += 1;
+        }
+        stats.rows_written += count;
+        Ok(count)
+    }
+
+    fn invalidate_plans(&mut self) {
+        self.plan_cache.clear();
+    }
+
+    /// Persists the catalog and flushes dirty pages (file mode; a no-op for
+    /// in-memory databases).
+    pub fn checkpoint(&mut self) -> DbResult<()> {
+        if !self.file_backed {
+            return Ok(());
+        }
+        let blob = self.catalog.encode();
+        let chunks: Vec<&[u8]> = blob.chunks(CATALOG_CHUNK).collect();
+        // Ensure enough catalog pages exist.
+        while self.catalog_pages.len() < chunks.len() {
+            let pid = self.pager.allocate()?;
+            self.pager.with_page_mut(pid, |p| {
+                p.insert(&[]).expect("empty record fits");
+            })?;
+            self.catalog_pages.push(pid);
+        }
+        for (i, chunk) in chunks.iter().enumerate() {
+            let pid = self.catalog_pages[i];
+            let ok = self.pager.with_page_mut(pid, |p| p.update(0, chunk))?;
+            if !ok {
+                return Err(DbError::Storage("catalog chunk update failed".into()));
+            }
+        }
+        let used = &self.catalog_pages[..chunks.len()];
+        let meta = encode_meta(used);
+        let ok = self.pager.with_page_mut(0, |p| p.update(0, &meta))?;
+        if !ok {
+            return Err(DbError::Storage("meta page update failed".into()));
+        }
+        self.pager.flush()
+    }
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        // Best-effort durability for file-backed databases.
+        let _ = self.checkpoint();
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.catalog.table_names())
+            .field("pages", &self.pager.page_count())
+            .finish()
+    }
+}
+
+fn encode_meta(pages: &[PageId]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + pages.len() * 4);
+    out.extend_from_slice(b"ORDX0001");
+    out.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+    for p in pages {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    out
+}
+
+fn decode_meta(bytes: &[u8]) -> DbResult<Vec<PageId>> {
+    if bytes.len() < 12 || &bytes[..8] != b"ORDX0001" {
+        return Err(DbError::Storage("bad meta page magic".into()));
+    }
+    let n = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    if bytes.len() < 12 + n * 4 {
+        return Err(DbError::Storage("truncated meta page".into()));
+    }
+    Ok((0..n)
+        .map(|i| {
+            u32::from_le_bytes(
+                bytes[12 + i * 4..16 + i * 4]
+                    .try_into()
+                    .expect("4 bytes"),
+            )
+        })
+        .collect())
+}
+
+// RowId is used in this module's public-ish surface via scan_for_update.
+#[allow(unused_imports)]
+use RowId as _RowIdUsed;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> Database {
+        let mut db = Database::in_memory();
+        db.execute(
+            "CREATE TABLE node (doc INTEGER NOT NULL, pos INTEGER NOT NULL, parent INTEGER, \
+             depth INTEGER, tag TEXT, val TEXT, PRIMARY KEY (doc, pos))",
+            &[],
+        )
+        .unwrap();
+        db.execute("CREATE INDEX node_parent ON node (doc, parent, pos)", &[])
+            .unwrap();
+        db.execute("CREATE INDEX node_tag ON node (doc, tag)", &[])
+            .unwrap();
+        db
+    }
+
+    fn seed(db: &mut Database, n: i64) {
+        for i in 0..n {
+            db.execute(
+                "INSERT INTO node VALUES (?, ?, ?, ?, ?, ?)",
+                &[
+                    Value::Int(1),
+                    Value::Int(i),
+                    Value::Int(i / 10),
+                    Value::Int(if i == 0 { 0 } else { 1 }),
+                    Value::text(if i % 2 == 0 { "even" } else { "odd" }),
+                    Value::text(format!("v{i}")),
+                ],
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn select_with_index_range_and_order() {
+        let mut db = setup();
+        seed(&mut db, 100);
+        let r = db
+            .run(
+                "SELECT pos, val FROM node WHERE doc = 1 AND pos BETWEEN 10 AND 14 ORDER BY pos",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.columns, vec!["pos", "val"]);
+        let got: Vec<i64> = r.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![10, 11, 12, 13, 14]);
+        assert_eq!(r.stats.rows_sorted, 0, "index satisfies ORDER BY");
+        assert!(r.stats.index_scans >= 1);
+    }
+
+    #[test]
+    fn parameterized_statements_cache_plans() {
+        let mut db = setup();
+        seed(&mut db, 50);
+        for want in 0..50 {
+            let rows = db
+                .query(
+                    "SELECT val FROM node WHERE doc = ? AND pos = ?",
+                    &[Value::Int(1), Value::Int(want)],
+                )
+                .unwrap();
+            assert_eq!(rows.len(), 1);
+            assert_eq!(rows[0][0], Value::text(format!("v{want}")));
+        }
+        // One INSERT statement (from seeding) + one SELECT, each cached once.
+        assert_eq!(db.plan_cache.len(), 2, "plans are reused, not re-made");
+    }
+
+    #[test]
+    fn join_via_parent_index() {
+        let mut db = setup();
+        seed(&mut db, 100);
+        // Children of node 3: parent = 3 -> pos 30..39.
+        let rows = db
+            .query(
+                "SELECT c.pos FROM node p, node c \
+                 WHERE p.doc = 1 AND p.pos = 3 AND c.doc = p.doc AND c.parent = p.pos \
+                 ORDER BY c.pos",
+                &[],
+            )
+            .unwrap();
+        let got: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, (30..40).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn hash_join_without_indexes() {
+        let mut db = Database::in_memory();
+        db.execute("CREATE TABLE a (x INTEGER, y TEXT)", &[]).unwrap();
+        db.execute("CREATE TABLE b (x INTEGER, z TEXT)", &[]).unwrap();
+        for i in 0..20 {
+            db.execute(
+                "INSERT INTO a VALUES (?, ?)",
+                &[Value::Int(i % 5), Value::text(format!("a{i}"))],
+            )
+            .unwrap();
+            db.execute(
+                "INSERT INTO b VALUES (?, ?)",
+                &[Value::Int(i % 4), Value::text(format!("b{i}"))],
+            )
+            .unwrap();
+        }
+        let rows = db
+            .query("SELECT a.y, b.z FROM a, b WHERE a.x = b.x", &[])
+            .unwrap();
+        // 20 a-rows; those with x in 0..4 (16 rows) each match 5 b-rows.
+        assert_eq!(rows.len(), 16 * 5);
+    }
+
+    #[test]
+    fn correlated_count_subquery() {
+        let mut db = setup();
+        seed(&mut db, 30);
+        // "position among siblings": nodes that are the 3rd child of their
+        // parent (pos % 10 == 2 given our seeding).
+        let rows = db
+            .query(
+                "SELECT x.pos FROM node x WHERE x.doc = 1 AND 2 = \
+                 (SELECT COUNT(*) FROM node y \
+                  WHERE y.doc = x.doc AND y.parent = x.parent AND y.pos < x.pos) \
+                 ORDER BY x.pos",
+                &[],
+            )
+            .unwrap();
+        let got: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![2, 12, 22]);
+    }
+
+    #[test]
+    fn exists_subquery() {
+        let mut db = setup();
+        seed(&mut db, 25);
+        // Nodes that have at least one child.
+        let rows = db
+            .query(
+                "SELECT p.pos FROM node p WHERE p.doc = 1 AND EXISTS \
+                 (SELECT c.pos FROM node c WHERE c.doc = p.doc AND c.parent = p.pos) \
+                 ORDER BY p.pos",
+                &[],
+            )
+            .unwrap();
+        // Parents are pos 0..2 (children exist for parent = i/10 with i<25).
+        let got: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn aggregates_group_by() {
+        let mut db = setup();
+        seed(&mut db, 100);
+        let rows = db
+            .query(
+                "SELECT tag, COUNT(*) AS n, MIN(pos), MAX(pos) FROM node \
+                 WHERE doc = 1 GROUP BY tag ORDER BY n DESC, 1",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][1], Value::Int(50));
+        assert_eq!(rows[1][1], Value::Int(50));
+        let count_all = db
+            .query("SELECT COUNT(*), AVG(pos), SUM(pos) FROM node", &[])
+            .unwrap();
+        assert_eq!(count_all[0][0], Value::Int(100));
+        assert_eq!(count_all[0][1], Value::Float(49.5));
+        assert_eq!(count_all[0][2], Value::Int(4950));
+    }
+
+    #[test]
+    fn aggregate_on_empty_input() {
+        let mut db = setup();
+        let rows = db
+            .query("SELECT COUNT(*), MIN(pos) FROM node WHERE doc = 99", &[])
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(0), Value::Null]]);
+        let grouped = db
+            .query("SELECT tag, COUNT(*) FROM node WHERE doc = 99 GROUP BY tag", &[])
+            .unwrap();
+        assert!(grouped.is_empty());
+    }
+
+    #[test]
+    fn update_with_arithmetic_and_index_path() {
+        let mut db = setup();
+        seed(&mut db, 100);
+        // Shift positions >= 50 up by 1000 (the renumbering pattern).
+        let n = db
+            .execute(
+                "UPDATE node SET pos = pos + 1000 WHERE doc = 1 AND pos >= 50",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(n, 50);
+        let rows = db
+            .query(
+                "SELECT COUNT(*) FROM node WHERE doc = 1 AND pos >= 1000",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rows[0][0], Value::Int(50));
+        // The old key range is empty now.
+        let rows = db
+            .query(
+                "SELECT COUNT(*) FROM node WHERE doc = 1 AND pos BETWEEN 50 AND 99",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn delete_by_range() {
+        let mut db = setup();
+        seed(&mut db, 100);
+        let n = db
+            .execute("DELETE FROM node WHERE doc = 1 AND pos >= 90", &[])
+            .unwrap();
+        assert_eq!(n, 10);
+        let rows = db.query("SELECT COUNT(*) FROM node", &[]).unwrap();
+        assert_eq!(rows[0][0], Value::Int(90));
+    }
+
+    #[test]
+    fn distinct_and_limit_offset() {
+        let mut db = setup();
+        seed(&mut db, 40);
+        let rows = db
+            .query("SELECT DISTINCT tag FROM node ORDER BY tag", &[])
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        let rows = db
+            .query(
+                "SELECT pos FROM node WHERE doc = 1 ORDER BY pos LIMIT 5 OFFSET 10",
+                &[],
+            )
+            .unwrap();
+        let got: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn order_by_desc_limit_is_last_semantics() {
+        let mut db = setup();
+        seed(&mut db, 30);
+        let rows = db
+            .query(
+                "SELECT pos FROM node WHERE doc = 1 AND parent = 2 ORDER BY pos DESC LIMIT 1",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rows[0][0], Value::Int(29));
+    }
+
+    #[test]
+    fn select_without_from() {
+        let mut db = Database::in_memory();
+        let rows = db.query("SELECT 1 + 2, 'x'", &[]).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(3), Value::text("x")]]);
+    }
+
+    #[test]
+    fn constraint_violation_reports_error() {
+        let mut db = setup();
+        seed(&mut db, 5);
+        let err = db
+            .execute(
+                "INSERT INTO node VALUES (1, 0, 0, 0, 't', 'v')",
+                &[],
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::Constraint(_)));
+    }
+
+    #[test]
+    fn insert_with_column_list_fills_nulls() {
+        let mut db = setup();
+        db.execute(
+            "INSERT INTO node (doc, pos) VALUES (1, 1), (1, 2)",
+            &[],
+        )
+        .unwrap();
+        let rows = db
+            .query("SELECT tag FROM node WHERE doc = 1 ORDER BY pos", &[])
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::Null], vec![Value::Null]]);
+    }
+
+    #[test]
+    fn ddl_invalidates_plan_cache() {
+        let mut db = setup();
+        seed(&mut db, 5);
+        db.query("SELECT pos FROM node WHERE doc = 1", &[]).unwrap();
+        assert!(!db.plan_cache.is_empty());
+        db.execute("CREATE INDEX extra ON node (doc, depth)", &[])
+            .unwrap();
+        assert!(db.plan_cache.is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut db = setup();
+        seed(&mut db, 20);
+        db.reset_stats();
+        db.query("SELECT pos FROM node WHERE doc = 1 AND pos >= 10", &[])
+            .unwrap();
+        let s = db.total_stats();
+        assert_eq!(s.rows_scanned, 10);
+        assert_eq!(s.index_scans, 1);
+    }
+
+    #[test]
+    fn file_backed_database_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("ordxml-db-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reopen.db");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut db = Database::open(&path, 64).unwrap();
+            db.execute(
+                "CREATE TABLE t (a INTEGER, b TEXT, PRIMARY KEY (a))",
+                &[],
+            )
+            .unwrap();
+            db.execute("CREATE INDEX t_b ON t (b)", &[]).unwrap();
+            for i in 0..500 {
+                db.execute(
+                    "INSERT INTO t VALUES (?, ?)",
+                    &[Value::Int(i), Value::text(format!("row-{i}"))],
+                )
+                .unwrap();
+            }
+            db.checkpoint().unwrap();
+        }
+        let mut db = Database::open(&path, 64).unwrap();
+        let rows = db.query("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(rows[0][0], Value::Int(500));
+        let rows = db
+            .query("SELECT a FROM t WHERE b = 'row-123'", &[])
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(123)]]);
+        // And it stays writable.
+        db.execute("INSERT INTO t VALUES (1000, 'new')", &[]).unwrap();
+        let rows = db.query("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(rows[0][0], Value::Int(501));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn error_surfaces_for_unknown_objects() {
+        let mut db = Database::in_memory();
+        assert!(db.query("SELECT x FROM missing", &[]).is_err());
+        assert!(db.execute("DROP TABLE missing", &[]).is_err());
+        assert!(db.execute("DROP TABLE IF EXISTS missing", &[]).is_ok());
+    }
+}

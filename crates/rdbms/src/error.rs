@@ -1,0 +1,64 @@
+//! Error type shared across the engine.
+
+use std::fmt;
+
+/// Any error the database engine can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// SQL text failed to lex/parse. Carries a byte offset and message.
+    Parse {
+        /// Byte offset of the error in the SQL text.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A name (table, column, index) could not be resolved.
+    Unknown(String),
+    /// The statement is well-formed but violates the schema (type mismatch,
+    /// arity mismatch, duplicate names, ...).
+    Schema(String),
+    /// A uniqueness constraint (primary key / unique index) was violated.
+    Constraint(String),
+    /// A runtime evaluation error (bad cast, division by zero, ...).
+    Eval(String),
+    /// The underlying storage failed (I/O).
+    Storage(String),
+    /// The feature is recognized but intentionally unsupported.
+    Unsupported(String),
+}
+
+impl DbError {
+    pub(crate) fn parse(offset: usize, message: impl Into<String>) -> Self {
+        DbError::Parse {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse { offset, message } => {
+                write!(f, "SQL parse error at byte {offset}: {message}")
+            }
+            DbError::Unknown(what) => write!(f, "unknown {what}"),
+            DbError::Schema(msg) => write!(f, "schema error: {msg}"),
+            DbError::Constraint(msg) => write!(f, "constraint violation: {msg}"),
+            DbError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            DbError::Storage(msg) => write!(f, "storage error: {msg}"),
+            DbError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Storage(e.to_string())
+    }
+}
+
+/// Crate-wide result alias.
+pub type DbResult<T> = Result<T, DbError>;

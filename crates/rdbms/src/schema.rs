@@ -1,0 +1,131 @@
+//! Logical schema objects: columns, tables, indexes.
+
+use crate::error::{DbError, DbResult};
+use crate::value::{DataType, Value};
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (stored lower-case; lookups are case-insensitive).
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+    /// Whether `NULL` is storable.
+    pub nullable: bool,
+}
+
+/// A table definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name (stored lower-case).
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Column indexes forming the primary key (empty = no primary key).
+    pub primary_key: Vec<usize>,
+}
+
+impl TableSchema {
+    /// Resolves a column name (case-insensitive).
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Validates and coerces a full row against the schema.
+    pub fn check_row(&self, row: Vec<Value>) -> DbResult<Vec<Value>> {
+        if row.len() != self.columns.len() {
+            return Err(DbError::Schema(format!(
+                "table `{}` has {} columns but {} values were supplied",
+                self.name,
+                self.columns.len(),
+                row.len()
+            )));
+        }
+        row.into_iter()
+            .zip(&self.columns)
+            .map(|(v, c)| {
+                if v.is_null() && !c.nullable {
+                    return Err(DbError::Constraint(format!(
+                        "column `{}`.`{}` is NOT NULL",
+                        self.name, c.name
+                    )));
+                }
+                v.coerce(c.ty).map_err(|_| {
+                    DbError::Schema(format!(
+                        "column `{}`.`{}` has type {}, got an incompatible value",
+                        self.name, c.name, c.ty
+                    ))
+                })
+            })
+            .collect()
+    }
+}
+
+/// A secondary-index definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name (stored lower-case; unique across the database).
+    pub name: String,
+    /// Indexed column positions, in key order.
+    pub columns: Vec<usize>,
+    /// Whether the key must be unique.
+    pub unique: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            name: "t".into(),
+            columns: vec![
+                ColumnDef {
+                    name: "a".into(),
+                    ty: DataType::Int,
+                    nullable: false,
+                },
+                ColumnDef {
+                    name: "b".into(),
+                    ty: DataType::Text,
+                    nullable: true,
+                },
+                ColumnDef {
+                    name: "c".into(),
+                    ty: DataType::Float,
+                    nullable: true,
+                },
+            ],
+            primary_key: vec![0],
+        }
+    }
+
+    #[test]
+    fn col_lookup_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.col_index("a"), Some(0));
+        assert_eq!(s.col_index("B"), Some(1));
+        assert_eq!(s.col_index("missing"), None);
+    }
+
+    #[test]
+    fn check_row_coerces_and_validates() {
+        let s = schema();
+        let row = s
+            .check_row(vec![Value::Int(1), Value::Null, Value::Int(2)])
+            .unwrap();
+        assert_eq!(row[2], Value::Float(2.0), "int widens to float");
+        assert!(s.check_row(vec![Value::Int(1)]).is_err(), "arity");
+        assert!(
+            s.check_row(vec![Value::Null, Value::Null, Value::Null]).is_err(),
+            "NOT NULL"
+        );
+        assert!(
+            s.check_row(vec![Value::text("x"), Value::Null, Value::Null])
+                .is_err(),
+            "type mismatch"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! SQL abstract syntax.
+//!
+//! Scalar subqueries are *flattened out* of [`crate::expr::Expr`]: the parser
+//! collects every subquery of a statement into one side table
+//! ([`ParsedStmt::subqueries`]) and leaves `Expr::Subquery(slot)` /
+//! `Expr::Exists(slot)` references behind. The planner plans each slot into a
+//! subplan. This keeps `Expr` free of a circular dependency on the statement
+//! types.
+
+use crate::expr::Expr;
+use crate::value::DataType;
+
+/// A parsed statement plus the scalar subqueries hoisted out of its
+/// expressions (slot `i` is referenced by `Expr::Subquery(i)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedStmt {
+    /// The statement itself.
+    pub stmt: Stmt,
+    /// Hoisted subqueries, indexed by `Expr::Subquery`/`Expr::Exists` slot.
+    pub subqueries: Vec<SelectStmt>,
+}
+
+/// A SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `CREATE TABLE name (columns..., [PRIMARY KEY (cols)])`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnSpec>,
+        /// Table-level primary-key column names (empty if inline or none).
+        primary_key: Vec<String>,
+    },
+    /// `CREATE [UNIQUE] INDEX name ON table (cols)`.
+    CreateIndex {
+        /// Index name (unique across the database).
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Indexed column names, in key order.
+        columns: Vec<String>,
+        /// Whether the key must be unique.
+        unique: bool,
+    },
+    /// `DROP TABLE [IF EXISTS] name`.
+    DropTable {
+        /// Table name.
+        name: String,
+        /// Suppress the error when the table does not exist.
+        if_exists: bool,
+    },
+    /// `INSERT INTO table [(cols)] VALUES (...), ...`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Explicit column list, or `None` for full-row inserts.
+        columns: Option<Vec<String>>,
+        /// One expression list per row.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `UPDATE table SET col = expr, ... [WHERE ...]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column, value expression)` assignments.
+        sets: Vec<(String, Expr)>,
+        /// Row filter.
+        where_clause: Option<Expr>,
+    },
+    /// `DELETE FROM table [WHERE ...]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row filter.
+        where_clause: Option<Expr>,
+    },
+    /// A `SELECT` query.
+    Select(SelectStmt),
+}
+
+/// A column in `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSpec {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+    /// Whether `NULL` is storable (`NOT NULL` absent).
+    pub nullable: bool,
+    /// Set by an inline `PRIMARY KEY` on the column.
+    pub inline_pk: bool,
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// `FROM` tables, in join order.
+    pub from: Vec<TableRef>,
+    /// `WHERE` filter.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<Expr>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT` (constant expression).
+    pub limit: Option<Expr>,
+    /// `OFFSET` (constant expression).
+    pub offset: Option<Expr>,
+}
+
+/// One projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// `alias.*`
+    QualifiedStar(String),
+    /// An expression with an optional output alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// `AS alias`, if given.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference in `FROM` (base tables only; derived tables are out of
+/// scope for the translation workload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name in the catalog.
+    pub table: String,
+    /// Alias, defaulting to the table name.
+    pub alias: String,
+}
+
+/// One `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Sort key expression.
+    pub expr: Expr,
+    /// `DESC`.
+    pub desc: bool,
+}

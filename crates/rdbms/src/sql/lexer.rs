@@ -1,0 +1,412 @@
+//! SQL lexer.
+
+use crate::error::{DbError, DbResult};
+
+/// A lexed token with its source offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Byte offset of the token in the SQL text.
+    pub offset: usize,
+}
+
+/// Token kinds. Keywords are recognized by the parser from `Ident`
+/// (case-insensitively), so new keywords never break identifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A string literal (quotes removed, escapes resolved).
+    Str(String),
+    /// A hex blob literal: `X'0A1B'`.
+    Blob(Vec<u8>),
+    /// A `?` parameter placeholder.
+    Param,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+/// Lexes `input` into tokens (ending with `Eof`).
+pub fn lex(input: &str) -> DbResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let start = pos;
+        let b = bytes[pos];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                pos += 1;
+            }
+            b'-' if bytes.get(pos + 1) == Some(&b'-') => {
+                // Line comment.
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                pos += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                pos += 1;
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                pos += 1;
+            }
+            b'.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                pos += 1;
+            }
+            b'*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                pos += 1;
+            }
+            b'+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                pos += 1;
+            }
+            b'-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                pos += 1;
+            }
+            b'/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                pos += 1;
+            }
+            b'%' => {
+                tokens.push(Token { kind: TokenKind::Percent, offset: start });
+                pos += 1;
+            }
+            b';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, offset: start });
+                pos += 1;
+            }
+            b'?' => {
+                tokens.push(Token { kind: TokenKind::Param, offset: start });
+                pos += 1;
+            }
+            b'=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                pos += 1;
+            }
+            b'!' if bytes.get(pos + 1) == Some(&b'=') => {
+                tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                pos += 2;
+            }
+            b'<' => {
+                match bytes.get(pos + 1) {
+                    Some(b'=') => {
+                        tokens.push(Token { kind: TokenKind::Le, offset: start });
+                        pos += 2;
+                    }
+                    Some(b'>') => {
+                        tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                        pos += 2;
+                    }
+                    _ => {
+                        tokens.push(Token { kind: TokenKind::Lt, offset: start });
+                        pos += 1;
+                    }
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    pos += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    pos += 1;
+                }
+            }
+            b'\'' => {
+                // String literal; '' escapes a quote.
+                pos += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(pos) {
+                        None => return Err(DbError::parse(start, "unterminated string literal")),
+                        Some(b'\'') if bytes.get(pos + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            pos += 2;
+                        }
+                        Some(b'\'') => {
+                            pos += 1;
+                            break;
+                        }
+                        Some(&c) if c < 0x80 => {
+                            s.push(c as char);
+                            pos += 1;
+                        }
+                        Some(_) => {
+                            // Multi-byte UTF-8: copy the full sequence.
+                            let end = (pos + 1..bytes.len())
+                                .find(|&i| bytes[i] & 0xC0 != 0x80)
+                                .unwrap_or(bytes.len());
+                            s.push_str(
+                                std::str::from_utf8(&bytes[pos..end]).map_err(|_| {
+                                    DbError::parse(pos, "invalid UTF-8 in string literal")
+                                })?,
+                            );
+                            pos = end;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            b'X' | b'x' if bytes.get(pos + 1) == Some(&b'\'') => {
+                // Hex blob literal.
+                pos += 2;
+                let hex_start = pos;
+                while pos < bytes.len() && bytes[pos] != b'\'' {
+                    pos += 1;
+                }
+                if pos >= bytes.len() {
+                    return Err(DbError::parse(start, "unterminated blob literal"));
+                }
+                let hex = &input[hex_start..pos];
+                pos += 1;
+                if !hex.len().is_multiple_of(2) {
+                    return Err(DbError::parse(start, "blob literal needs an even number of hex digits"));
+                }
+                let blob = (0..hex.len())
+                    .step_by(2)
+                    .map(|i| u8::from_str_radix(&hex[i..i + 2], 16))
+                    .collect::<Result<Vec<u8>, _>>()
+                    .map_err(|_| DbError::parse(start, "invalid hex digit in blob literal"))?;
+                tokens.push(Token { kind: TokenKind::Blob(blob), offset: start });
+            }
+            b'0'..=b'9' => {
+                let mut end = pos;
+                let mut is_float = false;
+                while end < bytes.len() && bytes[end].is_ascii_digit() {
+                    end += 1;
+                }
+                if end < bytes.len()
+                    && bytes[end] == b'.'
+                    && bytes.get(end + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    end += 1;
+                    while end < bytes.len() && bytes[end].is_ascii_digit() {
+                        end += 1;
+                    }
+                }
+                if end < bytes.len() && (bytes[end] | 0x20) == b'e' {
+                    let mut e = end + 1;
+                    if e < bytes.len() && (bytes[e] == b'+' || bytes[e] == b'-') {
+                        e += 1;
+                    }
+                    if e < bytes.len() && bytes[e].is_ascii_digit() {
+                        is_float = true;
+                        end = e;
+                        while end < bytes.len() && bytes[end].is_ascii_digit() {
+                            end += 1;
+                        }
+                    }
+                }
+                let text = &input[pos..end];
+                let kind = if is_float {
+                    TokenKind::Float(
+                        text.parse()
+                            .map_err(|_| DbError::parse(start, "bad float literal"))?,
+                    )
+                } else {
+                    TokenKind::Int(
+                        text.parse()
+                            .map_err(|_| DbError::parse(start, "integer literal out of range"))?,
+                    )
+                };
+                tokens.push(Token { kind, offset: start });
+                pos = end;
+            }
+            b'"' => {
+                // Quoted identifier.
+                pos += 1;
+                let id_start = pos;
+                while pos < bytes.len() && bytes[pos] != b'"' {
+                    pos += 1;
+                }
+                if pos >= bytes.len() {
+                    return Err(DbError::parse(start, "unterminated quoted identifier"));
+                }
+                let id = input[id_start..pos].to_string();
+                pos += 1;
+                tokens.push(Token { kind: TokenKind::Ident(id), offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut end = pos;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[pos..end].to_string()),
+                    offset: start,
+                });
+                pos = end;
+            }
+            c => {
+                return Err(DbError::parse(
+                    start,
+                    format!("unexpected character `{}`", c as char),
+                ))
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("SELECT a, b FROM t WHERE a >= 10;"),
+            vec![
+                Ident("SELECT".into()),
+                Ident("a".into()),
+                Comma,
+                Ident("b".into()),
+                Ident("FROM".into()),
+                Ident("t".into()),
+                Ident("WHERE".into()),
+                Ident("a".into()),
+                Ge,
+                Int(10),
+                Semicolon,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes_and_unicode() {
+        assert_eq!(
+            kinds("'it''s' 'héllo'"),
+            vec![
+                TokenKind::Str("it's".into()),
+                TokenKind::Str("héllo".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 1e3 1.5e-2 7"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Float(2.5),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.015),
+                TokenKind::Int(7),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![Eq, Ne, Ne, Lt, Le, Gt, Ge, Eof]
+        );
+    }
+
+    #[test]
+    fn blob_literals() {
+        assert_eq!(
+            kinds("X'0a1B'"),
+            vec![TokenKind::Blob(vec![0x0A, 0x1B]), TokenKind::Eof]
+        );
+        assert!(lex("X'0'").is_err());
+        assert!(lex("X'zz'").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a -- comment\n b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn params_and_quoted_identifiers() {
+        assert_eq!(
+            kinds("? \"Mixed Case\""),
+            vec![
+                TokenKind::Param,
+                TokenKind::Ident("Mixed Case".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = lex("a @ b").unwrap_err();
+        match err {
+            DbError::Parse { offset, .. } => assert_eq!(offset, 2),
+            other => panic!("{other}"),
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! SQL front-end: lexer, AST, parser.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{ColumnSpec, OrderItem, ParsedStmt, SelectItem, SelectStmt, Stmt, TableRef};
+pub use parser::parse;

@@ -1,0 +1,899 @@
+//! Recursive-descent SQL parser with precedence climbing for expressions.
+
+use super::ast::*;
+use super::lexer::{lex, Token, TokenKind};
+use crate::error::{DbError, DbResult};
+use crate::expr::{BinOp, Expr, UnaryOp};
+use crate::value::{DataType, Value};
+
+/// Parses one SQL statement (an optional trailing `;` is allowed).
+pub fn parse(sql: &str) -> DbResult<ParsedStmt> {
+    let tokens = lex(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        subqueries: Vec::new(),
+        next_param: 0,
+    };
+    let stmt = p.parse_stmt()?;
+    p.eat_kind(&TokenKind::Semicolon);
+    p.expect_kind(TokenKind::Eof, "end of statement")?;
+    Ok(ParsedStmt {
+        stmt,
+        subqueries: p.subqueries,
+    })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    subqueries: Vec<SelectStmt>,
+    /// Next `?` parameter index (numbered by occurrence order).
+    next_param: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> DbResult<T> {
+        Err(DbError::parse(self.offset(), msg))
+    }
+
+    /// `true` (and consumes) if the next token is the keyword `kw`
+    /// (case-insensitive).
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn peek_kw_at(&self, n: usize, kw: &str) -> bool {
+        matches!(self.peek_at(n), TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> DbResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`"))
+        }
+    }
+
+    fn eat_kind(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kind(&mut self, kind: TokenKind, what: &str) -> DbResult<()> {
+        if self.eat_kind(&kind) {
+            Ok(())
+        } else {
+            self.err(format!("expected {what}"))
+        }
+    }
+
+    fn ident(&mut self) -> DbResult<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => self.err("expected an identifier"),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Statements
+    // -----------------------------------------------------------------
+
+    fn parse_stmt(&mut self) -> DbResult<Stmt> {
+        if self.peek_kw("SELECT") {
+            return Ok(Stmt::Select(self.parse_select()?));
+        }
+        if self.eat_kw("CREATE") {
+            if self.eat_kw("TABLE") {
+                return self.parse_create_table();
+            }
+            let unique = self.eat_kw("UNIQUE");
+            if self.eat_kw("INDEX") {
+                return self.parse_create_index(unique);
+            }
+            return self.err("expected TABLE or [UNIQUE] INDEX after CREATE");
+        }
+        if self.eat_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            let if_exists = if self.eat_kw("IF") {
+                self.expect_kw("EXISTS")?;
+                true
+            } else {
+                false
+            };
+            let name = self.ident()?;
+            return Ok(Stmt::DropTable { name, if_exists });
+        }
+        if self.eat_kw("INSERT") {
+            return self.parse_insert();
+        }
+        if self.eat_kw("UPDATE") {
+            return self.parse_update();
+        }
+        if self.eat_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.ident()?;
+            let where_clause = if self.eat_kw("WHERE") {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt::Delete {
+                table,
+                where_clause,
+            });
+        }
+        self.err("expected a statement (SELECT/INSERT/UPDATE/DELETE/CREATE/DROP)")
+    }
+
+    fn parse_data_type(&mut self) -> DbResult<DataType> {
+        let name = self.ident()?.to_ascii_uppercase();
+        let ty = match name.as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" => DataType::Int,
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" | "CLOB" => {
+                // Optional length, ignored.
+                if self.eat_kind(&TokenKind::LParen) {
+                    self.bump();
+                    self.expect_kind(TokenKind::RParen, "`)`")?;
+                }
+                DataType::Text
+            }
+            "DOUBLE" => {
+                self.eat_kw("PRECISION");
+                DataType::Float
+            }
+            "FLOAT" | "REAL" => DataType::Float,
+            "BOOLEAN" | "BOOL" => DataType::Bool,
+            "BLOB" | "BYTES" | "BINARY" | "VARBINARY" => DataType::Bytes,
+            other => return self.err(format!("unknown type `{other}`")),
+        };
+        Ok(ty)
+    }
+
+    fn parse_create_table(&mut self) -> DbResult<Stmt> {
+        let name = self.ident()?;
+        self.expect_kind(TokenKind::LParen, "`(`")?;
+        let mut columns = Vec::new();
+        let mut primary_key: Vec<String> = Vec::new();
+        loop {
+            if self.peek_kw("PRIMARY") {
+                self.bump();
+                self.expect_kw("KEY")?;
+                self.expect_kind(TokenKind::LParen, "`(`")?;
+                if !primary_key.is_empty() {
+                    return self.err("multiple PRIMARY KEY clauses");
+                }
+                loop {
+                    primary_key.push(self.ident()?);
+                    if !self.eat_kind(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect_kind(TokenKind::RParen, "`)`")?;
+            } else {
+                let col_name = self.ident()?;
+                let ty = self.parse_data_type()?;
+                let mut nullable = true;
+                let mut inline_pk = false;
+                loop {
+                    if self.eat_kw("NOT") {
+                        self.expect_kw("NULL")?;
+                        nullable = false;
+                    } else if self.eat_kw("PRIMARY") {
+                        self.expect_kw("KEY")?;
+                        inline_pk = true;
+                        nullable = false;
+                    } else if self.eat_kw("NULL") {
+                        // explicit NULL, default
+                    } else {
+                        break;
+                    }
+                }
+                columns.push(ColumnSpec {
+                    name: col_name,
+                    ty,
+                    nullable,
+                    inline_pk,
+                });
+            }
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kind(TokenKind::RParen, "`)`")?;
+        Ok(Stmt::CreateTable {
+            name,
+            columns,
+            primary_key,
+        })
+    }
+
+    fn parse_create_index(&mut self, unique: bool) -> DbResult<Stmt> {
+        let name = self.ident()?;
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        self.expect_kind(TokenKind::LParen, "`(`")?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.ident()?);
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kind(TokenKind::RParen, "`)`")?;
+        Ok(Stmt::CreateIndex {
+            name,
+            table,
+            columns,
+            unique,
+        })
+    }
+
+    fn parse_insert(&mut self) -> DbResult<Stmt> {
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let columns = if self.eat_kind(&TokenKind::LParen) {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.ident()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_kind(TokenKind::RParen, "`)`")?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_kind(TokenKind::LParen, "`(`")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.parse_expr()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_kind(TokenKind::RParen, "`)`")?;
+            rows.push(row);
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(Stmt::Insert {
+            table,
+            columns,
+            rows,
+        })
+    }
+
+    fn parse_update(&mut self) -> DbResult<Stmt> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_kind(TokenKind::Eq, "`=`")?;
+            let e = self.parse_expr()?;
+            sets.push((col, e));
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Update {
+            table,
+            sets,
+            where_clause,
+        })
+    }
+
+    fn parse_select(&mut self) -> DbResult<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut items = Vec::new();
+        loop {
+            if self.eat_kind(&TokenKind::Star) {
+                items.push(SelectItem::Star);
+            } else if matches!(self.peek(), TokenKind::Ident(_))
+                && self.peek_at(1) == &TokenKind::Dot
+                && self.peek_at(2) == &TokenKind::Star
+            {
+                let alias = self.ident()?;
+                self.bump(); // .
+                self.bump(); // *
+                items.push(SelectItem::QualifiedStar(alias));
+            } else {
+                let expr = self.parse_expr()?;
+                // `AS alias` or a bare (non-reserved) implicit alias.
+                let has_alias = self.eat_kw("AS")
+                    || matches!(self.peek(), TokenKind::Ident(s) if !is_reserved_after_item(s));
+                let alias = if has_alias { Some(self.ident()?) } else { None };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("FROM") {
+            loop {
+                let table = self.ident()?;
+                let has_alias = self.eat_kw("AS")
+                    || matches!(self.peek(), TokenKind::Ident(s) if !is_reserved_after_table(s));
+                let alias = if has_alias { self.ident()? } else { table.clone() };
+                from.push(TableRef { table, alias });
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.peek_kw("GROUP") {
+            self.bump();
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.peek_kw("ORDER") {
+            self.bump();
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let offset = if self.eat_kw("OFFSET") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Expressions
+    // -----------------------------------------------------------------
+
+    fn parse_expr(&mut self) -> DbResult<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> DbResult<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_kw("OR") {
+            let rhs = self.parse_and()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> DbResult<Expr> {
+        let mut lhs = self.parse_not()?;
+        while self.eat_kw("AND") {
+            let rhs = self.parse_not()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> DbResult<Expr> {
+        if self.eat_kw("NOT") {
+            let e = self.parse_not()?;
+            return Ok(Expr::Unary(UnaryOp::Not, Box::new(e)));
+        }
+        self.parse_predicate()
+    }
+
+    fn parse_predicate(&mut self) -> DbResult<Expr> {
+        let lhs = self.parse_additive()?;
+        // Comparison operators.
+        let op = match self.peek() {
+            TokenKind::Eq => Some(BinOp::Eq),
+            TokenKind::Ne => Some(BinOp::Ne),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_additive()?;
+            return Ok(Expr::bin(op, lhs, rhs));
+        }
+        let negated = if self.peek_kw("NOT")
+            && (self.peek_kw_at(1, "LIKE") || self.peek_kw_at(1, "BETWEEN") || self.peek_kw_at(1, "IN"))
+        {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("LIKE") {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(lhs),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_kw("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(lhs),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("IN") {
+            self.expect_kind(TokenKind::LParen, "`(`")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_kind(TokenKind::RParen, "`)`")?;
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
+        }
+        if negated {
+            return self.err("expected LIKE, BETWEEN, or IN after NOT");
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> DbResult<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> DbResult<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> DbResult<Expr> {
+        if self.eat_kind(&TokenKind::Minus) {
+            let e = self.parse_unary()?;
+            // Fold literal negation so `-9223372036854775808` round-trips.
+            if let Expr::Literal(Value::Int(i)) = e {
+                return Ok(Expr::Literal(Value::Int(-i)));
+            }
+            if let Expr::Literal(Value::Float(f)) = e {
+                return Ok(Expr::Literal(Value::Float(-f)));
+            }
+            return Ok(Expr::Unary(UnaryOp::Neg, Box::new(e)));
+        }
+        if self.eat_kind(&TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> DbResult<Expr> {
+        match self.peek().clone() {
+            TokenKind::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            TokenKind::Float(f) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Float(f)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Text(s)))
+            }
+            TokenKind::Blob(b) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Bytes(b)))
+            }
+            TokenKind::Param => {
+                self.bump();
+                // Params are numbered left-to-right across the whole
+                // statement by occurrence order.
+                let idx = self.next_param;
+                self.next_param += 1;
+                Ok(Expr::Param(idx))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                if self.peek_kw("SELECT") {
+                    let sub = self.parse_select()?;
+                    self.expect_kind(TokenKind::RParen, "`)`")?;
+                    let slot = self.subqueries.len();
+                    self.subqueries.push(sub);
+                    return Ok(Expr::Subquery(slot));
+                }
+                let e = self.parse_expr()?;
+                self.expect_kind(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(id) => {
+                if id.eq_ignore_ascii_case("NULL") {
+                    self.bump();
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if id.eq_ignore_ascii_case("TRUE") {
+                    self.bump();
+                    return Ok(Expr::Literal(Value::Bool(true)));
+                }
+                if id.eq_ignore_ascii_case("FALSE") {
+                    self.bump();
+                    return Ok(Expr::Literal(Value::Bool(false)));
+                }
+                if id.eq_ignore_ascii_case("EXISTS") && self.peek_at(1) == &TokenKind::LParen {
+                    self.bump();
+                    self.bump();
+                    let sub = self.parse_select()?;
+                    self.expect_kind(TokenKind::RParen, "`)`")?;
+                    let slot = self.subqueries.len();
+                    self.subqueries.push(sub);
+                    return Ok(Expr::Exists(slot));
+                }
+                // Function call?
+                if self.peek_at(1) == &TokenKind::LParen {
+                    self.bump();
+                    self.bump();
+                    let mut args = Vec::new();
+                    let mut star = false;
+                    if self.eat_kind(&TokenKind::Star) {
+                        star = true;
+                    } else if self.peek() != &TokenKind::RParen {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat_kind(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_kind(TokenKind::RParen, "`)`")?;
+                    return Ok(Expr::Func {
+                        name: id.to_ascii_uppercase(),
+                        args,
+                        star,
+                    });
+                }
+                // Column reference: `name` or `qualifier.name`. Reserved
+                // keywords cannot be bare column names (catches mistakes
+                // like `SELECT FROM t`).
+                if is_reserved_after_item(&id) || id.eq_ignore_ascii_case("SELECT") {
+                    return self.err(format!("unexpected keyword `{id}` in expression"));
+                }
+                self.bump();
+                if self.eat_kind(&TokenKind::Dot) {
+                    let col = self.ident()?;
+                    return Ok(Expr::Name(format!("{id}.{col}")));
+                }
+                Ok(Expr::Name(id))
+            }
+            other => self.err(format!("unexpected token {other:?} in expression")),
+        }
+    }
+}
+
+/// Keywords that must not be swallowed as implicit aliases after a SELECT
+/// item.
+fn is_reserved_after_item(s: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "FROM", "WHERE", "GROUP", "ORDER", "LIMIT", "OFFSET", "AND", "OR", "AS", "NOT", "LIKE",
+        "BETWEEN", "IN", "IS", "ASC", "DESC", "UNION", "HAVING",
+    ];
+    RESERVED.iter().any(|r| r.eq_ignore_ascii_case(s))
+}
+
+/// Keywords that must not be swallowed as implicit aliases after a table
+/// reference.
+fn is_reserved_after_table(s: &str) -> bool {
+    is_reserved_after_item(s) || s.eq_ignore_ascii_case("ON") || s.eq_ignore_ascii_case("SET")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_basic() {
+        let p = parse("SELECT a, t.b AS bee FROM t WHERE a = 1 ORDER BY a DESC LIMIT 5 OFFSET 2").unwrap();
+        let Stmt::Select(s) = p.stmt else { panic!() };
+        assert_eq!(s.items.len(), 2);
+        assert!(matches!(&s.items[1], SelectItem::Expr { alias: Some(a), .. } if a == "bee"));
+        assert_eq!(s.from.len(), 1);
+        assert_eq!(s.from[0].alias, "t");
+        assert!(s.where_clause.is_some());
+        assert_eq!(s.order_by.len(), 1);
+        assert!(s.order_by[0].desc);
+        assert_eq!(s.limit, Some(Expr::Literal(Value::Int(5))));
+        assert_eq!(s.offset, Some(Expr::Literal(Value::Int(2))));
+    }
+
+    #[test]
+    fn select_join_with_aliases() {
+        let p = parse("SELECT x.a, y.a FROM node x, node AS y WHERE x.a = y.b AND y.c > 2").unwrap();
+        let Stmt::Select(s) = p.stmt else { panic!() };
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.from[0].alias, "x");
+        assert_eq!(s.from[1].alias, "y");
+        let conjuncts = s.where_clause.unwrap().conjuncts();
+        assert_eq!(conjuncts.len(), 2);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let p = parse("SELECT 1 + 2 * 3").unwrap();
+        let Stmt::Select(s) = p.stmt else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
+        // 1 + (2 * 3)
+        let Expr::Binary(BinOp::Add, l, r) = expr else {
+            panic!("got {expr:?}")
+        };
+        assert_eq!(**l, Expr::Literal(Value::Int(1)));
+        assert!(matches!(**r, Expr::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn boolean_precedence_not_and_or() {
+        // NOT a = 1 AND b = 2 OR c = 3  ==  ((NOT (a=1)) AND (b=2)) OR (c=3)
+        let p = parse("SELECT * FROM t WHERE NOT a = 1 AND b = 2 OR c = 3").unwrap();
+        let Stmt::Select(s) = p.stmt else { panic!() };
+        let Expr::Binary(BinOp::Or, l, _) = s.where_clause.unwrap() else {
+            panic!()
+        };
+        assert!(matches!(*l, Expr::Binary(BinOp::And, _, _)));
+    }
+
+    #[test]
+    fn predicates_like_between_in_is() {
+        let p = parse(
+            "SELECT * FROM t WHERE a LIKE 'x%' AND b NOT BETWEEN 1 AND 2 AND c IN (1,2,3) AND d IS NOT NULL",
+        )
+        .unwrap();
+        let Stmt::Select(s) = p.stmt else { panic!() };
+        let parts = s.where_clause.unwrap().conjuncts();
+        assert!(matches!(&parts[0], Expr::Like { negated: false, .. }));
+        assert!(matches!(&parts[1], Expr::Between { negated: true, .. }));
+        assert!(matches!(&parts[2], Expr::InList { list, .. } if list.len() == 3));
+        assert!(matches!(&parts[3], Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn params_number_by_occurrence() {
+        let p = parse("SELECT ? FROM t WHERE a = ? AND b = ?").unwrap();
+        let Stmt::Select(s) = p.stmt else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
+        assert_eq!(*expr, Expr::Param(0));
+        let parts = s.where_clause.unwrap().conjuncts();
+        assert!(matches!(&parts[0], Expr::Binary(_, _, r) if **r == Expr::Param(1)));
+        assert!(matches!(&parts[1], Expr::Binary(_, _, r) if **r == Expr::Param(2)));
+    }
+
+    #[test]
+    fn scalar_subquery_and_exists_are_hoisted() {
+        let p = parse(
+            "SELECT a FROM t x WHERE 2 = (SELECT COUNT(*) FROM t y WHERE y.p = x.p) AND EXISTS (SELECT a FROM t)",
+        )
+        .unwrap();
+        assert_eq!(p.subqueries.len(), 2);
+        let Stmt::Select(s) = p.stmt else { panic!() };
+        let parts = s.where_clause.unwrap().conjuncts();
+        assert!(matches!(&parts[0], Expr::Binary(BinOp::Eq, _, r) if **r == Expr::Subquery(0)));
+        assert_eq!(parts[1], Expr::Exists(1));
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let p = parse("SELECT tag, COUNT(*), MIN(pos) FROM node GROUP BY tag").unwrap();
+        let Stmt::Select(s) = p.stmt else { panic!() };
+        assert_eq!(s.group_by.len(), 1);
+        assert!(matches!(&s.items[1], SelectItem::Expr { expr: Expr::Func { name, star: true, .. }, .. } if name == "COUNT"));
+    }
+
+    #[test]
+    fn create_table_variants() {
+        let p = parse(
+            "CREATE TABLE node (doc INTEGER NOT NULL, pos BIGINT, tag VARCHAR(64), val DOUBLE PRECISION, k BLOB, PRIMARY KEY (doc, pos))",
+        )
+        .unwrap();
+        let Stmt::CreateTable {
+            columns,
+            primary_key,
+            ..
+        } = p.stmt
+        else {
+            panic!()
+        };
+        assert_eq!(columns.len(), 5);
+        assert!(!columns[0].nullable);
+        assert_eq!(columns[2].ty, DataType::Text);
+        assert_eq!(columns[3].ty, DataType::Float);
+        assert_eq!(columns[4].ty, DataType::Bytes);
+        assert_eq!(primary_key, vec!["doc".to_string(), "pos".to_string()]);
+
+        let p2 = parse("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)").unwrap();
+        let Stmt::CreateTable { columns, primary_key, .. } = p2.stmt else { panic!() };
+        assert!(columns[0].inline_pk);
+        assert!(primary_key.is_empty());
+    }
+
+    #[test]
+    fn create_index_and_drop() {
+        let p = parse("CREATE UNIQUE INDEX i ON t (a, b)").unwrap();
+        assert!(matches!(
+            p.stmt,
+            Stmt::CreateIndex { unique: true, ref columns, .. } if columns.len() == 2
+        ));
+        let p = parse("DROP TABLE IF EXISTS t").unwrap();
+        assert!(matches!(p.stmt, Stmt::DropTable { if_exists: true, .. }));
+    }
+
+    #[test]
+    fn insert_multi_row_with_columns() {
+        let p = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (?, NULL)").unwrap();
+        let Stmt::Insert { columns, rows, .. } = p.stmt else { panic!() };
+        assert_eq!(columns.unwrap(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][0], Expr::Param(0));
+        assert_eq!(rows[1][1], Expr::Literal(Value::Null));
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let p = parse("UPDATE t SET a = a + 1, b = 'x' WHERE a > 5").unwrap();
+        let Stmt::Update { sets, where_clause, .. } = p.stmt else { panic!() };
+        assert_eq!(sets.len(), 2);
+        assert!(where_clause.is_some());
+        let p = parse("DELETE FROM t").unwrap();
+        assert!(matches!(p.stmt, Stmt::Delete { where_clause: None, .. }));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let p = parse("SELECT -5, -2.5").unwrap();
+        let Stmt::Select(s) = p.stmt else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
+        assert_eq!(*expr, Expr::Literal(Value::Int(-5)));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("SELEC a FROM t").is_err());
+        assert!(parse("SELECT FROM t").is_err());
+        assert!(parse("SELECT a FROM t WHERE").is_err());
+        assert!(parse("SELECT a FROM t garbage extra tokens ,").is_err());
+        assert!(parse("INSERT INTO t VALUES").is_err());
+        assert!(parse("CREATE TABLE t (a UNKNOWN_TYPE)").is_err());
+    }
+
+    #[test]
+    fn qualified_star() {
+        let p = parse("SELECT x.*, y.a FROM t x, t y").unwrap();
+        let Stmt::Select(s) = p.stmt else { panic!() };
+        assert!(matches!(&s.items[0], SelectItem::QualifiedStar(a) if a == "x"));
+    }
+
+    #[test]
+    fn blob_literal_in_predicate() {
+        let p = parse("SELECT * FROM d WHERE k >= X'0102' AND k < X'0103'").unwrap();
+        let Stmt::Select(s) = p.stmt else { panic!() };
+        let parts = s.where_clause.unwrap().conjuncts();
+        assert!(
+            matches!(&parts[0], Expr::Binary(BinOp::Ge, _, r) if **r == Expr::Literal(Value::Bytes(vec![1, 2])))
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Physical storage: slotted pages, the pager/buffer pool, and heap files.
+
+pub mod heap;
+pub mod page;
+pub mod pager;
+
+pub use heap::{HeapFile, RowId};
+pub use page::{Page, SlotId, PAGE_SIZE};
+pub use pager::{PageId, Pager, PagerStats};

@@ -1,0 +1,338 @@
+//! Slotted pages.
+//!
+//! A page is a fixed-size byte array with a classic slotted layout:
+//!
+//! ```text
+//! +--------+-----------------------+--------------------+
+//! | header | slot directory ->     |   <- record heap   |
+//! +--------+-----------------------+--------------------+
+//! ```
+//!
+//! * header: `slot_count: u16`, `free_end: u16` (offset where the record
+//!   heap begins; records grow downwards from the page end).
+//! * slot directory: per slot `offset: u16`, `len: u16`; a slot with
+//!   `offset == 0` is a tombstone (offset 0 is inside the header, so it can
+//!   never be a real record offset).
+//!
+//! Deleting leaves a tombstone; an internal compaction pass rewrites the
+//! heap to reclaim dead space when needed (preserving live slot ids).
+
+/// Size of every page in bytes.
+pub const PAGE_SIZE: usize = 8192;
+
+const HEADER: usize = 4;
+const SLOT_BYTES: usize = 4;
+
+/// A slot index within one page.
+pub type SlotId = u16;
+
+/// A fixed-size slotted page.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// A fresh, empty page.
+    pub fn new() -> Self {
+        let mut p = Page {
+            data: Box::new([0; PAGE_SIZE]),
+        };
+        p.set_slot_count(0);
+        p.set_free_end(PAGE_SIZE as u16);
+        p
+    }
+
+    /// Wraps raw page bytes (as read from disk).
+    pub fn from_bytes(data: Box<[u8; PAGE_SIZE]>) -> Self {
+        Page { data }
+    }
+
+    /// The raw bytes (for writing to disk).
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    fn slot_count(&self) -> u16 {
+        u16::from_le_bytes([self.data[0], self.data[1]])
+    }
+
+    fn set_slot_count(&mut self, n: u16) {
+        self.data[0..2].copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn free_end(&self) -> u16 {
+        u16::from_le_bytes([self.data[2], self.data[3]])
+    }
+
+    fn set_free_end(&mut self, v: u16) {
+        self.data[2..4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn slot(&self, slot: SlotId) -> (u16, u16) {
+        let base = HEADER + slot as usize * SLOT_BYTES;
+        let off = u16::from_le_bytes([self.data[base], self.data[base + 1]]);
+        let len = u16::from_le_bytes([self.data[base + 2], self.data[base + 3]]);
+        (off, len)
+    }
+
+    fn set_slot(&mut self, slot: SlotId, off: u16, len: u16) {
+        let base = HEADER + slot as usize * SLOT_BYTES;
+        self.data[base..base + 2].copy_from_slice(&off.to_le_bytes());
+        self.data[base + 2..base + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Bytes of contiguous free space between the slot directory and the
+    /// record heap.
+    pub fn contiguous_free(&self) -> usize {
+        let dir_end = HEADER + self.slot_count() as usize * SLOT_BYTES;
+        (self.free_end() as usize).saturating_sub(dir_end)
+    }
+
+    /// `true` if a record of `len` bytes fits (possibly after compaction).
+    pub fn fits(&self, len: usize) -> bool {
+        // Worst case needs a new slot entry too.
+        self.reclaimable() + self.contiguous_free() >= len + SLOT_BYTES
+    }
+
+    /// Bytes available for new records counting compactable dead space
+    /// (minus one slot entry of overhead). This is what the heap's
+    /// free-space map tracks.
+    pub fn usable_free(&self) -> usize {
+        (self.reclaimable() + self.contiguous_free()).saturating_sub(SLOT_BYTES)
+    }
+
+    fn reclaimable(&self) -> usize {
+        // Dead record bytes that compaction would recover.
+        let mut live: usize = 0;
+        for s in 0..self.slot_count() {
+            let (off, len) = self.slot(s);
+            if off != 0 {
+                live += len as usize;
+            }
+        }
+        (PAGE_SIZE - self.free_end() as usize).saturating_sub(live)
+    }
+
+    /// Inserts a record, compacting first if fragmentation requires it.
+    /// Returns the slot id, or `None` if the record cannot fit.
+    pub fn insert(&mut self, record: &[u8]) -> Option<SlotId> {
+        if record.len() > u16::MAX as usize || !self.fits(record.len()) {
+            return None;
+        }
+        // Reuse a tombstone slot if possible (keeps the directory small).
+        let slot = (0..self.slot_count()).find(|&s| self.slot(s).0 == 0);
+        let need_new_slot = slot.is_none();
+        let needed = record.len() + if need_new_slot { SLOT_BYTES } else { 0 };
+        if self.contiguous_free() < needed {
+            self.compact();
+        }
+        debug_assert!(self.contiguous_free() >= needed);
+        let slot = slot.unwrap_or_else(|| {
+            let s = self.slot_count();
+            self.set_slot_count(s + 1);
+            s
+        });
+        let new_end = self.free_end() as usize - record.len();
+        self.data[new_end..new_end + record.len()].copy_from_slice(record);
+        self.set_free_end(new_end as u16);
+        self.set_slot(slot, new_end as u16, record.len() as u16);
+        Some(slot)
+    }
+
+    /// Reads the record in `slot`, or `None` if the slot is a tombstone or
+    /// out of range.
+    pub fn get(&self, slot: SlotId) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot(slot);
+        if off == 0 {
+            return None;
+        }
+        Some(&self.data[off as usize..off as usize + len as usize])
+    }
+
+    /// Tombstones `slot`. Returns `true` if a live record was removed.
+    pub fn delete(&mut self, slot: SlotId) -> bool {
+        if slot >= self.slot_count() || self.slot(slot).0 == 0 {
+            return false;
+        }
+        self.set_slot(slot, 0, 0);
+        true
+    }
+
+    /// Replaces the record in `slot` if the new record fits on this page,
+    /// keeping the slot id stable. Returns `false` (leaving the old record in
+    /// place) when it does not fit.
+    pub fn update(&mut self, slot: SlotId, record: &[u8]) -> bool {
+        if slot >= self.slot_count() || self.slot(slot).0 == 0 {
+            return false;
+        }
+        let (off, len) = self.slot(slot);
+        if record.len() <= len as usize {
+            // Overwrite in place (shrink leaves a gap reclaimed by compact).
+            let off = off as usize;
+            self.data[off..off + record.len()].copy_from_slice(record);
+            self.set_slot(slot, off as u16, record.len() as u16);
+            return true;
+        }
+        // Does it fit elsewhere on the page (after dropping the old copy)?
+        let live_after = record.len();
+        if self.reclaimable() + self.contiguous_free() + (len as usize) < live_after {
+            return false;
+        }
+        self.set_slot(slot, 0, 0);
+        if self.contiguous_free() < record.len() {
+            self.compact();
+        }
+        if self.contiguous_free() < record.len() {
+            return false;
+        }
+        let new_end = self.free_end() as usize - record.len();
+        self.data[new_end..new_end + record.len()].copy_from_slice(record);
+        self.set_free_end(new_end as u16);
+        self.set_slot(slot, new_end as u16, record.len() as u16);
+        true
+    }
+
+    /// Iterator over `(slot, record)` pairs of live records.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &[u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |s| self.get(s).map(|r| (s, r)))
+    }
+
+    /// Number of live records.
+    pub fn live_count(&self) -> usize {
+        (0..self.slot_count()).filter(|&s| self.slot(s).0 != 0).count()
+    }
+
+    /// Rewrites the record heap to squeeze out dead space.
+    fn compact(&mut self) {
+        let mut records: Vec<(SlotId, Vec<u8>)> = (0..self.slot_count())
+            .filter_map(|s| self.get(s).map(|r| (s, r.to_vec())))
+            .collect();
+        // Write from the end of the page downwards.
+        let mut end = PAGE_SIZE;
+        // Stable order doesn't matter; rewrite each record and fix its slot.
+        for (slot, rec) in records.drain(..) {
+            end -= rec.len();
+            self.data[end..end + rec.len()].copy_from_slice(&rec);
+            self.set_slot(slot, end as u16, rec.len() as u16);
+        }
+        self.set_free_end(end as u16);
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("slots", &self.slot_count())
+            .field("live", &self.live_count())
+            .field("free", &self.contiguous_free())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_delete() {
+        let mut p = Page::new();
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a), Some(&b"hello"[..]));
+        assert_eq!(p.get(b), Some(&b"world!"[..]));
+        assert!(p.delete(a));
+        assert_eq!(p.get(a), None);
+        assert!(!p.delete(a), "double delete is a no-op");
+        assert_eq!(p.live_count(), 1);
+    }
+
+    #[test]
+    fn tombstone_slots_are_reused() {
+        let mut p = Page::new();
+        let a = p.insert(b"aaa").unwrap();
+        let _b = p.insert(b"bbb").unwrap();
+        p.delete(a);
+        let c = p.insert(b"ccc").unwrap();
+        assert_eq!(c, a, "tombstoned slot should be reused");
+    }
+
+    #[test]
+    fn fills_up_and_reports_full() {
+        let mut p = Page::new();
+        let rec = [7u8; 100];
+        let mut n = 0;
+        while p.insert(&rec).is_some() {
+            n += 1;
+        }
+        // 8192 / (100+4) ≈ 78 records.
+        assert!(n >= 75, "should fit ~78 records, got {n}");
+        assert!(!p.fits(100));
+        assert!(p.fits(10) || !p.fits(10)); // fits() must not panic when full
+    }
+
+    #[test]
+    fn compaction_recovers_dead_space() {
+        let mut p = Page::new();
+        let rec = [1u8; 200];
+        let mut slots = Vec::new();
+        while let Some(s) = p.insert(&rec) {
+            slots.push(s);
+        }
+        // Free every other record; a 300-byte record only fits after compaction.
+        for s in slots.iter().step_by(2) {
+            p.delete(*s);
+        }
+        let big = [2u8; 300];
+        let s = p.insert(&big).expect("fits after compaction");
+        assert_eq!(p.get(s), Some(&big[..]));
+        // Survivors are intact.
+        for s in slots.iter().skip(1).step_by(2) {
+            assert_eq!(p.get(*s), Some(&rec[..]));
+        }
+    }
+
+    #[test]
+    fn update_in_place_and_grow() {
+        let mut p = Page::new();
+        let s = p.insert(&[9u8; 50]).unwrap();
+        assert!(p.update(s, &[1u8; 20]), "shrink in place");
+        assert_eq!(p.get(s).unwrap(), &[1u8; 20][..]);
+        assert!(p.update(s, &[2u8; 500]), "grow via relocation");
+        assert_eq!(p.get(s).unwrap(), &[2u8; 500][..]);
+    }
+
+    #[test]
+    fn update_too_big_fails_cleanly() {
+        let mut p = Page::new();
+        let s = p.insert(&[1u8; 64]).unwrap();
+        // Fill the rest of the page.
+        while p.insert(&[3u8; 200]).is_some() {}
+        assert!(!p.update(s, &[2u8; 7000]));
+    }
+
+    #[test]
+    fn iter_yields_live_records_only() {
+        let mut p = Page::new();
+        let a = p.insert(b"a").unwrap();
+        let _ = p.insert(b"b").unwrap();
+        p.delete(a);
+        let recs: Vec<&[u8]> = p.iter().map(|(_, r)| r).collect();
+        assert_eq!(recs, vec![&b"b"[..]]);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut p = Page::new();
+        assert!(p.insert(&vec![0u8; PAGE_SIZE]).is_none());
+    }
+}

@@ -1,0 +1,266 @@
+//! SQL-level behavioral tests for the embedded engine: the dialect surface
+//! the XPath translator (and example code) relies on, exercised end to end.
+
+use ordxml_rdbms::{Database, DbError, Value};
+
+fn db_with_people() -> Database {
+    let mut db = Database::in_memory();
+    db.execute(
+        "CREATE TABLE people (id INTEGER NOT NULL, name TEXT, age INTEGER, \
+         team TEXT, score DOUBLE, PRIMARY KEY (id))",
+        &[],
+    )
+    .unwrap();
+    db.execute("CREATE INDEX people_team ON people (team, age)", &[])
+        .unwrap();
+    let rows = [
+        (1, "ann", 34, "red", 7.5),
+        (2, "bob", 28, "blue", 6.0),
+        (3, "cid", 41, "red", 9.25),
+        (4, "dee", 28, "blue", 8.0),
+        (5, "eve", 55, "green", 5.5),
+    ];
+    for (id, name, age, team, score) in rows {
+        db.execute(
+            "INSERT INTO people VALUES (?, ?, ?, ?, ?)",
+            &[
+                Value::Int(id),
+                Value::text(name),
+                Value::Int(age),
+                Value::text(team),
+                Value::Float(score),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+#[test]
+fn like_between_in_and_boolean_mix() {
+    let mut db = db_with_people();
+    let rows = db
+        .query(
+            "SELECT name FROM people WHERE name LIKE '%e%' AND age BETWEEN 25 AND 50 \
+             OR team IN ('green') ORDER BY name",
+            &[],
+        )
+        .unwrap();
+    let names: Vec<&str> = rows.iter().map(|r| r[0].as_text().unwrap()).collect();
+    assert_eq!(names, vec!["dee", "eve"]);
+}
+
+#[test]
+fn not_null_and_null_semantics() {
+    let mut db = db_with_people();
+    db.execute("INSERT INTO people (id, name) VALUES (9, NULL)", &[])
+        .unwrap();
+    // NULL never matches a comparison...
+    let rows = db
+        .query("SELECT id FROM people WHERE name = NULL", &[])
+        .unwrap();
+    assert!(rows.is_empty());
+    // ...but IS NULL does.
+    let rows = db
+        .query("SELECT id FROM people WHERE name IS NULL", &[])
+        .unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(9)]]);
+    let rows = db
+        .query("SELECT COUNT(name), COUNT(*) FROM people", &[])
+        .unwrap();
+    assert_eq!(rows[0], vec![Value::Int(5), Value::Int(6)], "COUNT skips NULLs");
+}
+
+#[test]
+fn order_by_multiple_keys_and_desc() {
+    let mut db = db_with_people();
+    let rows = db
+        .query("SELECT name FROM people ORDER BY age ASC, name DESC", &[])
+        .unwrap();
+    let names: Vec<&str> = rows.iter().map(|r| r[0].as_text().unwrap()).collect();
+    assert_eq!(names, vec!["dee", "bob", "ann", "cid", "eve"]);
+}
+
+#[test]
+fn group_by_having_equivalent_via_subquery() {
+    let mut db = db_with_people();
+    let rows = db
+        .query(
+            "SELECT team, COUNT(*) AS n, AVG(age) FROM people GROUP BY team ORDER BY n DESC, team",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0][0], Value::text("blue"));
+    assert_eq!(rows[0][1], Value::Int(2));
+    assert_eq!(rows[0][2], Value::Float(28.0));
+}
+
+#[test]
+fn three_way_join() {
+    let mut db = db_with_people();
+    db.execute("CREATE TABLE teams (name TEXT, city TEXT)", &[])
+        .unwrap();
+    db.execute(
+        "INSERT INTO teams VALUES ('red', 'rome'), ('blue', 'bern'), ('green', 'graz')",
+        &[],
+    )
+    .unwrap();
+    let rows = db
+        .query(
+            "SELECT a.name, b.name, t.city FROM people a, people b, teams t \
+             WHERE a.team = b.team AND a.id < b.id AND t.name = a.team ORDER BY a.id",
+            &[],
+        )
+        .unwrap();
+    // Pairs within a team: (ann,cid) red, (bob,dee) blue.
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0][2], Value::text("rome"));
+    assert_eq!(rows[1][2], Value::text("bern"));
+}
+
+#[test]
+fn uncorrelated_and_correlated_subqueries() {
+    let mut db = db_with_people();
+    // Uncorrelated scalar: people older than the average.
+    let rows = db
+        .query(
+            "SELECT name FROM people WHERE age > (SELECT AVG(age) FROM people) ORDER BY name",
+            &[],
+        )
+        .unwrap();
+    let names: Vec<&str> = rows.iter().map(|r| r[0].as_text().unwrap()).collect();
+    assert_eq!(names, vec!["cid", "eve"]);
+    // Correlated: the oldest member of each team.
+    let rows = db
+        .query(
+            "SELECT name FROM people p WHERE NOT EXISTS \
+             (SELECT 1 FROM people q WHERE q.team = p.team AND q.age > p.age) \
+             ORDER BY name",
+            &[],
+        )
+        .unwrap();
+    let names: Vec<&str> = rows.iter().map(|r| r[0].as_text().unwrap()).collect();
+    // bob and dee tie at 28 in team blue, so both qualify.
+    assert_eq!(names, vec!["bob", "cid", "dee", "eve"]);
+}
+
+#[test]
+fn scalar_subquery_cardinality_errors() {
+    let mut db = db_with_people();
+    let err = db
+        .query("SELECT (SELECT name FROM people) FROM people", &[])
+        .unwrap_err();
+    assert!(matches!(err, DbError::Eval(_)), "{err}");
+}
+
+#[test]
+fn update_expression_swaps_and_delete_all() {
+    let mut db = db_with_people();
+    let n = db
+        .execute("UPDATE people SET age = age * 2, score = 0.0 WHERE team = 'blue'", &[])
+        .unwrap();
+    assert_eq!(n, 2);
+    let rows = db
+        .query("SELECT age FROM people WHERE team = 'blue' ORDER BY id", &[])
+        .unwrap();
+    assert_eq!(rows, vec![vec![Value::Int(56)], vec![Value::Int(56)]]);
+    let n = db.execute("DELETE FROM people", &[]).unwrap();
+    assert_eq!(n, 5);
+    assert_eq!(db.query("SELECT COUNT(*) FROM people", &[]).unwrap()[0][0], Value::Int(0));
+}
+
+#[test]
+fn blob_columns_and_hex_literals() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE k (key BLOB NOT NULL, v INTEGER, PRIMARY KEY (key))", &[])
+        .unwrap();
+    for (key, v) in [(vec![1u8, 2], 1), (vec![1, 2, 3], 2), (vec![1, 3], 3), (vec![2], 4)] {
+        db.execute("INSERT INTO k VALUES (?, ?)", &[Value::Bytes(key), Value::Int(v)])
+            .unwrap();
+    }
+    // Prefix-range scan over the blob PK: exactly the Dewey descendant shape.
+    let rows = db
+        .query("SELECT v FROM k WHERE key >= X'0102' AND key < X'0103' ORDER BY key", &[])
+        .unwrap();
+    let got: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+    assert_eq!(got, vec![1, 2]);
+}
+
+#[test]
+fn division_errors_and_overflow_are_reported() {
+    let mut db = db_with_people();
+    assert!(matches!(
+        db.query("SELECT age / 0 FROM people", &[]),
+        Err(DbError::Eval(_))
+    ));
+    assert!(matches!(
+        db.query("SELECT 9223372036854775807 + 1", &[]),
+        Err(DbError::Eval(_))
+    ));
+}
+
+#[test]
+fn distinct_and_qualified_star() {
+    let mut db = db_with_people();
+    let rows = db
+        .query("SELECT DISTINCT team FROM people ORDER BY team", &[])
+        .unwrap();
+    assert_eq!(rows.len(), 3);
+    let rows = db
+        .query("SELECT p.* FROM people p WHERE p.id = 1", &[])
+        .unwrap();
+    assert_eq!(rows[0].len(), 5);
+}
+
+#[test]
+fn multi_row_insert_and_negative_limit_rejected() {
+    let mut db = db_with_people();
+    let n = db
+        .execute(
+            "INSERT INTO people (id, name) VALUES (10, 'x'), (11, 'y'), (12, 'z')",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(n, 3);
+    assert!(db
+        .query("SELECT name FROM people LIMIT -1", &[])
+        .is_err());
+}
+
+#[test]
+fn case_insensitive_identifiers() {
+    let mut db = db_with_people();
+    let rows = db
+        .query("SELECT NAME FROM PEOPLE WHERE Team = 'red' ORDER BY ID", &[])
+        .unwrap();
+    assert_eq!(rows.len(), 2);
+}
+
+#[test]
+fn index_usage_is_observable() {
+    let mut db = db_with_people();
+    db.reset_stats();
+    db.query(
+        "SELECT name FROM people WHERE team = 'red' AND age > 30",
+        &[],
+    )
+    .unwrap();
+    let stats = db.total_stats();
+    assert!(stats.index_scans >= 1, "{stats:?}");
+    assert!(stats.rows_scanned <= 2, "index range should touch 2 rows: {stats:?}");
+}
+
+#[test]
+fn arithmetic_in_projection_and_aliases() {
+    let mut db = db_with_people();
+    let r = db
+        .run(
+            "SELECT name, age + 1 AS next_age, score * 2 FROM people WHERE id = 1",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(r.columns, vec!["name", "next_age", "expr"]);
+    assert_eq!(r.rows[0][1], Value::Int(35));
+    assert_eq!(r.rows[0][2], Value::Float(15.0));
+}

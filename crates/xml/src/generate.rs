@@ -1,0 +1,264 @@
+//! Deterministic synthetic XML document generation.
+//!
+//! The paper evaluates the order encodings on generated documents whose
+//! *shape* (fan-out, depth) is the controlled variable, because shape is what
+//! drives the cost differences between the encodings: fan-out determines how
+//! many siblings an insertion shifts, depth determines how many joins Local
+//! order needs to recover global order. This module reproduces that
+//! methodology with a seeded generator, so every experiment is reproducible
+//! bit-for-bit.
+
+use crate::model::{Document, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Document shape families used across the experiment suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shape {
+    /// Shallow and bushy: high fan-out, depth ≈ 3. Stresses sibling
+    /// renumbering and position predicates.
+    Wide,
+    /// Narrow and deep: fan-out ≈ 2, large depth. Stresses the root-to-node
+    /// joins of the Local encoding and long Dewey keys.
+    Deep,
+    /// A recursive, DTD-ish mix of fan-outs (geometric), resembling document-
+    /// centric data. The default workload shape.
+    Mixed,
+}
+
+/// Configuration of the synthetic generator.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// RNG seed; equal configs generate equal documents.
+    pub seed: u64,
+    /// Approximate number of nodes to generate (elements + text nodes). The
+    /// generator stops expanding once the budget is reached, so the actual
+    /// count is within one fan-out of the target.
+    pub target_nodes: usize,
+    /// Shape family.
+    pub shape: Shape,
+    /// Size of the element-name vocabulary (names are drawn per depth level,
+    /// mimicking DTD-generated data where each level has its own tags).
+    pub vocabulary: usize,
+    /// Probability that an element leaf gets a text child.
+    pub text_prob: f64,
+    /// Maximum number of attributes per element (actual count is uniform in
+    /// `0..=max_attrs`).
+    pub max_attrs: usize,
+}
+
+impl GenConfig {
+    /// A wide document of roughly `target_nodes` nodes.
+    pub fn wide(target_nodes: usize) -> Self {
+        GenConfig {
+            seed: 42,
+            target_nodes,
+            shape: Shape::Wide,
+            vocabulary: 16,
+            text_prob: 0.7,
+            max_attrs: 2,
+        }
+    }
+
+    /// A deep document of roughly `target_nodes` nodes.
+    pub fn deep(target_nodes: usize) -> Self {
+        GenConfig {
+            shape: Shape::Deep,
+            ..GenConfig::wide(target_nodes)
+        }
+    }
+
+    /// A mixed-shape document of roughly `target_nodes` nodes.
+    pub fn mixed(target_nodes: usize) -> Self {
+        GenConfig {
+            shape: Shape::Mixed,
+            ..GenConfig::wide(target_nodes)
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the document.
+    pub fn generate(&self) -> Document {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut doc = Document::new("root");
+        let mut budget = self.target_nodes.saturating_sub(1);
+        // Breadth-first frontier of (node, depth).
+        let mut frontier: Vec<(NodeId, usize)> = vec![(doc.root(), 0)];
+        let mut next: Vec<(NodeId, usize)> = Vec::new();
+        while budget > 0 && !frontier.is_empty() {
+            for (node, depth) in frontier.drain(..) {
+                if budget == 0 {
+                    break;
+                }
+                let fanout = self.fanout(&mut rng, depth);
+                for _ in 0..fanout {
+                    if budget == 0 {
+                        break;
+                    }
+                    let tag = self.tag_name(&mut rng, depth + 1);
+                    let child = doc.append_element(node, tag);
+                    budget -= 1;
+                    for a in 0..rng.gen_range(0..=self.max_attrs) {
+                        doc.set_attr(
+                            child,
+                            format!("a{a}"),
+                            format!("v{}", rng.gen_range(0..1000)),
+                        );
+                    }
+                    next.push((child, depth + 1));
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+        }
+        // Give leaves text content.
+        let leaves: Vec<NodeId> = doc
+            .iter()
+            .filter(|&n| doc.children(n).is_empty() && doc.node(n).kind().is_element())
+            .collect();
+        for leaf in leaves {
+            if budget == 0 && !doc.is_empty() {
+                // Text nodes beyond the budget are fine to skip.
+            }
+            if rng.gen_bool(self.text_prob) {
+                let value = format!("value-{:06}", rng.gen_range(0..1_000_000));
+                doc.append_text(leaf, value);
+            }
+        }
+        doc
+    }
+
+    fn fanout(&self, rng: &mut StdRng, depth: usize) -> usize {
+        match self.shape {
+            Shape::Wide => {
+                // Depth cap ~3; very bushy levels.
+                if depth >= 3 {
+                    0
+                } else {
+                    rng.gen_range(8..=20)
+                }
+            }
+            Shape::Deep => {
+                // Mostly chains with occasional branching; no depth cap (the
+                // node budget terminates growth).
+                if rng.gen_bool(0.85) {
+                    1
+                } else {
+                    2
+                }
+            }
+            Shape::Mixed => {
+                if depth >= 12 {
+                    0
+                } else {
+                    // Geometric-ish fan-out: many small families, a few big.
+                    let r: f64 = rng.gen();
+                    if r < 0.5 {
+                        rng.gen_range(1..=2)
+                    } else if r < 0.85 {
+                        rng.gen_range(3..=5)
+                    } else {
+                        rng.gen_range(6..=12)
+                    }
+                }
+            }
+        }
+    }
+
+    fn tag_name(&self, rng: &mut StdRng, depth: usize) -> String {
+        // Level-local vocabulary, as produced by a non-recursive DTD: tags at
+        // level d come from a slice of the vocabulary determined by d.
+        let slot = rng.gen_range(0..self.vocabulary.max(1));
+        format!("t{}_{}", depth.min(9), slot % self.vocabulary.max(1))
+    }
+}
+
+/// A small hand-written product-catalog document used by examples and tests.
+///
+/// The shape matches the motivating example of XML shredding papers: a
+/// `catalog` of ordered `item`s, each with `name`, `price`, and a
+/// variable-length list of `author`s (sibling order is meaningful: author
+/// order is credit order).
+pub fn sample_catalog(items: usize) -> Document {
+    let mut doc = Document::new("catalog");
+    for i in 0..items {
+        let item = doc.append_element(doc.root(), "item");
+        doc.set_attr(item, "id", format!("i{i}"));
+        let name = doc.append_element(item, "name");
+        doc.append_text(name, format!("Item number {i}"));
+        let price = doc.append_element(item, "price");
+        doc.append_text(price, format!("{}.99", 10 + (i * 7) % 90));
+        for a in 0..(1 + i % 3) {
+            let author = doc.append_element(item, "author");
+            doc.append_text(author, format!("Author {} of item {i}", a + 1));
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = GenConfig::mixed(500).generate();
+        let b = GenConfig::mixed(500).generate();
+        assert!(a.tree_eq(&b));
+        let c = GenConfig::mixed(500).with_seed(7).generate();
+        assert!(!a.tree_eq(&c), "different seeds should differ");
+    }
+
+    #[test]
+    fn node_budget_is_respected() {
+        for &n in &[10usize, 100, 1000] {
+            let doc = GenConfig::mixed(n).generate();
+            // Elements stay within budget; text nodes may add up to one per leaf.
+            let elements = doc
+                .iter()
+                .filter(|&id| doc.node(id).kind().is_element())
+                .count();
+            assert!(elements <= n.max(1), "elements {elements} > target {n}");
+            assert!(elements >= n / 2, "elements {elements} far below target {n}");
+        }
+    }
+
+    #[test]
+    fn wide_shape_is_shallow_and_bushy() {
+        let doc = GenConfig::wide(2000).generate();
+        let max_depth = doc.iter().map(|n| doc.depth(n)).max().unwrap();
+        assert!(max_depth <= 4, "wide docs should be shallow, got {max_depth}");
+        let root_fanout = doc.children(doc.root()).len();
+        assert!(root_fanout >= 8, "wide root fanout {root_fanout}");
+    }
+
+    #[test]
+    fn deep_shape_is_deep() {
+        let doc = GenConfig::deep(2000).generate();
+        let max_depth = doc.iter().map(|n| doc.depth(n)).max().unwrap();
+        assert!(max_depth >= 15, "deep docs should be deep, got {max_depth}");
+    }
+
+    #[test]
+    fn generated_document_round_trips_through_text() {
+        let doc = GenConfig::mixed(300).generate();
+        let text = doc.to_xml();
+        let back = crate::parse(&text).unwrap();
+        assert!(doc.tree_eq(&back));
+    }
+
+    #[test]
+    fn sample_catalog_shape() {
+        let doc = sample_catalog(5);
+        assert_eq!(doc.tag(doc.root()), Some("catalog"));
+        let items = doc.children(doc.root());
+        assert_eq!(items.len(), 5);
+        // item 2 has 1 + 2 % 3 = 3 authors -> 2 + 3 children.
+        assert_eq!(doc.children(items[2]).len(), 5);
+        assert_eq!(doc.attr(items[3], "id"), Some("i3"));
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! `ordxml-xml` — the ordered XML substrate for the `ordxml` workspace.
+//!
+//! XML's data model is an *ordered* tree: the children of every element have a
+//! significant left-to-right order, and the whole document has a total
+//! *document order* (preorder). This crate provides everything the rest of the
+//! workspace needs to manipulate that model:
+//!
+//! * [`model`] — an arena-allocated ordered DOM ([`Document`], [`NodeId`]),
+//!   with ordered child lists, preorder traversal, and document-order
+//!   comparison.
+//! * [`parser`] — a from-scratch, non-validating XML 1.0 parser.
+//! * [`writer`] — a serializer that round-trips with the parser.
+//! * [`generate`] — a deterministic synthetic-document generator used by the
+//!   test suite and the benchmark harness to produce documents with
+//!   controllable shape (fan-out, depth, tag vocabulary, value skew).
+//! * [`path`] — simple structural node paths (child indexes from the root)
+//!   used by tests and the update machinery to address nodes.
+//!
+//! # Example
+//!
+//! ```
+//! use ordxml_xml::parse;
+//!
+//! let doc = parse("<catalog><item id=\"1\">first</item><item id=\"2\"/></catalog>").unwrap();
+//! let root = doc.root();
+//! assert_eq!(doc.tag(root), Some("catalog"));
+//! assert_eq!(doc.children(root).len(), 2);
+//! assert_eq!(doc.to_xml(), "<catalog><item id=\"1\">first</item><item id=\"2\"/></catalog>");
+//! ```
+
+pub mod generate;
+pub mod model;
+pub mod parser;
+pub mod path;
+pub mod writer;
+
+pub use generate::{GenConfig, Shape};
+pub use model::{Document, Node, NodeId, NodeKind};
+pub use parser::{parse, ParseError};
+pub use path::NodePath;
+pub use writer::WriteOptions;

@@ -1,0 +1,608 @@
+//! A from-scratch, non-validating XML 1.0 parser.
+//!
+//! Supported syntax: the XML declaration, `DOCTYPE` (skipped, including an
+//! internal subset), elements with attributes, character data, CDATA
+//! sections, comments, processing instructions, the five predefined entities
+//! (`&lt; &gt; &amp; &apos; &quot;`) and numeric character references
+//! (`&#10; &#x0A;`). Namespaces are not interpreted: a qualified name such as
+//! `ns:tag` is kept verbatim as the tag name, which matches how the paper's
+//! shredder stores names.
+//!
+//! The parser is deliberately strict about well-formedness (tag balance,
+//! attribute quoting, unique attributes) because the shredding layer relies
+//! on a well-formed tree.
+
+use crate::model::{Document, NodeId, NodeKind};
+use std::fmt;
+
+/// An error produced while parsing, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an XML document from a string.
+///
+/// ```
+/// let doc = ordxml_xml::parse("<a href=\"x\">hi &amp; bye</a>").unwrap();
+/// assert_eq!(doc.attr(doc.root(), "href"), Some("x"));
+/// assert_eq!(doc.string_value(doc.root()), "hi & bye");
+/// ```
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    }
+    .parse_document()
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{s}`"))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    /// XML Name: we accept ASCII letters/digits/underscore/hyphen/dot/colon
+    /// plus any non-ASCII byte (multi-byte UTF-8 name characters pass
+    /// through verbatim).
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || matches!(b, b'_' | b'-' | b'.' | b':')
+                || b >= 0x80;
+            if !ok {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        let name = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| ParseError {
+                offset: start,
+                message: "name is not valid UTF-8".into(),
+            })?
+            .to_string();
+        if name.as_bytes()[0].is_ascii_digit() || name.starts_with('-') || name.starts_with('.') {
+            return Err(ParseError {
+                offset: start,
+                message: format!("invalid name start in `{name}`"),
+            });
+        }
+        Ok(name)
+    }
+
+    fn parse_reference(&mut self, out: &mut String) -> Result<(), ParseError> {
+        // Called after consuming `&`.
+        let start = self.pos;
+        let Some(end_rel) = self.input[self.pos..].iter().position(|&b| b == b';') else {
+            return self.err("unterminated entity reference");
+        };
+        let body = &self.input[self.pos..self.pos + end_rel];
+        self.pos += end_rel + 1;
+        let body = std::str::from_utf8(body).map_err(|_| ParseError {
+            offset: start,
+            message: "entity reference is not valid UTF-8".into(),
+        })?;
+        match body {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if body.starts_with("#x") || body.starts_with("#X") => {
+                let cp = u32::from_str_radix(&body[2..], 16).map_err(|_| ParseError {
+                    offset: start,
+                    message: format!("bad hex character reference `&{body};`"),
+                })?;
+                out.push(char::from_u32(cp).ok_or_else(|| ParseError {
+                    offset: start,
+                    message: format!("character reference out of range: {cp}"),
+                })?);
+            }
+            _ if body.starts_with('#') => {
+                let cp: u32 = body[1..].parse().map_err(|_| ParseError {
+                    offset: start,
+                    message: format!("bad decimal character reference `&{body};`"),
+                })?;
+                out.push(char::from_u32(cp).ok_or_else(|| ParseError {
+                    offset: start,
+                    message: format!("character reference out of range: {cp}"),
+                })?);
+            }
+            _ => {
+                return Err(ParseError {
+                    offset: start,
+                    message: format!("unknown entity `&{body};` (no DTD entity support)"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return self.err("expected quoted attribute value"),
+        };
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return self.err("unterminated attribute value"),
+                Some(b) if b == quote => break,
+                Some(b'&') => self.parse_reference(&mut out)?,
+                Some(b'<') => return self.err("`<` is not allowed in attribute values"),
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-assemble a multi-byte UTF-8 sequence.
+                    let len = utf8_len(b);
+                    let start = self.pos - 1;
+                    self.pos = (start + len).min(self.input.len());
+                    let s = std::str::from_utf8(&self.input[start..self.pos]).map_err(|_| {
+                        ParseError {
+                            offset: start,
+                            message: "invalid UTF-8 in attribute value".into(),
+                        }
+                    })?;
+                    out.push_str(s);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses text content until the next `<`. Returns `None` if the run is
+    /// empty.
+    fn parse_text(&mut self) -> Result<Option<String>, ParseError> {
+        let mut out = String::new();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            match b {
+                b'<' => break,
+                b'&' => {
+                    self.pos += 1;
+                    self.parse_reference(&mut out)?;
+                }
+                _ => {
+                    let run_start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'<' || c == b'&' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let s =
+                        std::str::from_utf8(&self.input[run_start..self.pos]).map_err(|_| {
+                            ParseError {
+                                offset: run_start,
+                                message: "invalid UTF-8 in text".into(),
+                            }
+                        })?;
+                    out.push_str(s);
+                }
+            }
+        }
+        if self.pos == start {
+            Ok(None)
+        } else {
+            Ok(Some(out))
+        }
+    }
+
+    fn parse_comment(&mut self) -> Result<String, ParseError> {
+        // After `<!--`.
+        let start = self.pos;
+        let hay = &self.input[self.pos..];
+        let Some(end) = find(hay, b"-->") else {
+            return self.err("unterminated comment");
+        };
+        let text = std::str::from_utf8(&hay[..end]).map_err(|_| ParseError {
+            offset: start,
+            message: "invalid UTF-8 in comment".into(),
+        })?;
+        if text.contains("--") {
+            return Err(ParseError {
+                offset: start,
+                message: "`--` is not allowed inside a comment".into(),
+            });
+        }
+        self.pos += end + 3;
+        Ok(text.to_string())
+    }
+
+    fn parse_cdata(&mut self) -> Result<String, ParseError> {
+        // After `<![CDATA[`.
+        let start = self.pos;
+        let hay = &self.input[self.pos..];
+        let Some(end) = find(hay, b"]]>") else {
+            return self.err("unterminated CDATA section");
+        };
+        let text = std::str::from_utf8(&hay[..end]).map_err(|_| ParseError {
+            offset: start,
+            message: "invalid UTF-8 in CDATA".into(),
+        })?;
+        self.pos += end + 3;
+        Ok(text.to_string())
+    }
+
+    fn parse_pi(&mut self) -> Result<(String, String), ParseError> {
+        // After `<?`.
+        let target = self.parse_name()?;
+        self.skip_ws();
+        let start = self.pos;
+        let hay = &self.input[self.pos..];
+        let Some(end) = find(hay, b"?>") else {
+            return self.err("unterminated processing instruction");
+        };
+        let data = std::str::from_utf8(&hay[..end]).map_err(|_| ParseError {
+            offset: start,
+            message: "invalid UTF-8 in processing instruction".into(),
+        })?;
+        self.pos += end + 2;
+        Ok((target, data.trim_end().to_string()))
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), ParseError> {
+        // After `<!DOCTYPE`.
+        let mut depth = 0usize;
+        loop {
+            match self.bump() {
+                None => return self.err("unterminated DOCTYPE"),
+                Some(b'[') => depth += 1,
+                Some(b']') => depth = depth.saturating_sub(1),
+                Some(b'>') if depth == 0 => return Ok(()),
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Parses attributes up to (but not including) `>` or `/>`.
+    fn parse_attrs(&mut self) -> Result<Vec<(String, String)>, ParseError> {
+        let mut attrs: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') | Some(b'/') | Some(b'?') | None => return Ok(attrs),
+                _ => {
+                    let name = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    if attrs.iter().any(|(n, _)| *n == name) {
+                        return self.err(format!("duplicate attribute `{name}`"));
+                    }
+                    attrs.push((name, value));
+                }
+            }
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Document, ParseError> {
+        // Optional BOM.
+        self.eat("\u{FEFF}");
+        // Prolog: XML declaration, comments, PIs, DOCTYPE, whitespace.
+        loop {
+            self.skip_ws();
+            if self.eat("<?xml") {
+                // The declaration: skip to `?>`.
+                let hay = &self.input[self.pos..];
+                let Some(end) = find(hay, b"?>") else {
+                    return self.err("unterminated XML declaration");
+                };
+                self.pos += end + 2;
+            } else if self.eat("<!--") {
+                self.parse_comment()?;
+            } else if self.starts_with("<?") {
+                self.pos += 2;
+                self.parse_pi()?;
+            } else if self.eat("<!DOCTYPE") {
+                self.skip_doctype()?;
+            } else {
+                break;
+            }
+        }
+        self.skip_ws();
+        if !self.starts_with("<") {
+            return self.err("expected the root element");
+        }
+        self.pos += 1; // consume `<`
+        let root_tag = self.parse_name()?;
+        let attrs = self.parse_attrs()?;
+        let mut doc = Document::new(root_tag.clone());
+        for (n, v) in attrs {
+            doc.set_attr(doc.root(), n, v);
+        }
+        self.skip_ws();
+        if self.eat("/>") {
+            // Empty root.
+        } else {
+            self.expect(">")?;
+            let root = doc.root();
+            self.parse_content(&mut doc, root, &root_tag)?;
+        }
+        // Epilog: whitespace, comments, PIs only.
+        loop {
+            self.skip_ws();
+            if self.eat("<!--") {
+                self.parse_comment()?;
+            } else if self.starts_with("<?") {
+                self.pos += 2;
+                self.parse_pi()?;
+            } else {
+                break;
+            }
+        }
+        if !self.at_end() {
+            return self.err("unexpected content after the root element");
+        }
+        Ok(doc)
+    }
+
+    /// Parses element content until the matching end tag of `parent_tag`.
+    fn parse_content(
+        &mut self,
+        doc: &mut Document,
+        parent: NodeId,
+        parent_tag: &str,
+    ) -> Result<(), ParseError> {
+        // Explicit stack of open elements to avoid recursion limits on deep
+        // documents.
+        let mut open: Vec<(NodeId, String)> = vec![(parent, parent_tag.to_string())];
+        while let Some((cur, cur_tag)) = open.last().cloned() {
+            if let Some(text) = self.parse_text()? {
+                doc.insert_node(cur, usize::MAX, NodeKind::Text(text));
+                continue;
+            }
+            if self.at_end() {
+                return self.err(format!("unexpected end of input inside <{cur_tag}>"));
+            }
+            if self.eat("</") {
+                let name = self.parse_name()?;
+                self.skip_ws();
+                self.expect(">")?;
+                if name != cur_tag {
+                    return self.err(format!("mismatched end tag </{name}>, expected </{cur_tag}>"));
+                }
+                open.pop();
+                if open.is_empty() {
+                    return Ok(());
+                }
+                continue;
+            }
+            if self.eat("<!--") {
+                let text = self.parse_comment()?;
+                doc.insert_node(cur, usize::MAX, NodeKind::Comment(text));
+                continue;
+            }
+            if self.eat("<![CDATA[") {
+                let text = self.parse_cdata()?;
+                doc.insert_node(cur, usize::MAX, NodeKind::Text(text));
+                continue;
+            }
+            if self.starts_with("<?") {
+                self.pos += 2;
+                let (target, data) = self.parse_pi()?;
+                doc.insert_node(cur, usize::MAX, NodeKind::Pi { target, data });
+                continue;
+            }
+            // A child element.
+            self.expect("<")?;
+            let tag = self.parse_name()?;
+            let attrs = self.parse_attrs()?;
+            let child = doc.insert_element(cur, usize::MAX, tag.clone());
+            for (n, v) in attrs {
+                doc.set_attr(child, n, v);
+            }
+            self.skip_ws();
+            if self.eat("/>") {
+                continue;
+            }
+            self.expect(">")?;
+            open.push((child, tag));
+        }
+        Ok(())
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn find(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    hay.windows(needle.len()).position(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NodeKind;
+
+    #[test]
+    fn minimal_document() {
+        let doc = parse("<r/>").unwrap();
+        assert_eq!(doc.tag(doc.root()), Some("r"));
+        assert_eq!(doc.len(), 1);
+    }
+
+    #[test]
+    fn nested_elements_and_text() {
+        let doc = parse("<a><b>hello</b><c>world</c></a>").unwrap();
+        let kids = doc.children(doc.root());
+        assert_eq!(kids.len(), 2);
+        assert_eq!(doc.string_value(kids[0]), "hello");
+        assert_eq!(doc.string_value(kids[1]), "world");
+    }
+
+    #[test]
+    fn attributes_with_both_quote_styles() {
+        let doc = parse(r#"<e a="1" b='two' c="with 'inner'"/>"#).unwrap();
+        assert_eq!(doc.attr(doc.root(), "a"), Some("1"));
+        assert_eq!(doc.attr(doc.root(), "b"), Some("two"));
+        assert_eq!(doc.attr(doc.root(), "c"), Some("with 'inner'"));
+    }
+
+    #[test]
+    fn predefined_entities_and_char_refs() {
+        let doc = parse("<t a=\"&lt;&quot;&amp;\">&#65;&#x42;&gt;&apos;</t>").unwrap();
+        assert_eq!(doc.attr(doc.root(), "a"), Some("<\"&"));
+        assert_eq!(doc.string_value(doc.root()), "AB>'");
+    }
+
+    #[test]
+    fn cdata_is_uninterpreted_text() {
+        let doc = parse("<t><![CDATA[a < b && c]]></t>").unwrap();
+        assert_eq!(doc.string_value(doc.root()), "a < b && c");
+    }
+
+    #[test]
+    fn comments_and_pis_are_kept() {
+        let doc = parse("<t><!-- note --><?pi some data?></t>").unwrap();
+        let kids = doc.children(doc.root());
+        assert_eq!(kids.len(), 2);
+        assert_eq!(
+            doc.node(kids[0]).kind(),
+            &NodeKind::Comment(" note ".into())
+        );
+        assert_eq!(
+            doc.node(kids[1]).kind(),
+            &NodeKind::Pi {
+                target: "pi".into(),
+                data: "some data".into()
+            }
+        );
+    }
+
+    #[test]
+    fn prolog_declaration_and_doctype_are_skipped() {
+        let doc = parse(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE r [ <!ELEMENT r ANY> ]>\n<!-- hi -->\n<r>x</r>\n",
+        )
+        .unwrap();
+        assert_eq!(doc.string_value(doc.root()), "x");
+    }
+
+    #[test]
+    fn mismatched_tags_fail() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched end tag"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_attribute_fails() {
+        assert!(parse("<a x=\"1\" x=\"2\"/>").is_err());
+    }
+
+    #[test]
+    fn unterminated_input_fails() {
+        assert!(parse("<a><b>").is_err());
+        assert!(parse("<a attr=>").is_err());
+        assert!(parse("<a>&unknown;</a>").is_err());
+        assert!(parse("<a>text</a><b/>").is_err());
+    }
+
+    #[test]
+    fn whitespace_only_text_is_preserved() {
+        let doc = parse("<a> <b/> </a>").unwrap();
+        // Ordered model: whitespace runs are real text nodes.
+        assert_eq!(doc.children(doc.root()).len(), 3);
+    }
+
+    #[test]
+    fn unicode_content_round_trips() {
+        let doc = parse("<α β=\"γδ\">héllo 世界</α>").unwrap();
+        assert_eq!(doc.tag(doc.root()), Some("α"));
+        assert_eq!(doc.attr(doc.root(), "β"), Some("γδ"));
+        assert_eq!(doc.string_value(doc.root()), "héllo 世界");
+    }
+
+    #[test]
+    fn deeply_nested_does_not_overflow_stack() {
+        let depth = 50_000;
+        let mut s = String::new();
+        for _ in 0..depth {
+            s.push_str("<d>");
+        }
+        for _ in 0..depth {
+            s.push_str("</d>");
+        }
+        let doc = parse(&s).unwrap();
+        assert_eq!(doc.len(), depth);
+    }
+
+    #[test]
+    fn mixed_content_order_is_preserved() {
+        let doc = parse("<p>one<b>two</b>three<i>four</i>five</p>").unwrap();
+        let texts: Vec<String> = doc
+            .iter()
+            .filter_map(|n| doc.text(n).map(|s| s.to_string()))
+            .collect();
+        assert_eq!(texts, vec!["one", "two", "three", "four", "five"]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Structural node paths.
+//!
+//! A [`NodePath`] addresses a node by the sequence of 0-based child indexes
+//! from the document root (the root itself is the empty path). Paths are the
+//! encoding-agnostic way the test suite and the update layer name "the same
+//! node" across a DOM document and its three relational shreddings.
+
+use crate::model::{Document, NodeId};
+use std::fmt;
+
+/// A root-to-node sequence of child indexes. The empty path is the root.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodePath(pub Vec<usize>);
+
+impl NodePath {
+    /// The path of the document root.
+    pub fn root() -> Self {
+        NodePath(Vec::new())
+    }
+
+    /// Builds the path of `node` within `doc`.
+    pub fn of(doc: &Document, node: NodeId) -> Self {
+        let mut steps = Vec::new();
+        let mut cur = node;
+        while let Some(_parent) = doc.parent(cur) {
+            steps.push(doc.sibling_index(cur).expect("live node"));
+            cur = doc.parent(cur).expect("checked");
+        }
+        steps.reverse();
+        NodePath(steps)
+    }
+
+    /// Resolves the path inside `doc`, if every step exists.
+    pub fn resolve(&self, doc: &Document) -> Option<NodeId> {
+        let mut cur = doc.root();
+        for &step in &self.0 {
+            cur = doc.children(cur).get(step).copied()?;
+        }
+        Some(cur)
+    }
+
+    /// The parent path (`None` for the root path).
+    pub fn parent(&self) -> Option<NodePath> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(NodePath(self.0[..self.0.len() - 1].to_vec()))
+        }
+    }
+
+    /// Extends the path by one child step.
+    pub fn child(&self, idx: usize) -> NodePath {
+        let mut steps = self.0.clone();
+        steps.push(idx);
+        NodePath(steps)
+    }
+
+    /// Number of steps (== depth of the addressed node).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl fmt::Display for NodePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "/");
+        }
+        for s in &self.0 {
+            write!(f, "/{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn of_and_resolve_are_inverses() {
+        let doc = parse("<a><b>x</b><c><d/><e/></c></a>").unwrap();
+        for n in doc.iter() {
+            let p = NodePath::of(&doc, n);
+            assert_eq!(p.resolve(&doc), Some(n), "path {p}");
+        }
+    }
+
+    #[test]
+    fn resolve_missing_step_is_none() {
+        let doc = parse("<a><b/></a>").unwrap();
+        assert_eq!(NodePath(vec![5]).resolve(&doc), None);
+        assert_eq!(NodePath(vec![0, 0]).resolve(&doc), None);
+    }
+
+    #[test]
+    fn display_and_parentage() {
+        let p = NodePath(vec![1, 0, 3]);
+        assert_eq!(p.to_string(), "/1/0/3");
+        assert_eq!(p.parent().unwrap().to_string(), "/1/0");
+        assert_eq!(NodePath::root().to_string(), "/");
+        assert_eq!(NodePath::root().parent(), None);
+        assert_eq!(p.child(2).to_string(), "/1/0/3/2");
+        assert_eq!(p.depth(), 3);
+    }
+}

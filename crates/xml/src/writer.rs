@@ -1,0 +1,264 @@
+//! Serializing documents back to XML text.
+//!
+//! The writer escapes the five predefined entities where required and can
+//! emit either compact output (byte-for-byte round-trippable with the parser
+//! for documents that contain no CDATA) or indented output for humans.
+
+use crate::model::{Document, NodeId, NodeKind};
+
+/// Serialization options.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Emit `<?xml version="1.0" encoding="UTF-8"?>` first.
+    pub declaration: bool,
+    /// Pretty-print with this many spaces per depth level; `None` is compact.
+    ///
+    /// Pretty printing inserts whitespace *between* element children and is
+    /// therefore not round-trippable for mixed content; use it for display
+    /// only.
+    pub indent: Option<usize>,
+    /// Render empty elements as `<e/>` rather than `<e></e>`.
+    pub self_close_empty: bool,
+}
+
+impl WriteOptions {
+    /// Compact output: no declaration, no indentation, self-closing empties.
+    pub fn compact() -> Self {
+        WriteOptions {
+            declaration: false,
+            indent: None,
+            self_close_empty: true,
+        }
+    }
+
+    /// Human-friendly output with two-space indentation and a declaration.
+    pub fn pretty() -> Self {
+        WriteOptions {
+            declaration: true,
+            indent: Some(2),
+            self_close_empty: true,
+        }
+    }
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions::compact()
+    }
+}
+
+/// Serializes a whole document.
+pub fn write(doc: &Document, opts: &WriteOptions) -> String {
+    write_subtree(doc, doc.root(), opts)
+}
+
+/// Serializes the subtree rooted at `node`.
+pub fn write_subtree(doc: &Document, node: NodeId, opts: &WriteOptions) -> String {
+    let mut out = String::new();
+    if opts.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if opts.indent.is_some() {
+            out.push('\n');
+        }
+    }
+    emit(doc, node, opts, 0, &mut out);
+    out
+}
+
+fn emit(doc: &Document, node: NodeId, opts: &WriteOptions, depth: usize, out: &mut String) {
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(w) = opts.indent {
+            if !out.is_empty() && !out.ends_with('\n') {
+                out.push('\n');
+            }
+            for _ in 0..depth * w {
+                out.push(' ');
+            }
+        }
+    };
+    match doc.node(node).kind() {
+        NodeKind::Element { tag, attrs } => {
+            pad(out, depth);
+            out.push('<');
+            out.push_str(tag);
+            for (n, v) in attrs {
+                out.push(' ');
+                out.push_str(n);
+                out.push_str("=\"");
+                escape_attr(v, out);
+                out.push('"');
+            }
+            let children = doc.children(node);
+            if children.is_empty() {
+                if opts.self_close_empty {
+                    out.push_str("/>");
+                } else {
+                    out.push_str("></");
+                    out.push_str(tag);
+                    out.push('>');
+                }
+                return;
+            }
+            out.push('>');
+            // Only indent children when none of them is a text node:
+            // injecting whitespace into mixed content would change the value.
+            let mixed = children.iter().any(|&c| doc.node(c).kind().is_text());
+            for &c in children {
+                if mixed {
+                    emit_inline(doc, c, opts, out);
+                } else {
+                    emit(doc, c, opts, depth + 1, out);
+                }
+            }
+            if !mixed {
+                pad(out, depth);
+            }
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+        _ => {
+            pad(out, depth);
+            emit_inline(doc, node, opts, out);
+        }
+    }
+}
+
+/// Emits a node without any pretty-printing (used inside mixed content).
+fn emit_inline(doc: &Document, node: NodeId, opts: &WriteOptions, out: &mut String) {
+    match doc.node(node).kind() {
+        NodeKind::Element { tag, attrs } => {
+            out.push('<');
+            out.push_str(tag);
+            for (n, v) in attrs {
+                out.push(' ');
+                out.push_str(n);
+                out.push_str("=\"");
+                escape_attr(v, out);
+                out.push('"');
+            }
+            let children = doc.children(node);
+            if children.is_empty() && opts.self_close_empty {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            for &c in children {
+                emit_inline(doc, c, opts, out);
+            }
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+        NodeKind::Text(t) => escape_text(t, out),
+        NodeKind::Comment(t) => {
+            out.push_str("<!--");
+            out.push_str(t);
+            out.push_str("-->");
+        }
+        NodeKind::Pi { target, data } => {
+            out.push_str("<?");
+            out.push_str(target);
+            if !data.is_empty() {
+                out.push(' ');
+                out.push_str(data);
+            }
+            out.push_str("?>");
+        }
+    }
+}
+
+/// Escapes text content: `&`, `<`, `>`.
+pub fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escapes an attribute value for double-quoted output: `&`, `<`, `"`, and
+/// the whitespace characters that attribute-value normalization would fold.
+pub fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            '\r' => out.push_str("&#13;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_round_trip() {
+        let src = "<a x=\"1\"><b>hi &amp; low</b><c/><d>t</d></a>";
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.to_xml(), src);
+    }
+
+    #[test]
+    fn escaping_in_text_and_attrs() {
+        let mut doc = Document::new("r");
+        doc.set_attr(doc.root(), "a", "x<\"&>y");
+        doc.append_text(doc.root(), "1 < 2 & 3 > 2");
+        let s = doc.to_xml();
+        assert_eq!(
+            s,
+            "<r a=\"x&lt;&quot;&amp;>y\">1 &lt; 2 &amp; 3 &gt; 2</r>"
+        );
+        // And it parses back to the same tree.
+        let back = parse(&s).unwrap();
+        assert!(doc.tree_eq(&back));
+    }
+
+    #[test]
+    fn pretty_output_indents_element_content() {
+        let doc = parse("<a><b><c/></b></a>").unwrap();
+        let s = write(&doc, &WriteOptions::pretty());
+        assert!(s.starts_with("<?xml"));
+        assert!(s.contains("\n  <b>"));
+        assert!(s.contains("\n    <c/>"));
+    }
+
+    #[test]
+    fn pretty_output_keeps_mixed_content_intact() {
+        let doc = parse("<p>one<b>two</b>three</p>").unwrap();
+        let s = write(&doc, &WriteOptions::pretty());
+        assert!(s.contains("<p>one<b>two</b>three</p>"));
+    }
+
+    #[test]
+    fn comments_and_pis_round_trip() {
+        let src = "<r><!-- c --><?pi data?></r>";
+        let doc = parse(src).unwrap();
+        assert_eq!(doc.to_xml(), src);
+    }
+
+    #[test]
+    fn subtree_serialization() {
+        let doc = parse("<a><b>x</b><c><d>y</d></c></a>").unwrap();
+        let c = doc.children(doc.root())[1];
+        assert_eq!(doc.subtree_to_xml(c), "<c><d>y</d></c>");
+    }
+
+    #[test]
+    fn attr_whitespace_escapes_round_trip() {
+        let mut doc = Document::new("r");
+        doc.set_attr(doc.root(), "a", "line1\nline2\tend");
+        let s = doc.to_xml();
+        let back = parse(&s).unwrap();
+        assert_eq!(back.attr(back.root(), "a"), Some("line1\nline2\tend"));
+    }
+}

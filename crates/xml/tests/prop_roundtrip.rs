@@ -1,0 +1,204 @@
+//! Property tests: arbitrary documents survive serialize → parse intact.
+
+use ordxml_xml::{parse, Document, NodeId};
+use proptest::prelude::*;
+
+/// A proptest model of an XML tree, converted to a real [`Document`].
+#[derive(Debug, Clone)]
+enum Tree {
+    Element {
+        tag: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Tree>,
+    },
+    Text(String),
+    Comment(String),
+    Pi { target: String, data: String },
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    // Valid XML names: start letter/underscore, then word chars and dashes.
+    "[a-zA-Z_][a-zA-Z0-9_.:-]{0,8}".prop_filter("no double colon", |s| !s.contains("::"))
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    // Includes the characters that need escaping, plus multi-byte UTF-8.
+    proptest::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('\''),
+            Just('"'),
+            Just(' '),
+            Just('\n'),
+            Just('é'),
+            Just('世'),
+            Just('🦀'),
+            Just('0'),
+        ],
+        1..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn comment_strategy() -> impl Strategy<Value = String> {
+    // Comments cannot contain `--` or end with `-`.
+    "[a-z é]{0,10}".prop_filter("comment rules", |s| !s.contains("--") && !s.ends_with('-'))
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        3 => text_strategy().prop_map(Tree::Text),
+        1 => comment_strategy().prop_map(Tree::Comment),
+        1 => (name_strategy(), "[a-z ]{0,8}")
+            .prop_map(|(target, data)| Tree::Pi { target, data: data.trim().to_string() }),
+        3 => (name_strategy(), attrs_strategy())
+            .prop_map(|(tag, attrs)| Tree::Element { tag, attrs, children: vec![] }),
+    ];
+    leaf.prop_recursive(4, 48, 6, |inner| {
+        (
+            name_strategy(),
+            attrs_strategy(),
+            proptest::collection::vec(inner, 0..6),
+        )
+            .prop_map(|(tag, attrs, children)| Tree::Element { tag, attrs, children })
+    })
+}
+
+fn attrs_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec((name_strategy(), text_strategy()), 0..3).prop_map(|attrs| {
+        // Attribute names must be unique per element.
+        let mut seen = std::collections::HashSet::new();
+        attrs
+            .into_iter()
+            .filter(|(n, _)| seen.insert(n.to_ascii_lowercase()))
+            .collect()
+    })
+}
+
+fn doc_strategy() -> impl Strategy<Value = Document> {
+    (name_strategy(), attrs_strategy(), proptest::collection::vec(tree_strategy(), 0..5))
+        .prop_map(|(tag, attrs, children)| {
+            let mut doc = Document::new(tag);
+            let root = doc.root();
+            for (n, v) in attrs {
+                doc.set_attr(root, n, v);
+            }
+            for c in children {
+                build(&mut doc, root, &c);
+            }
+            doc
+        })
+}
+
+fn build(doc: &mut Document, parent: NodeId, tree: &Tree) {
+    match tree {
+        Tree::Element { tag, attrs, children } => {
+            let e = doc.append_element(parent, tag.clone());
+            for (n, v) in attrs {
+                doc.set_attr(e, n.clone(), v.clone());
+            }
+            for c in children {
+                build(doc, e, c);
+            }
+        }
+        Tree::Text(t) => {
+            doc.append_text(parent, t.clone());
+        }
+        Tree::Comment(t) => {
+            doc.append_comment(parent, t.clone());
+        }
+        Tree::Pi { target, data } => {
+            doc.append_pi(parent, target.clone(), data.clone());
+        }
+    }
+}
+
+/// Serialization canonicalizes text: adjacent text siblings merge into one
+/// node and empty text nodes vanish. Normalize a tree the same way so
+/// round-trip comparison is meaningful.
+fn normalize(doc: &Document) -> Document {
+    fn copy(src: &Document, from: NodeId, dst: &mut Document, to: NodeId) {
+        let mut pending_text = String::new();
+        let flush = |dst: &mut Document, to: NodeId, buf: &mut String| {
+            if !buf.is_empty() {
+                dst.append_text(to, std::mem::take(buf));
+            }
+        };
+        for &c in src.children(from) {
+            match src.node(c).kind() {
+                ordxml_xml::NodeKind::Text(t) => pending_text.push_str(t),
+                ordxml_xml::NodeKind::Element { tag, attrs } => {
+                    flush(dst, to, &mut pending_text);
+                    let e = dst.append_element(to, tag.clone());
+                    for (n, v) in attrs {
+                        dst.set_attr(e, n.clone(), v.clone());
+                    }
+                    copy(src, c, dst, e);
+                }
+                other => {
+                    flush(dst, to, &mut pending_text);
+                    dst.insert_node(to, usize::MAX, other.clone());
+                }
+            }
+        }
+        flush(dst, to, &mut pending_text);
+    }
+    let mut out = Document::new(doc.tag(doc.root()).unwrap().to_string());
+    let root = out.root();
+    for (n, v) in doc.attrs(doc.root()) {
+        out.set_attr(root, n.clone(), v.clone());
+    }
+    copy(doc, doc.root(), &mut out, root);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn serialize_parse_roundtrip(doc in doc_strategy()) {
+        let xml = doc.to_xml();
+        let back = parse(&xml).unwrap_or_else(|e| panic!("{e}\n{xml}"));
+        let want = normalize(&doc);
+        prop_assert!(want.tree_eq(&back), "{xml}");
+        // A second round trip is exact: serialization is idempotent.
+        let xml2 = back.to_xml();
+        let back2 = parse(&xml2).unwrap();
+        prop_assert!(back.tree_eq(&back2), "{xml2}");
+    }
+
+    #[test]
+    fn preorder_and_document_order_agree(doc in doc_strategy()) {
+        let order: Vec<NodeId> = doc.iter().collect();
+        // Spot-check pairs (full quadratic check on small docs only).
+        let step = (order.len() / 8).max(1);
+        for (i, &a) in order.iter().enumerate().step_by(step) {
+            for (j, &b) in order.iter().enumerate().step_by(step) {
+                prop_assert_eq!(doc.document_order(a, b), i.cmp(&j));
+            }
+        }
+    }
+
+    #[test]
+    fn node_paths_resolve(doc in doc_strategy()) {
+        for n in doc.iter() {
+            let p = ordxml_xml::NodePath::of(&doc, n);
+            prop_assert_eq!(p.resolve(&doc), Some(n));
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_are_consistent(doc in doc_strategy()) {
+        let total = doc.subtree_size(doc.root());
+        let children_sum: usize = doc
+            .children(doc.root())
+            .iter()
+            .map(|&c| doc.subtree_size(c))
+            .sum();
+        prop_assert_eq!(total, children_sum + 1);
+        prop_assert_eq!(total, doc.len());
+    }
+}

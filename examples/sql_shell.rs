@@ -1,0 +1,83 @@
+//! Peek under the hood: the relational schema a document shreds into, and
+//! direct SQL over the shredded tables (what the XPath translator emits).
+//!
+//! ```text
+//! cargo run --example sql_shell              # demo script
+//! echo "SELECT ..." | cargo run --example sql_shell -- -   # pipe your own SQL
+//! ```
+
+use ordxml::{Encoding, XmlStore};
+use ordxml_rdbms::{Database, Value};
+use std::io::BufRead;
+
+fn run_and_print(store: &mut XmlStore, sql: &str) {
+    println!("sql> {sql}");
+    match store.db().run(sql, &[]) {
+        Ok(result) => {
+            if !result.columns.is_empty() {
+                println!("     {}", result.columns.join(" | "));
+            }
+            for row in &result.rows {
+                let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+                println!("     {}", cells.join(" | "));
+            }
+            if result.rows_affected > 0 {
+                println!("     ({} rows affected)", result.rows_affected);
+            }
+            println!(
+                "     [{} rows, {} heap rows read, {} index scans]",
+                result.rows.len(),
+                result.stats.rows_scanned,
+                result.stats.index_scans
+            );
+        }
+        Err(e) => println!("     error: {e}"),
+    }
+    println!();
+}
+
+fn main() {
+    let doc = ordxml_xml::parse(
+        "<catalog><item id=\"i1\"><name>Alpha</name><price>30</price></item>\
+         <item id=\"i2\"><name>Beta</name><price>10</price></item>\
+         <item id=\"i3\"><name>Gamma</name><price>20</price></item></catalog>",
+    )
+    .unwrap();
+    let mut store = XmlStore::new(Database::in_memory(), Encoding::Global);
+    store.load_document(&doc, "catalog").unwrap();
+
+    let pipe_mode = std::env::args().nth(1).as_deref() == Some("-");
+    if pipe_mode {
+        for line in std::io::stdin().lock().lines() {
+            let line = line.unwrap();
+            if !line.trim().is_empty() {
+                run_and_print(&mut store, line.trim());
+            }
+        }
+        return;
+    }
+
+    println!("The catalog document shredded under the GLOBAL order encoding:\n");
+    run_and_print(
+        &mut store,
+        "SELECT pos, parent_pos, desc_max, depth, kind, tag, value \
+         FROM global_node WHERE doc = 1 ORDER BY pos",
+    );
+    println!("What `/catalog/item[2]` becomes (the translator's actual shape):\n");
+    run_and_print(
+        &mut store,
+        "SELECT t1.pos, t1.tag FROM global_node t0, global_node t1 \
+         WHERE t0.doc = 1 AND t0.parent_pos = -1 AND t0.kind = 0 AND t0.tag = 'catalog' \
+           AND t1.doc = 1 AND t1.parent_pos = t0.pos AND t1.kind = 0 AND t1.tag = 'item' \
+           AND (SELECT COUNT(*) FROM global_node y \
+                WHERE y.doc = t1.doc AND y.parent_pos = t1.parent_pos \
+                  AND y.pos < t1.pos AND y.kind = 0 AND y.tag = 'item') = 1 \
+         ORDER BY t1.pos",
+    );
+    println!("Ordered aggregation straight over the shredded rows:\n");
+    run_and_print(
+        &mut store,
+        "SELECT tag, COUNT(*) AS n FROM global_node WHERE doc = 1 GROUP BY tag ORDER BY n DESC, 1",
+    );
+    println!("(pass `-` and pipe SQL on stdin to explore interactively)");
+}

@@ -1,0 +1,9 @@
+//! `ordxml-suite` — workspace-level integration-test and example host.
+//!
+//! The real functionality lives in the member crates:
+//! [`ordxml`] (order encodings, shredding, XPath translation),
+//! [`ordxml_rdbms`] (the embedded relational engine), and
+//! [`ordxml_xml`] (XML model, parser, generator).
+pub use ordxml;
+pub use ordxml_rdbms;
+pub use ordxml_xml;

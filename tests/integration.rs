@@ -1,0 +1,221 @@
+//! Workspace-level integration tests: end-to-end flows spanning
+//! `ordxml-xml` (parsing/generation), `ordxml` (shredding, translation,
+//! updates, reconstruction), and `ordxml-rdbms` (storage, SQL, planner).
+
+use ordxml::{Encoding, OrderConfig, XmlStore};
+use ordxml_rdbms::{Database, Value};
+use ordxml_xml::{GenConfig, NodePath};
+
+#[test]
+fn end_to_end_all_encodings() {
+    let doc = GenConfig::mixed(400).with_seed(5).generate();
+    for enc in Encoding::all() {
+        let mut store = XmlStore::new(Database::in_memory(), enc);
+        let d = store.load_document(&doc, "e2e").unwrap();
+        // Counts line up across the stack.
+        let rows = store.node_count(d).unwrap() as usize;
+        let expected: usize = doc.iter().map(|n| 1 + doc.attrs(n).len()).sum();
+        assert_eq!(rows, expected, "{enc}");
+        // Query, update, re-query, reconstruct.
+        let before = store.xpath(d, "//*").unwrap().len();
+        let frag = ordxml_xml::parse("<inserted><x>1</x></inserted>").unwrap();
+        store.insert_fragment(d, &NodePath(vec![]), 0, &frag).unwrap();
+        let after = store.xpath(d, "//*").unwrap().len();
+        assert_eq!(after, before + 2, "{enc}");
+        let found = store.xpath(d, "/*/inserted/x").unwrap();
+        assert_eq!(found.len(), 1, "{enc}");
+        let rebuilt = store.reconstruct_document(d).unwrap();
+        assert_eq!(
+            rebuilt.len(),
+            doc.len() + 3,
+            "{enc}: inserted element + child + text"
+        );
+    }
+}
+
+#[test]
+fn multiple_documents_are_isolated() {
+    for enc in Encoding::all() {
+        let mut store = XmlStore::new(Database::in_memory(), enc);
+        let d1 = store
+            .load_document(&ordxml_xml::parse("<a><x/><x/></a>").unwrap(), "one")
+            .unwrap();
+        let d2 = store
+            .load_document(&ordxml_xml::parse("<a><x/></a>").unwrap(), "two")
+            .unwrap();
+        assert_ne!(d1, d2);
+        assert_eq!(store.xpath(d1, "/a/x").unwrap().len(), 2);
+        assert_eq!(store.xpath(d2, "/a/x").unwrap().len(), 1);
+        // Updating one document leaves the other untouched.
+        store.delete_subtree(d1, &NodePath(vec![0])).unwrap();
+        assert_eq!(store.xpath(d1, "/a/x").unwrap().len(), 1);
+        assert_eq!(store.xpath(d2, "/a/x").unwrap().len(), 1);
+        assert_eq!(store.document_ids().unwrap(), vec![d1, d2]);
+    }
+}
+
+#[test]
+fn file_backed_store_survives_reopen_with_updates() {
+    let dir = std::env::temp_dir().join(format!("ordxml-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for enc in Encoding::all() {
+        let path = dir.join(format!("store-{enc}.db"));
+        let _ = std::fs::remove_file(&path);
+        let doc = GenConfig::mixed(300).with_seed(11).generate();
+        let d;
+        {
+            let db = Database::open(&path, 128).unwrap();
+            let mut store = XmlStore::new(db, enc);
+            d = store
+                .load_document_with(&doc, "persist", OrderConfig::with_gap(4))
+                .unwrap();
+            let frag = ordxml_xml::parse("<persisted>yes</persisted>").unwrap();
+            store.insert_fragment(d, &NodePath(vec![]), 1, &frag).unwrap();
+            store.db().checkpoint().unwrap();
+        }
+        {
+            let db = Database::open(&path, 128).unwrap();
+            let mut store = XmlStore::new(db, enc);
+            assert_eq!(store.document_ids().unwrap(), vec![d], "{enc}");
+            let hits = store.xpath(d, "//persisted").unwrap();
+            assert_eq!(hits.len(), 1, "{enc}");
+            assert_eq!(
+                store.serialize(d, &hits[0]).unwrap(),
+                "<persisted>yes</persisted>"
+            );
+            // Still updatable after reopen (indexes were rebuilt).
+            let frag = ordxml_xml::parse("<again/>").unwrap();
+            store.insert_fragment(d, &NodePath(vec![]), 0, &frag).unwrap();
+            assert_eq!(store.xpath(d, "/*/again").unwrap().len(), 1, "{enc}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
+fn translated_queries_use_indexes_not_scans() {
+    // The whole point of the schemas: child steps and order predicates must
+    // run as index scans. Verify via the engine's statistics.
+    let doc = ordxml_bench_free_catalog(500);
+    for enc in Encoding::all() {
+        let mut store = XmlStore::new(Database::in_memory(), enc);
+        let d = store.load_document(&doc, "stats").unwrap();
+        store.db().reset_stats();
+        let hits = store.xpath(d, "/catalog/item").unwrap();
+        assert_eq!(hits.len(), 500);
+        let stats = store.db().total_stats();
+        assert!(stats.index_scans >= 1, "{enc}: {stats:?}");
+        // A child scan must not read substantially more rows than it returns
+        // (the root lookup plus the children).
+        assert!(
+            stats.rows_scanned <= 501 + 5,
+            "{enc} read too much: {stats:?}"
+        );
+    }
+}
+
+/// Local copy of the bench catalog shape (the bench crate is not a
+/// dependency of the test package).
+fn ordxml_bench_free_catalog(items: usize) -> ordxml_xml::Document {
+    let mut doc = ordxml_xml::Document::new("catalog");
+    let root = doc.root();
+    for i in 0..items {
+        let item = doc.append_element(root, "item");
+        doc.set_attr(item, "id", format!("i{i}"));
+    }
+    doc
+}
+
+#[test]
+fn raw_sql_access_to_shredded_data() {
+    // The shredded tables are ordinary relations: users can mix the XPath
+    // facade with plain SQL analytics.
+    let doc = ordxml_xml::parse(
+        "<catalog><item><price>10</price></item><item><price>30</price></item>\
+         <item><price>20</price></item></catalog>",
+    )
+    .unwrap();
+    let mut store = XmlStore::new(Database::in_memory(), Encoding::Global);
+    store.load_document(&doc, "sql").unwrap();
+    let rows = store
+        .db()
+        .query(
+            "SELECT COUNT(*), MIN(value), MAX(value) FROM global_node \
+             WHERE doc = 1 AND kind = 1",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rows[0][0], Value::Int(3));
+    assert_eq!(rows[0][1], Value::text("10"));
+    assert_eq!(rows[0][2], Value::text("30"));
+    // Join the node table with itself: price texts per item subtree.
+    let rows = store
+        .db()
+        .query(
+            "SELECT t.value FROM global_node i, global_node p, global_node t \
+             WHERE i.doc = 1 AND i.tag = 'item' \
+               AND p.doc = i.doc AND p.parent_pos = i.pos AND p.tag = 'price' \
+               AND t.doc = p.doc AND t.parent_pos = p.pos AND t.kind = 1 \
+             ORDER BY i.pos",
+            &[],
+        )
+        .unwrap();
+    let got: Vec<&str> = rows.iter().map(|r| r[0].as_text().unwrap()).collect();
+    assert_eq!(got, vec!["10", "30", "20"], "document order, not value order");
+}
+
+#[test]
+fn update_costs_scale_with_the_right_structure() {
+    // Global's relabel cost grows with document size; Local's stays bounded
+    // by fan-out. (The quantitative sweep is experiment E10.)
+    let sizes = [100usize, 400];
+    let mut global_relabels = Vec::new();
+    let mut local_relabels = Vec::new();
+    for &n in &sizes {
+        let doc = ordxml_bench_free_catalog(n);
+        for enc in [Encoding::Global, Encoding::Local] {
+            let mut store = XmlStore::new(Database::in_memory(), enc);
+            let d = store
+                .load_document_with(&doc, "scale", OrderConfig::with_gap(1))
+                .unwrap();
+            let frag = ordxml_xml::parse("<item/>").unwrap();
+            let cost = store.insert_fragment(d, &NodePath(vec![]), 0, &frag).unwrap();
+            match enc {
+                Encoding::Global => global_relabels.push(cost.relabeled),
+                Encoding::Local => local_relabels.push(cost.relabeled),
+                _ => unreachable!(),
+            }
+        }
+    }
+    assert!(
+        global_relabels[1] >= global_relabels[0] * 3,
+        "global grows with size: {global_relabels:?}"
+    );
+    assert_eq!(
+        local_relabels,
+        vec![100, 400],
+        "local equals the sibling count"
+    );
+}
+
+#[test]
+fn deep_documents_work_across_the_stack() {
+    // Dewey keys get long on deep documents; everything must still work.
+    let mut doc = ordxml_xml::Document::new("root");
+    let mut cur = doc.root();
+    for _ in 0..200 {
+        cur = doc.append_element(cur, "d");
+    }
+    doc.append_text(cur, "bottom");
+    for enc in Encoding::all() {
+        let mut store = XmlStore::new(Database::in_memory(), enc);
+        let d = store.load_document(&doc, "deep").unwrap();
+        let hits = store.xpath(d, "//d[not(d)]").unwrap();
+        assert_eq!(hits.len(), 1, "{enc}");
+        assert_eq!(store.serialize(d, &hits[0]).unwrap(), "<d>bottom</d>");
+        let up = store.xpath(d, "//d[not(d)]/ancestor::*").unwrap();
+        assert_eq!(up.len(), 200, "{enc}");
+        let rebuilt = store.reconstruct_document(d).unwrap();
+        assert!(doc.tree_eq(&rebuilt), "{enc}");
+    }
+}
