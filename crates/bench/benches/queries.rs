@@ -18,7 +18,10 @@ fn bench_queries(c: &mut Criterion) {
         ("descendants", "//author".to_string()),
         (
             "sibling_window",
-            format!("/catalog/item[{}]/following-sibling::item[position() <= 5]", items / 2),
+            format!(
+                "/catalog/item[{}]/following-sibling::item[position() <= 5]",
+                items / 2
+            ),
         ),
         ("attribute_filter", "/catalog/item[@id = 'i42']".to_string()),
     ];
@@ -34,13 +37,9 @@ fn bench_queries(c: &mut Criterion) {
             .unwrap();
         for (name, q) in &queries {
             let path = ordxml::xpath::parse(q).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(*name, enc.name()),
-                &path,
-                |b, path| {
-                    b.iter(|| store.xpath_parsed(d, path).unwrap().len());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(*name, enc.name()), &path, |b, path| {
+                b.iter(|| store.xpath_parsed(d, path).unwrap().len());
+            });
         }
     }
     group.finish();

@@ -22,8 +22,11 @@ fn bench_inserts(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(3));
     for enc in Encoding::all() {
-        for (pos_name, index) in [("front", 0usize), ("middle", items / 2), ("append", usize::MAX)]
-        {
+        for (pos_name, index) in [
+            ("front", 0usize),
+            ("middle", items / 2),
+            ("append", usize::MAX),
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(pos_name, enc.name()),
                 &index,

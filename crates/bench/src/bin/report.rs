@@ -1,12 +1,18 @@
-//! The experiment runner: prints the paper-style tables for E1–E10.
+//! The experiment runner: prints the paper-style tables for E1–E10 and
+//! writes the same results — plus per-experiment engine counters — to
+//! `BENCH_report.json`.
 //!
 //! ```text
 //! report              # all experiments, quick scale
 //! report all --full   # all experiments, paper-scale documents
 //! report e3 e7        # selected experiments
+//! report --no-json    # skip writing BENCH_report.json
+//! report --obs-off    # disable the engine's global observability registry
+//!                     # (overhead spot checks; counters then read as zero)
 //! ```
 
-use ordxml_bench::{experiments, Scale};
+use ordxml_bench::{experiments, report, Scale};
+use ordxml_rdbms::obs;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -15,6 +21,10 @@ fn main() {
     } else {
         Scale::Quick
     };
+    if args.iter().any(|a| a == "--obs-off") {
+        obs::registry().set_enabled(false);
+    }
+    let write_json = !args.iter().any(|a| a == "--no-json");
     let selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -25,13 +35,39 @@ fn main() {
     } else {
         selected.iter().map(String::as_str).collect()
     };
-    println!(
-        "ordxml experiment report — scale: {scale:?} (pass --full for paper-scale runs)"
-    );
+    println!("ordxml experiment report — scale: {scale:?} (pass --full for paper-scale runs)");
+    let mut records = Vec::new();
     for id in ids {
-        if !experiments::run(id, scale) {
-            eprintln!("unknown experiment `{id}` (expected e1..e10 or `all`)");
-            std::process::exit(2);
+        match experiments::run(id, scale) {
+            Some(r) => {
+                println!(
+                    "  [{id}] {:.2?}, {} engine statements ({} read / {} write)",
+                    r.elapsed,
+                    r.engine.statements,
+                    r.engine.read_statements,
+                    r.engine.write_statements
+                );
+                records.push(r);
+            }
+            None => {
+                eprintln!("unknown experiment `{id}` (expected e1..e10 or `all`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if write_json {
+        let scale_name = match scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        };
+        let json = report::to_json(scale_name, &records);
+        let path = "BENCH_report.json";
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("\nwrote {path} ({} experiments)", records.len()),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

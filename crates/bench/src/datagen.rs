@@ -64,9 +64,7 @@ pub fn deep(depth: usize, leaves: usize) -> Document {
 /// Total node-row count a document will shred into (elements + text +
 /// attributes + comments + PIs).
 pub fn row_count(doc: &Document) -> usize {
-    doc.iter()
-        .map(|n| 1 + doc.attrs(n).len())
-        .sum()
+    doc.iter().map(|n| 1 + doc.attrs(n).len()).sum()
 }
 
 #[cfg(test)]

@@ -15,7 +15,9 @@ pub fn run(scale: Scale) {
     let sizes = scale.pick(vec![1_000usize, 5_000], vec![1_000, 10_000, 100_000]);
     let mut table = Table::new(
         "E1: storage cost (node rows, pages, KiB) by encoding",
-        &["shape", "nodes", "encoding", "rows", "pages", "KiB", "B/row"],
+        &[
+            "shape", "nodes", "encoding", "rows", "pages", "KiB", "B/row",
+        ],
     );
     for &size in &sizes {
         let shapes: Vec<(&str, ordxml_xml::Document)> = vec![

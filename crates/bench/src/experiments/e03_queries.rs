@@ -26,8 +26,17 @@ pub fn run(scale: Scale) {
             fmt_count(datagen::row_count(&doc) as u64)
         ),
         &[
-            "query", "class", "hits", "dom", "global", "local", "dewey",
-            "g:rows", "l:rows", "d:rows", "l:queries",
+            "query",
+            "class",
+            "hits",
+            "dom",
+            "global",
+            "local",
+            "dewey",
+            "g:rows",
+            "l:rows",
+            "d:rows",
+            "l:queries",
         ],
     );
     for q in QUERIES {

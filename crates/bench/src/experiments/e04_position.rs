@@ -52,7 +52,13 @@ fn ablation(scale: Scale) {
     let reps = scale.pick(3usize, 3);
     let mut table = Table::new(
         "E4b (ablation): positional predicate strategy — SQL count vs mediator slice",
-        &["fanout", "query", "encoding", "count-subquery", "mediator-slice"],
+        &[
+            "fanout",
+            "query",
+            "encoding",
+            "count-subquery",
+            "mediator-slice",
+        ],
     );
     for &fanout in &fanouts {
         let doc = datagen::flat(fanout);
@@ -60,16 +66,19 @@ fn ablation(scale: Scale) {
         let path = ordxml::xpath::parse(&q).unwrap();
         for l in load_all(&doc, OrderConfig::default()).iter_mut() {
             let mut times = Vec::new();
-            for strategy in [PositionStrategy::CountSubquery, PositionStrategy::MediatorSlice] {
+            for strategy in [
+                PositionStrategy::CountSubquery,
+                PositionStrategy::MediatorSlice,
+            ] {
                 l.store.set_position_strategy(strategy);
                 let store = &mut l.store;
                 let d = l.doc;
-                let (t, hits) =
-                    time_median(reps, || store.xpath_parsed(d, &path).unwrap().len());
+                let (t, hits) = time_median(reps, || store.xpath_parsed(d, &path).unwrap().len());
                 assert_eq!(hits, 1);
                 times.push(fmt_dur(t));
             }
-            l.store.set_position_strategy(PositionStrategy::CountSubquery);
+            l.store
+                .set_position_strategy(PositionStrategy::CountSubquery);
             table.row(vec![
                 fmt_count(fanout as u64),
                 q.clone(),

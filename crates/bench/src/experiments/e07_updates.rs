@@ -39,7 +39,9 @@ fn apply(store: &mut XmlStore, d: i64, update_id: &str, items: usize) -> UpdateC
         "U1" => store
             .insert_fragment(d, &root, usize::MAX, &item_fragment())
             .unwrap(),
-        "U2" => store.insert_fragment(d, &root, 0, &item_fragment()).unwrap(),
+        "U2" => store
+            .insert_fragment(d, &root, 0, &item_fragment())
+            .unwrap(),
         "U3" => store
             .insert_fragment(d, &root, items / 2, &item_fragment())
             .unwrap(),
@@ -66,7 +68,13 @@ fn run_gap(items: usize, gap: u64) -> Table {
             fmt_count(rows)
         ),
         &[
-            "update", "class", "encoding", "time", "inserted", "deleted", "relabeled",
+            "update",
+            "class",
+            "encoding",
+            "time",
+            "inserted",
+            "deleted",
+            "relabeled",
             "maintenance",
         ],
     );

@@ -23,7 +23,12 @@ pub fn run(scale: Scale) {
     let mut table = Table::new(
         format!("E8: {inserts} random-position inserts vs numbering gap ({items}-item catalog)"),
         &[
-            "gap", "encoding", "total time", "avg/insert", "relabeled", "maintenance",
+            "gap",
+            "encoding",
+            "total time",
+            "avg/insert",
+            "relabeled",
+            "maintenance",
             "renumber events",
         ],
     );

@@ -49,10 +49,7 @@ pub fn run(scale: Scale) {
         }
         // One dense middle insert (gap = 1).
         let frag = parse_xml("<item id=\"s\"><name>S</name></item>").unwrap();
-        let mut cells = vec![
-            fmt_count(items as u64),
-            "middle insert (gap=1)".to_string(),
-        ];
+        let mut cells = vec![fmt_count(items as u64), "middle insert (gap=1)".to_string()];
         let mut relabels = Vec::new();
         for l in load_all(&doc, OrderConfig::with_gap(1)).iter_mut() {
             let t0 = Instant::now();

@@ -12,10 +12,18 @@ pub mod e08_gaps;
 pub mod e09_mixed;
 pub mod e10_scale;
 
+use crate::report::{self, EngineDelta, ExperimentRecord};
 use crate::Scale;
+use ordxml_rdbms::obs;
+use std::time::Instant;
 
-/// Runs one experiment by id (`"e1"`..`"e10"`).
-pub fn run(id: &str, scale: Scale) -> bool {
+/// Runs one experiment by id (`"e1"`..`"e10"`), bracketing it with engine
+/// counter snapshots; returns its record for the machine-readable report,
+/// or `None` for an unknown id.
+pub fn run(id: &str, scale: Scale) -> Option<ExperimentRecord> {
+    report::drain_tables(); // discard tables from outside any experiment
+    let before = obs::snapshot();
+    let started = Instant::now();
     match id {
         "e1" => e01_storage::run(scale),
         "e2" => e02_load::run(scale),
@@ -27,12 +35,17 @@ pub fn run(id: &str, scale: Scale) -> bool {
         "e8" => e08_gaps::run(scale),
         "e9" => e09_mixed::run(scale),
         "e10" => e10_scale::run(scale),
-        _ => return false,
+        _ => return None,
     }
-    true
+    let elapsed = started.elapsed();
+    let engine = EngineDelta::between(&before, &obs::snapshot());
+    Some(ExperimentRecord {
+        id: id.to_string(),
+        elapsed,
+        engine,
+        tables: report::drain_tables(),
+    })
 }
 
 /// All experiment ids in order.
-pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-];
+pub const ALL: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];

@@ -24,14 +24,23 @@ impl Table {
         }
     }
 
-    /// Appends a row.
+    /// Appends a row. A row with the wrong arity would silently misalign
+    /// every column after it (and corrupt the recorded report), so this
+    /// checks in release builds too.
     pub fn row(&mut self, cells: Vec<String>) {
-        debug_assert_eq!(cells.len(), self.headers.len());
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "table `{}`: row arity does not match header arity",
+            self.title
+        );
         self.rows.push(cells);
     }
 
-    /// Prints the table with aligned columns.
+    /// Prints the table with aligned columns and records it into the
+    /// machine-readable run report (see [`crate::report`]).
     pub fn print(&self) {
+        crate::report::record_table(&self.title, &self.headers, &self.rows);
         println!("\n== {} ==", self.title);
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
@@ -62,9 +71,20 @@ impl Table {
     }
 }
 
-/// Runs `f` `reps` times and returns the median duration (plus the result of
-/// the final run).
-pub fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+/// Summary of repeated timings of one routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeStats {
+    /// Fastest run.
+    pub min: Duration,
+    /// Median run.
+    pub median: Duration,
+    /// 95th-percentile run (nearest-rank; the max for small rep counts).
+    pub p95: Duration,
+}
+
+/// Runs `f` `reps` times and returns min/median/p95 (plus the result of the
+/// final run).
+pub fn time_stats<R>(reps: usize, mut f: impl FnMut() -> R) -> (TimeStats, R) {
     assert!(reps >= 1);
     let mut times = Vec::with_capacity(reps);
     let mut last = None;
@@ -75,7 +95,20 @@ pub fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
         last = Some(r);
     }
     times.sort();
-    (times[times.len() / 2], last.expect("reps >= 1"))
+    let rank95 = ((times.len() as f64) * 0.95).ceil() as usize;
+    let stats = TimeStats {
+        min: times[0],
+        median: times[times.len() / 2],
+        p95: times[rank95.clamp(1, times.len()) - 1],
+    };
+    (stats, last.expect("reps >= 1"))
+}
+
+/// Runs `f` `reps` times and returns the median duration (plus the result of
+/// the final run). Shorthand for [`time_stats`] when only the median matters.
+pub fn time_median<R>(reps: usize, f: impl FnMut() -> R) -> (Duration, R) {
+    let (stats, r) = time_stats(reps, f);
+    (stats.median, r)
 }
 
 /// Human-friendly duration: `12.3µs`, `4.56ms`, `1.23s`.
@@ -168,6 +201,20 @@ mod tests {
         let (d, r) = time_median(5, || 40 + 2);
         assert_eq!(r, 42);
         assert!(d.as_nanos() < 1_000_000_000);
+    }
+
+    #[test]
+    fn time_stats_orders_quantiles() {
+        let (s, _) = time_stats(20, || std::hint::black_box((0..100).sum::<u64>()));
+        assert!(s.min <= s.median);
+        assert!(s.median <= s.p95);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_misaligned_rows() {
+        let mut t = Table::new("bad", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
     }
 
     #[test]

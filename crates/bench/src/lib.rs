@@ -19,6 +19,7 @@
 pub mod datagen;
 pub mod experiments;
 pub mod harness;
+pub mod report;
 pub mod workload;
 
 /// Experiment scale: `Quick` keeps every experiment under a few seconds

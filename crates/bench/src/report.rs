@@ -1,0 +1,240 @@
+//! Machine-readable run reports.
+//!
+//! Every [`Table`](crate::harness::Table) an experiment prints is also
+//! recorded here, and [`crate::experiments::run`] brackets each experiment
+//! with a snapshot of the engine's global observability registry
+//! ([`ordxml_rdbms::obs`]), so one run yields both the human tables on
+//! stdout and a JSON document (`BENCH_report.json`) with the same numbers
+//! plus per-experiment engine counters. The JSON is written by hand — the
+//! build environment has no serialization crates — with full string
+//! escaping, so any cell content round-trips.
+
+use ordxml_rdbms::obs::ObsSnapshot;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One recorded result table (title + headers + rows, as printed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedTable {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (cell strings exactly as printed).
+    pub rows: Vec<Vec<String>>,
+}
+
+/// Engine-counter deltas over one experiment, from the global
+/// observability registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineDelta {
+    /// Statements the engine executed.
+    pub statements: u64,
+    /// Statements that failed.
+    pub statement_errors: u64,
+    /// Statements beyond the configured slow-query threshold.
+    pub slow_statements: u64,
+    /// Read statements timed.
+    pub read_statements: u64,
+    /// Total wall-clock time in read statements.
+    pub read_time: Duration,
+    /// Write statements timed.
+    pub write_statements: u64,
+    /// Total wall-clock time in write statements.
+    pub write_time: Duration,
+}
+
+impl EngineDelta {
+    /// Counter movement between two registry snapshots.
+    pub fn between(before: &ObsSnapshot, after: &ObsSnapshot) -> EngineDelta {
+        EngineDelta {
+            statements: after.statements - before.statements,
+            statement_errors: after.statement_errors - before.statement_errors,
+            slow_statements: after.slow_statements - before.slow_statements,
+            read_statements: after.read_latency.count - before.read_latency.count,
+            read_time: after
+                .read_latency
+                .total
+                .saturating_sub(before.read_latency.total),
+            write_statements: after.write_latency.count - before.write_latency.count,
+            write_time: after
+                .write_latency
+                .total
+                .saturating_sub(before.write_latency.total),
+        }
+    }
+}
+
+/// One experiment's recorded outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRecord {
+    /// Experiment id (`"e1"`..`"e10"`).
+    pub id: String,
+    /// Wall-clock time for the whole experiment.
+    pub elapsed: Duration,
+    /// Engine counters the experiment moved.
+    pub engine: EngineDelta,
+    /// The tables it printed.
+    pub tables: Vec<RecordedTable>,
+}
+
+static PENDING_TABLES: Mutex<Vec<RecordedTable>> = Mutex::new(Vec::new());
+
+/// Records one printed table into the pending set (called by
+/// [`Table::print`](crate::harness::Table::print)).
+pub fn record_table(title: &str, headers: &[String], rows: &[Vec<String>]) {
+    PENDING_TABLES.lock().unwrap().push(RecordedTable {
+        title: title.to_string(),
+        headers: headers.to_vec(),
+        rows: rows.to_vec(),
+    });
+}
+
+/// Takes all tables recorded since the last drain (called once per
+/// experiment by the runner).
+pub fn drain_tables() -> Vec<RecordedTable> {
+    std::mem::take(&mut *PENDING_TABLES.lock().unwrap())
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_str_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+/// Renders the full run report as a JSON document.
+pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"ordxml-bench report\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", esc(scale)));
+    out.push_str("  \"experiments\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"id\": \"{}\",\n", esc(&r.id)));
+        out.push_str(&format!(
+            "      \"elapsed_ms\": {:.3},\n",
+            r.elapsed.as_secs_f64() * 1e3
+        ));
+        out.push_str("      \"engine\": {\n");
+        out.push_str(&format!(
+            "        \"statements\": {},\n        \"statement_errors\": {},\n        \
+             \"slow_statements\": {},\n        \"read_statements\": {},\n        \
+             \"read_time_ms\": {:.3},\n        \"write_statements\": {},\n        \
+             \"write_time_ms\": {:.3}\n",
+            r.engine.statements,
+            r.engine.statement_errors,
+            r.engine.slow_statements,
+            r.engine.read_statements,
+            r.engine.read_time.as_secs_f64() * 1e3,
+            r.engine.write_statements,
+            r.engine.write_time.as_secs_f64() * 1e3,
+        ));
+        out.push_str("      },\n");
+        out.push_str("      \"tables\": [\n");
+        for (j, t) in r.tables.iter().enumerate() {
+            out.push_str("        {\n");
+            out.push_str(&format!("          \"title\": \"{}\",\n", esc(&t.title)));
+            out.push_str(&format!(
+                "          \"headers\": {},\n",
+                json_str_array(&t.headers)
+            ));
+            out.push_str("          \"rows\": [\n");
+            for (k, row) in t.rows.iter().enumerate() {
+                out.push_str(&format!("            {}", json_str_array(row)));
+                out.push_str(if k + 1 < t.rows.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("          ]\n");
+            out.push_str(if j + 1 < r.tables.len() {
+                "        },\n"
+            } else {
+                "        }\n"
+            });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 < records.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: &str) -> ExperimentRecord {
+        ExperimentRecord {
+            id: id.into(),
+            elapsed: Duration::from_millis(12),
+            engine: EngineDelta {
+                statements: 7,
+                ..EngineDelta::default()
+            },
+            tables: vec![RecordedTable {
+                title: "t \"quoted\"".into(),
+                headers: vec!["a".into(), "b".into()],
+                rows: vec![vec!["1".into(), "x\ny".into()]],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let json = to_json("quick", &[record("e1"), record("e2")]);
+        assert!(json.contains("\"id\": \"e1\""));
+        assert!(json.contains("\"statements\": 7"));
+        assert!(json.contains("t \\\"quoted\\\""));
+        assert!(json.contains("x\\ny"));
+        // Crude balance check on the hand-rolled writer.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn drain_returns_recorded_tables() {
+        // The pending set is global; other tests print tables too, so only
+        // assert our own table shows up after recording.
+        record_table("drain-me", &["h".into()], &[vec!["v".into()]]);
+        let drained = drain_tables();
+        assert!(drained.iter().any(|t| t.title == "drain-me"));
+        assert!(!drained.is_empty());
+    }
+
+    #[test]
+    fn engine_delta_subtracts() {
+        let mut before = ObsSnapshot::default();
+        let mut after = ObsSnapshot::default();
+        before.statements = 10;
+        after.statements = 25;
+        after.read_latency.count = 5;
+        after.read_latency.total = Duration::from_millis(3);
+        let d = EngineDelta::between(&before, &after);
+        assert_eq!(d.statements, 15);
+        assert_eq!(d.read_statements, 5);
+        assert_eq!(d.read_time, Duration::from_millis(3));
+    }
+}

@@ -91,13 +91,34 @@ pub struct Update {
 /// The update workload (applied by experiment E7; the kinds matter, the
 /// concrete targets are chosen there).
 pub const UPDATES: &[Update] = &[
-    Update { id: "U1", what: "append at document end" },
-    Update { id: "U2", what: "insert at document front" },
-    Update { id: "U3", what: "insert at random middle" },
-    Update { id: "U4", what: "insert 20-node subtree" },
-    Update { id: "U5", what: "delete middle subtree" },
-    Update { id: "U6", what: "update one text value" },
-    Update { id: "U7", what: "move last item to front" },
+    Update {
+        id: "U1",
+        what: "append at document end",
+    },
+    Update {
+        id: "U2",
+        what: "insert at document front",
+    },
+    Update {
+        id: "U3",
+        what: "insert at random middle",
+    },
+    Update {
+        id: "U4",
+        what: "insert 20-node subtree",
+    },
+    Update {
+        id: "U5",
+        what: "delete middle subtree",
+    },
+    Update {
+        id: "U6",
+        what: "update one text value",
+    },
+    Update {
+        id: "U7",
+        what: "move last item to front",
+    },
 ];
 
 #[cfg(test)]

@@ -40,7 +40,10 @@ impl DeweyKey {
     /// # Panics
     /// Panics on an empty component list.
     pub fn new(components: Vec<u64>) -> DeweyKey {
-        assert!(!components.is_empty(), "a Dewey key has at least one component");
+        assert!(
+            !components.is_empty(),
+            "a Dewey key has at least one component"
+        );
         DeweyKey { components }
     }
 
@@ -263,11 +266,7 @@ mod tests {
         ];
         for a in &keys {
             for b in &keys {
-                assert_eq!(
-                    a.to_bytes().cmp(&b.to_bytes()),
-                    a.doc_cmp(b),
-                    "{a} vs {b}"
-                );
+                assert_eq!(a.to_bytes().cmp(&b.to_bytes()), a.doc_cmp(b), "{a} vs {b}");
             }
         }
     }

@@ -16,6 +16,7 @@
 //! * [`reconstruct`] — relational rows → XML subtrees, in document order.
 //! * [`naive`] — an in-memory DOM evaluator (correctness oracle & baseline).
 //! * [`store`] — [`XmlStore`], the user-facing facade.
+//! * [`diag`] — per-operation diagnostics: SQL surface, plans, counters.
 //!
 //! # Quickstart
 //!
@@ -34,6 +35,7 @@
 //! assert_eq!(store.serialize(d, &hits[0]).unwrap(), "<name>Beta</name>");
 //! ```
 
+pub mod diag;
 pub mod encoding;
 pub mod naive;
 pub mod reconstruct;
@@ -43,6 +45,7 @@ pub mod translate;
 pub mod update;
 pub mod xpath;
 
+pub use diag::{QueryDiagnostics, StatementProfile, UpdateDiagnostics};
 pub use encoding::{DeweyKey, Encoding, OrderConfig};
 pub use store::{NodeRef, StoreError, StoreResult, XNode, XmlStore};
 pub use translate::PositionStrategy;

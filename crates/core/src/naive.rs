@@ -409,15 +409,27 @@ mod tests {
 
     #[test]
     fn positional_predicates() {
-        assert_eq!(eval(CATALOG, "/catalog/item[2]/name"), vec!["<name>Beta</name>"]);
+        assert_eq!(
+            eval(CATALOG, "/catalog/item[2]/name"),
+            vec!["<name>Beta</name>"]
+        );
         assert_eq!(
             eval(CATALOG, "/catalog/item[position() <= 2]/name").len(),
             2
         );
-        assert_eq!(eval(CATALOG, "/catalog/item[last()]/name"), vec!["<name>Gamma</name>"]);
-        assert_eq!(eval(CATALOG, "/catalog/item[last() - 1]/name"), vec!["<name>Beta</name>"]);
+        assert_eq!(
+            eval(CATALOG, "/catalog/item[last()]/name"),
+            vec!["<name>Gamma</name>"]
+        );
+        assert_eq!(
+            eval(CATALOG, "/catalog/item[last() - 1]/name"),
+            vec!["<name>Beta</name>"]
+        );
         // position counts only matching siblings: the 2nd author of item 2.
-        assert_eq!(eval(CATALOG, "/catalog/item/author[2]"), vec!["<author>Cid</author>"]);
+        assert_eq!(
+            eval(CATALOG, "/catalog/item/author[2]"),
+            vec!["<author>Cid</author>"]
+        );
     }
 
     #[test]
@@ -452,7 +464,10 @@ mod tests {
             eval(CATALOG, "/catalog/item/@id"),
             vec!["id=i1", "id=i2", "id=i3"]
         );
-        assert_eq!(eval(CATALOG, "/catalog/item[@id = 'i2']/name"), vec!["<name>Beta</name>"]);
+        assert_eq!(
+            eval(CATALOG, "/catalog/item[@id = 'i2']/name"),
+            vec!["<name>Beta</name>"]
+        );
         assert_eq!(eval(CATALOG, "/catalog/item[@id]").len(), 3);
     }
 
@@ -470,7 +485,10 @@ mod tests {
     #[test]
     fn existence_and_boolean() {
         assert_eq!(eval(CATALOG, "/catalog/item[author]").len(), 2);
-        assert_eq!(eval(CATALOG, "/catalog/item[not(author)]/name"), vec!["<name>Gamma</name>"]);
+        assert_eq!(
+            eval(CATALOG, "/catalog/item[not(author)]/name"),
+            vec!["<name>Gamma</name>"]
+        );
         assert_eq!(
             eval(CATALOG, "/catalog/item[author and price = '10']/name"),
             vec!["<name>Beta</name>"]
@@ -485,8 +503,16 @@ mod tests {
     fn parent_and_ancestor() {
         assert_eq!(eval(CATALOG, "/catalog/item/name/..").len(), 3);
         assert_eq!(eval(CATALOG, "//author/ancestor::catalog").len(), 1);
-        assert_eq!(eval(CATALOG, "//author/ancestor::*").len(), 3, "2 items + catalog");
-        assert_eq!(eval(CATALOG, "/catalog/item/@id/..").len(), 3, "attr parent");
+        assert_eq!(
+            eval(CATALOG, "//author/ancestor::*").len(),
+            3,
+            "2 items + catalog"
+        );
+        assert_eq!(
+            eval(CATALOG, "/catalog/item/@id/..").len(),
+            3,
+            "attr parent"
+        );
     }
 
     #[test]
@@ -503,7 +529,14 @@ mod tests {
 
     #[test]
     fn self_axis_and_node_test() {
-        assert_eq!(eval(CATALOG, "/catalog/./item[1]/name"), vec!["<name>Alpha</name>"]);
-        assert_eq!(eval(CATALOG, "/catalog/item[1]/node()").len(), 3, "name, price, author");
+        assert_eq!(
+            eval(CATALOG, "/catalog/./item[1]/name"),
+            vec!["<name>Alpha</name>"]
+        );
+        assert_eq!(
+            eval(CATALOG, "/catalog/item[1]/node()").len(),
+            3,
+            "name, price, author"
+        );
     }
 }

@@ -25,7 +25,10 @@ pub fn serialize_subtree(
         return Ok(node.value.clone().unwrap_or_default());
     }
     let document = subtree_document(db, enc, doc, node)?;
-    Ok(ordxml_xml::writer::write(&document, &WriteOptions::compact()))
+    Ok(ordxml_xml::writer::write(
+        &document,
+        &WriteOptions::compact(),
+    ))
 }
 
 /// Rebuilds the subtree rooted at `node` (an element) as a standalone
@@ -124,10 +127,7 @@ fn parent_token(n: &XNode) -> Vec<u8> {
     match &n.node {
         NodeRef::Global { parent, .. } => parent.to_be_bytes().to_vec(),
         NodeRef::Local { parent, .. } => parent.to_be_bytes().to_vec(),
-        NodeRef::Dewey { key } => key
-            .parent()
-            .map(|p| p.to_bytes())
-            .unwrap_or_default(),
+        NodeRef::Dewey { key } => key.parent().map(|p| p.to_bytes()).unwrap_or_default(),
     }
 }
 
@@ -215,8 +215,7 @@ mod tests {
     use ordxml_rdbms::Database;
     use ordxml_xml::parse as parse_xml;
 
-    const XML: &str =
-        "<a x=\"1\"><b>t<!-- c --><?pi d?></b><c><d/><e>deep</e></c></a>";
+    const XML: &str = "<a x=\"1\"><b>t<!-- c --><?pi d?></b><c><d/><e>deep</e></c></a>";
 
     fn store_with(enc: Encoding) -> (XmlStore, i64) {
         let mut s = XmlStore::new(Database::in_memory(), enc);

@@ -92,10 +92,7 @@ pub fn create_schema(db: &mut Database, enc: Encoding) -> DbResult<()> {
                 "CREATE INDEX dewey_parent ON dewey_node (doc, parent, key)",
                 &[],
             )?;
-            db.execute(
-                "CREATE INDEX dewey_tag ON dewey_node (doc, tag, key)",
-                &[],
-            )?;
+            db.execute("CREATE INDEX dewey_tag ON dewey_node (doc, tag, key)", &[])?;
         }
     }
     db.execute(
@@ -212,7 +209,11 @@ fn shred_global(doc: i64, document: &Document, gap: u64) -> Vec<Row> {
     }];
     while let Some(ev) = stack.pop() {
         match ev {
-            Ev::Enter { v, parent_pos, depth } => {
+            Ev::Enter {
+                v,
+                parent_pos,
+                depth,
+            } => {
                 next_pos += gap as i64;
                 let pos = next_pos;
                 let (kind, tag, value) = node_columns(document, v);
@@ -498,7 +499,10 @@ mod tests {
             .filter(|r| r[1] == Value::Int(1))
             .map(|r| (r[2].as_int().unwrap(), r[3].as_int().unwrap()))
             .collect();
-        assert_eq!(children, vec![(32, KIND_ATTR), (64, KIND_ELEMENT), (96, KIND_ELEMENT)]);
+        assert_eq!(
+            children,
+            vec![(32, KIND_ATTR), (64, KIND_ELEMENT), (96, KIND_ELEMENT)]
+        );
     }
 
     #[test]
@@ -523,7 +527,7 @@ mod tests {
         assert_eq!(keys[4], DeweyKey::new(vec![1, 96])); // c
         assert_eq!(keys[5], DeweyKey::new(vec![1, 96, 32])); // d
         assert_eq!(keys[6], DeweyKey::new(vec![1, 96, 64])); // t2
-        // Parent pointers match key prefixes.
+                                                             // Parent pointers match key prefixes.
         for (i, row) in rows.iter().enumerate() {
             let parent = row[1].as_bytes().unwrap();
             match keys[i].parent() {
@@ -551,8 +555,24 @@ mod tests {
         let mut db = Database::in_memory();
         let d1 = parse("<a><b/></a>").unwrap();
         let d2 = parse("<x><y/><z/></x>").unwrap();
-        shred(&mut db, Encoding::Global, 1, &d1, OrderConfig::default(), "d1").unwrap();
-        shred(&mut db, Encoding::Global, 2, &d2, OrderConfig::default(), "d2").unwrap();
+        shred(
+            &mut db,
+            Encoding::Global,
+            1,
+            &d1,
+            OrderConfig::default(),
+            "d1",
+        )
+        .unwrap();
+        shred(
+            &mut db,
+            Encoding::Global,
+            2,
+            &d2,
+            OrderConfig::default(),
+            "d2",
+        )
+        .unwrap();
         let rows = db
             .query("SELECT COUNT(*) FROM global_node WHERE doc = 1", &[])
             .unwrap();
@@ -580,7 +600,10 @@ mod tests {
         )
         .unwrap();
         let rows = db
-            .query("SELECT pos FROM global_node WHERE doc = 1 ORDER BY pos", &[])
+            .query(
+                "SELECT pos FROM global_node WHERE doc = 1 ORDER BY pos",
+                &[],
+            )
             .unwrap();
         let pos: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
         assert_eq!(pos, (1..=7).collect::<Vec<i64>>());
@@ -591,10 +614,7 @@ mod tests {
         for enc in Encoding::all() {
             let mut db = load(enc);
             let rows = db
-                .query(
-                    &format!("SELECT COUNT(*) FROM {}", enc.node_table()),
-                    &[],
-                )
+                .query(&format!("SELECT COUNT(*) FROM {}", enc.node_table()), &[])
                 .unwrap();
             assert_eq!(rows[0][0], Value::Int(7), "{enc}");
         }

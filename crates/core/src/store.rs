@@ -8,6 +8,7 @@
 //! logical operation can be replayed against a DOM and against all three
 //! encodings (which the test suite does).
 
+use crate::diag::{self, QueryDiagnostics, UpdateDiagnostics};
 use crate::encoding::{DeweyKey, Encoding, OrderConfig};
 use crate::shred::{self, KIND_ATTR, KIND_ELEMENT};
 use crate::update::UpdateCost;
@@ -152,7 +153,15 @@ impl XNode {
 /// canonical order [`decode_node_row`] expects.
 pub(crate) fn node_columns(enc: Encoding) -> &'static [&'static str] {
     match enc {
-        Encoding::Global => &["pos", "parent_pos", "desc_max", "depth", "kind", "tag", "value"],
+        Encoding::Global => &[
+            "pos",
+            "parent_pos",
+            "desc_max",
+            "depth",
+            "kind",
+            "tag",
+            "value",
+        ],
         Encoding::Local => &["id", "parent_id", "ord", "depth", "kind", "tag", "value"],
         Encoding::Dewey => &["key", "depth", "kind", "tag", "value"],
     }
@@ -318,14 +327,22 @@ impl XmlStore {
             ),
             &[],
         )?;
-        Ok(rows.first().map(|r| r[0].as_int()).transpose()?.unwrap_or(0) + 1)
+        Ok(rows
+            .first()
+            .map(|r| r[0].as_int())
+            .transpose()?
+            .unwrap_or(0)
+            + 1)
     }
 
     /// Ids of all loaded documents.
     pub fn document_ids(&mut self) -> StoreResult<Vec<i64>> {
         self.ensure_schema()?;
         let rows = self.db.query(
-            &format!("SELECT doc FROM {} ORDER BY doc", self.encoding.docs_table()),
+            &format!(
+                "SELECT doc FROM {} ORDER BY doc",
+                self.encoding.docs_table()
+            ),
             &[],
         )?;
         rows.iter()
@@ -336,7 +353,10 @@ impl XmlStore {
     /// The sparse-numbering gap a document was loaded with.
     pub fn gap(&mut self, doc: i64) -> StoreResult<u64> {
         let rows = self.db.query(
-            &format!("SELECT gap FROM {} WHERE doc = ?", self.encoding.docs_table()),
+            &format!(
+                "SELECT gap FROM {} WHERE doc = ?",
+                self.encoding.docs_table()
+            ),
             &[Value::Int(doc)],
         )?;
         let row = rows
@@ -375,6 +395,101 @@ impl XmlStore {
             path,
             self.position_strategy,
         )
+    }
+
+    /// Evaluates an XPath expression like [`XmlStore::xpath`], additionally
+    /// capturing the query's full translation surface: every SQL statement
+    /// issued (mediator phases repeat one statement per context node), the
+    /// engine's rendered plan per distinct statement, and the merged
+    /// execution counters.
+    pub fn xpath_diagnostics(
+        &mut self,
+        doc: i64,
+        expr: &str,
+    ) -> StoreResult<(Vec<XNode>, QueryDiagnostics)> {
+        let path = xpath::parse(expr)?;
+        self.ensure_schema()?;
+        self.db.start_trace();
+        let result = crate::translate::execute_with(
+            &mut self.db,
+            self.encoding,
+            doc,
+            &path,
+            self.position_strategy,
+        );
+        let trace = self.db.take_trace();
+        let nodes = result?;
+        let (statements, stats, elapsed, statements_executed) =
+            diag::fold_trace(&mut self.db, trace);
+        let diagnostics = QueryDiagnostics {
+            expr: expr.to_string(),
+            encoding: self.encoding,
+            rows: nodes.len() as u64,
+            statements_executed,
+            elapsed,
+            stats,
+            statements,
+        };
+        Ok((nodes, diagnostics))
+    }
+
+    /// Runs a store operation under statement tracing and folds the trace
+    /// into [`UpdateDiagnostics`].
+    fn traced_update(
+        &mut self,
+        operation: &str,
+        f: impl FnOnce(&mut XmlStore) -> StoreResult<UpdateCost>,
+    ) -> StoreResult<(UpdateCost, UpdateDiagnostics)> {
+        self.ensure_schema()?;
+        self.db.start_trace();
+        let result = f(self);
+        let trace = self.db.take_trace();
+        let cost = result?;
+        let (_, stats, elapsed, statements_executed) = diag::fold_trace(&mut self.db, trace);
+        let diagnostics = UpdateDiagnostics {
+            operation: operation.to_string(),
+            encoding: self.encoding,
+            cost,
+            statements_executed,
+            elapsed,
+            stats,
+        };
+        Ok((cost, diagnostics))
+    }
+
+    /// [`XmlStore::insert_fragment`] with per-operation diagnostics; the
+    /// returned [`UpdateDiagnostics::cost`]`.relabeled` is the paper's
+    /// "rows renumbered by this insertion" metric.
+    pub fn insert_fragment_diagnostics(
+        &mut self,
+        doc: i64,
+        parent: &NodePath,
+        index: usize,
+        fragment: &Document,
+    ) -> StoreResult<(UpdateCost, UpdateDiagnostics)> {
+        self.traced_update("insert", |s| {
+            s.insert_fragment(doc, parent, index, fragment)
+        })
+    }
+
+    /// [`XmlStore::delete_subtree`] with per-operation diagnostics.
+    pub fn delete_subtree_diagnostics(
+        &mut self,
+        doc: i64,
+        target: &NodePath,
+    ) -> StoreResult<(UpdateCost, UpdateDiagnostics)> {
+        self.traced_update("delete", |s| s.delete_subtree(doc, target))
+    }
+
+    /// [`XmlStore::move_subtree`] with per-operation diagnostics.
+    pub fn move_subtree_diagnostics(
+        &mut self,
+        doc: i64,
+        target: &NodePath,
+        new_parent: &NodePath,
+        index: usize,
+    ) -> StoreResult<(UpdateCost, UpdateDiagnostics)> {
+        self.traced_update("move", |s| s.move_subtree(doc, target, new_parent, index))
     }
 
     /// The root node of a document.
@@ -418,9 +533,10 @@ impl XmlStore {
         for &idx in &path.0 {
             let kids = self.children(doc, &cur)?;
             let non_attr: Vec<XNode> = kids.into_iter().filter(|k| !k.is_attribute()).collect();
-            cur = non_attr.into_iter().nth(idx).ok_or_else(|| {
-                StoreError::BadNode(format!("path {path} has no child {idx}"))
-            })?;
+            cur = non_attr
+                .into_iter()
+                .nth(idx)
+                .ok_or_else(|| StoreError::BadNode(format!("path {path} has no child {idx}")))?;
         }
         Ok(cur)
     }
@@ -492,7 +608,10 @@ impl XmlStore {
         let document = self.reconstruct_document(doc)?;
         let gap = self.gap(doc)?;
         let name_rows = self.db.query(
-            &format!("SELECT name FROM {} WHERE doc = ?", self.encoding.docs_table()),
+            &format!(
+                "SELECT name FROM {} WHERE doc = ?",
+                self.encoding.docs_table()
+            ),
             &[Value::Int(doc)],
         )?;
         let name = name_rows
@@ -652,6 +771,124 @@ mod tests {
             // Queries still work.
             assert_eq!(s.xpath(d, "/r/m").unwrap().len(), 6, "{enc}");
         }
+    }
+
+    #[test]
+    fn xpath_diagnostics_expose_sql_surface() {
+        for (mut s, d) in stores() {
+            let enc = s.encoding();
+            let (nodes, diag) = s.xpath_diagnostics(d, "/a/b").unwrap();
+            assert_eq!(nodes, s.xpath(d, "/a/b").unwrap(), "{enc}");
+            assert_eq!(diag.rows, 2, "{enc}");
+            assert_eq!(diag.encoding, enc);
+            assert!(diag.statements_executed >= 1, "{enc}");
+            assert!(!diag.statements.is_empty(), "{enc}");
+            // Every recorded statement targets the encoding's node table and
+            // carries the engine's rendered plan.
+            for p in &diag.statements {
+                assert!(p.sql.contains(&enc.node_table()), "{enc}: {}", p.sql);
+                assert!(p.executions >= 1);
+                assert!(!p.plan.is_empty(), "{enc}: no plan for {}", p.sql);
+            }
+            assert!(diag.stats.rows_scanned + diag.stats.index_rows > 0, "{enc}");
+            let rendered = diag.to_string();
+            assert!(rendered.contains("/a/b"), "{enc}");
+            assert!(rendered.contains("counters:"), "{enc}");
+        }
+    }
+
+    #[test]
+    fn explain_analyze_profiles_translated_xpath_per_encoding() {
+        // A translated XPath statement can be re-run under EXPLAIN ANALYZE
+        // (using the captured parameters) and yields per-operator actuals,
+        // for every encoding.
+        for (mut s, d) in stores() {
+            let enc = s.encoding();
+            let (_, diag) = s.xpath_diagnostics(d, "/a/b").unwrap();
+            let p = &diag.statements[0];
+            let (sql, params) = (p.sql.clone(), p.params.clone());
+            let lines = s.db().explain(&sql, &params, true).unwrap();
+            let joined = lines.join("\n");
+            assert!(
+                joined.contains("actual rows="),
+                "{enc}: no per-operator actuals in\n{joined}"
+            );
+            assert!(joined.contains("Rows returned:"), "{enc}:\n{joined}");
+        }
+    }
+
+    #[test]
+    fn mediator_steps_repeat_one_statement_per_context() {
+        // `//d` below the top level forces Dewey through the mediator:
+        // a per-context descendant range scan.
+        let mut s = XmlStore::new(Database::in_memory(), Encoding::Dewey);
+        let d = s
+            .load_document(&parse("<a><c><d/></c><c><d/></c></a>").unwrap(), "m")
+            .unwrap();
+        let (nodes, diag) = s.xpath_diagnostics(d, "/a/c//d").unwrap();
+        assert_eq!(nodes.len(), 2);
+        // Two <c> contexts ⇒ the descendant statement executes twice.
+        assert!(
+            diag.statements.iter().any(|p| p.executions >= 2),
+            "expected a repeated mediator statement, got {diag}"
+        );
+    }
+
+    #[test]
+    fn update_diagnostics_report_renumbering() {
+        // With gap 1 every midpoint insert into Global numbering must
+        // relabel the tail of the document; Dewey only relabels the
+        // following siblings' subtrees. Either way the diagnostics carry
+        // the relabel count plus engine write counters.
+        let frag = parse("<m/>").unwrap();
+        let mut relabeled = Vec::new();
+        for enc in [Encoding::Global, Encoding::Dewey] {
+            let mut s = XmlStore::new(Database::in_memory(), enc);
+            let d = s
+                .load_document_with(
+                    &parse("<r><p><a/><b/></p><q><c/><c/><c/><c/></q></r>").unwrap(),
+                    "u",
+                    OrderConfig::with_gap(1),
+                )
+                .unwrap();
+            // Insert between <a> and <b>: Global must shift everything
+            // after the insertion point (<b> plus the whole following <q>
+            // subtree); Dewey only relabels the following sibling <b>.
+            let (cost, diag) = s
+                .insert_fragment_diagnostics(d, &NodePath(vec![0]), 1, &frag)
+                .unwrap();
+            assert_eq!(diag.cost, cost, "{enc}");
+            assert_eq!(cost.rows_inserted, 1, "{enc}");
+            assert!(cost.relabeled > 0, "{enc}: gap 1 must force relabeling");
+            assert!(diag.stats.rows_written > 0, "{enc}");
+            assert!(diag.statements_executed > 0, "{enc}");
+            assert!(diag.to_string().contains("relabeled="), "{enc}");
+            relabeled.push(cost.relabeled);
+        }
+        // The paper's headline: Dewey renumbers only following siblings,
+        // Global renumbers every following row in the document.
+        assert!(
+            relabeled[1] < relabeled[0],
+            "Dewey should relabel fewer rows than Global ({relabeled:?})"
+        );
+    }
+
+    #[test]
+    fn delete_and_move_diagnostics() {
+        let mut s = XmlStore::new(Database::in_memory(), Encoding::Dewey);
+        let d = s
+            .load_document(&parse("<r><a><x/></a><b/></r>").unwrap(), "dm")
+            .unwrap();
+        let (cost, diag) = s
+            .move_subtree_diagnostics(d, &NodePath(vec![0, 0]), &NodePath(vec![1]), 0)
+            .unwrap();
+        assert_eq!(diag.operation, "move");
+        assert!(cost.total() > 0);
+        let (cost, diag) = s.delete_subtree_diagnostics(d, &NodePath(vec![0])).unwrap();
+        assert_eq!(diag.operation, "delete");
+        assert_eq!(cost.rows_deleted, 1);
+        assert!(diag.stats.rows_written > 0);
+        assert_eq!(s.xpath(d, "/r/b/x").unwrap().len(), 1);
     }
 
     #[test]

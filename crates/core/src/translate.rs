@@ -54,12 +54,7 @@ pub enum PositionStrategy {
 
 /// Evaluates an absolute path against document `doc`, returning matching
 /// nodes in document order (duplicates removed).
-pub fn execute(
-    db: &mut Database,
-    enc: Encoding,
-    doc: i64,
-    path: &Path,
-) -> StoreResult<Vec<XNode>> {
+pub fn execute(db: &mut Database, enc: Encoding, doc: i64, path: &Path) -> StoreResult<Vec<XNode>> {
     execute_with(db, enc, doc, path, PositionStrategy::CountSubquery)
 }
 
@@ -85,7 +80,12 @@ pub fn execute_with(
     ) {
         return Ok(Vec::new());
     }
-    let mut t = Translator { db, enc, doc, strategy };
+    let mut t = Translator {
+        db,
+        enc,
+        doc,
+        strategy,
+    };
     // `None` means "anchored at the document node".
     let mut ctx: Option<Vec<XNode>> = None;
     let mut ordered = false;
@@ -136,9 +136,9 @@ impl CtxField {
             (CtxField::LParent, NodeRef::Local { parent, .. }) => Value::Int(*parent),
             (CtxField::LOrd, NodeRef::Local { ord, .. }) => Value::Int(*ord),
             (CtxField::DKey, NodeRef::Dewey { key }) => Value::Bytes(key.to_bytes()),
-            (CtxField::DParent, NodeRef::Dewey { key }) => Value::Bytes(
-                key.parent().map(|p| p.to_bytes()).unwrap_or_default(),
-            ),
+            (CtxField::DParent, NodeRef::Dewey { key }) => {
+                Value::Bytes(key.parent().map(|p| p.to_bytes()).unwrap_or_default())
+            }
             _ => unreachable!("ctx field/encoding mismatch"),
         }
     }
@@ -327,8 +327,7 @@ impl<'a> Translator<'a> {
             Encoding::Dewey => (format!(" ORDER BY {last}.key"), true),
             Encoding::Local => match (&chain, first) {
                 (Some(aliases), true) if !aliases.is_empty() => {
-                    let keys: Vec<String> =
-                        aliases.iter().map(|i| format!("t{i}.ord")).collect();
+                    let keys: Vec<String> = aliases.iter().map(|i| format!("t{i}.ord")).collect();
                     (format!(" ORDER BY {}", keys.join(", ")), true)
                 }
                 _ => (String::new(), false),
@@ -584,7 +583,10 @@ impl<'a> Translator<'a> {
     fn gen_test(&self, sql: &mut Sql, t: &str, axis: Axis, test: &NodeTest) {
         match test {
             NodeTest::Node => {
-                if matches!(axis, Axis::Child | Axis::FollowingSibling | Axis::PrecedingSibling) {
+                if matches!(
+                    axis,
+                    Axis::Child | Axis::FollowingSibling | Axis::PrecedingSibling
+                ) {
                     sql.raw(&format!("{t}.kind <> "));
                     sql.fixed(Value::Int(KIND_ATTR));
                 } else if axis == Axis::Attribute {
@@ -947,7 +949,10 @@ impl<'a> Translator<'a> {
                     "SELECT {} FROM dewey_node n WHERE n.doc = ? AND n.key = ?",
                     select_list(enc, "n")
                 ),
-                vec![Value::Int(self.doc), Value::Bytes(DeweyKey::root().to_bytes())],
+                vec![
+                    Value::Int(self.doc),
+                    Value::Bytes(DeweyKey::root().to_bytes()),
+                ],
             ),
             Encoding::Local => (
                 format!(
@@ -984,7 +989,11 @@ impl<'a> Translator<'a> {
                 let mut sql = Sql::new(self.enc);
                 sql.raw("n.doc = ");
                 sql.fixed(Value::Int(self.doc));
-                sql.raw(if include_self { " AND n.key >= " } else { " AND n.key > " });
+                sql.raw(if include_self {
+                    " AND n.key >= "
+                } else {
+                    " AND n.key > "
+                });
                 sql.fixed(Value::Bytes(key.to_bytes()));
                 sql.raw(" AND n.key < ");
                 sql.fixed(Value::Bytes(key.subtree_upper_bound()));
@@ -1132,7 +1141,10 @@ impl<'a> Translator<'a> {
                          WHERE n.doc = ? AND n.key >= ? ORDER BY n.key",
                         select_list(self.enc, "n")
                     ),
-                    &[Value::Int(self.doc), Value::Bytes(key.subtree_upper_bound())],
+                    &[
+                        Value::Int(self.doc),
+                        Value::Bytes(key.subtree_upper_bound()),
+                    ],
                 )?;
                 Ok(rows
                     .iter()
@@ -1377,10 +1389,19 @@ impl<'a> Translator<'a> {
             }
             NodeTest::Text => node.kind == KIND_TEXT,
             NodeTest::Any => {
-                node.kind == if on_attr_axis { KIND_ATTR } else { KIND_ELEMENT }
+                node.kind
+                    == if on_attr_axis {
+                        KIND_ATTR
+                    } else {
+                        KIND_ELEMENT
+                    }
             }
             NodeTest::Name(n) => {
-                let want = if on_attr_axis { KIND_ATTR } else { KIND_ELEMENT };
+                let want = if on_attr_axis {
+                    KIND_ATTR
+                } else {
+                    KIND_ELEMENT
+                };
                 node.kind == want && node.tag.as_deref() == Some(n.as_str())
             }
         }
@@ -1490,7 +1511,10 @@ impl<'a> Translator<'a> {
         node: &XNode,
         memo: &mut HashMap<i64, (i64, i64)>,
     ) -> StoreResult<Vec<i64>> {
-        let NodeRef::Local { id, parent, ord, .. } = &node.node else {
+        let NodeRef::Local {
+            id, parent, ord, ..
+        } = &node.node
+        else {
             unreachable!()
         };
         memo.insert(*id, (*parent, *ord));
@@ -1504,9 +1528,9 @@ impl<'a> Translator<'a> {
                         "SELECT parent_id, ord FROM local_node WHERE doc = ? AND id = ?",
                         &[Value::Int(self.doc), Value::Int(cur)],
                     )?;
-                    let row = rows.first().ok_or_else(|| {
-                        StoreError::BadNode(format!("dangling parent id {cur}"))
-                    })?;
+                    let row = rows
+                        .first()
+                        .ok_or_else(|| StoreError::BadNode(format!("dangling parent id {cur}")))?;
                     let e = (row[0].as_int()?, row[1].as_int()?);
                     memo.insert(cur, e);
                     e
@@ -1573,8 +1597,8 @@ mod tests {
         let (mut s, d) = store_with(Encoding::Global, XML);
         s.xpath(d, "/r/a").unwrap();
         s.xpath(d, "/r/c").unwrap(); // same shape, different tag
-        // Both executed; correctness is the observable here (cache size is
-        // internal to the Database), so just verify results differ properly.
+                                     // Both executed; correctness is the observable here (cache size is
+                                     // internal to the Database), so just verify results differ properly.
         assert_eq!(s.xpath(d, "/r/a").unwrap().len(), 2);
         assert_eq!(s.xpath(d, "/r/c").unwrap().len(), 1);
     }
@@ -1669,10 +1693,7 @@ mod tests {
         // document order.
         let (mut s, d) = store_with(Encoding::Local, XML);
         let hits = s.xpath(d, "//b").unwrap();
-        let texts: Vec<String> = hits
-            .iter()
-            .map(|h| s.serialize(d, h).unwrap())
-            .collect();
+        let texts: Vec<String> = hits.iter().map(|h| s.serialize(d, h).unwrap()).collect();
         assert_eq!(texts, vec!["<b>1</b>", "<b>2</b>", "<b>3</b>"]);
     }
 

@@ -123,16 +123,15 @@ pub fn insert_fragment(
     let non_attr: Vec<&XNode> = children.iter().filter(|c| c.kind != KIND_ATTR).collect();
     let index = index.min(non_attr.len());
     let prev: Option<&XNode> = if index == 0 {
-        children.get(n_attrs.wrapping_sub(1).min(children.len()))
+        children
+            .get(n_attrs.wrapping_sub(1).min(children.len()))
             .filter(|_| n_attrs > 0)
     } else {
         Some(non_attr[index - 1])
     };
     let next: Option<&XNode> = non_attr.get(index).copied();
     match enc {
-        Encoding::Global => {
-            insert_global(db, doc, parent, prev, fragment, gap)
-        }
+        Encoding::Global => insert_global(db, doc, parent, prev, fragment, gap),
         Encoding::Local => insert_local(
             db,
             doc,
@@ -171,7 +170,12 @@ fn insert_global(
     gap: u64,
 ) -> StoreResult<UpdateCost> {
     let mut cost = UpdateCost::default();
-    let NodeRef::Global { pos: parent_pos, depth, .. } = parent.node else {
+    let NodeRef::Global {
+        pos: parent_pos,
+        depth,
+        ..
+    } = parent.node
+    else {
         unreachable!()
     };
     // Lower boundary: end of the previous sibling's subtree (or the parent
@@ -277,7 +281,12 @@ fn insert_local(
     gap: u64,
 ) -> StoreResult<UpdateCost> {
     let mut cost = UpdateCost::default();
-    let NodeRef::Local { id: parent_id, depth, .. } = parent.node else {
+    let NodeRef::Local {
+        id: parent_id,
+        depth,
+        ..
+    } = parent.node
+    else {
         unreachable!()
     };
     let ord_of = |n: &XNode| match &n.node {
@@ -467,7 +476,9 @@ pub fn move_subtree(
     index: usize,
 ) -> StoreResult<UpdateCost> {
     if !new_parent.is_element() {
-        return Err(StoreError::BadNode("move destination must be an element".into()));
+        return Err(StoreError::BadNode(
+            "move destination must be an element".into(),
+        ));
     }
     // Reject cycles: the destination must not lie inside the moved subtree
     // (or be the subtree root itself).
@@ -476,7 +487,12 @@ pub fn move_subtree(
             *p >= *pos && *p <= *desc_max
         }
         (NodeRef::Dewey { key }, NodeRef::Dewey { key: pk }) => key.is_prefix_of(pk),
-        (NodeRef::Local { id, .. }, NodeRef::Local { id: pid, parent, .. }) => {
+        (
+            NodeRef::Local { id, .. },
+            NodeRef::Local {
+                id: pid, parent, ..
+            },
+        ) => {
             if pid == id {
                 true
             } else {
@@ -510,7 +526,11 @@ pub fn move_subtree(
     match (&target.node, &new_parent.node) {
         (
             NodeRef::Local { id, depth, .. },
-            NodeRef::Local { id: dest_id, depth: dest_depth, .. },
+            NodeRef::Local {
+                id: dest_id,
+                depth: dest_depth,
+                ..
+            },
         ) => {
             let mut cost = UpdateCost::default();
             let gap = doc_gap(db, enc, doc)?;
@@ -757,7 +777,9 @@ pub fn update_text(
     text: &str,
 ) -> StoreResult<UpdateCost> {
     if target.kind != KIND_TEXT {
-        return Err(StoreError::BadNode("update_text targets a text node".into()));
+        return Err(StoreError::BadNode(
+            "update_text targets a text node".into(),
+        ));
     }
     let n = match &target.node {
         NodeRef::Global { pos, .. } => db.execute(
@@ -770,7 +792,11 @@ pub fn update_text(
         )?,
         NodeRef::Dewey { key } => db.execute(
             "UPDATE dewey_node SET value = ? WHERE doc = ? AND key = ?",
-            &[Value::text(text), Value::Int(doc), Value::Bytes(key.to_bytes())],
+            &[
+                Value::text(text),
+                Value::Int(doc),
+                Value::Bytes(key.to_bytes()),
+            ],
         )?,
     };
     Ok(UpdateCost {
@@ -930,7 +956,10 @@ mod tests {
                 // halves each time and must eventually run out.
                 total.add(s.insert_fragment(d, &NodePath(vec![]), 1, &frag).unwrap());
             }
-            assert!(total.relabeled > 0, "{enc}: gap of 8 absorbs at most 3 halvings");
+            assert!(
+                total.relabeled > 0,
+                "{enc}: gap of 8 absorbs at most 3 halvings"
+            );
             assert_eq!(s.xpath(d, "/r/m").unwrap().len(), 6, "{enc}");
         }
     }
@@ -952,7 +981,10 @@ mod tests {
             // Queries find the moved content at its new place.
             assert_eq!(s.xpath(d, "/r/c/a/deep").unwrap().len(), 1, "{enc}");
             assert_eq!(s.xpath(d, "//deep/ancestor::c").unwrap().len(), 1, "{enc}");
-            assert!(cost.rows_deleted == 0, "{enc}: moves do not delete: {cost:?}");
+            assert!(
+                cost.rows_deleted == 0,
+                "{enc}: moves do not delete: {cost:?}"
+            );
             match enc {
                 // Local: one ord/parent update (plus depth bookkeeping).
                 Encoding::Local => {
@@ -993,22 +1025,31 @@ mod tests {
         for enc in Encoding::all() {
             let (mut s, d) = store_with(enc, "<r><a><b/></a><z/></r>", 8);
             // Into a strict descendant.
-            assert!(matches!(
-                s.move_subtree(d, &NodePath(vec![0]), &NodePath(vec![0, 0]), 0),
-                Err(StoreError::BadNode(_))
-            ), "{enc}");
+            assert!(
+                matches!(
+                    s.move_subtree(d, &NodePath(vec![0]), &NodePath(vec![0, 0]), 0),
+                    Err(StoreError::BadNode(_))
+                ),
+                "{enc}"
+            );
             // Onto itself.
-            assert!(matches!(
-                s.move_subtree(d, &NodePath(vec![0]), &NodePath(vec![0]), 0),
-                Err(StoreError::BadNode(_))
-            ), "{enc}");
+            assert!(
+                matches!(
+                    s.move_subtree(d, &NodePath(vec![0]), &NodePath(vec![0]), 0),
+                    Err(StoreError::BadNode(_))
+                ),
+                "{enc}"
+            );
             // Destination must be an element: <z/> has no text child, so
             // aim at a text node via a fresh doc.
             let (mut s2, d2) = store_with(enc, "<r>text<a/></r>", 8);
-            assert!(matches!(
-                s2.move_subtree(d2, &NodePath(vec![1]), &NodePath(vec![0]), 0),
-                Err(StoreError::BadNode(_))
-            ), "{enc}");
+            assert!(
+                matches!(
+                    s2.move_subtree(d2, &NodePath(vec![1]), &NodePath(vec![0]), 0),
+                    Err(StoreError::BadNode(_))
+                ),
+                "{enc}"
+            );
         }
     }
 

@@ -297,7 +297,8 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             // `.` only mid-name (avoid eating `..`); `-` fine mid-name.
             if !ok {
                 break;
@@ -560,11 +561,7 @@ impl<'a> Parser<'a> {
         // last() [- k]
         if self.eat("last()") {
             self.skip_ws();
-            let offset = if self.eat("-") {
-                self.integer()?
-            } else {
-                0
-            };
+            let offset = if self.eat("-") { self.integer()? } else { 0 };
             return Ok(Pred::Last { offset });
         }
         // Bare integer: positional shorthand.
@@ -801,7 +798,11 @@ mod tests {
 
     #[test]
     fn whitespace_tolerance() {
-        let p = parse("/ a / b [ position( ) = 2 ]".replace("position( )", "position()").as_str());
+        let p = parse(
+            "/ a / b [ position( ) = 2 ]"
+                .replace("position( )", "position()")
+                .as_str(),
+        );
         // position() cannot contain spaces, but surrounding whitespace is fine.
         assert!(p.is_ok(), "{p:?}");
     }

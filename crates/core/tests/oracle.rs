@@ -42,9 +42,16 @@ fn check_query(doc: &Document, query: &str) {
     use ordxml::translate::PositionStrategy;
     let ev = NaiveEvaluator::new(doc);
     let path = ordxml::xpath::parse(query).unwrap_or_else(|e| panic!("{query}: {e}"));
-    let expected: Vec<String> = ev.eval(&path).into_iter().map(|v| canon_dom(doc, v)).collect();
+    let expected: Vec<String> = ev
+        .eval(&path)
+        .into_iter()
+        .map(|v| canon_dom(doc, v))
+        .collect();
     for enc in Encoding::all() {
-        for strategy in [PositionStrategy::CountSubquery, PositionStrategy::MediatorSlice] {
+        for strategy in [
+            PositionStrategy::CountSubquery,
+            PositionStrategy::MediatorSlice,
+        ] {
             let mut store = XmlStore::new(Database::in_memory(), enc);
             store.set_position_strategy(strategy);
             let d = store.load_document(doc, "oracle").unwrap();
@@ -267,10 +274,7 @@ fn mixed_axis_combinations() {
 
 #[test]
 fn mixed_content_and_unicode() {
-    let doc = parse_xml(
-        "<p>one<b>two</b>three<i a=\"ä\">fünf 世界</i><b>six</b></p>",
-    )
-    .unwrap();
+    let doc = parse_xml("<p>one<b>two</b>three<i a=\"ä\">fünf 世界</i><b>six</b></p>").unwrap();
     check_queries(
         &doc,
         &[
@@ -324,8 +328,11 @@ fn generated_documents_agree() {
         for q in &queries {
             let ev = NaiveEvaluator::new(&doc);
             let path = ordxml::xpath::parse(q).unwrap();
-            let expected: Vec<String> =
-                ev.eval(&path).into_iter().map(|v| canon_dom(&doc, v)).collect();
+            let expected: Vec<String> = ev
+                .eval(&path)
+                .into_iter()
+                .map(|v| canon_dom(&doc, v))
+                .collect();
             for enc in Encoding::all() {
                 let mut store = XmlStore::new(Database::in_memory(), enc);
                 let d = store.load_document(&doc, "gen").unwrap();
@@ -449,7 +456,13 @@ fn repeated_inserts_exhaust_gaps() {
     // Small gap: renumbering triggers quickly; equality must survive it.
     for gap in [1, 2, 4] {
         let edits: Vec<Edit> = (0..12)
-            .map(|i| Edit::Insert(NodePath(vec![]), 1, if i % 2 == 0 { "<a/>" } else { "<b>t</b>" }))
+            .map(|i| {
+                Edit::Insert(
+                    NodePath(vec![]),
+                    1,
+                    if i % 2 == 0 { "<a/>" } else { "<b>t</b>" },
+                )
+            })
             .collect();
         check_edits("<root><first/><last/></root>", edits, gap);
     }
@@ -514,9 +527,9 @@ fn moves_match_dom_semantics() {
                 .load_document_with(&dom, "mv", OrderConfig::with_gap(gap))
                 .unwrap();
             let moves = [
-                (NodePath(vec![0]), NodePath(vec![]), 2usize),      // item1 after item3
-                (NodePath(vec![3, 0]), NodePath(vec![]), 0),        // section's item to front
-                (NodePath(vec![1]), NodePath(vec![3]), 0),          // an item into <section>
+                (NodePath(vec![0]), NodePath(vec![]), 2usize), // item1 after item3
+                (NodePath(vec![3, 0]), NodePath(vec![]), 0),   // section's item to front
+                (NodePath(vec![1]), NodePath(vec![3]), 0),     // an item into <section>
             ];
             for (step, (from, to, idx)) in moves.iter().enumerate() {
                 // DOM: copy to destination (computing the child slot on the
@@ -588,8 +601,11 @@ fn queries_after_updates_agree() {
             let ev = NaiveEvaluator::new(&dom);
             for q in &queries {
                 let path = ordxml::xpath::parse(q).unwrap();
-                let expected: Vec<String> =
-                    ev.eval(&path).into_iter().map(|v| canon_dom(&dom, v)).collect();
+                let expected: Vec<String> = ev
+                    .eval(&path)
+                    .into_iter()
+                    .map(|v| canon_dom(&dom, v))
+                    .collect();
                 let got: Vec<String> = store
                     .xpath(d, q)
                     .unwrap()
@@ -635,8 +651,11 @@ fn interval_axes_stay_correct_after_delete_then_insert() {
             "//n1/ancestor::a",
         ] {
             let path = ordxml::xpath::parse(q).unwrap();
-            let expected: Vec<String> =
-                ev.eval(&path).into_iter().map(|v| canon_dom(&dom, v)).collect();
+            let expected: Vec<String> = ev
+                .eval(&path)
+                .into_iter()
+                .map(|v| canon_dom(&dom, v))
+                .collect();
             let got: Vec<String> = store
                 .xpath(d, q)
                 .unwrap()

@@ -167,7 +167,12 @@ proptest! {
 enum EditSpec {
     /// Descend `depth_pick` steps guided by `walk`, insert fragment `frag`
     /// at child index `idx`.
-    Insert { walk: [u8; 4], depth: u8, idx: u8, frag: u8 },
+    Insert {
+        walk: [u8; 4],
+        depth: u8,
+        idx: u8,
+        frag: u8,
+    },
     /// Delete the node reached by the walk (skipped if it is the root).
     Delete { walk: [u8; 4], depth: u8 },
 }

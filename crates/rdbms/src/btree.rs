@@ -12,6 +12,7 @@
 //! Duplicate keys are not stored: the table layer makes non-unique index
 //! keys unique by appending the row id to the key, the standard technique.
 
+use std::cell::Cell;
 use std::ops::Bound;
 
 /// Maximum number of entries (leaf) or children minus one (inner) per node.
@@ -38,6 +39,31 @@ enum Node {
     Free,
 }
 
+/// Operation counters for one tree (see [`BTree::counters`]).
+///
+/// The counters are kept per tree (not globally) so concurrent databases —
+/// e.g. tests running in parallel — never see each other's traffic. They use
+/// [`Cell`] because lookups and range scans take `&self`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BTreeCounters {
+    /// Root-to-leaf descents: point lookups, inserts, removes, and the
+    /// initial positioning of every range scan.
+    pub descents: u64,
+    /// Leaf nodes visited by range iterators (including the starting leaf).
+    pub leaf_scans: u64,
+    /// Node splits (leaf and inner) triggered by inserts.
+    pub splits: u64,
+}
+
+impl BTreeCounters {
+    /// Adds `other` into `self` (used to sum counters across many trees).
+    pub fn merge(&mut self, other: &BTreeCounters) {
+        self.descents += other.descents;
+        self.leaf_scans += other.leaf_scans;
+        self.splits += other.splits;
+    }
+}
+
 /// The B+tree. See the module docs.
 #[derive(Debug)]
 pub struct BTree {
@@ -45,6 +71,9 @@ pub struct BTree {
     free: Vec<u32>,
     root: u32,
     len: u64,
+    descents: Cell<u64>,
+    leaf_scans: Cell<u64>,
+    splits: Cell<u64>,
 }
 
 impl Default for BTree {
@@ -66,7 +95,24 @@ impl BTree {
             free: Vec::new(),
             root: 0,
             len: 0,
+            descents: Cell::new(0),
+            leaf_scans: Cell::new(0),
+            splits: Cell::new(0),
         }
+    }
+
+    /// Snapshot of this tree's operation counters. Counters reset with
+    /// [`BTree::clear`] (the tree is rebuilt from scratch).
+    pub fn counters(&self) -> BTreeCounters {
+        BTreeCounters {
+            descents: self.descents.get(),
+            leaf_scans: self.leaf_scans.get(),
+            splits: self.splits.get(),
+        }
+    }
+
+    fn bump(counter: &Cell<u64>) {
+        counter.set(counter.get() + 1);
     }
 
     /// Number of stored entries.
@@ -101,6 +147,7 @@ impl BTree {
 
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Option<u64> {
+        Self::bump(&self.descents);
         let mut cur = self.root;
         loop {
             match &self.nodes[cur as usize] {
@@ -127,6 +174,7 @@ impl BTree {
     /// Inserts `key -> val`. Returns the previous value if the key existed
     /// (in which case the value was replaced).
     pub fn insert(&mut self, key: &[u8], val: u64) -> Option<u64> {
+        Self::bump(&self.descents);
         let (split, old) = self.insert_rec(self.root, key, val);
         if let Some((sep, right)) = split {
             let new_root = self.alloc(Node::Inner {
@@ -141,9 +189,16 @@ impl BTree {
         old
     }
 
-    fn insert_rec(&mut self, node: u32, key: &[u8], val: u64) -> (Option<(Vec<u8>, u32)>, Option<u64>) {
+    fn insert_rec(
+        &mut self,
+        node: u32,
+        key: &[u8],
+        val: u64,
+    ) -> (Option<(Vec<u8>, u32)>, Option<u64>) {
         match &mut self.nodes[node as usize] {
-            Node::Leaf { keys, vals, next, .. } => {
+            Node::Leaf {
+                keys, vals, next, ..
+            } => {
                 match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
                     Ok(i) => {
                         let old = vals[i];
@@ -169,6 +224,7 @@ impl BTree {
                             next: old_next,
                             prev: node,
                         });
+                        Self::bump(&self.splits);
                         // Re-borrow to fix the left leaf's next pointer.
                         if let Node::Leaf { next, .. } = &mut self.nodes[node as usize] {
                             *next = right;
@@ -203,6 +259,7 @@ impl BTree {
                             keys: right_keys,
                             children: right_children,
                         });
+                        Self::bump(&self.splits);
                         return (Some((promote, right)), old);
                     }
                 }
@@ -214,6 +271,7 @@ impl BTree {
 
     /// Removes `key`, returning its value if it was present.
     pub fn remove(&mut self, key: &[u8]) -> Option<u64> {
+        Self::bump(&self.descents);
         let removed = self.remove_rec(self.root, key);
         if removed.is_some() {
             self.len -= 1;
@@ -320,7 +378,10 @@ impl BTree {
                 let Node::Leaf { keys, vals, .. } = &mut self.nodes[left_id as usize] else {
                     unreachable!()
                 };
-                (keys.pop().expect("left has > MIN"), vals.pop().expect("left has > MIN"))
+                (
+                    keys.pop().expect("left has > MIN"),
+                    vals.pop().expect("left has > MIN"),
+                )
             };
             let new_sep = k.clone();
             {
@@ -346,7 +407,10 @@ impl BTree {
                 let Node::Inner { keys, children } = &mut self.nodes[left_id as usize] else {
                     unreachable!()
                 };
-                (keys.pop().expect("left has > MIN"), children.pop().expect("left has > MIN"))
+                (
+                    keys.pop().expect("left has > MIN"),
+                    children.pop().expect("left has > MIN"),
+                )
             };
             {
                 let Node::Inner { keys, children } = &mut self.nodes[child_id as usize] else {
@@ -438,7 +502,10 @@ impl BTree {
                 next: rnext,
                 ..
             } => {
-                let Node::Leaf { keys, vals, next, .. } = &mut self.nodes[left_id as usize] else {
+                let Node::Leaf {
+                    keys, vals, next, ..
+                } = &mut self.nodes[left_id as usize]
+                else {
                     unreachable!()
                 };
                 keys.extend(rkeys);
@@ -468,6 +535,7 @@ impl BTree {
     /// Finds `(leaf, index)` of the first entry `>=`/`>` the bound, walking
     /// down from the root.
     fn seek_lower(&self, bound: Bound<&[u8]>) -> (u32, usize) {
+        Self::bump(&self.descents);
         let key = match bound {
             Bound::Unbounded => {
                 // Leftmost leaf.
@@ -505,6 +573,7 @@ impl BTree {
     /// Ascending iterator over entries in `(lower, upper)` bounds.
     pub fn range(&self, lower: Bound<&[u8]>, upper: Bound<&[u8]>) -> Range<'_> {
         let (leaf, idx) = self.seek_lower(lower);
+        Self::bump(&self.leaf_scans);
         Range {
             tree: self,
             leaf,
@@ -522,6 +591,7 @@ impl BTree {
         // Position one past the last entry within `upper`.
         let (mut leaf, mut idx) = match &upper {
             Bound::Unbounded => {
+                Self::bump(&self.descents);
                 let mut cur = self.root;
                 loop {
                     match &self.nodes[cur as usize] {
@@ -556,6 +626,9 @@ impl BTree {
                 idx = self.node_len(leaf);
             }
         }
+        if leaf != NIL {
+            Self::bump(&self.leaf_scans);
+        }
         RangeRev {
             tree: self,
             leaf,
@@ -575,7 +648,13 @@ impl BTree {
 
     #[cfg(test)]
     fn check_invariants(&self) {
-        fn walk(tree: &BTree, node: u32, depth: usize, leaf_depth: &mut Option<usize>, is_root: bool) {
+        fn walk(
+            tree: &BTree,
+            node: u32,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+            is_root: bool,
+        ) {
             match &tree.nodes[node as usize] {
                 Node::Leaf { keys, vals, .. } => {
                     assert_eq!(keys.len(), vals.len());
@@ -592,7 +671,11 @@ impl BTree {
                     assert_eq!(children.len(), keys.len() + 1);
                     assert!(keys.windows(2).all(|w| w[0] < w[1]), "inner keys sorted");
                     if !is_root {
-                        assert!(keys.len() >= MIN_KEYS, "inner fill: {} < {MIN_KEYS}", keys.len());
+                        assert!(
+                            keys.len() >= MIN_KEYS,
+                            "inner fill: {} < {MIN_KEYS}",
+                            keys.len()
+                        );
                     }
                     for &c in children {
                         walk(tree, c, depth + 1, leaf_depth, false);
@@ -622,12 +705,18 @@ impl<'a> Iterator for Range<'a> {
             if self.leaf == NIL {
                 return None;
             }
-            let Node::Leaf { keys, vals, next, .. } = &self.tree.nodes[self.leaf as usize] else {
+            let Node::Leaf {
+                keys, vals, next, ..
+            } = &self.tree.nodes[self.leaf as usize]
+            else {
                 unreachable!()
             };
             if self.idx >= keys.len() {
                 self.leaf = *next;
                 self.idx = 0;
+                if self.leaf != NIL {
+                    BTree::bump(&self.tree.leaf_scans);
+                }
                 continue;
             }
             let key = keys[self.idx].as_slice();
@@ -666,13 +755,17 @@ impl<'a> Iterator for RangeRev<'a> {
             if self.leaf == NIL {
                 return None;
             }
-            let Node::Leaf { keys, vals, prev, .. } = &self.tree.nodes[self.leaf as usize] else {
+            let Node::Leaf {
+                keys, vals, prev, ..
+            } = &self.tree.nodes[self.leaf as usize]
+            else {
                 unreachable!()
             };
             if self.idx == 0 {
                 self.leaf = *prev;
                 if self.leaf != NIL {
                     self.idx = self.tree.node_len(self.leaf);
+                    BTree::bump(&self.tree.leaf_scans);
                 }
                 continue;
             }
@@ -812,7 +905,9 @@ mod tests {
         let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
         let mut state = 0x12345678u64;
         let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for step in 0..20_000 {
@@ -828,8 +923,7 @@ mod tests {
             }
             if step % 2500 == 0 {
                 t.check_invariants();
-                let got: Vec<(Vec<u8>, u64)> =
-                    t.iter().map(|(k, v)| (k.to_vec(), v)).collect();
+                let got: Vec<(Vec<u8>, u64)> = t.iter().map(|(k, v)| (k.to_vec(), v)).collect();
                 let expect: Vec<(Vec<u8>, u64)> =
                     model.iter().map(|(k, v)| (k.clone(), *v)).collect();
                 assert_eq!(got, expect, "step {step}");

@@ -10,7 +10,7 @@
 //! lists) for file-backed databases; indexes are rebuilt by scanning heaps
 //! on reopen.
 
-use crate::btree::BTree;
+use crate::btree::{BTree, BTreeCounters};
 use crate::error::{DbError, DbResult};
 use crate::schema::{ColumnDef, IndexDef, TableSchema};
 use crate::storage::{HeapFile, PageId, Pager, RowId};
@@ -287,12 +287,7 @@ impl Catalog {
     }
 
     /// Adds a secondary index to a table and builds it from existing rows.
-    pub fn create_index(
-        &mut self,
-        pager: &Pager,
-        table: &str,
-        def: IndexDef,
-    ) -> DbResult<()> {
+    pub fn create_index(&mut self, pager: &Pager, table: &str, def: IndexDef) -> DbResult<()> {
         // Index names are unique across the database.
         let dup = self
             .tables
@@ -353,6 +348,23 @@ impl Catalog {
         let mut names: Vec<String> = self.by_name.keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Sums the B+tree operation counters of every index (primary and
+    /// secondary) across all tables. [`crate::Database::run`] diffs this
+    /// before/after a statement to charge index traffic to its
+    /// [`crate::ExecStats`].
+    pub fn btree_counters(&self) -> BTreeCounters {
+        let mut total = BTreeCounters::default();
+        for t in &self.tables {
+            if let Some(pk) = &t.pk_index {
+                total.merge(&pk.counters());
+            }
+            for (_, tree) in &t.indexes {
+                total.merge(&tree.counters());
+            }
+        }
+        total
     }
 
     // -----------------------------------------------------------------
@@ -699,7 +711,11 @@ mod tests {
         for i in 0..200 {
             t.insert_row(
                 &pager,
-                vec![Value::Int(1), Value::Int(i), Value::text(format!("tag{}", i % 5))],
+                vec![
+                    Value::Int(1),
+                    Value::Int(i),
+                    Value::text(format!("tag{}", i % 5)),
+                ],
             )
             .unwrap();
         }

@@ -10,16 +10,19 @@
 
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
-use crate::exec::{run_select, scan_for_update, Env, ExecStats};
+use crate::exec::{run_select, scan_for_update, Env, ExecStats, Profiler};
 use crate::expr::{eval, Expr, SimpleCtx};
-use crate::plan::{plan_select, plan_table_access, SelectPlan};
+use crate::obs;
+use crate::plan::{plan_select, plan_table_access, render_plan, render_table_access, SelectPlan};
 use crate::schema::{ColumnDef, IndexDef, TableSchema};
 use crate::sql::ast::{ParsedStmt, Stmt};
 use crate::sql::parse;
 use crate::storage::{PageId, Pager, RowId};
 use crate::value::{Row, Value};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 /// The result of running one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +34,26 @@ pub struct QueryResult {
     /// Rows inserted/updated/deleted.
     pub rows_affected: u64,
     /// Execution counters for this statement.
+    pub stats: ExecStats,
+}
+
+/// One executed statement as recorded between [`Database::start_trace`] and
+/// [`Database::take_trace`]. The XML layer builds its per-XPath-query and
+/// per-update diagnostics from these.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatementTrace {
+    /// The SQL text as submitted.
+    pub sql: String,
+    /// Bound parameter values.
+    pub params: Vec<Value>,
+    /// Rows returned (SELECT statements).
+    pub rows: u64,
+    /// Rows affected (INSERT/UPDATE/DELETE statements).
+    pub rows_affected: u64,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Execution counters for this statement, including buffer-pool and
+    /// B+tree deltas.
     pub stats: ExecStats,
 }
 
@@ -50,6 +73,8 @@ pub struct Database {
     plan_cache: HashMap<String, Cached>,
     /// Cumulative execution counters across all statements.
     total_stats: ExecStats,
+    /// When `Some`, every statement appends a [`StatementTrace`].
+    trace: Option<Vec<StatementTrace>>,
     /// Pages holding the serialized catalog (file mode only; page 0 is the
     /// meta page pointing at them).
     catalog_pages: Vec<PageId>,
@@ -64,6 +89,7 @@ impl Database {
             catalog: Catalog::new(),
             plan_cache: HashMap::new(),
             total_stats: ExecStats::default(),
+            trace: None,
             catalog_pages: Vec::new(),
             file_backed: false,
         }
@@ -83,9 +109,7 @@ impl Database {
             })?;
             (Catalog::new(), Vec::new())
         } else {
-            let meta = pager.with_page(0, |p| {
-                p.get(0).map(<[u8]>::to_vec)
-            })?;
+            let meta = pager.with_page(0, |p| p.get(0).map(<[u8]>::to_vec))?;
             let meta = meta.ok_or_else(|| DbError::Storage("missing meta record".into()))?;
             let pages = decode_meta(&meta)?;
             let mut blob = Vec::new();
@@ -102,6 +126,7 @@ impl Database {
             catalog,
             plan_cache: HashMap::new(),
             total_stats: ExecStats::default(),
+            trace: None,
             catalog_pages,
             file_backed: true,
         })
@@ -127,6 +152,33 @@ impl Database {
         self.total_stats = ExecStats::default();
     }
 
+    /// Starts recording a [`StatementTrace`] for every statement run from
+    /// now on. Replaces any trace already being recorded.
+    pub fn start_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Stops tracing and returns the recorded statements (empty if tracing
+    /// was never started).
+    pub fn take_trace(&mut self) -> Vec<StatementTrace> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Renders the plan for `sql` (equivalent to running it with an
+    /// `EXPLAIN` / `EXPLAIN ANALYZE` prefix) and returns the plan lines.
+    pub fn explain(&mut self, sql: &str, params: &[Value], analyze: bool) -> DbResult<Vec<String>> {
+        let prefix = if analyze {
+            "EXPLAIN ANALYZE "
+        } else {
+            "EXPLAIN "
+        };
+        let r = self.run(&format!("{prefix}{sql}"), params)?;
+        r.rows
+            .iter()
+            .map(|row| Ok(row[0].as_text()?.to_string()))
+            .collect()
+    }
+
     /// Number of pages allocated by the pager (a proxy for database size;
     /// multiply by [`crate::storage::PAGE_SIZE`] for bytes).
     pub fn page_count(&self) -> u32 {
@@ -149,13 +201,14 @@ impl Database {
     pub fn run(&mut self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
         if !self.plan_cache.contains_key(sql) {
             let parsed = parse(sql)?;
-            let plan = match &parsed.stmt {
-                Stmt::Select(s) => Some(plan_select(
-                    &self.catalog,
-                    s,
-                    &parsed.subqueries,
-                    None,
-                )?),
+            // EXPLAIN shares the wrapped statement's plan slot, so EXPLAIN
+            // renders exactly the plan the bare statement would run.
+            let planned = match &parsed.stmt {
+                Stmt::Explain { inner, .. } => inner.as_ref(),
+                other => other,
+            };
+            let plan = match planned {
+                Stmt::Select(s) => Some(plan_select(&self.catalog, s, &parsed.subqueries, None)?),
                 _ => None,
             };
             self.plan_cache
@@ -167,14 +220,116 @@ impl Database {
         let stmt = cached.parsed.stmt.clone();
         let has_subqueries = !cached.parsed.subqueries.is_empty();
         let plan = cached.plan.clone();
+        let is_read = matches!(&stmt, Stmt::Select(_) | Stmt::Explain { .. });
+        // Snapshot the shared pager/B+tree counters so the statement's
+        // QueryResult carries only its own page and index traffic.
+        let pages_before = self.pager.stats().full();
+        let trees_before = self.catalog.btree_counters();
+        let observing = self.trace.is_some() || obs::registry().enabled();
+        let started = observing.then(Instant::now);
+        let mut result = match self.dispatch(stmt, has_subqueries, plan, params) {
+            Ok(r) => r,
+            Err(e) => {
+                if obs::registry().enabled() {
+                    obs::registry().statement_errors.add(1);
+                }
+                return Err(e);
+            }
+        };
+        self.fold_engine_deltas(&mut result.stats, &pages_before, &trees_before);
+        self.total_stats.merge(&result.stats);
+        if let Some(started) = started {
+            let elapsed = started.elapsed();
+            let rows = if result.rows.is_empty() {
+                result.rows_affected
+            } else {
+                result.rows.len() as u64
+            };
+            obs::registry().record_statement(
+                sql,
+                is_read,
+                &obs::SlowQuery {
+                    sql: String::new(),
+                    elapsed,
+                    rows,
+                    stats: result.stats,
+                },
+            );
+            if let Some(trace) = &mut self.trace {
+                trace.push(StatementTrace {
+                    sql: sql.to_string(),
+                    params: params.to_vec(),
+                    rows: result.rows.len() as u64,
+                    rows_affected: result.rows_affected,
+                    elapsed,
+                    stats: result.stats,
+                });
+            }
+        }
+        Ok(result)
+    }
+
+    /// Folds buffer-pool and B+tree counter movement since the given
+    /// snapshots into `s`, so a statement's stats carry only its own page
+    /// and index traffic.
+    fn fold_engine_deltas(
+        &self,
+        s: &mut ExecStats,
+        pages_before: &crate::storage::pager::PagerSnapshot,
+        trees_before: &crate::btree::BTreeCounters,
+    ) {
+        let pages_after = self.pager.stats().full();
+        let trees_after = self.catalog.btree_counters();
+        let logical = pages_after
+            .logical_reads
+            .saturating_sub(pages_before.logical_reads);
+        let physical = pages_after
+            .physical_reads
+            .saturating_sub(pages_before.physical_reads);
+        s.pages_read += logical;
+        s.cache_misses += physical;
+        s.cache_hits += logical.saturating_sub(physical);
+        s.pages_written += pages_after
+            .physical_writes
+            .saturating_sub(pages_before.physical_writes);
+        s.evictions += pages_after.evictions.saturating_sub(pages_before.evictions);
+        // saturating_sub: DROP TABLE discards that table's trees (and their
+        // counts), so the totals are not strictly monotonic.
+        s.btree_descents += trees_after.descents.saturating_sub(trees_before.descents);
+        s.btree_leaf_scans += trees_after
+            .leaf_scans
+            .saturating_sub(trees_before.leaf_scans);
+        s.btree_splits += trees_after.splits.saturating_sub(trees_before.splits);
+    }
+
+    /// Executes one already-parsed statement (the body of [`Database::run`],
+    /// split out so `run` can fold counter deltas around it uniformly).
+    fn dispatch(
+        &mut self,
+        stmt: Stmt,
+        has_subqueries: bool,
+        plan: Option<SelectPlan>,
+        params: &[Value],
+    ) -> DbResult<QueryResult> {
         let mut stats = ExecStats::default();
         let result = match stmt {
+            Stmt::Explain { analyze, inner } => {
+                let (lines, rows_affected) =
+                    self.run_explain(*inner, analyze, plan, has_subqueries, params, &mut stats)?;
+                QueryResult {
+                    columns: vec!["plan".to_string()],
+                    rows: lines.into_iter().map(|l| vec![Value::text(l)]).collect(),
+                    rows_affected,
+                    stats,
+                }
+            }
             Stmt::Select(_) => {
                 let plan = plan.expect("SELECT statements are planned at cache time");
                 let env = Env {
                     catalog: &self.catalog,
                     pager: &self.pager,
                     params,
+                    prof: None,
                 };
                 let rows = run_select(&env, &mut stats, &plan, None)?;
                 QueryResult {
@@ -302,7 +457,8 @@ impl Database {
                 if has_subqueries {
                     return Err(DbError::Unsupported("subqueries in UPDATE".into()));
                 }
-                let n = self.run_update(&table, &sets, where_clause.as_ref(), params, &mut stats)?;
+                let n =
+                    self.run_update(&table, &sets, where_clause.as_ref(), params, &mut stats)?;
                 QueryResult {
                     columns: vec![],
                     rows: vec![],
@@ -326,20 +482,161 @@ impl Database {
                 }
             }
         };
-        self.total_stats.merge(&result.stats);
         Ok(result)
     }
 
+    /// Renders (and under ANALYZE, executes and profiles) the wrapped
+    /// statement. Returns the plan lines and the affected-row count (nonzero
+    /// only for ANALYZE of a write statement).
+    fn run_explain(
+        &mut self,
+        inner: Stmt,
+        analyze: bool,
+        plan: Option<SelectPlan>,
+        has_subqueries: bool,
+        params: &[Value],
+        stats: &mut ExecStats,
+    ) -> DbResult<(Vec<String>, u64)> {
+        match inner {
+            Stmt::Select(_) => {
+                let plan = plan.expect("EXPLAIN SELECT is planned at cache time");
+                if analyze {
+                    let prof = RefCell::new(Profiler::default());
+                    let rows = {
+                        let env = Env {
+                            catalog: &self.catalog,
+                            pager: &self.pager,
+                            params,
+                            prof: Some(&prof),
+                        };
+                        run_select(&env, stats, &plan, None)?
+                    };
+                    let prof = prof.into_inner();
+                    let mut lines = render_plan(&self.catalog, &plan, Some(&prof));
+                    lines.push(format!("Rows returned: {}", rows.len()));
+                    Ok((lines, 0))
+                } else {
+                    Ok((render_plan(&self.catalog, &plan, None), 0))
+                }
+            }
+            Stmt::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                if has_subqueries {
+                    return Err(DbError::Unsupported("subqueries in INSERT".into()));
+                }
+                let mut lines = vec![format!("Insert on {table} ({} rows)", rows.len())];
+                let mut affected = 0;
+                if analyze {
+                    affected = self.run_insert(&table, columns.as_deref(), &rows, params, stats)?;
+                    lines.push(format!("Rows affected: {affected}"));
+                }
+                Ok((lines, affected))
+            }
+            Stmt::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
+                if has_subqueries {
+                    return Err(DbError::Unsupported("subqueries in UPDATE".into()));
+                }
+                let (path, residual, _scope) =
+                    plan_table_access(&self.catalog, &table, where_clause.as_ref())?;
+                let set_cols: Vec<&str> = sets.iter().map(|(n, _)| n.as_str()).collect();
+                let mut lines = vec![format!("Update on {table} [set {}]", set_cols.join(", "))];
+                lines.push(format!(
+                    "  {}",
+                    render_table_access(&self.catalog, &table, &path)
+                ));
+                if let Some(r) = residual {
+                    lines.push(format!("  Residual filter [{r}]"));
+                }
+                let mut affected = 0;
+                if analyze {
+                    affected =
+                        self.run_update(&table, &sets, where_clause.as_ref(), params, stats)?;
+                    lines.push(format!("Rows affected: {affected}"));
+                }
+                Ok((lines, affected))
+            }
+            Stmt::Delete {
+                table,
+                where_clause,
+            } => {
+                if has_subqueries {
+                    return Err(DbError::Unsupported("subqueries in DELETE".into()));
+                }
+                let (path, residual, _scope) =
+                    plan_table_access(&self.catalog, &table, where_clause.as_ref())?;
+                let mut lines = vec![format!("Delete on {table}")];
+                lines.push(format!(
+                    "  {}",
+                    render_table_access(&self.catalog, &table, &path)
+                ));
+                if let Some(r) = residual {
+                    lines.push(format!("  Residual filter [{r}]"));
+                }
+                let mut affected = 0;
+                if analyze {
+                    affected = self.run_delete(&table, where_clause.as_ref(), params, stats)?;
+                    lines.push(format!("Rows affected: {affected}"));
+                }
+                Ok((lines, affected))
+            }
+            Stmt::Explain { .. } => Err(DbError::Unsupported("nested EXPLAIN".into())),
+            _ => Err(DbError::Unsupported("EXPLAIN of DDL statements".into())),
+        }
+    }
+
     /// Bulk-inserts pre-built rows into a table, bypassing SQL parsing and
-    /// per-statement overhead. This is the shredder's bulk-load path.
+    /// per-statement overhead. This is the shredder's bulk-load path. It is
+    /// still a statement to the observability layer: it folds page/B+tree
+    /// deltas, counts as one write statement, and appears in traces as
+    /// `INSERT INTO <table> /* bulk */`.
     pub fn insert_many(&mut self, table: &str, rows: Vec<Row>) -> DbResult<u64> {
+        let pages_before = self.pager.stats().full();
+        let trees_before = self.catalog.btree_counters();
+        let observing = self.trace.is_some() || obs::registry().enabled();
+        let started = observing.then(Instant::now);
         let t = self.catalog.table_mut(table)?;
         let mut n = 0;
         for row in rows {
             t.insert_row(&self.pager, row)?;
             n += 1;
         }
-        self.total_stats.rows_written += n;
+        let mut stats = ExecStats {
+            rows_written: n,
+            ..ExecStats::default()
+        };
+        self.fold_engine_deltas(&mut stats, &pages_before, &trees_before);
+        self.total_stats.merge(&stats);
+        if let Some(started) = started {
+            let elapsed = started.elapsed();
+            let sql = format!("INSERT INTO {table} /* bulk */");
+            obs::registry().record_statement(
+                &sql,
+                false,
+                &obs::SlowQuery {
+                    sql: String::new(),
+                    elapsed,
+                    rows: n,
+                    stats,
+                },
+            );
+            if let Some(trace) = &mut self.trace {
+                trace.push(StatementTrace {
+                    sql,
+                    params: Vec::new(),
+                    rows: 0,
+                    rows_affected: n,
+                    elapsed,
+                    stats,
+                });
+            }
+        }
         Ok(n)
     }
 
@@ -423,6 +720,7 @@ impl Database {
                 catalog: &self.catalog,
                 pager: &self.pager,
                 params,
+                prof: None,
             };
             scan_for_update(&env, stats, table, &path)?
         };
@@ -460,6 +758,7 @@ impl Database {
                 catalog: &self.catalog,
                 pager: &self.pager,
                 params,
+                prof: None,
             };
             scan_for_update(&env, stats, table, &path)?
         };
@@ -551,13 +850,7 @@ fn decode_meta(bytes: &[u8]) -> DbResult<Vec<PageId>> {
         return Err(DbError::Storage("truncated meta page".into()));
     }
     Ok((0..n)
-        .map(|i| {
-            u32::from_le_bytes(
-                bytes[12 + i * 4..16 + i * 4]
-                    .try_into()
-                    .expect("4 bytes"),
-            )
-        })
+        .map(|i| u32::from_le_bytes(bytes[12 + i * 4..16 + i * 4].try_into().expect("4 bytes")))
         .collect())
 }
 
@@ -656,8 +949,10 @@ mod tests {
     #[test]
     fn hash_join_without_indexes() {
         let mut db = Database::in_memory();
-        db.execute("CREATE TABLE a (x INTEGER, y TEXT)", &[]).unwrap();
-        db.execute("CREATE TABLE b (x INTEGER, z TEXT)", &[]).unwrap();
+        db.execute("CREATE TABLE a (x INTEGER, y TEXT)", &[])
+            .unwrap();
+        db.execute("CREATE TABLE b (x INTEGER, z TEXT)", &[])
+            .unwrap();
         for i in 0..20 {
             db.execute(
                 "INSERT INTO a VALUES (?, ?)",
@@ -744,7 +1039,10 @@ mod tests {
             .unwrap();
         assert_eq!(rows, vec![vec![Value::Int(0), Value::Null]]);
         let grouped = db
-            .query("SELECT tag, COUNT(*) FROM node WHERE doc = 99 GROUP BY tag", &[])
+            .query(
+                "SELECT tag, COUNT(*) FROM node WHERE doc = 99 GROUP BY tag",
+                &[],
+            )
             .unwrap();
         assert!(grouped.is_empty());
     }
@@ -833,10 +1131,7 @@ mod tests {
         let mut db = setup();
         seed(&mut db, 5);
         let err = db
-            .execute(
-                "INSERT INTO node VALUES (1, 0, 0, 0, 't', 'v')",
-                &[],
-            )
+            .execute("INSERT INTO node VALUES (1, 0, 0, 0, 't', 'v')", &[])
             .unwrap_err();
         assert!(matches!(err, DbError::Constraint(_)));
     }
@@ -844,11 +1139,8 @@ mod tests {
     #[test]
     fn insert_with_column_list_fills_nulls() {
         let mut db = setup();
-        db.execute(
-            "INSERT INTO node (doc, pos) VALUES (1, 1), (1, 2)",
-            &[],
-        )
-        .unwrap();
+        db.execute("INSERT INTO node (doc, pos) VALUES (1, 1), (1, 2)", &[])
+            .unwrap();
         let rows = db
             .query("SELECT tag FROM node WHERE doc = 1 ORDER BY pos", &[])
             .unwrap();
@@ -886,11 +1178,8 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let mut db = Database::open(&path, 64).unwrap();
-            db.execute(
-                "CREATE TABLE t (a INTEGER, b TEXT, PRIMARY KEY (a))",
-                &[],
-            )
-            .unwrap();
+            db.execute("CREATE TABLE t (a INTEGER, b TEXT, PRIMARY KEY (a))", &[])
+                .unwrap();
             db.execute("CREATE INDEX t_b ON t (b)", &[]).unwrap();
             for i in 0..500 {
                 db.execute(
@@ -909,10 +1198,135 @@ mod tests {
             .unwrap();
         assert_eq!(rows, vec![vec![Value::Int(123)]]);
         // And it stays writable.
-        db.execute("INSERT INTO t VALUES (1000, 'new')", &[]).unwrap();
+        db.execute("INSERT INTO t VALUES (1000, 'new')", &[])
+            .unwrap();
         let rows = db.query("SELECT COUNT(*) FROM t", &[]).unwrap();
         assert_eq!(rows[0][0], Value::Int(501));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn plan_text(db: &mut Database, sql: &str) -> String {
+        let r = db.run(sql, &[]).unwrap();
+        assert_eq!(r.columns, vec!["plan"]);
+        r.rows
+            .iter()
+            .map(|row| row[0].as_text().unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn explain_renders_stable_plan() {
+        let mut db = setup();
+        seed(&mut db, 20);
+        // The shape of a translated child-axis XPath range query.
+        let sql = "EXPLAIN SELECT pos, val FROM node \
+                   WHERE doc = 1 AND pos BETWEEN 10 AND 14 ORDER BY pos";
+        let text = plan_text(&mut db, sql);
+        assert!(text.contains("Index Scan on node using pk"), "{text}");
+        assert!(text.contains("doc = 1"), "{text}");
+        assert!(text.contains("pos >= 10"), "{text}");
+        assert!(text.contains("pos <= 14"), "{text}");
+        assert!(text.contains("sort elided"), "{text}");
+        assert!(
+            !text.contains("actual rows="),
+            "plain EXPLAIN has no timings: {text}"
+        );
+        // EXPLAIN must not execute the statement.
+        assert_eq!(plan_text(&mut db, sql), text, "plan rendering is stable");
+    }
+
+    #[test]
+    fn explain_analyze_profiles_and_reports_engine_counters() {
+        let mut db = setup();
+        seed(&mut db, 50);
+        let r = db
+            .run(
+                "EXPLAIN ANALYZE SELECT val FROM node WHERE doc = 1 AND pos = 25",
+                &[],
+            )
+            .unwrap();
+        let text: String = r
+            .rows
+            .iter()
+            .map(|row| row[0].as_text().unwrap().to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("actual rows=1"), "{text}");
+        assert!(text.contains("Rows returned: 1"), "{text}");
+        // Buffer-pool and B+tree counters are folded into the statement stats.
+        assert!(r.stats.index_scans >= 1);
+        assert!(r.stats.btree_descents >= 1, "{:?}", r.stats);
+        assert!(r.stats.pages_read >= 1, "{:?}", r.stats);
+    }
+
+    #[test]
+    fn index_point_query_touches_fewer_pages_than_full_scan() {
+        let mut db = setup();
+        seed(&mut db, 2000);
+        let point = db
+            .run("SELECT val FROM node WHERE doc = 1 AND pos = 250", &[])
+            .unwrap();
+        assert!(point.stats.index_scans >= 1);
+        // `depth` alone is not an index prefix, so this is a heap scan.
+        let full = db
+            .run("SELECT val FROM node WHERE depth = 99", &[])
+            .unwrap();
+        assert_eq!(full.stats.index_scans, 0);
+        assert!(full.stats.rows_scanned >= 2000);
+        assert!(
+            point.stats.pages_read < full.stats.pages_read,
+            "point {:?} vs full {:?}",
+            point.stats,
+            full.stats
+        );
+    }
+
+    #[test]
+    fn explain_analyze_update_executes() {
+        let mut db = setup();
+        seed(&mut db, 20);
+        let r = db
+            .run(
+                "EXPLAIN ANALYZE UPDATE node SET depth = 7 WHERE doc = 1 AND pos >= 15",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.rows_affected, 5);
+        let rows = db
+            .query("SELECT COUNT(*) FROM node WHERE depth = 7", &[])
+            .unwrap();
+        assert_eq!(rows[0][0], Value::Int(5));
+        // Plain EXPLAIN of a write renders but does not execute.
+        let text = plan_text(&mut db, "EXPLAIN DELETE FROM node WHERE doc = 1");
+        assert!(text.contains("Delete on node"), "{text}");
+        let rows = db.query("SELECT COUNT(*) FROM node", &[]).unwrap();
+        assert_eq!(rows[0][0], Value::Int(20));
+    }
+
+    #[test]
+    fn explain_rejects_ddl_and_nesting() {
+        let mut db = setup();
+        assert!(db.run("EXPLAIN CREATE TABLE x (a INTEGER)", &[]).is_err());
+        assert!(db.run("EXPLAIN EXPLAIN SELECT 1", &[]).is_err());
+    }
+
+    #[test]
+    fn trace_records_statements() {
+        let mut db = setup();
+        seed(&mut db, 10);
+        db.start_trace();
+        db.query("SELECT val FROM node WHERE doc = 1 AND pos = 5", &[])
+            .unwrap();
+        db.execute("DELETE FROM node WHERE doc = 1 AND pos = 9", &[])
+            .unwrap();
+        let trace = db.take_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].rows, 1);
+        assert!(trace[0].sql.starts_with("SELECT"));
+        assert!(trace[0].stats.index_scans >= 1);
+        assert_eq!(trace[1].rows_affected, 1);
+        assert!(db.take_trace().is_empty(), "trace is consumed");
     }
 
     #[test]

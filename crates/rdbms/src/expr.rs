@@ -145,6 +145,78 @@ pub enum Expr {
     Exists(usize),
 }
 
+impl fmt::Display for Expr {
+    /// SQL-ish rendering for plan output (`EXPLAIN`). Bound columns print as
+    /// `#i` (combined-row position), outer references as `outer.#i`, and
+    /// parameters as `?n` (1-based, like the parser counts them).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Name(n) => f.write_str(n),
+            Expr::Column(i) => write!(f, "#{i}"),
+            Expr::OuterColumn(i) => write!(f, "outer.#{i}"),
+            Expr::Param(i) => write!(f, "?{}", i + 1),
+            Expr::Unary(UnaryOp::Not, e) => write!(f, "NOT ({e})"),
+            Expr::Unary(UnaryOp::Neg, e) => write!(f, "-({e})"),
+            Expr::Binary(op, l, r) => match op {
+                BinOp::And | BinOp::Or => write!(f, "({l} {op} {r})"),
+                _ => write!(f, "{l} {op} {r}"),
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}LIKE {pattern}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}BETWEEN {low} AND {high}",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::Func { name, args, star } => {
+                write!(f, "{name}(")?;
+                if *star {
+                    f.write_str("*")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Subquery(slot) => write!(f, "subquery ${slot}"),
+            Expr::Exists(slot) => write!(f, "EXISTS ${slot}"),
+        }
+    }
+}
+
 impl Expr {
     /// Shorthand for a binary expression.
     pub fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
@@ -266,9 +338,11 @@ impl Expr {
         } else {
             exprs.remove(0)
         };
-        Some(exprs.into_iter().fold(first, |acc, e| {
-            Expr::bin(BinOp::And, acc, e)
-        }))
+        Some(
+            exprs
+                .into_iter()
+                .fold(first, |acc, e| Expr::bin(BinOp::And, acc, e)),
+        )
     }
 
     /// `true` if the expression contains no column references, subqueries, or
@@ -590,7 +664,13 @@ mod tests {
     use super::*;
 
     fn ev(e: &Expr) -> DbResult<Value> {
-        eval(e, &mut SimpleCtx { row: &[], params: &[] })
+        eval(
+            e,
+            &mut SimpleCtx {
+                row: &[],
+                params: &[],
+            },
+        )
     }
 
     fn lit(v: Value) -> Expr {
@@ -600,11 +680,21 @@ mod tests {
     #[test]
     fn arithmetic() {
         assert_eq!(
-            ev(&Expr::bin(BinOp::Add, lit(Value::Int(2)), lit(Value::Int(3)))).unwrap(),
+            ev(&Expr::bin(
+                BinOp::Add,
+                lit(Value::Int(2)),
+                lit(Value::Int(3))
+            ))
+            .unwrap(),
             Value::Int(5)
         );
         assert_eq!(
-            ev(&Expr::bin(BinOp::Div, lit(Value::Int(7)), lit(Value::Int(2)))).unwrap(),
+            ev(&Expr::bin(
+                BinOp::Div,
+                lit(Value::Int(7)),
+                lit(Value::Int(2))
+            ))
+            .unwrap(),
             Value::Int(3),
             "integer division truncates"
         );
@@ -617,7 +707,12 @@ mod tests {
             .unwrap(),
             Value::Float(3.0)
         );
-        assert!(ev(&Expr::bin(BinOp::Div, lit(Value::Int(1)), lit(Value::Int(0)))).is_err());
+        assert!(ev(&Expr::bin(
+            BinOp::Div,
+            lit(Value::Int(1)),
+            lit(Value::Int(0))
+        ))
+        .is_err());
         assert!(ev(&Expr::bin(
             BinOp::Add,
             lit(Value::Int(i64::MAX)),
@@ -652,9 +747,15 @@ mod tests {
         let t = || lit(Value::Bool(true));
         let f = || lit(Value::Bool(false));
         let u = || lit(Value::Null);
-        assert_eq!(ev(&Expr::bin(BinOp::And, u(), f())).unwrap(), Value::Bool(false));
+        assert_eq!(
+            ev(&Expr::bin(BinOp::And, u(), f())).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(ev(&Expr::bin(BinOp::And, u(), t())).unwrap(), Value::Null);
-        assert_eq!(ev(&Expr::bin(BinOp::Or, u(), t())).unwrap(), Value::Bool(true));
+        assert_eq!(
+            ev(&Expr::bin(BinOp::Or, u(), t())).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(ev(&Expr::bin(BinOp::Or, u(), f())).unwrap(), Value::Null);
         assert_eq!(
             ev(&Expr::Unary(UnaryOp::Not, Box::new(u()))).unwrap(),
@@ -665,11 +766,21 @@ mod tests {
     #[test]
     fn comparisons_mixed_numeric() {
         assert_eq!(
-            ev(&Expr::bin(BinOp::Lt, lit(Value::Int(1)), lit(Value::Float(1.5)))).unwrap(),
+            ev(&Expr::bin(
+                BinOp::Lt,
+                lit(Value::Int(1)),
+                lit(Value::Float(1.5))
+            ))
+            .unwrap(),
             Value::Bool(true)
         );
         assert!(
-            ev(&Expr::bin(BinOp::Lt, lit(Value::Int(1)), lit(Value::text("x")))).is_err(),
+            ev(&Expr::bin(
+                BinOp::Lt,
+                lit(Value::Int(1)),
+                lit(Value::text("x"))
+            ))
+            .is_err(),
             "type mismatch is an error, not unknown"
         );
     }
@@ -694,7 +805,11 @@ mod tests {
             list: vec![lit(Value::Int(1)), lit(Value::Null)],
             negated: false,
         };
-        assert_eq!(ev(&in_with_null).unwrap(), Value::Null, "unknown membership");
+        assert_eq!(
+            ev(&in_with_null).unwrap(),
+            Value::Null,
+            "unknown membership"
+        );
     }
 
     #[test]

@@ -44,14 +44,16 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod obs;
 pub mod plan;
 pub mod schema;
 pub mod sql;
 pub mod storage;
 pub mod value;
 
-pub use db::{Database, QueryResult};
-pub use exec::ExecStats;
+pub use btree::BTreeCounters;
+pub use db::{Database, QueryResult, StatementTrace};
 pub use error::{DbError, DbResult};
+pub use exec::{ExecStats, OpProfile, Profiler};
 pub use schema::{ColumnDef, IndexDef, TableSchema};
 pub use value::{DataType, Row, Value};

@@ -1,0 +1,414 @@
+//! Engine observability: counters, duration histograms, timing spans, a
+//! global snapshot API, and a configurable slow-query log.
+//!
+//! Everything here is built on `std` only (the crate keeps an empty
+//! `[dependencies]` section). The whole layer sits behind a single
+//! process-wide enable flag — when disabled (the default is *enabled*), the
+//! per-statement overhead in [`crate::Database::run`] is one relaxed atomic
+//! load, so hot paths pay essentially nothing for the instrumentation.
+//!
+//! The registry is process-global on purpose: it aggregates across every
+//! [`crate::Database`] in the process (per-database numbers live in
+//! [`crate::ExecStats`] / [`crate::Database::total_stats`] instead). Tests
+//! that read it must therefore assert monotonic inequalities, not exact
+//! values.
+
+use crate::exec::ExecStats;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing event counter (relaxed atomics; cheap enough
+/// to bump from any path).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets in a [`DurationHistogram`] (covers 1 ns to ~18 min).
+const HIST_BUCKETS: usize = 40;
+
+/// A lock-free histogram of durations with power-of-two nanosecond buckets
+/// (bucket `i` holds durations in `[2^i, 2^(i+1))` ns), plus running count,
+/// sum, and max for exact averages.
+#[derive(Debug)]
+pub struct DurationHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DurationHistogram {
+    /// An empty histogram.
+    pub const fn new() -> DurationHistogram {
+        #[allow(clippy::declare_interior_mutable_const)] // array-init seed only
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        DurationHistogram {
+            buckets: [ZERO; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let bucket = (63 - ns.max(1).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// A plain-value snapshot with approximate quantiles.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> Duration {
+            if count == 0 {
+                return Duration::ZERO;
+            }
+            let target = ((count as f64) * q).ceil() as u64;
+            let mut seen = 0u64;
+            for (i, n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= target {
+                    // Upper edge of the bucket: a conservative estimate.
+                    return Duration::from_nanos(1u64 << (i + 1).min(63));
+                }
+            }
+            Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+        };
+        HistogramSnapshot {
+            count,
+            total: Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed)),
+            max: Duration::from_nanos(self.max_ns.load(Ordering::Relaxed)),
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`DurationHistogram`]. Quantiles are
+/// bucket-resolution estimates (upper bucket edge), not exact.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Recorded durations.
+    pub count: u64,
+    /// Sum of all recorded durations.
+    pub total: Duration,
+    /// Largest recorded duration.
+    pub max: Duration,
+    /// Approximate median.
+    pub p50: Duration,
+    /// Approximate 95th percentile.
+    pub p95: Duration,
+    /// Approximate 99th percentile.
+    pub p99: Duration,
+}
+
+/// A timing span: starts on construction, records its elapsed time into a
+/// histogram when dropped.
+///
+/// ```
+/// use ordxml_rdbms::obs;
+/// let hist = obs::DurationHistogram::new();
+/// {
+///     let _span = obs::Span::enter(&hist);
+///     // ... timed work ...
+/// }
+/// assert_eq!(hist.snapshot().count, 1);
+/// ```
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: &'a DurationHistogram,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Starts a span that reports into `hist`.
+    pub fn enter(hist: &'a DurationHistogram) -> Span<'a> {
+        Span {
+            hist,
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time so far, without ending the span.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.hist.record(self.start.elapsed());
+    }
+}
+
+/// One statement captured by the slow-query log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQuery {
+    /// The SQL text as submitted.
+    pub sql: String,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+    /// Rows returned (SELECT) or affected (writes).
+    pub rows: u64,
+    /// The statement's merged execution counters.
+    pub stats: ExecStats,
+}
+
+/// Capacity of the slow-query ring buffer.
+const SLOW_LOG_CAP: usize = 64;
+
+/// The process-wide metric registry: statement counters, latency
+/// histograms, and the slow-query log.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: AtomicBool,
+    /// Statements executed (all kinds).
+    pub statements: Counter,
+    /// Statements that failed with an error.
+    pub statement_errors: Counter,
+    /// Statements that exceeded the slow-query threshold.
+    pub slow_statements: Counter,
+    /// Latency of read statements (`SELECT`, `EXPLAIN`).
+    pub read_latency: DurationHistogram,
+    /// Latency of write statements (`INSERT`/`UPDATE`/`DELETE`/DDL).
+    pub write_latency: DurationHistogram,
+    slow_threshold_ns: AtomicU64,
+    slow_log: Mutex<VecDeque<SlowQuery>>,
+}
+
+impl Registry {
+    fn new() -> Registry {
+        Registry {
+            enabled: AtomicBool::new(true),
+            statements: Counter::new(),
+            statement_errors: Counter::new(),
+            slow_statements: Counter::new(),
+            read_latency: DurationHistogram::new(),
+            write_latency: DurationHistogram::new(),
+            slow_threshold_ns: AtomicU64::new(0),
+            slow_log: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Whether statement instrumentation is collected. The check is a single
+    /// relaxed load, so callers may consult it on every statement.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns statement instrumentation on or off (on by default).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Sets the slow-query threshold; `None` disables the log (the default).
+    pub fn set_slow_query_threshold(&self, threshold: Option<Duration>) {
+        let ns = threshold
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX).max(1))
+            .unwrap_or(0);
+        self.slow_threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// The current slow-query threshold, if the log is enabled.
+    pub fn slow_query_threshold(&self) -> Option<Duration> {
+        match self.slow_threshold_ns.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
+    }
+
+    /// Records one executed statement. `is_read` selects the latency
+    /// histogram; statements beyond the threshold land in the slow log.
+    pub fn record_statement(&self, sql: &str, is_read: bool, entry: &SlowQuery) {
+        if !self.enabled() {
+            return;
+        }
+        self.statements.add(1);
+        if is_read {
+            self.read_latency.record(entry.elapsed);
+        } else {
+            self.write_latency.record(entry.elapsed);
+        }
+        let threshold = self.slow_threshold_ns.load(Ordering::Relaxed);
+        if threshold > 0 && entry.elapsed.as_nanos() >= threshold as u128 {
+            self.slow_statements.add(1);
+            let mut log = self.slow_log.lock().expect("slow log poisoned");
+            if log.len() == SLOW_LOG_CAP {
+                log.pop_front();
+            }
+            log.push_back(SlowQuery {
+                sql: sql.to_string(),
+                ..entry.clone()
+            });
+        }
+    }
+
+    /// The captured slow queries, oldest first (bounded ring of
+    /// the most recent 64).
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow_log
+            .lock()
+            .expect("slow log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Empties the slow-query log.
+    pub fn clear_slow_queries(&self) {
+        self.slow_log.lock().expect("slow log poisoned").clear();
+    }
+
+    /// A plain-value snapshot of every registry metric.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        ObsSnapshot {
+            statements: self.statements.get(),
+            statement_errors: self.statement_errors.get(),
+            slow_statements: self.slow_statements.get(),
+            read_latency: self.read_latency.snapshot(),
+            write_latency: self.write_latency.snapshot(),
+        }
+    }
+}
+
+/// Point-in-time copy of the registry counters (see [`snapshot`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ObsSnapshot {
+    /// Statements executed.
+    pub statements: u64,
+    /// Statements that failed.
+    pub statement_errors: u64,
+    /// Statements beyond the slow-query threshold.
+    pub slow_statements: u64,
+    /// Read-statement latency summary.
+    pub read_latency: HistogramSnapshot,
+    /// Write-statement latency summary.
+    pub write_latency: HistogramSnapshot,
+}
+
+/// The process-wide registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Snapshot of the global registry — convenience for `registry().snapshot()`.
+pub fn snapshot() -> ObsSnapshot {
+    registry().snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_histogram_basics() {
+        let c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+
+        let h = DurationHistogram::new();
+        for ms in [1u64, 2, 4, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.total, Duration::from_millis(107));
+        assert_eq!(s.max, Duration::from_millis(100));
+        assert!(s.p50 >= Duration::from_millis(2));
+        assert!(s.p95 >= Duration::from_millis(100));
+        assert!(s.p99 >= s.p50);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = DurationHistogram::new();
+        {
+            let span = Span::enter(&h);
+            assert!(span.elapsed() < Duration::from_secs(1));
+        }
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn slow_log_threshold_and_ring() {
+        // A private registry so parallel tests don't interfere.
+        let reg = Registry::new();
+        reg.set_slow_query_threshold(Some(Duration::from_millis(5)));
+        assert_eq!(reg.slow_query_threshold(), Some(Duration::from_millis(5)));
+        let fast = SlowQuery {
+            sql: String::new(),
+            elapsed: Duration::from_millis(1),
+            rows: 0,
+            stats: ExecStats::default(),
+        };
+        reg.record_statement("SELECT 1", true, &fast);
+        assert!(reg.slow_queries().is_empty());
+        for i in 0..(SLOW_LOG_CAP + 10) {
+            let slow = SlowQuery {
+                sql: String::new(),
+                elapsed: Duration::from_millis(50),
+                rows: i as u64,
+                stats: ExecStats::default(),
+            };
+            reg.record_statement(&format!("SELECT {i}"), true, &slow);
+        }
+        let log = reg.slow_queries();
+        assert_eq!(log.len(), SLOW_LOG_CAP);
+        assert_eq!(log[0].sql, "SELECT 10", "oldest entries evicted");
+        assert_eq!(reg.slow_statements.get(), SLOW_LOG_CAP as u64 + 10);
+        reg.clear_slow_queries();
+        assert!(reg.slow_queries().is_empty());
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::new();
+        reg.set_enabled(false);
+        assert!(!reg.enabled());
+        let q = SlowQuery {
+            sql: String::new(),
+            elapsed: Duration::from_secs(1),
+            rows: 0,
+            stats: ExecStats::default(),
+        };
+        reg.record_statement("SELECT 1", true, &q);
+        assert_eq!(reg.snapshot().statements, 0);
+        reg.set_enabled(true);
+    }
+}

@@ -165,6 +165,9 @@ pub struct SelectPlan {
     pub subplans: Vec<SelectPlan>,
     /// Output column names.
     pub columns: Vec<String>,
+    /// `true` when the statement had an `ORDER BY` that the chosen index
+    /// scan order already satisfies (so no [`Node::Sort`] was planned).
+    pub sort_elided: bool,
 }
 
 /// A binding scope: the combined-row layout of a query.
@@ -225,7 +228,7 @@ struct Planner<'a> {
 
 impl<'a> Planner<'a> {
     fn plan(mut self, stmt: &SelectStmt, outer: Option<&Scope>) -> DbResult<SelectPlan> {
-        let (root, columns) = self.plan_query(stmt, outer)?;
+        let (root, columns, sort_elided) = self.plan_query(stmt, outer)?;
         // Slots not referenced from *this* query block (e.g. slots that belong
         // to the enclosing statement when this is itself a subquery) get inert
         // placeholders; they are never executed through this plan.
@@ -237,6 +240,7 @@ impl<'a> Planner<'a> {
                     root: Node::OneRow,
                     subplans: Vec::new(),
                     columns: Vec::new(),
+                    sort_elided: false,
                 })
             })
             .collect::<Vec<_>>();
@@ -244,15 +248,17 @@ impl<'a> Planner<'a> {
             root,
             subplans,
             columns,
+            sort_elided,
         })
     }
 
-    /// Plans one query block; returns the root node and output column names.
+    /// Plans one query block; returns the root node, output column names,
+    /// and whether an `ORDER BY` sort was elided by index order.
     fn plan_query(
         &mut self,
         stmt: &SelectStmt,
         outer: Option<&Scope>,
-    ) -> DbResult<(Node, Vec<String>)> {
+    ) -> DbResult<(Node, Vec<String>, bool)> {
         // ---------------- FROM scope ----------------
         let mut scope = Scope::default();
         let mut tables = Vec::new(); // (alias, table name, width, offset)
@@ -323,18 +329,14 @@ impl<'a> Planner<'a> {
         }
 
         // ---------------- aggregates ----------------
-        let has_aggregate = stmt
-            .items
-            .iter()
-            .any(|i| matches!(i, SelectItem::Expr { expr, .. } if contains_aggregate_unbound(expr)))
-            || !stmt.group_by.is_empty();
+        let has_aggregate = stmt.items.iter().any(
+            |i| matches!(i, SelectItem::Expr { expr, .. } if contains_aggregate_unbound(expr)),
+        ) || !stmt.group_by.is_empty();
 
         let (mut root, out_exprs, out_names, agg_shape) = if has_aggregate {
             let (node, out_exprs, names) = self.plan_aggregate(stmt, root, &scope, outer)?;
             let shape = match &node {
-                Node::Aggregate { group_by, aggs, .. } => {
-                    Some((group_by.clone(), aggs.clone()))
-                }
+                Node::Aggregate { group_by, aggs, .. } => Some((group_by.clone(), aggs.clone())),
                 _ => unreachable!("plan_aggregate returns an Aggregate node"),
             };
             (node, out_exprs, names, shape)
@@ -374,6 +376,7 @@ impl<'a> Planner<'a> {
         };
 
         // ---------------- ORDER BY ----------------
+        let mut sort_elided = false;
         if !stmt.order_by.is_empty() {
             let keys = self.bind_order_keys(
                 &stmt.order_by,
@@ -388,6 +391,8 @@ impl<'a> Planner<'a> {
                     input: Box::new(root),
                     keys,
                 };
+            } else {
+                sort_elided = true;
             }
         }
 
@@ -418,7 +423,7 @@ impl<'a> Planner<'a> {
                 offset,
             };
         }
-        Ok((root, out_names))
+        Ok((root, out_names, sort_elided))
     }
 
     /// Builds the left-deep join tree, consuming sargable conjuncts into
@@ -442,13 +447,8 @@ impl<'a> Planner<'a> {
                 });
             *conjuncts = rest;
             // Pick the access path for this table.
-            let path = choose_access_path(
-                table,
-                *offset,
-                *width,
-                joined_width,
-                &mut level_conjuncts,
-            );
+            let path =
+                choose_access_path(table, *offset, *width, joined_width, &mut level_conjuncts);
             let access = Access {
                 table: tname.clone(),
                 path,
@@ -467,15 +467,19 @@ impl<'a> Planner<'a> {
                         let local = |m: Option<usize>| {
                             m.is_some_and(|i| i >= joined_width && i < avail_width)
                         };
-                        let outer_side = |e: &Expr| {
-                            max_column(e).is_none_or(|i| i < joined_width)
-                        };
-                        if local(lb) && min_column(b).is_none_or(|i| i >= joined_width) && outer_side(a) {
+                        let outer_side = |e: &Expr| max_column(e).is_none_or(|i| i < joined_width);
+                        if local(lb)
+                            && min_column(b).is_none_or(|i| i >= joined_width)
+                            && outer_side(a)
+                        {
                             lk.push((**a).clone());
                             rk.push(shift_columns((**b).clone(), joined_width));
                             continue;
                         }
-                        if local(la) && min_column(a).is_none_or(|i| i >= joined_width) && outer_side(b) {
+                        if local(la)
+                            && min_column(a).is_none_or(|i| i >= joined_width)
+                            && outer_side(b)
+                        {
                             lk.push((**b).clone());
                             rk.push(shift_columns((**a).clone(), joined_width));
                             continue;
@@ -714,7 +718,10 @@ fn shift_columns(e: Expr, delta: usize) -> Expr {
 /// Applies `f` to every expression embedded in a plan tree.
 fn walk_plan_exprs(node: &Node, f: &mut impl FnMut(&Expr)) {
     let walk_access = |a: &Access, f: &mut dyn FnMut(&Expr)| {
-        if let AccessPath::Index { eq, lower, upper, .. } = &a.path {
+        if let AccessPath::Index {
+            eq, lower, upper, ..
+        } = &a.path
+        {
             for e in eq {
                 e.visit(&mut |x| f(x));
             }
@@ -835,17 +842,17 @@ fn agg_func(name: &str) -> Option<AggFunc> {
 /// Rewrites a bound select-item expression for evaluation over the aggregate
 /// output row: group-by subexpressions become columns `0..G`, aggregate calls
 /// become columns `G..G+A` (appending to `aggs` as encountered).
-fn rewrite_for_aggregate(
-    expr: Expr,
-    group_by: &[Expr],
-    aggs: &mut Vec<AggCall>,
-) -> DbResult<Expr> {
+fn rewrite_for_aggregate(expr: Expr, group_by: &[Expr], aggs: &mut Vec<AggCall>) -> DbResult<Expr> {
     // Check group-by match at every level, starting with the whole expression.
     if let Some(i) = group_by.iter().position(|g| *g == expr) {
         return Ok(Expr::Column(i));
     }
     match expr {
-        Expr::Func { name, mut args, star } => {
+        Expr::Func {
+            name,
+            mut args,
+            star,
+        } => {
             let Some(func) = agg_func(&name) else {
                 return Err(DbError::Unsupported(format!("scalar function `{name}`")));
             };
@@ -936,7 +943,10 @@ fn choose_access_path(
     for (ci, c) in conjuncts.iter().enumerate() {
         match c {
             Expr::Binary(op, l, r)
-                if matches!(op, BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) =>
+                if matches!(
+                    op,
+                    BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                ) =>
             {
                 if let (Some(col), true) = (local_col(l), is_available(r)) {
                     sargs.push(Sarg {
@@ -1028,14 +1038,15 @@ fn choose_access_path(
                 .find(|s| {
                     s.col == col
                         && (matches!(s.op, BinOp::Lt | BinOp::Le)
-                            || (s.op == BinOp::Ge && s.bound2.is_some() && Some(s.conjunct) == lower_id))
+                            || (s.op == BinOp::Ge
+                                && s.bound2.is_some()
+                                && Some(s.conjunct) == lower_id))
                 })
                 .map(|s| s.conjunct);
             break;
         }
-        let score = eq_ids.len() * 2
-            + usize::from(lower_id.is_some())
-            + usize::from(upper_id.is_some());
+        let score =
+            eq_ids.len() * 2 + usize::from(lower_id.is_some()) + usize::from(upper_id.is_some());
         if score > 0 && best.as_ref().is_none_or(|b| score > b.score) {
             best = Some(Candidate {
                 idx: idx_id,
@@ -1115,10 +1126,7 @@ fn sort_satisfied_by_plan(catalog: &Catalog, node: &Node, keys: &[(Expr, bool)])
         match cur {
             Node::Scan(access) => {
                 let AccessPath::Index {
-                    index,
-                    eq,
-                    reverse,
-                    ..
+                    index, eq, reverse, ..
                 } = &access.path
                 else {
                     return false;
@@ -1207,6 +1215,239 @@ pub fn plan_table_access(
     Ok((path, Expr::conjoin(conjuncts), scope))
 }
 
+// ---------------------------------------------------------------------
+// Plan rendering (EXPLAIN / EXPLAIN ANALYZE)
+// ---------------------------------------------------------------------
+
+/// Renders a plan tree as indented text, one line per operator. With a
+/// [`Profiler`](crate::exec::Profiler) from an `EXPLAIN ANALYZE` run over
+/// the *same* plan value, each operator is annotated with its actual row
+/// count, invocation count, and inclusive elapsed time.
+pub fn render_plan(
+    catalog: &Catalog,
+    plan: &SelectPlan,
+    prof: Option<&crate::exec::Profiler>,
+) -> Vec<String> {
+    let mut lines = Vec::new();
+    render_node(catalog, &plan.root, prof, 0, &mut lines);
+    if plan.sort_elided {
+        lines.push("Note: ORDER BY satisfied by index order (sort elided)".into());
+    }
+    for (slot, sub) in plan.subplans.iter().enumerate() {
+        if sub.columns.is_empty() && matches!(sub.root, Node::OneRow) {
+            continue; // inert placeholder for a slot owned by another block
+        }
+        lines.push(format!("Subplan ${slot}:"));
+        render_node(catalog, &sub.root, prof, 1, &mut lines);
+    }
+    lines
+}
+
+/// Renders a bare table access path — the target scan of an `EXPLAIN`ed
+/// UPDATE or DELETE.
+pub fn render_table_access(catalog: &Catalog, table: &str, path: &AccessPath) -> String {
+    render_access(
+        catalog,
+        &Access {
+            table: table.to_string(),
+            path: path.clone(),
+            width: 0,
+        },
+    )
+}
+
+/// ` (actual rows=... loops=... time=...)` under ANALYZE, empty otherwise.
+fn profile_suffix(prof: Option<&crate::exec::Profiler>, node: &Node) -> String {
+    let Some(prof) = prof else {
+        return String::new();
+    };
+    match prof.get(node) {
+        Some(op) => format!(
+            " (actual rows={} loops={} time={:.3?})",
+            op.rows_out, op.invocations, op.elapsed
+        ),
+        None => " (never executed)".into(),
+    }
+}
+
+/// One access path as text: scan kind, table, index name, and the bound
+/// predicates with index column names substituted in.
+fn render_access(catalog: &Catalog, a: &Access) -> String {
+    match &a.path {
+        AccessPath::FullScan => format!("Seq Scan on {}", a.table),
+        AccessPath::Index {
+            index,
+            eq,
+            lower,
+            upper,
+            reverse,
+        } => {
+            let (index_name, cols): (String, Vec<String>) = match catalog.table(&a.table) {
+                Ok(t) => {
+                    let (name, col_ids): (String, &[usize]) = match index {
+                        None => ("pk".into(), &t.schema.primary_key),
+                        Some(i) => (t.indexes[*i].0.name.clone(), &t.indexes[*i].0.columns),
+                    };
+                    let cols = col_ids
+                        .iter()
+                        .map(|&c| t.schema.columns[c].name.clone())
+                        .collect();
+                    (name, cols)
+                }
+                Err(_) => ("?".into(), Vec::new()),
+            };
+            let mut preds = Vec::new();
+            for (i, e) in eq.iter().enumerate() {
+                let col = cols.get(i).cloned().unwrap_or_else(|| format!("key[{i}]"));
+                preds.push(format!("{col} = {e}"));
+            }
+            let range_col = cols
+                .get(eq.len())
+                .cloned()
+                .unwrap_or_else(|| format!("key[{}]", eq.len()));
+            if let Some((e, inclusive)) = lower {
+                preds.push(format!(
+                    "{range_col} {} {e}",
+                    if *inclusive { ">=" } else { ">" }
+                ));
+            }
+            if let Some((e, inclusive)) = upper {
+                preds.push(format!(
+                    "{range_col} {} {e}",
+                    if *inclusive { "<=" } else { "<" }
+                ));
+            }
+            let mut s = format!("Index Scan on {} using {index_name}", a.table);
+            if !preds.is_empty() {
+                s.push_str(&format!(" [{}]", preds.join(" AND ")));
+            }
+            if *reverse {
+                s.push_str(" (reverse)");
+            }
+            s
+        }
+    }
+}
+
+fn render_agg(call: &AggCall) -> String {
+    let name = match call.func {
+        AggFunc::CountStar => return "COUNT(*)".into(),
+        AggFunc::Count => "COUNT",
+        AggFunc::Sum => "SUM",
+        AggFunc::Min => "MIN",
+        AggFunc::Max => "MAX",
+        AggFunc::Avg => "AVG",
+    };
+    match &call.arg {
+        Some(e) => format!("{name}({e})"),
+        None => format!("{name}()"),
+    }
+}
+
+fn render_node(
+    catalog: &Catalog,
+    node: &Node,
+    prof: Option<&crate::exec::Profiler>,
+    depth: usize,
+    out: &mut Vec<String>,
+) {
+    let pad = "  ".repeat(depth);
+    let suffix = profile_suffix(prof, node);
+    match node {
+        Node::OneRow => out.push(format!("{pad}Result (one row){suffix}")),
+        Node::Scan(a) => out.push(format!("{pad}{}{suffix}", render_access(catalog, a))),
+        Node::Filter { input, pred } => {
+            out.push(format!("{pad}Filter [{pred}]{suffix}"));
+            render_node(catalog, input, prof, depth + 1, out);
+        }
+        Node::Join {
+            left,
+            right,
+            residual,
+            hash_keys,
+        } => {
+            let strategy = if hash_keys.is_some() {
+                "Hash Join"
+            } else if matches!(right.path, AccessPath::Index { .. }) {
+                "Index Nested-Loop Join"
+            } else {
+                "Nested-Loop Join"
+            };
+            let mut line = format!("{pad}{strategy}");
+            if let Some((lk, rk)) = hash_keys {
+                let keys: Vec<String> = lk
+                    .iter()
+                    .zip(rk)
+                    .map(|(l, r)| format!("{l} = inner.{r}"))
+                    .collect();
+                line.push_str(&format!(" [{}]", keys.join(" AND ")));
+            }
+            if let Some(r) = residual {
+                line.push_str(&format!(" residual [{r}]"));
+            }
+            line.push_str(&suffix);
+            out.push(line);
+            render_node(catalog, left, prof, depth + 1, out);
+            out.push(format!(
+                "{}-> {}",
+                "  ".repeat(depth + 1),
+                render_access(catalog, right)
+            ));
+        }
+        Node::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let mut line = format!("{pad}Aggregate");
+            if !group_by.is_empty() {
+                let gb: Vec<String> = group_by.iter().map(Expr::to_string).collect();
+                line.push_str(&format!(" group by [{}]", gb.join(", ")));
+            }
+            if !aggs.is_empty() {
+                let ag: Vec<String> = aggs.iter().map(render_agg).collect();
+                line.push_str(&format!(" [{}]", ag.join(", ")));
+            }
+            line.push_str(&suffix);
+            out.push(line);
+            render_node(catalog, input, prof, depth + 1, out);
+        }
+        Node::Sort { input, keys } => {
+            let ks: Vec<String> = keys
+                .iter()
+                .map(|(e, desc)| format!("{e}{}", if *desc { " DESC" } else { "" }))
+                .collect();
+            out.push(format!("{pad}Sort [{}]{suffix}", ks.join(", ")));
+            render_node(catalog, input, prof, depth + 1, out);
+        }
+        Node::Project { input, exprs } => {
+            let es: Vec<String> = exprs.iter().map(Expr::to_string).collect();
+            out.push(format!("{pad}Project [{}]{suffix}", es.join(", ")));
+            render_node(catalog, input, prof, depth + 1, out);
+        }
+        Node::Distinct { input } => {
+            out.push(format!("{pad}Distinct{suffix}"));
+            render_node(catalog, input, prof, depth + 1, out);
+        }
+        Node::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let mut line = format!("{pad}Limit");
+            if let Some(e) = limit {
+                line.push_str(&format!(" [{e}]"));
+            }
+            if let Some(e) = offset {
+                line.push_str(&format!(" offset [{e}]"));
+            }
+            line.push_str(&suffix);
+            out.push(line);
+            render_node(catalog, input, prof, depth + 1, out);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1273,9 +1514,19 @@ mod tests {
     #[test]
     fn pk_equality_prefix_plus_range_uses_index() {
         let (_p, c) = catalog();
-        let plan = plan(&c, "SELECT pos FROM node WHERE doc = 1 AND pos >= 10 AND pos < 20");
+        let plan = plan(
+            &c,
+            "SELECT pos FROM node WHERE doc = 1 AND pos >= 10 AND pos < 20",
+        );
         let scan = find_scan(&plan.root);
-        let AccessPath::Index { index, eq, lower, upper, .. } = &scan.path else {
+        let AccessPath::Index {
+            index,
+            eq,
+            lower,
+            upper,
+            ..
+        } = &scan.path
+        else {
             panic!("expected index scan, got {:?}", scan.path)
         };
         assert_eq!(*index, None, "primary key");
@@ -1293,7 +1544,11 @@ mod tests {
         let AccessPath::Index { index, eq, .. } = &scan.path else {
             panic!("expected index scan")
         };
-        assert_eq!(*index, Some(0), "node_parent (doc,parent,pos) matches 2 eqs");
+        assert_eq!(
+            *index,
+            Some(0),
+            "node_parent (doc,parent,pos) matches 2 eqs"
+        );
         assert_eq!(eq.len(), 2);
     }
 
@@ -1311,7 +1566,9 @@ mod tests {
             &c,
             "SELECT b.pos FROM node a, node b WHERE a.doc = 1 AND a.tag = 'x' AND b.doc = a.doc AND b.parent = a.pos",
         );
-        let Node::Project { input, .. } = &plan.root else { panic!() };
+        let Node::Project { input, .. } = &plan.root else {
+            panic!()
+        };
         let Node::Join { right, .. } = &**input else {
             panic!("expected join, got {input:?}")
         };
@@ -1354,7 +1611,9 @@ mod tests {
     fn aggregate_rewrite() {
         let (_p, c) = catalog();
         let plan = plan(&c, "SELECT tag, COUNT(*), MIN(pos) FROM node GROUP BY tag");
-        let Node::Project { input, exprs } = &plan.root else { panic!() };
+        let Node::Project { input, exprs } = &plan.root else {
+            panic!()
+        };
         let Node::Aggregate { group_by, aggs, .. } = &**input else {
             panic!()
         };
@@ -1388,7 +1647,10 @@ mod tests {
         fn visit_exprs(n: &Node, f: &mut impl FnMut(&Expr)) {
             match n {
                 Node::Scan(a) | Node::Join { right: a, .. } => {
-                    if let AccessPath::Index { eq, lower, upper, .. } = &a.path {
+                    if let AccessPath::Index {
+                        eq, lower, upper, ..
+                    } = &a.path
+                    {
                         for e in eq {
                             e.visit(f);
                         }
@@ -1416,7 +1678,11 @@ mod tests {
                     }
                     visit_exprs(input, f);
                 }
-                Node::Aggregate { input, group_by, aggs } => {
+                Node::Aggregate {
+                    input,
+                    group_by,
+                    aggs,
+                } => {
                     for e in group_by {
                         e.visit(f);
                     }
@@ -1474,8 +1740,12 @@ mod tests {
     fn order_by_position_and_alias() {
         let (_p, c) = catalog();
         let plan = plan(&c, "SELECT pos AS p, tag FROM node ORDER BY 2, p DESC");
-        let Node::Project { input, .. } = &plan.root else { panic!() };
-        let Node::Sort { keys, .. } = &**input else { panic!("expected sort") };
+        let Node::Project { input, .. } = &plan.root else {
+            panic!()
+        };
+        let Node::Sort { keys, .. } = &**input else {
+            panic!("expected sort")
+        };
         assert_eq!(keys.len(), 2);
         assert!(!keys[0].1);
         assert!(keys[1].1);
@@ -1485,10 +1755,13 @@ mod tests {
     fn plan_table_access_for_updates() {
         let (_p, c) = catalog();
         let parsed = parse("SELECT 1 FROM node WHERE doc = 1 AND pos > 100 AND tag = 'x'").unwrap();
-        let Stmt::Select(s) = parsed.stmt else { panic!() };
-        let (path, residual, _) =
-            plan_table_access(&c, "node", s.where_clause.as_ref()).unwrap();
-        let AccessPath::Index { eq, lower, .. } = path else { panic!() };
+        let Stmt::Select(s) = parsed.stmt else {
+            panic!()
+        };
+        let (path, residual, _) = plan_table_access(&c, "node", s.where_clause.as_ref()).unwrap();
+        let AccessPath::Index { eq, lower, .. } = path else {
+            panic!()
+        };
         assert_eq!(eq, vec![Expr::Literal(Value::Int(1))]);
         assert!(!lower.unwrap().1, "exclusive >");
         assert!(residual.is_some(), "tag predicate is residual");

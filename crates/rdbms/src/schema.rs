@@ -119,7 +119,8 @@ mod tests {
         assert_eq!(row[2], Value::Float(2.0), "int widens to float");
         assert!(s.check_row(vec![Value::Int(1)]).is_err(), "arity");
         assert!(
-            s.check_row(vec![Value::Null, Value::Null, Value::Null]).is_err(),
+            s.check_row(vec![Value::Null, Value::Null, Value::Null])
+                .is_err(),
             "NOT NULL"
         );
         assert!(

@@ -23,6 +23,15 @@ pub struct ParsedStmt {
 /// A SQL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
+    /// `EXPLAIN [ANALYZE] stmt` — render (and with `ANALYZE`, execute and
+    /// profile) the plan of the wrapped statement.
+    Explain {
+        /// `true` for `EXPLAIN ANALYZE`: execute the statement and annotate
+        /// the plan with per-operator row counts and timings.
+        analyze: bool,
+        /// The statement being explained.
+        inner: Box<Stmt>,
+    },
     /// `CREATE TABLE name (columns..., [PRIMARY KEY (cols)])`.
     CreateTable {
         /// Table name.

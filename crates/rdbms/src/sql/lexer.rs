@@ -82,79 +82,131 @@ pub fn lex(input: &str) -> DbResult<Vec<Token>> {
                 }
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 pos += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 pos += 1;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 pos += 1;
             }
             b'.' => {
-                tokens.push(Token { kind: TokenKind::Dot, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                });
                 pos += 1;
             }
             b'*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
                 pos += 1;
             }
             b'+' => {
-                tokens.push(Token { kind: TokenKind::Plus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: start,
+                });
                 pos += 1;
             }
             b'-' => {
-                tokens.push(Token { kind: TokenKind::Minus, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: start,
+                });
                 pos += 1;
             }
             b'/' => {
-                tokens.push(Token { kind: TokenKind::Slash, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: start,
+                });
                 pos += 1;
             }
             b'%' => {
-                tokens.push(Token { kind: TokenKind::Percent, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    offset: start,
+                });
                 pos += 1;
             }
             b';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    offset: start,
+                });
                 pos += 1;
             }
             b'?' => {
-                tokens.push(Token { kind: TokenKind::Param, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Param,
+                    offset: start,
+                });
                 pos += 1;
             }
             b'=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
                 pos += 1;
             }
             b'!' if bytes.get(pos + 1) == Some(&b'=') => {
-                tokens.push(Token { kind: TokenKind::Ne, offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Ne,
+                    offset: start,
+                });
                 pos += 2;
             }
-            b'<' => {
-                match bytes.get(pos + 1) {
-                    Some(b'=') => {
-                        tokens.push(Token { kind: TokenKind::Le, offset: start });
-                        pos += 2;
-                    }
-                    Some(b'>') => {
-                        tokens.push(Token { kind: TokenKind::Ne, offset: start });
-                        pos += 2;
-                    }
-                    _ => {
-                        tokens.push(Token { kind: TokenKind::Lt, offset: start });
-                        pos += 1;
-                    }
+            b'<' => match bytes.get(pos + 1) {
+                Some(b'=') => {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
+                    pos += 2;
                 }
-            }
+                Some(b'>') => {
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
+                    pos += 2;
+                }
+                _ => {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
+                    pos += 1;
+                }
+            },
             b'>' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                     pos += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     pos += 1;
                 }
             }
@@ -182,16 +234,17 @@ pub fn lex(input: &str) -> DbResult<Vec<Token>> {
                             let end = (pos + 1..bytes.len())
                                 .find(|&i| bytes[i] & 0xC0 != 0x80)
                                 .unwrap_or(bytes.len());
-                            s.push_str(
-                                std::str::from_utf8(&bytes[pos..end]).map_err(|_| {
-                                    DbError::parse(pos, "invalid UTF-8 in string literal")
-                                })?,
-                            );
+                            s.push_str(std::str::from_utf8(&bytes[pos..end]).map_err(|_| {
+                                DbError::parse(pos, "invalid UTF-8 in string literal")
+                            })?);
                             pos = end;
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             b'X' | b'x' if bytes.get(pos + 1) == Some(&b'\'') => {
                 // Hex blob literal.
@@ -206,14 +259,20 @@ pub fn lex(input: &str) -> DbResult<Vec<Token>> {
                 let hex = &input[hex_start..pos];
                 pos += 1;
                 if !hex.len().is_multiple_of(2) {
-                    return Err(DbError::parse(start, "blob literal needs an even number of hex digits"));
+                    return Err(DbError::parse(
+                        start,
+                        "blob literal needs an even number of hex digits",
+                    ));
                 }
                 let blob = (0..hex.len())
                     .step_by(2)
                     .map(|i| u8::from_str_radix(&hex[i..i + 2], 16))
                     .collect::<Result<Vec<u8>, _>>()
                     .map_err(|_| DbError::parse(start, "invalid hex digit in blob literal"))?;
-                tokens.push(Token { kind: TokenKind::Blob(blob), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Blob(blob),
+                    offset: start,
+                });
             }
             b'0'..=b'9' => {
                 let mut end = pos;
@@ -256,7 +315,10 @@ pub fn lex(input: &str) -> DbResult<Vec<Token>> {
                             .map_err(|_| DbError::parse(start, "integer literal out of range"))?,
                     )
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 pos = end;
             }
             b'"' => {
@@ -271,7 +333,10 @@ pub fn lex(input: &str) -> DbResult<Vec<Token>> {
                 }
                 let id = input[id_start..pos].to_string();
                 pos += 1;
-                tokens.push(Token { kind: TokenKind::Ident(id), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(id),
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let mut end = pos;

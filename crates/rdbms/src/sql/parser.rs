@@ -117,6 +117,17 @@ impl Parser {
     // -----------------------------------------------------------------
 
     fn parse_stmt(&mut self) -> DbResult<Stmt> {
+        if self.eat_kw("EXPLAIN") {
+            let analyze = self.eat_kw("ANALYZE");
+            let inner = self.parse_stmt()?;
+            if matches!(inner, Stmt::Explain { .. }) {
+                return self.err("EXPLAIN cannot be nested");
+            }
+            return Ok(Stmt::Explain {
+                analyze,
+                inner: Box::new(inner),
+            });
+        }
         if self.peek_kw("SELECT") {
             return Ok(Stmt::Select(self.parse_select()?));
         }
@@ -364,7 +375,11 @@ impl Parser {
                 let table = self.ident()?;
                 let has_alias = self.eat_kw("AS")
                     || matches!(self.peek(), TokenKind::Ident(s) if !is_reserved_after_table(s));
-                let alias = if has_alias { self.ident()? } else { table.clone() };
+                let alias = if has_alias {
+                    self.ident()?
+                } else {
+                    table.clone()
+                };
                 from.push(TableRef { table, alias });
                 if !self.eat_kind(&TokenKind::Comma) {
                     break;
@@ -479,7 +494,9 @@ impl Parser {
             return Ok(Expr::bin(op, lhs, rhs));
         }
         let negated = if self.peek_kw("NOT")
-            && (self.peek_kw_at(1, "LIKE") || self.peek_kw_at(1, "BETWEEN") || self.peek_kw_at(1, "IN"))
+            && (self.peek_kw_at(1, "LIKE")
+                || self.peek_kw_at(1, "BETWEEN")
+                || self.peek_kw_at(1, "IN"))
         {
             self.bump();
             true
@@ -708,7 +725,8 @@ mod tests {
 
     #[test]
     fn select_basic() {
-        let p = parse("SELECT a, t.b AS bee FROM t WHERE a = 1 ORDER BY a DESC LIMIT 5 OFFSET 2").unwrap();
+        let p = parse("SELECT a, t.b AS bee FROM t WHERE a = 1 ORDER BY a DESC LIMIT 5 OFFSET 2")
+            .unwrap();
         let Stmt::Select(s) = p.stmt else { panic!() };
         assert_eq!(s.items.len(), 2);
         assert!(matches!(&s.items[1], SelectItem::Expr { alias: Some(a), .. } if a == "bee"));
@@ -723,7 +741,8 @@ mod tests {
 
     #[test]
     fn select_join_with_aliases() {
-        let p = parse("SELECT x.a, y.a FROM node x, node AS y WHERE x.a = y.b AND y.c > 2").unwrap();
+        let p =
+            parse("SELECT x.a, y.a FROM node x, node AS y WHERE x.a = y.b AND y.c > 2").unwrap();
         let Stmt::Select(s) = p.stmt else { panic!() };
         assert_eq!(s.from.len(), 2);
         assert_eq!(s.from[0].alias, "x");
@@ -776,7 +795,9 @@ mod tests {
     fn params_number_by_occurrence() {
         let p = parse("SELECT ? FROM t WHERE a = ? AND b = ?").unwrap();
         let Stmt::Select(s) = p.stmt else { panic!() };
-        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
         assert_eq!(*expr, Expr::Param(0));
         let parts = s.where_clause.unwrap().conjuncts();
         assert!(matches!(&parts[0], Expr::Binary(_, _, r) if **r == Expr::Param(1)));
@@ -801,7 +822,9 @@ mod tests {
         let p = parse("SELECT tag, COUNT(*), MIN(pos) FROM node GROUP BY tag").unwrap();
         let Stmt::Select(s) = p.stmt else { panic!() };
         assert_eq!(s.group_by.len(), 1);
-        assert!(matches!(&s.items[1], SelectItem::Expr { expr: Expr::Func { name, star: true, .. }, .. } if name == "COUNT"));
+        assert!(
+            matches!(&s.items[1], SelectItem::Expr { expr: Expr::Func { name, star: true, .. }, .. } if name == "COUNT")
+        );
     }
 
     #[test]
@@ -826,7 +849,14 @@ mod tests {
         assert_eq!(primary_key, vec!["doc".to_string(), "pos".to_string()]);
 
         let p2 = parse("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)").unwrap();
-        let Stmt::CreateTable { columns, primary_key, .. } = p2.stmt else { panic!() };
+        let Stmt::CreateTable {
+            columns,
+            primary_key,
+            ..
+        } = p2.stmt
+        else {
+            panic!()
+        };
         assert!(columns[0].inline_pk);
         assert!(primary_key.is_empty());
     }
@@ -839,13 +869,21 @@ mod tests {
             Stmt::CreateIndex { unique: true, ref columns, .. } if columns.len() == 2
         ));
         let p = parse("DROP TABLE IF EXISTS t").unwrap();
-        assert!(matches!(p.stmt, Stmt::DropTable { if_exists: true, .. }));
+        assert!(matches!(
+            p.stmt,
+            Stmt::DropTable {
+                if_exists: true,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn insert_multi_row_with_columns() {
         let p = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (?, NULL)").unwrap();
-        let Stmt::Insert { columns, rows, .. } = p.stmt else { panic!() };
+        let Stmt::Insert { columns, rows, .. } = p.stmt else {
+            panic!()
+        };
         assert_eq!(columns.unwrap(), vec!["a".to_string(), "b".to_string()]);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[1][0], Expr::Param(0));
@@ -855,18 +893,31 @@ mod tests {
     #[test]
     fn update_and_delete() {
         let p = parse("UPDATE t SET a = a + 1, b = 'x' WHERE a > 5").unwrap();
-        let Stmt::Update { sets, where_clause, .. } = p.stmt else { panic!() };
+        let Stmt::Update {
+            sets, where_clause, ..
+        } = p.stmt
+        else {
+            panic!()
+        };
         assert_eq!(sets.len(), 2);
         assert!(where_clause.is_some());
         let p = parse("DELETE FROM t").unwrap();
-        assert!(matches!(p.stmt, Stmt::Delete { where_clause: None, .. }));
+        assert!(matches!(
+            p.stmt,
+            Stmt::Delete {
+                where_clause: None,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn negative_literals_fold() {
         let p = parse("SELECT -5, -2.5").unwrap();
         let Stmt::Select(s) = p.stmt else { panic!() };
-        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
         assert_eq!(*expr, Expr::Literal(Value::Int(-5)));
     }
 

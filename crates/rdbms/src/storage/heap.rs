@@ -210,7 +210,9 @@ mod tests {
         let pager = Pager::in_memory();
         let mut heap = HeapFile::new();
         let rec = vec![7u8; 1000];
-        let ids: Vec<RowId> = (0..50).map(|_| heap.insert(&pager, &rec).unwrap()).collect();
+        let ids: Vec<RowId> = (0..50)
+            .map(|_| heap.insert(&pager, &rec).unwrap())
+            .collect();
         assert_eq!(heap.len(), 50);
         assert!(heap.page_count() >= 7, "1000B records, ~8 per page");
         for &id in &ids {
@@ -227,7 +229,9 @@ mod tests {
         let pager = Pager::in_memory();
         let mut heap = HeapFile::new();
         let rec = vec![1u8; 2000];
-        let ids: Vec<RowId> = (0..20).map(|_| heap.insert(&pager, &rec).unwrap()).collect();
+        let ids: Vec<RowId> = (0..20)
+            .map(|_| heap.insert(&pager, &rec).unwrap())
+            .collect();
         let pages_before = heap.page_count();
         for id in ids {
             heap.delete(&pager, id).unwrap();

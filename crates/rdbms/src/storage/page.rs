@@ -209,7 +209,9 @@ impl Page {
 
     /// Number of live records.
     pub fn live_count(&self) -> usize {
-        (0..self.slot_count()).filter(|&s| self.slot(s).0 != 0).count()
+        (0..self.slot_count())
+            .filter(|&s| self.slot(s).0 != 0)
+            .count()
     }
 
     /// Rewrites the record heap to squeeze out dead space.

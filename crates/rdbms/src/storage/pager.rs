@@ -32,6 +32,21 @@ pub struct PagerStats {
     pub physical_reads: AtomicU64,
     /// Pages written to the backing file. Always 0 in memory mode.
     pub physical_writes: AtomicU64,
+    /// Frames evicted from the buffer pool. Always 0 in memory mode.
+    pub evictions: AtomicU64,
+}
+
+/// A plain-value copy of every pager counter, for delta arithmetic.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PagerSnapshot {
+    /// Pages served to callers (cache hits + misses).
+    pub logical_reads: u64,
+    /// Pages read from the backing file (misses).
+    pub physical_reads: u64,
+    /// Pages written to the backing file.
+    pub physical_writes: u64,
+    /// Frames evicted from the buffer pool.
+    pub evictions: u64,
 }
 
 impl PagerStats {
@@ -46,6 +61,16 @@ impl PagerStats {
             self.physical_reads.load(AtomicOrdering::Relaxed),
             self.physical_writes.load(AtomicOrdering::Relaxed),
         )
+    }
+
+    /// Snapshot of every counter as plain values.
+    pub fn full(&self) -> PagerSnapshot {
+        PagerSnapshot {
+            logical_reads: self.logical_reads.load(AtomicOrdering::Relaxed),
+            physical_reads: self.physical_reads.load(AtomicOrdering::Relaxed),
+            physical_writes: self.physical_writes.load(AtomicOrdering::Relaxed),
+            evictions: self.evictions.load(AtomicOrdering::Relaxed),
+        }
     }
 }
 
@@ -138,7 +163,8 @@ impl Pager {
             }
             Backend::File(fb) => {
                 // Extend the file eagerly so page reads never run past EOF.
-                fb.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+                fb.file
+                    .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
                 fb.file.write_all(Page::new().bytes())?;
                 PagerStats::bump(&self.stats.physical_writes);
             }
@@ -192,7 +218,8 @@ impl Pager {
         }
         PagerStats::bump(&stats.physical_reads);
         let mut buf = Box::new([0u8; PAGE_SIZE]);
-        fb.file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        fb.file
+            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
         fb.file.read_exact(&mut buf[..])?;
         let page = Page::from_bytes(buf);
         if fb.frames.len() < fb.capacity {
@@ -216,6 +243,7 @@ impl Pager {
                 break i;
             }
         };
+        PagerStats::bump(&stats.evictions);
         let victim = &mut fb.frames[idx];
         if victim.dirty {
             fb.file
@@ -297,9 +325,7 @@ mod tests {
                     .unwrap();
             }
             for i in 0..64u32 {
-                let got = pager
-                    .with_page(i, |p| p.get(0).unwrap().to_vec())
-                    .unwrap();
+                let got = pager.with_page(i, |p| p.get(0).unwrap().to_vec()).unwrap();
                 assert_eq!(got, format!("page-{i}").as_bytes());
             }
             pager.flush().unwrap();

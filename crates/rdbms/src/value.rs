@@ -182,9 +182,7 @@ impl Value {
         }
         match (self, other) {
             (Value::Null, Value::Null) => Ordering::Equal,
-            (Value::Int(a), Value::Float(b)) => {
-                (*a as f64).total_cmp(b)
-            }
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b),
             (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
             (a, b) if rank(a) == rank(b) => a.total_cmp_same_kind(b).unwrap_or(Ordering::Equal),
             (a, b) => rank(a).cmp(&rank(b)),

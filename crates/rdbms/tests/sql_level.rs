@@ -68,7 +68,11 @@ fn not_null_and_null_semantics() {
     let rows = db
         .query("SELECT COUNT(name), COUNT(*) FROM people", &[])
         .unwrap();
-    assert_eq!(rows[0], vec![Value::Int(5), Value::Int(6)], "COUNT skips NULLs");
+    assert_eq!(
+        rows[0],
+        vec![Value::Int(5), Value::Int(6)],
+        "COUNT skips NULLs"
+    );
 }
 
 #[test]
@@ -158,30 +162,53 @@ fn scalar_subquery_cardinality_errors() {
 fn update_expression_swaps_and_delete_all() {
     let mut db = db_with_people();
     let n = db
-        .execute("UPDATE people SET age = age * 2, score = 0.0 WHERE team = 'blue'", &[])
+        .execute(
+            "UPDATE people SET age = age * 2, score = 0.0 WHERE team = 'blue'",
+            &[],
+        )
         .unwrap();
     assert_eq!(n, 2);
     let rows = db
-        .query("SELECT age FROM people WHERE team = 'blue' ORDER BY id", &[])
+        .query(
+            "SELECT age FROM people WHERE team = 'blue' ORDER BY id",
+            &[],
+        )
         .unwrap();
     assert_eq!(rows, vec![vec![Value::Int(56)], vec![Value::Int(56)]]);
     let n = db.execute("DELETE FROM people", &[]).unwrap();
     assert_eq!(n, 5);
-    assert_eq!(db.query("SELECT COUNT(*) FROM people", &[]).unwrap()[0][0], Value::Int(0));
+    assert_eq!(
+        db.query("SELECT COUNT(*) FROM people", &[]).unwrap()[0][0],
+        Value::Int(0)
+    );
 }
 
 #[test]
 fn blob_columns_and_hex_literals() {
     let mut db = Database::in_memory();
-    db.execute("CREATE TABLE k (key BLOB NOT NULL, v INTEGER, PRIMARY KEY (key))", &[])
+    db.execute(
+        "CREATE TABLE k (key BLOB NOT NULL, v INTEGER, PRIMARY KEY (key))",
+        &[],
+    )
+    .unwrap();
+    for (key, v) in [
+        (vec![1u8, 2], 1),
+        (vec![1, 2, 3], 2),
+        (vec![1, 3], 3),
+        (vec![2], 4),
+    ] {
+        db.execute(
+            "INSERT INTO k VALUES (?, ?)",
+            &[Value::Bytes(key), Value::Int(v)],
+        )
         .unwrap();
-    for (key, v) in [(vec![1u8, 2], 1), (vec![1, 2, 3], 2), (vec![1, 3], 3), (vec![2], 4)] {
-        db.execute("INSERT INTO k VALUES (?, ?)", &[Value::Bytes(key), Value::Int(v)])
-            .unwrap();
     }
     // Prefix-range scan over the blob PK: exactly the Dewey descendant shape.
     let rows = db
-        .query("SELECT v FROM k WHERE key >= X'0102' AND key < X'0103' ORDER BY key", &[])
+        .query(
+            "SELECT v FROM k WHERE key >= X'0102' AND key < X'0103' ORDER BY key",
+            &[],
+        )
         .unwrap();
     let got: Vec<i64> = rows.iter().map(|r| r[0].as_int().unwrap()).collect();
     assert_eq!(got, vec![1, 2]);
@@ -223,16 +250,17 @@ fn multi_row_insert_and_negative_limit_rejected() {
         )
         .unwrap();
     assert_eq!(n, 3);
-    assert!(db
-        .query("SELECT name FROM people LIMIT -1", &[])
-        .is_err());
+    assert!(db.query("SELECT name FROM people LIMIT -1", &[]).is_err());
 }
 
 #[test]
 fn case_insensitive_identifiers() {
     let mut db = db_with_people();
     let rows = db
-        .query("SELECT NAME FROM PEOPLE WHERE Team = 'red' ORDER BY ID", &[])
+        .query(
+            "SELECT NAME FROM PEOPLE WHERE Team = 'red' ORDER BY ID",
+            &[],
+        )
         .unwrap();
     assert_eq!(rows.len(), 2);
 }
@@ -248,7 +276,10 @@ fn index_usage_is_observable() {
     .unwrap();
     let stats = db.total_stats();
     assert!(stats.index_scans >= 1, "{stats:?}");
-    assert!(stats.rows_scanned <= 2, "index range should touch 2 rows: {stats:?}");
+    assert!(
+        stats.rows_scanned <= 2,
+        "index range should touch 2 rows: {stats:?}"
+    );
 }
 
 #[test]

@@ -223,7 +223,10 @@ mod tests {
                 .filter(|&id| doc.node(id).kind().is_element())
                 .count();
             assert!(elements <= n.max(1), "elements {elements} > target {n}");
-            assert!(elements >= n / 2, "elements {elements} far below target {n}");
+            assert!(
+                elements >= n / 2,
+                "elements {elements} far below target {n}"
+            );
         }
     }
 
@@ -231,7 +234,10 @@ mod tests {
     fn wide_shape_is_shallow_and_bushy() {
         let doc = GenConfig::wide(2000).generate();
         let max_depth = doc.iter().map(|n| doc.depth(n)).max().unwrap();
-        assert!(max_depth <= 4, "wide docs should be shallow, got {max_depth}");
+        assert!(
+            max_depth <= 4,
+            "wide docs should be shallow, got {max_depth}"
+        );
         let root_fanout = doc.children(doc.root()).len();
         assert!(root_fanout >= 8, "wide root fanout {root_fanout}");
     }

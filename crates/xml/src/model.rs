@@ -291,12 +291,7 @@ impl Document {
 
     /// Inserts a new element at child position `pos` under `parent`
     /// (`usize::MAX` or any out-of-range position appends).
-    pub fn insert_element(
-        &mut self,
-        parent: NodeId,
-        pos: usize,
-        tag: impl Into<String>,
-    ) -> NodeId {
+    pub fn insert_element(&mut self, parent: NodeId, pos: usize, tag: impl Into<String>) -> NodeId {
         let kind = NodeKind::Element {
             tag: tag.into(),
             attrs: Vec::new(),
@@ -500,11 +495,7 @@ impl Document {
             }
             let ac = a.children(an);
             let bc = b.children(bn);
-            ac.len() == bc.len()
-                && ac
-                    .iter()
-                    .zip(bc.iter())
-                    .all(|(&x, &y)| eq(a, x, b, y))
+            ac.len() == bc.len() && ac.iter().zip(bc.iter()).all(|(&x, &y)| eq(a, x, b, y))
         }
         eq(self, self.root, other, other.root)
     }
@@ -546,7 +537,9 @@ mod tests {
     #[test]
     fn build_and_navigate() {
         let (doc, ids) = sample();
-        let [b, x, c, d] = ids[..] else { unreachable!() };
+        let [b, x, c, d] = ids[..] else {
+            unreachable!()
+        };
         assert_eq!(doc.tag(doc.root()), Some("a"));
         assert_eq!(doc.children(doc.root()), &[b, c]);
         assert_eq!(doc.parent(d), Some(c));
@@ -562,7 +555,9 @@ mod tests {
     #[test]
     fn preorder_is_document_order() {
         let (doc, ids) = sample();
-        let [b, x, c, d] = ids[..] else { unreachable!() };
+        let [b, x, c, d] = ids[..] else {
+            unreachable!()
+        };
         let order: Vec<NodeId> = doc.iter().collect();
         assert_eq!(order, vec![doc.root(), b, x, c, d]);
         // document_order agrees with preorder position for every pair.
@@ -587,7 +582,9 @@ mod tests {
     #[test]
     fn remove_subtree_tombstones_descendants() {
         let (mut doc, ids) = sample();
-        let [b, x, c, d] = ids[..] else { unreachable!() };
+        let [b, x, c, d] = ids[..] else {
+            unreachable!()
+        };
         let removed = doc.remove_subtree(c);
         assert_eq!(removed, 2);
         assert!(!doc.is_live(c));
@@ -659,7 +656,9 @@ mod tests {
     #[test]
     fn is_ancestor_and_paths() {
         let (doc, ids) = sample();
-        let [b, _x, c, d] = ids[..] else { unreachable!() };
+        let [b, _x, c, d] = ids[..] else {
+            unreachable!()
+        };
         assert!(doc.is_ancestor(doc.root(), d));
         assert!(doc.is_ancestor(c, d));
         assert!(!doc.is_ancestor(b, d));

@@ -26,7 +26,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -107,9 +111,8 @@ impl<'a> Parser<'a> {
     fn parse_name(&mut self) -> Result<String, ParseError> {
         let start = self.pos;
         while let Some(b) = self.peek() {
-            let ok = b.is_ascii_alphanumeric()
-                || matches!(b, b'_' | b'-' | b'.' | b':')
-                || b >= 0x80;
+            let ok =
+                b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80;
             if !ok {
                 break;
             }
@@ -423,7 +426,9 @@ impl<'a> Parser<'a> {
                 self.skip_ws();
                 self.expect(">")?;
                 if name != cur_tag {
-                    return self.err(format!("mismatched end tag </{name}>, expected </{cur_tag}>"));
+                    return self.err(format!(
+                        "mismatched end tag </{name}>, expected </{cur_tag}>"
+                    ));
                 }
                 open.pop();
                 if open.is_empty() {

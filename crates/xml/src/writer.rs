@@ -214,10 +214,7 @@ mod tests {
         doc.set_attr(doc.root(), "a", "x<\"&>y");
         doc.append_text(doc.root(), "1 < 2 & 3 > 2");
         let s = doc.to_xml();
-        assert_eq!(
-            s,
-            "<r a=\"x&lt;&quot;&amp;>y\">1 &lt; 2 &amp; 3 &gt; 2</r>"
-        );
+        assert_eq!(s, "<r a=\"x&lt;&quot;&amp;>y\">1 &lt; 2 &amp; 3 &gt; 2</r>");
         // And it parses back to the same tree.
         let back = parse(&s).unwrap();
         assert!(doc.tree_eq(&back));

@@ -13,7 +13,10 @@ enum Tree {
     },
     Text(String),
     Comment(String),
-    Pi { target: String, data: String },
+    Pi {
+        target: String,
+        data: String,
+    },
 }
 
 fn name_strategy() -> impl Strategy<Value = String> {
@@ -63,7 +66,11 @@ fn tree_strategy() -> impl Strategy<Value = Tree> {
             attrs_strategy(),
             proptest::collection::vec(inner, 0..6),
         )
-            .prop_map(|(tag, attrs, children)| Tree::Element { tag, attrs, children })
+            .prop_map(|(tag, attrs, children)| Tree::Element {
+                tag,
+                attrs,
+                children,
+            })
     })
 }
 
@@ -79,7 +86,11 @@ fn attrs_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
 }
 
 fn doc_strategy() -> impl Strategy<Value = Document> {
-    (name_strategy(), attrs_strategy(), proptest::collection::vec(tree_strategy(), 0..5))
+    (
+        name_strategy(),
+        attrs_strategy(),
+        proptest::collection::vec(tree_strategy(), 0..5),
+    )
         .prop_map(|(tag, attrs, children)| {
             let mut doc = Document::new(tag);
             let root = doc.root();
@@ -95,7 +106,11 @@ fn doc_strategy() -> impl Strategy<Value = Document> {
 
 fn build(doc: &mut Document, parent: NodeId, tree: &Tree) {
     match tree {
-        Tree::Element { tag, attrs, children } => {
+        Tree::Element {
+            tag,
+            attrs,
+            children,
+        } => {
             let e = doc.append_element(parent, tag.clone());
             for (n, v) in attrs {
                 doc.set_attr(e, n.clone(), v.clone());

@@ -67,7 +67,9 @@ fn main() {
         // Front insert on dense numbering: the structural costs diverge.
         let frag = ordxml_xml::parse("<item id=\"new\"><name>N</name></item>").unwrap();
         let t0 = Instant::now();
-        let cost = store.insert_fragment(d, &NodePath(vec![]), 0, &frag).unwrap();
+        let cost = store
+            .insert_fragment(d, &NodePath(vec![]), 0, &frag)
+            .unwrap();
         let dt = t0.elapsed();
         rows[3].1.push(format!("{}", cost.relabeled));
         rows[4].1.push(format!("{dt:?}"));

@@ -29,12 +29,14 @@ fn main() {
         let d = store
             .load_document_with(&doc, "manuscript", OrderConfig::with_gap(16))
             .unwrap();
-        println!("session 1: loaded manuscript ({} rows)", store.node_count(d).unwrap());
+        println!(
+            "session 1: loaded manuscript ({} rows)",
+            store.node_count(d).unwrap()
+        );
 
         // Edit: add paragraphs to section 1 (between existing ones, in order).
         for i in 0..5 {
-            let frag =
-                ordxml_xml::parse(&format!("<p>Inserted paragraph {i}.</p>")).unwrap();
+            let frag = ordxml_xml::parse(&format!("<p>Inserted paragraph {i}.</p>")).unwrap();
             let cost = store
                 .insert_fragment(d, &NodePath(vec![0]), 1, &frag)
                 .unwrap();
@@ -45,7 +47,11 @@ fn main() {
             "<section><p>A whole new section.</p><p>With two paragraphs.</p></section>",
         )
         .unwrap();
-        total.add(store.insert_fragment(d, &NodePath(vec![]), 1, &frag).unwrap());
+        total.add(
+            store
+                .insert_fragment(d, &NodePath(vec![]), 1, &frag)
+                .unwrap(),
+        );
         // Edit: rewrite the opening line.
         total.add(
             store
@@ -65,7 +71,10 @@ fn main() {
         let mut store = XmlStore::new(db, Encoding::Dewey);
         let d = store.document_ids().unwrap()[0];
         let paragraphs = store.xpath(d, "//p").unwrap();
-        println!("\nsession 2: reopened; {} paragraphs in document order:", paragraphs.len());
+        println!(
+            "\nsession 2: reopened; {} paragraphs in document order:",
+            paragraphs.len()
+        );
         for p in &paragraphs {
             println!("  {}", store.serialize(d, p).unwrap());
         }

@@ -36,11 +36,11 @@ fn main() {
     // Ordered queries: position predicates and sibling axes need the order
     // encoding — a plain "edge table" cannot answer them.
     for q in [
-        "/book/author[1]",                             // first credited author
-        "/book/chapter[2]/heading",                    // second chapter
-        "/book/chapter[last()]/heading",               // final chapter
-        "/book/author[2]/following-sibling::author",   // authors after Viglas
-        "//heading",                                   // any depth, doc order
+        "/book/author[1]",                           // first credited author
+        "/book/chapter[2]/heading",                  // second chapter
+        "/book/chapter[last()]/heading",             // final chapter
+        "/book/author[2]/following-sibling::author", // authors after Viglas
+        "//heading",                                 // any depth, doc order
     ] {
         let hits = store.xpath(d, q).expect("query");
         let shown: Vec<String> = hits
@@ -52,8 +52,8 @@ fn main() {
 
     // An ordered update: insert a new chapter *between* chapters 1 and 2.
     // The store renumbers as needed and reports the damage.
-    let fragment = ordxml_xml::parse("<chapter><heading>Sparse Numbering</heading></chapter>")
-        .unwrap();
+    let fragment =
+        ordxml_xml::parse("<chapter><heading>Sparse Numbering</heading></chapter>").unwrap();
     let cost = store
         .insert_fragment(d, &NodePath(vec![]), 5, &fragment) // after chapter 1
         .expect("insert");

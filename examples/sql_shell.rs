@@ -5,35 +5,122 @@
 //! cargo run --example sql_shell              # demo script
 //! echo "SELECT ..." | cargo run --example sql_shell -- -   # pipe your own SQL
 //! ```
+//!
+//! Meta-commands (pipe mode and demo script alike):
+//!
+//! * `.explain on|off` — when on, every statement is preceded by its
+//!   `EXPLAIN ANALYZE` plan (per-operator row counts and timings).
+//! * `.stats` — cumulative engine counters for the session plus the
+//!   process-wide observability snapshot.
+//! * `EXPLAIN [ANALYZE] <stmt>` also works directly as SQL.
 
 use ordxml::{Encoding, XmlStore};
-use ordxml_rdbms::{Database, Value};
+use ordxml_rdbms::{obs, Database, Value};
 use std::io::BufRead;
 
-fn run_and_print(store: &mut XmlStore, sql: &str) {
-    println!("sql> {sql}");
-    match store.db().run(sql, &[]) {
-        Ok(result) => {
-            if !result.columns.is_empty() {
-                println!("     {}", result.columns.join(" | "));
-            }
-            for row in &result.rows {
-                let cells: Vec<String> = row.iter().map(Value::to_string).collect();
-                println!("     {}", cells.join(" | "));
-            }
-            if result.rows_affected > 0 {
-                println!("     ({} rows affected)", result.rows_affected);
-            }
-            println!(
-                "     [{} rows, {} heap rows read, {} index scans]",
-                result.rows.len(),
-                result.stats.rows_scanned,
-                result.stats.index_scans
-            );
-        }
-        Err(e) => println!("     error: {e}"),
+struct Shell {
+    store: XmlStore,
+    explain: bool,
+}
+
+impl Shell {
+    fn print_stats(&mut self) {
+        let s = self.store.db().total_stats();
+        println!(
+            "     session: rows_scanned={} index_scans={} index_rows={} rows_sorted={} \
+             subquery_evals={} rows_written={}",
+            s.rows_scanned,
+            s.index_scans,
+            s.index_rows,
+            s.rows_sorted,
+            s.subquery_evals,
+            s.rows_written
+        );
+        println!(
+            "     pages: read={} cache_hits={} cache_misses={} written={} evictions={}",
+            s.pages_read, s.cache_hits, s.cache_misses, s.pages_written, s.evictions
+        );
+        println!(
+            "     btree: descents={} leaf_scans={} splits={}",
+            s.btree_descents, s.btree_leaf_scans, s.btree_splits
+        );
+        let o = obs::snapshot();
+        println!(
+            "     process: statements={} errors={} slow={} read_p50={:?} write_p50={:?}",
+            o.statements,
+            o.statement_errors,
+            o.slow_statements,
+            o.read_latency.p50,
+            o.write_latency.p50
+        );
+        println!();
     }
-    println!();
+
+    /// Handles a `.meta` command; returns `false` if `line` is plain SQL.
+    fn meta(&mut self, line: &str) -> bool {
+        match line {
+            ".stats" => {
+                println!("sql> .stats");
+                self.print_stats();
+            }
+            ".explain on" => {
+                self.explain = true;
+                println!("sql> .explain on\n     (plans shown before each statement)\n");
+            }
+            ".explain off" => {
+                self.explain = false;
+                println!("sql> .explain off\n");
+            }
+            _ if line.starts_with('.') => {
+                println!(
+                    "sql> {line}\n     unknown meta-command (try `.explain on|off`, `.stats`)\n"
+                );
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    fn run_and_print(&mut self, sql: &str) {
+        if self.meta(sql) {
+            return;
+        }
+        println!("sql> {sql}");
+        let already_explain = sql.trim_start().to_ascii_uppercase().starts_with("EXPLAIN");
+        if self.explain && !already_explain {
+            match self.store.db().explain(sql, &[], true) {
+                Ok(lines) => {
+                    for line in lines {
+                        println!("     | {line}");
+                    }
+                }
+                Err(e) => println!("     | (no plan: {e})"),
+            }
+        }
+        match self.store.db().run(sql, &[]) {
+            Ok(result) => {
+                if !result.columns.is_empty() {
+                    println!("     {}", result.columns.join(" | "));
+                }
+                for row in &result.rows {
+                    let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+                    println!("     {}", cells.join(" | "));
+                }
+                if result.rows_affected > 0 {
+                    println!("     ({} rows affected)", result.rows_affected);
+                }
+                println!(
+                    "     [{} rows, {} heap rows read, {} index scans, {} pages read]",
+                    result.rows.len(),
+                    result.stats.rows_scanned,
+                    result.stats.index_scans,
+                    result.stats.pages_read
+                );
+            }
+            Err(e) => println!("     error: {e}"),
+        }
+        println!();
+    }
 }
 
 fn main() {
@@ -45,27 +132,29 @@ fn main() {
     .unwrap();
     let mut store = XmlStore::new(Database::in_memory(), Encoding::Global);
     store.load_document(&doc, "catalog").unwrap();
+    let mut shell = Shell {
+        store,
+        explain: false,
+    };
 
     let pipe_mode = std::env::args().nth(1).as_deref() == Some("-");
     if pipe_mode {
         for line in std::io::stdin().lock().lines() {
             let line = line.unwrap();
             if !line.trim().is_empty() {
-                run_and_print(&mut store, line.trim());
+                shell.run_and_print(line.trim());
             }
         }
         return;
     }
 
     println!("The catalog document shredded under the GLOBAL order encoding:\n");
-    run_and_print(
-        &mut store,
+    shell.run_and_print(
         "SELECT pos, parent_pos, desc_max, depth, kind, tag, value \
          FROM global_node WHERE doc = 1 ORDER BY pos",
     );
     println!("What `/catalog/item[2]` becomes (the translator's actual shape):\n");
-    run_and_print(
-        &mut store,
+    shell.run_and_print(
         "SELECT t1.pos, t1.tag FROM global_node t0, global_node t1 \
          WHERE t0.doc = 1 AND t0.parent_pos = -1 AND t0.kind = 0 AND t0.tag = 'catalog' \
            AND t1.doc = 1 AND t1.parent_pos = t0.pos AND t1.kind = 0 AND t1.tag = 'item' \
@@ -74,10 +163,14 @@ fn main() {
                   AND y.pos < t1.pos AND y.kind = 0 AND y.tag = 'item') = 1 \
          ORDER BY t1.pos",
     );
+    println!("The same query through the engine's own lens (`.explain on`):\n");
+    shell.run_and_print(".explain on");
+    shell.run_and_print("SELECT pos, tag FROM global_node WHERE doc = 1 AND kind = 0 ORDER BY pos");
+    shell.run_and_print(".explain off");
     println!("Ordered aggregation straight over the shredded rows:\n");
-    run_and_print(
-        &mut store,
+    shell.run_and_print(
         "SELECT tag, COUNT(*) AS n FROM global_node WHERE doc = 1 GROUP BY tag ORDER BY n DESC, 1",
     );
+    shell.run_and_print(".stats");
     println!("(pass `-` and pipe SQL on stdin to explore interactively)");
 }

@@ -19,7 +19,9 @@ fn end_to_end_all_encodings() {
         // Query, update, re-query, reconstruct.
         let before = store.xpath(d, "//*").unwrap().len();
         let frag = ordxml_xml::parse("<inserted><x>1</x></inserted>").unwrap();
-        store.insert_fragment(d, &NodePath(vec![]), 0, &frag).unwrap();
+        store
+            .insert_fragment(d, &NodePath(vec![]), 0, &frag)
+            .unwrap();
         let after = store.xpath(d, "//*").unwrap().len();
         assert_eq!(after, before + 2, "{enc}");
         let found = store.xpath(d, "/*/inserted/x").unwrap();
@@ -70,7 +72,9 @@ fn file_backed_store_survives_reopen_with_updates() {
                 .load_document_with(&doc, "persist", OrderConfig::with_gap(4))
                 .unwrap();
             let frag = ordxml_xml::parse("<persisted>yes</persisted>").unwrap();
-            store.insert_fragment(d, &NodePath(vec![]), 1, &frag).unwrap();
+            store
+                .insert_fragment(d, &NodePath(vec![]), 1, &frag)
+                .unwrap();
             store.db().checkpoint().unwrap();
         }
         {
@@ -85,7 +89,9 @@ fn file_backed_store_survives_reopen_with_updates() {
             );
             // Still updatable after reopen (indexes were rebuilt).
             let frag = ordxml_xml::parse("<again/>").unwrap();
-            store.insert_fragment(d, &NodePath(vec![]), 0, &frag).unwrap();
+            store
+                .insert_fragment(d, &NodePath(vec![]), 0, &frag)
+                .unwrap();
             assert_eq!(store.xpath(d, "/*/again").unwrap().len(), 1, "{enc}");
         }
         std::fs::remove_file(&path).unwrap();
@@ -161,7 +167,11 @@ fn raw_sql_access_to_shredded_data() {
         )
         .unwrap();
     let got: Vec<&str> = rows.iter().map(|r| r[0].as_text().unwrap()).collect();
-    assert_eq!(got, vec!["10", "30", "20"], "document order, not value order");
+    assert_eq!(
+        got,
+        vec!["10", "30", "20"],
+        "document order, not value order"
+    );
 }
 
 #[test]
@@ -179,7 +189,9 @@ fn update_costs_scale_with_the_right_structure() {
                 .load_document_with(&doc, "scale", OrderConfig::with_gap(1))
                 .unwrap();
             let frag = ordxml_xml::parse("<item/>").unwrap();
-            let cost = store.insert_fragment(d, &NodePath(vec![]), 0, &frag).unwrap();
+            let cost = store
+                .insert_fragment(d, &NodePath(vec![]), 0, &frag)
+                .unwrap();
             match enc {
                 Encoding::Global => global_relabels.push(cost.relabeled),
                 Encoding::Local => local_relabels.push(cost.relabeled),
