@@ -9,9 +9,13 @@
 //! report --no-json    # skip writing BENCH_report.json
 //! report --obs-off    # disable the engine's global observability registry
 //!                     # (overhead spot checks; counters then read as zero)
+//! report --batched      # set-at-a-time mediator execution (the default)
+//! report --per-context  # tuple-at-a-time mediator execution (ablation
+//!                       # baseline for the N+1 statement comparison)
 //! ```
 
-use ordxml_bench::{experiments, report, Scale};
+use ordxml::ExecutionMode;
+use ordxml_bench::{experiments, harness, report, Scale};
 use ordxml_rdbms::obs;
 
 fn main() {
@@ -24,6 +28,12 @@ fn main() {
     if args.iter().any(|a| a == "--obs-off") {
         obs::registry().set_enabled(false);
     }
+    let mode = if args.iter().any(|a| a == "--per-context") {
+        ExecutionMode::PerContext
+    } else {
+        ExecutionMode::Batched
+    };
+    harness::set_execution_mode(mode);
     let write_json = !args.iter().any(|a| a == "--no-json");
     let selected: Vec<String> = args
         .iter()
@@ -35,7 +45,11 @@ fn main() {
     } else {
         selected.iter().map(String::as_str).collect()
     };
-    println!("ordxml experiment report — scale: {scale:?} (pass --full for paper-scale runs)");
+    println!(
+        "ordxml experiment report — scale: {scale:?}, mediator: {mode:?} \
+         (pass --full for paper-scale runs, --per-context for the \
+         tuple-at-a-time baseline)"
+    );
     let mut records = Vec::new();
     for id in ids {
         match experiments::run(id, scale) {

@@ -42,6 +42,13 @@ pub struct EngineDelta {
     pub write_statements: u64,
     /// Total wall-clock time in write statements.
     pub write_time: Duration,
+    /// B+tree root-to-leaf descents (one per probed range; the batched
+    /// execution mode's unit of index work).
+    pub btree_descents: u64,
+    /// Plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses.
+    pub plan_cache_misses: u64,
 }
 
 impl EngineDelta {
@@ -61,6 +68,9 @@ impl EngineDelta {
                 .write_latency
                 .total
                 .saturating_sub(before.write_latency.total),
+            btree_descents: after.btree_descents - before.btree_descents,
+            plan_cache_hits: after.plan_cache_hits - before.plan_cache_hits,
+            plan_cache_misses: after.plan_cache_misses - before.plan_cache_misses,
         }
     }
 }
@@ -134,10 +144,11 @@ pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
         ));
         out.push_str("      \"engine\": {\n");
         out.push_str(&format!(
-            "        \"statements\": {},\n        \"statement_errors\": {},\n        \
+            "        \"statements_executed\": {},\n        \"statement_errors\": {},\n        \
              \"slow_statements\": {},\n        \"read_statements\": {},\n        \
              \"read_time_ms\": {:.3},\n        \"write_statements\": {},\n        \
-             \"write_time_ms\": {:.3}\n",
+             \"write_time_ms\": {:.3},\n        \"btree_descents\": {},\n        \
+             \"plan_cache_hits\": {},\n        \"plan_cache_misses\": {}\n",
             r.engine.statements,
             r.engine.statement_errors,
             r.engine.slow_statements,
@@ -145,6 +156,9 @@ pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
             r.engine.read_time.as_secs_f64() * 1e3,
             r.engine.write_statements,
             r.engine.write_time.as_secs_f64() * 1e3,
+            r.engine.btree_descents,
+            r.engine.plan_cache_hits,
+            r.engine.plan_cache_misses,
         ));
         out.push_str("      },\n");
         out.push_str("      \"tables\": [\n");
@@ -202,7 +216,8 @@ mod tests {
     fn json_escapes_and_structures() {
         let json = to_json("quick", &[record("e1"), record("e2")]);
         assert!(json.contains("\"id\": \"e1\""));
-        assert!(json.contains("\"statements\": 7"));
+        assert!(json.contains("\"statements_executed\": 7"));
+        assert!(json.contains("\"btree_descents\": 0"));
         assert!(json.contains("t \\\"quoted\\\""));
         assert!(json.contains("x\\ny"));
         // Crude balance check on the hand-rolled writer.

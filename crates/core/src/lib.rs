@@ -48,5 +48,5 @@ pub mod xpath;
 pub use diag::{QueryDiagnostics, StatementProfile, UpdateDiagnostics};
 pub use encoding::{DeweyKey, Encoding, OrderConfig};
 pub use store::{NodeRef, StoreError, StoreResult, XNode, XmlStore};
-pub use translate::PositionStrategy;
+pub use translate::{ExecutionMode, PositionStrategy};
 pub use update::UpdateCost;

@@ -260,6 +260,7 @@ pub struct XmlStore {
     encoding: Encoding,
     schema_ready: bool,
     position_strategy: crate::translate::PositionStrategy,
+    execution_mode: crate::translate::ExecutionMode,
 }
 
 impl XmlStore {
@@ -271,6 +272,7 @@ impl XmlStore {
             encoding,
             schema_ready: false,
             position_strategy: crate::translate::PositionStrategy::default(),
+            execution_mode: crate::translate::ExecutionMode::default(),
         }
     }
 
@@ -279,6 +281,18 @@ impl XmlStore {
     /// paper's pure-SQL correlated-count translation.
     pub fn set_position_strategy(&mut self, strategy: crate::translate::PositionStrategy) {
         self.position_strategy = strategy;
+    }
+
+    /// Chooses how mediator phases visit their context set (an ablation
+    /// knob; see [`crate::translate::ExecutionMode`]). The default is
+    /// set-at-a-time batched execution.
+    pub fn set_execution_mode(&mut self, mode: crate::translate::ExecutionMode) {
+        self.execution_mode = mode;
+    }
+
+    /// The store's current execution mode.
+    pub fn execution_mode(&self) -> crate::translate::ExecutionMode {
+        self.execution_mode
     }
 
     /// The store's encoding.
@@ -388,12 +402,13 @@ impl XmlStore {
     /// Evaluates a pre-parsed path.
     pub fn xpath_parsed(&mut self, doc: i64, path: &xpath::Path) -> StoreResult<Vec<XNode>> {
         self.ensure_schema()?;
-        crate::translate::execute_with(
+        crate::translate::execute_full(
             &mut self.db,
             self.encoding,
             doc,
             path,
             self.position_strategy,
+            self.execution_mode,
         )
     }
 
@@ -410,12 +425,13 @@ impl XmlStore {
         let path = xpath::parse(expr)?;
         self.ensure_schema()?;
         self.db.start_trace();
-        let result = crate::translate::execute_with(
+        let result = crate::translate::execute_full(
             &mut self.db,
             self.encoding,
             doc,
             &path,
             self.position_strategy,
+            self.execution_mode,
         );
         let trace = self.db.take_trace();
         let nodes = result?;
@@ -820,8 +836,10 @@ mod tests {
     #[test]
     fn mediator_steps_repeat_one_statement_per_context() {
         // `//d` below the top level forces Dewey through the mediator:
-        // a per-context descendant range scan.
+        // under tuple-at-a-time execution, one descendant range scan per
+        // context node.
         let mut s = XmlStore::new(Database::in_memory(), Encoding::Dewey);
+        s.set_execution_mode(crate::translate::ExecutionMode::PerContext);
         let d = s
             .load_document(&parse("<a><c><d/></c><c><d/></c></a>").unwrap(), "m")
             .unwrap();
@@ -831,6 +849,27 @@ mod tests {
         assert!(
             diag.statements.iter().any(|p| p.executions >= 2),
             "expected a repeated mediator statement, got {diag}"
+        );
+    }
+
+    #[test]
+    fn batched_mediator_steps_run_one_statement_per_phase() {
+        // The same query set-at-a-time: the break step collapses into a
+        // single MULTIRANGE statement regardless of context count.
+        let mut s = XmlStore::new(Database::in_memory(), Encoding::Dewey);
+        let d = s
+            .load_document(&parse("<a><c><d/></c><c><d/></c></a>").unwrap(), "m")
+            .unwrap();
+        let (nodes, diag) = s.xpath_diagnostics(d, "/a/c//d").unwrap();
+        assert_eq!(nodes.len(), 2);
+        // One statement for /a/c, one batched statement for //d.
+        assert_eq!(
+            diag.statements_executed, 2,
+            "batched break step should not fan out: {diag}"
+        );
+        assert!(
+            diag.statements.iter().all(|p| p.executions == 1),
+            "no statement should repeat per context: {diag}"
         );
     }
 

@@ -33,8 +33,8 @@ use crate::encoding::{DeweyKey, Encoding};
 use crate::shred::{KIND_ATTR, KIND_ELEMENT, KIND_TEXT, NO_PARENT};
 use crate::store::{decode_node_row, select_list, NodeRef, StoreError, StoreResult, XNode};
 use crate::xpath::{Axis, CmpOp, NodeTest, Path, Pred, SimpleStep, Step};
-use ordxml_rdbms::{Database, Value};
-use std::collections::HashMap;
+use ordxml_rdbms::{encode_range_batch, Database, RangeSpec, Value};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// How positional predicates (`[k]`, `position() op k`, `last()`) are
 /// evaluated — an ablation knob (experiment E4 compares the two).
@@ -52,6 +52,21 @@ pub enum PositionStrategy {
     MediatorSlice,
 }
 
+/// How a mediator phase visits its context set — an ablation knob (the
+/// before/after of the set-at-a-time rewrite; E6 reports both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Set-at-a-time: one batched statement per break step. All context
+    /// nodes' ranges travel in a single `MULTIRANGE` parameter, the engine
+    /// answers with one multi-range index scan, and the mediator
+    /// demultiplexes rows back to their contexts.
+    #[default]
+    Batched,
+    /// Tuple-at-a-time: one statement per context node — the N+1 statement
+    /// storm the paper's per-context translation implies.
+    PerContext,
+}
+
 /// Evaluates an absolute path against document `doc`, returning matching
 /// nodes in document order (duplicates removed).
 pub fn execute(db: &mut Database, enc: Encoding, doc: i64, path: &Path) -> StoreResult<Vec<XNode>> {
@@ -65,6 +80,18 @@ pub fn execute_with(
     doc: i64,
     path: &Path,
     strategy: PositionStrategy,
+) -> StoreResult<Vec<XNode>> {
+    execute_full(db, enc, doc, path, strategy, ExecutionMode::default())
+}
+
+/// [`execute`] with explicit positional-predicate and execution-mode knobs.
+pub fn execute_full(
+    db: &mut Database,
+    enc: Encoding,
+    doc: i64,
+    path: &Path,
+    strategy: PositionStrategy,
+    mode: ExecutionMode,
 ) -> StoreResult<Vec<XNode>> {
     // Axes that are empty from the document node end the query immediately.
     if matches!(
@@ -85,6 +112,7 @@ pub fn execute_with(
         enc,
         doc,
         strategy,
+        mode,
     };
     // `None` means "anchored at the document node".
     let mut ctx: Option<Vec<XNode>> = None;
@@ -170,6 +198,9 @@ struct Sql {
     params: Vec<Slot>,
     /// Fresh alias counter for predicate subqueries.
     sub_counter: usize,
+    /// Set-at-a-time: render the context-anchored parent equality as a
+    /// `MULTIRANGE` batch predicate instead of `col = ?`.
+    batch_parent: bool,
 }
 
 impl Sql {
@@ -180,6 +211,7 @@ impl Sql {
             where_sql: String::new(),
             params: Vec::new(),
             sub_counter: 0,
+            batch_parent: false,
         }
     }
 
@@ -222,6 +254,7 @@ struct Translator<'a> {
     enc: Encoding,
     doc: i64,
     strategy: PositionStrategy,
+    mode: ExecutionMode,
 }
 
 impl<'a> Translator<'a> {
@@ -274,6 +307,14 @@ impl<'a> Translator<'a> {
         first: bool,
     ) -> StoreResult<(Vec<XNode>, bool)> {
         let mut sql = Sql::new(self.enc);
+        // Set-at-a-time: a context-anchored segment whose first step hangs
+        // off the context by parent equality (child/attribute) ships every
+        // context key in one MULTIRANGE point batch and runs once; the
+        // per-context loop below is the tuple-at-a-time fallback.
+        let batch_ctx = self.mode == ExecutionMode::Batched
+            && ctx.is_some()
+            && matches!(steps[0].axis, Axis::Child | Axis::Attribute);
+        sql.batch_parent = batch_ctx;
         // Alias chain used to rebuild document order for Local results:
         // the aliases of the result's root-to-node ancestor path.
         // `None` once the chain is unknown (e.g. after a descendant step).
@@ -322,16 +363,24 @@ impl<'a> Translator<'a> {
         }
         let last = format!("t{}", steps.len() - 1);
         let distinct = if dedup_needed { "DISTINCT " } else { "" };
-        let (order_by, ordered) = match self.enc {
-            Encoding::Global => (format!(" ORDER BY {last}.pos"), true),
-            Encoding::Dewey => (format!(" ORDER BY {last}.key"), true),
-            Encoding::Local => match (&chain, first) {
-                (Some(aliases), true) if !aliases.is_empty() => {
-                    let keys: Vec<String> = aliases.iter().map(|i| format!("t{i}.ord")).collect();
-                    (format!(" ORDER BY {}", keys.join(", ")), true)
-                }
-                _ => (String::new(), false),
-            },
+        let (order_by, ordered) = if batch_ctx {
+            // The union of all contexts' results is re-ordered by `finalize`
+            // anyway (a context phase never keeps segment order), so the
+            // batched statement skips ORDER BY entirely.
+            (String::new(), false)
+        } else {
+            match self.enc {
+                Encoding::Global => (format!(" ORDER BY {last}.pos"), true),
+                Encoding::Dewey => (format!(" ORDER BY {last}.key"), true),
+                Encoding::Local => match (&chain, first) {
+                    (Some(aliases), true) if !aliases.is_empty() => {
+                        let keys: Vec<String> =
+                            aliases.iter().map(|i| format!("t{i}.ord")).collect();
+                        (format!(" ORDER BY {}", keys.join(", ")), true)
+                    }
+                    _ => (String::new(), false),
+                },
+            }
         };
         let text = format!(
             "SELECT {distinct}{} FROM {} WHERE {}{}",
@@ -345,6 +394,35 @@ impl<'a> Translator<'a> {
         match ctx {
             None => {
                 let params = self.bind(&sql.params, None)?;
+                for row in self.db.query(&text, &params)? {
+                    out.push(decode_node_row(self.enc, self.doc, &row)?);
+                }
+            }
+            Some(ctx_nodes) if batch_ctx => {
+                // One statement for the whole context set: the single Ctx
+                // slot (the parent linkage) expands to a point-range batch.
+                debug_assert_eq!(
+                    sql.params
+                        .iter()
+                        .filter(|s| matches!(s, Slot::Ctx(_)))
+                        .count(),
+                    1,
+                    "batched child segments carry exactly one context slot"
+                );
+                let params: Vec<Value> = sql
+                    .params
+                    .iter()
+                    .map(|s| match s {
+                        Slot::Fixed(v) => v.clone(),
+                        Slot::Ctx(f) => {
+                            let specs: Vec<RangeSpec> = ctx_nodes
+                                .iter()
+                                .map(|c| RangeSpec::point(f.extract(c)))
+                                .collect();
+                            encode_range_batch(&specs)
+                        }
+                    })
+                    .collect();
                 for row in self.db.query(&text, &params)? {
                     out.push(decode_node_row(self.enc, self.doc, &row)?);
                 }
@@ -409,6 +487,28 @@ impl<'a> Translator<'a> {
         }
     }
 
+    /// Parent linkage of a child/attribute step: `t.col = <anchor>`, or —
+    /// when the segment runs set-at-a-time — `MULTIRANGE(t.col, ?)` whose
+    /// one parameter carries every context node's key as a point range.
+    fn child_link(
+        &self,
+        sql: &mut Sql,
+        t: &str,
+        anchor: &Anchor,
+        t_col: &str,
+        a_col: &str,
+        field: CtxField,
+    ) {
+        if sql.batch_parent && matches!(anchor, Anchor::Ctx) {
+            sql.raw(&format!("MULTIRANGE({t}.{t_col}, "));
+            sql.param(Slot::Ctx(field));
+            sql.raw(")");
+        } else {
+            sql.raw(&format!("{t}.{t_col} = "));
+            self.anchor_ref(sql, anchor, a_col, field);
+        }
+    }
+
     fn gen_axis(&self, sql: &mut Sql, t: &str, anchor: &Anchor, axis: Axis) -> StoreResult<()> {
         use Encoding::*;
         let enc = self.enc;
@@ -449,8 +549,7 @@ impl<'a> Translator<'a> {
         sql.and();
         match (enc, axis) {
             (Global, Axis::Child) | (Global, Axis::Attribute) => {
-                sql.raw(&format!("{t}.parent_pos = "));
-                self.anchor_ref(sql, anchor, "pos", CtxField::GPos);
+                self.child_link(sql, t, anchor, "parent_pos", "pos", CtxField::GPos);
             }
             (Global, Axis::Descendant) => {
                 sql.raw(&format!("{t}.pos > "));
@@ -507,8 +606,7 @@ impl<'a> Translator<'a> {
                 self.anchor_ref(sql, anchor, "pos", CtxField::GPos);
             }
             (Local, Axis::Child) | (Local, Axis::Attribute) => {
-                sql.raw(&format!("{t}.parent_id = "));
-                self.anchor_ref(sql, anchor, "id", CtxField::LId);
+                self.child_link(sql, t, anchor, "parent_id", "id", CtxField::LId);
             }
             (Local, Axis::SelfAxis) => {
                 sql.raw(&format!("{t}.id = "));
@@ -533,8 +631,7 @@ impl<'a> Translator<'a> {
                 self.anchor_ref(sql, anchor, "ord", CtxField::LOrd);
             }
             (Dewey, Axis::Child) | (Dewey, Axis::Attribute) => {
-                sql.raw(&format!("{t}.parent = "));
-                self.anchor_ref(sql, anchor, "key", CtxField::DKey);
+                self.child_link(sql, t, anchor, "parent", "key", CtxField::DKey);
             }
             (Dewey, Axis::SelfAxis) => {
                 sql.raw(&format!("{t}.key = "));
@@ -878,52 +975,17 @@ impl<'a> Translator<'a> {
                 }
             }
         };
+        // Fetch each context's candidates — one batched statement for the
+        // whole context set, or one (or more) statements per context.
+        let candidate_sets: Vec<Vec<XNode>> = match self.mode {
+            ExecutionMode::Batched => match self.batched_candidates(&ctx_nodes, step, first)? {
+                Some(sets) => sets,
+                None => self.per_context_candidates(&ctx_nodes, step, first)?,
+            },
+            ExecutionMode::PerContext => self.per_context_candidates(&ctx_nodes, step, first)?,
+        };
         let mut out = Vec::new();
-        for c in &ctx_nodes {
-            let candidates = match step.axis {
-                Axis::Descendant | Axis::DescendantOrSelf => {
-                    let include_self = step.axis == Axis::DescendantOrSelf || first;
-                    self.axis_descendants(c, include_self, step)?
-                }
-                Axis::Ancestor => self.axis_ancestors(c, step)?,
-                Axis::Child | Axis::Attribute if first => {
-                    // Child axis of the document node selects the root
-                    // element itself.
-                    if step.axis == Axis::Child {
-                        std::iter::once(c.clone())
-                            .filter(|n| self.test_matches(n, step))
-                            .collect()
-                    } else {
-                        crate::store::fetch_children(self.db, self.enc, self.doc, c)?
-                            .into_iter()
-                            .filter(|n| self.test_matches(n, step))
-                            .collect()
-                    }
-                }
-                Axis::Child | Axis::Attribute => {
-                    crate::store::fetch_children(self.db, self.enc, self.doc, c)?
-                        .into_iter()
-                        .filter(|n| self.test_matches(n, step))
-                        .collect()
-                }
-                Axis::FollowingSibling | Axis::PrecedingSibling => {
-                    if first || c.kind == KIND_ATTR {
-                        Vec::new()
-                    } else {
-                        self.axis_siblings(c, step)?
-                    }
-                }
-                Axis::SelfAxis => std::iter::once(c.clone())
-                    .filter(|n| self.test_matches(n, step))
-                    .collect(),
-                Axis::Following => self.axis_following(c, step)?,
-                Axis::Preceding => self.axis_preceding(c, step)?,
-                Axis::Parent => {
-                    return Err(StoreError::Unsupported(
-                        "positional predicate on the parent axis".into(),
-                    ))
-                }
-            };
+        for candidates in candidate_sets {
             let size = candidates.len();
             for (i, cand) in candidates.into_iter().enumerate() {
                 let mut keep = true;
@@ -939,6 +1001,552 @@ impl<'a> Translator<'a> {
             }
         }
         Ok(out)
+    }
+
+    /// Tuple-at-a-time candidate fetch: one context at a time.
+    fn per_context_candidates(
+        &mut self,
+        ctx_nodes: &[XNode],
+        step: &Step,
+        first: bool,
+    ) -> StoreResult<Vec<Vec<XNode>>> {
+        ctx_nodes
+            .iter()
+            .map(|c| self.candidates_for(c, step, first))
+            .collect()
+    }
+
+    /// One context node's axis candidates, matching the step's node test,
+    /// in axis order.
+    fn candidates_for(&mut self, c: &XNode, step: &Step, first: bool) -> StoreResult<Vec<XNode>> {
+        Ok(match step.axis {
+            Axis::Descendant | Axis::DescendantOrSelf => {
+                let include_self = step.axis == Axis::DescendantOrSelf || first;
+                self.axis_descendants(c, include_self, step)?
+            }
+            Axis::Ancestor => self.axis_ancestors(c, step)?,
+            Axis::Child | Axis::Attribute if first => {
+                // Child axis of the document node selects the root
+                // element itself.
+                if step.axis == Axis::Child {
+                    std::iter::once(c.clone())
+                        .filter(|n| self.test_matches(n, step))
+                        .collect()
+                } else {
+                    crate::store::fetch_children(self.db, self.enc, self.doc, c)?
+                        .into_iter()
+                        .filter(|n| self.test_matches(n, step))
+                        .collect()
+                }
+            }
+            Axis::Child | Axis::Attribute => {
+                crate::store::fetch_children(self.db, self.enc, self.doc, c)?
+                    .into_iter()
+                    .filter(|n| self.test_matches(n, step))
+                    .collect()
+            }
+            Axis::FollowingSibling | Axis::PrecedingSibling => {
+                if first || c.kind == KIND_ATTR {
+                    Vec::new()
+                } else {
+                    self.axis_siblings(c, step)?
+                }
+            }
+            Axis::SelfAxis => std::iter::once(c.clone())
+                .filter(|n| self.test_matches(n, step))
+                .collect(),
+            Axis::Following => self.axis_following(c, step)?,
+            Axis::Preceding => self.axis_preceding(c, step)?,
+            Axis::Parent => {
+                return Err(StoreError::Unsupported(
+                    "positional predicate on the parent axis".into(),
+                ))
+            }
+        })
+    }
+
+    /// Set-at-a-time candidate fetch for the whole context set.
+    ///
+    /// Each arm issues **one** batched statement (or one per tree level for
+    /// the climbing encodings) carrying every context's key range in a
+    /// single `MULTIRANGE` parameter, then demultiplexes the row stream
+    /// back into per-context candidate lists:
+    ///
+    /// * range axes (Dewey/Global descendant, following, preceding) demux
+    ///   by binary search over the key-ordered rows — each context's
+    ///   candidates are a contiguous slice, so axis order is preserved
+    ///   without re-sorting;
+    /// * point axes (child, sibling, Dewey ancestor) demux by parent-key /
+    ///   prefix lookup;
+    /// * parent-pointer climbs (Global/Local ancestor, Local descendant)
+    ///   batch level-synchronously: one statement per tree level instead of
+    ///   one per context per level.
+    ///
+    /// Returns `None` when the axis/encoding pair has no batched form; the
+    /// caller falls back to the per-context loop.
+    fn batched_candidates(
+        &mut self,
+        ctxs: &[XNode],
+        step: &Step,
+        first: bool,
+    ) -> StoreResult<Option<Vec<Vec<XNode>>>> {
+        use Encoding::{Dewey, Global, Local};
+        if ctxs.is_empty() {
+            return Ok(Some(Vec::new()));
+        }
+        // Document-anchored child/attribute/sibling steps have special
+        // root semantics and a single context; keep the per-context form.
+        if first
+            && matches!(
+                step.axis,
+                Axis::Child | Axis::Attribute | Axis::FollowingSibling | Axis::PrecedingSibling
+            )
+        {
+            return Ok(None);
+        }
+        match (self.enc, step.axis) {
+            (Dewey, Axis::Descendant | Axis::DescendantOrSelf) => {
+                let include_self = step.axis == Axis::DescendantOrSelf || first;
+                let bounds: Vec<(Vec<u8>, Vec<u8>)> = ctxs
+                    .iter()
+                    .map(|c| {
+                        let NodeRef::Dewey { key } = &c.node else {
+                            unreachable!()
+                        };
+                        (key.to_bytes(), key.subtree_upper_bound())
+                    })
+                    .collect();
+                let specs = bounds
+                    .iter()
+                    .map(|(lo, hi)| RangeSpec {
+                        lo: Value::Bytes(lo.clone()),
+                        lo_inclusive: include_self,
+                        hi: Value::Bytes(hi.clone()),
+                        hi_inclusive: false,
+                    })
+                    .collect();
+                let rows = self.multirange_query("key", &["key"], specs, Some(step))?;
+                let keys: Vec<Vec<u8>> = rows.iter().map(dewey_bytes).collect();
+                Ok(Some(demux_ranges(rows, &bounds, |(lo, hi)| {
+                    let start =
+                        keys.partition_point(|k| if include_self { k < lo } else { k <= lo });
+                    let end = keys.partition_point(|k| k < hi);
+                    (start, end)
+                })))
+            }
+            (Global, Axis::Descendant | Axis::DescendantOrSelf) => {
+                let include_self = step.axis == Axis::DescendantOrSelf || first;
+                let bounds: Vec<(i64, i64)> = ctxs
+                    .iter()
+                    .map(|c| {
+                        let NodeRef::Global { pos, desc_max, .. } = &c.node else {
+                            unreachable!()
+                        };
+                        (*pos, *desc_max)
+                    })
+                    .collect();
+                let specs = bounds
+                    .iter()
+                    .map(|&(pos, desc_max)| RangeSpec {
+                        lo: Value::Int(pos),
+                        lo_inclusive: include_self,
+                        hi: Value::Int(desc_max),
+                        hi_inclusive: true,
+                    })
+                    .collect();
+                let rows = self.multirange_query("pos", &["pos"], specs, Some(step))?;
+                let ps: Vec<i64> = rows.iter().map(global_pos).collect();
+                Ok(Some(demux_ranges(rows, &bounds, |&(pos, desc_max)| {
+                    let start =
+                        ps.partition_point(|&p| if include_self { p < pos } else { p <= pos });
+                    let end = ps.partition_point(|&p| p <= desc_max);
+                    (start, end)
+                })))
+            }
+            (Local, Axis::Descendant | Axis::DescendantOrSelf) => {
+                let include_self = step.axis == Axis::DescendantOrSelf || first;
+                // Batched BFS: one statement per tree level fetches the
+                // next generation of every context's subtree at once; each
+                // context's pre-order (document order) is rebuilt in memory.
+                let mut children: HashMap<i64, Vec<XNode>> = HashMap::new();
+                let mut seen: HashSet<i64> = HashSet::new();
+                let mut frontier: Vec<i64> = Vec::new();
+                for c in ctxs {
+                    let NodeRef::Local { id, .. } = &c.node else {
+                        unreachable!()
+                    };
+                    if seen.insert(*id) {
+                        frontier.push(*id);
+                    }
+                }
+                while !frontier.is_empty() {
+                    let specs = frontier
+                        .iter()
+                        .map(|id| RangeSpec::point(Value::Int(*id)))
+                        .collect();
+                    let rows =
+                        self.multirange_query("parent_id", &["parent_id", "ord"], specs, None)?;
+                    frontier = Vec::new();
+                    for n in rows {
+                        let NodeRef::Local { id, parent, .. } = &n.node else {
+                            unreachable!()
+                        };
+                        if seen.insert(*id) {
+                            frontier.push(*id);
+                        }
+                        children.entry(*parent).or_default().push(n);
+                    }
+                }
+                let mut sets = Vec::with_capacity(ctxs.len());
+                for c in ctxs {
+                    let mut out = Vec::new();
+                    let mut stack = vec![(c.clone(), include_self)];
+                    while let Some((node, emit)) = stack.pop() {
+                        if emit && self.test_matches(&node, step) {
+                            out.push(node.clone());
+                        }
+                        let NodeRef::Local { id, .. } = &node.node else {
+                            unreachable!()
+                        };
+                        if let Some(kids) = children.get(id) {
+                            for k in kids.iter().rev() {
+                                stack.push((k.clone(), true));
+                            }
+                        }
+                    }
+                    sets.push(out);
+                }
+                Ok(Some(sets))
+            }
+            (Dewey, Axis::Ancestor) => {
+                // Ancestors are the key's proper prefixes: one point batch
+                // over every context's prefix set, demuxed nearest-first.
+                let mut prefixes: BTreeSet<Vec<u8>> = BTreeSet::new();
+                let mut chains: Vec<Vec<Vec<u8>>> = Vec::with_capacity(ctxs.len());
+                for c in ctxs {
+                    let NodeRef::Dewey { key } = &c.node else {
+                        unreachable!()
+                    };
+                    let mut chain = Vec::new();
+                    let mut cur = key.parent();
+                    while let Some(k) = cur {
+                        let b = k.to_bytes();
+                        prefixes.insert(b.clone());
+                        chain.push(b);
+                        cur = k.parent();
+                    }
+                    chains.push(chain);
+                }
+                let specs = prefixes
+                    .iter()
+                    .map(|b| RangeSpec::point(Value::Bytes(b.clone())))
+                    .collect();
+                let rows = self.multirange_query("key", &["key"], specs, Some(step))?;
+                let map: HashMap<Vec<u8>, XNode> =
+                    rows.into_iter().map(|n| (dewey_bytes(&n), n)).collect();
+                Ok(Some(
+                    chains
+                        .iter()
+                        .map(|chain| chain.iter().filter_map(|b| map.get(b).cloned()).collect())
+                        .collect(),
+                ))
+            }
+            (Global | Local, Axis::Ancestor) => {
+                // Level-synchronous climb: every context's current parent in
+                // one point batch — one statement per tree level instead of
+                // one per context per level.
+                let id_col = if self.enc == Global { "pos" } else { "id" };
+                let parent_of = |n: &XNode| match &n.node {
+                    NodeRef::Global { parent, .. } | NodeRef::Local { parent, .. } => *parent,
+                    NodeRef::Dewey { .. } => unreachable!(),
+                };
+                let id_of = |n: &XNode| match &n.node {
+                    NodeRef::Global { pos, .. } => *pos,
+                    NodeRef::Local { id, .. } => *id,
+                    NodeRef::Dewey { .. } => unreachable!(),
+                };
+                let mut sets: Vec<Vec<XNode>> = vec![Vec::new(); ctxs.len()];
+                let mut pending: Vec<(usize, i64)> = ctxs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| parent_of(c) != NO_PARENT)
+                    .map(|(i, c)| (i, parent_of(c)))
+                    .collect();
+                while !pending.is_empty() {
+                    let ids: BTreeSet<i64> = pending.iter().map(|&(_, p)| p).collect();
+                    let specs = ids
+                        .iter()
+                        .map(|&p| RangeSpec::point(Value::Int(p)))
+                        .collect();
+                    let rows = self.multirange_query(id_col, &[id_col], specs, None)?;
+                    let map: HashMap<i64, XNode> =
+                        rows.into_iter().map(|n| (id_of(&n), n)).collect();
+                    let mut next = Vec::new();
+                    for (ci, p) in pending {
+                        let Some(n) = map.get(&p) else { continue };
+                        if self.test_matches(n, step) {
+                            sets[ci].push(n.clone());
+                        }
+                        let np = parent_of(n);
+                        if np != NO_PARENT {
+                            next.push((ci, np));
+                        }
+                    }
+                    pending = next;
+                }
+                Ok(Some(sets))
+            }
+            (Dewey, Axis::Following) => {
+                let lows: Vec<Vec<u8>> = ctxs
+                    .iter()
+                    .map(|c| {
+                        let NodeRef::Dewey { key } = &c.node else {
+                            unreachable!()
+                        };
+                        key.subtree_upper_bound()
+                    })
+                    .collect();
+                let specs = lows
+                    .iter()
+                    .map(|lo| RangeSpec {
+                        lo: Value::Bytes(lo.clone()),
+                        lo_inclusive: true,
+                        hi: Value::Null,
+                        hi_inclusive: false,
+                    })
+                    .collect();
+                let rows = self.multirange_query("key", &["key"], specs, Some(step))?;
+                let keys: Vec<Vec<u8>> = rows.iter().map(dewey_bytes).collect();
+                Ok(Some(
+                    lows.iter()
+                        .map(|lo| {
+                            let start = keys.partition_point(|k| k < lo);
+                            rows[start..].to_vec()
+                        })
+                        .collect(),
+                ))
+            }
+            (Global, Axis::Following) => {
+                let maxes: Vec<i64> = ctxs
+                    .iter()
+                    .map(|c| {
+                        let NodeRef::Global { desc_max, .. } = &c.node else {
+                            unreachable!()
+                        };
+                        *desc_max
+                    })
+                    .collect();
+                let specs = maxes
+                    .iter()
+                    .map(|&m| RangeSpec {
+                        lo: Value::Int(m),
+                        lo_inclusive: false,
+                        hi: Value::Null,
+                        hi_inclusive: false,
+                    })
+                    .collect();
+                let rows = self.multirange_query("pos", &["pos"], specs, Some(step))?;
+                let ps: Vec<i64> = rows.iter().map(global_pos).collect();
+                Ok(Some(
+                    maxes
+                        .iter()
+                        .map(|&m| {
+                            let start = ps.partition_point(|&p| p <= m);
+                            rows[start..].to_vec()
+                        })
+                        .collect(),
+                ))
+            }
+            (Dewey, Axis::Preceding) => {
+                let specs = ctxs
+                    .iter()
+                    .map(|c| {
+                        let NodeRef::Dewey { key } = &c.node else {
+                            unreachable!()
+                        };
+                        RangeSpec {
+                            lo: Value::Null,
+                            lo_inclusive: true,
+                            hi: Value::Bytes(key.to_bytes()),
+                            hi_inclusive: false,
+                        }
+                    })
+                    .collect();
+                let rows = self.multirange_query("key", &["key"], specs, Some(step))?;
+                let keys: Vec<Vec<u8>> = rows.iter().map(dewey_bytes).collect();
+                Ok(Some(
+                    ctxs.iter()
+                        .map(|c| {
+                            let NodeRef::Dewey { key } = &c.node else {
+                                unreachable!()
+                            };
+                            let hi = key.to_bytes();
+                            let end = keys.partition_point(|k| k < &hi);
+                            // Nearest-first (reverse document order), with
+                            // the context's ancestors (its key's prefixes)
+                            // filtered out.
+                            rows[..end]
+                                .iter()
+                                .rev()
+                                .filter(|n| {
+                                    let NodeRef::Dewey { key: k } = &n.node else {
+                                        unreachable!()
+                                    };
+                                    !k.is_prefix_of(key)
+                                })
+                                .cloned()
+                                .collect()
+                        })
+                        .collect(),
+                ))
+            }
+            (Global, Axis::Preceding) => {
+                let specs = ctxs
+                    .iter()
+                    .map(|c| {
+                        let NodeRef::Global { pos, .. } = &c.node else {
+                            unreachable!()
+                        };
+                        RangeSpec {
+                            lo: Value::Null,
+                            lo_inclusive: true,
+                            hi: Value::Int(*pos),
+                            hi_inclusive: false,
+                        }
+                    })
+                    .collect();
+                let rows = self.multirange_query("pos", &["pos"], specs, Some(step))?;
+                let ps: Vec<i64> = rows.iter().map(global_pos).collect();
+                Ok(Some(
+                    ctxs.iter()
+                        .map(|c| {
+                            let NodeRef::Global { pos, .. } = &c.node else {
+                                unreachable!()
+                            };
+                            let end = ps.partition_point(|&p| p < *pos);
+                            // Nearest-first, ancestors (whose intervals
+                            // contain the context) filtered out.
+                            rows[..end]
+                                .iter()
+                                .rev()
+                                .filter(|n| {
+                                    let NodeRef::Global { desc_max, .. } = &n.node else {
+                                        unreachable!()
+                                    };
+                                    *desc_max < *pos
+                                })
+                                .cloned()
+                                .collect()
+                        })
+                        .collect(),
+                ))
+            }
+            (_, Axis::Child | Axis::Attribute) => {
+                let (pcol, ocols): (&str, &[&str]) = match self.enc {
+                    Global => ("parent_pos", &["parent_pos", "pos"]),
+                    Local => ("parent_id", &["parent_id", "ord"]),
+                    Dewey => ("parent", &["parent", "key"]),
+                };
+                let specs = ctxs
+                    .iter()
+                    .map(|c| RangeSpec::point(self_value(c)))
+                    .collect();
+                let rows = self.multirange_query(pcol, ocols, specs, Some(step))?;
+                let mut groups: HashMap<Vec<u8>, Vec<XNode>> = HashMap::new();
+                for n in rows {
+                    groups.entry(parent_key(&n)).or_default().push(n);
+                }
+                Ok(Some(
+                    ctxs.iter()
+                        .map(|c| groups.get(&self_key(c)).cloned().unwrap_or_default())
+                        .collect(),
+                ))
+            }
+            (_, Axis::FollowingSibling | Axis::PrecedingSibling) => {
+                let following = step.axis == Axis::FollowingSibling;
+                let (pcol, ocols): (&str, &[&str]) = match self.enc {
+                    Global => ("parent_pos", &["parent_pos", "pos"]),
+                    Local => ("parent_id", &["parent_id", "ord"]),
+                    Dewey => ("parent", &["parent", "key"]),
+                };
+                // Attribute contexts have no siblings and contribute no
+                // ranges; contexts sharing a parent merge into one range.
+                let specs = ctxs
+                    .iter()
+                    .filter(|c| c.kind != KIND_ATTR)
+                    .map(|c| RangeSpec::point(parent_value(c)))
+                    .collect();
+                let rows = self.multirange_query(pcol, ocols, specs, Some(step))?;
+                let mut groups: HashMap<Vec<u8>, Vec<XNode>> = HashMap::new();
+                for n in rows {
+                    groups.entry(parent_key(&n)).or_default().push(n);
+                }
+                Ok(Some(
+                    ctxs.iter()
+                        .map(|c| {
+                            if c.kind == KIND_ATTR {
+                                return Vec::new();
+                            }
+                            let Some(sibs) = groups.get(&parent_key(c)) else {
+                                return Vec::new();
+                            };
+                            let r = order_rank(c);
+                            if following {
+                                sibs.iter().filter(|n| order_rank(n) > r).cloned().collect()
+                            } else {
+                                sibs.iter()
+                                    .filter(|n| order_rank(n) < r)
+                                    .rev()
+                                    .cloned()
+                                    .collect()
+                            }
+                        })
+                        .collect(),
+                ))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Runs the one statement of a batched phase:
+    /// `SELECT ... WHERE doc = ? AND MULTIRANGE(col, <batch>) [AND <test>]
+    /// ORDER BY <index cols>` — the ORDER BY names columns the multi-range
+    /// scan already delivers, so the sort node is elided.
+    fn multirange_query(
+        &mut self,
+        col: &str,
+        order_cols: &[&str],
+        specs: Vec<RangeSpec>,
+        test: Option<&Step>,
+    ) -> StoreResult<Vec<XNode>> {
+        let mut sql = Sql::new(self.enc);
+        sql.raw("n.doc = ");
+        sql.fixed(Value::Int(self.doc));
+        sql.raw(&format!(" AND MULTIRANGE(n.{col}, "));
+        sql.fixed(encode_range_batch(&specs));
+        sql.raw(")");
+        if let Some(step) = test {
+            sql.and();
+            self.gen_test(&mut sql, "n", step.axis, &step.test);
+        }
+        let order = if order_cols.is_empty() {
+            String::new()
+        } else {
+            let keys: Vec<String> = order_cols.iter().map(|c| format!("n.{c}")).collect();
+            format!(" ORDER BY {}", keys.join(", "))
+        };
+        let text = format!(
+            "SELECT {} FROM {} n WHERE {}{}",
+            select_list(self.enc, "n"),
+            self.enc.node_table(),
+            sql.where_sql,
+            order
+        );
+        let params = self.bind(&sql.params, None)?;
+        let rows = self.db.query(&text, &params)?;
+        rows.iter()
+            .map(|r| decode_node_row(self.enc, self.doc, r))
+            .collect()
     }
 
     fn fetch_root(&mut self) -> StoreResult<XNode> {
@@ -1553,6 +2161,112 @@ enum CountSide {
     Following,
 }
 
+/// Splits the key-ordered result `rows` of one batched range scan into one
+/// candidate set per context. `slice_of` maps a context's bound to its
+/// `(start, end)` row range. When the slices are disjoint and in order —
+/// the common case: contexts rooted in sibling subtrees — rows are *moved*
+/// into their sets without cloning; overlapping slices (nested contexts,
+/// which legitimately share candidates) fall back to per-slice clones.
+fn demux_ranges<B>(
+    mut rows: Vec<XNode>,
+    bounds: &[B],
+    slice_of: impl Fn(&B) -> (usize, usize),
+) -> Vec<Vec<XNode>> {
+    let slices: Vec<(usize, usize)> = bounds
+        .iter()
+        .map(|b| {
+            let (s, e) = slice_of(b);
+            (s, e.max(s))
+        })
+        .collect();
+    if slices.windows(2).all(|w| w[0].1 <= w[1].0) {
+        // Disjoint: carve the vector back-to-front so indices stay valid;
+        // rows in no slice (none in practice — every row matched some
+        // context's range) fall on the floor.
+        let mut out: Vec<Vec<XNode>> = Vec::with_capacity(slices.len());
+        for &(start, end) in slices.iter().rev() {
+            let mut set = rows.split_off(start);
+            set.truncate(end - start);
+            out.push(set);
+        }
+        out.reverse();
+        return out;
+    }
+    slices
+        .into_iter()
+        .map(|(start, end)| rows[start..end].to_vec())
+        .collect()
+}
+
+/// Raw Dewey key bytes of a node (demux sort key; byte order = doc order).
+fn dewey_bytes(n: &XNode) -> Vec<u8> {
+    let NodeRef::Dewey { key } = &n.node else {
+        unreachable!()
+    };
+    key.to_bytes()
+}
+
+/// Global position of a node (demux sort key).
+fn global_pos(n: &XNode) -> i64 {
+    let NodeRef::Global { pos, .. } = &n.node else {
+        unreachable!()
+    };
+    *pos
+}
+
+/// The node's own id/key as a SQL parameter (child-axis point batches).
+fn self_value(n: &XNode) -> Value {
+    match &n.node {
+        NodeRef::Global { pos, .. } => Value::Int(*pos),
+        NodeRef::Local { id, .. } => Value::Int(*id),
+        NodeRef::Dewey { key } => Value::Bytes(key.to_bytes()),
+    }
+}
+
+/// The node's parent id/key as a SQL parameter (sibling point batches).
+fn parent_value(n: &XNode) -> Value {
+    match &n.node {
+        NodeRef::Global { parent, .. } | NodeRef::Local { parent, .. } => Value::Int(*parent),
+        NodeRef::Dewey { key } => {
+            Value::Bytes(key.parent().map(|p| p.to_bytes()).unwrap_or_default())
+        }
+    }
+}
+
+/// The node's own id/key as a grouping key (equality only).
+fn self_key(n: &XNode) -> Vec<u8> {
+    match &n.node {
+        NodeRef::Global { pos, .. } => pos.to_be_bytes().to_vec(),
+        NodeRef::Local { id, .. } => id.to_be_bytes().to_vec(),
+        NodeRef::Dewey { key } => key.to_bytes(),
+    }
+}
+
+/// The node's parent id/key as a grouping key (equality only).
+fn parent_key(n: &XNode) -> Vec<u8> {
+    match &n.node {
+        NodeRef::Global { parent, .. } | NodeRef::Local { parent, .. } => {
+            parent.to_be_bytes().to_vec()
+        }
+        NodeRef::Dewey { key } => key.parent().map(|p| p.to_bytes()).unwrap_or_default(),
+    }
+}
+
+/// Sibling-order rank of a node (comparable within one parent only).
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+enum OrderRank {
+    Int(i64),
+    Key(Vec<u8>),
+}
+
+fn order_rank(n: &XNode) -> OrderRank {
+    match &n.node {
+        NodeRef::Global { pos, .. } => OrderRank::Int(*pos),
+        NodeRef::Local { ord, .. } => OrderRank::Int(*ord),
+        NodeRef::Dewey { key } => OrderRank::Key(key.to_bytes()),
+    }
+}
+
 fn pred_positional(p: &Pred) -> bool {
     match p {
         Pred::Position(..) | Pred::Last { .. } => true,
@@ -1622,6 +2336,7 @@ mod tests {
                 enc,
                 doc: 1,
                 strategy: PositionStrategy::CountSubquery,
+                mode: ExecutionMode::default(),
             };
             match enc {
                 Encoding::Global => {
@@ -1647,6 +2362,7 @@ mod tests {
             enc: Encoding::Local,
             doc: 1,
             strategy: PositionStrategy::CountSubquery,
+            mode: ExecutionMode::default(),
         };
         assert!(t.is_break_step(&step_desc_pos, true));
     }

@@ -37,9 +37,10 @@ fn canon_store(store: &mut XmlStore, doc_id: i64, n: &ordxml::XNode) -> String {
 }
 
 /// Asserts `query` agrees between the oracle and every encoding on `doc`,
-/// under both positional-predicate strategies.
+/// under both positional-predicate strategies and both execution modes
+/// (set-at-a-time batched vs tuple-at-a-time per-context).
 fn check_query(doc: &Document, query: &str) {
-    use ordxml::translate::PositionStrategy;
+    use ordxml::translate::{ExecutionMode, PositionStrategy};
     let ev = NaiveEvaluator::new(doc);
     let path = ordxml::xpath::parse(query).unwrap_or_else(|e| panic!("{query}: {e}"));
     let expected: Vec<String> = ev
@@ -52,16 +53,19 @@ fn check_query(doc: &Document, query: &str) {
             PositionStrategy::CountSubquery,
             PositionStrategy::MediatorSlice,
         ] {
-            let mut store = XmlStore::new(Database::in_memory(), enc);
-            store.set_position_strategy(strategy);
-            let d = store.load_document(doc, "oracle").unwrap();
-            let got: Vec<String> = store
-                .xpath(d, query)
-                .unwrap_or_else(|e| panic!("{enc}/{strategy:?}: {query}: {e}"))
-                .iter()
-                .map(|n| canon_store(&mut store, d, n))
-                .collect();
-            assert_eq!(got, expected, "{enc}/{strategy:?}: {query}");
+            for mode in [ExecutionMode::Batched, ExecutionMode::PerContext] {
+                let mut store = XmlStore::new(Database::in_memory(), enc);
+                store.set_position_strategy(strategy);
+                store.set_execution_mode(mode);
+                let d = store.load_document(doc, "oracle").unwrap();
+                let got: Vec<String> = store
+                    .xpath(d, query)
+                    .unwrap_or_else(|e| panic!("{enc}/{strategy:?}/{mode:?}: {query}: {e}"))
+                    .iter()
+                    .map(|n| canon_store(&mut store, d, n))
+                    .collect();
+                assert_eq!(got, expected, "{enc}/{strategy:?}/{mode:?}: {query}");
+            }
         }
     }
 }
@@ -70,6 +74,83 @@ fn check_queries(doc: &Document, queries: &[&str]) {
     for q in queries {
         check_query(doc, q);
     }
+}
+
+/// The bench suite's E3/E5/E6 query shapes, oracle-checked: because
+/// [`check_query`] crosses every encoding with both execution modes, the
+/// set-at-a-time and per-context paths are forced to return the identical
+/// node sequence (both must match the DOM oracle exactly).
+#[test]
+fn batched_and_per_context_modes_agree_on_experiment_shapes() {
+    // E3 shape: a catalog of repeated items (child chains, positional
+    // points/ranges, descendant sweeps).
+    let mut catalog = String::from("<catalog>");
+    for i in 0..40 {
+        catalog.push_str(&format!(
+            "<item id=\"i{i}\"><name>n{i}</name><price>{}</price></item>",
+            (i * 7) % 50
+        ));
+    }
+    catalog.push_str("<section><item id=\"x\"><name>deep</name></item></section></catalog>");
+    let catalog = parse_xml(&catalog).unwrap();
+    check_queries(
+        &catalog,
+        &[
+            "/catalog",
+            "/catalog/item",
+            "/catalog/item[10]",
+            "/catalog/item[position() <= 10]",
+            "/catalog/item[last()]",
+            "/catalog/item[10]/following-sibling::item[position() <= 5]",
+            "//item",
+            "//name",
+        ],
+    );
+
+    // E5 shape: one wide element, sibling windows anchored by value.
+    let mut flat = String::from("<root>");
+    for i in 0..30 {
+        flat.push_str(&format!("<c>v{i}</c>"));
+    }
+    flat.push_str("</root>");
+    let flat = parse_xml(&flat).unwrap();
+    check_queries(
+        &flat,
+        &[
+            "/root/c[. = 'v15']/following-sibling::c",
+            "/root/c[. = 'v15']/following-sibling::c[position() <= 10]",
+            "/root/c[. = 'v15']/preceding-sibling::c[1]",
+            "/root/c[. = 'v15']/following-sibling::c[last()]",
+        ],
+    );
+
+    // E6 shape: a deep spine with leaves at the bottom — the descendant
+    // break step with many context nodes (the batched mode's target).
+    let mut deep = String::from("<root>");
+    for _ in 0..12 {
+        deep.push_str("<d>");
+    }
+    for _ in 0..8 {
+        deep.push_str("<leaf/>");
+    }
+    for _ in 0..12 {
+        deep.push_str("</d>");
+    }
+    deep.push_str("</root>");
+    let deep = parse_xml(&deep).unwrap();
+    check_queries(
+        &deep,
+        &[
+            "//leaf",
+            "/root//leaf",
+            "/root/d//leaf[1]",
+            "//d[not(d)]",
+            "//d//leaf",
+            "//leaf/ancestor::d",
+            "//d[last()]/following::*",
+            "//leaf[1]/preceding::d",
+        ],
+    );
 }
 
 const CATALOG: &str = "<catalog>\

@@ -60,10 +60,18 @@ pub struct StatementTrace {
 /// Maximum record bytes stored per catalog page during a checkpoint.
 const CATALOG_CHUNK: usize = 7000;
 
+/// Upper bound on cached plans per database. Long sessions that generate
+/// many distinct statement texts (ad-hoc SQL, per-document DDL) would
+/// otherwise grow the cache without limit; past the cap the
+/// least-recently-used entry is evicted.
+const PLAN_CACHE_CAP: usize = 256;
+
 struct Cached {
     parsed: ParsedStmt,
     /// Plan, for SELECT statements.
     plan: Option<SelectPlan>,
+    /// Recency stamp for LRU eviction: the statement clock at last use.
+    last_used: u64,
 }
 
 /// An embedded relational database.
@@ -71,6 +79,8 @@ pub struct Database {
     pager: Pager,
     catalog: Catalog,
     plan_cache: HashMap<String, Cached>,
+    /// Monotonic statement counter driving the plan cache's LRU stamps.
+    plan_clock: u64,
     /// Cumulative execution counters across all statements.
     total_stats: ExecStats,
     /// When `Some`, every statement appends a [`StatementTrace`].
@@ -88,6 +98,7 @@ impl Database {
             pager: Pager::in_memory(),
             catalog: Catalog::new(),
             plan_cache: HashMap::new(),
+            plan_clock: 0,
             total_stats: ExecStats::default(),
             trace: None,
             catalog_pages: Vec::new(),
@@ -125,6 +136,7 @@ impl Database {
             pager,
             catalog,
             plan_cache: HashMap::new(),
+            plan_clock: 0,
             total_stats: ExecStats::default(),
             trace: None,
             catalog_pages,
@@ -199,7 +211,13 @@ impl Database {
     /// planned once, then cached by SQL text, so parameterized statements
     /// behave as prepared statements.
     pub fn run(&mut self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
-        if !self.plan_cache.contains_key(sql) {
+        self.plan_clock += 1;
+        let clock = self.plan_clock;
+        if let Some(cached) = self.plan_cache.get_mut(sql) {
+            cached.last_used = clock;
+            obs::registry().record_plan_cache(true);
+        } else {
+            obs::registry().record_plan_cache(false);
             let parsed = parse(sql)?;
             // EXPLAIN shares the wrapped statement's plan slot, so EXPLAIN
             // renders exactly the plan the bare statement would run.
@@ -211,8 +229,26 @@ impl Database {
                 Stmt::Select(s) => Some(plan_select(&self.catalog, s, &parsed.subqueries, None)?),
                 _ => None,
             };
-            self.plan_cache
-                .insert(sql.to_string(), Cached { parsed, plan });
+            if self.plan_cache.len() >= PLAN_CACHE_CAP {
+                // Evict the least-recently-used entry. Linear at the cap,
+                // which stays cheap relative to parse + plan work.
+                if let Some(lru) = self
+                    .plan_cache
+                    .iter()
+                    .min_by_key(|(_, c)| c.last_used)
+                    .map(|(k, _)| k.clone())
+                {
+                    self.plan_cache.remove(&lru);
+                }
+            }
+            self.plan_cache.insert(
+                sql.to_string(),
+                Cached {
+                    parsed,
+                    plan,
+                    last_used: clock,
+                },
+            );
         }
         // Clone the cached entry pieces we need (plans are shared per call;
         // cloning keeps the borrow checker out of the execution path).
@@ -912,6 +948,127 @@ mod tests {
     }
 
     #[test]
+    fn multirange_scan_unions_ranges_in_key_order() {
+        use crate::value::{encode_range_batch, RangeSpec};
+        let mut db = setup();
+        seed(&mut db, 100);
+        let batch = encode_range_batch(&[
+            RangeSpec::half_open(Value::Int(40), Value::Int(43)),
+            RangeSpec::point(Value::Int(70)),
+            RangeSpec::half_open(Value::Int(10), Value::Int(13)),
+        ]);
+        let r = db
+            .run(
+                "SELECT pos FROM node WHERE doc = ? AND MULTIRANGE(pos, ?) ORDER BY pos",
+                &[Value::Int(1), batch],
+            )
+            .unwrap();
+        let got: Vec<i64> = r.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, vec![10, 11, 12, 40, 41, 42, 70]);
+        assert_eq!(r.stats.rows_sorted, 0, "scan order satisfies ORDER BY");
+        assert_eq!(r.stats.index_scans, 1, "one operator invocation");
+        assert_eq!(r.stats.btree_descents, 3, "one descent per disjoint range");
+    }
+
+    #[test]
+    fn multirange_scan_merges_overlapping_and_adjacent_ranges() {
+        use crate::value::{encode_range_batch, RangeSpec};
+        let mut db = setup();
+        seed(&mut db, 100);
+        // [10,20) ∪ [15,25) ∪ [25,30) merges to the single range [10,30):
+        // no duplicate rows, and only one B+tree descent.
+        let batch = encode_range_batch(&[
+            RangeSpec::half_open(Value::Int(10), Value::Int(20)),
+            RangeSpec::half_open(Value::Int(15), Value::Int(25)),
+            RangeSpec::half_open(Value::Int(25), Value::Int(30)),
+        ]);
+        let r = db
+            .run(
+                "SELECT pos FROM node WHERE doc = ? AND MULTIRANGE(pos, ?)",
+                &[Value::Int(1), batch],
+            )
+            .unwrap();
+        let got: Vec<i64> = r.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(got, (10..30).collect::<Vec<i64>>());
+        assert_eq!(r.stats.btree_descents, 1, "merged into one descent");
+    }
+
+    #[test]
+    fn multirange_scan_skips_empty_ranges_and_batches() {
+        use crate::value::{encode_range_batch, RangeSpec};
+        let mut db = setup();
+        seed(&mut db, 20);
+        // Inverted and zero-width ranges match nothing; the rest still scan.
+        let batch = encode_range_batch(&[
+            RangeSpec::half_open(Value::Int(8), Value::Int(8)),
+            RangeSpec::half_open(Value::Int(15), Value::Int(5)),
+            RangeSpec::point(Value::Int(3)),
+        ]);
+        let rows = db
+            .query(
+                "SELECT pos FROM node WHERE doc = ? AND MULTIRANGE(pos, ?)",
+                &[Value::Int(1), batch],
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(3));
+        // An entirely empty batch returns no rows (and does not error).
+        let r = db
+            .run(
+                "SELECT pos FROM node WHERE doc = ? AND MULTIRANGE(pos, ?)",
+                &[Value::Int(1), encode_range_batch(&[])],
+            )
+            .unwrap();
+        assert!(r.rows.is_empty());
+        assert_eq!(r.stats.btree_descents, 0);
+    }
+
+    #[test]
+    fn multirange_on_unindexed_column_falls_back_to_filter() {
+        use crate::value::{encode_range_batch, RangeSpec};
+        let mut db = setup();
+        seed(&mut db, 10);
+        // `depth` is not an index column after any usable prefix, so the
+        // predicate runs as a row filter via the eval fallback.
+        let batch = encode_range_batch(&[RangeSpec::point(Value::Int(0))]);
+        let rows = db
+            .query(
+                "SELECT pos FROM node WHERE doc = ? AND MULTIRANGE(depth, ?)",
+                &[Value::Int(1), batch],
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1, "only pos 0 has depth 0");
+        assert_eq!(rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn multirange_scan_renders_in_explain() {
+        use crate::value::{encode_range_batch, RangeSpec};
+        let mut db = setup();
+        seed(&mut db, 30);
+        let batch = encode_range_batch(&[RangeSpec::half_open(Value::Int(5), Value::Int(9))]);
+        let sql = "SELECT pos FROM node WHERE doc = ? AND MULTIRANGE(pos, ?) ORDER BY pos";
+        let params = [Value::Int(1), batch];
+        let plan = db.explain(sql, &params, false).unwrap();
+        assert!(
+            plan.iter()
+                .any(|l| l.contains("Multi-Range Index Scan on node using pk")),
+            "{plan:?}"
+        );
+        assert!(
+            plan.iter().any(|l| l.contains("sort elided")),
+            "ORDER BY pos must ride the scan order: {plan:?}"
+        );
+        let analyzed = db.explain(sql, &params, true).unwrap();
+        assert!(
+            analyzed
+                .iter()
+                .any(|l| l.contains("Multi-Range Index Scan") && l.contains("actual rows=4")),
+            "{analyzed:?}"
+        );
+    }
+
+    #[test]
     fn parameterized_statements_cache_plans() {
         let mut db = setup();
         seed(&mut db, 50);
@@ -927,6 +1084,58 @@ mod tests {
         }
         // One INSERT statement (from seeding) + one SELECT, each cached once.
         assert_eq!(db.plan_cache.len(), 2, "plans are reused, not re-made");
+    }
+
+    #[test]
+    fn plan_cache_is_bounded_with_lru_eviction() {
+        let mut db = Database::in_memory();
+        // A statement we keep hot throughout.
+        let hot = "SELECT 42";
+        db.query(hot, &[]).unwrap();
+        // Flood the cache with distinct statement texts, re-touching the hot
+        // entry along the way so recency protects it.
+        for i in 0..(2 * PLAN_CACHE_CAP) {
+            db.query(&format!("SELECT {i}"), &[]).unwrap();
+            if i % 50 == 0 {
+                db.query(hot, &[]).unwrap();
+            }
+        }
+        assert!(
+            db.plan_cache.len() <= PLAN_CACHE_CAP,
+            "cache stays bounded: {}",
+            db.plan_cache.len()
+        );
+        assert!(
+            db.plan_cache.contains_key(hot),
+            "recently used entries survive eviction"
+        );
+        // Evicted statements still run (they are just re-planned).
+        assert_eq!(db.query("SELECT 0", &[]).unwrap()[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn plan_cache_hits_and_misses_reach_the_registry() {
+        // The registry is process-global and other tests touch it
+        // concurrently, so assert on deltas of monotonic counters.
+        if !obs::registry().enabled() {
+            obs::registry().set_enabled(true);
+        }
+        let mut db = setup();
+        seed(&mut db, 1);
+        let before = obs::snapshot();
+        for _ in 0..5 {
+            db.query("SELECT val FROM node WHERE doc = ?", &[Value::Int(1)])
+                .unwrap();
+        }
+        let after = obs::snapshot();
+        assert!(
+            after.plan_cache_misses > before.plan_cache_misses,
+            "first execution misses"
+        );
+        assert!(
+            after.plan_cache_hits >= before.plan_cache_hits + 4,
+            "repeats hit the cached plan"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::error::{DbError, DbResult};
 use crate::expr::{eval, EvalContext, Expr};
 use crate::plan::{Access, AccessPath, AggCall, AggFunc, Node, SelectPlan};
 use crate::storage::Pager;
-use crate::value::{encode_key, encode_key_value, Row, Value};
+use crate::value::{decode_range_batch, encode_key, encode_key_value, Row, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::ops::Bound;
@@ -371,6 +371,22 @@ fn run_access(
                 .map(|rid| table.get_row(env.pager, rid))
                 .collect()
         }
+        AccessPath::MultiRange { index, .. } => {
+            let ranges = compute_multi_ranges(env, stats, subplans, access, left_row, outer)?;
+            stats.index_scans += 1;
+            let mut out = Vec::new();
+            // The ranges are merged and ascending, so walking them in order
+            // yields the union already in key order (one descent each).
+            for (lo, hi) in &ranges {
+                let rowids = table.index_range(*index, bound_as_ref(lo), bound_as_ref(hi), false);
+                stats.index_rows += rowids.len() as u64;
+                stats.rows_scanned += rowids.len() as u64;
+                for rid in rowids {
+                    out.push(table.get_row(env.pager, rid)?);
+                }
+            }
+            Ok(out)
+        }
     }
 }
 
@@ -428,11 +444,34 @@ pub fn scan_for_update(
                 .map(|rid| Ok((rid, table.get_row(env.pager, rid)?)))
                 .collect()
         }
+        AccessPath::MultiRange { index, .. } => {
+            let access = Access {
+                table: table_name.to_string(),
+                path: path.clone(),
+                width: table.schema.columns.len(),
+            };
+            let ranges = compute_multi_ranges(env, stats, &[], &access, &[], None)?;
+            stats.index_scans += 1;
+            let mut out = Vec::new();
+            for (lo, hi) in &ranges {
+                let rowids = table.index_range(*index, bound_as_ref(lo), bound_as_ref(hi), false);
+                stats.index_rows += rowids.len() as u64;
+                stats.rows_scanned += rowids.len() as u64;
+                for rid in rowids {
+                    out.push((rid, table.get_row(env.pager, rid)?));
+                }
+            }
+            Ok(out)
+        }
     }
 }
 
 /// A resolved byte-key range: `(lower, upper)` bounds.
 type KeyRange = (Bound<Vec<u8>>, Bound<Vec<u8>>);
+
+/// A `[start, end)` byte-key interval; `None` means unbounded on that side
+/// (intermediate form while resolving and merging a multi-range batch).
+type HalfOpenKeyRange = (Option<Vec<u8>>, Option<Vec<u8>>);
 
 /// Evaluates an index access's bound expressions into byte-range bounds.
 /// Returns `None` when the range is provably empty (a NULL or incompatible
@@ -547,6 +586,148 @@ fn compute_bounds(
         }
     };
     Ok(Some((lo_bound, hi_bound)))
+}
+
+/// Evaluates a multi-range access's equality prefix and batch parameter
+/// into byte-key ranges: sorted ascending, overlapping/adjacent entries
+/// merged, provably-empty entries dropped. Lower bounds come out as
+/// `Included`/`Unbounded` and upper bounds as `Excluded`/`Unbounded`, so
+/// the merged list partitions the key space into disjoint ascending
+/// intervals — scanning them in order yields the union in key order.
+fn compute_multi_ranges(
+    env: &Env<'_>,
+    stats: &mut ExecStats,
+    subplans: &[SelectPlan],
+    access: &Access,
+    left_row: &[Value],
+    outer: Option<&[Value]>,
+) -> DbResult<Vec<KeyRange>> {
+    let table = env.catalog.table(&access.table)?;
+    let AccessPath::MultiRange { index, eq, ranges } = &access.path else {
+        return Err(DbError::Eval(
+            "compute_multi_ranges on a non-multi-range access".into(),
+        ));
+    };
+    let index_cols: &[usize] = match index {
+        None => &table.schema.primary_key,
+        Some(i) => &table.indexes[*i].0.columns,
+    };
+    let eval_expr = |e: &Expr, stats: &mut ExecStats| -> DbResult<Value> {
+        let mut ctx = Ctx {
+            env,
+            stats,
+            subplans,
+            row: left_row,
+            outer,
+        };
+        eval(e, &mut ctx)
+    };
+    let mut prefix = Vec::new();
+    for (i, e) in eq.iter().enumerate() {
+        let v = eval_expr(e, stats)?;
+        if v.is_null() {
+            return Ok(Vec::new());
+        }
+        let ty = table.schema.columns[index_cols[i]].ty;
+        let Ok(v) = v.coerce(ty) else {
+            return Ok(Vec::new());
+        };
+        encode_key_value(&v, &mut prefix);
+    }
+    let batch = eval_expr(ranges, stats)?;
+    let specs = decode_range_batch(batch.as_bytes()?)?;
+    let range_ty = index_cols
+        .get(eq.len())
+        .map(|&c| table.schema.columns[c].ty);
+    // Resolve each spec to (start, end): `None` start = unbounded below,
+    // `None` end = unbounded above; a concrete start is inclusive and a
+    // concrete end exclusive (mirroring `compute_bounds`).
+    let mut resolved: Vec<HalfOpenKeyRange> = Vec::new();
+    for spec in specs {
+        let start = if spec.lo.is_null() {
+            if prefix.is_empty() {
+                None
+            } else {
+                Some(prefix.clone())
+            }
+        } else {
+            let ty = range_ty.expect("range implies another index column");
+            let Ok(v) = spec.lo.coerce(ty) else {
+                continue; // incompatible bound: this range matches nothing
+            };
+            let mut k = prefix.clone();
+            encode_key_value(&v, &mut k);
+            if spec.lo_inclusive {
+                Some(k)
+            } else {
+                prefix_successor(k)
+            }
+        };
+        let end = if spec.hi.is_null() {
+            if prefix.is_empty() {
+                None
+            } else {
+                prefix_successor(prefix.clone())
+            }
+        } else {
+            let ty = range_ty.expect("range implies another index column");
+            let Ok(v) = spec.hi.coerce(ty) else {
+                continue;
+            };
+            let mut k = prefix.clone();
+            encode_key_value(&v, &mut k);
+            if spec.hi_inclusive {
+                prefix_successor(k)
+            } else {
+                Some(k)
+            }
+        };
+        if let (Some(s), Some(e)) = (&start, &end) {
+            if s >= e {
+                continue; // provably empty
+            }
+        }
+        resolved.push((start, end));
+    }
+    // Sort by start and merge overlapping/adjacent intervals (an exclusive
+    // end touching the next inclusive start is contiguous in key space).
+    resolved.sort_by(|a, b| match (&a.0, &b.0) {
+        (None, None) => std::cmp::Ordering::Equal,
+        (None, Some(_)) => std::cmp::Ordering::Less,
+        (Some(_), None) => std::cmp::Ordering::Greater,
+        (Some(x), Some(y)) => x.cmp(y),
+    });
+    let mut merged: Vec<HalfOpenKeyRange> = Vec::new();
+    for (start, end) in resolved {
+        if let Some((_, last_end)) = merged.last_mut() {
+            let touches = match (&*last_end, &start) {
+                (None, _) => true, // previous interval is already unbounded
+                (Some(e), Some(s)) => s <= e,
+                (Some(_), None) => true, // unbounded start (sorted first)
+            };
+            if touches {
+                let extends = match (&*last_end, &end) {
+                    (None, _) => false,
+                    (Some(_), None) => true,
+                    (Some(a), Some(b)) => b > a,
+                };
+                if extends {
+                    *last_end = end;
+                }
+                continue;
+            }
+        }
+        merged.push((start, end));
+    }
+    Ok(merged
+        .into_iter()
+        .map(|(start, end)| {
+            (
+                start.map_or(Bound::Unbounded, Bound::Included),
+                end.map_or(Bound::Unbounded, Bound::Excluded),
+            )
+        })
+        .collect())
 }
 
 /// Borrows a `Bound<Vec<u8>>` as `Bound<&[u8]>`.
@@ -892,5 +1073,27 @@ mod tests {
         assert_eq!(prefix_successor(vec![0xFF, 0xFF]), None);
         assert_eq!(prefix_successor(vec![]), None);
         assert_eq!(prefix_successor(vec![0]), Some(vec![1]));
+    }
+
+    #[test]
+    fn prefix_successor_edge_keys() {
+        // A single all-0xFF byte and longer all-0xFF keys have no successor.
+        assert_eq!(prefix_successor(vec![0xFF]), None);
+        assert_eq!(prefix_successor(vec![0xFF; 16]), None);
+        // 0xFE bumps to 0xFF; trailing 0xFF runs are stripped first.
+        assert_eq!(prefix_successor(vec![0xFE]), Some(vec![0xFF]));
+        assert_eq!(prefix_successor(vec![7, 0xFF, 0xFF, 0xFF]), Some(vec![8]));
+    }
+
+    #[test]
+    fn prefix_successor_bounds_every_extension() {
+        // The successor must sort above the key and any extension of it.
+        for key in [vec![3u8, 1], vec![0, 0], vec![9, 0xFF, 2]] {
+            let succ = prefix_successor(key.clone()).unwrap();
+            assert!(succ > key, "{succ:?} vs {key:?}");
+            let mut ext = key.clone();
+            ext.extend_from_slice(&[0xFF, 0xFF, 0xFF]);
+            assert!(succ > ext, "{succ:?} vs {ext:?}");
+        }
     }
 }

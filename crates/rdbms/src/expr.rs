@@ -532,6 +532,33 @@ pub fn eval(expr: &Expr, ctx: &mut dyn EvalContext) -> DbResult<Value> {
             let v = eval(expr, ctx)?;
             Ok(Value::Bool(v.is_null() != *negated))
         }
+        Expr::Func { name, args, .. } if name == "MULTIRANGE" && args.len() == 2 => {
+            // Membership fallback for a `MULTIRANGE(col, batch)` predicate
+            // the planner did not turn into a multi-range index scan: true
+            // iff the column value falls inside any range of the batch.
+            let v = eval(&args[0], ctx)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let batch = eval(&args[1], ctx)?;
+            let ranges = crate::value::decode_range_batch(batch.as_bytes()?)?;
+            let inside = ranges.iter().any(|r| {
+                let above_lo = r.lo.is_null()
+                    || matches!(
+                        (v.sql_cmp(&r.lo), r.lo_inclusive),
+                        (Some(std::cmp::Ordering::Greater), _)
+                            | (Some(std::cmp::Ordering::Equal), true)
+                    );
+                let below_hi = r.hi.is_null()
+                    || matches!(
+                        (v.sql_cmp(&r.hi), r.hi_inclusive),
+                        (Some(std::cmp::Ordering::Less), _)
+                            | (Some(std::cmp::Ordering::Equal), true)
+                    );
+                above_lo && below_hi
+            });
+            Ok(Value::Bool(inside))
+        }
         Expr::Func { name, .. } => Err(DbError::Eval(format!(
             "function `{name}` is not valid in this position (aggregates \
              belong in SELECT with GROUP BY)"

@@ -56,4 +56,4 @@ pub use db::{Database, QueryResult, StatementTrace};
 pub use error::{DbError, DbResult};
 pub use exec::{ExecStats, OpProfile, Profiler};
 pub use schema::{ColumnDef, IndexDef, TableSchema};
-pub use value::{DataType, Row, Value};
+pub use value::{decode_range_batch, encode_range_batch, DataType, RangeSpec, Row, Value};

@@ -206,6 +206,13 @@ pub struct Registry {
     pub read_latency: DurationHistogram,
     /// Latency of write statements (`INSERT`/`UPDATE`/`DELETE`/DDL).
     pub write_latency: DurationHistogram,
+    /// Statements whose plan was served from the per-database plan cache.
+    pub plan_cache_hits: Counter,
+    /// Statements that had to be parsed and planned (cold or evicted).
+    pub plan_cache_misses: Counter,
+    /// B+tree root-to-leaf descents across all statements (each disjoint
+    /// range of a multi-range scan costs one descent).
+    pub btree_descents: Counter,
     slow_threshold_ns: AtomicU64,
     slow_log: Mutex<VecDeque<SlowQuery>>,
 }
@@ -219,8 +226,23 @@ impl Registry {
             slow_statements: Counter::new(),
             read_latency: DurationHistogram::new(),
             write_latency: DurationHistogram::new(),
+            plan_cache_hits: Counter::new(),
+            plan_cache_misses: Counter::new(),
+            btree_descents: Counter::new(),
             slow_threshold_ns: AtomicU64::new(0),
             slow_log: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Records a plan-cache lookup outcome (no-op while disabled).
+    pub fn record_plan_cache(&self, hit: bool) {
+        if !self.enabled() {
+            return;
+        }
+        if hit {
+            self.plan_cache_hits.add(1);
+        } else {
+            self.plan_cache_misses.add(1);
         }
     }
 
@@ -258,6 +280,7 @@ impl Registry {
             return;
         }
         self.statements.add(1);
+        self.btree_descents.add(entry.stats.btree_descents);
         if is_read {
             self.read_latency.record(entry.elapsed);
         } else {
@@ -301,6 +324,9 @@ impl Registry {
             slow_statements: self.slow_statements.get(),
             read_latency: self.read_latency.snapshot(),
             write_latency: self.write_latency.snapshot(),
+            plan_cache_hits: self.plan_cache_hits.get(),
+            plan_cache_misses: self.plan_cache_misses.get(),
+            btree_descents: self.btree_descents.get(),
         }
     }
 }
@@ -318,6 +344,12 @@ pub struct ObsSnapshot {
     pub read_latency: HistogramSnapshot,
     /// Write-statement latency summary.
     pub write_latency: HistogramSnapshot,
+    /// Plan-cache hits.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses (parse + plan work done).
+    pub plan_cache_misses: u64,
+    /// B+tree root-to-leaf descents.
+    pub btree_descents: u64,
 }
 
 /// The process-wide registry.
@@ -394,6 +426,38 @@ mod tests {
         assert_eq!(reg.slow_statements.get(), SLOW_LOG_CAP as u64 + 10);
         reg.clear_slow_queries();
         assert!(reg.slow_queries().is_empty());
+    }
+
+    #[test]
+    fn plan_cache_and_descent_counters() {
+        let reg = Registry::new();
+        reg.record_plan_cache(false);
+        reg.record_plan_cache(true);
+        reg.record_plan_cache(true);
+        let stats = ExecStats {
+            btree_descents: 5,
+            ..ExecStats::default()
+        };
+        reg.record_statement(
+            "SELECT 1",
+            true,
+            &SlowQuery {
+                sql: String::new(),
+                elapsed: Duration::from_millis(1),
+                rows: 0,
+                stats,
+            },
+        );
+        let s = reg.snapshot();
+        assert_eq!(s.plan_cache_hits, 2);
+        assert_eq!(s.plan_cache_misses, 1);
+        assert_eq!(s.btree_descents, 5);
+        // While disabled, none of the new counters move either.
+        reg.set_enabled(false);
+        reg.record_plan_cache(true);
+        reg.record_plan_cache(false);
+        assert_eq!(reg.snapshot().plan_cache_hits, 2);
+        assert_eq!(reg.snapshot().plan_cache_misses, 1);
     }
 
     #[test]

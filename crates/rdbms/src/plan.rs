@@ -47,6 +47,20 @@ pub enum AccessPath {
         /// Scan direction.
         reverse: bool,
     },
+    /// Scan a *batch* of ranges on the index column following the equality
+    /// prefix, in one operator invocation: the union of the (merged,
+    /// sorted) ranges, emitted in key order with one B+tree descent per
+    /// disjoint range. Planned from a `MULTIRANGE(col, batch)` predicate;
+    /// `ranges` evaluates to the encoded batch
+    /// (see [`crate::value::encode_range_batch`]).
+    MultiRange {
+        /// `None` for the primary key, `Some(i)` for `table.indexes[i]`.
+        index: Option<usize>,
+        /// Equality values for a prefix of the index columns.
+        eq: Vec<Expr>,
+        /// The encoded `(lo, hi)` batch parameter.
+        ranges: Expr,
+    },
 }
 
 /// One table access (a scan producing that table's columns).
@@ -717,11 +731,10 @@ fn shift_columns(e: Expr, delta: usize) -> Expr {
 
 /// Applies `f` to every expression embedded in a plan tree.
 fn walk_plan_exprs(node: &Node, f: &mut impl FnMut(&Expr)) {
-    let walk_access = |a: &Access, f: &mut dyn FnMut(&Expr)| {
-        if let AccessPath::Index {
+    let walk_access = |a: &Access, f: &mut dyn FnMut(&Expr)| match &a.path {
+        AccessPath::Index {
             eq, lower, upper, ..
-        } = &a.path
-        {
+        } => {
             for e in eq {
                 e.visit(&mut |x| f(x));
             }
@@ -732,6 +745,13 @@ fn walk_plan_exprs(node: &Node, f: &mut impl FnMut(&Expr)) {
                 e.visit(&mut |x| f(x));
             }
         }
+        AccessPath::MultiRange { eq, ranges, .. } => {
+            for e in eq {
+                e.visit(&mut |x| f(x));
+            }
+            ranges.visit(&mut |x| f(x));
+        }
+        AccessPath::FullScan => {}
     };
     match node {
         Node::OneRow => {}
@@ -940,8 +960,17 @@ fn choose_access_path(
     };
     let is_available = |e: &Expr| max_column(e).is_none_or(|m| m < left_width);
     let mut sargs: Vec<Sarg> = Vec::new();
+    // `MULTIRANGE(col, batch)` predicates: (conjunct idx, local col, batch).
+    let mut mr_sargs: Vec<(usize, usize, Expr)> = Vec::new();
     for (ci, c) in conjuncts.iter().enumerate() {
         match c {
+            Expr::Func { name, args, star } if name == "MULTIRANGE" && !*star => {
+                if let [col_expr, batch] = args.as_slice() {
+                    if let (Some(col), true) = (local_col(col_expr), is_available(batch)) {
+                        mr_sargs.push((ci, col, batch.clone()));
+                    }
+                }
+            }
             Expr::Binary(op, l, r)
                 if matches!(
                     op,
@@ -994,7 +1023,7 @@ fn choose_access_path(
             _ => {}
         }
     }
-    if sargs.is_empty() {
+    if sargs.is_empty() && mr_sargs.is_empty() {
         return AccessPath::FullScan;
     }
     // Candidate indexes: PK (None) and secondaries.
@@ -1012,6 +1041,7 @@ fn choose_access_path(
         eq_ids: Vec<usize>,
         lower_id: Option<usize>,
         upper_id: Option<usize>,
+        mr_id: Option<usize>,
         score: usize,
     }
     let mut best: Option<Candidate> = None;
@@ -1019,6 +1049,7 @@ fn choose_access_path(
         let mut eq_ids = Vec::new();
         let mut lower_id = None;
         let mut upper_id = None;
+        let mut mr_id = None;
         for &col in cols {
             if let Some(s) = sargs
                 .iter()
@@ -1027,8 +1058,14 @@ fn choose_access_path(
                 eq_ids.push(s.conjunct);
                 continue;
             }
-            // No equality on this column: take at most one lower and one
-            // upper bound (a BETWEEN supplies both at once), then stop.
+            // No equality on this column: a range batch beats single
+            // bounds (it pins the column exactly); otherwise take at most
+            // one lower and one upper bound (a BETWEEN supplies both at
+            // once). Either way the prefix ends here.
+            if let Some((ci, _, _)) = mr_sargs.iter().find(|(_, c, _)| *c == col) {
+                mr_id = Some(*ci);
+                break;
+            }
             lower_id = sargs
                 .iter()
                 .find(|s| s.col == col && matches!(s.op, BinOp::Gt | BinOp::Ge))
@@ -1045,14 +1082,17 @@ fn choose_access_path(
                 .map(|s| s.conjunct);
             break;
         }
-        let score =
-            eq_ids.len() * 2 + usize::from(lower_id.is_some()) + usize::from(upper_id.is_some());
+        let score = eq_ids.len() * 2
+            + usize::from(lower_id.is_some())
+            + usize::from(upper_id.is_some())
+            + 3 * usize::from(mr_id.is_some());
         if score > 0 && best.as_ref().is_none_or(|b| score > b.score) {
             best = Some(Candidate {
                 idx: idx_id,
                 eq_ids,
                 lower_id,
                 upper_id,
+                mr_id,
                 score,
             });
         }
@@ -1062,6 +1102,7 @@ fn choose_access_path(
         eq_ids,
         lower_id,
         upper_id,
+        mr_id,
         ..
     }) = best
     else {
@@ -1075,6 +1116,25 @@ fn choose_access_path(
             .find(|s| s.conjunct == ci && s.op == BinOp::Eq)
             .expect("recorded above");
         eq.push(s.bound.clone());
+    }
+    if let Some(mr_ci) = mr_id {
+        let (_, _, ranges) = mr_sargs
+            .iter()
+            .find(|(ci, _, _)| *ci == mr_ci)
+            .expect("recorded above");
+        let ranges = ranges.clone();
+        let mut consumed: Vec<usize> = eq_ids;
+        consumed.push(mr_ci);
+        consumed.sort_unstable();
+        consumed.dedup();
+        for ci in consumed.into_iter().rev() {
+            conjuncts.remove(ci);
+        }
+        return AccessPath::MultiRange {
+            index: idx_id,
+            eq,
+            ranges,
+        };
     }
     let mut lower = None;
     let mut upper = None;
@@ -1125,11 +1185,15 @@ fn sort_satisfied_by_plan(catalog: &Catalog, node: &Node, keys: &[(Expr, bool)])
     loop {
         match cur {
             Node::Scan(access) => {
-                let AccessPath::Index {
-                    index, eq, reverse, ..
-                } = &access.path
-                else {
-                    return false;
+                // A multi-range scan emits its merged, disjoint ranges in
+                // ascending order, so its output is ordered exactly like a
+                // forward single-range scan with the same equality prefix.
+                let (index, eq, reverse) = match &access.path {
+                    AccessPath::Index {
+                        index, eq, reverse, ..
+                    } => (index, eq, reverse),
+                    AccessPath::MultiRange { index, eq, .. } => (index, eq, &false),
+                    AccessPath::FullScan => return false,
                 };
                 let Ok(table) = catalog.table(&access.table) else {
                     return false;
@@ -1326,6 +1390,37 @@ fn render_access(catalog: &Catalog, a: &Access) -> String {
             }
             s
         }
+        AccessPath::MultiRange { index, eq, ranges } => {
+            let (index_name, cols): (String, Vec<String>) = match catalog.table(&a.table) {
+                Ok(t) => {
+                    let (name, col_ids): (String, &[usize]) = match index {
+                        None => ("pk".into(), &t.schema.primary_key),
+                        Some(i) => (t.indexes[*i].0.name.clone(), &t.indexes[*i].0.columns),
+                    };
+                    let cols = col_ids
+                        .iter()
+                        .map(|&c| t.schema.columns[c].name.clone())
+                        .collect();
+                    (name, cols)
+                }
+                Err(_) => ("?".into(), Vec::new()),
+            };
+            let mut preds = Vec::new();
+            for (i, e) in eq.iter().enumerate() {
+                let col = cols.get(i).cloned().unwrap_or_else(|| format!("key[{i}]"));
+                preds.push(format!("{col} = {e}"));
+            }
+            let range_col = cols
+                .get(eq.len())
+                .cloned()
+                .unwrap_or_else(|| format!("key[{}]", eq.len()));
+            preds.push(format!("{range_col} IN RANGES({ranges})"));
+            format!(
+                "Multi-Range Index Scan on {} using {index_name} [{}]",
+                a.table,
+                preds.join(" AND ")
+            )
+        }
     }
 }
 
@@ -1368,7 +1463,10 @@ fn render_node(
         } => {
             let strategy = if hash_keys.is_some() {
                 "Hash Join"
-            } else if matches!(right.path, AccessPath::Index { .. }) {
+            } else if matches!(
+                right.path,
+                AccessPath::Index { .. } | AccessPath::MultiRange { .. }
+            ) {
                 "Index Nested-Loop Join"
             } else {
                 "Nested-Loop Join"

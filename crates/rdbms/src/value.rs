@@ -340,6 +340,91 @@ pub fn decode_row(buf: &[u8]) -> DbResult<Row> {
 }
 
 // ---------------------------------------------------------------------
+// Range batches — the parameter format of the multi-range scan.
+// ---------------------------------------------------------------------
+
+/// One `(lo, hi)` key range of a multi-range scan batch. A `Value::Null`
+/// bound means "unbounded on that side" (within the scan's equality
+/// prefix). `lo == hi` with both sides inclusive is a point lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeSpec {
+    /// Lower bound (`Value::Null` = open start).
+    pub lo: Value,
+    /// Whether `lo` itself is included.
+    pub lo_inclusive: bool,
+    /// Upper bound (`Value::Null` = open end).
+    pub hi: Value,
+    /// Whether `hi` itself is included.
+    pub hi_inclusive: bool,
+}
+
+impl RangeSpec {
+    /// An inclusive point range (`col = v`).
+    pub fn point(v: Value) -> RangeSpec {
+        RangeSpec {
+            lo: v.clone(),
+            lo_inclusive: true,
+            hi: v,
+            hi_inclusive: true,
+        }
+    }
+
+    /// A half-open range `[lo, hi)`.
+    pub fn half_open(lo: Value, hi: Value) -> RangeSpec {
+        RangeSpec {
+            lo,
+            lo_inclusive: true,
+            hi,
+            hi_inclusive: false,
+        }
+    }
+}
+
+/// Packs a range batch into a single [`Value::Bytes`] parameter for a
+/// `MULTIRANGE(col, ?)` predicate. The batch is serialized with the row
+/// codec: four values per range (`lo`, `lo_inclusive`, `hi`,
+/// `hi_inclusive`).
+pub fn encode_range_batch(ranges: &[RangeSpec]) -> Value {
+    let mut flat = Vec::with_capacity(ranges.len() * 4);
+    for r in ranges {
+        flat.push(r.lo.clone());
+        flat.push(Value::Bool(r.lo_inclusive));
+        flat.push(r.hi.clone());
+        flat.push(Value::Bool(r.hi_inclusive));
+    }
+    let mut buf = Vec::new();
+    encode_row(&flat, &mut buf);
+    Value::Bytes(buf)
+}
+
+/// Decodes a range batch produced by [`encode_range_batch`].
+pub fn decode_range_batch(buf: &[u8]) -> DbResult<Vec<RangeSpec>> {
+    let flat = decode_row(buf)?;
+    if !flat.len().is_multiple_of(4) {
+        return Err(DbError::Storage(format!(
+            "range batch arity {} is not a multiple of 4",
+            flat.len()
+        )));
+    }
+    let flag = |v: &Value| match v {
+        Value::Bool(b) => Ok(*b),
+        v => Err(DbError::Storage(format!(
+            "bad inclusivity flag {v:?} in range batch"
+        ))),
+    };
+    flat.chunks_exact(4)
+        .map(|c| {
+            Ok(RangeSpec {
+                lo: c[0].clone(),
+                lo_inclusive: flag(&c[1])?,
+                hi: c[2].clone(),
+                hi_inclusive: flag(&c[3])?,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
 // Key encoding — order-preserving.
 // ---------------------------------------------------------------------
 
@@ -530,6 +615,51 @@ mod tests {
             Some(Ordering::Equal)
         );
         assert_eq!(Value::text("a").sql_cmp(&Value::Int(1)), None); // incomparable types
+    }
+
+    #[test]
+    fn range_batch_roundtrip() {
+        let ranges = vec![
+            RangeSpec::point(Value::Int(7)),
+            RangeSpec::half_open(Value::Bytes(vec![1, 2]), Value::Bytes(vec![1, 3])),
+            RangeSpec {
+                lo: Value::Null,
+                lo_inclusive: true,
+                hi: Value::text("zz"),
+                hi_inclusive: true,
+            },
+        ];
+        let encoded = encode_range_batch(&ranges);
+        let Value::Bytes(buf) = &encoded else {
+            panic!("expected a bytes parameter");
+        };
+        assert_eq!(decode_range_batch(buf).unwrap(), ranges);
+        // An empty batch round-trips too (a scan over it returns no rows).
+        let Value::Bytes(empty) = encode_range_batch(&[]) else {
+            panic!("expected bytes");
+        };
+        assert!(decode_range_batch(&empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn range_batch_rejects_garbage() {
+        assert!(decode_range_batch(&[7]).is_err());
+        // Arity not a multiple of four.
+        let mut buf = Vec::new();
+        encode_row(&[Value::Int(1), Value::Bool(true)], &mut buf);
+        assert!(decode_range_batch(&buf).is_err());
+        // Non-boolean inclusivity flag.
+        let mut buf = Vec::new();
+        encode_row(
+            &[
+                Value::Int(1),
+                Value::Int(0),
+                Value::Int(2),
+                Value::Bool(true),
+            ],
+            &mut buf,
+        );
+        assert!(decode_range_batch(&buf).is_err());
     }
 
     #[test]

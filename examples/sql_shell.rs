@@ -53,6 +53,10 @@ impl Shell {
             o.read_latency.p50,
             o.write_latency.p50
         );
+        println!(
+            "     plan cache: hits={} misses={} (descents={})",
+            o.plan_cache_hits, o.plan_cache_misses, o.btree_descents
+        );
         println!();
     }
 
