@@ -12,6 +12,9 @@
 //! report --batched      # set-at-a-time mediator execution (the default)
 //! report --per-context  # tuple-at-a-time mediator execution (ablation
 //!                       # baseline for the N+1 statement comparison)
+//! report --durable    # also run E11: file-backed update latency under WAL
+//!                     # vs checkpoint durability (wal_frames_written deltas
+//!                     # land in BENCH_report.json like any other experiment)
 //! ```
 
 use ordxml::ExecutionMode;
@@ -40,11 +43,14 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .cloned()
         .collect();
-    let ids: Vec<&str> = if selected.is_empty() || selected.iter().any(|s| s == "all") {
+    let mut ids: Vec<&str> = if selected.is_empty() || selected.iter().any(|s| s == "all") {
         experiments::ALL.to_vec()
     } else {
         selected.iter().map(String::as_str).collect()
     };
+    if args.iter().any(|a| a == "--durable") && !ids.contains(&"e11") {
+        ids.push("e11");
+    }
     println!(
         "ordxml experiment report — scale: {scale:?}, mediator: {mode:?} \
          (pass --full for paper-scale runs, --per-context for the \
@@ -64,7 +70,7 @@ fn main() {
                 records.push(r);
             }
             None => {
-                eprintln!("unknown experiment `{id}` (expected e1..e10 or `all`)");
+                eprintln!("unknown experiment `{id}` (expected e1..e11 or `all`)");
                 std::process::exit(2);
             }
         }

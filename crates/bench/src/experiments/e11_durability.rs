@@ -1,0 +1,130 @@
+//! E11 — Durability overhead of ordered updates.
+//!
+//! The paper's update experiments (E7/E8) run on in-memory stores; this one
+//! asks what crash-safety costs. Each encoding loads the same catalog into a
+//! *file-backed* database twice — once under WAL durability (every update is
+//! a transaction: page-image frames + one fsync barrier at commit) and once
+//! under the legacy `Durability::Checkpoint` mode (no WAL, no transactions,
+//! durability only at explicit checkpoints) — then runs a representative
+//! update set. Reported per row: load time, median latency per update kind,
+//! and the WAL frame / commit counter deltas from the engine registry.
+
+use crate::datagen;
+use crate::harness::{fmt_count, fmt_dur, Table};
+use crate::Scale;
+use ordxml::{Encoding, OrderConfig, XmlStore};
+use ordxml_rdbms::{obs, Database, Durability};
+use ordxml_xml::{parse as parse_xml, Document, NodePath};
+use std::time::Instant;
+
+fn item_fragment() -> Document {
+    parse_xml("<item id=\"new\"><name>New</name><price>1.00</price></item>").unwrap()
+}
+
+fn temp_db(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ordxml-bench-e11-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}.db"))
+}
+
+fn cleanup(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(ordxml_rdbms::storage::wal_path(path));
+}
+
+fn durability_name(d: Durability) -> &'static str {
+    match d {
+        Durability::Wal => "wal",
+        Durability::Checkpoint => "checkpoint",
+    }
+}
+
+/// Applies `reps` updates of one kind and returns the median latency.
+fn median_update(
+    store: &mut XmlStore,
+    d: i64,
+    reps: usize,
+    mut f: impl FnMut(&mut XmlStore, i64, usize),
+) -> std::time::Duration {
+    let mut times = Vec::with_capacity(reps);
+    for i in 0..reps {
+        let t0 = Instant::now();
+        f(store, d, i);
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    times[times.len() / 2]
+}
+
+pub fn run(scale: Scale) {
+    let items = scale.pick(100usize, 1_000);
+    let reps = scale.pick(3usize, 7);
+    let doc = datagen::catalog(items, 1);
+    let rows = datagen::row_count(&doc) as u64;
+    let mut table = Table::new(
+        format!(
+            "E11: durability overhead on a {items}-item catalog ({} rows), gap = 32",
+            fmt_count(rows)
+        ),
+        &[
+            "encoding",
+            "durability",
+            "load",
+            "append",
+            "front insert",
+            "delete",
+            "text",
+            "wal frames",
+            "commits",
+        ],
+    );
+    for enc in Encoding::all() {
+        for durability in [Durability::Wal, Durability::Checkpoint] {
+            let path = temp_db(&format!("{}-{}", enc.name(), durability_name(durability)));
+            cleanup(&path);
+            let before = obs::snapshot();
+            let db = Database::open_with(&path, 256, durability).unwrap();
+            let mut store = XmlStore::new(db, enc);
+            let t0 = Instant::now();
+            let d = store
+                .load_document_with(&doc, "e11", OrderConfig::with_gap(32))
+                .unwrap();
+            let load = t0.elapsed();
+            let frag = item_fragment();
+            let root = NodePath(vec![]);
+            let append = median_update(&mut store, d, reps, |s, d, _| {
+                s.insert_fragment(d, &root, usize::MAX, &frag).unwrap();
+            });
+            let front = median_update(&mut store, d, reps, |s, d, _| {
+                s.insert_fragment(d, &root, 0, &frag).unwrap();
+            });
+            let delete = median_update(&mut store, d, reps, |s, d, _| {
+                s.delete_subtree(d, &NodePath(vec![items / 2])).unwrap();
+            });
+            let text = median_update(&mut store, d, reps, |s, d, i| {
+                s.update_text(d, &NodePath(vec![0, 0, 0]), &format!("n{i}"))
+                    .unwrap();
+            });
+            drop(store);
+            let delta = obs::snapshot();
+            table.row(vec![
+                enc.to_string(),
+                durability_name(durability).to_string(),
+                fmt_dur(load),
+                fmt_dur(append),
+                fmt_dur(front),
+                fmt_dur(delete),
+                fmt_dur(text),
+                fmt_count(delta.wal_frames_written - before.wal_frames_written),
+                fmt_count(delta.txn_commits - before.txn_commits),
+            ]);
+            cleanup(&path);
+        }
+    }
+    table.print();
+    println!(
+        "  (wal = every update is an atomic transaction, page images + one\n   \
+         fsync barrier per commit. checkpoint = the legacy non-transactional\n   \
+         path: cheaper per update, but a crash can tear a renumbering pass.)"
+    );
+}

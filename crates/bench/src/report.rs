@@ -49,6 +49,14 @@ pub struct EngineDelta {
     pub plan_cache_hits: u64,
     /// Plan-cache misses.
     pub plan_cache_misses: u64,
+    /// WAL page-image frames appended (commit traffic).
+    pub wal_frames_written: u64,
+    /// Transactions committed (explicit and auto-commit).
+    pub txn_commits: u64,
+    /// Transactions rolled back.
+    pub txn_rollbacks: u64,
+    /// WAL recoveries run by `Database::open`.
+    pub recoveries_run: u64,
 }
 
 impl EngineDelta {
@@ -71,6 +79,10 @@ impl EngineDelta {
             btree_descents: after.btree_descents - before.btree_descents,
             plan_cache_hits: after.plan_cache_hits - before.plan_cache_hits,
             plan_cache_misses: after.plan_cache_misses - before.plan_cache_misses,
+            wal_frames_written: after.wal_frames_written - before.wal_frames_written,
+            txn_commits: after.txn_commits - before.txn_commits,
+            txn_rollbacks: after.txn_rollbacks - before.txn_rollbacks,
+            recoveries_run: after.recoveries_run - before.recoveries_run,
         }
     }
 }
@@ -148,7 +160,9 @@ pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
              \"slow_statements\": {},\n        \"read_statements\": {},\n        \
              \"read_time_ms\": {:.3},\n        \"write_statements\": {},\n        \
              \"write_time_ms\": {:.3},\n        \"btree_descents\": {},\n        \
-             \"plan_cache_hits\": {},\n        \"plan_cache_misses\": {}\n",
+             \"plan_cache_hits\": {},\n        \"plan_cache_misses\": {},\n        \
+             \"wal_frames_written\": {},\n        \"txn_commits\": {},\n        \
+             \"txn_rollbacks\": {},\n        \"recoveries_run\": {}\n",
             r.engine.statements,
             r.engine.statement_errors,
             r.engine.slow_statements,
@@ -159,6 +173,10 @@ pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
             r.engine.btree_descents,
             r.engine.plan_cache_hits,
             r.engine.plan_cache_misses,
+            r.engine.wal_frames_written,
+            r.engine.txn_commits,
+            r.engine.txn_rollbacks,
+            r.engine.recoveries_run,
         ));
         out.push_str("      },\n");
         out.push_str("      \"tables\": [\n");
@@ -218,6 +236,8 @@ mod tests {
         assert!(json.contains("\"id\": \"e1\""));
         assert!(json.contains("\"statements_executed\": 7"));
         assert!(json.contains("\"btree_descents\": 0"));
+        assert!(json.contains("\"wal_frames_written\": 0"));
+        assert!(json.contains("\"txn_commits\": 0"));
         assert!(json.contains("t \\\"quoted\\\""));
         assert!(json.contains("x\\ny"));
         // Crude balance check on the hand-rolled writer.

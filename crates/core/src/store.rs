@@ -314,6 +314,30 @@ impl XmlStore {
         Ok(())
     }
 
+    /// Runs `f` as one database transaction: every multi-statement update
+    /// (shredding, insertion + renumbering, deletion, move, renumber pass)
+    /// either commits as a whole or rolls back to the pre-update snapshot —
+    /// a mid-update failure can never leave a half-renumbered document. When
+    /// a transaction is already open, `f` simply joins it.
+    fn with_txn<T>(&mut self, f: impl FnOnce(&mut XmlStore) -> StoreResult<T>) -> StoreResult<T> {
+        if self.db.in_transaction() {
+            return f(self);
+        }
+        self.db.begin()?;
+        match f(self) {
+            Ok(v) => {
+                self.db.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                // Best effort: rollback can itself fail under injected
+                // faults; the original update error is the one to surface.
+                let _ = self.db.rollback();
+                Err(e)
+            }
+        }
+    }
+
     /// Loads (shreds) a document with the default sparse-numbering gap and
     /// returns its document id.
     pub fn load_document(&mut self, document: &Document, name: &str) -> StoreResult<i64> {
@@ -328,9 +352,11 @@ impl XmlStore {
         cfg: OrderConfig,
     ) -> StoreResult<i64> {
         self.ensure_schema()?;
-        let doc = self.next_doc_id()?;
-        shred::shred(&mut self.db, self.encoding, doc, document, cfg, name)?;
-        Ok(doc)
+        self.with_txn(|s| {
+            let doc = s.next_doc_id()?;
+            shred::shred(&mut s.db, s.encoding, doc, document, cfg, name)?;
+            Ok(doc)
+        })
     }
 
     fn next_doc_id(&mut self) -> StoreResult<i64> {
@@ -582,21 +608,25 @@ impl XmlStore {
         index: usize,
         fragment: &Document,
     ) -> StoreResult<UpdateCost> {
-        let parent_node = self.resolve(doc, parent)?;
-        crate::update::insert_fragment(
-            &mut self.db,
-            self.encoding,
-            doc,
-            &parent_node,
-            index,
-            fragment,
-        )
+        self.with_txn(|s| {
+            let parent_node = s.resolve(doc, parent)?;
+            crate::update::insert_fragment(
+                &mut s.db,
+                s.encoding,
+                doc,
+                &parent_node,
+                index,
+                fragment,
+            )
+        })
     }
 
     /// Deletes the subtree rooted at `target`.
     pub fn delete_subtree(&mut self, doc: i64, target: &NodePath) -> StoreResult<UpdateCost> {
-        let node = self.resolve(doc, target)?;
-        crate::update::delete_subtree(&mut self.db, self.encoding, doc, &node)
+        self.with_txn(|s| {
+            let node = s.resolve(doc, target)?;
+            crate::update::delete_subtree(&mut s.db, s.encoding, doc, &node)
+        })
     }
 
     /// Moves the subtree at `target` to become the `index`-th non-attribute
@@ -610,9 +640,11 @@ impl XmlStore {
         new_parent: &NodePath,
         index: usize,
     ) -> StoreResult<UpdateCost> {
-        let t = self.resolve(doc, target)?;
-        let p = self.resolve(doc, new_parent)?;
-        crate::update::move_subtree(&mut self.db, self.encoding, doc, &t, &p, index)
+        self.with_txn(|s| {
+            let t = s.resolve(doc, target)?;
+            let p = s.resolve(doc, new_parent)?;
+            crate::update::move_subtree(&mut s.db, s.encoding, doc, &t, &p, index)
+        })
     }
 
     /// Renumbers a document from scratch, restoring full sparse-numbering
@@ -621,39 +653,38 @@ impl XmlStore {
     /// gaps, instead of paying renumbering inline on every exhausted
     /// insertion). Returns the number of rows rewritten.
     pub fn renumber_document(&mut self, doc: i64) -> StoreResult<u64> {
-        let document = self.reconstruct_document(doc)?;
-        let gap = self.gap(doc)?;
-        let name_rows = self.db.query(
-            &format!(
-                "SELECT name FROM {} WHERE doc = ?",
-                self.encoding.docs_table()
-            ),
-            &[Value::Int(doc)],
-        )?;
-        let name = name_rows
-            .first()
-            .and_then(|r| match &r[0] {
-                Value::Text(s) => Some(s.clone()),
-                _ => None,
-            })
-            .unwrap_or_default();
-        self.db.execute(
-            &format!("DELETE FROM {} WHERE doc = ?", self.encoding.node_table()),
-            &[Value::Int(doc)],
-        )?;
-        self.db.execute(
-            &format!("DELETE FROM {} WHERE doc = ?", self.encoding.docs_table()),
-            &[Value::Int(doc)],
-        )?;
-        let stats = shred::shred(
-            &mut self.db,
-            self.encoding,
-            doc,
-            &document,
-            OrderConfig::with_gap(gap),
-            &name,
-        )?;
-        Ok(stats.rows)
+        self.with_txn(|s| {
+            let document = s.reconstruct_document(doc)?;
+            let gap = s.gap(doc)?;
+            let name_rows = s.db.query(
+                &format!("SELECT name FROM {} WHERE doc = ?", s.encoding.docs_table()),
+                &[Value::Int(doc)],
+            )?;
+            let name = name_rows
+                .first()
+                .and_then(|r| match &r[0] {
+                    Value::Text(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            s.db.execute(
+                &format!("DELETE FROM {} WHERE doc = ?", s.encoding.node_table()),
+                &[Value::Int(doc)],
+            )?;
+            s.db.execute(
+                &format!("DELETE FROM {} WHERE doc = ?", s.encoding.docs_table()),
+                &[Value::Int(doc)],
+            )?;
+            let stats = shred::shred(
+                &mut s.db,
+                s.encoding,
+                doc,
+                &document,
+                OrderConfig::with_gap(gap),
+                &name,
+            )?;
+            Ok(stats.rows)
+        })
     }
 
     /// Replaces the value of the text node at `target`.
@@ -663,8 +694,10 @@ impl XmlStore {
         target: &NodePath,
         text: &str,
     ) -> StoreResult<UpdateCost> {
-        let node = self.resolve(doc, target)?;
-        crate::update::update_text(&mut self.db, self.encoding, doc, &node, text)
+        self.with_txn(|s| {
+            let node = s.resolve(doc, target)?;
+            crate::update::update_text(&mut s.db, s.encoding, doc, &node, text)
+        })
     }
 }
 

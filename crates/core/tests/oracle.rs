@@ -161,196 +161,186 @@ const CATALOG: &str = "<catalog>\
     <note>see also</note></section>\
     </catalog>";
 
+const CHILD_CHAIN_QUERIES: &[&str] = &[
+    "/catalog",
+    "/catalog/item",
+    "/catalog/item/name",
+    "/catalog/item/name/text()",
+    "/catalog/*",
+    "/catalog/*/name",
+    "/catalog/nothing",
+    "/wrongroot",
+    "/catalog/section/item/name",
+];
+
+const POSITIONAL_QUERIES: &[&str] = &[
+    "/catalog/item[1]",
+    "/catalog/item[2]/name",
+    "/catalog/item[3]",
+    "/catalog/item[4]",
+    "/catalog/item[position() <= 2]/name",
+    "/catalog/item[position() > 1]",
+    "/catalog/item[position() != 2]",
+    "/catalog/item[last()]",
+    "/catalog/item[last() - 1]/name",
+    "/catalog/item[2]/author[2]",
+    "/catalog/item/author[1]",
+    "/catalog/item/author[last()]",
+    "/catalog/*[4]",
+];
+
+const DESCENDANT_QUERIES: &[&str] = &[
+    "//item",
+    "//name",
+    "//item//text()",
+    "/catalog//item",
+    "/catalog//name/text()",
+    "//section//name",
+    "//catalog",
+    "//*",
+    "//item/name",
+    "//item[1]",
+    "//note",
+];
+
+const SIBLING_QUERIES: &[&str] = &[
+    "/catalog/item[1]/following-sibling::item",
+    "/catalog/item[1]/following-sibling::*",
+    "/catalog/item[3]/preceding-sibling::item",
+    "/catalog/item[3]/preceding-sibling::item[1]",
+    "/catalog/item[2]/name/following-sibling::author",
+    "/catalog/item[1]/following-sibling::item[2]",
+    "/catalog/item[1]/following-sibling::item[last()]",
+    "/catalog/section/preceding-sibling::item",
+];
+
+const ATTRIBUTE_QUERIES: &[&str] = &[
+    "/catalog/item/@id",
+    "/catalog/item/@*",
+    "/catalog/item[@id = 'i2']",
+    "/catalog/item[@cat]",
+    "/catalog/item[@cat = 'b']/name",
+    "/catalog/item/@id/..",
+    "//item[@id = 'i4']",
+];
+
+const VALUE_PREDICATE_QUERIES: &[&str] = &[
+    "/catalog/item[price = '10']",
+    "/catalog/item[price < '30']/name",
+    "/catalog/item[price >= '20']",
+    "/catalog/item[name = 'Gamma']",
+    "/catalog/item/name[. = 'Beta']",
+    "/catalog/item/name/text()[. = 'Beta']",
+    "/catalog/item[author = 'Cid']",
+    "/catalog/item[price != '10']",
+    "//item[price = '15']/name",
+];
+
+const BOOLEAN_PREDICATE_QUERIES: &[&str] = &[
+    "/catalog/item[author]",
+    "/catalog/item[not(author)]",
+    "/catalog/item[author and price = '10']",
+    "/catalog/item[price = '30' or price = '20']",
+    "/catalog/item[@cat and author]",
+    "/catalog/item[not(@cat) and not(author)]",
+    "/catalog/item[author][2]",
+    "/catalog/item[2][author]",
+];
+
+const PARENT_ANCESTOR_QUERIES: &[&str] = &[
+    "/catalog/item/name/..",
+    "//name/..",
+    "//name/../..",
+    "//author/ancestor::catalog",
+    "//author/ancestor::*",
+    "//item/ancestor::section",
+    "/catalog/section/item/ancestor::*",
+    "/catalog/./item",
+    "/catalog/item/.",
+];
+
+const FOLLOWING_PRECEDING_QUERIES: &[&str] = &[
+    "/catalog/item[2]/following::author",
+    "/catalog/item[2]/name/following::name",
+    "/catalog/item[2]/preceding::author",
+    "/catalog/item[2]/name/preceding::text()",
+    "/catalog/section/note/preceding::item",
+    "/catalog/item[1]/author/following::item",
+    "/catalog/item[3]/preceding::*[1]",
+    "/catalog/item[1]/following::*[2]",
+    "/catalog/item[2]/following::*[last()]",
+    "//note/preceding::name",
+    "//author[1]/following::price",
+    "/catalog/item[1]/following::item[price = '20']",
+];
+
+const MIXED_AXIS_QUERIES: &[&str] = &[
+    "//item/following-sibling::*",
+    "//author/../price",
+    "/catalog/item[2]/author[1]/following-sibling::author",
+    "//section/item//text()",
+    "/catalog/*[name]/price",
+    "//item[last()]",
+];
+
 #[test]
 fn child_chains() {
     let doc = parse_xml(CATALOG).unwrap();
-    check_queries(
-        &doc,
-        &[
-            "/catalog",
-            "/catalog/item",
-            "/catalog/item/name",
-            "/catalog/item/name/text()",
-            "/catalog/*",
-            "/catalog/*/name",
-            "/catalog/nothing",
-            "/wrongroot",
-            "/catalog/section/item/name",
-        ],
-    );
+    check_queries(&doc, CHILD_CHAIN_QUERIES);
 }
 
 #[test]
 fn positional_predicates() {
     let doc = parse_xml(CATALOG).unwrap();
-    check_queries(
-        &doc,
-        &[
-            "/catalog/item[1]",
-            "/catalog/item[2]/name",
-            "/catalog/item[3]",
-            "/catalog/item[4]",
-            "/catalog/item[position() <= 2]/name",
-            "/catalog/item[position() > 1]",
-            "/catalog/item[position() != 2]",
-            "/catalog/item[last()]",
-            "/catalog/item[last() - 1]/name",
-            "/catalog/item[2]/author[2]",
-            "/catalog/item/author[1]",
-            "/catalog/item/author[last()]",
-            "/catalog/*[4]",
-        ],
-    );
+    check_queries(&doc, POSITIONAL_QUERIES);
 }
 
 #[test]
 fn descendants() {
     let doc = parse_xml(CATALOG).unwrap();
-    check_queries(
-        &doc,
-        &[
-            "//item",
-            "//name",
-            "//item//text()",
-            "/catalog//item",
-            "/catalog//name/text()",
-            "//section//name",
-            "//catalog",
-            "//*",
-            "//item/name",
-            "//item[1]",
-            "//note",
-        ],
-    );
+    check_queries(&doc, DESCENDANT_QUERIES);
 }
 
 #[test]
 fn siblings() {
     let doc = parse_xml(CATALOG).unwrap();
-    check_queries(
-        &doc,
-        &[
-            "/catalog/item[1]/following-sibling::item",
-            "/catalog/item[1]/following-sibling::*",
-            "/catalog/item[3]/preceding-sibling::item",
-            "/catalog/item[3]/preceding-sibling::item[1]",
-            "/catalog/item[2]/name/following-sibling::author",
-            "/catalog/item[1]/following-sibling::item[2]",
-            "/catalog/item[1]/following-sibling::item[last()]",
-            "/catalog/section/preceding-sibling::item",
-        ],
-    );
+    check_queries(&doc, SIBLING_QUERIES);
 }
 
 #[test]
 fn attributes() {
     let doc = parse_xml(CATALOG).unwrap();
-    check_queries(
-        &doc,
-        &[
-            "/catalog/item/@id",
-            "/catalog/item/@*",
-            "/catalog/item[@id = 'i2']",
-            "/catalog/item[@cat]",
-            "/catalog/item[@cat = 'b']/name",
-            "/catalog/item/@id/..",
-            "//item[@id = 'i4']",
-        ],
-    );
+    check_queries(&doc, ATTRIBUTE_QUERIES);
 }
 
 #[test]
 fn value_predicates() {
     let doc = parse_xml(CATALOG).unwrap();
-    check_queries(
-        &doc,
-        &[
-            "/catalog/item[price = '10']",
-            "/catalog/item[price < '30']/name",
-            "/catalog/item[price >= '20']",
-            "/catalog/item[name = 'Gamma']",
-            "/catalog/item/name[. = 'Beta']",
-            "/catalog/item/name/text()[. = 'Beta']",
-            "/catalog/item[author = 'Cid']",
-            "/catalog/item[price != '10']",
-            "//item[price = '15']/name",
-        ],
-    );
+    check_queries(&doc, VALUE_PREDICATE_QUERIES);
 }
 
 #[test]
 fn boolean_predicates() {
     let doc = parse_xml(CATALOG).unwrap();
-    check_queries(
-        &doc,
-        &[
-            "/catalog/item[author]",
-            "/catalog/item[not(author)]",
-            "/catalog/item[author and price = '10']",
-            "/catalog/item[price = '30' or price = '20']",
-            "/catalog/item[@cat and author]",
-            "/catalog/item[not(@cat) and not(author)]",
-            "/catalog/item[author][2]",
-            "/catalog/item[2][author]",
-        ],
-    );
+    check_queries(&doc, BOOLEAN_PREDICATE_QUERIES);
 }
 
 #[test]
 fn parent_and_ancestor() {
     let doc = parse_xml(CATALOG).unwrap();
-    check_queries(
-        &doc,
-        &[
-            "/catalog/item/name/..",
-            "//name/..",
-            "//name/../..",
-            "//author/ancestor::catalog",
-            "//author/ancestor::*",
-            "//item/ancestor::section",
-            "/catalog/section/item/ancestor::*",
-            "/catalog/./item",
-            "/catalog/item/.",
-        ],
-    );
+    check_queries(&doc, PARENT_ANCESTOR_QUERIES);
 }
 
 #[test]
 fn following_and_preceding() {
     let doc = parse_xml(CATALOG).unwrap();
-    check_queries(
-        &doc,
-        &[
-            "/catalog/item[2]/following::author",
-            "/catalog/item[2]/name/following::name",
-            "/catalog/item[2]/preceding::author",
-            "/catalog/item[2]/name/preceding::text()",
-            "/catalog/section/note/preceding::item",
-            "/catalog/item[1]/author/following::item",
-            "/catalog/item[3]/preceding::*[1]",
-            "/catalog/item[1]/following::*[2]",
-            "/catalog/item[2]/following::*[last()]",
-            "//note/preceding::name",
-            "//author[1]/following::price",
-            "/catalog/item[1]/following::item[price = '20']",
-        ],
-    );
+    check_queries(&doc, FOLLOWING_PRECEDING_QUERIES);
 }
 
 #[test]
 fn mixed_axis_combinations() {
     let doc = parse_xml(CATALOG).unwrap();
-    check_queries(
-        &doc,
-        &[
-            "//item/following-sibling::*",
-            "//author/../price",
-            "/catalog/item[2]/author[1]/following-sibling::author",
-            "//section/item//text()",
-            "/catalog/*[name]/price",
-            "//item[last()]",
-        ],
-    );
+    check_queries(&doc, MIXED_AXIS_QUERIES);
 }
 
 #[test]
@@ -784,4 +774,119 @@ fn update_costs_reflect_encoding_tradeoffs() {
     assert_eq!(dewey.relabeled, 9, "{dewey:?}");
     assert_eq!(dewey.maintenance, 0, "{dewey:?}");
     assert!(global.relabeled + global.maintenance > dewey.relabeled);
+}
+
+// -----------------------------------------------------------------------
+// File-backed runs: the same oracle corpus over the durable pager
+// -----------------------------------------------------------------------
+
+fn temp_store_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ordxml-oracle-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(ordxml_rdbms::storage::wal_path(&path));
+    path
+}
+
+fn cleanup_store(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(ordxml_rdbms::storage::wal_path(path));
+}
+
+/// The full CATALOG query corpus, replayed against file-backed (WAL-durable)
+/// databases instead of in-memory ones, in both execution modes. One store
+/// per encoding x mode serves the whole corpus, so buffer-pool eviction and
+/// the transactional load path both get exercised.
+#[test]
+fn file_backed_stores_agree_with_oracle_in_both_modes() {
+    use ordxml::translate::ExecutionMode;
+    let corpus: Vec<&str> = [
+        CHILD_CHAIN_QUERIES,
+        POSITIONAL_QUERIES,
+        DESCENDANT_QUERIES,
+        SIBLING_QUERIES,
+        ATTRIBUTE_QUERIES,
+        VALUE_PREDICATE_QUERIES,
+        BOOLEAN_PREDICATE_QUERIES,
+        PARENT_ANCESTOR_QUERIES,
+        FOLLOWING_PRECEDING_QUERIES,
+        MIXED_AXIS_QUERIES,
+    ]
+    .into_iter()
+    .flatten()
+    .copied()
+    .collect();
+    let doc = parse_xml(CATALOG).unwrap();
+    let ev = NaiveEvaluator::new(&doc);
+    for enc in Encoding::all() {
+        for mode in [ExecutionMode::Batched, ExecutionMode::PerContext] {
+            let path = temp_store_path(&format!("q-{}-{:?}.db", enc.name(), mode));
+            // A small pool forces eviction traffic through the WAL'd pager.
+            let db = Database::open(&path, 8).unwrap();
+            let mut store = XmlStore::new(db, enc);
+            store.set_execution_mode(mode);
+            let d = store.load_document(&doc, "oracle").unwrap();
+            for q in &corpus {
+                let xpath = ordxml::xpath::parse(q).unwrap();
+                let expected: Vec<String> = ev
+                    .eval(&xpath)
+                    .into_iter()
+                    .map(|v| canon_dom(&doc, v))
+                    .collect();
+                let got: Vec<String> = store
+                    .xpath(d, q)
+                    .unwrap_or_else(|e| panic!("file/{enc}/{mode:?}: {q}: {e}"))
+                    .iter()
+                    .map(|n| canon_store(&mut store, d, n))
+                    .collect();
+                assert_eq!(got, expected, "file/{enc}/{mode:?}: {q}");
+            }
+            drop(store);
+            cleanup_store(&path);
+        }
+    }
+}
+
+/// Update equivalence on the file backend: every edit runs as a WAL
+/// transaction; after a simulated crash (no shutdown checkpoint) the
+/// reopened store must still equal the mutated DOM.
+#[test]
+fn file_backed_edits_survive_crash_and_recovery() {
+    for enc in Encoding::all() {
+        let path = temp_store_path(&format!("e-{}.db", enc.name()));
+        let mut dom = parse_xml(CATALOG).unwrap();
+        let db = Database::open(&path, 16).unwrap();
+        let mut store = XmlStore::new(db, enc);
+        let d = store
+            .load_document_with(&dom, "edit", OrderConfig::with_gap(2))
+            .unwrap();
+        let edits = [
+            Edit::Insert(NodePath(vec![]), 0, "<front>f</front>"),
+            Edit::Delete(NodePath(vec![2])),
+            Edit::Insert(NodePath(vec![1]), 1, "<mid a=\"1\"><x/>t</mid>"),
+            Edit::SetText(NodePath(vec![1, 0, 0]), "Renamed"),
+            Edit::Insert(NodePath(vec![]), 99, "<back/>"),
+        ];
+        for (step, edit) in edits.iter().enumerate() {
+            apply_dom(&mut dom, edit);
+            apply_store(&mut store, d, edit);
+            let rebuilt = store.reconstruct_document(d).unwrap();
+            assert!(dom.tree_eq(&rebuilt), "{enc} step {step} before crash");
+        }
+        // Crash: skip Drop's best-effort checkpoint entirely; the WAL is
+        // the only durable copy of most committed pages.
+        std::mem::forget(store);
+        let db = Database::open(&path, 16).unwrap();
+        let mut store = XmlStore::new(db, enc);
+        let rebuilt = store.reconstruct_document(d).unwrap();
+        assert!(
+            dom.tree_eq(&rebuilt),
+            "{enc}: recovered store diverged\n want {}\n got  {}",
+            dom.to_xml(),
+            rebuilt.to_xml()
+        );
+        drop(store);
+        cleanup_store(&path);
+    }
 }

@@ -193,8 +193,14 @@ impl Table {
         upper: Bound<&[u8]>,
         reverse: bool,
     ) -> Vec<RowId> {
+        // Invariant, not user-reachable: the planner only emits a PK scan
+        // for tables whose schema has a primary key, and index ordinals are
+        // positions it read out of this same catalog.
         let tree = match index {
-            None => self.pk_index.as_ref().expect("table has no primary key"),
+            None => self
+                .pk_index
+                .as_ref()
+                .expect("planner picked PK scan on PK-less table"),
             Some(i) => &self.indexes[i].1,
         };
         if reverse {
@@ -471,10 +477,19 @@ impl Catalog {
                     nullable,
                 });
             }
+            // Column ordinals come off disk: validate them here so a
+            // corrupt catalog surfaces as a storage error at open instead
+            // of an out-of-bounds panic in the index rebuild below.
             let n_pk = r.u32()?;
             let mut primary_key = Vec::with_capacity(n_pk as usize);
             for _ in 0..n_pk {
-                primary_key.push(r.u32()? as usize);
+                let c = r.u32()? as usize;
+                if c >= columns.len() {
+                    return Err(DbError::Storage(format!(
+                        "catalog: primary-key column {c} out of range for table {name}"
+                    )));
+                }
+                primary_key.push(c);
             }
             let n_pages = r.u32()?;
             let mut pages: Vec<PageId> = Vec::with_capacity(n_pages as usize);
@@ -488,7 +503,13 @@ impl Catalog {
                 let n_ic = r.u32()?;
                 let mut cols = Vec::with_capacity(n_ic as usize);
                 for _ in 0..n_ic {
-                    cols.push(r.u32()? as usize);
+                    let c = r.u32()? as usize;
+                    if c >= columns.len() {
+                        return Err(DbError::Storage(format!(
+                            "catalog: index {iname} column {c} out of range for table {name}"
+                        )));
+                    }
+                    cols.push(c);
                 }
                 let unique = r.byte()? != 0;
                 index_defs.push(IndexDef {

@@ -1,12 +1,16 @@
-//! The embedded database facade: statement execution, plan caching, and
-//! file-backed persistence.
+//! The embedded database facade: statement execution, plan caching,
+//! transactions, and file-backed persistence.
 //!
-//! Durability model: checkpoint-based. Data pages go through the pager's
-//! buffer pool; [`Database::checkpoint`] serializes the catalog into
-//! dedicated pages and flushes everything. There is no write-ahead log —
-//! the workload this engine serves (the paper's experiments) is
-//! single-statement, and the translation layer treats each logical XML
-//! update as one mediator-level operation.
+//! Durability model: write-ahead logging by default
+//! ([`Durability::Wal`]). Each transaction's dirty pages are appended to a
+//! sidecar WAL as checksummed frames and fsynced at commit; opening a
+//! database replays committed transactions from the WAL and discards torn
+//! or uncommitted tails. Standalone write statements auto-commit; explicit
+//! [`Database::begin`] / [`Database::commit`] / [`Database::rollback`]
+//! group multi-statement updates (the XML layer wraps every logical XML
+//! update this way). [`Durability::Checkpoint`] preserves the legacy
+//! journal-less mode — durability only at [`Database::checkpoint`] — for
+//! overhead ablations.
 
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
@@ -17,11 +21,12 @@ use crate::plan::{plan_select, plan_table_access, render_plan, render_table_acce
 use crate::schema::{ColumnDef, IndexDef, TableSchema};
 use crate::sql::ast::{ParsedStmt, Stmt};
 use crate::sql::parse;
-use crate::storage::{PageId, Pager, RowId};
+use crate::storage::{wal, FaultInjector, PageId, Pager, RowId, Wal};
 use crate::value::{Row, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The result of running one statement.
@@ -66,6 +71,32 @@ const CATALOG_CHUNK: usize = 7000;
 /// least-recently-used entry is evicted.
 const PLAN_CACHE_CAP: usize = 256;
 
+/// When a commit leaves this many frames in the WAL, an opportunistic
+/// checkpoint (database fsync + log reset) runs so the log stays bounded.
+const WAL_AUTOCHECKPOINT_FRAMES: u64 = 512;
+
+/// How a file-backed database makes writes durable.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum Durability {
+    /// Write-ahead logging: transactions are durable at commit, recovery on
+    /// open replays the log. The default for [`Database::open`].
+    #[default]
+    Wal,
+    /// Legacy journal-less mode: pages are durable only after
+    /// [`Database::checkpoint`]; a crash in between loses or tears recent
+    /// writes. Kept for durability-overhead ablations.
+    Checkpoint,
+}
+
+/// Database-level transaction state (the pager holds the page pre-images).
+struct DbTxn {
+    /// Serialized catalog at `begin`, for rebuilding heaps and indexes on
+    /// rollback.
+    catalog_blob: Vec<u8>,
+    /// Catalog page list at `begin`.
+    catalog_pages: Vec<PageId>,
+}
+
 struct Cached {
     parsed: ParsedStmt,
     /// Plan, for SELECT statements.
@@ -89,6 +120,8 @@ pub struct Database {
     /// meta page pointing at them).
     catalog_pages: Vec<PageId>,
     file_backed: bool,
+    /// Open explicit or auto-commit transaction, if any.
+    txn: Option<DbTxn>,
 }
 
 impl Database {
@@ -103,13 +136,35 @@ impl Database {
             trace: None,
             catalog_pages: Vec::new(),
             file_backed: false,
+            txn: None,
         }
     }
 
     /// Opens (or creates) a file-backed database with a buffer pool of
-    /// `cache_pages` frames. Indexes are rebuilt from the heaps on open.
+    /// `cache_pages` frames and write-ahead logging ([`Durability::Wal`]):
+    /// recovery runs first, replaying committed transactions from the WAL
+    /// and discarding torn or uncommitted tails. Indexes are rebuilt from
+    /// the heaps on open.
     pub fn open(path: &Path, cache_pages: usize) -> DbResult<Database> {
+        Self::open_with(path, cache_pages, Durability::Wal)
+    }
+
+    /// [`Database::open`] with an explicit durability mode.
+    pub fn open_with(
+        path: &Path,
+        cache_pages: usize,
+        durability: Durability,
+    ) -> DbResult<Database> {
+        if durability == Durability::Wal {
+            let report = wal::recover(path, &wal::wal_path(path))?;
+            if report.ran {
+                obs::registry().record_recovery();
+            }
+        }
         let pager = Pager::open_file(path, cache_pages)?;
+        if durability == Durability::Wal {
+            pager.attach_wal(Wal::open(&wal::wal_path(path))?);
+        }
         let (catalog, catalog_pages) = if pager.page_count() == 0 {
             // Fresh file: page 0 is the meta page.
             let meta = pager.allocate()?;
@@ -141,12 +196,122 @@ impl Database {
             trace: None,
             catalog_pages,
             file_backed: true,
+            txn: None,
         })
     }
 
     /// The catalog (read-only view).
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The fault-injection handle shared with this database's pager and WAL
+    /// (pass-through counters unless faults are armed; see
+    /// [`crate::storage::FaultInjector`]).
+    pub fn faults(&self) -> Arc<FaultInjector> {
+        self.pager.faults()
+    }
+
+    /// `true` while an explicit transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Frames currently sitting in this database's WAL (0 without one).
+    pub fn wal_frames_in_log(&self) -> u64 {
+        self.pager.wal_frames_in_log()
+    }
+
+    /// Starts a transaction. Statements run until [`Database::commit`] /
+    /// [`Database::rollback`] become atomic: a rollback (explicit, or
+    /// automatic on commit failure) restores pages, catalog, heaps, and
+    /// indexes to their state at `begin`. Transactions do not nest.
+    pub fn begin(&mut self) -> DbResult<()> {
+        if self.txn.is_some() {
+            return Err(DbError::Txn("transaction already active".into()));
+        }
+        self.pager.begin_txn()?;
+        self.txn = Some(DbTxn {
+            catalog_blob: self.catalog.encode(),
+            catalog_pages: self.catalog_pages.clone(),
+        });
+        Ok(())
+    }
+
+    /// Commits the open transaction: persists the catalog alongside the data
+    /// pages (so recovery sees a consistent pair) and, under
+    /// [`Durability::Wal`], appends every dirty page to the WAL with an
+    /// fsync barrier. On failure the transaction is rolled back before the
+    /// error is returned.
+    pub fn commit(&mut self) -> DbResult<()> {
+        if self.txn.is_none() {
+            return Err(DbError::Txn("no active transaction".into()));
+        }
+        let res = self.commit_inner();
+        match res {
+            Ok(()) => {
+                self.txn = None;
+                obs::registry().record_txn(true);
+                if self.pager.wal_frames_in_log() >= WAL_AUTOCHECKPOINT_FRAMES {
+                    // Best effort: the commit is already durable; a failed
+                    // checkpoint just leaves the log longer.
+                    let _ = self.pager.checkpoint_wal();
+                }
+                Ok(())
+            }
+            Err(e) => {
+                let _ = self.rollback();
+                Err(e)
+            }
+        }
+    }
+
+    fn commit_inner(&mut self) -> DbResult<()> {
+        if self.file_backed && self.pager.txn_has_writes() {
+            // The catalog (schemas + heap page lists) must commit with the
+            // data: a replayed transaction that grew a heap is unreachable
+            // without its updated page list.
+            self.write_catalog()?;
+        }
+        self.pager.commit_txn()?;
+        Ok(())
+    }
+
+    /// Rolls the open transaction back: pages revert to their pre-images and
+    /// the catalog, heaps, and indexes are rebuilt from the restored state.
+    pub fn rollback(&mut self) -> DbResult<()> {
+        let st = self
+            .txn
+            .take()
+            .ok_or_else(|| DbError::Txn("no active transaction".into()))?;
+        let had_writes = self.pager.rollback_txn()?;
+        if had_writes {
+            self.catalog = Catalog::decode(&st.catalog_blob, &self.pager)?;
+            self.catalog_pages = st.catalog_pages;
+            self.invalidate_plans();
+        }
+        obs::registry().record_txn(false);
+        Ok(())
+    }
+
+    /// Runs `f` inside a transaction: commit on `Ok`, rollback on `Err`.
+    /// When a transaction is already open the closure simply joins it
+    /// (commit/rollback stay with the outer owner).
+    pub fn transaction<T>(&mut self, f: impl FnOnce(&mut Database) -> DbResult<T>) -> DbResult<T> {
+        if self.in_transaction() {
+            return f(self);
+        }
+        self.begin()?;
+        match f(self) {
+            Ok(v) => {
+                self.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                let _ = self.rollback();
+                Err(e)
+            }
+        }
     }
 
     /// The pager's I/O statistics handle.
@@ -263,9 +428,29 @@ impl Database {
         let trees_before = self.catalog.btree_counters();
         let observing = self.trace.is_some() || obs::registry().enabled();
         let started = observing.then(Instant::now);
+        // Standalone write statements auto-commit under WAL durability, so
+        // every write is atomic and durable on its own; statements inside an
+        // explicit transaction ride on its commit.
+        let auto_txn = self.pager.wal_enabled() && !self.in_transaction() && stmt_writes(&stmt);
+        if auto_txn {
+            self.begin()?;
+        }
         let mut result = match self.dispatch(stmt, has_subqueries, plan, params) {
-            Ok(r) => r,
+            Ok(r) => {
+                if auto_txn {
+                    if let Err(e) = self.commit() {
+                        if obs::registry().enabled() {
+                            obs::registry().statement_errors.add(1);
+                        }
+                        return Err(e);
+                    }
+                }
+                r
+            }
             Err(e) => {
+                if auto_txn {
+                    let _ = self.rollback();
+                }
                 if obs::registry().enabled() {
                     obs::registry().statement_errors.add(1);
                 }
@@ -637,12 +822,24 @@ impl Database {
         let trees_before = self.catalog.btree_counters();
         let observing = self.trace.is_some() || obs::registry().enabled();
         let started = observing.then(Instant::now);
-        let t = self.catalog.table_mut(table)?;
-        let mut n = 0;
-        for row in rows {
-            t.insert_row(&self.pager, row)?;
-            n += 1;
+        let auto_txn = self.pager.wal_enabled() && !self.in_transaction();
+        if auto_txn {
+            self.begin()?;
         }
+        let n = match self.insert_many_rows(table, rows) {
+            Ok(n) => {
+                if auto_txn {
+                    self.commit()?;
+                }
+                n
+            }
+            Err(e) => {
+                if auto_txn {
+                    let _ = self.rollback();
+                }
+                return Err(e);
+            }
+        };
         let mut stats = ExecStats {
             rows_written: n,
             ..ExecStats::default()
@@ -672,6 +869,16 @@ impl Database {
                     stats,
                 });
             }
+        }
+        Ok(n)
+    }
+
+    fn insert_many_rows(&mut self, table: &str, rows: Vec<Row>) -> DbResult<u64> {
+        let t = self.catalog.table_mut(table)?;
+        let mut n = 0;
+        for row in rows {
+            t.insert_row(&self.pager, row)?;
+            n += 1;
         }
         Ok(n)
     }
@@ -818,12 +1025,28 @@ impl Database {
         self.plan_cache.clear();
     }
 
-    /// Persists the catalog and flushes dirty pages (file mode; a no-op for
-    /// in-memory databases).
+    /// Persists the catalog and makes everything durable (file mode; a no-op
+    /// for in-memory databases). Under [`Durability::Wal`] the catalog is
+    /// already persisted by every commit, so this fsyncs the database file
+    /// and resets the WAL; in [`Durability::Checkpoint`] mode it is the only
+    /// durability barrier. Refused inside a transaction.
     pub fn checkpoint(&mut self) -> DbResult<()> {
         if !self.file_backed {
             return Ok(());
         }
+        if self.txn.is_some() {
+            return Err(DbError::Txn("checkpoint inside a transaction".into()));
+        }
+        if self.pager.wal_enabled() {
+            return self.pager.checkpoint_wal();
+        }
+        self.write_catalog()?;
+        self.pager.flush()
+    }
+
+    /// Serializes the catalog into its chunk pages and updates the meta
+    /// page. Durability is the caller's job (WAL commit or flush).
+    fn write_catalog(&mut self) -> DbResult<()> {
         let blob = self.catalog.encode();
         let chunks: Vec<&[u8]> = blob.chunks(CATALOG_CHUNK).collect();
         // Ensure enough catalog pages exist.
@@ -847,12 +1070,27 @@ impl Database {
         if !ok {
             return Err(DbError::Storage("meta page update failed".into()));
         }
-        self.pager.flush()
+        Ok(())
+    }
+}
+
+/// `true` for statements that can modify the database (auto-commit wraps
+/// these). `EXPLAIN ANALYZE` executes its inner statement, so it counts.
+fn stmt_writes(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Select(_) => false,
+        Stmt::Explain { analyze, inner } => *analyze && stmt_writes(inner),
+        _ => true,
     }
 }
 
 impl Drop for Database {
     fn drop(&mut self) {
+        // An open transaction dies with the session: roll it back so the
+        // shutdown checkpoint cannot leak uncommitted pages to the file.
+        if self.txn.is_some() {
+            let _ = self.rollback();
+        }
         // Best-effort durability for file-backed databases.
         let _ = self.checkpoint();
     }
@@ -1544,5 +1782,204 @@ mod tests {
         assert!(db.query("SELECT x FROM missing", &[]).is_err());
         assert!(db.execute("DROP TABLE missing", &[]).is_err());
         assert!(db.execute("DROP TABLE IF EXISTS missing", &[]).is_ok());
+    }
+
+    fn temp_db_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ordxml-db-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(wal::wal_path(&path));
+        path
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(wal::wal_path(path));
+    }
+
+    fn count(db: &mut Database, sql: &str) -> i64 {
+        db.query(sql, &[]).unwrap()[0][0].as_int().unwrap()
+    }
+
+    #[test]
+    fn rollback_restores_rows_indexes_and_ddl() {
+        let mut db = setup();
+        seed(&mut db, 30);
+        db.begin().unwrap();
+        db.execute("DELETE FROM node WHERE doc = 1 AND pos < 10", &[])
+            .unwrap();
+        db.execute("CREATE TABLE scratch (a INTEGER, PRIMARY KEY (a))", &[])
+            .unwrap();
+        db.execute("INSERT INTO scratch VALUES (1)", &[]).unwrap();
+        assert_eq!(count(&mut db, "SELECT COUNT(*) FROM node"), 20);
+        db.rollback().unwrap();
+        assert_eq!(count(&mut db, "SELECT COUNT(*) FROM node"), 30);
+        // The in-transaction DDL is gone and its name is reusable.
+        assert!(db.query("SELECT a FROM scratch", &[]).is_err());
+        // Secondary indexes were rebuilt to the pre-transaction state.
+        let r = db
+            .run("SELECT pos FROM node WHERE doc = 1 AND pos = 3", &[])
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert!(r.stats.index_scans >= 1);
+    }
+
+    #[test]
+    fn commit_makes_transaction_visible_and_txn_misuse_errors() {
+        let mut db = setup();
+        seed(&mut db, 10);
+        assert!(matches!(db.commit(), Err(DbError::Txn(_))));
+        assert!(matches!(db.rollback(), Err(DbError::Txn(_))));
+        db.begin().unwrap();
+        assert!(matches!(db.begin(), Err(DbError::Txn(_))), "no nesting");
+        db.execute("DELETE FROM node WHERE doc = 1 AND pos = 0", &[])
+            .unwrap();
+        db.commit().unwrap();
+        assert_eq!(count(&mut db, "SELECT COUNT(*) FROM node"), 9);
+        // transaction() joins an open transaction and leaves ownership
+        // outside; standalone it commits on Ok and rolls back on Err.
+        db.transaction(|db| db.execute("DELETE FROM node WHERE pos = 1", &[]))
+            .unwrap();
+        assert_eq!(count(&mut db, "SELECT COUNT(*) FROM node"), 8);
+        let err: DbResult<()> = db.transaction(|db| {
+            db.execute("DELETE FROM node WHERE pos = 2", &[])?;
+            Err(DbError::Eval("forced".into()))
+        });
+        assert!(err.is_err());
+        assert_eq!(count(&mut db, "SELECT COUNT(*) FROM node"), 8);
+    }
+
+    #[test]
+    fn wal_commits_survive_crash_without_checkpoint() {
+        let path = temp_db_path("wal-crash.db");
+        {
+            let mut db = Database::open(&path, 16).unwrap();
+            db.execute("CREATE TABLE t (a INTEGER, b TEXT, PRIMARY KEY (a))", &[])
+                .unwrap();
+            for i in 0..200 {
+                db.execute(
+                    "INSERT INTO t VALUES (?, ?)",
+                    &[Value::Int(i), Value::text(format!("row-{i}"))],
+                )
+                .unwrap();
+            }
+            assert!(db.wal_frames_in_log() > 0, "auto-commits appended frames");
+            // Simulate a hard crash: no Drop, no checkpoint — the WAL is the
+            // only durable copy of most pages.
+            std::mem::forget(db);
+        }
+        let mut db = Database::open(&path, 16).unwrap();
+        assert_eq!(count(&mut db, "SELECT COUNT(*) FROM t"), 200);
+        let rows = db.query("SELECT b FROM t WHERE a = 123", &[]).unwrap();
+        assert_eq!(rows, vec![vec![Value::text("row-123")]]);
+        drop(db);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn crash_mid_commit_discards_uncommitted_frames_on_recovery() {
+        let path = temp_db_path("wal-torn.db");
+        {
+            let mut db = Database::open(&path, 16).unwrap();
+            db.execute("CREATE TABLE t (a INTEGER, PRIMARY KEY (a))", &[])
+                .unwrap();
+            for i in 0..100 {
+                db.execute("INSERT INTO t VALUES (?)", &[Value::Int(i)])
+                    .unwrap();
+            }
+            db.begin().unwrap();
+            db.execute("DELETE FROM t", &[]).unwrap();
+            // Let one frame through, then crash: the commit record never
+            // lands, so recovery must discard the partial transaction.
+            db.faults().crash_after_wal_frames(1);
+            let err = db.commit();
+            assert!(err.is_err(), "commit must fail mid-WAL-append");
+            std::mem::forget(db);
+        }
+        let mut db = Database::open(&path, 16).unwrap();
+        assert_eq!(
+            count(&mut db, "SELECT COUNT(*) FROM t"),
+            100,
+            "uncommitted delete must not survive the crash"
+        );
+        drop(db);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn transient_fsync_failure_rolls_back_then_retry_succeeds() {
+        let path = temp_db_path("wal-fsync.db");
+        {
+            let mut db = Database::open(&path, 16).unwrap();
+            db.execute("CREATE TABLE t (a INTEGER, PRIMARY KEY (a))", &[])
+                .unwrap();
+            db.begin().unwrap();
+            db.execute("INSERT INTO t VALUES (1)", &[]).unwrap();
+            db.faults().fail_nth_fsync(1);
+            assert!(db.commit().is_err(), "commit barrier fsync failed");
+            assert!(!db.in_transaction(), "failed commit rolled back");
+            assert_eq!(count(&mut db, "SELECT COUNT(*) FROM t"), 0);
+            // The fault was transient: the same work retried goes through.
+            db.begin().unwrap();
+            db.execute("INSERT INTO t VALUES (1)", &[]).unwrap();
+            db.commit().unwrap();
+            assert_eq!(count(&mut db, "SELECT COUNT(*) FROM t"), 1);
+        }
+        let mut db = Database::open(&path, 16).unwrap();
+        assert_eq!(count(&mut db, "SELECT COUNT(*) FROM t"), 1);
+        drop(db);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_persists_pages() {
+        let path = temp_db_path("wal-ckpt.db");
+        {
+            let mut db = Database::open(&path, 16).unwrap();
+            db.execute("CREATE TABLE t (a INTEGER, PRIMARY KEY (a))", &[])
+                .unwrap();
+            for i in 0..50 {
+                db.execute("INSERT INTO t VALUES (?)", &[Value::Int(i)])
+                    .unwrap();
+            }
+            assert!(db.wal_frames_in_log() > 0);
+            db.begin().unwrap();
+            assert!(
+                matches!(db.checkpoint(), Err(DbError::Txn(_))),
+                "checkpoint refused inside a transaction"
+            );
+            db.rollback().unwrap();
+            db.checkpoint().unwrap();
+            assert_eq!(db.wal_frames_in_log(), 0, "WAL truncated");
+            std::mem::forget(db);
+        }
+        // After a checkpoint the database file alone carries everything.
+        let _ = std::fs::remove_file(wal::wal_path(&path));
+        let mut db = Database::open(&path, 16).unwrap();
+        assert_eq!(count(&mut db, "SELECT COUNT(*) FROM t"), 50);
+        drop(db);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn checkpoint_durability_mode_skips_wal_entirely() {
+        let path = temp_db_path("legacy.db");
+        {
+            let mut db = Database::open_with(&path, 16, Durability::Checkpoint).unwrap();
+            db.execute("CREATE TABLE t (a INTEGER, PRIMARY KEY (a))", &[])
+                .unwrap();
+            db.execute("INSERT INTO t VALUES (7)", &[]).unwrap();
+            assert_eq!(db.wal_frames_in_log(), 0, "no WAL attached");
+            db.checkpoint().unwrap();
+        }
+        assert!(
+            !wal::wal_path(&path).exists(),
+            "checkpoint-mode database never creates a WAL sidecar"
+        );
+        let mut db = Database::open_with(&path, 16, Durability::Checkpoint).unwrap();
+        assert_eq!(count(&mut db, "SELECT COUNT(*) FROM t"), 1);
+        drop(db);
+        cleanup(&path);
     }
 }

@@ -23,6 +23,9 @@ pub enum DbError {
     Eval(String),
     /// The underlying storage failed (I/O).
     Storage(String),
+    /// Transaction misuse (nested begin, commit/rollback with no open
+    /// transaction, checkpoint inside a transaction).
+    Txn(String),
     /// The feature is recognized but intentionally unsupported.
     Unsupported(String),
 }
@@ -47,6 +50,7 @@ impl fmt::Display for DbError {
             DbError::Constraint(msg) => write!(f, "constraint violation: {msg}"),
             DbError::Eval(msg) => write!(f, "evaluation error: {msg}"),
             DbError::Storage(msg) => write!(f, "storage error: {msg}"),
+            DbError::Txn(msg) => write!(f, "transaction error: {msg}"),
             DbError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }

@@ -609,7 +609,7 @@ fn eval_binary(op: BinOp, l: &Expr, r: &Expr, ctx: &mut dyn EvalContext) -> DbRe
                 BinOp::Le => ord != Ordering::Greater,
                 BinOp::Gt => ord == Ordering::Greater,
                 BinOp::Ge => ord != Ordering::Less,
-                _ => unreachable!(),
+                _ => unreachable!("outer arm admits only comparison ops"),
             };
             Ok(Value::Bool(b))
         }
@@ -637,7 +637,7 @@ fn eval_binary(op: BinOp, l: &Expr, r: &Expr, ctx: &mut dyn EvalContext) -> DbRe
                             }
                             a.checked_rem(b)
                         }
-                        _ => unreachable!(),
+                        _ => unreachable!("outer arm admits only arithmetic ops"),
                     };
                     out.map(Value::Int)
                         .ok_or_else(|| DbError::Eval(format!("integer overflow in {a} {op} {b}")))
@@ -656,7 +656,7 @@ fn eval_binary(op: BinOp, l: &Expr, r: &Expr, ctx: &mut dyn EvalContext) -> DbRe
                             a / b
                         }
                         BinOp::Mod => a % b,
-                        _ => unreachable!(),
+                        _ => unreachable!("outer arm admits only arithmetic ops"),
                     };
                     Ok(Value::Float(out))
                 }

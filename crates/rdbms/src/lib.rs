@@ -52,8 +52,9 @@ pub mod storage;
 pub mod value;
 
 pub use btree::BTreeCounters;
-pub use db::{Database, QueryResult, StatementTrace};
+pub use db::{Database, Durability, QueryResult, StatementTrace};
 pub use error::{DbError, DbResult};
 pub use exec::{ExecStats, OpProfile, Profiler};
 pub use schema::{ColumnDef, IndexDef, TableSchema};
+pub use storage::{FaultInjector, RecoveryReport};
 pub use value::{decode_range_batch, encode_range_batch, DataType, RangeSpec, Row, Value};

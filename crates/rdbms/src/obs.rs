@@ -213,6 +213,14 @@ pub struct Registry {
     /// B+tree root-to-leaf descents across all statements (each disjoint
     /// range of a multi-range scan costs one descent).
     pub btree_descents: Counter,
+    /// Page-image frames appended to any write-ahead log.
+    pub wal_frames_written: Counter,
+    /// Transactions committed (explicit and auto-commit).
+    pub txn_commits: Counter,
+    /// Transactions rolled back (explicit, or automatic on statement error).
+    pub txn_rollbacks: Counter,
+    /// Database opens that found a non-empty WAL and ran recovery.
+    pub recoveries_run: Counter,
     slow_threshold_ns: AtomicU64,
     slow_log: Mutex<VecDeque<SlowQuery>>,
 }
@@ -229,8 +237,39 @@ impl Registry {
             plan_cache_hits: Counter::new(),
             plan_cache_misses: Counter::new(),
             btree_descents: Counter::new(),
+            wal_frames_written: Counter::new(),
+            txn_commits: Counter::new(),
+            txn_rollbacks: Counter::new(),
+            recoveries_run: Counter::new(),
             slow_threshold_ns: AtomicU64::new(0),
             slow_log: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Records WAL frame appends (no-op while disabled).
+    pub fn record_wal_frames(&self, n: u64) {
+        if self.enabled() && n > 0 {
+            self.wal_frames_written.add(n);
+        }
+    }
+
+    /// Records a transaction outcome (no-op while disabled).
+    pub fn record_txn(&self, committed: bool) {
+        if !self.enabled() {
+            return;
+        }
+        if committed {
+            self.txn_commits.add(1);
+        } else {
+            self.txn_rollbacks.add(1);
+        }
+    }
+
+    /// Records one recovery pass that found WAL frames to deal with
+    /// (no-op while disabled).
+    pub fn record_recovery(&self) {
+        if self.enabled() {
+            self.recoveries_run.add(1);
         }
     }
 
@@ -289,7 +328,13 @@ impl Registry {
         let threshold = self.slow_threshold_ns.load(Ordering::Relaxed);
         if threshold > 0 && entry.elapsed.as_nanos() >= threshold as u128 {
             self.slow_statements.add(1);
-            let mut log = self.slow_log.lock().expect("slow log poisoned");
+            // A panic while the log was held must not take observability
+            // down with it: the ring holds plain values, so a poisoned
+            // lock's contents are still coherent.
+            let mut log = self
+                .slow_log
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if log.len() == SLOW_LOG_CAP {
                 log.pop_front();
             }
@@ -305,7 +350,7 @@ impl Registry {
     pub fn slow_queries(&self) -> Vec<SlowQuery> {
         self.slow_log
             .lock()
-            .expect("slow log poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .cloned()
             .collect()
@@ -313,7 +358,10 @@ impl Registry {
 
     /// Empties the slow-query log.
     pub fn clear_slow_queries(&self) {
-        self.slow_log.lock().expect("slow log poisoned").clear();
+        self.slow_log
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 
     /// A plain-value snapshot of every registry metric.
@@ -327,6 +375,10 @@ impl Registry {
             plan_cache_hits: self.plan_cache_hits.get(),
             plan_cache_misses: self.plan_cache_misses.get(),
             btree_descents: self.btree_descents.get(),
+            wal_frames_written: self.wal_frames_written.get(),
+            txn_commits: self.txn_commits.get(),
+            txn_rollbacks: self.txn_rollbacks.get(),
+            recoveries_run: self.recoveries_run.get(),
         }
     }
 }
@@ -350,6 +402,14 @@ pub struct ObsSnapshot {
     pub plan_cache_misses: u64,
     /// B+tree root-to-leaf descents.
     pub btree_descents: u64,
+    /// Page-image frames appended to any write-ahead log.
+    pub wal_frames_written: u64,
+    /// Transactions committed.
+    pub txn_commits: u64,
+    /// Transactions rolled back.
+    pub txn_rollbacks: u64,
+    /// Opens that ran WAL recovery.
+    pub recoveries_run: u64,
 }
 
 /// The process-wide registry.

@@ -1,0 +1,260 @@
+//! Deterministic I/O fault injection for durability tests.
+//!
+//! Every file write, fsync, and WAL frame append in the pager's file backend
+//! is routed through a shared [`FaultInjector`]. With no faults armed the
+//! injector is a pass-through that merely counts operations (tests use the
+//! counters to discover how many writes/frames an operation performs before
+//! replaying it under faults). Armed faults come in two flavours:
+//!
+//! * **transient**: a single injected `io::Error` (e.g. "fail the Nth
+//!   write", "fail the Nth fsync"); the engine is expected to surface the
+//!   error, roll the transaction back, and keep serving.
+//! * **crash**: once triggered, *every* subsequent write and fsync fails
+//!   ("the process died here"). Used by the crash-point matrix: crash after
+//!   exactly `k` WAL frames, drop the database (its best-effort shutdown
+//!   checkpoint fails harmlessly), then reopen and recover.
+//!
+//! A torn write persists only a prefix of the buffer before entering the
+//! crashed state, modelling a sector-granular partial write at power loss.
+
+use std::fs::File;
+use std::io::{Seek, SeekFrom, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Message carried by every injected error, so tests (and error paths) can
+/// tell an injected fault from a real I/O failure.
+pub const INJECTED_FAULT: &str = "injected fault";
+
+#[derive(Debug, Default)]
+struct FaultPlan {
+    /// Fail the write after this many more successful writes (0 = next).
+    writes_until_fail: Option<u64>,
+    /// On the failing write, persist this prefix length ("torn write") and
+    /// enter the crashed state instead of failing transiently.
+    torn_prefix: Option<usize>,
+    /// Fail the fsync after this many more successful fsyncs.
+    fsyncs_until_fail: Option<u64>,
+    /// Enter the crashed state once this many more WAL frames have been
+    /// appended (0 = before the next frame).
+    wal_frames_until_crash: Option<u64>,
+    /// All I/O fails from here on.
+    crashed: bool,
+}
+
+/// Shared fault-injection state for one pager (see module docs).
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: Mutex<FaultPlan>,
+    writes: AtomicU64,
+    fsyncs: AtomicU64,
+    wal_frames: AtomicU64,
+}
+
+fn injected() -> std::io::Error {
+    std::io::Error::other(INJECTED_FAULT)
+}
+
+impl FaultInjector {
+    /// A pass-through injector with no faults armed.
+    pub fn new() -> FaultInjector {
+        FaultInjector::default()
+    }
+
+    /// Disarms every fault and clears the crashed state. Counters keep
+    /// running (they count real operations, not faults).
+    pub fn reset(&self) {
+        *self.plan.lock().expect("fault plan lock") = FaultPlan::default();
+    }
+
+    /// Arms a transient failure of the `n`-th upcoming write (1-based).
+    pub fn fail_nth_write(&self, n: u64) {
+        self.plan.lock().expect("fault plan lock").writes_until_fail = Some(n.saturating_sub(1));
+    }
+
+    /// Arms a torn write: the `n`-th upcoming write (1-based) persists only
+    /// its first `keep_bytes` bytes, then the injector enters the crashed
+    /// state.
+    pub fn torn_nth_write(&self, n: u64, keep_bytes: usize) {
+        let mut plan = self.plan.lock().expect("fault plan lock");
+        plan.writes_until_fail = Some(n.saturating_sub(1));
+        plan.torn_prefix = Some(keep_bytes);
+    }
+
+    /// Arms a transient failure of the `n`-th upcoming fsync (1-based).
+    pub fn fail_nth_fsync(&self, n: u64) {
+        self.plan.lock().expect("fault plan lock").fsyncs_until_fail = Some(n.saturating_sub(1));
+    }
+
+    /// Enters the crashed state once `k` more WAL frames have been written:
+    /// frame `k+1` (and everything after it) fails. `k = 0` crashes before
+    /// the next frame.
+    pub fn crash_after_wal_frames(&self, k: u64) {
+        self.plan
+            .lock()
+            .expect("fault plan lock")
+            .wal_frames_until_crash = Some(k);
+    }
+
+    /// Immediately enters the crashed state.
+    pub fn crash_now(&self) {
+        self.plan.lock().expect("fault plan lock").crashed = true;
+    }
+
+    /// `true` once a crash fault has triggered.
+    pub fn is_crashed(&self) -> bool {
+        self.plan.lock().expect("fault plan lock").crashed
+    }
+
+    /// Total file writes attempted through this injector (including failed
+    /// ones).
+    pub fn writes_observed(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Total fsyncs attempted through this injector.
+    pub fn fsyncs_observed(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    /// Total WAL frames successfully appended through this injector.
+    pub fn wal_frames_observed(&self) -> u64 {
+        self.wal_frames.load(Ordering::Relaxed)
+    }
+
+    /// Writes `buf` at absolute offset `off`, subject to armed faults.
+    pub fn write_at(&self, file: &mut File, off: u64, buf: &[u8]) -> std::io::Result<()> {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut plan = self.plan.lock().expect("fault plan lock");
+            if plan.crashed {
+                return Err(injected());
+            }
+            match plan.writes_until_fail {
+                Some(0) => {
+                    plan.writes_until_fail = None;
+                    if let Some(keep) = plan.torn_prefix.take() {
+                        plan.crashed = true;
+                        let keep = keep.min(buf.len());
+                        // Best-effort torn prefix; the "device" may lose it too.
+                        let _ = file
+                            .seek(SeekFrom::Start(off))
+                            .and_then(|_| file.write_all(&buf[..keep]));
+                    }
+                    return Err(injected());
+                }
+                Some(n) => plan.writes_until_fail = Some(n - 1),
+                None => {}
+            }
+        }
+        file.seek(SeekFrom::Start(off))?;
+        file.write_all(buf)
+    }
+
+    /// Fsyncs `file`, subject to armed faults.
+    pub fn sync(&self, file: &File) -> std::io::Result<()> {
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut plan = self.plan.lock().expect("fault plan lock");
+            if plan.crashed {
+                return Err(injected());
+            }
+            match plan.fsyncs_until_fail {
+                Some(0) => {
+                    plan.fsyncs_until_fail = None;
+                    return Err(injected());
+                }
+                Some(n) => plan.fsyncs_until_fail = Some(n - 1),
+                None => {}
+            }
+        }
+        file.sync_all()
+    }
+
+    /// Gate called by the WAL before appending each frame; implements
+    /// crash-at-frame-`k`. On success the frame counter advances.
+    pub fn wal_frame_gate(&self) -> std::io::Result<()> {
+        let mut plan = self.plan.lock().expect("fault plan lock");
+        if plan.crashed {
+            return Err(injected());
+        }
+        match plan.wal_frames_until_crash {
+            Some(0) => {
+                plan.crashed = true;
+                return Err(injected());
+            }
+            Some(k) => plan.wal_frames_until_crash = Some(k - 1),
+            None => {}
+        }
+        drop(plan);
+        self.wal_frames.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Truncates `file` to `len`, subject to the crashed state (counts as a
+    /// write).
+    pub fn set_len(&self, file: &File, len: u64) -> std::io::Result<()> {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        if self.plan.lock().expect("fault plan lock").crashed {
+            return Err(injected());
+        }
+        file.set_len(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_file(name: &str) -> (std::path::PathBuf, File) {
+        let dir = std::env::temp_dir().join(format!("ordxml-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        (path, file)
+    }
+
+    #[test]
+    fn nth_write_fails_once_then_recovers() {
+        let (path, mut file) = scratch_file("nth.bin");
+        let faults = FaultInjector::new();
+        faults.fail_nth_write(2);
+        assert!(faults.write_at(&mut file, 0, b"aaaa").is_ok());
+        assert!(faults.write_at(&mut file, 4, b"bbbb").is_err());
+        // Transient: the next write succeeds.
+        assert!(faults.write_at(&mut file, 4, b"cccc").is_ok());
+        assert!(!faults.is_crashed());
+        assert_eq!(faults.writes_observed(), 3);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn torn_write_persists_prefix_and_crashes() {
+        let (path, mut file) = scratch_file("torn.bin");
+        let faults = FaultInjector::new();
+        faults.torn_nth_write(1, 3);
+        assert!(faults.write_at(&mut file, 0, b"abcdef").is_err());
+        assert!(faults.is_crashed());
+        assert!(faults.write_at(&mut file, 0, b"zzzzzz").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"abc");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn crash_after_wal_frames_gates() {
+        let faults = FaultInjector::new();
+        faults.crash_after_wal_frames(2);
+        assert!(faults.wal_frame_gate().is_ok());
+        assert!(faults.wal_frame_gate().is_ok());
+        assert!(faults.wal_frame_gate().is_err());
+        assert!(faults.is_crashed());
+        assert_eq!(faults.wal_frames_observed(), 2);
+    }
+}

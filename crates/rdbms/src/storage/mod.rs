@@ -1,9 +1,14 @@
-//! Physical storage: slotted pages, the pager/buffer pool, and heap files.
+//! Physical storage: slotted pages, the pager/buffer pool, heap files, the
+//! write-ahead log, and the fault-injection shim underneath them.
 
+pub mod fault;
 pub mod heap;
 pub mod page;
 pub mod pager;
+pub mod wal;
 
+pub use fault::FaultInjector;
 pub use heap::{HeapFile, RowId};
 pub use page::{Page, SlotId, PAGE_SIZE};
 pub use pager::{PageId, Pager, PagerStats};
+pub use wal::{wal_path, RecoveryReport, Wal};

@@ -1,4 +1,4 @@
-//! The pager: page allocation, caching, and the two backends.
+//! The pager: page allocation, caching, transactions, and the two backends.
 //!
 //! * [`Pager::in_memory`] keeps every page in a `Vec` — the default for the
 //!   experiment harness (the paper's cost differences are algorithmic, not
@@ -10,18 +10,39 @@
 //! All read/write access goes through [`Pager::with_page`] /
 //! [`Pager::with_page_mut`], which also maintain the I/O statistics the
 //! benchmark harness reports (logical reads, backend reads/writes).
+//!
+//! # Transactions
+//!
+//! [`Pager::begin_txn`] starts page-level transaction tracking: the first
+//! mutation of each page captures a pre-image, and rollback restores those
+//! images (and the page count). With a WAL attached ([`Pager::attach_wal`])
+//! the pager runs a no-steal policy — dirty pages are never evicted to the
+//! database file — and commit appends every dirty page to the WAL (fsync =
+//! the durability barrier) before writing it home. Without a WAL the legacy
+//! checkpoint-based behavior is preserved: evictions may steal dirty pages,
+//! and rollback rewrites stolen pre-images directly.
+//!
+//! All file I/O is routed through a shared [`FaultInjector`], so durability
+//! tests can fail any write/fsync or crash at any WAL frame.
 
+use super::fault::FaultInjector;
 use super::page::{Page, PAGE_SIZE};
+use super::wal::Wal;
 use crate::error::{DbError, DbResult};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 /// Identifier of a page within a pager.
 pub type PageId = u32;
+
+/// Frame id used for cache slots whose page was rolled back out of
+/// existence; never allocated (page ids count up from 0).
+const DEAD_FRAME: PageId = PageId::MAX;
 
 /// Shared, cheaply-clonable I/O counters.
 #[derive(Debug, Default)]
@@ -85,7 +106,7 @@ struct FileBackend {
     file: File,
     frames: Vec<Frame>,
     /// frame index per cached page; `usize::MAX` = not cached.
-    map: std::collections::HashMap<PageId, usize>,
+    map: HashMap<PageId, usize>,
     capacity: usize,
     hand: usize,
 }
@@ -95,12 +116,27 @@ enum Backend {
     File(FileBackend),
 }
 
+/// Per-transaction pager state: pre-images for rollback.
+struct TxnState {
+    /// Monotonic id stamped into WAL frames.
+    id: u64,
+    /// First-touch pre-image per modified page; `None` marks a page
+    /// allocated inside this transaction (rollback drops it).
+    pre_images: HashMap<PageId, Option<Page>>,
+    /// Page count at `begin_txn` (rollback target).
+    start_pages: u32,
+}
+
 /// The pager. Interior-mutable so that read paths (query executors) can share
 /// it immutably; the engine is single-threaded per database.
 pub struct Pager {
     backend: RefCell<Backend>,
     n_pages: RefCell<u32>,
     stats: Arc<PagerStats>,
+    faults: Arc<FaultInjector>,
+    wal: RefCell<Option<Wal>>,
+    txn: RefCell<Option<TxnState>>,
+    txn_seq: Cell<u64>,
 }
 
 impl Pager {
@@ -110,6 +146,10 @@ impl Pager {
             backend: RefCell::new(Backend::Mem(Vec::new())),
             n_pages: RefCell::new(0),
             stats: Arc::new(PagerStats::default()),
+            faults: Arc::new(FaultInjector::new()),
+            wal: RefCell::new(None),
+            txn: RefCell::new(None),
+            txn_seq: Cell::new(0),
         }
     }
 
@@ -134,13 +174,38 @@ impl Pager {
             backend: RefCell::new(Backend::File(FileBackend {
                 file,
                 frames: Vec::new(),
-                map: std::collections::HashMap::new(),
+                map: HashMap::new(),
                 capacity: cache_pages.max(8),
                 hand: 0,
             })),
             n_pages: RefCell::new(n_pages),
             stats: Arc::new(PagerStats::default()),
+            faults: Arc::new(FaultInjector::new()),
+            wal: RefCell::new(None),
+            txn: RefCell::new(None),
+            txn_seq: Cell::new(0),
         })
+    }
+
+    /// Attaches a write-ahead log: from now on the pager runs no-steal and
+    /// commits route page images through the WAL.
+    pub fn attach_wal(&self, wal: Wal) {
+        *self.wal.borrow_mut() = Some(wal);
+    }
+
+    /// `true` once a WAL is attached.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal.borrow().is_some()
+    }
+
+    /// Frames currently sitting in the WAL (0 without a WAL).
+    pub fn wal_frames_in_log(&self) -> u64 {
+        self.wal.borrow().as_ref().map_or(0, Wal::frames_in_log)
+    }
+
+    /// The shared fault-injection handle for this pager's file I/O.
+    pub fn faults(&self) -> Arc<FaultInjector> {
+        Arc::clone(&self.faults)
     }
 
     /// The shared statistics handle.
@@ -153,22 +218,233 @@ impl Pager {
         *self.n_pages.borrow()
     }
 
+    /// `true` while a transaction started by [`Pager::begin_txn`] is open.
+    pub fn in_txn(&self) -> bool {
+        self.txn.borrow().is_some()
+    }
+
+    /// `true` if the open transaction has modified (or allocated) any page.
+    pub fn txn_has_writes(&self) -> bool {
+        self.txn
+            .borrow()
+            .as_ref()
+            .is_some_and(|t| !t.pre_images.is_empty())
+    }
+
+    /// Starts a transaction; returns its id. Errors if one is already open
+    /// (the engine does not nest transactions).
+    pub fn begin_txn(&self) -> DbResult<u64> {
+        let mut txn = self.txn.borrow_mut();
+        if txn.is_some() {
+            return Err(DbError::Txn("transaction already active".into()));
+        }
+        let id = self.txn_seq.get() + 1;
+        self.txn_seq.set(id);
+        *txn = Some(TxnState {
+            id,
+            pre_images: HashMap::new(),
+            start_pages: *self.n_pages.borrow(),
+        });
+        Ok(id)
+    }
+
+    /// Commits the open transaction. With a WAL: appends every dirty page as
+    /// a frame (last one flagged COMMIT, carrying the page count), fsyncs
+    /// the WAL — the durability barrier — then writes the pages home.
+    /// Database-file write failures *after* the barrier do not fail the
+    /// commit; the pages stay dirty and the WAL protects them until the
+    /// next checkpoint retries. Returns the number of WAL frames written.
+    ///
+    /// On error the transaction is still open; the caller must roll back.
+    pub fn commit_txn(&self) -> DbResult<u64> {
+        let txn_id = {
+            let txn = self.txn.borrow();
+            txn.as_ref()
+                .ok_or_else(|| DbError::Txn("no active transaction".into()))?
+                .id
+        };
+        let mut frames_written = 0u64;
+        {
+            let mut backend = self.backend.borrow_mut();
+            if let Backend::File(fb) = &mut *backend {
+                let mut dirty: Vec<usize> = (0..fb.frames.len())
+                    .filter(|&i| fb.frames[i].dirty)
+                    .collect();
+                dirty.sort_by_key(|&i| fb.frames[i].id);
+                if !dirty.is_empty() {
+                    let db_size = *self.n_pages.borrow();
+                    let mut wal = self.wal.borrow_mut();
+                    if let Some(wal) = wal.as_mut() {
+                        let pages: Vec<(PageId, &Page)> = dirty
+                            .iter()
+                            .map(|&i| (fb.frames[i].id, &fb.frames[i].page))
+                            .collect();
+                        frames_written = wal.commit(txn_id, &pages, db_size, &self.faults)?;
+                        crate::obs::registry().record_wal_frames(frames_written);
+                    }
+                    // Write the pages home. Past the WAL barrier these are
+                    // best-effort: a failed write leaves the frame dirty for
+                    // the checkpoint to retry. Without a WAL the legacy
+                    // contract applies (durability comes from `flush`), so
+                    // failures surface to the caller.
+                    for &i in &dirty {
+                        let off = fb.frames[i].id as u64 * PAGE_SIZE as u64;
+                        let res =
+                            self.faults
+                                .write_at(&mut fb.file, off, fb.frames[i].page.bytes());
+                        match res {
+                            Ok(()) => {
+                                fb.frames[i].dirty = false;
+                                PagerStats::bump(&self.stats.physical_writes);
+                            }
+                            Err(e) if wal.is_none() => return Err(e.into()),
+                            Err(_) => {}
+                        }
+                    }
+                }
+            }
+        }
+        *self.txn.borrow_mut() = None;
+        Ok(frames_written)
+    }
+
+    /// Rolls the open transaction back: restores every pre-image, drops
+    /// pages allocated inside the transaction, and resets the page count.
+    /// Returns `true` if the transaction had modified anything (callers use
+    /// this to know whether derived in-memory state must be rebuilt).
+    pub fn rollback_txn(&self) -> DbResult<bool> {
+        let txn = self
+            .txn
+            .borrow_mut()
+            .take()
+            .ok_or_else(|| DbError::Txn("no active transaction".into()))?;
+        let had_writes = !txn.pre_images.is_empty();
+        let mut backend = self.backend.borrow_mut();
+        match &mut *backend {
+            Backend::Mem(pages) => {
+                for (pid, pre) in txn.pre_images {
+                    if let Some(img) = pre {
+                        if let Some(slot) = pages.get_mut(pid as usize) {
+                            *slot = img;
+                        }
+                    }
+                }
+                pages.truncate(txn.start_pages as usize);
+            }
+            Backend::File(fb) => {
+                let wal_mode = self.wal.borrow().is_some();
+                for (pid, pre) in txn.pre_images {
+                    match pre {
+                        Some(img) => {
+                            if let Some(&idx) = fb.map.get(&pid) {
+                                fb.frames[idx].page = img;
+                                // Dirty so any stale on-file copy (legacy
+                                // steal, or an earlier commit whose home
+                                // write failed) is rewritten later.
+                                fb.frames[idx].dirty = true;
+                            } else {
+                                // Only reachable in legacy mode: eviction
+                                // stole the uncommitted page, so rewrite the
+                                // pre-image in place.
+                                let off = pid as u64 * PAGE_SIZE as u64;
+                                self.faults.write_at(&mut fb.file, off, img.bytes())?;
+                                PagerStats::bump(&self.stats.physical_writes);
+                            }
+                        }
+                        None => {
+                            // Allocated inside the transaction: the page no
+                            // longer exists. Turn its cache slot into a dead
+                            // frame so the clock reclaims it.
+                            if let Some(idx) = fb.map.remove(&pid) {
+                                fb.frames[idx] = Frame {
+                                    id: DEAD_FRAME,
+                                    page: Page::new(),
+                                    dirty: false,
+                                    referenced: false,
+                                };
+                            }
+                        }
+                    }
+                }
+                if !wal_mode {
+                    // Legacy allocation extends the file eagerly; trim the
+                    // rolled-back tail (best effort — orphan zero pages are
+                    // unreachable anyway).
+                    let _ = self
+                        .faults
+                        .set_len(&fb.file, txn.start_pages as u64 * PAGE_SIZE as u64);
+                }
+            }
+        }
+        *self.n_pages.borrow_mut() = txn.start_pages;
+        if had_writes {
+            if let Some(wal) = self.wal.borrow_mut().as_mut() {
+                // Best effort: recovery discards commit-less frames even
+                // when the abort record itself cannot be written.
+                let _ = wal.abort(txn.id, &self.faults);
+            }
+        }
+        Ok(had_writes)
+    }
+
+    /// Fsyncs the database file and truncates the WAL (the checkpoint's I/O
+    /// half). Dirty frames left over from failed post-commit writes are
+    /// retried first. Refused inside a transaction.
+    pub fn checkpoint_wal(&self) -> DbResult<()> {
+        if self.in_txn() {
+            return Err(DbError::Txn("checkpoint inside a transaction".into()));
+        }
+        let mut backend = self.backend.borrow_mut();
+        if let Backend::File(fb) = &mut *backend {
+            for i in 0..fb.frames.len() {
+                if !fb.frames[i].dirty {
+                    continue;
+                }
+                let off = fb.frames[i].id as u64 * PAGE_SIZE as u64;
+                self.faults
+                    .write_at(&mut fb.file, off, fb.frames[i].page.bytes())?;
+                fb.frames[i].dirty = false;
+                PagerStats::bump(&self.stats.physical_writes);
+            }
+            self.faults.sync(&fb.file)?;
+            if let Some(wal) = self.wal.borrow_mut().as_mut() {
+                wal.truncate(&self.faults)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Allocates a fresh, zeroed page and returns its id.
     pub fn allocate(&self) -> DbResult<PageId> {
         let id = *self.n_pages.borrow();
-        *self.n_pages.borrow_mut() = id + 1;
-        match &mut *self.backend.borrow_mut() {
+        let mut backend = self.backend.borrow_mut();
+        match &mut *backend {
             Backend::Mem(pages) => {
                 pages.push(Page::new());
             }
             Backend::File(fb) => {
-                // Extend the file eagerly so page reads never run past EOF.
-                fb.file
-                    .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-                fb.file.write_all(Page::new().bytes())?;
-                PagerStats::bump(&self.stats.physical_writes);
+                if self.wal.borrow().is_some() {
+                    // WAL mode: the zero page enters the cache dirty and
+                    // reaches the file only through a committed frame.
+                    let idx =
+                        Self::pin(fb, id, &self.stats, true, &self.faults, Some(Page::new()))?;
+                    fb.frames[idx].dirty = true;
+                } else {
+                    // Legacy: extend the file eagerly so page reads never
+                    // run past EOF.
+                    self.faults.write_at(
+                        &mut fb.file,
+                        id as u64 * PAGE_SIZE as u64,
+                        Page::new().bytes(),
+                    )?;
+                    PagerStats::bump(&self.stats.physical_writes);
+                }
             }
         }
+        if let Some(t) = self.txn.borrow_mut().as_mut() {
+            t.pre_images.entry(id).or_insert(None);
+        }
+        *self.n_pages.borrow_mut() = id + 1;
         Ok(id)
     }
 
@@ -184,13 +460,15 @@ impl Pager {
                 Ok(f(page))
             }
             Backend::File(fb) => {
-                let idx = Self::pin(fb, id, &self.stats)?;
+                let no_steal = self.no_steal();
+                let idx = Self::pin(fb, id, &self.stats, no_steal, &self.faults, None)?;
                 Ok(f(&fb.frames[idx].page))
             }
         }
     }
 
-    /// Runs `f` with exclusive access to the page, marking it dirty.
+    /// Runs `f` with exclusive access to the page, marking it dirty (and
+    /// capturing a pre-image when a transaction is open).
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> DbResult<R> {
         PagerStats::bump(&self.stats.logical_reads);
         let mut backend = self.backend.borrow_mut();
@@ -199,29 +477,59 @@ impl Pager {
                 let page = pages
                     .get_mut(id as usize)
                     .ok_or_else(|| DbError::Storage(format!("page {id} out of range")))?;
+                if let Some(t) = self.txn.borrow_mut().as_mut() {
+                    t.pre_images.entry(id).or_insert_with(|| Some(page.clone()));
+                }
                 Ok(f(page))
             }
             Backend::File(fb) => {
-                let idx = Self::pin(fb, id, &self.stats)?;
+                let no_steal = self.no_steal();
+                let idx = Self::pin(fb, id, &self.stats, no_steal, &self.faults, None)?;
+                if let Some(t) = self.txn.borrow_mut().as_mut() {
+                    t.pre_images
+                        .entry(id)
+                        .or_insert_with(|| Some(fb.frames[idx].page.clone()));
+                }
                 fb.frames[idx].dirty = true;
                 Ok(f(&mut fb.frames[idx].page))
             }
         }
     }
 
+    /// Dirty pages must stay pinned whenever they are protected by a WAL
+    /// (their only durable copy is the uncheckpointed log or an open
+    /// transaction's buffer) or by an open transaction's pre-images.
+    fn no_steal(&self) -> bool {
+        self.wal.borrow().is_some() || self.txn.borrow().is_some()
+    }
+
     /// Ensures `id` is cached, evicting with the clock algorithm if the pool
-    /// is full. Returns the frame index.
-    fn pin(fb: &mut FileBackend, id: PageId, stats: &PagerStats) -> DbResult<usize> {
+    /// is full; under no-steal the pool grows instead of stealing a dirty
+    /// frame. `preloaded` supplies the page image without a file read (used
+    /// by WAL-mode allocation). Returns the frame index.
+    fn pin(
+        fb: &mut FileBackend,
+        id: PageId,
+        stats: &PagerStats,
+        no_steal: bool,
+        faults: &FaultInjector,
+        preloaded: Option<Page>,
+    ) -> DbResult<usize> {
         if let Some(&idx) = fb.map.get(&id) {
             fb.frames[idx].referenced = true;
             return Ok(idx);
         }
-        PagerStats::bump(&stats.physical_reads);
-        let mut buf = Box::new([0u8; PAGE_SIZE]);
-        fb.file
-            .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-        fb.file.read_exact(&mut buf[..])?;
-        let page = Page::from_bytes(buf);
+        let page = match preloaded {
+            Some(p) => p,
+            None => {
+                PagerStats::bump(&stats.physical_reads);
+                let mut buf = Box::new([0u8; PAGE_SIZE]);
+                fb.file
+                    .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+                fb.file.read_exact(&mut buf[..])?;
+                Page::from_bytes(buf)
+            }
+        };
         if fb.frames.len() < fb.capacity {
             let idx = fb.frames.len();
             fb.frames.push(Frame {
@@ -233,22 +541,47 @@ impl Pager {
             fb.map.insert(id, idx);
             return Ok(idx);
         }
-        // Clock eviction: advance the hand until an unreferenced frame shows.
-        let idx = loop {
+        // Clock eviction: advance the hand until an unreferenced (and, under
+        // no-steal, clean) frame shows. Two full sweeps visit every frame
+        // once with its reference bit cleared; if none is evictable, every
+        // frame is pinned dirty and the pool grows past capacity (it shrinks
+        // back through normal eviction once commits clean the frames).
+        let mut victim = None;
+        let mut examined = 0;
+        let limit = fb.frames.len() * 2;
+        while examined < limit {
             let i = fb.hand;
             fb.hand = (fb.hand + 1) % fb.frames.len();
+            examined += 1;
             if fb.frames[i].referenced {
                 fb.frames[i].referenced = false;
-            } else {
-                break i;
+                continue;
             }
+            if no_steal && fb.frames[i].dirty {
+                continue;
+            }
+            victim = Some(i);
+            break;
+        }
+        let Some(idx) = victim else {
+            let idx = fb.frames.len();
+            fb.frames.push(Frame {
+                id,
+                page,
+                dirty: false,
+                referenced: true,
+            });
+            fb.map.insert(id, idx);
+            return Ok(idx);
         };
         PagerStats::bump(&stats.evictions);
         let victim = &mut fb.frames[idx];
         if victim.dirty {
-            fb.file
-                .seek(SeekFrom::Start(victim.id as u64 * PAGE_SIZE as u64))?;
-            fb.file.write_all(victim.page.bytes())?;
+            faults.write_at(
+                &mut fb.file,
+                victim.id as u64 * PAGE_SIZE as u64,
+                victim.page.bytes(),
+            )?;
             PagerStats::bump(&stats.physical_writes);
         }
         fb.map.remove(&victim.id);
@@ -262,18 +595,24 @@ impl Pager {
         Ok(idx)
     }
 
-    /// Writes all dirty frames back to the file (no-op in memory mode).
+    /// Writes all dirty frames back to the file and fsyncs it (no-op in
+    /// memory mode). In WAL mode this is only safe outside transactions
+    /// (dirty frames then hold committed content), which
+    /// [`Pager::checkpoint_wal`] enforces.
     pub fn flush(&self) -> DbResult<()> {
         let mut backend = self.backend.borrow_mut();
         if let Backend::File(fb) = &mut *backend {
-            for frame in fb.frames.iter_mut().filter(|f| f.dirty) {
-                fb.file
-                    .seek(SeekFrom::Start(frame.id as u64 * PAGE_SIZE as u64))?;
-                fb.file.write_all(frame.page.bytes())?;
-                frame.dirty = false;
+            for i in 0..fb.frames.len() {
+                if !fb.frames[i].dirty {
+                    continue;
+                }
+                let off = fb.frames[i].id as u64 * PAGE_SIZE as u64;
+                self.faults
+                    .write_at(&mut fb.file, off, fb.frames[i].page.bytes())?;
+                fb.frames[i].dirty = false;
                 PagerStats::bump(&self.stats.physical_writes);
             }
-            fb.file.sync_all()?;
+            self.faults.sync(&fb.file)?;
         }
         Ok(())
     }
@@ -283,6 +622,8 @@ impl std::fmt::Debug for Pager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pager")
             .field("pages", &self.page_count())
+            .field("wal", &self.wal_enabled())
+            .field("in_txn", &self.in_txn())
             .finish()
     }
 }
@@ -353,5 +694,98 @@ mod tests {
         let (logical, physical, _) = pager.stats().snapshot();
         assert_eq!(logical, 5);
         assert_eq!(physical, 0);
+    }
+
+    #[test]
+    fn memory_rollback_restores_pages_and_count() {
+        let pager = Pager::in_memory();
+        let a = pager.allocate().unwrap();
+        pager
+            .with_page_mut(a, |p| {
+                p.insert(b"committed").unwrap();
+            })
+            .unwrap();
+        pager.begin_txn().unwrap();
+        pager
+            .with_page_mut(a, |p| {
+                p.insert(b"uncommitted").unwrap();
+            })
+            .unwrap();
+        let b = pager.allocate().unwrap();
+        pager
+            .with_page_mut(b, |p| {
+                p.insert(b"new page").unwrap();
+            })
+            .unwrap();
+        assert!(pager.rollback_txn().unwrap());
+        assert_eq!(pager.page_count(), 1);
+        let live = pager.with_page(a, |p| p.live_count()).unwrap();
+        assert_eq!(live, 1, "only the pre-transaction record remains");
+        assert!(pager.with_page(b, |_| ()).is_err());
+    }
+
+    #[test]
+    fn commit_clears_transaction_state() {
+        let pager = Pager::in_memory();
+        let a = pager.allocate().unwrap();
+        pager.begin_txn().unwrap();
+        pager
+            .with_page_mut(a, |p| {
+                p.insert(b"kept").unwrap();
+            })
+            .unwrap();
+        assert!(pager.txn_has_writes());
+        pager.commit_txn().unwrap();
+        assert!(!pager.in_txn());
+        let live = pager.with_page(a, |p| p.live_count()).unwrap();
+        assert_eq!(live, 1);
+        assert!(pager.begin_txn().is_ok(), "a new transaction can start");
+        pager.commit_txn().unwrap();
+    }
+
+    #[test]
+    fn nested_transactions_are_refused() {
+        let pager = Pager::in_memory();
+        pager.begin_txn().unwrap();
+        assert!(matches!(pager.begin_txn(), Err(DbError::Txn(_))));
+        pager.commit_txn().unwrap();
+        assert!(matches!(pager.commit_txn(), Err(DbError::Txn(_))));
+        assert!(matches!(pager.rollback_txn(), Err(DbError::Txn(_))));
+    }
+
+    #[test]
+    fn wal_mode_grows_pool_instead_of_stealing() {
+        let dir = std::env::temp_dir().join(format!("ordxml-pager-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("nosteal.db");
+        let wal_p = super::super::wal::wal_path(&path);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&wal_p);
+        let pager = Pager::open_file(&path, 8).unwrap();
+        pager.attach_wal(Wal::open(&wal_p).unwrap());
+        pager.begin_txn().unwrap();
+        // Dirty 3x the pool capacity inside one transaction.
+        for i in 0..24u32 {
+            let id = pager.allocate().unwrap();
+            pager
+                .with_page_mut(id, |p| {
+                    p.insert(format!("p{i}").as_bytes()).unwrap();
+                })
+                .unwrap();
+        }
+        let (_, _, phys_writes) = pager.stats().snapshot();
+        assert_eq!(phys_writes, 0, "no-steal: nothing reaches the file yet");
+        let frames = pager.commit_txn().unwrap();
+        assert_eq!(frames, 24);
+        pager.checkpoint_wal().unwrap();
+        drop(pager);
+        let pager = Pager::open_file(&path, 8).unwrap();
+        assert_eq!(pager.page_count(), 24);
+        for i in 0..24u32 {
+            let got = pager.with_page(i, |p| p.get(0).unwrap().to_vec()).unwrap();
+            assert_eq!(got, format!("p{i}").as_bytes());
+        }
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&wal_p).unwrap();
     }
 }

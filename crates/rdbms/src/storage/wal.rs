@@ -1,0 +1,455 @@
+//! The write-ahead log: checksummed page-image frames with commit/abort
+//! records, plus recovery.
+//!
+//! The WAL lives in a sidecar file (`<db>-wal`). Its durability protocol is
+//! physical redo with no-steal buffering:
+//!
+//! 1. While a transaction runs, modified pages stay pinned in the buffer
+//!    pool; the database file is never touched with uncommitted data.
+//! 2. At commit, every dirty page is appended to the WAL as a frame; the
+//!    last frame carries the COMMIT flag and the database's new page count.
+//!    One fsync on the WAL is the commit barrier: after it returns, the
+//!    transaction is durable.
+//! 3. Only then are the pages written into the database file (no fsync —
+//!    the WAL protects them until the next checkpoint truncates it).
+//!
+//! Each frame records the id of the transaction that wrote it. Recovery
+//! scans the log sequentially, verifying magic and checksum; frames of a
+//! transaction become visible only when that transaction's COMMIT frame is
+//! seen, an ABORT record drops its pending frames, and the scan stops at the
+//! first torn or corrupt frame (an unsynced tail can only belong to an
+//! uncommitted transaction, so discarding it is safe). Committed images are
+//! replayed into the database file in log order, the file is truncated to
+//! the last committed page count, fsynced, and the WAL is reset.
+
+use super::fault::FaultInjector;
+use super::page::{Page, PAGE_SIZE};
+use super::pager::PageId;
+use crate::error::{DbError, DbResult};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// WAL file header: magic + format version + reserved.
+const WAL_MAGIC: &[u8; 8] = b"ORDXWAL1";
+/// Size of the WAL file header in bytes.
+pub const WAL_HEADER: u64 = 16;
+/// Frame magic (start of every frame).
+const FRAME_MAGIC: &[u8; 4] = b"WALF";
+/// Frame header: magic(4) flags(4) page_id(4) db_size(4) txn_id(8).
+const FRAME_HEADER: usize = 24;
+/// Total frame size: header + page image + trailing checksum.
+pub const FRAME_BYTES: usize = FRAME_HEADER + PAGE_SIZE + 8;
+
+/// Frame flag: this frame commits its transaction; `db_size` is valid.
+const FLAG_COMMIT: u32 = 1;
+/// Frame flag: abort record; pending frames of `txn_id` are void. The page
+/// image is unused (zeroed).
+const FLAG_ABORT: u32 = 2;
+
+/// Derives the sidecar WAL path for a database file path.
+pub fn wal_path(db_path: &Path) -> PathBuf {
+    let mut os = db_path.as_os_str().to_os_string();
+    os.push("-wal");
+    PathBuf::from(os)
+}
+
+/// 64-bit FNV-1a over `bytes` (checksum of frame header + payload).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn build_frame(flags: u32, page_id: PageId, db_size: u32, txn_id: u64, image: &[u8]) -> Vec<u8> {
+    debug_assert_eq!(image.len(), PAGE_SIZE);
+    let mut buf = Vec::with_capacity(FRAME_BYTES);
+    buf.extend_from_slice(FRAME_MAGIC);
+    buf.extend_from_slice(&flags.to_le_bytes());
+    buf.extend_from_slice(&page_id.to_le_bytes());
+    buf.extend_from_slice(&db_size.to_le_bytes());
+    buf.extend_from_slice(&txn_id.to_le_bytes());
+    buf.extend_from_slice(image);
+    let sum = fnv1a(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// A parsed WAL frame.
+struct FrameView {
+    flags: u32,
+    page_id: PageId,
+    db_size: u32,
+    txn_id: u64,
+    image: Box<[u8; PAGE_SIZE]>,
+}
+
+fn parse_frame(buf: &[u8]) -> Option<FrameView> {
+    if buf.len() != FRAME_BYTES || &buf[..4] != FRAME_MAGIC {
+        return None;
+    }
+    let body = &buf[..FRAME_HEADER + PAGE_SIZE];
+    let sum = u64::from_le_bytes(buf[FRAME_HEADER + PAGE_SIZE..].try_into().ok()?);
+    if fnv1a(body) != sum {
+        return None;
+    }
+    let flags = u32::from_le_bytes(buf[4..8].try_into().ok()?);
+    let page_id = u32::from_le_bytes(buf[8..12].try_into().ok()?);
+    let db_size = u32::from_le_bytes(buf[12..16].try_into().ok()?);
+    let txn_id = u64::from_le_bytes(buf[16..24].try_into().ok()?);
+    let mut image = Box::new([0u8; PAGE_SIZE]);
+    image.copy_from_slice(&buf[FRAME_HEADER..FRAME_HEADER + PAGE_SIZE]);
+    Some(FrameView {
+        flags,
+        page_id,
+        db_size,
+        txn_id,
+        image,
+    })
+}
+
+/// An open write-ahead log (append side). Recovery is a free function
+/// ([`recover`]) that runs *before* the database and its pager are built.
+pub struct Wal {
+    file: File,
+    /// Append offset (end of the last durable-or-pending frame).
+    end: u64,
+    /// Frames currently in the log since the last truncation.
+    frames_in_log: u64,
+}
+
+impl Wal {
+    /// Opens (or creates) the WAL at `path`, writing a fresh header when the
+    /// file is new. Expects [`recover`] to have already dealt with any
+    /// leftover frames; any that remain are treated as live log content.
+    pub fn open(path: &Path) -> DbResult<Wal> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        let end = if len < WAL_HEADER {
+            let mut header = Vec::with_capacity(WAL_HEADER as usize);
+            header.extend_from_slice(WAL_MAGIC);
+            header.extend_from_slice(&1u32.to_le_bytes());
+            header.extend_from_slice(&0u32.to_le_bytes());
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            std::io::Write::write_all(&mut file, &header)?;
+            WAL_HEADER
+        } else {
+            len
+        };
+        let frames_in_log = (end - WAL_HEADER) / FRAME_BYTES as u64;
+        Ok(Wal {
+            file,
+            end,
+            frames_in_log,
+        })
+    }
+
+    /// Number of frames appended since the last truncation.
+    pub fn frames_in_log(&self) -> u64 {
+        self.frames_in_log
+    }
+
+    /// Appends one transaction's page images and commits it: the last frame
+    /// carries the COMMIT flag and `db_size`, and the WAL is fsynced (the
+    /// durability barrier). Returns the number of frames written.
+    ///
+    /// On error the transaction is NOT committed (the caller should roll
+    /// back); any frames already appended are voided by their missing commit
+    /// record and discarded at the next recovery or overwritten by
+    /// truncation.
+    pub fn commit(
+        &mut self,
+        txn_id: u64,
+        pages: &[(PageId, &Page)],
+        db_size: u32,
+        faults: &FaultInjector,
+    ) -> DbResult<u64> {
+        debug_assert!(!pages.is_empty(), "empty commits are skipped by the pager");
+        let mut written = 0u64;
+        for (i, (pid, page)) in pages.iter().enumerate() {
+            let last = i + 1 == pages.len();
+            let flags = if last { FLAG_COMMIT } else { 0 };
+            let frame = build_frame(flags, *pid, db_size, txn_id, page.bytes());
+            faults.wal_frame_gate()?;
+            faults.write_at(&mut self.file, self.end, &frame)?;
+            self.end += FRAME_BYTES as u64;
+            self.frames_in_log += 1;
+            written += 1;
+        }
+        faults.sync(&self.file)?;
+        Ok(written)
+    }
+
+    /// Appends an abort record for `txn_id` (best effort: the caller may
+    /// ignore failures — recovery discards commit-less frames anyway).
+    pub fn abort(&mut self, txn_id: u64, faults: &FaultInjector) -> DbResult<()> {
+        let zero = [0u8; PAGE_SIZE];
+        let frame = build_frame(FLAG_ABORT, 0, 0, txn_id, &zero);
+        faults.wal_frame_gate()?;
+        faults.write_at(&mut self.file, self.end, &frame)?;
+        self.end += FRAME_BYTES as u64;
+        self.frames_in_log += 1;
+        faults.sync(&self.file)?;
+        Ok(())
+    }
+
+    /// Resets the log to an empty header. Callers must have fsynced the
+    /// database file first (this is the checkpoint's last step).
+    pub fn truncate(&mut self, faults: &FaultInjector) -> DbResult<()> {
+        faults.set_len(&self.file, WAL_HEADER)?;
+        faults.sync(&self.file)?;
+        self.end = WAL_HEADER;
+        self.frames_in_log = 0;
+        Ok(())
+    }
+}
+
+/// What [`recover`] did on open.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `true` if the WAL held any frames (i.e. the previous session did not
+    /// shut down through a clean checkpoint).
+    pub ran: bool,
+    /// Committed frames replayed into the database file.
+    pub replayed_frames: u64,
+    /// Commit-less (torn or uncommitted) frames discarded.
+    pub discarded_frames: u64,
+}
+
+/// Replays committed WAL transactions into the database file and discards
+/// torn or uncommitted tails. Runs before the pager opens the database, so
+/// it works directly on the files. Idempotent: recovering twice (e.g. after
+/// a crash during recovery itself) converges to the same state because
+/// replay only writes committed images and the WAL is truncated last.
+pub fn recover(db_path: &Path, wal_p: &Path) -> DbResult<RecoveryReport> {
+    let mut report = RecoveryReport::default();
+    let Ok(mut wal_file) = OpenOptions::new().read(true).write(true).open(wal_p) else {
+        return Ok(report); // No WAL: nothing to do.
+    };
+    let len = wal_file.metadata()?.len();
+    let mut header = [0u8; WAL_HEADER as usize];
+    let header_ok = len >= WAL_HEADER && {
+        wal_file.seek(SeekFrom::Start(0))?;
+        wal_file.read_exact(&mut header)?;
+        &header[..8] == WAL_MAGIC
+    };
+    if !header_ok {
+        // A torn header can only come from a crash while creating a brand
+        // new WAL — before any commit — so the log carries no durable data.
+        wal_file.set_len(0)?;
+        wal_file.sync_all()?;
+        report.ran = len > 0;
+        return Ok(report);
+    }
+    // Scan frames: committed images apply in log order, abort records void
+    // their transaction, and the scan stops at the first corrupt frame.
+    let mut pending: Vec<(u64, PageId, Box<[u8; PAGE_SIZE]>)> = Vec::new();
+    let mut committed: Vec<(PageId, Box<[u8; PAGE_SIZE]>)> = Vec::new();
+    let mut last_db_size: Option<u32> = None;
+    let mut off = WAL_HEADER;
+    let mut buf = vec![0u8; FRAME_BYTES];
+    while off + FRAME_BYTES as u64 <= len {
+        wal_file.seek(SeekFrom::Start(off))?;
+        wal_file.read_exact(&mut buf)?;
+        let Some(frame) = parse_frame(&buf) else {
+            break; // Torn/corrupt frame: everything from here is discarded.
+        };
+        report.ran = true;
+        off += FRAME_BYTES as u64;
+        if frame.flags & FLAG_ABORT != 0 {
+            let before = pending.len();
+            pending.retain(|(t, _, _)| *t != frame.txn_id);
+            report.discarded_frames += (before - pending.len()) as u64;
+        } else if frame.flags & FLAG_COMMIT != 0 {
+            // This transaction is durable: promote its frames (and this
+            // one). Pending frames of other, older transactions never got a
+            // commit record, so they are aborted leftovers.
+            let txn = frame.txn_id;
+            for (t, pid, image) in pending.drain(..) {
+                if t == txn {
+                    committed.push((pid, image));
+                    report.replayed_frames += 1;
+                } else {
+                    report.discarded_frames += 1;
+                }
+            }
+            committed.push((frame.page_id, frame.image));
+            report.replayed_frames += 1;
+            last_db_size = Some(frame.db_size);
+        } else {
+            pending.push((frame.txn_id, frame.page_id, frame.image));
+        }
+    }
+    report.ran |= len > WAL_HEADER;
+    report.discarded_frames += pending.len() as u64;
+    if let Some(db_size) = last_db_size {
+        let db = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(db_path)?;
+        let mut db = db;
+        for (pid, image) in &committed {
+            if *pid >= db_size {
+                return Err(DbError::Storage(format!(
+                    "WAL frame for page {pid} beyond committed size {db_size}"
+                )));
+            }
+            db.seek(SeekFrom::Start(u64::from(*pid) * PAGE_SIZE as u64))?;
+            std::io::Write::write_all(&mut db, &image[..])?;
+        }
+        // The committed page count is authoritative: this truncates any torn
+        // partial page at EOF and extends holes with zeros.
+        db.set_len(u64::from(db_size) * PAGE_SIZE as u64)?;
+        db.sync_all()?;
+    } else if let Ok(meta) = std::fs::metadata(db_path) {
+        // No committed transactions; defensively trim a torn partial page.
+        let tail = meta.len() % PAGE_SIZE as u64;
+        if tail != 0 {
+            let db = OpenOptions::new().write(true).open(db_path)?;
+            db.set_len(meta.len() - tail)?;
+            db.sync_all()?;
+        }
+    }
+    wal_file.set_len(WAL_HEADER)?;
+    wal_file.sync_all()?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ordxml-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(wal_path(&path));
+        path
+    }
+
+    fn page_with(byte: u8) -> Page {
+        let mut p = Page::new();
+        p.insert(&[byte; 16]).unwrap();
+        p
+    }
+
+    #[test]
+    fn commit_then_recover_replays_images() {
+        let db = scratch("replay.db");
+        let wal_p = wal_path(&db);
+        std::fs::write(&db, vec![0u8; 2 * PAGE_SIZE]).unwrap();
+        let faults = FaultInjector::new();
+        {
+            let mut wal = Wal::open(&wal_p).unwrap();
+            let p0 = page_with(7);
+            let p1 = page_with(9);
+            wal.commit(1, &[(0, &p0), (1, &p1)], 2, &faults).unwrap();
+        }
+        let report = recover(&db, &wal_p).unwrap();
+        assert!(report.ran);
+        assert_eq!(report.replayed_frames, 2);
+        assert_eq!(report.discarded_frames, 0);
+        let bytes = std::fs::read(&db).unwrap();
+        assert_eq!(bytes.len(), 2 * PAGE_SIZE);
+        let p0 = Page::from_bytes(Box::new(bytes[..PAGE_SIZE].try_into().unwrap()));
+        assert_eq!(p0.get(0).unwrap(), &[7u8; 16][..]);
+        // Recovery truncated the WAL: a second pass is a no-op.
+        let again = recover(&db, &wal_p).unwrap();
+        assert!(!again.ran);
+        std::fs::remove_file(&db).unwrap();
+        std::fs::remove_file(&wal_p).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_tail_is_discarded() {
+        let db = scratch("tail.db");
+        let wal_p = wal_path(&db);
+        std::fs::write(&db, vec![0u8; PAGE_SIZE]).unwrap();
+        let before = std::fs::read(&db).unwrap();
+        let faults = FaultInjector::new();
+        {
+            let mut wal = Wal::open(&wal_p).unwrap();
+            // Simulate a crash mid-commit: first frame lands, commit frame
+            // does not.
+            faults.crash_after_wal_frames(1);
+            let p0 = page_with(5);
+            let p1 = page_with(6);
+            assert!(wal.commit(1, &[(0, &p0), (1, &p1)], 2, &faults).is_err());
+        }
+        let report = recover(&db, &wal_p).unwrap();
+        assert!(report.ran);
+        assert_eq!(report.replayed_frames, 0);
+        assert_eq!(report.discarded_frames, 1);
+        assert_eq!(std::fs::read(&db).unwrap(), before, "db file untouched");
+        std::fs::remove_file(&db).unwrap();
+        std::fs::remove_file(&wal_p).unwrap();
+    }
+
+    #[test]
+    fn torn_frame_stops_the_scan() {
+        let db = scratch("torn.db");
+        let wal_p = wal_path(&db);
+        std::fs::write(&db, vec![0u8; PAGE_SIZE]).unwrap();
+        let faults = FaultInjector::new();
+        {
+            let mut wal = Wal::open(&wal_p).unwrap();
+            let p0 = page_with(3);
+            wal.commit(1, &[(0, &p0)], 1, &faults).unwrap();
+        }
+        // Append garbage that is frame-sized but fails its checksum, then a
+        // valid-looking but commit-less fragment.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&wal_p).unwrap();
+            f.write_all(&vec![0xAB; FRAME_BYTES]).unwrap();
+        }
+        let report = recover(&db, &wal_p).unwrap();
+        assert_eq!(report.replayed_frames, 1, "the committed frame replays");
+        let bytes = std::fs::read(&db).unwrap();
+        let p0 = Page::from_bytes(Box::new(bytes[..PAGE_SIZE].try_into().unwrap()));
+        assert_eq!(p0.get(0).unwrap(), &[3u8; 16][..]);
+        std::fs::remove_file(&db).unwrap();
+        std::fs::remove_file(&wal_p).unwrap();
+    }
+
+    #[test]
+    fn abort_record_voids_pending_frames() {
+        let db = scratch("abort.db");
+        let wal_p = wal_path(&db);
+        std::fs::write(&db, vec![0u8; PAGE_SIZE]).unwrap();
+        let faults = FaultInjector::new();
+        {
+            let mut wal = Wal::open(&wal_p).unwrap();
+            // Hand-roll an incomplete transaction 1 (no commit), abort it,
+            // then commit transaction 2.
+            let p = page_with(1);
+            let frame = build_frame(0, 0, 0, 1, p.bytes());
+            faults.write_at(&mut wal.file, wal.end, &frame).unwrap();
+            wal.end += FRAME_BYTES as u64;
+            wal.frames_in_log += 1;
+            wal.abort(1, &faults).unwrap();
+            let p2 = page_with(2);
+            wal.commit(2, &[(0, &p2)], 1, &faults).unwrap();
+        }
+        let report = recover(&db, &wal_p).unwrap();
+        assert_eq!(report.discarded_frames, 1);
+        assert_eq!(report.replayed_frames, 1);
+        let bytes = std::fs::read(&db).unwrap();
+        let p0 = Page::from_bytes(Box::new(bytes[..PAGE_SIZE].try_into().unwrap()));
+        assert_eq!(p0.get(0).unwrap(), &[2u8; 16][..], "txn 2 wins");
+        std::fs::remove_file(&db).unwrap();
+        std::fs::remove_file(&wal_p).unwrap();
+    }
+}

@@ -57,6 +57,10 @@ impl Shell {
             "     plan cache: hits={} misses={} (descents={})",
             o.plan_cache_hits, o.plan_cache_misses, o.btree_descents
         );
+        println!(
+            "     durability: wal_frames={} commits={} rollbacks={} recoveries={}",
+            o.wal_frames_written, o.txn_commits, o.txn_rollbacks, o.recoveries_run
+        );
         println!();
     }
 
