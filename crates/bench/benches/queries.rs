@@ -31,7 +31,7 @@ fn bench_queries(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(2));
     for enc in Encoding::all() {
-        let mut store = XmlStore::new(Database::in_memory(), enc);
+        let store = XmlStore::new(Database::in_memory(), enc);
         let d = store
             .load_document_with(&doc, "bench", OrderConfig::default())
             .unwrap();

@@ -20,7 +20,7 @@ fn bench_shred(c: &mut Criterion) {
     for enc in Encoding::all() {
         group.bench_with_input(BenchmarkId::new("catalog", enc.name()), &doc, |b, doc| {
             b.iter(|| {
-                let mut store = XmlStore::new(Database::in_memory(), enc);
+                let store = XmlStore::new(Database::in_memory(), enc);
                 store
                     .load_document_with(doc, "b", OrderConfig::default())
                     .unwrap()
@@ -46,7 +46,7 @@ fn bench_parse_and_reconstruct(c: &mut Criterion) {
         b.iter(|| doc.to_xml().len());
     });
     for enc in Encoding::all() {
-        let mut store = XmlStore::new(Database::in_memory(), enc);
+        let store = XmlStore::new(Database::in_memory(), enc);
         let d = store
             .load_document_with(&doc, "b", OrderConfig::default())
             .unwrap();

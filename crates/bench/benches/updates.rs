@@ -33,13 +33,13 @@ fn bench_inserts(c: &mut Criterion) {
                 |b, &index| {
                     b.iter_with_setup(
                         || {
-                            let mut store = XmlStore::new(Database::in_memory(), enc);
+                            let store = XmlStore::new(Database::in_memory(), enc);
                             let d = store
                                 .load_document_with(&doc, "b", OrderConfig::with_gap(1))
                                 .unwrap();
                             (store, d)
                         },
-                        |(mut store, d)| {
+                        |(store, d)| {
                             store
                                 .insert_fragment(d, &NodePath(vec![]), index, &frag)
                                 .unwrap()
@@ -65,7 +65,7 @@ fn bench_gapped_inserts(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(3));
     for enc in Encoding::all() {
         group.bench_function(BenchmarkId::new("middle", enc.name()), |b| {
-            let mut store = XmlStore::new(Database::in_memory(), enc);
+            let store = XmlStore::new(Database::in_memory(), enc);
             let d = store
                 .load_document_with(&doc, "b", OrderConfig::default())
                 .unwrap();

@@ -1,6 +1,6 @@
-//! The experiment runner: prints the paper-style tables for E1–E10 and
-//! writes the same results — plus per-experiment engine counters — to
-//! `BENCH_report.json`.
+//! The experiment runner: prints the paper-style tables for E1–E10 plus
+//! E12 (concurrent read throughput) and writes the same results — plus
+//! per-experiment engine counters — to `BENCH_report.json`.
 //!
 //! ```text
 //! report              # all experiments, quick scale
@@ -70,7 +70,7 @@ fn main() {
                 records.push(r);
             }
             None => {
-                eprintln!("unknown experiment `{id}` (expected e1..e11 or `all`)");
+                eprintln!("unknown experiment `{id}` (expected e1..e12 or `all`)");
                 std::process::exit(2);
             }
         }
@@ -81,6 +81,10 @@ fn main() {
             Scale::Full => "full",
         };
         let json = report::to_json(scale_name, &records);
+        if let Err(e) = ordxml_bench::json::validate(&json) {
+            eprintln!("report writer produced malformed JSON: {e}");
+            std::process::exit(1);
+        }
         let path = "BENCH_report.json";
         match std::fs::write(path, &json) {
             Ok(()) => println!("\nwrote {path} ({} experiments)", records.len()),

@@ -21,7 +21,7 @@ pub fn run(scale: Scale) {
         let doc = datagen::catalog(items, 1);
         let rows = datagen::row_count(&doc) as u64;
         for enc in Encoding::all() {
-            let mut store = XmlStore::new(Database::in_memory(), enc);
+            let store = XmlStore::new(Database::in_memory(), enc);
             let t0 = Instant::now();
             let d = store
                 .load_document_with(&doc, "load", OrderConfig::default())

@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E11). See `DESIGN.md` §5 for the index and
+//! The experiment suite (E1–E12). See `DESIGN.md` §5 for the index and
 //! `EXPERIMENTS.md` for recorded results vs the paper's claims.
 
 pub mod e01_storage;
@@ -12,13 +12,14 @@ pub mod e08_gaps;
 pub mod e09_mixed;
 pub mod e10_scale;
 pub mod e11_durability;
+pub mod e12_concurrency;
 
 use crate::report::{self, EngineDelta, ExperimentRecord};
 use crate::Scale;
 use ordxml_rdbms::obs;
 use std::time::Instant;
 
-/// Runs one experiment by id (`"e1"`..`"e11"`), bracketing it with engine
+/// Runs one experiment by id (`"e1"`..`"e12"`), bracketing it with engine
 /// counter snapshots; returns its record for the machine-readable report,
 /// or `None` for an unknown id.
 pub fn run(id: &str, scale: Scale) -> Option<ExperimentRecord> {
@@ -37,6 +38,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentRecord> {
         "e9" => e09_mixed::run(scale),
         "e10" => e10_scale::run(scale),
         "e11" => e11_durability::run(scale),
+        "e12" => e12_concurrency::run(scale),
         _ => return None,
     }
     let elapsed = started.elapsed();
@@ -51,5 +53,8 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentRecord> {
 
 /// The default experiment ids, in order. E11 (file-backed durability) is
 /// not in the default sweep; the report binary adds it with `--durable`,
-/// or run it explicitly by id.
-pub const ALL: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
+/// or run it explicitly by id. E12 (concurrent read throughput) runs by
+/// default: it is in-memory and its quick windows are sub-second.
+pub const ALL: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12",
+];

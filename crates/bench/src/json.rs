@@ -1,0 +1,332 @@
+//! A minimal JSON syntax checker for the hand-rolled report writer.
+//!
+//! `BENCH_report.json` is emitted by string concatenation (the build
+//! environment has no serialization crates), so nothing structurally
+//! guarantees the output parses. This module is the regression net:
+//! [`validate`] walks the full RFC 8259 grammar and fails on unescaped
+//! control characters, bad escapes, trailing commas, or unbalanced
+//! nesting, and [`decoded_strings`] additionally un-escapes every string
+//! literal so tests can assert that adversarial table content round-trips
+//! byte-for-byte.
+
+use std::fmt;
+
+/// A syntax error with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Nesting depth cap: far beyond any report the writer emits, but keeps
+/// the recursive checker safe on adversarial input.
+const MAX_DEPTH: usize = 128;
+
+/// Checks that `input` is exactly one well-formed JSON document.
+pub fn validate(input: &str) -> Result<(), JsonError> {
+    Checker::new(input).run().map(|_| ())
+}
+
+/// Validates `input` and returns every string literal it contains
+/// (object keys included), decoded, in source order.
+pub fn decoded_strings(input: &str) -> Result<Vec<String>, JsonError> {
+    let mut c = Checker::new(input);
+    c.collect = true;
+    c.run()
+}
+
+struct Checker<'a> {
+    input: &'a [u8],
+    pos: usize,
+    collect: bool,
+    strings: Vec<String>,
+}
+
+impl<'a> Checker<'a> {
+    fn new(input: &'a str) -> Checker<'a> {
+        Checker {
+            input: input.as_bytes(),
+            pos: 0,
+            collect: false,
+            strings: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<String>, JsonError> {
+        self.skip_ws();
+        self.value(0)?;
+        self.skip_ws();
+        if self.pos < self.input.len() {
+            return Err(self.error("trailing content after the document"));
+        }
+        Ok(self.strings)
+    }
+
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        if self.input[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<(), JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting deeper than the validator supports"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(|_| ()),
+            Some(b't') if self.eat("true") => Ok(()),
+            Some(b'f') if self.eat("false") => Ok(()),
+            Some(b'n') if self.eat("null") => Ok(()),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.error(format!("unexpected byte 0x{c:02x}"))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<(), JsonError> {
+        self.pos += 1; // '{'
+        self.skip_ws();
+        if self.eat("}") {
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.error("expected an object key"));
+            }
+            self.string()?;
+            self.skip_ws();
+            if !self.eat(":") {
+                return Err(self.error("expected `:` after an object key"));
+            }
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            if self.eat(",") {
+                continue;
+            }
+            if self.eat("}") {
+                return Ok(());
+            }
+            return Err(self.error("expected `,` or `}` in an object"));
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<(), JsonError> {
+        self.pos += 1; // '['
+        self.skip_ws();
+        if self.eat("]") {
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            if self.eat(",") {
+                continue;
+            }
+            if self.eat("]") {
+                return Ok(());
+            }
+            return Err(self.error("expected `,` or `]` in an array"));
+        }
+    }
+
+    fn string(&mut self) -> Result<(), JsonError> {
+        self.pos += 1; // opening quote
+        let mut decoded = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    if self.collect {
+                        self.strings.push(decoded);
+                    }
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => decoded.push('"'),
+                        Some(b'\\') => decoded.push('\\'),
+                        Some(b'/') => decoded.push('/'),
+                        Some(b'b') => decoded.push('\u{8}'),
+                        Some(b'f') => decoded.push('\u{c}'),
+                        Some(b'n') => decoded.push('\n'),
+                        Some(b'r') => decoded.push('\r'),
+                        Some(b't') => decoded.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs are not emitted by the report
+                            // writer; lone surrogates are rejected.
+                            let c = char::from_u32(cp)
+                                .ok_or_else(|| self.error("lone surrogate in \\u escape"))?;
+                            decoded.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.error(format!("raw control character 0x{c:02x} in string")));
+                }
+                Some(c) if c < 0x80 => {
+                    decoded.push(c as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: the input is a &str, so the sequence
+                    // is valid; copy it through.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.peek().is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    decoded.push_str(
+                        std::str::from_utf8(&self.input[start..self.pos])
+                            .expect("validated UTF-8 (input is &str)"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut cp = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
+                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                _ => return Err(self.error("expected four hex digits after \\u")),
+            };
+            cp = cp * 16 + d;
+            self.pos += 1;
+        }
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<(), JsonError> {
+        self.eat("-");
+        // Integer part: `0` alone or a non-zero-led digit run.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+            }
+            Some(b'1'..=b'9') => {
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("expected a digit")),
+        }
+        if self.eat(".") {
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return Err(self.error("expected a digit after `.`"));
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return Err(self.error("expected a digit in the exponent"));
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-0.5e+10",
+            "\"plain\"",
+            r#"{"a": [1, 2.5, {"b": "c\nd"}], "e": null}"#,
+            "\"\\u0041\\u00e9\"",
+            "  {\n\t\"k\" : -12 }  ",
+        ] {
+            assert!(validate(ok).is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for (bad, why) in [
+            ("{", "unterminated object"),
+            ("[1,]", "trailing comma"),
+            ("{\"a\" 1}", "missing colon"),
+            ("{\"a\": 1,}", "trailing comma in object"),
+            ("{1: 2}", "non-string key"),
+            ("\"x", "unterminated string"),
+            ("\"a\u{1}b\"", "raw control char"),
+            ("\"\\q\"", "bad escape"),
+            ("\"\\u12g4\"", "bad hex escape"),
+            ("01", "leading zero"),
+            ("1.e5", "missing fraction digit"),
+            ("1e", "missing exponent digit"),
+            ("[] []", "trailing content"),
+            ("", "empty input"),
+        ] {
+            assert!(validate(bad).is_err(), "accepted {why}: {bad:?}");
+        }
+        let deep = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        assert!(validate(&deep).is_err(), "depth cap");
+    }
+
+    #[test]
+    fn decodes_string_literals() {
+        let got = decoded_strings(r#"{"k\n1": ["a\tb", "\"q\"", "\u0007"]}"#).unwrap();
+        assert_eq!(got, vec!["k\n1", "a\tb", "\"q\"", "\u{7}"]);
+    }
+}

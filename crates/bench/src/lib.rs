@@ -19,6 +19,7 @@
 pub mod datagen;
 pub mod experiments;
 pub mod harness;
+pub mod json;
 pub mod report;
 pub mod workload;
 

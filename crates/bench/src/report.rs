@@ -57,6 +57,8 @@ pub struct EngineDelta {
     pub txn_rollbacks: u64,
     /// WAL recoveries run by `Database::open`.
     pub recoveries_run: u64,
+    /// Contended lock acquisitions (the caller blocked at least once).
+    pub lock_waits: u64,
 }
 
 impl EngineDelta {
@@ -83,6 +85,7 @@ impl EngineDelta {
             txn_commits: after.txn_commits - before.txn_commits,
             txn_rollbacks: after.txn_rollbacks - before.txn_rollbacks,
             recoveries_run: after.recoveries_run - before.recoveries_run,
+            lock_waits: after.lock_waits - before.lock_waits,
         }
     }
 }
@@ -162,7 +165,8 @@ pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
              \"write_time_ms\": {:.3},\n        \"btree_descents\": {},\n        \
              \"plan_cache_hits\": {},\n        \"plan_cache_misses\": {},\n        \
              \"wal_frames_written\": {},\n        \"txn_commits\": {},\n        \
-             \"txn_rollbacks\": {},\n        \"recoveries_run\": {}\n",
+             \"txn_rollbacks\": {},\n        \"recoveries_run\": {},\n        \
+             \"lock_waits\": {}\n",
             r.engine.statements,
             r.engine.statement_errors,
             r.engine.slow_statements,
@@ -177,6 +181,7 @@ pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
             r.engine.txn_commits,
             r.engine.txn_rollbacks,
             r.engine.recoveries_run,
+            r.engine.lock_waits,
         ));
         out.push_str("      },\n");
         out.push_str("      \"tables\": [\n");
@@ -238,6 +243,7 @@ mod tests {
         assert!(json.contains("\"btree_descents\": 0"));
         assert!(json.contains("\"wal_frames_written\": 0"));
         assert!(json.contains("\"txn_commits\": 0"));
+        assert!(json.contains("\"lock_waits\": 0"));
         assert!(json.contains("t \\\"quoted\\\""));
         assert!(json.contains("x\\ny"));
         // Crude balance check on the hand-rolled writer.
@@ -247,6 +253,50 @@ mod tests {
             "unbalanced braces:\n{json}"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn report_with_adversarial_cells_is_valid_json_and_round_trips() {
+        // Every control character, both quote styles, backslashes, and
+        // multi-byte text — pushed through title, headers, and cells of a
+        // full report document, then checked against the hand-rolled
+        // validator and decoded back byte-for-byte.
+        let mut hostile = String::from("label \"q\" \\ é 世界 ");
+        for b in 0u8..0x20 {
+            hostile.push(b as char);
+        }
+        let rec = ExperimentRecord {
+            id: hostile.clone(),
+            elapsed: Duration::from_millis(1),
+            engine: EngineDelta::default(),
+            tables: vec![RecordedTable {
+                title: hostile.clone(),
+                headers: vec![hostile.clone(), "plain".into()],
+                rows: vec![vec![hostile.clone(), "v".into()]],
+            }],
+        };
+        let json = to_json(&hostile, &[rec]);
+        crate::json::validate(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        let strings = crate::json::decoded_strings(&json).unwrap();
+        let hits = strings.iter().filter(|s| **s == hostile).count();
+        // scale + id + title + one header + one cell.
+        assert_eq!(hits, 5, "adversarial label lost in round-trip:\n{json}");
+    }
+
+    #[test]
+    fn empty_and_nested_reports_stay_valid() {
+        crate::json::validate(&to_json("quick", &[])).unwrap();
+        let rec = ExperimentRecord {
+            id: "e0".into(),
+            elapsed: Duration::ZERO,
+            engine: EngineDelta::default(),
+            tables: vec![RecordedTable {
+                title: "empty".into(),
+                headers: Vec::new(),
+                rows: Vec::new(),
+            }],
+        };
+        crate::json::validate(&to_json("full", &[rec])).unwrap();
     }
 
     #[test]

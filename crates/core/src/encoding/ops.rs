@@ -18,12 +18,15 @@ pub fn spread(lo: i64, hi: i64, n: usize) -> Option<Vec<i64>> {
         return None;
     }
     // Even placement: value_i = lo + (i+1) * (hi - lo) / (n + 1), nudged to
-    // stay strictly increasing when the interval is tight.
-    let span = hi - lo;
+    // stay strictly increasing when the interval is tight. The ideal-value
+    // product is computed in i128: callers probe intervals that reach up to
+    // `i64::MAX` when a document's positions sit near the type boundary, so
+    // `(i + 1) * span` does not fit in i64.
+    let span = (hi - lo) as i128;
     let mut out = Vec::with_capacity(n);
     let mut prev = lo;
     for i in 0..n {
-        let ideal = lo + ((i as i64 + 1) * span) / (n as i64 + 1);
+        let ideal = lo + (((i as i128 + 1) * span) / (n as i128 + 1)) as i64;
         let v = ideal.max(prev + 1).min(hi - (n as i64 - i as i64));
         debug_assert!(v > prev && v < hi);
         out.push(v);
@@ -43,9 +46,19 @@ pub fn spread_u64(lo: u64, hi: u64, n: usize) -> Option<Vec<u64>> {
 
 /// Dense relabelling: the value of the `i`-th (0-based) item under gap `g`,
 /// i.e. `(i + 1) * g`. Used when a sibling list (Local/Dewey) or a whole
-/// document (Global) is renumbered from scratch.
+/// document (Global) is renumbered from scratch. Saturates at `i64::MAX`
+/// instead of wrapping — callers clamp the gap with [`renumber_gap`] first,
+/// so saturation is a last-resort backstop, not a collision source.
 pub fn renumber_value(i: usize, gap: u64) -> i64 {
-    ((i as u64 + 1) * gap) as i64
+    (i as u64 + 1).saturating_mul(gap).min(i64::MAX as u64) as i64
+}
+
+/// The gap to use when densely renumbering `n` items: the document's
+/// configured gap, clamped so the largest assigned value `(n + 1) * gap`
+/// still fits in `i64`. An adversarially large `OrderConfig::gap` would
+/// otherwise wrap [`renumber_value`] and collide order keys.
+pub fn renumber_gap(n: usize, gap: u64) -> u64 {
+    gap.clamp(1, i64::MAX as u64 / (n as u64 + 2))
 }
 
 #[cfg(test)]
@@ -70,6 +83,38 @@ mod tests {
         assert_eq!(spread(0, 1, 1), None);
         assert_eq!(spread(3, 3, 1), None);
         assert_eq!(spread(5, 3, 1), None, "inverted interval");
+    }
+
+    #[test]
+    fn spread_survives_the_i64_boundary() {
+        // Intervals reaching i64::MAX must not overflow the internal
+        // placement arithmetic.
+        let got = spread(i64::MAX - 20, i64::MAX, 3).unwrap();
+        assert_eq!(got.len(), 3);
+        let mut prev = i64::MAX - 20;
+        for &v in &got {
+            assert!(v > prev && v < i64::MAX, "{got:?}");
+            prev = v;
+        }
+        // A huge span with several values: the ideal-product would wrap i64.
+        let got = spread(0, i64::MAX, 4).unwrap();
+        assert_eq!(got.len(), 4);
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "{got:?}");
+        // No room at the very top.
+        assert_eq!(spread(i64::MAX - 1, i64::MAX, 1), None);
+    }
+
+    #[test]
+    fn renumber_value_saturates_and_gap_clamps() {
+        // Unclamped huge gaps saturate instead of wrapping negative.
+        assert_eq!(renumber_value(3, u64::MAX), i64::MAX);
+        assert!(renumber_value(0, i64::MAX as u64) > 0);
+        // The clamp keeps the largest assigned value within i64.
+        let g = renumber_gap(1000, u64::MAX);
+        assert!(g >= 1);
+        assert!((1000u64 + 1).checked_mul(g).unwrap() <= i64::MAX as u64);
+        // Ordinary gaps pass through unchanged.
+        assert_eq!(renumber_gap(10, 32), 32);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 /// Serializes the subtree rooted at `node`: XML text for elements, the raw
 /// value for text/attribute/comment/PI nodes.
 pub fn serialize_subtree(
-    db: &mut Database,
+    db: &Database,
     enc: Encoding,
     doc: i64,
     node: &XNode,
@@ -34,7 +34,7 @@ pub fn serialize_subtree(
 /// Rebuilds the subtree rooted at `node` (an element) as a standalone
 /// [`Document`].
 pub fn subtree_document(
-    db: &mut Database,
+    db: &Database,
     enc: Encoding,
     doc: i64,
     node: &XNode,
@@ -51,14 +51,14 @@ pub fn subtree_document(
 /// All nodes of the subtree rooted at `root` (excluding `root` itself), in
 /// document order.
 pub fn fetch_subtree(
-    db: &mut Database,
+    db: &Database,
     enc: Encoding,
     doc: i64,
     root: &XNode,
 ) -> StoreResult<Vec<XNode>> {
     match &root.node {
         NodeRef::Global { pos, desc_max, .. } => {
-            let rows = db.query(
+            let rows = db.query_read(
                 &format!(
                     "SELECT {} FROM global_node n \
                      WHERE n.doc = ? AND n.pos > ? AND n.pos <= ? ORDER BY n.pos",
@@ -69,7 +69,7 @@ pub fn fetch_subtree(
             rows.iter().map(|r| decode_node_row(enc, doc, r)).collect()
         }
         NodeRef::Dewey { key } => {
-            let rows = db.query(
+            let rows = db.query_read(
                 &format!(
                     "SELECT {} FROM dewey_node n \
                      WHERE n.doc = ? AND n.key > ? AND n.key < ? ORDER BY n.key",
@@ -102,16 +102,11 @@ pub fn fetch_subtree(
     }
 }
 
-fn children_local(
-    db: &mut Database,
-    enc: Encoding,
-    doc: i64,
-    node: &XNode,
-) -> StoreResult<Vec<XNode>> {
+fn children_local(db: &Database, enc: Encoding, doc: i64, node: &XNode) -> StoreResult<Vec<XNode>> {
     let NodeRef::Local { id, .. } = &node.node else {
         unreachable!("local children query on a non-Local node")
     };
-    let rows = db.query(
+    let rows = db.query_read(
         &format!(
             "SELECT {} FROM local_node n \
              WHERE n.doc = ? AND n.parent_id = ? ORDER BY n.ord",
@@ -218,7 +213,7 @@ mod tests {
     const XML: &str = "<a x=\"1\"><b>t<!-- c --><?pi d?></b><c><d/><e>deep</e></c></a>";
 
     fn store_with(enc: Encoding) -> (XmlStore, i64) {
-        let mut s = XmlStore::new(Database::in_memory(), enc);
+        let s = XmlStore::new(Database::in_memory(), enc);
         let d = s.load_document(&parse_xml(XML).unwrap(), "t").unwrap();
         (s, d)
     }
@@ -226,7 +221,7 @@ mod tests {
     #[test]
     fn inner_subtree_serialization() {
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc);
+            let (s, d) = store_with(enc);
             let hits = s.xpath(d, "/a/c").unwrap();
             assert_eq!(
                 s.serialize(d, &hits[0]).unwrap(),
@@ -246,9 +241,9 @@ mod tests {
     #[test]
     fn fetch_subtree_is_document_ordered_and_excludes_root() {
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc);
+            let (s, d) = store_with(enc);
             let root = s.root(d).unwrap();
-            let all = fetch_subtree(s.db(), enc, d, &root).unwrap();
+            let all = fetch_subtree(&s.db(), enc, d, &root).unwrap();
             // 9 rows follow the root: @x, b, "t", comment, pi, c, d, e, "deep".
             assert_eq!(all.len(), 9, "{enc}");
             assert_eq!(all[0].kind, crate::shred::KIND_ATTR, "{enc}");
@@ -260,9 +255,9 @@ mod tests {
     #[test]
     fn non_element_reconstruction_is_rejected() {
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc);
+            let (s, d) = store_with(enc);
             let text = &s.xpath(d, "/a/b/text()").unwrap()[0].clone();
-            assert!(subtree_document(s.db(), enc, d, text).is_err(), "{enc}");
+            assert!(subtree_document(&s.db(), enc, d, text).is_err(), "{enc}");
             // But serialize returns its value.
             assert_eq!(s.serialize(d, text).unwrap(), "t", "{enc}");
         }

@@ -11,6 +11,7 @@
 //! children, keeping [`ordxml_xml::NodePath`] addresses stable between the
 //! DOM and the store.
 
+use crate::encoding::ops::{renumber_gap, renumber_value};
 use crate::encoding::{DeweyKey, Encoding, OrderConfig};
 use ordxml_rdbms::{Database, DbResult, Row, Value};
 use ordxml_xml::{Document, NodeId, NodeKind};
@@ -165,7 +166,13 @@ pub fn shred(
     name: &str,
 ) -> DbResult<ShredStats> {
     create_schema(db, enc)?;
-    let gap = cfg.gap;
+    // Shredding is a dense relabelling of the whole document, so the
+    // configured gap is clamped exactly like a renumbering pass: an
+    // adversarially large `OrderConfig::gap` would otherwise overflow the
+    // preorder positions (Global) or sibling ordinals (Local/Dewey). The
+    // clamped value is what gets stored in the metadata table, so later
+    // updates see the effective gap.
+    let gap = renumber_gap(vnode_count(document, document.root()), cfg.gap);
     let (rows, next_id) = match enc {
         Encoding::Global => (shred_global(doc, document, gap), 0),
         Encoding::Local => shred_local(doc, document, gap),
@@ -214,7 +221,7 @@ fn shred_global(doc: i64, document: &Document, gap: u64) -> Vec<Row> {
                 parent_pos,
                 depth,
             } => {
-                next_pos += gap as i64;
+                next_pos = next_pos.saturating_add(gap as i64);
                 let pos = next_pos;
                 let (kind, tag, value) = node_columns(document, v);
                 let row_idx = rows.len();
@@ -256,7 +263,7 @@ fn shred_local(doc: i64, document: &Document, gap: u64) -> (Vec<Row>, i64) {
     while let Some((v, parent_id, sib_idx, depth)) = stack.pop() {
         next_id += 1;
         let id = next_id;
-        let ord = ((sib_idx as u64 + 1) * gap) as i64;
+        let ord = renumber_value(sib_idx, gap);
         let (kind, tag, value) = node_columns(document, v);
         rows.push(vec![
             Value::Int(doc),
@@ -293,7 +300,7 @@ fn shred_dewey(doc: i64, document: &Document, gap: u64) -> Vec<Row> {
             value,
         ]);
         for (i, c) in vchildren(document, v).into_iter().enumerate().rev() {
-            stack.push((c, key.child((i as u64 + 1) * gap)));
+            stack.push((c, key.child((i as u64 + 1).saturating_mul(gap))));
         }
     }
     rows
@@ -426,7 +433,7 @@ pub(crate) fn fragment_dewey_rows(
             value,
         ]);
         for (i, c) in vchildren(document, v).into_iter().enumerate().rev() {
-            stack.push((c, key.child((i as u64 + 1) * gap)));
+            stack.push((c, key.child((i as u64 + 1).saturating_mul(gap))));
         }
     }
     rows

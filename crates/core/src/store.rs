@@ -13,9 +13,11 @@ use crate::encoding::{DeweyKey, Encoding, OrderConfig};
 use crate::shred::{self, KIND_ATTR, KIND_ELEMENT};
 use crate::update::UpdateCost;
 use crate::xpath::{self, XPathError};
-use ordxml_rdbms::{Database, DbError, Row, Value};
+use ordxml_rdbms::{latch, Database, DbError, Row, Value};
 use ordxml_xml::{Document, NodePath};
 use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Errors of the store layer.
 #[derive(Debug)]
@@ -219,7 +221,7 @@ pub(crate) fn decode_node_row(enc: Encoding, doc: i64, row: &Row) -> StoreResult
 /// order, via one indexed query. Shared by the facade, the translator's
 /// mediator, and the update layer.
 pub(crate) fn fetch_children(
-    db: &mut Database,
+    db: &Database,
     enc: Encoding,
     doc: i64,
     node: &XNode,
@@ -250,12 +252,14 @@ pub(crate) fn fetch_children(
             vec![Value::Int(doc), Value::Bytes(key.to_bytes())],
         ),
     };
-    let rows = db.query(&sql, &params)?;
+    let rows = db.query_read(&sql, &params)?;
     rows.iter().map(|r| decode_node_row(enc, doc, r)).collect()
 }
 
-/// An ordered XML store over a relational database.
-pub struct XmlStore {
+/// Everything behind the store's reader–writer latch: the database plus the
+/// lazily-initialized schema flag and the ablation knobs that shape query
+/// translation.
+struct StoreInner {
     db: Database,
     encoding: Encoding,
     schema_ready: bool,
@@ -263,36 +267,96 @@ pub struct XmlStore {
     execution_mode: crate::translate::ExecutionMode,
 }
 
+/// An ordered XML store over a relational database.
+///
+/// `XmlStore` is `Send + Sync`: wrap it in an [`Arc`](std::sync::Arc) and
+/// share it across threads. Queries ([`XmlStore::xpath`] and the other read
+/// methods) take a shared read latch and run concurrently; updates
+/// ([`XmlStore::insert_fragment`], [`XmlStore::delete_subtree`], …) take the
+/// write latch, so every reader observes either the complete pre-update or
+/// the complete post-update document — never a half-applied one. Combined
+/// with the WAL's no-steal policy this makes a committed update atomic both
+/// across threads and across crashes.
+pub struct XmlStore {
+    encoding: Encoding,
+    inner: RwLock<StoreInner>,
+}
+
+/// Exclusive access to the store's underlying [`Database`], returned by
+/// [`XmlStore::db`]. Dereferences to [`Database`]; queries and updates are
+/// blocked for as long as the guard is held.
+pub struct DbGuard<'a>(RwLockWriteGuard<'a, StoreInner>);
+
+impl Deref for DbGuard<'_> {
+    type Target = Database;
+    fn deref(&self) -> &Database {
+        &self.0.db
+    }
+}
+
+impl DerefMut for DbGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Database {
+        &mut self.0.db
+    }
+}
+
 impl XmlStore {
     /// Wraps a database with the chosen order encoding. The relational
     /// schema is created lazily on first use.
     pub fn new(db: Database, encoding: Encoding) -> XmlStore {
         XmlStore {
-            db,
             encoding,
-            schema_ready: false,
-            position_strategy: crate::translate::PositionStrategy::default(),
-            execution_mode: crate::translate::ExecutionMode::default(),
+            inner: RwLock::new(StoreInner {
+                db,
+                encoding,
+                schema_ready: false,
+                position_strategy: crate::translate::PositionStrategy::default(),
+                execution_mode: crate::translate::ExecutionMode::default(),
+            }),
         }
+    }
+
+    fn inner_mut(&mut self) -> &mut StoreInner {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Shared read access, creating the schema first if no statement has
+    /// touched the store yet (double-checked: the common case stays on the
+    /// read latch).
+    fn read_inner(&self) -> StoreResult<RwLockReadGuard<'_, StoreInner>> {
+        let guard = latch::read(&self.inner);
+        if guard.schema_ready {
+            return Ok(guard);
+        }
+        drop(guard);
+        latch::write(&self.inner).ensure_schema()?;
+        Ok(latch::read(&self.inner))
+    }
+
+    /// Exclusive access with the schema guaranteed to exist.
+    fn write_inner(&self) -> StoreResult<RwLockWriteGuard<'_, StoreInner>> {
+        let mut guard = latch::write(&self.inner);
+        guard.ensure_schema()?;
+        Ok(guard)
     }
 
     /// Chooses how positional predicates are evaluated (an ablation knob;
     /// see [`crate::translate::PositionStrategy`]). The default is the
     /// paper's pure-SQL correlated-count translation.
     pub fn set_position_strategy(&mut self, strategy: crate::translate::PositionStrategy) {
-        self.position_strategy = strategy;
+        self.inner_mut().position_strategy = strategy;
     }
 
     /// Chooses how mediator phases visit their context set (an ablation
     /// knob; see [`crate::translate::ExecutionMode`]). The default is
     /// set-at-a-time batched execution.
     pub fn set_execution_mode(&mut self, mode: crate::translate::ExecutionMode) {
-        self.execution_mode = mode;
+        self.inner_mut().execution_mode = mode;
     }
 
     /// The store's current execution mode.
     pub fn execution_mode(&self) -> crate::translate::ExecutionMode {
-        self.execution_mode
+        latch::read(&self.inner).execution_mode
     }
 
     /// The store's encoding.
@@ -301,12 +365,264 @@ impl XmlStore {
     }
 
     /// Direct access to the underlying database (for diagnostics and the
-    /// benchmark harness's counter collection).
-    pub fn db(&mut self) -> &mut Database {
-        &mut self.db
+    /// benchmark harness's counter collection). The guard holds the store's
+    /// write latch: drop it before calling any other store method.
+    pub fn db(&self) -> DbGuard<'_> {
+        DbGuard(latch::write(&self.inner))
     }
 
-    pub(crate) fn ensure_schema(&mut self) -> StoreResult<()> {
+    /// Loads (shreds) a document with the default sparse-numbering gap and
+    /// returns its document id.
+    pub fn load_document(&self, document: &Document, name: &str) -> StoreResult<i64> {
+        self.load_document_with(document, name, OrderConfig::default())
+    }
+
+    /// Loads a document with an explicit [`OrderConfig`].
+    pub fn load_document_with(
+        &self,
+        document: &Document,
+        name: &str,
+        cfg: OrderConfig,
+    ) -> StoreResult<i64> {
+        self.write_inner()?.with_txn(|s| {
+            let doc = s.next_doc_id()?;
+            shred::shred(&mut s.db, s.encoding, doc, document, cfg, name)?;
+            Ok(doc)
+        })
+    }
+
+    /// Ids of all loaded documents.
+    pub fn document_ids(&self) -> StoreResult<Vec<i64>> {
+        let inner = self.read_inner()?;
+        let rows = inner.db.query_read(
+            &format!(
+                "SELECT doc FROM {} ORDER BY doc",
+                inner.encoding.docs_table()
+            ),
+            &[],
+        )?;
+        rows.iter()
+            .map(|r| r[0].as_int().map_err(StoreError::from))
+            .collect()
+    }
+
+    /// The sparse-numbering gap a document was loaded with.
+    pub fn gap(&self, doc: i64) -> StoreResult<u64> {
+        self.read_inner()?.gap(doc)
+    }
+
+    /// Number of stored node rows for a document.
+    pub fn node_count(&self, doc: i64) -> StoreResult<u64> {
+        let inner = self.read_inner()?;
+        let rows = inner.db.query_read(
+            &format!(
+                "SELECT COUNT(*) FROM {} WHERE doc = ?",
+                inner.encoding.node_table()
+            ),
+            &[Value::Int(doc)],
+        )?;
+        Ok(rows[0][0].as_int()? as u64)
+    }
+
+    /// Evaluates an XPath expression, returning matching nodes in document
+    /// order. Takes the shared read latch: any number of threads can query
+    /// one store concurrently.
+    pub fn xpath(&self, doc: i64, expr: &str) -> StoreResult<Vec<XNode>> {
+        let path = xpath::parse(expr)?;
+        self.xpath_parsed(doc, &path)
+    }
+
+    /// Evaluates a pre-parsed path.
+    pub fn xpath_parsed(&self, doc: i64, path: &xpath::Path) -> StoreResult<Vec<XNode>> {
+        let inner = self.read_inner()?;
+        crate::translate::execute_full(
+            &inner.db,
+            inner.encoding,
+            doc,
+            path,
+            inner.position_strategy,
+            inner.execution_mode,
+        )
+    }
+
+    /// Evaluates an XPath expression like [`XmlStore::xpath`], additionally
+    /// capturing the query's full translation surface: every SQL statement
+    /// issued (mediator phases repeat one statement per context node), the
+    /// engine's rendered plan per distinct statement, and the merged
+    /// execution counters.
+    pub fn xpath_diagnostics(
+        &self,
+        doc: i64,
+        expr: &str,
+    ) -> StoreResult<(Vec<XNode>, QueryDiagnostics)> {
+        let path = xpath::parse(expr)?;
+        let mut inner = self.write_inner()?;
+        inner.db.start_trace();
+        let result = crate::translate::execute_full(
+            &inner.db,
+            inner.encoding,
+            doc,
+            &path,
+            inner.position_strategy,
+            inner.execution_mode,
+        );
+        let trace = inner.db.take_trace();
+        let nodes = result?;
+        let (statements, stats, elapsed, statements_executed) =
+            diag::fold_trace(&mut inner.db, trace);
+        let diagnostics = QueryDiagnostics {
+            expr: expr.to_string(),
+            encoding: inner.encoding,
+            rows: nodes.len() as u64,
+            statements_executed,
+            elapsed,
+            stats,
+            statements,
+        };
+        Ok((nodes, diagnostics))
+    }
+
+    /// Runs a store operation under statement tracing and folds the trace
+    /// into [`UpdateDiagnostics`].
+    fn traced_update(
+        &self,
+        operation: &str,
+        f: impl FnOnce(&mut StoreInner) -> StoreResult<UpdateCost>,
+    ) -> StoreResult<(UpdateCost, UpdateDiagnostics)> {
+        let mut inner = self.write_inner()?;
+        inner.db.start_trace();
+        let result = f(&mut inner);
+        let trace = inner.db.take_trace();
+        let cost = result?;
+        let (_, stats, elapsed, statements_executed) = diag::fold_trace(&mut inner.db, trace);
+        let diagnostics = UpdateDiagnostics {
+            operation: operation.to_string(),
+            encoding: inner.encoding,
+            cost,
+            statements_executed,
+            elapsed,
+            stats,
+        };
+        Ok((cost, diagnostics))
+    }
+
+    /// [`XmlStore::insert_fragment`] with per-operation diagnostics; the
+    /// returned [`UpdateDiagnostics::cost`]`.relabeled` is the paper's
+    /// "rows renumbered by this insertion" metric.
+    pub fn insert_fragment_diagnostics(
+        &self,
+        doc: i64,
+        parent: &NodePath,
+        index: usize,
+        fragment: &Document,
+    ) -> StoreResult<(UpdateCost, UpdateDiagnostics)> {
+        self.traced_update("insert", |s| {
+            s.insert_fragment(doc, parent, index, fragment)
+        })
+    }
+
+    /// [`XmlStore::delete_subtree`] with per-operation diagnostics.
+    pub fn delete_subtree_diagnostics(
+        &self,
+        doc: i64,
+        target: &NodePath,
+    ) -> StoreResult<(UpdateCost, UpdateDiagnostics)> {
+        self.traced_update("delete", |s| s.delete_subtree(doc, target))
+    }
+
+    /// [`XmlStore::move_subtree`] with per-operation diagnostics.
+    pub fn move_subtree_diagnostics(
+        &self,
+        doc: i64,
+        target: &NodePath,
+        new_parent: &NodePath,
+        index: usize,
+    ) -> StoreResult<(UpdateCost, UpdateDiagnostics)> {
+        self.traced_update("move", |s| s.move_subtree(doc, target, new_parent, index))
+    }
+
+    /// The root node of a document.
+    pub fn root(&self, doc: i64) -> StoreResult<XNode> {
+        self.read_inner()?.root(doc)
+    }
+
+    /// All stored children of a node (attributes included), in order.
+    pub fn children(&self, doc: i64, node: &XNode) -> StoreResult<Vec<XNode>> {
+        self.read_inner()?.children(doc, node)
+    }
+
+    /// Resolves a structural [`NodePath`] (child indexes counting non-
+    /// attribute children, as in the DOM) to a stored node.
+    pub fn resolve(&self, doc: i64, path: &NodePath) -> StoreResult<XNode> {
+        self.read_inner()?.resolve(doc, path)
+    }
+
+    /// Serializes the subtree rooted at `node` back to XML text (elements),
+    /// or returns the node's value (text/attribute/comment/PI nodes).
+    pub fn serialize(&self, doc: i64, node: &XNode) -> StoreResult<String> {
+        let inner = self.read_inner()?;
+        crate::reconstruct::serialize_subtree(&inner.db, inner.encoding, doc, node)
+    }
+
+    /// Reconstructs the full document from its relational image.
+    pub fn reconstruct_document(&self, doc: i64) -> StoreResult<Document> {
+        self.read_inner()?.reconstruct_document(doc)
+    }
+
+    // -----------------------------------------------------------------
+    // Ordered updates (exclusive: each takes the store's write latch)
+    // -----------------------------------------------------------------
+
+    /// Inserts (a deep copy of) `fragment`'s root subtree as the `index`-th
+    /// non-attribute child of the node at `parent` (clamped to append).
+    pub fn insert_fragment(
+        &self,
+        doc: i64,
+        parent: &NodePath,
+        index: usize,
+        fragment: &Document,
+    ) -> StoreResult<UpdateCost> {
+        self.write_inner()?
+            .insert_fragment(doc, parent, index, fragment)
+    }
+
+    /// Deletes the subtree rooted at `target`.
+    pub fn delete_subtree(&self, doc: i64, target: &NodePath) -> StoreResult<UpdateCost> {
+        self.write_inner()?.delete_subtree(doc, target)
+    }
+
+    /// Moves the subtree at `target` to become the `index`-th non-attribute
+    /// child of the node at `new_parent` (index interpreted against the
+    /// destination's child list without the target). See
+    /// [`crate::update::move_subtree`] for the per-encoding cost story.
+    pub fn move_subtree(
+        &self,
+        doc: i64,
+        target: &NodePath,
+        new_parent: &NodePath,
+        index: usize,
+    ) -> StoreResult<UpdateCost> {
+        self.write_inner()?
+            .move_subtree(doc, target, new_parent, index)
+    }
+
+    /// Renumbers a document from scratch, restoring full sparse-numbering
+    /// gaps everywhere (the paper's "periodic renumbering" maintenance
+    /// operation: run it offline when accumulated insertions have eaten the
+    /// gaps, instead of paying renumbering inline on every exhausted
+    /// insertion). Returns the number of rows rewritten.
+    pub fn renumber_document(&self, doc: i64) -> StoreResult<u64> {
+        self.write_inner()?.renumber_document(doc)
+    }
+
+    /// Replaces the value of the text node at `target`.
+    pub fn update_text(&self, doc: i64, target: &NodePath, text: &str) -> StoreResult<UpdateCost> {
+        self.write_inner()?.update_text(doc, target, text)
+    }
+}
+
+impl StoreInner {
+    fn ensure_schema(&mut self) -> StoreResult<()> {
         if !self.schema_ready {
             shred::create_schema(&mut self.db, self.encoding)?;
             self.schema_ready = true;
@@ -319,7 +635,7 @@ impl XmlStore {
     /// either commits as a whole or rolls back to the pre-update snapshot —
     /// a mid-update failure can never leave a half-renumbered document. When
     /// a transaction is already open, `f` simply joins it.
-    fn with_txn<T>(&mut self, f: impl FnOnce(&mut XmlStore) -> StoreResult<T>) -> StoreResult<T> {
+    fn with_txn<T>(&mut self, f: impl FnOnce(&mut StoreInner) -> StoreResult<T>) -> StoreResult<T> {
         if self.db.in_transaction() {
             return f(self);
         }
@@ -338,29 +654,8 @@ impl XmlStore {
         }
     }
 
-    /// Loads (shreds) a document with the default sparse-numbering gap and
-    /// returns its document id.
-    pub fn load_document(&mut self, document: &Document, name: &str) -> StoreResult<i64> {
-        self.load_document_with(document, name, OrderConfig::default())
-    }
-
-    /// Loads a document with an explicit [`OrderConfig`].
-    pub fn load_document_with(
-        &mut self,
-        document: &Document,
-        name: &str,
-        cfg: OrderConfig,
-    ) -> StoreResult<i64> {
-        self.ensure_schema()?;
-        self.with_txn(|s| {
-            let doc = s.next_doc_id()?;
-            shred::shred(&mut s.db, s.encoding, doc, document, cfg, name)?;
-            Ok(doc)
-        })
-    }
-
-    fn next_doc_id(&mut self) -> StoreResult<i64> {
-        let rows = self.db.query(
+    fn next_doc_id(&self) -> StoreResult<i64> {
+        let rows = self.db.query_read(
             &format!(
                 "SELECT doc FROM {} ORDER BY doc DESC LIMIT 1",
                 self.encoding.docs_table()
@@ -375,24 +670,8 @@ impl XmlStore {
             + 1)
     }
 
-    /// Ids of all loaded documents.
-    pub fn document_ids(&mut self) -> StoreResult<Vec<i64>> {
-        self.ensure_schema()?;
-        let rows = self.db.query(
-            &format!(
-                "SELECT doc FROM {} ORDER BY doc",
-                self.encoding.docs_table()
-            ),
-            &[],
-        )?;
-        rows.iter()
-            .map(|r| r[0].as_int().map_err(StoreError::from))
-            .collect()
-    }
-
-    /// The sparse-numbering gap a document was loaded with.
-    pub fn gap(&mut self, doc: i64) -> StoreResult<u64> {
-        let rows = self.db.query(
+    fn gap(&self, doc: i64) -> StoreResult<u64> {
+        let rows = self.db.query_read(
             &format!(
                 "SELECT gap FROM {} WHERE doc = ?",
                 self.encoding.docs_table()
@@ -405,138 +684,7 @@ impl XmlStore {
         Ok(row[0].as_int()? as u64)
     }
 
-    /// Number of stored node rows for a document.
-    pub fn node_count(&mut self, doc: i64) -> StoreResult<u64> {
-        self.ensure_schema()?;
-        let rows = self.db.query(
-            &format!(
-                "SELECT COUNT(*) FROM {} WHERE doc = ?",
-                self.encoding.node_table()
-            ),
-            &[Value::Int(doc)],
-        )?;
-        Ok(rows[0][0].as_int()? as u64)
-    }
-
-    /// Evaluates an XPath expression, returning matching nodes in document
-    /// order.
-    pub fn xpath(&mut self, doc: i64, expr: &str) -> StoreResult<Vec<XNode>> {
-        let path = xpath::parse(expr)?;
-        self.xpath_parsed(doc, &path)
-    }
-
-    /// Evaluates a pre-parsed path.
-    pub fn xpath_parsed(&mut self, doc: i64, path: &xpath::Path) -> StoreResult<Vec<XNode>> {
-        self.ensure_schema()?;
-        crate::translate::execute_full(
-            &mut self.db,
-            self.encoding,
-            doc,
-            path,
-            self.position_strategy,
-            self.execution_mode,
-        )
-    }
-
-    /// Evaluates an XPath expression like [`XmlStore::xpath`], additionally
-    /// capturing the query's full translation surface: every SQL statement
-    /// issued (mediator phases repeat one statement per context node), the
-    /// engine's rendered plan per distinct statement, and the merged
-    /// execution counters.
-    pub fn xpath_diagnostics(
-        &mut self,
-        doc: i64,
-        expr: &str,
-    ) -> StoreResult<(Vec<XNode>, QueryDiagnostics)> {
-        let path = xpath::parse(expr)?;
-        self.ensure_schema()?;
-        self.db.start_trace();
-        let result = crate::translate::execute_full(
-            &mut self.db,
-            self.encoding,
-            doc,
-            &path,
-            self.position_strategy,
-            self.execution_mode,
-        );
-        let trace = self.db.take_trace();
-        let nodes = result?;
-        let (statements, stats, elapsed, statements_executed) =
-            diag::fold_trace(&mut self.db, trace);
-        let diagnostics = QueryDiagnostics {
-            expr: expr.to_string(),
-            encoding: self.encoding,
-            rows: nodes.len() as u64,
-            statements_executed,
-            elapsed,
-            stats,
-            statements,
-        };
-        Ok((nodes, diagnostics))
-    }
-
-    /// Runs a store operation under statement tracing and folds the trace
-    /// into [`UpdateDiagnostics`].
-    fn traced_update(
-        &mut self,
-        operation: &str,
-        f: impl FnOnce(&mut XmlStore) -> StoreResult<UpdateCost>,
-    ) -> StoreResult<(UpdateCost, UpdateDiagnostics)> {
-        self.ensure_schema()?;
-        self.db.start_trace();
-        let result = f(self);
-        let trace = self.db.take_trace();
-        let cost = result?;
-        let (_, stats, elapsed, statements_executed) = diag::fold_trace(&mut self.db, trace);
-        let diagnostics = UpdateDiagnostics {
-            operation: operation.to_string(),
-            encoding: self.encoding,
-            cost,
-            statements_executed,
-            elapsed,
-            stats,
-        };
-        Ok((cost, diagnostics))
-    }
-
-    /// [`XmlStore::insert_fragment`] with per-operation diagnostics; the
-    /// returned [`UpdateDiagnostics::cost`]`.relabeled` is the paper's
-    /// "rows renumbered by this insertion" metric.
-    pub fn insert_fragment_diagnostics(
-        &mut self,
-        doc: i64,
-        parent: &NodePath,
-        index: usize,
-        fragment: &Document,
-    ) -> StoreResult<(UpdateCost, UpdateDiagnostics)> {
-        self.traced_update("insert", |s| {
-            s.insert_fragment(doc, parent, index, fragment)
-        })
-    }
-
-    /// [`XmlStore::delete_subtree`] with per-operation diagnostics.
-    pub fn delete_subtree_diagnostics(
-        &mut self,
-        doc: i64,
-        target: &NodePath,
-    ) -> StoreResult<(UpdateCost, UpdateDiagnostics)> {
-        self.traced_update("delete", |s| s.delete_subtree(doc, target))
-    }
-
-    /// [`XmlStore::move_subtree`] with per-operation diagnostics.
-    pub fn move_subtree_diagnostics(
-        &mut self,
-        doc: i64,
-        target: &NodePath,
-        new_parent: &NodePath,
-        index: usize,
-    ) -> StoreResult<(UpdateCost, UpdateDiagnostics)> {
-        self.traced_update("move", |s| s.move_subtree(doc, target, new_parent, index))
-    }
-
-    /// The root node of a document.
-    pub fn root(&mut self, doc: i64) -> StoreResult<XNode> {
-        self.ensure_schema()?;
+    fn root(&self, doc: i64) -> StoreResult<XNode> {
         let enc = self.encoding;
         let sql = match enc {
             Encoding::Global => format!(
@@ -556,21 +704,18 @@ impl XmlStore {
             Encoding::Dewey => vec![Value::Int(doc), Value::Bytes(DeweyKey::root().to_bytes())],
             _ => vec![Value::Int(doc), Value::Int(shred::NO_PARENT)],
         };
-        let rows = self.db.query(&sql, &params)?;
+        let rows = self.db.query_read(&sql, &params)?;
         let row = rows
             .first()
             .ok_or_else(|| StoreError::BadNode(format!("no document {doc}")))?;
         decode_node_row(enc, doc, row)
     }
 
-    /// All stored children of a node (attributes included), in order.
-    pub fn children(&mut self, doc: i64, node: &XNode) -> StoreResult<Vec<XNode>> {
-        fetch_children(&mut self.db, self.encoding, doc, node)
+    fn children(&self, doc: i64, node: &XNode) -> StoreResult<Vec<XNode>> {
+        fetch_children(&self.db, self.encoding, doc, node)
     }
 
-    /// Resolves a structural [`NodePath`] (child indexes counting non-
-    /// attribute children, as in the DOM) to a stored node.
-    pub fn resolve(&mut self, doc: i64, path: &NodePath) -> StoreResult<XNode> {
+    fn resolve(&self, doc: i64, path: &NodePath) -> StoreResult<XNode> {
         let mut cur = self.root(doc)?;
         for &idx in &path.0 {
             let kids = self.children(doc, &cur)?;
@@ -583,25 +728,12 @@ impl XmlStore {
         Ok(cur)
     }
 
-    /// Serializes the subtree rooted at `node` back to XML text (elements),
-    /// or returns the node's value (text/attribute/comment/PI nodes).
-    pub fn serialize(&mut self, doc: i64, node: &XNode) -> StoreResult<String> {
-        crate::reconstruct::serialize_subtree(&mut self.db, self.encoding, doc, node)
-    }
-
-    /// Reconstructs the full document from its relational image.
-    pub fn reconstruct_document(&mut self, doc: i64) -> StoreResult<Document> {
+    fn reconstruct_document(&self, doc: i64) -> StoreResult<Document> {
         let root = self.root(doc)?;
-        crate::reconstruct::subtree_document(&mut self.db, self.encoding, doc, &root)
+        crate::reconstruct::subtree_document(&self.db, self.encoding, doc, &root)
     }
 
-    // -----------------------------------------------------------------
-    // Ordered updates
-    // -----------------------------------------------------------------
-
-    /// Inserts (a deep copy of) `fragment`'s root subtree as the `index`-th
-    /// non-attribute child of the node at `parent` (clamped to append).
-    pub fn insert_fragment(
+    fn insert_fragment(
         &mut self,
         doc: i64,
         parent: &NodePath,
@@ -621,19 +753,14 @@ impl XmlStore {
         })
     }
 
-    /// Deletes the subtree rooted at `target`.
-    pub fn delete_subtree(&mut self, doc: i64, target: &NodePath) -> StoreResult<UpdateCost> {
+    fn delete_subtree(&mut self, doc: i64, target: &NodePath) -> StoreResult<UpdateCost> {
         self.with_txn(|s| {
             let node = s.resolve(doc, target)?;
             crate::update::delete_subtree(&mut s.db, s.encoding, doc, &node)
         })
     }
 
-    /// Moves the subtree at `target` to become the `index`-th non-attribute
-    /// child of the node at `new_parent` (index interpreted against the
-    /// destination's child list without the target). See
-    /// [`crate::update::move_subtree`] for the per-encoding cost story.
-    pub fn move_subtree(
+    fn move_subtree(
         &mut self,
         doc: i64,
         target: &NodePath,
@@ -647,12 +774,7 @@ impl XmlStore {
         })
     }
 
-    /// Renumbers a document from scratch, restoring full sparse-numbering
-    /// gaps everywhere (the paper's "periodic renumbering" maintenance
-    /// operation: run it offline when accumulated insertions have eaten the
-    /// gaps, instead of paying renumbering inline on every exhausted
-    /// insertion). Returns the number of rows rewritten.
-    pub fn renumber_document(&mut self, doc: i64) -> StoreResult<u64> {
+    fn renumber_document(&mut self, doc: i64) -> StoreResult<u64> {
         self.with_txn(|s| {
             let document = s.reconstruct_document(doc)?;
             let gap = s.gap(doc)?;
@@ -687,13 +809,7 @@ impl XmlStore {
         })
     }
 
-    /// Replaces the value of the text node at `target`.
-    pub fn update_text(
-        &mut self,
-        doc: i64,
-        target: &NodePath,
-        text: &str,
-    ) -> StoreResult<UpdateCost> {
+    fn update_text(&mut self, doc: i64, target: &NodePath, text: &str) -> StoreResult<UpdateCost> {
         self.with_txn(|s| {
             let node = s.resolve(doc, target)?;
             crate::update::update_text(&mut s.db, s.encoding, doc, &node, text)
@@ -720,7 +836,7 @@ mod tests {
         Encoding::all()
             .into_iter()
             .map(|enc| {
-                let mut s = XmlStore::new(Database::in_memory(), enc);
+                let s = XmlStore::new(Database::in_memory(), enc);
                 let d = s.load_document(&parse(XML).unwrap(), "t").unwrap();
                 (s, d)
             })
@@ -729,7 +845,7 @@ mod tests {
 
     #[test]
     fn root_and_children() {
-        for (mut s, d) in stores() {
+        for (s, d) in stores() {
             let root = s.root(d).unwrap();
             assert_eq!(root.tag.as_deref(), Some("a"));
             assert!(root.is_element());
@@ -745,7 +861,7 @@ mod tests {
 
     #[test]
     fn resolve_skips_attributes() {
-        for (mut s, d) in stores() {
+        for (s, d) in stores() {
             // Path /1/0 = second child element <c>'s first child <d>.
             let n = s.resolve(d, &NodePath(vec![1, 0])).unwrap();
             assert_eq!(n.tag.as_deref(), Some("d"), "{}", s.encoding());
@@ -758,7 +874,7 @@ mod tests {
 
     #[test]
     fn serialize_non_elements_returns_values() {
-        for (mut s, d) in stores() {
+        for (s, d) in stores() {
             let root = s.root(d).unwrap();
             let kids = s.children(d, &root).unwrap();
             assert_eq!(s.serialize(d, &kids[0]).unwrap(), "1", "attr value");
@@ -769,7 +885,7 @@ mod tests {
 
     #[test]
     fn gap_and_counts_and_ids() {
-        for (mut s, d) in stores() {
+        for (s, d) in stores() {
             assert_eq!(s.gap(d).unwrap(), OrderConfig::default().gap);
             // a, @x, b, "t", c, d, b, "u" = 8 rows.
             assert_eq!(s.node_count(d).unwrap(), 8);
@@ -780,7 +896,7 @@ mod tests {
 
     #[test]
     fn doc_ids_are_sequential() {
-        let mut s = XmlStore::new(Database::in_memory(), Encoding::Dewey);
+        let s = XmlStore::new(Database::in_memory(), Encoding::Dewey);
         let d1 = s.load_document(&parse("<a/>").unwrap(), "one").unwrap();
         let d2 = s.load_document(&parse("<b/>").unwrap(), "two").unwrap();
         assert_eq!((d1, d2), (1, 2));
@@ -788,7 +904,7 @@ mod tests {
 
     #[test]
     fn bad_xpath_is_an_xpath_error() {
-        for (mut s, d) in stores() {
+        for (s, d) in stores() {
             assert!(matches!(s.xpath(d, "/a["), Err(StoreError::XPath(_))));
         }
     }
@@ -796,7 +912,7 @@ mod tests {
     #[test]
     fn renumber_restores_gaps() {
         for enc in Encoding::all() {
-            let mut s = XmlStore::new(Database::in_memory(), enc);
+            let s = XmlStore::new(Database::in_memory(), enc);
             let d = s
                 .load_document_with(
                     &parse("<r><a/><b/></r>").unwrap(),
@@ -824,7 +940,7 @@ mod tests {
 
     #[test]
     fn xpath_diagnostics_expose_sql_surface() {
-        for (mut s, d) in stores() {
+        for (s, d) in stores() {
             let enc = s.encoding();
             let (nodes, diag) = s.xpath_diagnostics(d, "/a/b").unwrap();
             assert_eq!(nodes, s.xpath(d, "/a/b").unwrap(), "{enc}");
@@ -851,7 +967,7 @@ mod tests {
         // A translated XPath statement can be re-run under EXPLAIN ANALYZE
         // (using the captured parameters) and yields per-operator actuals,
         // for every encoding.
-        for (mut s, d) in stores() {
+        for (s, d) in stores() {
             let enc = s.encoding();
             let (_, diag) = s.xpath_diagnostics(d, "/a/b").unwrap();
             let p = &diag.statements[0];
@@ -889,7 +1005,7 @@ mod tests {
     fn batched_mediator_steps_run_one_statement_per_phase() {
         // The same query set-at-a-time: the break step collapses into a
         // single MULTIRANGE statement regardless of context count.
-        let mut s = XmlStore::new(Database::in_memory(), Encoding::Dewey);
+        let s = XmlStore::new(Database::in_memory(), Encoding::Dewey);
         let d = s
             .load_document(&parse("<a><c><d/></c><c><d/></c></a>").unwrap(), "m")
             .unwrap();
@@ -915,7 +1031,7 @@ mod tests {
         let frag = parse("<m/>").unwrap();
         let mut relabeled = Vec::new();
         for enc in [Encoding::Global, Encoding::Dewey] {
-            let mut s = XmlStore::new(Database::in_memory(), enc);
+            let s = XmlStore::new(Database::in_memory(), enc);
             let d = s
                 .load_document_with(
                     &parse("<r><p><a/><b/></p><q><c/><c/><c/><c/></q></r>").unwrap(),
@@ -947,7 +1063,7 @@ mod tests {
 
     #[test]
     fn delete_and_move_diagnostics() {
-        let mut s = XmlStore::new(Database::in_memory(), Encoding::Dewey);
+        let s = XmlStore::new(Database::in_memory(), Encoding::Dewey);
         let d = s
             .load_document(&parse("<r><a><x/></a><b/></r>").unwrap(), "dm")
             .unwrap();
@@ -964,8 +1080,64 @@ mod tests {
     }
 
     #[test]
+    fn xml_store_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XmlStore>();
+        assert_send_sync::<std::sync::Arc<XmlStore>>();
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_store() {
+        use std::sync::Arc;
+        for enc in Encoding::all() {
+            let s = XmlStore::new(Database::in_memory(), enc);
+            let d = s.load_document(&parse(XML).unwrap(), "t").unwrap();
+            let s = Arc::new(s);
+            let threads: Vec<_> = (0..4)
+                .map(|_| {
+                    let s = Arc::clone(&s);
+                    std::thread::spawn(move || {
+                        for _ in 0..25 {
+                            let hits = s.xpath(d, "/a/b").unwrap();
+                            assert_eq!(hits.len(), 2);
+                            let root = s.root(d).unwrap();
+                            assert_eq!(root.tag.as_deref(), Some("a"));
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn updates_through_a_shared_store_are_atomic_to_readers() {
+        use std::sync::Arc;
+        let s = Arc::new(XmlStore::new(Database::in_memory(), Encoding::Dewey));
+        let d = s.load_document(&parse(XML).unwrap(), "t").unwrap();
+        let frag = parse("<b>v</b>").unwrap();
+        let reader = {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                let mut seen = std::collections::HashSet::new();
+                for _ in 0..50 {
+                    // 2 <b> children before the insert, 3 after — a torn
+                    // update would surface as some other count.
+                    seen.insert(s.xpath(d, "/a/b").unwrap().len());
+                }
+                seen
+            })
+        };
+        s.insert_fragment(d, &NodePath(vec![]), 1, &frag).unwrap();
+        let seen = reader.join().unwrap();
+        assert!(seen.iter().all(|n| *n == 2 || *n == 3), "{seen:?}");
+    }
+
+    #[test]
     fn node_refs_expose_order_tokens() {
-        for (mut s, d) in stores() {
+        for (s, d) in stores() {
             let hits = s.xpath(d, "/a/b").unwrap();
             assert_eq!(hits.len(), 2);
             let t0 = hits[0].node.token();

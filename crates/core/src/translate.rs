@@ -69,13 +69,13 @@ pub enum ExecutionMode {
 
 /// Evaluates an absolute path against document `doc`, returning matching
 /// nodes in document order (duplicates removed).
-pub fn execute(db: &mut Database, enc: Encoding, doc: i64, path: &Path) -> StoreResult<Vec<XNode>> {
+pub fn execute(db: &Database, enc: Encoding, doc: i64, path: &Path) -> StoreResult<Vec<XNode>> {
     execute_with(db, enc, doc, path, PositionStrategy::CountSubquery)
 }
 
 /// [`execute`] with an explicit positional-predicate strategy.
 pub fn execute_with(
-    db: &mut Database,
+    db: &Database,
     enc: Encoding,
     doc: i64,
     path: &Path,
@@ -86,7 +86,7 @@ pub fn execute_with(
 
 /// [`execute`] with explicit positional-predicate and execution-mode knobs.
 pub fn execute_full(
-    db: &mut Database,
+    db: &Database,
     enc: Encoding,
     doc: i64,
     path: &Path,
@@ -250,7 +250,7 @@ impl Sql {
 }
 
 struct Translator<'a> {
-    db: &'a mut Database,
+    db: &'a Database,
     enc: Encoding,
     doc: i64,
     strategy: PositionStrategy,
@@ -394,7 +394,7 @@ impl<'a> Translator<'a> {
         match ctx {
             None => {
                 let params = self.bind(&sql.params, None)?;
-                for row in self.db.query(&text, &params)? {
+                for row in self.db.query_read(&text, &params)? {
                     out.push(decode_node_row(self.enc, self.doc, &row)?);
                 }
             }
@@ -423,7 +423,7 @@ impl<'a> Translator<'a> {
                         }
                     })
                     .collect();
-                for row in self.db.query(&text, &params)? {
+                for row in self.db.query_read(&text, &params)? {
                     out.push(decode_node_row(self.enc, self.doc, &row)?);
                 }
             }
@@ -439,7 +439,7 @@ impl<'a> Translator<'a> {
                         continue;
                     }
                     let params = self.bind(&sql.params, Some(c))?;
-                    for row in self.db.query(&text, &params)? {
+                    for row in self.db.query_read(&text, &params)? {
                         out.push(decode_node_row(self.enc, self.doc, &row)?);
                     }
                 }
@@ -1543,7 +1543,7 @@ impl<'a> Translator<'a> {
             order
         );
         let params = self.bind(&sql.params, None)?;
-        let rows = self.db.query(&text, &params)?;
+        let rows = self.db.query_read(&text, &params)?;
         rows.iter()
             .map(|r| decode_node_row(self.enc, self.doc, r))
             .collect()
@@ -1577,7 +1577,7 @@ impl<'a> Translator<'a> {
                 vec![Value::Int(self.doc), Value::Int(NO_PARENT)],
             ),
         };
-        let rows = self.db.query(&sql, &params)?;
+        let rows = self.db.query_read(&sql, &params)?;
         let row = rows
             .first()
             .ok_or_else(|| StoreError::BadNode(format!("no document {}", self.doc)))?;
@@ -1613,7 +1613,7 @@ impl<'a> Translator<'a> {
                     sql.where_sql
                 );
                 let params = self.bind(&sql.params, None)?;
-                let rows = self.db.query(&text, &params)?;
+                let rows = self.db.query_read(&text, &params)?;
                 rows.iter()
                     .map(|r| decode_node_row(self.enc, self.doc, r))
                     .collect()
@@ -1652,7 +1652,7 @@ impl<'a> Translator<'a> {
                     sql.where_sql
                 );
                 let params = self.bind(&sql.params, None)?;
-                let rows = self.db.query(&text, &params)?;
+                let rows = self.db.query_read(&text, &params)?;
                 rows.iter()
                     .map(|r| decode_node_row(self.enc, self.doc, r))
                     .collect()
@@ -1667,7 +1667,7 @@ impl<'a> Translator<'a> {
             NodeRef::Dewey { key } => {
                 let mut cur = key.parent();
                 while let Some(k) = cur {
-                    let rows = self.db.query(
+                    let rows = self.db.query_read(
                         &format!(
                             "SELECT {} FROM dewey_node n WHERE n.doc = ? AND n.key = ?",
                             select_list(self.enc, "n")
@@ -1686,7 +1686,7 @@ impl<'a> Translator<'a> {
             NodeRef::Local { parent, .. } => {
                 let mut cur = *parent;
                 while cur != NO_PARENT {
-                    let rows = self.db.query(
+                    let rows = self.db.query_read(
                         &format!(
                             "SELECT {} FROM local_node n WHERE n.doc = ? AND n.id = ?",
                             select_list(self.enc, "n")
@@ -1710,7 +1710,7 @@ impl<'a> Translator<'a> {
                 // predicates, which need nearest-first candidate order).
                 let mut cur = *parent;
                 while cur != NO_PARENT {
-                    let rows = self.db.query(
+                    let rows = self.db.query_read(
                         &format!(
                             "SELECT {} FROM global_node n WHERE n.doc = ? AND n.pos = ?",
                             select_list(self.enc, "n")
@@ -1743,7 +1743,7 @@ impl<'a> Translator<'a> {
     fn axis_following(&mut self, ctx: &XNode, step: &Step) -> StoreResult<Vec<XNode>> {
         match &ctx.node {
             NodeRef::Dewey { key } => {
-                let rows = self.db.query(
+                let rows = self.db.query_read(
                     &format!(
                         "SELECT {} FROM dewey_node n \
                          WHERE n.doc = ? AND n.key >= ? ORDER BY n.key",
@@ -1763,7 +1763,7 @@ impl<'a> Translator<'a> {
                     .collect())
             }
             NodeRef::Global { desc_max, .. } => {
-                let rows = self.db.query(
+                let rows = self.db.query_read(
                     &format!(
                         "SELECT {} FROM global_node n \
                          WHERE n.doc = ? AND n.pos > ? ORDER BY n.pos",
@@ -1808,7 +1808,7 @@ impl<'a> Translator<'a> {
                     if *parent == NO_PARENT {
                         break;
                     }
-                    let rows = self.db.query(
+                    let rows = self.db.query_read(
                         &format!(
                             "SELECT {} FROM local_node n WHERE n.doc = ? AND n.id = ?",
                             select_list(self.enc, "n")
@@ -1832,7 +1832,7 @@ impl<'a> Translator<'a> {
             NodeRef::Dewey { key } => {
                 // One reverse range scan below the context key; ancestors
                 // (the key's proper prefixes) are filtered out here.
-                let rows = self.db.query(
+                let rows = self.db.query_read(
                     &format!(
                         "SELECT {} FROM dewey_node n \
                          WHERE n.doc = ? AND n.key < ? ORDER BY n.key DESC",
@@ -1854,7 +1854,7 @@ impl<'a> Translator<'a> {
                     .collect())
             }
             NodeRef::Global { pos, .. } => {
-                let rows = self.db.query(
+                let rows = self.db.query_read(
                     &format!(
                         "SELECT {} FROM global_node n \
                          WHERE n.doc = ? AND n.pos < ? AND n.desc_max < ? \
@@ -1901,7 +1901,7 @@ impl<'a> Translator<'a> {
                     if *parent == NO_PARENT {
                         break;
                     }
-                    let rows = self.db.query(
+                    let rows = self.db.query_read(
                         &format!(
                             "SELECT {} FROM local_node n WHERE n.doc = ? AND n.id = ?",
                             select_list(self.enc, "n")
@@ -1951,7 +1951,7 @@ impl<'a> Translator<'a> {
                 ],
             ),
         };
-        let rows = self.db.query(&sql, &params)?;
+        let rows = self.db.query_read(&sql, &params)?;
         Ok(rows
             .iter()
             .map(|r| decode_node_row(self.enc, self.doc, r))
@@ -1966,7 +1966,7 @@ impl<'a> Translator<'a> {
         let NodeRef::Local { id, .. } = &node.node else {
             unreachable!("children_of is only used by the Local mediator")
         };
-        let rows = self.db.query(
+        let rows = self.db.query_read(
             &format!(
                 "SELECT {} FROM local_node n \
                  WHERE n.doc = ? AND n.parent_id = ? ORDER BY n.ord",
@@ -2073,7 +2073,7 @@ impl<'a> Translator<'a> {
             sql.where_sql
         );
         let params = self.bind(&sql.params, None)?;
-        Ok(!self.db.query(&text, &params)?.is_empty())
+        Ok(!self.db.query_read(&text, &params)?.is_empty())
     }
 
     // =================================================================
@@ -2132,7 +2132,7 @@ impl<'a> Translator<'a> {
             let (parent, ord) = match memo.get(&cur) {
                 Some(&e) => e,
                 None => {
-                    let rows = self.db.query(
+                    let rows = self.db.query_read(
                         "SELECT parent_id, ord FROM local_node WHERE doc = ? AND id = ?",
                         &[Value::Int(self.doc), Value::Int(cur)],
                     )?;
@@ -2283,7 +2283,7 @@ mod tests {
     use ordxml_xml::parse as parse_xml;
 
     fn store_with(enc: Encoding, xml: &str) -> (XmlStore, i64) {
-        let mut s = XmlStore::new(Database::in_memory(), enc);
+        let s = XmlStore::new(Database::in_memory(), enc);
         let d = s.load_document(&parse_xml(xml).unwrap(), "t").unwrap();
         (s, d)
     }
@@ -2293,7 +2293,7 @@ mod tests {
     #[test]
     fn child_steps_run_as_indexed_plans() {
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc, XML);
+            let (s, d) = store_with(enc, XML);
             s.db().reset_stats();
             let hits = s.xpath(d, "/r/a/b").unwrap();
             assert_eq!(hits.len(), 3, "{enc}");
@@ -2308,7 +2308,7 @@ mod tests {
     fn plan_cache_is_shared_across_tags() {
         // Tags and the document id travel as parameters, so structurally
         // identical paths share one cached plan (prepared-statement reuse).
-        let (mut s, d) = store_with(Encoding::Global, XML);
+        let (s, d) = store_with(Encoding::Global, XML);
         s.xpath(d, "/r/a").unwrap();
         s.xpath(d, "/r/c").unwrap(); // same shape, different tag
                                      // Both executed; correctness is the observable here (cache size is
@@ -2329,10 +2329,10 @@ mod tests {
             test: NodeTest::Any,
             preds: vec![],
         };
-        let mut db = Database::in_memory();
+        let db = Database::in_memory();
         for enc in Encoding::all() {
             let t = Translator {
-                db: &mut db,
+                db: &db,
                 enc,
                 doc: 1,
                 strategy: PositionStrategy::CountSubquery,
@@ -2358,7 +2358,7 @@ mod tests {
             preds: vec![Pred::Position(crate::xpath::CmpOp::Eq, 1)],
         };
         let t = Translator {
-            db: &mut db,
+            db: &db,
             enc: Encoding::Local,
             doc: 1,
             strategy: PositionStrategy::CountSubquery,
@@ -2370,7 +2370,7 @@ mod tests {
     #[test]
     fn ancestor_positional_goes_through_the_mediator() {
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc, XML);
+            let (s, d) = store_with(enc, XML);
             // Nearest ancestor of each <b> is its <a>.
             let hits = s.xpath(d, "/r/a/b/ancestor::*[1]").unwrap();
             assert_eq!(hits.len(), 2, "{enc}");
@@ -2381,7 +2381,7 @@ mod tests {
     #[test]
     fn unsupported_forms_error_cleanly() {
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc, XML);
+            let (s, d) = store_with(enc, XML);
             // A positional predicate on the parent axis has no translation
             // under any encoding (and no mediator path).
             let err = s.xpath(d, "/r/a/b/..[2]");
@@ -2395,7 +2395,7 @@ mod tests {
     #[test]
     fn empty_results_are_not_errors() {
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc, XML);
+            let (s, d) = store_with(enc, XML);
             assert!(s.xpath(d, "/nope").unwrap().is_empty());
             assert!(s.xpath(d, "/r/zzz//b").unwrap().is_empty());
             assert!(s.xpath(d, "/r/a[9]").unwrap().is_empty());
@@ -2407,7 +2407,7 @@ mod tests {
     fn local_results_are_document_ordered_after_mediator_phases() {
         // //b under Local goes through the mediator; order must still be
         // document order.
-        let (mut s, d) = store_with(Encoding::Local, XML);
+        let (s, d) = store_with(Encoding::Local, XML);
         let hits = s.xpath(d, "//b").unwrap();
         let texts: Vec<String> = hits.iter().map(|h| s.serialize(d, h).unwrap()).collect();
         assert_eq!(texts, vec!["<b>1</b>", "<b>2</b>", "<b>3</b>"]);
@@ -2415,7 +2415,7 @@ mod tests {
 
     #[test]
     fn dewey_descendant_is_one_range_scan_per_context() {
-        let (mut s, d) = store_with(Encoding::Dewey, XML);
+        let (s, d) = store_with(Encoding::Dewey, XML);
         s.db().reset_stats();
         let hits = s.xpath(d, "/r/a//b").unwrap();
         assert_eq!(hits.len(), 3);

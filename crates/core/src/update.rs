@@ -16,7 +16,7 @@
 //! key* changed; `maintenance` counts auxiliary column updates (Global's
 //! `parent_pos`/`desc_max` shifts and interval extensions).
 
-use crate::encoding::ops::{renumber_value, spread, spread_u64};
+use crate::encoding::ops::{renumber_gap, renumber_value, spread, spread_u64};
 use crate::encoding::{DeweyKey, Encoding};
 use crate::shred::{
     fragment_dewey_rows, fragment_global_rows, fragment_local_rows, vnode_count, KIND_ATTR,
@@ -89,6 +89,65 @@ fn children_of(
     };
     let rows = db.query(&sql, &params)?;
     rows.iter().map(|r| decode_node_row(enc, doc, r)).collect()
+}
+
+/// Typed failure for updates that run out of integer order-key space. Only
+/// reachable with adversarial gap configurations that push positions against
+/// the `i64`/`u64` boundary; the offline renumber pass is the way out.
+fn order_space_exhausted() -> StoreError {
+    StoreError::BadNode(
+        "order-key space exhausted near the integer boundary; renumber the document".into(),
+    )
+}
+
+/// `gap` as a positive `i64` increment.
+fn gap_i64(gap: u64) -> i64 {
+    gap.clamp(1, i64::MAX as u64) as i64
+}
+
+/// One append position after `a`: `a + gap`, falling back to the space left
+/// below `i64::MAX` when the addition would overflow.
+fn append_pos(a: i64, gap: u64) -> StoreResult<i64> {
+    match a.checked_add(gap_i64(gap)) {
+        Some(v) => Ok(v),
+        None => spread(a, i64::MAX, 1)
+            .map(|v| v[0])
+            .ok_or_else(order_space_exhausted),
+    }
+}
+
+/// `k` append positions after `a`, gap-spaced, falling back to an even
+/// spread over the space left below `i64::MAX` on overflow.
+fn append_run(a: i64, gap: u64, k: usize) -> StoreResult<Vec<i64>> {
+    let g = gap_i64(gap);
+    let mut out = Vec::with_capacity(k);
+    let mut cur = a;
+    for _ in 0..k {
+        match cur.checked_add(g) {
+            Some(v) => {
+                out.push(v);
+                cur = v;
+            }
+            None => return spread(a, i64::MAX, k).ok_or_else(order_space_exhausted),
+        }
+    }
+    Ok(out)
+}
+
+/// One append component after `a` (Dewey, `u64`): `a + gap`, falling back
+/// to the midpoint of the space left below `u64::MAX` on overflow.
+fn append_comp(a: u64, gap: u64) -> StoreResult<u64> {
+    match a.checked_add(gap.max(1)) {
+        Some(v) => Ok(v),
+        None => {
+            let mid = a + (u64::MAX - a) / 2;
+            if mid > a {
+                Ok(mid)
+            } else {
+                Err(order_space_exhausted())
+            }
+        }
+    }
 }
 
 fn doc_gap(db: &mut Database, enc: Encoding, doc: i64) -> StoreResult<u64> {
@@ -195,7 +254,7 @@ fn insert_global(
     let b: Option<i64> = next_rows.first().map(|r| r[0].as_int()).transpose()?;
     let k = vnode_count(fragment, fragment.root());
     let positions: Vec<i64> = match b {
-        None => (1..=k as i64).map(|i| a + i * gap.max(1) as i64).collect(),
+        None => append_run(a, gap, k)?,
         Some(b) => match spread(a, b, k) {
             Some(p) => p,
             None => {
@@ -204,7 +263,32 @@ fn insert_global(
                 // the shift runs in two collision-free phases (negate-and-
                 // move, then negate back) — a straight `pos = pos + δ` would
                 // transiently collide with not-yet-moved keys.
-                let delta = (k as i64 + 1) * gap.max(1) as i64;
+                //
+                // The shift distance is clamped to the headroom above the
+                // document's largest position: shifted keys must stay within
+                // i64 (`pos` bounds `parent_pos` and `desc_max`, so one
+                // probe covers all three shifted columns).
+                let max_pos = db
+                    .query(
+                        "SELECT pos FROM global_node WHERE doc = ? ORDER BY pos DESC LIMIT 1",
+                        &[Value::Int(doc)],
+                    )?
+                    .first()
+                    .map(|r| r[0].as_int())
+                    .transpose()?
+                    .unwrap_or(a);
+                let headroom = i64::MAX - max_pos;
+                // `spread(a, b + δ, k)` needs `b + δ - a - 1 >= k`
+                // (computed difference-first: `a` itself can sit next to
+                // i64::MAX).
+                let needed = (k as i64 + 1).saturating_sub(b - a - 1).max(1);
+                if headroom < needed {
+                    return Err(order_space_exhausted());
+                }
+                let delta = (k as i64 + 1)
+                    .checked_mul(gap_i64(gap))
+                    .unwrap_or(i64::MAX)
+                    .min(headroom);
                 let relabeled = db.execute(
                     "UPDATE global_node SET pos = 0 - (pos + ?) WHERE doc = ? AND pos >= ?",
                     &[Value::Int(delta), Value::Int(doc), Value::Int(b)],
@@ -225,7 +309,7 @@ fn insert_global(
                 )?;
                 cost.relabeled += relabeled;
                 cost.maintenance += m1 + m2;
-                spread(a, b + delta, k).expect("shift opened enough room")
+                spread(a, b + delta, k).ok_or_else(order_space_exhausted)?
             }
         },
     };
@@ -296,12 +380,14 @@ fn insert_local(
     let a = prev.map(&ord_of).unwrap_or(0);
     let b = next.map(&ord_of);
     let root_ord = match b {
-        None => a + gap.max(1) as i64,
+        None => append_pos(a, gap)?,
         Some(b) => match spread(a, b, 1) {
             Some(v) => v[0],
             None => {
                 // Renumber the siblings under this parent — Local's damage
-                // is bounded by the parent's fan-out.
+                // is bounded by the parent's fan-out. The gap is clamped so
+                // the largest reassigned ord fits in i64.
+                let gap = renumber_gap(children.len() + 1, gap);
                 let mut new_ord = 0;
                 for (i, child) in children.iter().enumerate() {
                     let slot_shift = usize::from(i >= slot);
@@ -343,7 +429,8 @@ fn insert_local(
         root_ord,
         parent_id,
         depth + 1,
-        gap,
+        // Clamped: the fragment's own sibling lists are numbered (i+1)*gap.
+        renumber_gap(vnode_count(fragment, fragment.root()), gap),
     );
     cost.rows_inserted += db.insert_many("local_node", new_rows)?;
     db.execute(
@@ -383,7 +470,7 @@ fn insert_dewey(
     let a = prev.map(&comp_of).unwrap_or(0);
     let b = next.map(&comp_of);
     let root_comp = match b {
-        None => a + gap.max(1),
+        None => append_comp(a, gap)?,
         Some(b) => match spread_u64(a, b, 1) {
             Some(v) => v[0],
             None => {
@@ -391,7 +478,9 @@ fn insert_dewey(
                 // renumbered child drags its whole subtree with it, because
                 // descendants' keys embed the child's sibling position.
                 // Two phases (buffer then reinsert) so moving keys cannot
-                // collide with not-yet-moved ones.
+                // collide with not-yet-moved ones. The gap is clamped so the
+                // largest reassigned component fits the numbering range.
+                let gap = renumber_gap(children.len() + 1, gap);
                 let mut buffered: Vec<ordxml_rdbms::Row> = Vec::new();
                 for (i, child) in children.iter().enumerate() {
                     let slot_shift = usize::from(i >= slot);
@@ -444,7 +533,14 @@ fn insert_dewey(
         },
     };
     let root_key = parent_key.child(root_comp);
-    let rows = fragment_dewey_rows(doc, fragment, fragment.root(), root_key, gap);
+    // Clamped: the fragment's own sibling lists are numbered (i+1)*gap.
+    let rows = fragment_dewey_rows(
+        doc,
+        fragment,
+        fragment.root(),
+        root_key,
+        renumber_gap(vnode_count(fragment, fragment.root()), gap),
+    );
     cost.rows_inserted += db.insert_many("dewey_node", rows)?;
     Ok(cost)
 }
@@ -558,11 +654,13 @@ pub fn move_subtree(
             };
             let b = non_attr.get(index).map(|n| ord_of(n));
             let new_ord = match b {
-                None => a + gap.max(1) as i64,
+                None => append_pos(a, gap)?,
                 Some(b) => match spread(a, b, 1) {
                     Some(v) => v[0],
                     None => {
-                        // Renumber destination siblings.
+                        // Renumber destination siblings (gap clamped as in
+                        // `insert_local`).
+                        let gap = renumber_gap(children.len() + 1, gap);
                         let slot = n_attrs + index;
                         for (i, child) in children.iter().enumerate() {
                             let shift = usize::from(i >= slot);
@@ -813,7 +911,7 @@ mod tests {
     use ordxml_xml::{parse as parse_xml, NodePath};
 
     fn store_with(enc: Encoding, xml: &str, gap: u64) -> (XmlStore, i64) {
-        let mut s = XmlStore::new(Database::in_memory(), enc);
+        let s = XmlStore::new(Database::in_memory(), enc);
         let d = s
             .load_document_with(&parse_xml(xml).unwrap(), "t", OrderConfig::with_gap(gap))
             .unwrap();
@@ -823,7 +921,7 @@ mod tests {
     #[test]
     fn insert_into_empty_parent() {
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc, "<r><empty/></r>", 4);
+            let (s, d) = store_with(enc, "<r><empty/></r>", 4);
             let frag = parse_xml("<x>v</x>").unwrap();
             let cost = s.insert_fragment(d, &NodePath(vec![0]), 0, &frag).unwrap();
             assert_eq!(cost.rows_inserted, 2, "{enc}");
@@ -841,7 +939,7 @@ mod tests {
         // Index 0 means "first non-attribute child": attributes keep their
         // leading order positions.
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc, "<r a=\"1\" b=\"2\"><old/></r>", 4);
+            let (s, d) = store_with(enc, "<r a=\"1\" b=\"2\"><old/></r>", 4);
             let frag = parse_xml("<new/>").unwrap();
             s.insert_fragment(d, &NodePath(vec![]), 0, &frag).unwrap();
             let rebuilt = s.reconstruct_document(d).unwrap();
@@ -856,7 +954,7 @@ mod tests {
     #[test]
     fn out_of_range_index_appends() {
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc, "<r><a/></r>", 4);
+            let (s, d) = store_with(enc, "<r><a/></r>", 4);
             let frag = parse_xml("<z/>").unwrap();
             s.insert_fragment(d, &NodePath(vec![]), 42, &frag).unwrap();
             assert_eq!(
@@ -870,7 +968,7 @@ mod tests {
     #[test]
     fn insert_parent_must_be_element() {
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc, "<r>text</r>", 4);
+            let (s, d) = store_with(enc, "<r>text</r>", 4);
             let frag = parse_xml("<z/>").unwrap();
             // Path /0 is the text node.
             let err = s.insert_fragment(d, &NodePath(vec![0]), 0, &frag);
@@ -881,7 +979,7 @@ mod tests {
     #[test]
     fn update_text_rejects_non_text_targets() {
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc, "<r><a/></r>", 4);
+            let (s, d) = store_with(enc, "<r><a/></r>", 4);
             assert!(s.update_text(d, &NodePath(vec![0]), "x").is_err(), "{enc}");
         }
     }
@@ -889,7 +987,7 @@ mod tests {
     #[test]
     fn delete_costs_equal_subtree_size() {
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc, "<r><a k=\"v\"><b>t</b><c/></a><z/></r>", 4);
+            let (s, d) = store_with(enc, "<r><a k=\"v\"><b>t</b><c/></a><z/></r>", 4);
             let cost = s.delete_subtree(d, &NodePath(vec![0])).unwrap();
             // a, @k, b, "t", c = 5 rows.
             assert_eq!(cost.rows_deleted, 5, "{enc}");
@@ -904,7 +1002,7 @@ mod tests {
 
     #[test]
     fn local_renumber_touches_only_siblings() {
-        let (mut s, d) = store_with(
+        let (s, d) = store_with(
             Encoding::Local,
             "<r><a><x/><x/><x/></a><b><x/><x/><x/></b></r>",
             1,
@@ -917,7 +1015,7 @@ mod tests {
 
     #[test]
     fn dewey_renumber_drags_subtrees() {
-        let (mut s, d) = store_with(
+        let (s, d) = store_with(
             Encoding::Dewey,
             "<r><a><deep><deeper/></deep></a><b/></r>",
             1,
@@ -935,7 +1033,7 @@ mod tests {
 
     #[test]
     fn global_append_is_cheap_even_when_dense() {
-        let (mut s, d) = store_with(Encoding::Global, "<r><a/><b/><c/></r>", 1);
+        let (s, d) = store_with(Encoding::Global, "<r><a/><b/><c/></r>", 1);
         let frag = parse_xml("<z/>").unwrap();
         let cost = s
             .insert_fragment(d, &NodePath(vec![]), usize::MAX, &frag)
@@ -948,7 +1046,7 @@ mod tests {
     #[test]
     fn repeated_midpoint_inserts_eventually_renumber() {
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc, "<r><a/><b/></r>", 8);
+            let (s, d) = store_with(enc, "<r><a/><b/></r>", 8);
             let frag = parse_xml("<m/>").unwrap();
             let mut total = UpdateCost::default();
             for _ in 0..6 {
@@ -968,7 +1066,7 @@ mod tests {
     fn move_subtree_relocates_content() {
         let xml = "<r><a><deep>t</deep></a><b/><c><d/></c></r>";
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc, xml, 8);
+            let (s, d) = store_with(enc, xml, 8);
             // Move <a> (with its subtree) to become the last child of <c>.
             let cost = s
                 .move_subtree(d, &NodePath(vec![0]), &NodePath(vec![2]), 99)
@@ -1000,7 +1098,7 @@ mod tests {
     #[test]
     fn move_within_same_parent_reorders() {
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc, "<r><a/><b/><c/></r>", 8);
+            let (s, d) = store_with(enc, "<r><a/><b/><c/></r>", 8);
             // Move <c> to the front.
             s.move_subtree(d, &NodePath(vec![2]), &NodePath(vec![]), 0)
                 .unwrap();
@@ -1023,7 +1121,7 @@ mod tests {
     #[test]
     fn move_rejects_cycles_and_bad_targets() {
         for enc in Encoding::all() {
-            let (mut s, d) = store_with(enc, "<r><a><b/></a><z/></r>", 8);
+            let (s, d) = store_with(enc, "<r><a><b/></a><z/></r>", 8);
             // Into a strict descendant.
             assert!(
                 matches!(
@@ -1042,7 +1140,7 @@ mod tests {
             );
             // Destination must be an element: <z/> has no text child, so
             // aim at a text node via a fresh doc.
-            let (mut s2, d2) = store_with(enc, "<r>text<a/></r>", 8);
+            let (s2, d2) = store_with(enc, "<r>text<a/></r>", 8);
             assert!(
                 matches!(
                     s2.move_subtree(d2, &NodePath(vec![1]), &NodePath(vec![0]), 0),
@@ -1050,6 +1148,140 @@ mod tests {
                 ),
                 "{enc}"
             );
+        }
+    }
+
+    /// Appends fragments until the store reports order-key exhaustion,
+    /// asserting every intermediate document stays well-formed. Returns how
+    /// many appends succeeded.
+    fn append_until_exhausted(s: &XmlStore, d: i64, limit: usize) -> usize {
+        let frag = parse_xml("<z/>").unwrap();
+        for i in 0..limit {
+            match s.insert_fragment(d, &NodePath(vec![]), usize::MAX, &frag) {
+                Ok(_) => {}
+                Err(StoreError::BadNode(m)) => {
+                    assert!(m.contains("exhausted"), "unexpected message: {m}");
+                    return i;
+                }
+                Err(e) => panic!("unexpected error class: {e}"),
+            }
+        }
+        limit
+    }
+
+    #[test]
+    fn global_append_near_i64_boundary() {
+        // Positions land near i64::MAX; the naive `a + gap` append overflows
+        // (a debug-mode panic, silent wrap in release). The fallback spreads
+        // into the remaining space and then fails with a typed error.
+        let g = i64::MAX as u64 / 2 - 10;
+        let (s, d) = store_with(Encoding::Global, "<r><a/></r>", g);
+        let frag = parse_xml("<z/>").unwrap();
+        s.insert_fragment(d, &NodePath(vec![]), usize::MAX, &frag)
+            .unwrap();
+        assert_eq!(
+            s.reconstruct_document(d).unwrap().to_xml(),
+            "<r><a/><z/></r>"
+        );
+        let ok = append_until_exhausted(&s, d, 64);
+        assert!(ok < 64, "finite space above i64::MAX/2 must run out");
+        // The store is still coherent after the refusal.
+        assert!(!s.xpath(d, "/r/z").unwrap().is_empty());
+    }
+
+    #[test]
+    fn local_append_near_i64_boundary() {
+        let g = i64::MAX as u64 / 2 - 5;
+        let (s, d) = store_with(Encoding::Local, "<r><a/><b/></r>", g);
+        let frag = parse_xml("<z/>").unwrap();
+        // ord(b) = 2g ≈ i64::MAX: appending with `ord + gap` overflows.
+        s.insert_fragment(d, &NodePath(vec![]), usize::MAX, &frag)
+            .unwrap();
+        assert_eq!(
+            s.reconstruct_document(d).unwrap().to_xml(),
+            "<r><a/><b/><z/></r>"
+        );
+        let ok = append_until_exhausted(&s, d, 64);
+        assert!(ok < 64);
+        assert_eq!(s.xpath(d, "/r/a").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn dewey_append_near_u64_boundary() {
+        let g = u64::MAX / 2 - 5;
+        let (s, d) = store_with(Encoding::Dewey, "<r><a/><b/></r>", g);
+        let frag = parse_xml("<z/>").unwrap();
+        // comp(b) = 2g ≈ u64::MAX: appending with `comp + gap` overflows.
+        s.insert_fragment(d, &NodePath(vec![]), usize::MAX, &frag)
+            .unwrap();
+        assert_eq!(
+            s.reconstruct_document(d).unwrap().to_xml(),
+            "<r><a/><b/><z/></r>"
+        );
+        let ok = append_until_exhausted(&s, d, 80);
+        assert!(ok < 80);
+        assert_eq!(s.xpath(d, "/r/b").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn global_tail_shift_near_i64_boundary_is_clamped() {
+        // Repeated midpoint insertions with a huge gap converge the interval
+        // between the last two children until the tail must shift. Near
+        // i64::MAX the unclamped shift delta `(k+1)*gap` and the shifted
+        // keys themselves would overflow; the clamp shifts by the remaining
+        // headroom, and once even that is gone the insert fails typed.
+        // Load-time clamping caps the gap at i64::MAX/5 for this 3-node
+        // document, so exhaustion takes two ~61-step halving runs (the
+        // second after a tail shift consumes the whole headroom).
+        let g = i64::MAX as u64 / 3 - 7;
+        let (s, d) = store_with(Encoding::Global, "<r><a/><b/></r>", g);
+        let frag = parse_xml("<m/>").unwrap();
+        let mut refused = false;
+        for _ in 0..160 {
+            // Always between the last <m> (or <a>) and <b>.
+            let kids = s.xpath(d, "/r/*").unwrap().len();
+            match s.insert_fragment(d, &NodePath(vec![]), kids - 1, &frag) {
+                Ok(_) => {}
+                Err(StoreError::BadNode(m)) => {
+                    assert!(m.contains("exhausted"), "{m}");
+                    refused = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error class: {e}"),
+            }
+        }
+        assert!(refused, "position space next to i64::MAX must run out");
+        // Consistency: <b> is still the last child and queries still work.
+        let doc = s.reconstruct_document(d).unwrap().to_xml();
+        assert!(
+            doc.starts_with("<r><a/>") && doc.ends_with("<b/></r>"),
+            "{doc}"
+        );
+        // The offline renumber pass recovers the document.
+        s.renumber_document(d).unwrap();
+        s.insert_fragment(d, &NodePath(vec![]), 1, &frag).unwrap();
+    }
+
+    #[test]
+    fn renumber_with_huge_gap_clamps_instead_of_wrapping() {
+        // Exhaust the sibling gap under Local/Dewey with a near-i64::MAX
+        // document gap: the renumber pass must clamp the gap instead of
+        // wrapping `(i+1)*gap` into colliding (or negative) order keys.
+        for enc in [Encoding::Local, Encoding::Dewey] {
+            let g = i64::MAX as u64 / 2 - 5;
+            let (s, d) = store_with(enc, "<r><a/><b/></r>", g);
+            let frag = parse_xml("<m/>").unwrap();
+            for _ in 0..70 {
+                // Between <a> and the previously inserted node: the interval
+                // halves every time and must eventually trigger a renumber.
+                if let Err(e) = s.insert_fragment(d, &NodePath(vec![]), 1, &frag) {
+                    panic!("{enc}: renumber should absorb the insert: {e}");
+                }
+            }
+            assert_eq!(s.xpath(d, "/r/m").unwrap().len(), 70, "{enc}");
+            let doc = s.reconstruct_document(d).unwrap().to_xml();
+            assert!(doc.starts_with("<r><a/><m/>"), "{enc}: {doc}");
+            assert!(doc.ends_with("<b/></r>"), "{enc}: {doc}");
         }
     }
 

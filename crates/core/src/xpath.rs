@@ -233,6 +233,7 @@ pub fn parse(input: &str) -> Result<Path, XPathError> {
     let mut p = Parser {
         input: input.as_bytes(),
         pos: 0,
+        pred_depth: 0,
     };
     let path = p.parse_path()?;
     p.skip_ws();
@@ -248,9 +249,16 @@ pub fn parse(input: &str) -> Result<Path, XPathError> {
     Ok(path)
 }
 
+/// Maximum nesting depth of parenthesised / `not(...)` predicate
+/// expressions. The predicate grammar is recursive-descent, so an
+/// adversarial `[((((...` would otherwise overflow the thread stack — an
+/// abort, not a catchable error. 64 levels is far beyond any real query.
+const MAX_PRED_DEPTH: usize = 64;
+
 struct Parser<'a> {
     input: &'a [u8],
     pos: usize,
+    pred_depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -532,10 +540,27 @@ impl<'a> Parser<'a> {
         None
     }
 
+    /// Runs `f` one predicate-nesting level deeper, failing typed instead
+    /// of blowing the stack on adversarially deep `(((...`/`not(not(...`.
+    fn nested_pred(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<Pred, XPathError>,
+    ) -> Result<Pred, XPathError> {
+        if self.pred_depth >= MAX_PRED_DEPTH {
+            return Err(self.error(format!(
+                "predicate nesting deeper than {MAX_PRED_DEPTH} levels"
+            )));
+        }
+        self.pred_depth += 1;
+        let out = f(self);
+        self.pred_depth -= 1;
+        out
+    }
+
     fn parse_pred_atom(&mut self) -> Result<Pred, XPathError> {
         self.skip_ws();
         if self.eat("(") {
-            let inner = self.parse_pred_or()?;
+            let inner = self.nested_pred(|p| p.parse_pred_or())?;
             self.expect(")")?;
             return Ok(inner);
         }
@@ -544,7 +569,7 @@ impl<'a> Parser<'a> {
         if self.eat("not") {
             self.skip_ws();
             if self.eat("(") {
-                let inner = self.parse_pred_or()?;
+                let inner = self.nested_pred(|p| p.parse_pred_or())?;
                 self.expect(")")?;
                 return Ok(Pred::Not(Box::new(inner)));
             }
@@ -786,6 +811,23 @@ mod tests {
         assert!(parse("/a[.]").is_err());
         assert!(parse("/a/comment()").is_err(), "unsupported node test");
         assert!(parse("/a extra").is_err());
+    }
+
+    #[test]
+    fn adversarial_predicate_nesting_fails_typed() {
+        // Recursive-descent predicate parsing: unbounded `(((...` or
+        // `not(not(...` used to overflow the thread stack (an abort the
+        // caller cannot catch). Deeply nested input must return a typed
+        // error instead.
+        let deep = format!("/a[{}b{}]", "(".repeat(100_000), ")".repeat(100_000));
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err:?}");
+        let deep_not = format!("/a[{}b{}]", "not(".repeat(100_000), ")".repeat(100_000));
+        assert!(parse(&deep_not).is_err());
+        // Reasonable nesting still parses.
+        let ok = format!("/a[{}b{}]", "(".repeat(32), ")".repeat(32));
+        assert!(parse(&ok).is_ok());
+        assert!(parse("/a[not(not(not(b)))]").is_ok());
     }
 
     #[test]

@@ -90,7 +90,7 @@ impl Snapshot {
         let path = dir.join(format!("{name}-{}.db", enc.name()));
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(wal_path(&path));
-        let mut store = XmlStore::new(Database::open(&path, 16).unwrap(), enc);
+        let store = XmlStore::new(Database::open(&path, 16).unwrap(), enc);
         let doc_id = store
             .load_document_with(doc, "crash", OrderConfig::with_gap(2))
             .unwrap();
@@ -154,7 +154,7 @@ fn crash_matrix(name: &str, enc: Encoding, base: &Document, update: &Update) -> 
         }
         // The process "dies": no Drop, no shutdown checkpoint.
         std::mem::forget(store);
-        let mut store = snap.restore_recovered(enc);
+        let store = snap.restore_recovered(enc);
         let rebuilt = store.reconstruct_document(snap.doc_id).unwrap();
         let is_pre = pre.tree_eq(&rebuilt);
         let is_post = post.tree_eq(&rebuilt);
@@ -221,17 +221,17 @@ fn renumbering_pass_is_atomic_under_crash() {
     let base = parse_xml(BASE).unwrap();
     for enc in Encoding::all() {
         let snap = Snapshot::build("renumber", enc, &base);
-        let mut store = snap.restore_with(enc);
+        let store = snap.restore_with(enc);
         let before = store.db().faults().wal_frames_observed();
         store.renumber_document(snap.doc_id).unwrap();
         let frames = store.db().faults().wal_frames_observed() - before;
         drop(store);
         for k in [0, 1, frames / 2, frames.saturating_sub(1)] {
-            let mut store = snap.restore_with(enc);
+            let store = snap.restore_with(enc);
             store.db().faults().crash_after_wal_frames(k);
             assert!(store.renumber_document(snap.doc_id).is_err(), "{enc} k={k}");
             std::mem::forget(store);
-            let mut store = snap.restore_recovered(enc);
+            let store = snap.restore_recovered(enc);
             let rebuilt = store.reconstruct_document(snap.doc_id).unwrap();
             assert!(
                 base.tree_eq(&rebuilt),

@@ -429,7 +429,7 @@ fn reconstruction_round_trips() {
     ] {
         let doc = parse_xml(xml).unwrap();
         for enc in Encoding::all() {
-            let mut store = XmlStore::new(Database::in_memory(), enc);
+            let store = XmlStore::new(Database::in_memory(), enc);
             let d = store.load_document(&doc, "rt").unwrap();
             let rebuilt = store.reconstruct_document(d).unwrap();
             assert!(
@@ -442,7 +442,7 @@ fn reconstruction_round_trips() {
     // And a generated document.
     let doc = GenConfig::mixed(500).generate();
     for enc in Encoding::all() {
-        let mut store = XmlStore::new(Database::in_memory(), enc);
+        let store = XmlStore::new(Database::in_memory(), enc);
         let d = store.load_document(&doc, "rt").unwrap();
         let rebuilt = store.reconstruct_document(d).unwrap();
         assert!(doc.tree_eq(&rebuilt), "{enc}: generated");
@@ -593,7 +593,7 @@ fn moves_match_dom_semantics() {
     for gap in [1u64, 8, 32] {
         for enc in Encoding::all() {
             let mut dom = parse_xml(CATALOG).unwrap();
-            let mut store = XmlStore::new(Database::in_memory(), enc);
+            let store = XmlStore::new(Database::in_memory(), enc);
             let d = store
                 .load_document_with(&dom, "mv", OrderConfig::with_gap(gap))
                 .unwrap();
@@ -750,7 +750,7 @@ fn update_costs_reflect_encoding_tradeoffs() {
     let mut costs = std::collections::HashMap::new();
     for enc in Encoding::all() {
         let dom = parse_xml(xml).unwrap();
-        let mut store = XmlStore::new(Database::in_memory(), enc);
+        let store = XmlStore::new(Database::in_memory(), enc);
         let d = store
             .load_document_with(&dom, "cost", OrderConfig::with_gap(1))
             .unwrap();
@@ -878,7 +878,7 @@ fn file_backed_edits_survive_crash_and_recovery() {
         // the only durable copy of most committed pages.
         std::mem::forget(store);
         let db = Database::open(&path, 16).unwrap();
-        let mut store = XmlStore::new(db, enc);
+        let store = XmlStore::new(db, enc);
         let rebuilt = store.reconstruct_document(d).unwrap();
         assert!(
             dom.tree_eq(&rebuilt),

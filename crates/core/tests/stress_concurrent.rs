@@ -1,0 +1,171 @@
+//! Concurrency stress: reader threads against a live writer on one shared
+//! `Arc<XmlStore>`.
+//!
+//! The store's reader–writer contract says a read sees the document
+//! exactly as it was before or after an update, never mid-update: updates
+//! run under the store's write latch (and, on file backends, inside a WAL
+//! transaction), reads under the shared latch. The writer here repeatedly
+//! inserts and deletes a two-child marker fragment while readers assert
+//! pair-invariants that any torn update would break — across all three
+//! encodings, both mediator execution modes, and both the in-memory and
+//! file-backed pager.
+
+use ordxml::translate::ExecutionMode;
+use ordxml::{Encoding, OrderConfig, XmlStore};
+use ordxml_rdbms::Database;
+use ordxml_xml::{parse as parse_xml, NodePath};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const ITEMS: usize = 12;
+
+fn catalog_xml() -> String {
+    let mut xml = String::from("<catalog>");
+    for i in 0..ITEMS {
+        xml.push_str(&format!(
+            "<item id=\"i{i}\"><name>Item {i}</name><price>{i}.99</price></item>"
+        ));
+    }
+    xml.push_str("</catalog>");
+    xml
+}
+
+/// One reader pass. Each `xpath`/`reconstruct_document` call is one
+/// atomic read — the store may move between calls (the writer commits
+/// concurrently), so every assertion must hold in *every* committed
+/// state; the reconstruction check is the strong one, pinning a single
+/// read to exactly one committed document.
+fn read_pass(store: &XmlStore, d: i64, committed: &[ordxml_xml::Document]) {
+    // The writer never touches the items.
+    let names = store.xpath(d, "/catalog/item/name").unwrap();
+    assert_eq!(names.len(), ITEMS, "item set must be stable under writes");
+    // Positional predicates count only `item` children, so the marker
+    // fragment never shifts this probe.
+    let probe = store.xpath(d, "/catalog/item[3]/price").unwrap();
+    assert_eq!(probe.len(), 1);
+    // At most one marker exists in any committed state.
+    assert!(store.xpath(d, "//x").unwrap().len() <= 1);
+    assert!(store.xpath(d, "/catalog/w").unwrap().len() <= 1);
+    let ids = store.xpath(d, "/catalog/item/@id").unwrap();
+    assert_eq!(ids.len(), ITEMS);
+    // Snapshot consistency: one read call must see exactly a committed
+    // document — base, or base plus the whole marker fragment at one of
+    // the writer's two insertion points. A torn insert/delete (marker
+    // root without its children, half-shifted order keys) matches none.
+    let rebuilt = store.reconstruct_document(d).unwrap();
+    assert!(
+        committed.iter().any(|c| c.tree_eq(&rebuilt)),
+        "reader saw a non-committed intermediate state:\n{}",
+        rebuilt.to_xml()
+    );
+}
+
+/// Runs the stress matrix cell: `readers` threads loop over the query set
+/// while the writer inserts and deletes the marker `writes` times.
+fn stress(store: XmlStore, readers: usize, writes: usize) {
+    let doc = parse_xml(&catalog_xml()).unwrap();
+    let frag = parse_xml("<w><x/><y/></w>").unwrap();
+    // The full set of states the writer ever commits: the base document
+    // and the marker fragment grafted at each of its two insertion points.
+    let committed: Arc<Vec<ordxml_xml::Document>> = Arc::new(
+        [None, Some(0usize), Some(ITEMS / 2)]
+            .into_iter()
+            .map(|at| {
+                let mut c = doc.clone();
+                if let Some(at) = at {
+                    let root = c.root();
+                    c.graft(root, at, &frag, frag.root());
+                }
+                c
+            })
+            .collect(),
+    );
+    let store = Arc::new(store);
+    let d = store
+        .load_document_with(&doc, "stress", OrderConfig::with_gap(8))
+        .unwrap();
+    read_pass(&store, d, &committed); // sanity before any concurrency
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            let committed = Arc::clone(&committed);
+            std::thread::spawn(move || {
+                let mut passes = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    read_pass(&store, d, &committed);
+                    passes += 1;
+                }
+                passes
+            })
+        })
+        .collect();
+    let root = NodePath(vec![]);
+    for i in 0..writes {
+        // Alternate insert position so the small sparse gaps erode and
+        // renumbering passes also run under concurrent readers.
+        let at = if i % 2 == 0 { 0 } else { ITEMS / 2 };
+        store.insert_fragment(d, &root, at, &frag).unwrap();
+        store.delete_subtree(d, &NodePath(vec![at])).unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut total_passes = 0u64;
+    for h in handles {
+        total_passes += h.join().expect("reader thread must not panic");
+    }
+    assert!(total_passes > 0, "readers never ran");
+    // Quiescent state: all markers gone, document intact.
+    read_pass(&store, d, &committed);
+    assert_eq!(store.xpath(d, "//x").unwrap().len(), 0);
+    let rebuilt = store.reconstruct_document(d).unwrap();
+    assert!(doc.tree_eq(&rebuilt), "document drifted under stress");
+}
+
+fn file_db(tag: &str) -> (std::path::PathBuf, Database) {
+    let dir = std::env::temp_dir().join(format!("ordxml-stress-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.db"));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(ordxml_rdbms::storage::wal_path(&path));
+    let db = Database::open(&path, 64).unwrap();
+    (path, db)
+}
+
+fn cleanup(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(ordxml_rdbms::storage::wal_path(path));
+}
+
+#[test]
+fn readers_vs_writer_in_memory() {
+    for enc in Encoding::all() {
+        for mode in [ExecutionMode::Batched, ExecutionMode::PerContext] {
+            let mut store = XmlStore::new(Database::in_memory(), enc);
+            store.set_execution_mode(mode);
+            stress(store, 4, 40);
+        }
+    }
+}
+
+#[test]
+fn readers_vs_writer_file_backed() {
+    // File-backed updates commit through the WAL (PR 3's no-steal
+    // transactions), so each write additionally pays the commit barrier;
+    // fewer iterations keep the test CI-sized.
+    for enc in Encoding::all() {
+        for mode in [ExecutionMode::Batched, ExecutionMode::PerContext] {
+            let (path, db) = file_db(&format!("{}-{mode:?}", enc.name()));
+            let mut store = XmlStore::new(db, enc);
+            store.set_execution_mode(mode);
+            stress(store, 4, 10);
+            cleanup(&path);
+        }
+    }
+}
+
+#[test]
+fn eight_readers_heavy_in_memory() {
+    let store = XmlStore::new(Database::in_memory(), Encoding::Global);
+    stress(store, 8, 80);
+}

@@ -12,8 +12,8 @@
 //! Duplicate keys are not stored: the table layer makes non-unique index
 //! keys unique by appending the row id to the key, the standard technique.
 
-use std::cell::Cell;
 use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Maximum number of entries (leaf) or children minus one (inner) per node.
 const MAX_KEYS: usize = 64;
@@ -43,7 +43,8 @@ enum Node {
 ///
 /// The counters are kept per tree (not globally) so concurrent databases —
 /// e.g. tests running in parallel — never see each other's traffic. They use
-/// [`Cell`] because lookups and range scans take `&self`.
+/// relaxed atomics because lookups and range scans take `&self`, possibly
+/// from several reader threads at once.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct BTreeCounters {
     /// Root-to-leaf descents: point lookups, inserts, removes, and the
@@ -71,9 +72,9 @@ pub struct BTree {
     free: Vec<u32>,
     root: u32,
     len: u64,
-    descents: Cell<u64>,
-    leaf_scans: Cell<u64>,
-    splits: Cell<u64>,
+    descents: AtomicU64,
+    leaf_scans: AtomicU64,
+    splits: AtomicU64,
 }
 
 impl Default for BTree {
@@ -95,9 +96,9 @@ impl BTree {
             free: Vec::new(),
             root: 0,
             len: 0,
-            descents: Cell::new(0),
-            leaf_scans: Cell::new(0),
-            splits: Cell::new(0),
+            descents: AtomicU64::new(0),
+            leaf_scans: AtomicU64::new(0),
+            splits: AtomicU64::new(0),
         }
     }
 
@@ -105,14 +106,14 @@ impl BTree {
     /// [`BTree::clear`] (the tree is rebuilt from scratch).
     pub fn counters(&self) -> BTreeCounters {
         BTreeCounters {
-            descents: self.descents.get(),
-            leaf_scans: self.leaf_scans.get(),
-            splits: self.splits.get(),
+            descents: self.descents.load(Ordering::Relaxed),
+            leaf_scans: self.leaf_scans.load(Ordering::Relaxed),
+            splits: self.splits.load(Ordering::Relaxed),
         }
     }
 
-    fn bump(counter: &Cell<u64>) {
-        counter.set(counter.get() + 1);
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of stored entries.

@@ -1,0 +1,114 @@
+//! Contention-aware lock acquisition helpers.
+//!
+//! Every internal latch in the engine (pager backend, WAL, transaction
+//! state, plan cache, …) is acquired through these wrappers rather than
+//! through `Mutex::lock` / `RwLock::read` directly. They add two behaviors:
+//!
+//! * **Contention accounting** — an acquisition that finds the latch held
+//!   first fails a `try_lock`, bumps the global
+//!   [`lock_waits`](crate::obs::Registry::lock_waits) counter, and only then
+//!   blocks. Uncontended acquisitions stay on the fast path (one atomic
+//!   CAS), so the single-threaded cost is unchanged.
+//! * **Poison tolerance** — a thread that panicked while holding a latch
+//!   poisons it; the data under an engine latch is always left in a
+//!   coherent state at panic sites (plain-value counters, caches that can
+//!   be rebuilt, pages whose mutation is protected by transaction
+//!   pre-images), so subsequent acquisitions recover the guard instead of
+//!   propagating the poison and taking the whole store down.
+
+use std::sync::{
+    Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError,
+};
+
+/// Acquires `m`, counting contention and recovering from poisoning.
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.try_lock() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            crate::obs::registry().record_lock_wait();
+            m.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+}
+
+/// Acquires `l` for shared reading, counting contention and recovering
+/// from poisoning.
+pub fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    match l.try_read() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            crate::obs::registry().record_lock_wait();
+            l.read().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+}
+
+/// Acquires `l` exclusively, counting contention and recovering from
+/// poisoning.
+pub fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    match l.try_write() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            crate::obs::registry().record_lock_wait();
+            l.write().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn uncontended_acquisitions_do_not_count() {
+        let before = crate::obs::registry().lock_waits.get();
+        let m = Mutex::new(1);
+        let l = RwLock::new(2);
+        assert_eq!(*lock(&m), 1);
+        assert_eq!(*read(&l), 2);
+        assert_eq!(*write(&l), 2);
+        assert_eq!(crate::obs::registry().lock_waits.get(), before);
+    }
+
+    #[test]
+    fn contended_acquisition_counts_and_blocks() {
+        let before = crate::obs::registry().lock_waits.get();
+        let m = Arc::new(Mutex::new(0u32));
+        let held = lock(&m);
+        let m2 = Arc::clone(&m);
+        let t = std::thread::spawn(move || {
+            *lock(&m2) = 7;
+        });
+        // Give the thread time to hit the contended path, then release.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(held);
+        t.join().unwrap();
+        assert_eq!(*lock(&m), 7);
+        assert!(crate::obs::registry().lock_waits.get() > before);
+    }
+
+    #[test]
+    fn poisoned_latches_recover() {
+        let m = Arc::new(Mutex::new(5));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = lock(&m2);
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*lock(&m), 5, "poisoned mutex still usable");
+        let l = Arc::new(RwLock::new(6));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = write(&l2);
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*read(&l), 6, "poisoned rwlock still readable");
+        assert_eq!(*write(&l), 6, "and writable");
+    }
+}

@@ -44,6 +44,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod latch;
 pub mod obs;
 pub mod plan;
 pub mod schema;

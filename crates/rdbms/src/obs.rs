@@ -221,6 +221,10 @@ pub struct Registry {
     pub txn_rollbacks: Counter,
     /// Database opens that found a non-empty WAL and ran recovery.
     pub recoveries_run: Counter,
+    /// Lock acquisitions that found the lock held and had to block
+    /// (pager backend / WAL / transaction-state latches). Uncontended
+    /// acquisitions are not counted.
+    pub lock_waits: Counter,
     slow_threshold_ns: AtomicU64,
     slow_log: Mutex<VecDeque<SlowQuery>>,
 }
@@ -241,6 +245,7 @@ impl Registry {
             txn_commits: Counter::new(),
             txn_rollbacks: Counter::new(),
             recoveries_run: Counter::new(),
+            lock_waits: Counter::new(),
             slow_threshold_ns: AtomicU64::new(0),
             slow_log: Mutex::new(VecDeque::new()),
         }
@@ -270,6 +275,14 @@ impl Registry {
     pub fn record_recovery(&self) {
         if self.enabled() {
             self.recoveries_run.add(1);
+        }
+    }
+
+    /// Records one contended lock acquisition — the caller found the latch
+    /// held and had to block (no-op while disabled).
+    pub fn record_lock_wait(&self) {
+        if self.enabled() {
+            self.lock_waits.add(1);
         }
     }
 
@@ -379,6 +392,7 @@ impl Registry {
             txn_commits: self.txn_commits.get(),
             txn_rollbacks: self.txn_rollbacks.get(),
             recoveries_run: self.recoveries_run.get(),
+            lock_waits: self.lock_waits.get(),
         }
     }
 }
@@ -410,6 +424,8 @@ pub struct ObsSnapshot {
     pub txn_rollbacks: u64,
     /// Opens that ran WAL recovery.
     pub recoveries_run: u64,
+    /// Contended lock acquisitions (blocked at least once).
+    pub lock_waits: u64,
 }
 
 /// The process-wide registry.

@@ -29,13 +29,13 @@ use super::fault::FaultInjector;
 use super::page::{Page, PAGE_SIZE};
 use super::wal::Wal;
 use crate::error::{DbError, DbResult};
-use std::cell::{Cell, RefCell};
+use crate::latch;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Identifier of a page within a pager.
 pub type PageId = u32;
@@ -111,9 +111,16 @@ struct FileBackend {
     hand: usize,
 }
 
+/// The two storage backends, each behind the latch its access pattern
+/// needs. The in-memory page vector is read-mostly, so it sits behind an
+/// `RwLock` and concurrent readers never serialize on it. The file backend
+/// cannot offer shared reads — even a logically read-only [`Pager::with_page`]
+/// pins a frame, which mutates the frame table and may evict — so it sits
+/// behind a `Mutex` and reads serialize (contention shows up in the
+/// `lock_waits` counter).
 enum Backend {
-    Mem(Vec<Page>),
-    File(FileBackend),
+    Mem(RwLock<Vec<Page>>),
+    File(Mutex<FileBackend>),
 }
 
 /// Per-transaction pager state: pre-images for rollback.
@@ -127,29 +134,38 @@ struct TxnState {
     start_pages: u32,
 }
 
-/// The pager. Interior-mutable so that read paths (query executors) can share
-/// it immutably; the engine is single-threaded per database.
+/// The pager. Interior-mutable so that read paths (query executors) can
+/// share it immutably — and, since every interior-mutable field sits behind
+/// a latch or an atomic, `Pager` is `Send + Sync`: any number of threads
+/// may run [`Pager::with_page`] concurrently. Mutating entry points
+/// (transactions, allocation, `with_page_mut`) are latched too, but callers
+/// are expected to serialize writers at a higher level (the engine runs one
+/// writer at a time; see `XmlStore` in the core crate).
+///
+/// Lock order, for paths that hold more than one latch: `txn` → `backend`
+/// → `wal`. `n_pages` and `txn_seq` are atomics and participate in no
+/// ordering.
 pub struct Pager {
-    backend: RefCell<Backend>,
-    n_pages: RefCell<u32>,
+    backend: Backend,
+    n_pages: AtomicU32,
     stats: Arc<PagerStats>,
     faults: Arc<FaultInjector>,
-    wal: RefCell<Option<Wal>>,
-    txn: RefCell<Option<TxnState>>,
-    txn_seq: Cell<u64>,
+    wal: Mutex<Option<Wal>>,
+    txn: Mutex<Option<TxnState>>,
+    txn_seq: AtomicU64,
 }
 
 impl Pager {
     /// A pager whose pages live entirely in memory.
     pub fn in_memory() -> Self {
         Pager {
-            backend: RefCell::new(Backend::Mem(Vec::new())),
-            n_pages: RefCell::new(0),
+            backend: Backend::Mem(RwLock::new(Vec::new())),
+            n_pages: AtomicU32::new(0),
             stats: Arc::new(PagerStats::default()),
             faults: Arc::new(FaultInjector::new()),
-            wal: RefCell::new(None),
-            txn: RefCell::new(None),
-            txn_seq: Cell::new(0),
+            wal: Mutex::new(None),
+            txn: Mutex::new(None),
+            txn_seq: AtomicU64::new(0),
         }
     }
 
@@ -171,36 +187,38 @@ impl Pager {
         }
         let n_pages = (len / PAGE_SIZE as u64) as u32;
         Ok(Pager {
-            backend: RefCell::new(Backend::File(FileBackend {
+            backend: Backend::File(Mutex::new(FileBackend {
                 file,
                 frames: Vec::new(),
                 map: HashMap::new(),
                 capacity: cache_pages.max(8),
                 hand: 0,
             })),
-            n_pages: RefCell::new(n_pages),
+            n_pages: AtomicU32::new(n_pages),
             stats: Arc::new(PagerStats::default()),
             faults: Arc::new(FaultInjector::new()),
-            wal: RefCell::new(None),
-            txn: RefCell::new(None),
-            txn_seq: Cell::new(0),
+            wal: Mutex::new(None),
+            txn: Mutex::new(None),
+            txn_seq: AtomicU64::new(0),
         })
     }
 
     /// Attaches a write-ahead log: from now on the pager runs no-steal and
     /// commits route page images through the WAL.
     pub fn attach_wal(&self, wal: Wal) {
-        *self.wal.borrow_mut() = Some(wal);
+        *latch::lock(&self.wal) = Some(wal);
     }
 
     /// `true` once a WAL is attached.
     pub fn wal_enabled(&self) -> bool {
-        self.wal.borrow().is_some()
+        latch::lock(&self.wal).is_some()
     }
 
     /// Frames currently sitting in the WAL (0 without a WAL).
     pub fn wal_frames_in_log(&self) -> u64 {
-        self.wal.borrow().as_ref().map_or(0, Wal::frames_in_log)
+        latch::lock(&self.wal)
+            .as_ref()
+            .map_or(0, Wal::frames_in_log)
     }
 
     /// The shared fault-injection handle for this pager's file I/O.
@@ -215,18 +233,17 @@ impl Pager {
 
     /// Number of allocated pages.
     pub fn page_count(&self) -> u32 {
-        *self.n_pages.borrow()
+        self.n_pages.load(AtomicOrdering::Acquire)
     }
 
     /// `true` while a transaction started by [`Pager::begin_txn`] is open.
     pub fn in_txn(&self) -> bool {
-        self.txn.borrow().is_some()
+        latch::lock(&self.txn).is_some()
     }
 
     /// `true` if the open transaction has modified (or allocated) any page.
     pub fn txn_has_writes(&self) -> bool {
-        self.txn
-            .borrow()
+        latch::lock(&self.txn)
             .as_ref()
             .is_some_and(|t| !t.pre_images.is_empty())
     }
@@ -234,16 +251,15 @@ impl Pager {
     /// Starts a transaction; returns its id. Errors if one is already open
     /// (the engine does not nest transactions).
     pub fn begin_txn(&self) -> DbResult<u64> {
-        let mut txn = self.txn.borrow_mut();
+        let mut txn = latch::lock(&self.txn);
         if txn.is_some() {
             return Err(DbError::Txn("transaction already active".into()));
         }
-        let id = self.txn_seq.get() + 1;
-        self.txn_seq.set(id);
+        let id = self.txn_seq.fetch_add(1, AtomicOrdering::Relaxed) + 1;
         *txn = Some(TxnState {
             id,
             pre_images: HashMap::new(),
-            start_pages: *self.n_pages.borrow(),
+            start_pages: self.page_count(),
         });
         Ok(id)
     }
@@ -257,54 +273,51 @@ impl Pager {
     ///
     /// On error the transaction is still open; the caller must roll back.
     pub fn commit_txn(&self) -> DbResult<u64> {
-        let txn_id = {
-            let txn = self.txn.borrow();
-            txn.as_ref()
-                .ok_or_else(|| DbError::Txn("no active transaction".into()))?
-                .id
-        };
+        let mut txn = latch::lock(&self.txn);
+        let txn_id = txn
+            .as_ref()
+            .ok_or_else(|| DbError::Txn("no active transaction".into()))?
+            .id;
         let mut frames_written = 0u64;
-        {
-            let mut backend = self.backend.borrow_mut();
-            if let Backend::File(fb) = &mut *backend {
-                let mut dirty: Vec<usize> = (0..fb.frames.len())
-                    .filter(|&i| fb.frames[i].dirty)
-                    .collect();
-                dirty.sort_by_key(|&i| fb.frames[i].id);
-                if !dirty.is_empty() {
-                    let db_size = *self.n_pages.borrow();
-                    let mut wal = self.wal.borrow_mut();
-                    if let Some(wal) = wal.as_mut() {
-                        let pages: Vec<(PageId, &Page)> = dirty
-                            .iter()
-                            .map(|&i| (fb.frames[i].id, &fb.frames[i].page))
-                            .collect();
-                        frames_written = wal.commit(txn_id, &pages, db_size, &self.faults)?;
-                        crate::obs::registry().record_wal_frames(frames_written);
-                    }
-                    // Write the pages home. Past the WAL barrier these are
-                    // best-effort: a failed write leaves the frame dirty for
-                    // the checkpoint to retry. Without a WAL the legacy
-                    // contract applies (durability comes from `flush`), so
-                    // failures surface to the caller.
-                    for &i in &dirty {
-                        let off = fb.frames[i].id as u64 * PAGE_SIZE as u64;
-                        let res =
-                            self.faults
-                                .write_at(&mut fb.file, off, fb.frames[i].page.bytes());
-                        match res {
-                            Ok(()) => {
-                                fb.frames[i].dirty = false;
-                                PagerStats::bump(&self.stats.physical_writes);
-                            }
-                            Err(e) if wal.is_none() => return Err(e.into()),
-                            Err(_) => {}
+        if let Backend::File(fbm) = &self.backend {
+            let fb = &mut *latch::lock(fbm);
+            let mut dirty: Vec<usize> = (0..fb.frames.len())
+                .filter(|&i| fb.frames[i].dirty)
+                .collect();
+            dirty.sort_by_key(|&i| fb.frames[i].id);
+            if !dirty.is_empty() {
+                let db_size = self.page_count();
+                let mut wal = latch::lock(&self.wal);
+                if let Some(wal) = wal.as_mut() {
+                    let pages: Vec<(PageId, &Page)> = dirty
+                        .iter()
+                        .map(|&i| (fb.frames[i].id, &fb.frames[i].page))
+                        .collect();
+                    frames_written = wal.commit(txn_id, &pages, db_size, &self.faults)?;
+                    crate::obs::registry().record_wal_frames(frames_written);
+                }
+                // Write the pages home. Past the WAL barrier these are
+                // best-effort: a failed write leaves the frame dirty for
+                // the checkpoint to retry. Without a WAL the legacy
+                // contract applies (durability comes from `flush`), so
+                // failures surface to the caller.
+                for &i in &dirty {
+                    let off = fb.frames[i].id as u64 * PAGE_SIZE as u64;
+                    let res = self
+                        .faults
+                        .write_at(&mut fb.file, off, fb.frames[i].page.bytes());
+                    match res {
+                        Ok(()) => {
+                            fb.frames[i].dirty = false;
+                            PagerStats::bump(&self.stats.physical_writes);
                         }
+                        Err(e) if wal.is_none() => return Err(e.into()),
+                        Err(_) => {}
                     }
                 }
             }
         }
-        *self.txn.borrow_mut() = None;
+        *txn = None;
         Ok(frames_written)
     }
 
@@ -313,15 +326,13 @@ impl Pager {
     /// Returns `true` if the transaction had modified anything (callers use
     /// this to know whether derived in-memory state must be rebuilt).
     pub fn rollback_txn(&self) -> DbResult<bool> {
-        let txn = self
-            .txn
-            .borrow_mut()
+        let txn = latch::lock(&self.txn)
             .take()
             .ok_or_else(|| DbError::Txn("no active transaction".into()))?;
         let had_writes = !txn.pre_images.is_empty();
-        let mut backend = self.backend.borrow_mut();
-        match &mut *backend {
+        match &self.backend {
             Backend::Mem(pages) => {
+                let pages = &mut *latch::write(pages);
                 for (pid, pre) in txn.pre_images {
                     if let Some(img) = pre {
                         if let Some(slot) = pages.get_mut(pid as usize) {
@@ -331,8 +342,9 @@ impl Pager {
                 }
                 pages.truncate(txn.start_pages as usize);
             }
-            Backend::File(fb) => {
-                let wal_mode = self.wal.borrow().is_some();
+            Backend::File(fbm) => {
+                let fb = &mut *latch::lock(fbm);
+                let wal_mode = self.wal_enabled();
                 for (pid, pre) in txn.pre_images {
                     match pre {
                         Some(img) => {
@@ -376,9 +388,9 @@ impl Pager {
                 }
             }
         }
-        *self.n_pages.borrow_mut() = txn.start_pages;
+        self.n_pages.store(txn.start_pages, AtomicOrdering::Release);
         if had_writes {
-            if let Some(wal) = self.wal.borrow_mut().as_mut() {
+            if let Some(wal) = latch::lock(&self.wal).as_mut() {
                 // Best effort: recovery discards commit-less frames even
                 // when the abort record itself cannot be written.
                 let _ = wal.abort(txn.id, &self.faults);
@@ -394,8 +406,8 @@ impl Pager {
         if self.in_txn() {
             return Err(DbError::Txn("checkpoint inside a transaction".into()));
         }
-        let mut backend = self.backend.borrow_mut();
-        if let Backend::File(fb) = &mut *backend {
+        if let Backend::File(fbm) = &self.backend {
+            let fb = &mut *latch::lock(fbm);
             for i in 0..fb.frames.len() {
                 if !fb.frames[i].dirty {
                     continue;
@@ -407,23 +419,28 @@ impl Pager {
                 PagerStats::bump(&self.stats.physical_writes);
             }
             self.faults.sync(&fb.file)?;
-            if let Some(wal) = self.wal.borrow_mut().as_mut() {
+            if let Some(wal) = latch::lock(&self.wal).as_mut() {
                 wal.truncate(&self.faults)?;
             }
         }
         Ok(())
     }
 
-    /// Allocates a fresh, zeroed page and returns its id.
+    /// Allocates a fresh, zeroed page and returns its id. Allocation is a
+    /// mutating entry point: the engine serializes it with every other
+    /// writer (one writer at a time), so the load/store pair on the page
+    /// count never races another allocation.
     pub fn allocate(&self) -> DbResult<PageId> {
-        let id = *self.n_pages.borrow();
-        let mut backend = self.backend.borrow_mut();
-        match &mut *backend {
+        let mut txn = latch::lock(&self.txn);
+        let id = self.page_count();
+        match &self.backend {
             Backend::Mem(pages) => {
-                pages.push(Page::new());
+                latch::write(pages).push(Page::new());
             }
-            Backend::File(fb) => {
-                if self.wal.borrow().is_some() {
+            Backend::File(fbm) => {
+                let wal_mode = self.wal_enabled();
+                let fb = &mut *latch::lock(fbm);
+                if wal_mode {
                     // WAL mode: the zero page enters the cache dirty and
                     // reaches the file only through a committed frame.
                     let idx =
@@ -441,26 +458,30 @@ impl Pager {
                 }
             }
         }
-        if let Some(t) = self.txn.borrow_mut().as_mut() {
+        if let Some(t) = txn.as_mut() {
             t.pre_images.entry(id).or_insert(None);
         }
-        *self.n_pages.borrow_mut() = id + 1;
+        self.n_pages.store(id + 1, AtomicOrdering::Release);
         Ok(id)
     }
 
-    /// Runs `f` with shared access to the page.
+    /// Runs `f` with shared access to the page. On the in-memory backend
+    /// any number of threads run this concurrently; on the file backend
+    /// reads serialize on the buffer-pool latch (pinning mutates the frame
+    /// table).
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> DbResult<R> {
         PagerStats::bump(&self.stats.logical_reads);
-        let mut backend = self.backend.borrow_mut();
-        match &mut *backend {
+        match &self.backend {
             Backend::Mem(pages) => {
+                let pages = latch::read(pages);
                 let page = pages
                     .get(id as usize)
                     .ok_or_else(|| DbError::Storage(format!("page {id} out of range")))?;
                 Ok(f(page))
             }
-            Backend::File(fb) => {
+            Backend::File(fbm) => {
                 let no_steal = self.no_steal();
+                let fb = &mut *latch::lock(fbm);
                 let idx = Self::pin(fb, id, &self.stats, no_steal, &self.faults, None)?;
                 Ok(f(&fb.frames[idx].page))
             }
@@ -471,21 +492,23 @@ impl Pager {
     /// capturing a pre-image when a transaction is open).
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> DbResult<R> {
         PagerStats::bump(&self.stats.logical_reads);
-        let mut backend = self.backend.borrow_mut();
-        match &mut *backend {
+        let mut txn = latch::lock(&self.txn);
+        match &self.backend {
             Backend::Mem(pages) => {
+                let mut pages = latch::write(pages);
                 let page = pages
                     .get_mut(id as usize)
                     .ok_or_else(|| DbError::Storage(format!("page {id} out of range")))?;
-                if let Some(t) = self.txn.borrow_mut().as_mut() {
+                if let Some(t) = txn.as_mut() {
                     t.pre_images.entry(id).or_insert_with(|| Some(page.clone()));
                 }
                 Ok(f(page))
             }
-            Backend::File(fb) => {
-                let no_steal = self.no_steal();
+            Backend::File(fbm) => {
+                let no_steal = txn.is_some() || self.wal_enabled();
+                let fb = &mut *latch::lock(fbm);
                 let idx = Self::pin(fb, id, &self.stats, no_steal, &self.faults, None)?;
-                if let Some(t) = self.txn.borrow_mut().as_mut() {
+                if let Some(t) = txn.as_mut() {
                     t.pre_images
                         .entry(id)
                         .or_insert_with(|| Some(fb.frames[idx].page.clone()));
@@ -500,7 +523,7 @@ impl Pager {
     /// (their only durable copy is the uncheckpointed log or an open
     /// transaction's buffer) or by an open transaction's pre-images.
     fn no_steal(&self) -> bool {
-        self.wal.borrow().is_some() || self.txn.borrow().is_some()
+        self.wal_enabled() || self.in_txn()
     }
 
     /// Ensures `id` is cached, evicting with the clock algorithm if the pool
@@ -600,8 +623,8 @@ impl Pager {
     /// (dirty frames then hold committed content), which
     /// [`Pager::checkpoint_wal`] enforces.
     pub fn flush(&self) -> DbResult<()> {
-        let mut backend = self.backend.borrow_mut();
-        if let Backend::File(fb) = &mut *backend {
+        if let Backend::File(fbm) = &self.backend {
+            let fb = &mut *latch::lock(fbm);
             for i in 0..fb.frames.len() {
                 if !fb.frames[i].dirty {
                     continue;
@@ -631,6 +654,76 @@ impl std::fmt::Debug for Pager {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pager_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Pager>();
+    }
+
+    #[test]
+    fn concurrent_readers_share_the_memory_backend() {
+        let pager = Arc::new(Pager::in_memory());
+        for i in 0..8u32 {
+            let id = pager.allocate().unwrap();
+            pager
+                .with_page_mut(id, |p| {
+                    p.insert(format!("page-{i}").as_bytes()).unwrap();
+                })
+                .unwrap();
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pager = Arc::clone(&pager);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        for i in 0..8u32 {
+                            let got = pager.with_page(i, |p| p.get(0).unwrap().to_vec()).unwrap();
+                            assert_eq!(got, format!("page-{i}").as_bytes());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_share_the_file_backend() {
+        let dir = std::env::temp_dir().join(format!("ordxml-pager-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared-read.db");
+        let _ = std::fs::remove_file(&path);
+        let pager = Arc::new(Pager::open_file(&path, 8).unwrap());
+        for i in 0..32u32 {
+            let id = pager.allocate().unwrap();
+            pager
+                .with_page_mut(id, |p| {
+                    p.insert(format!("page-{i}").as_bytes()).unwrap();
+                })
+                .unwrap();
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pager = Arc::clone(&pager);
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        for i in 0..32u32 {
+                            let got = pager.with_page(i, |p| p.get(0).unwrap().to_vec()).unwrap();
+                            assert_eq!(got, format!("page-{i}").as_bytes());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(pager);
+        std::fs::remove_file(&path).unwrap();
+    }
 
     #[test]
     fn memory_pager_basics() {

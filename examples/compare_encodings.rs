@@ -43,7 +43,7 @@ fn main() {
     ];
 
     for enc in Encoding::all() {
-        let mut store = XmlStore::new(Database::in_memory(), enc);
+        let store = XmlStore::new(Database::in_memory(), enc);
         let d = store
             .load_document_with(&doc, "cmp", OrderConfig::with_gap(1))
             .unwrap();

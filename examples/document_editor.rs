@@ -20,7 +20,7 @@ fn main() {
     let mut total = UpdateCost::default();
     {
         let db = Database::open(&path, 256).expect("open database file");
-        let mut store = XmlStore::new(db, Encoding::Dewey);
+        let store = XmlStore::new(db, Encoding::Dewey);
         let doc = ordxml_xml::parse(
             "<manuscript><section><p>Opening paragraph.</p></section>\
              <section><p>Second section.</p></section></manuscript>",
@@ -68,7 +68,7 @@ fn main() {
     // Session 2: reopen the file; the edited document is still there.
     {
         let db = Database::open(&path, 256).expect("reopen");
-        let mut store = XmlStore::new(db, Encoding::Dewey);
+        let store = XmlStore::new(db, Encoding::Dewey);
         let d = store.document_ids().unwrap()[0];
         let paragraphs = store.xpath(d, "//p").unwrap();
         println!(

@@ -25,7 +25,7 @@ fn main() {
 
     // Pick an order encoding: Dewey here (see `compare_encodings` for the
     // trade-off between Global, Local, and Dewey).
-    let mut store = XmlStore::new(Database::in_memory(), Encoding::Dewey);
+    let store = XmlStore::new(Database::in_memory(), Encoding::Dewey);
     let d = store.load_document(&doc, "book").expect("shred");
     println!(
         "loaded `book` as {} relational rows under the {} encoding",

@@ -138,7 +138,7 @@ fn main() {
          <item id=\"i3\"><name>Gamma</name><price>20</price></item></catalog>",
     )
     .unwrap();
-    let mut store = XmlStore::new(Database::in_memory(), Encoding::Global);
+    let store = XmlStore::new(Database::in_memory(), Encoding::Global);
     store.load_document(&doc, "catalog").unwrap();
     let mut shell = Shell {
         store,

@@ -10,7 +10,7 @@ use ordxml_xml::{GenConfig, NodePath};
 fn end_to_end_all_encodings() {
     let doc = GenConfig::mixed(400).with_seed(5).generate();
     for enc in Encoding::all() {
-        let mut store = XmlStore::new(Database::in_memory(), enc);
+        let store = XmlStore::new(Database::in_memory(), enc);
         let d = store.load_document(&doc, "e2e").unwrap();
         // Counts line up across the stack.
         let rows = store.node_count(d).unwrap() as usize;
@@ -38,7 +38,7 @@ fn end_to_end_all_encodings() {
 #[test]
 fn multiple_documents_are_isolated() {
     for enc in Encoding::all() {
-        let mut store = XmlStore::new(Database::in_memory(), enc);
+        let store = XmlStore::new(Database::in_memory(), enc);
         let d1 = store
             .load_document(&ordxml_xml::parse("<a><x/><x/></a>").unwrap(), "one")
             .unwrap();
@@ -67,7 +67,7 @@ fn file_backed_store_survives_reopen_with_updates() {
         let d;
         {
             let db = Database::open(&path, 128).unwrap();
-            let mut store = XmlStore::new(db, enc);
+            let store = XmlStore::new(db, enc);
             d = store
                 .load_document_with(&doc, "persist", OrderConfig::with_gap(4))
                 .unwrap();
@@ -79,7 +79,7 @@ fn file_backed_store_survives_reopen_with_updates() {
         }
         {
             let db = Database::open(&path, 128).unwrap();
-            let mut store = XmlStore::new(db, enc);
+            let store = XmlStore::new(db, enc);
             assert_eq!(store.document_ids().unwrap(), vec![d], "{enc}");
             let hits = store.xpath(d, "//persisted").unwrap();
             assert_eq!(hits.len(), 1, "{enc}");
@@ -104,7 +104,7 @@ fn translated_queries_use_indexes_not_scans() {
     // run as index scans. Verify via the engine's statistics.
     let doc = ordxml_bench_free_catalog(500);
     for enc in Encoding::all() {
-        let mut store = XmlStore::new(Database::in_memory(), enc);
+        let store = XmlStore::new(Database::in_memory(), enc);
         let d = store.load_document(&doc, "stats").unwrap();
         store.db().reset_stats();
         let hits = store.xpath(d, "/catalog/item").unwrap();
@@ -141,7 +141,7 @@ fn raw_sql_access_to_shredded_data() {
          <item><price>20</price></item></catalog>",
     )
     .unwrap();
-    let mut store = XmlStore::new(Database::in_memory(), Encoding::Global);
+    let store = XmlStore::new(Database::in_memory(), Encoding::Global);
     store.load_document(&doc, "sql").unwrap();
     let rows = store
         .db()
@@ -184,7 +184,7 @@ fn update_costs_scale_with_the_right_structure() {
     for &n in &sizes {
         let doc = ordxml_bench_free_catalog(n);
         for enc in [Encoding::Global, Encoding::Local] {
-            let mut store = XmlStore::new(Database::in_memory(), enc);
+            let store = XmlStore::new(Database::in_memory(), enc);
             let d = store
                 .load_document_with(&doc, "scale", OrderConfig::with_gap(1))
                 .unwrap();
@@ -220,7 +220,7 @@ fn deep_documents_work_across_the_stack() {
     }
     doc.append_text(cur, "bottom");
     for enc in Encoding::all() {
-        let mut store = XmlStore::new(Database::in_memory(), enc);
+        let store = XmlStore::new(Database::in_memory(), enc);
         let d = store.load_document(&doc, "deep").unwrap();
         let hits = store.xpath(d, "//d[not(d)]").unwrap();
         assert_eq!(hits.len(), 1, "{enc}");
