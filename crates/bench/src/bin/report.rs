@@ -15,11 +15,14 @@
 //! report --durable    # also run E11: file-backed update latency under WAL
 //!                     # vs checkpoint durability (wal_frames_written deltas
 //!                     # land in BENCH_report.json like any other experiment)
+//! report --trace      # collect structured spans for the whole run and
+//!                     # export them as BENCH_trace.json (Chrome trace-event
+//!                     # format) plus BENCH_trace.folded (flamegraph stacks)
 //! ```
 
 use ordxml::ExecutionMode;
 use ordxml_bench::{experiments, harness, report, Scale};
-use ordxml_rdbms::obs;
+use ordxml_rdbms::{obs, trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +33,11 @@ fn main() {
     };
     if args.iter().any(|a| a == "--obs-off") {
         obs::registry().set_enabled(false);
+    }
+    let trace_run = args.iter().any(|a| a == "--trace");
+    if trace_run {
+        trace::clear();
+        trace::set_enabled(true);
     }
     let mode = if args.iter().any(|a| a == "--per-context") {
         ExecutionMode::PerContext
@@ -73,6 +81,26 @@ fn main() {
                 eprintln!("unknown experiment `{id}` (expected e1..e12 or `all`)");
                 std::process::exit(2);
             }
+        }
+    }
+    if trace_run {
+        trace::set_enabled(false);
+        let events = trace::drain();
+        let chrome = trace::to_chrome_json(&events);
+        if let Err(e) = ordxml_bench::json::validate(&chrome) {
+            eprintln!("trace exporter produced malformed JSON: {e}");
+            std::process::exit(1);
+        }
+        match std::fs::write("BENCH_trace.json", &chrome) {
+            Ok(()) => println!("wrote BENCH_trace.json ({} spans)", events.len()),
+            Err(e) => {
+                eprintln!("failed to write BENCH_trace.json: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Err(e) = std::fs::write("BENCH_trace.folded", trace::to_collapsed(&events)) {
+            eprintln!("failed to write BENCH_trace.folded: {e}");
+            std::process::exit(1);
         }
     }
     if write_json {

@@ -12,6 +12,7 @@ use crate::datagen;
 use crate::harness::{fmt_count, Table};
 use crate::Scale;
 use ordxml::{Encoding, XmlStore};
+use ordxml_rdbms::obs::WaitSite;
 use ordxml_rdbms::{obs, Database};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -72,6 +73,10 @@ pub fn run(scale: Scale) {
             "max thread q/s",
             "speedup",
             "lock waits",
+            "backend waits",
+            "store waits",
+            "other waits",
+            "wait ms",
         ],
     );
     let mut baseline_qps = 0.0f64;
@@ -90,7 +95,23 @@ pub fn run(scale: Scale) {
         stop.store(true, Ordering::Relaxed);
         let results: Vec<ThreadResult> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         let elapsed = started.elapsed().as_secs_f64();
-        let lock_waits = obs::snapshot().lock_waits - before.lock_waits;
+        let after = obs::snapshot();
+        let lock_waits = after.lock_waits - before.lock_waits;
+        let site_waits = |s: WaitSite| after.lock_waits_at(s) - before.lock_waits_at(s);
+        let backend_waits = site_waits(WaitSite::Backend);
+        let store_waits = site_waits(WaitSite::Store);
+        let other_waits = lock_waits - backend_waits - store_waits;
+        let wait_ms: f64 = WaitSite::ALL
+            .iter()
+            .map(|&s| {
+                after
+                    .wait_latency_at(s)
+                    .total
+                    .saturating_sub(before.wait_latency_at(s).total)
+                    .as_secs_f64()
+                    * 1e3
+            })
+            .sum();
         let total: u64 = results.iter().map(|r| r.queries).sum();
         let agg_qps = total as f64 / elapsed;
         let min_qps = results.iter().map(|r| r.queries).min().unwrap_or(0) as f64 / elapsed;
@@ -111,6 +132,10 @@ pub fn run(scale: Scale) {
             format!("{max_qps:.0}"),
             format!("{speedup:.2}x"),
             fmt_count(lock_waits),
+            fmt_count(backend_waits),
+            fmt_count(store_waits),
+            fmt_count(other_waits),
+            format!("{wait_ms:.3}"),
         ]);
     }
     table.print();
@@ -167,5 +192,39 @@ mod tests {
                 qps[0]
             );
         }
+    }
+
+    /// The observability layer must never be the thing readers contend on:
+    /// counters are per-thread shards and the only obs latch (the slow-query
+    /// log) is off the path unless a statement crosses the slow threshold.
+    /// 8 reader threads on the shared store must leave the obs wait site
+    /// exactly where it started.
+    #[test]
+    fn obs_site_stays_uncontended_under_8_reader_threads() {
+        let doc = datagen::catalog(40, 1);
+        let store = Arc::new(XmlStore::new(Database::in_memory(), Encoding::Global));
+        let d = store.load_document(&doc, "obs-smoke").unwrap();
+        for q in QUERIES {
+            store.xpath(d, q).unwrap();
+        }
+        let before = obs::snapshot().lock_waits_at(WaitSite::Obs);
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || reader(&store, d, &stop))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap().queries).sum();
+        assert!(total > 0);
+        let after = obs::snapshot().lock_waits_at(WaitSite::Obs);
+        assert_eq!(
+            after - before,
+            0,
+            "metrics recording contended its own latch on the read path"
+        );
     }
 }

@@ -9,7 +9,7 @@
 //! build environment has no serialization crates — with full string
 //! escaping, so any cell content round-trips.
 
-use ordxml_rdbms::obs::ObsSnapshot;
+use ordxml_rdbms::obs::{ObsSnapshot, WaitSite};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -59,6 +59,11 @@ pub struct EngineDelta {
     pub recoveries_run: u64,
     /// Contended lock acquisitions (the caller blocked at least once).
     pub lock_waits: u64,
+    /// Contended acquisitions per wait site, indexed as [`WaitSite::ALL`]
+    /// (backend, plan_cache, wal, txn, store, obs, trace).
+    pub lock_waits_by_site: [u64; WaitSite::COUNT],
+    /// Total time spent blocked per wait site, same indexing.
+    pub lock_wait_time_by_site: [Duration; WaitSite::COUNT],
 }
 
 impl EngineDelta {
@@ -86,6 +91,14 @@ impl EngineDelta {
             txn_rollbacks: after.txn_rollbacks - before.txn_rollbacks,
             recoveries_run: after.recoveries_run - before.recoveries_run,
             lock_waits: after.lock_waits - before.lock_waits,
+            lock_waits_by_site: std::array::from_fn(|i| {
+                after.lock_waits_by_site[i] - before.lock_waits_by_site[i]
+            }),
+            lock_wait_time_by_site: std::array::from_fn(|i| {
+                after.wait_latency_by_site[i]
+                    .total
+                    .saturating_sub(before.wait_latency_by_site[i].total)
+            }),
         }
     }
 }
@@ -166,7 +179,7 @@ pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
              \"plan_cache_hits\": {},\n        \"plan_cache_misses\": {},\n        \
              \"wal_frames_written\": {},\n        \"txn_commits\": {},\n        \
              \"txn_rollbacks\": {},\n        \"recoveries_run\": {},\n        \
-             \"lock_waits\": {}\n",
+             \"lock_waits\": {},\n",
             r.engine.statements,
             r.engine.statement_errors,
             r.engine.slow_statements,
@@ -183,6 +196,16 @@ pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
             r.engine.recoveries_run,
             r.engine.lock_waits,
         ));
+        for (i, site) in WaitSite::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "        \"lock_waits_{}\": {},\n        \"lock_wait_time_{}_ms\": {:.3}{}\n",
+                site.name(),
+                r.engine.lock_waits_by_site[i],
+                site.name(),
+                r.engine.lock_wait_time_by_site[i].as_secs_f64() * 1e3,
+                if i + 1 < WaitSite::ALL.len() { "," } else { "" },
+            ));
+        }
         out.push_str("      },\n");
         out.push_str("      \"tables\": [\n");
         for (j, t) in r.tables.iter().enumerate() {
@@ -244,6 +267,9 @@ mod tests {
         assert!(json.contains("\"wal_frames_written\": 0"));
         assert!(json.contains("\"txn_commits\": 0"));
         assert!(json.contains("\"lock_waits\": 0"));
+        assert!(json.contains("\"lock_waits_backend\": 0"));
+        assert!(json.contains("\"lock_waits_obs\": 0"));
+        assert!(json.contains("\"lock_wait_time_store_ms\": 0.000"));
         assert!(json.contains("t \\\"quoted\\\""));
         assert!(json.contains("x\\ny"));
         // Crude balance check on the hand-rolled writer.

@@ -59,6 +59,10 @@ pub struct QueryDiagnostics {
     pub stats: ExecStats,
     /// Per-distinct-statement breakdown, in first-execution order.
     pub statements: Vec<StatementProfile>,
+    /// Rendered hierarchical span tree (store → translate → exec → btree /
+    /// pager), one line per aggregated span path. Empty when tracing was
+    /// already active on this thread or no spans fired.
+    pub span_tree: Vec<String>,
 }
 
 /// Diagnostics for one ordered update: the paper's row-maintenance cost
@@ -91,6 +95,12 @@ impl fmt::Display for QueryDiagnostics {
             writeln!(f, "  [{}x] {}", s.executions, s.sql)?;
             for line in &s.plan {
                 writeln!(f, "      {line}")?;
+            }
+        }
+        if !self.span_tree.is_empty() {
+            writeln!(f, "  span tree:")?;
+            for line in &self.span_tree {
+                writeln!(f, "    {line}")?;
             }
         }
         write!(

@@ -13,7 +13,8 @@ use crate::encoding::{DeweyKey, Encoding, OrderConfig};
 use crate::shred::{self, KIND_ATTR, KIND_ELEMENT};
 use crate::update::UpdateCost;
 use crate::xpath::{self, XPathError};
-use ordxml_rdbms::{latch, Database, DbError, Row, Value};
+use ordxml_rdbms::obs::WaitSite;
+use ordxml_rdbms::{latch, trace, Database, DbError, Row, Value};
 use ordxml_xml::{Document, NodePath};
 use std::fmt;
 use std::ops::{Deref, DerefMut};
@@ -324,18 +325,18 @@ impl XmlStore {
     /// touched the store yet (double-checked: the common case stays on the
     /// read latch).
     fn read_inner(&self) -> StoreResult<RwLockReadGuard<'_, StoreInner>> {
-        let guard = latch::read(&self.inner);
+        let guard = latch::read(&self.inner, WaitSite::Store);
         if guard.schema_ready {
             return Ok(guard);
         }
         drop(guard);
-        latch::write(&self.inner).ensure_schema()?;
-        Ok(latch::read(&self.inner))
+        latch::write(&self.inner, WaitSite::Store).ensure_schema()?;
+        Ok(latch::read(&self.inner, WaitSite::Store))
     }
 
     /// Exclusive access with the schema guaranteed to exist.
     fn write_inner(&self) -> StoreResult<RwLockWriteGuard<'_, StoreInner>> {
-        let mut guard = latch::write(&self.inner);
+        let mut guard = latch::write(&self.inner, WaitSite::Store);
         guard.ensure_schema()?;
         Ok(guard)
     }
@@ -356,7 +357,7 @@ impl XmlStore {
 
     /// The store's current execution mode.
     pub fn execution_mode(&self) -> crate::translate::ExecutionMode {
-        latch::read(&self.inner).execution_mode
+        latch::read(&self.inner, WaitSite::Store).execution_mode
     }
 
     /// The store's encoding.
@@ -368,7 +369,7 @@ impl XmlStore {
     /// benchmark harness's counter collection). The guard holds the store's
     /// write latch: drop it before calling any other store method.
     pub fn db(&self) -> DbGuard<'_> {
-        DbGuard(latch::write(&self.inner))
+        DbGuard(latch::write(&self.inner, WaitSite::Store))
     }
 
     /// Loads (shreds) a document with the default sparse-numbering gap and
@@ -434,6 +435,7 @@ impl XmlStore {
 
     /// Evaluates a pre-parsed path.
     pub fn xpath_parsed(&self, doc: i64, path: &xpath::Path) -> StoreResult<Vec<XNode>> {
+        let _span = trace::span("store.xpath");
         let inner = self.read_inner()?;
         crate::translate::execute_full(
             &inner.db,
@@ -458,18 +460,21 @@ impl XmlStore {
         let path = xpath::parse(expr)?;
         let mut inner = self.write_inner()?;
         inner.db.start_trace();
-        let result = crate::translate::execute_full(
-            &inner.db,
-            inner.encoding,
-            doc,
-            &path,
-            inner.position_strategy,
-            inner.execution_mode,
-        );
-        let trace = inner.db.take_trace();
+        let (result, spans) = trace::capture(|| {
+            let _span = trace::span("store.xpath");
+            crate::translate::execute_full(
+                &inner.db,
+                inner.encoding,
+                doc,
+                &path,
+                inner.position_strategy,
+                inner.execution_mode,
+            )
+        });
+        let stmt_trace = inner.db.take_trace();
         let nodes = result?;
         let (statements, stats, elapsed, statements_executed) =
-            diag::fold_trace(&mut inner.db, trace);
+            diag::fold_trace(&mut inner.db, stmt_trace);
         let diagnostics = QueryDiagnostics {
             expr: expr.to_string(),
             encoding: inner.encoding,
@@ -478,6 +483,7 @@ impl XmlStore {
             elapsed,
             stats,
             statements,
+            span_tree: trace::render_tree(&spans),
         };
         Ok((nodes, diagnostics))
     }

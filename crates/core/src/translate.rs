@@ -93,6 +93,7 @@ pub fn execute_full(
     strategy: PositionStrategy,
     mode: ExecutionMode,
 ) -> StoreResult<Vec<XNode>> {
+    let _span = ordxml_rdbms::trace::span("translate");
     // Axes that are empty from the document node end the query immediately.
     if matches!(
         path.steps.first().map(|s| s.axis),
@@ -306,6 +307,7 @@ impl<'a> Translator<'a> {
         steps: &[Step],
         first: bool,
     ) -> StoreResult<(Vec<XNode>, bool)> {
+        let _span = ordxml_rdbms::trace::span("translate.segment");
         let mut sql = Sql::new(self.enc);
         // Set-at-a-time: a context-anchored segment whose first step hangs
         // off the context by parent equality (child/attribute) ships every
@@ -965,6 +967,7 @@ impl<'a> Translator<'a> {
         step: &Step,
         first: bool,
     ) -> StoreResult<Vec<XNode>> {
+        let _span = ordxml_rdbms::trace::span("translate.mediator");
         let ctx_nodes = match ctx {
             Some(nodes) => nodes,
             None => {

@@ -149,6 +149,7 @@ impl BTree {
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Option<u64> {
         Self::bump(&self.descents);
+        let _span = crate::trace::span("btree.descent");
         let mut cur = self.root;
         loop {
             match &self.nodes[cur as usize] {
@@ -176,6 +177,7 @@ impl BTree {
     /// (in which case the value was replaced).
     pub fn insert(&mut self, key: &[u8], val: u64) -> Option<u64> {
         Self::bump(&self.descents);
+        let _span = crate::trace::span("btree.descent");
         let (split, old) = self.insert_rec(self.root, key, val);
         if let Some((sep, right)) = split {
             let new_root = self.alloc(Node::Inner {
@@ -273,6 +275,7 @@ impl BTree {
     /// Removes `key`, returning its value if it was present.
     pub fn remove(&mut self, key: &[u8]) -> Option<u64> {
         Self::bump(&self.descents);
+        let _span = crate::trace::span("btree.descent");
         let removed = self.remove_rec(self.root, key);
         if removed.is_some() {
             self.len -= 1;
@@ -537,6 +540,7 @@ impl BTree {
     /// down from the root.
     fn seek_lower(&self, bound: Bound<&[u8]>) -> (u32, usize) {
         Self::bump(&self.descents);
+        let _span = crate::trace::span("btree.descent");
         let key = match bound {
             Bound::Unbounded => {
                 // Leftmost leaf.
@@ -593,6 +597,7 @@ impl BTree {
         let (mut leaf, mut idx) = match &upper {
             Bound::Unbounded => {
                 Self::bump(&self.descents);
+                let _span = crate::trace::span("btree.descent");
                 let mut cur = self.root;
                 loop {
                     match &self.nodes[cur as usize] {

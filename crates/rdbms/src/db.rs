@@ -14,19 +14,22 @@
 
 use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
-use crate::exec::{run_select, scan_for_update, Env, ExecStats, Profiler};
+use crate::exec::{run_select, scan_for_update, Env, ExecStats, Profiler, SharedExecStats};
 use crate::expr::{eval, Expr, SimpleCtx};
 use crate::latch;
 use crate::obs;
+use crate::obs::WaitSite;
 use crate::plan::{plan_select, plan_table_access, render_plan, render_table_access, SelectPlan};
 use crate::schema::{ColumnDef, IndexDef, TableSchema};
 use crate::sql::ast::{ParsedStmt, Stmt};
 use crate::sql::parse;
 use crate::storage::{wal, FaultInjector, PageId, Pager, RowId, Wal};
+use crate::trace;
 use crate::value::{Row, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -65,6 +68,20 @@ pub struct StatementTrace {
 
 /// Maximum record bytes stored per catalog page during a checkpoint.
 const CATALOG_CHUNK: usize = 7000;
+
+/// Trims SQL text to a bounded span annotation.
+fn truncate_sql(sql: &str) -> String {
+    const MAX: usize = 80;
+    if sql.len() <= MAX {
+        sql.to_string()
+    } else {
+        let cut = (1..=MAX)
+            .rev()
+            .find(|&i| sql.is_char_boundary(i))
+            .unwrap_or(0);
+        format!("{}…", &sql[..cut])
+    }
+}
 
 /// Upper bound on cached plans per database. Long sessions that generate
 /// many distinct statement texts (ad-hoc SQL, per-document DDL) would
@@ -130,8 +147,14 @@ pub struct Database {
     pager: Pager,
     catalog: Catalog,
     plan_cache: Mutex<PlanCache>,
-    /// Cumulative execution counters across all statements.
-    total_stats: Mutex<ExecStats>,
+    /// Cumulative execution counters across all statements. An atomic cell,
+    /// not a latch: concurrent readers merge their statement stats without
+    /// serializing.
+    total_stats: SharedExecStats,
+    /// `true` while a statement trace is being recorded — checked with one
+    /// relaxed load per statement so the `trace` latch is never touched on
+    /// the (hot, concurrent) untraced path.
+    trace_on: AtomicBool,
     /// When `Some`, every statement appends a [`StatementTrace`].
     trace: Mutex<Option<Vec<StatementTrace>>>,
     /// Pages holding the serialized catalog (file mode only; page 0 is the
@@ -149,7 +172,8 @@ impl Database {
             pager: Pager::in_memory(),
             catalog: Catalog::new(),
             plan_cache: Mutex::new(PlanCache::default()),
-            total_stats: Mutex::new(ExecStats::default()),
+            total_stats: SharedExecStats::default(),
+            trace_on: AtomicBool::new(false),
             trace: Mutex::new(None),
             catalog_pages: Vec::new(),
             file_backed: false,
@@ -208,7 +232,8 @@ impl Database {
             pager,
             catalog,
             plan_cache: Mutex::new(PlanCache::default()),
-            total_stats: Mutex::new(ExecStats::default()),
+            total_stats: SharedExecStats::default(),
+            trace_on: AtomicBool::new(false),
             trace: Mutex::new(None),
             catalog_pages,
             file_backed: true,
@@ -337,24 +362,28 @@ impl Database {
 
     /// Cumulative execution counters across all statements so far.
     pub fn total_stats(&self) -> ExecStats {
-        *latch::lock(&self.total_stats)
+        self.total_stats.snapshot()
     }
 
     /// Resets the cumulative counters (useful between benchmark phases).
     pub fn reset_stats(&mut self) {
-        *latch::lock(&self.total_stats) = ExecStats::default();
+        self.total_stats.reset();
     }
 
     /// Starts recording a [`StatementTrace`] for every statement run from
     /// now on. Replaces any trace already being recorded.
     pub fn start_trace(&mut self) {
-        *latch::lock(&self.trace) = Some(Vec::new());
+        *latch::lock(&self.trace, WaitSite::Trace) = Some(Vec::new());
+        self.trace_on.store(true, Ordering::Relaxed);
     }
 
     /// Stops tracing and returns the recorded statements (empty if tracing
     /// was never started).
     pub fn take_trace(&mut self) -> Vec<StatementTrace> {
-        latch::lock(&self.trace).take().unwrap_or_default()
+        self.trace_on.store(false, Ordering::Relaxed);
+        latch::lock(&self.trace, WaitSite::Trace)
+            .take()
+            .unwrap_or_default()
     }
 
     /// Renders the plan for `sql` (equivalent to running it with an
@@ -399,7 +428,8 @@ impl Database {
     /// needs. Plans are cloned out so the cache latch is never held while a
     /// statement runs.
     fn lookup_plan(&self, sql: &str) -> DbResult<(Stmt, bool, Option<SelectPlan>)> {
-        let mut cache = latch::lock(&self.plan_cache);
+        let _span = trace::span("plan_cache.lookup");
+        let mut cache = latch::lock(&self.plan_cache, WaitSite::PlanCache);
         cache.clock += 1;
         let clock = cache.clock;
         if let Some(cached) = cache.map.get_mut(sql) {
@@ -407,6 +437,7 @@ impl Database {
             obs::registry().record_plan_cache(true);
         } else {
             obs::registry().record_plan_cache(false);
+            let _plan_span = trace::span("plan.build");
             let parsed = parse(sql)?;
             // EXPLAIN shares the wrapped statement's plan slot, so EXPLAIN
             // renders exactly the plan the bare statement would run.
@@ -451,6 +482,7 @@ impl Database {
     /// planned once, then cached by SQL text, so parameterized statements
     /// behave as prepared statements.
     pub fn run(&mut self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
+        let _stmt_span = trace::span_with("statement", || truncate_sql(sql));
         let (stmt, has_subqueries, plan) = self.lookup_plan(sql)?;
         let is_read = matches!(&stmt, Stmt::Select(_) | Stmt::Explain { .. });
         // Snapshot the shared pager/B+tree counters so the statement's
@@ -470,9 +502,7 @@ impl Database {
             Ok(r) => {
                 if auto_txn {
                     if let Err(e) = self.commit() {
-                        if obs::registry().enabled() {
-                            obs::registry().statement_errors.add(1);
-                        }
+                        obs::registry().record_statement_error();
                         return Err(e);
                     }
                 }
@@ -482,14 +512,12 @@ impl Database {
                 if auto_txn {
                     let _ = self.rollback();
                 }
-                if obs::registry().enabled() {
-                    obs::registry().statement_errors.add(1);
-                }
+                obs::registry().record_statement_error();
                 return Err(e);
             }
         };
         self.fold_engine_deltas(&mut result.stats, &pages_before, &trees_before);
-        latch::lock(&self.total_stats).merge(&result.stats);
+        self.total_stats.merge(&result.stats);
         if let Some(started) = started {
             self.record_statement(sql, params, is_read, started, &result);
         }
@@ -503,6 +531,7 @@ impl Database {
     /// [`DbError::Unsupported`] — route them through [`Database::run`],
     /// which takes `&mut self` and therefore excludes concurrent readers.
     pub fn run_read(&self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
+        let _stmt_span = trace::span_with("statement", || truncate_sql(sql));
         let (stmt, _has_subqueries, plan) = self.lookup_plan(sql)?;
         let pages_before = self.pager.stats().full();
         let trees_before = self.catalog.btree_counters();
@@ -511,23 +540,22 @@ impl Database {
         let mut result = match self.dispatch_read(stmt, plan, params) {
             Ok(r) => r,
             Err(e) => {
-                if obs::registry().enabled() {
-                    obs::registry().statement_errors.add(1);
-                }
+                obs::registry().record_statement_error();
                 return Err(e);
             }
         };
         self.fold_engine_deltas(&mut result.stats, &pages_before, &trees_before);
-        latch::lock(&self.total_stats).merge(&result.stats);
+        self.total_stats.merge(&result.stats);
         if let Some(started) = started {
             self.record_statement(sql, params, true, started, &result);
         }
         Ok(result)
     }
 
-    /// `true` while a statement trace is being recorded.
+    /// `true` while a statement trace is being recorded (one relaxed load —
+    /// the untraced path never touches the trace latch).
     fn tracing(&self) -> bool {
-        latch::lock(&self.trace).is_some()
+        self.trace_on.load(Ordering::Relaxed)
     }
 
     /// Feeds one finished statement into the global registry and the
@@ -556,15 +584,17 @@ impl Database {
                 stats: result.stats,
             },
         );
-        if let Some(trace) = latch::lock(&self.trace).as_mut() {
-            trace.push(StatementTrace {
-                sql: sql.to_string(),
-                params: params.to_vec(),
-                rows: result.rows.len() as u64,
-                rows_affected: result.rows_affected,
-                elapsed,
-                stats: result.stats,
-            });
+        if self.tracing() {
+            if let Some(trace) = latch::lock(&self.trace, WaitSite::Trace).as_mut() {
+                trace.push(StatementTrace {
+                    sql: sql.to_string(),
+                    params: params.to_vec(),
+                    rows: result.rows.len() as u64,
+                    rows_affected: result.rows_affected,
+                    elapsed,
+                    stats: result.stats,
+                });
+            }
         }
     }
 
@@ -599,18 +629,24 @@ impl Database {
                 let plan = plan.expect("EXPLAIN SELECT is planned at cache time");
                 let lines = if analyze {
                     let prof = RefCell::new(Profiler::default());
-                    let rows = {
+                    let (rows, spans) = trace::capture(|| {
+                        let _exec = trace::span("exec");
                         let env = Env {
                             catalog: &self.catalog,
                             pager: &self.pager,
                             params,
                             prof: Some(&prof),
                         };
-                        run_select(&env, &mut stats, &plan, None)?
-                    };
+                        run_select(&env, &mut stats, &plan, None)
+                    });
+                    let rows = rows?;
                     let prof = prof.into_inner();
                     let mut lines = render_plan(&self.catalog, &plan, Some(&prof));
                     lines.push(format!("Rows returned: {}", rows.len()));
+                    lines.push("Span tree:".to_string());
+                    for line in trace::render_tree(&spans) {
+                        lines.push(format!("  {line}"));
+                    }
                     lines
                 } else {
                     render_plan(&self.catalog, &plan, None)
@@ -861,18 +897,24 @@ impl Database {
                 let plan = plan.expect("EXPLAIN SELECT is planned at cache time");
                 if analyze {
                     let prof = RefCell::new(Profiler::default());
-                    let rows = {
+                    let (rows, spans) = trace::capture(|| {
+                        let _exec = trace::span("exec");
                         let env = Env {
                             catalog: &self.catalog,
                             pager: &self.pager,
                             params,
                             prof: Some(&prof),
                         };
-                        run_select(&env, stats, &plan, None)?
-                    };
+                        run_select(&env, stats, &plan, None)
+                    });
+                    let rows = rows?;
                     let prof = prof.into_inner();
                     let mut lines = render_plan(&self.catalog, &plan, Some(&prof));
                     lines.push(format!("Rows returned: {}", rows.len()));
+                    lines.push("Span tree:".to_string());
+                    for line in trace::render_tree(&spans) {
+                        lines.push(format!("  {line}"));
+                    }
                     Ok((lines, 0))
                 } else {
                     Ok((render_plan(&self.catalog, &plan, None), 0))
@@ -983,7 +1025,7 @@ impl Database {
             ..ExecStats::default()
         };
         self.fold_engine_deltas(&mut stats, &pages_before, &trees_before);
-        latch::lock(&self.total_stats).merge(&stats);
+        self.total_stats.merge(&stats);
         if let Some(started) = started {
             let elapsed = started.elapsed();
             let sql = format!("INSERT INTO {table} /* bulk */");
@@ -997,7 +1039,7 @@ impl Database {
                     stats,
                 },
             );
-            if let Some(trace) = latch::lock(&self.trace).as_mut() {
+            if let Some(trace) = latch::lock(&self.trace, WaitSite::Trace).as_mut() {
                 trace.push(StatementTrace {
                     sql,
                     params: Vec::new(),
@@ -1160,7 +1202,9 @@ impl Database {
     }
 
     fn invalidate_plans(&mut self) {
-        latch::lock(&self.plan_cache).map.clear();
+        latch::lock(&self.plan_cache, WaitSite::PlanCache)
+            .map
+            .clear();
     }
 
     /// Persists the catalog and makes everything durable (file mode; a no-op
@@ -1505,7 +1549,7 @@ mod tests {
         }
         // One INSERT statement (from seeding) + one SELECT, each cached once.
         assert_eq!(
-            latch::lock(&db.plan_cache).map.len(),
+            latch::lock(&db.plan_cache, WaitSite::PlanCache).map.len(),
             2,
             "plans are reused, not re-made"
         );
@@ -1526,12 +1570,14 @@ mod tests {
             }
         }
         assert!(
-            latch::lock(&db.plan_cache).map.len() <= PLAN_CACHE_CAP,
+            latch::lock(&db.plan_cache, WaitSite::PlanCache).map.len() <= PLAN_CACHE_CAP,
             "cache stays bounded: {}",
-            latch::lock(&db.plan_cache).map.len()
+            latch::lock(&db.plan_cache, WaitSite::PlanCache).map.len()
         );
         assert!(
-            latch::lock(&db.plan_cache).map.contains_key(hot),
+            latch::lock(&db.plan_cache, WaitSite::PlanCache)
+                .map
+                .contains_key(hot),
             "recently used entries survive eviction"
         );
         // Evicted statements still run (they are just re-planned).
@@ -1786,10 +1832,14 @@ mod tests {
         let mut db = setup();
         seed(&mut db, 5);
         db.query("SELECT pos FROM node WHERE doc = 1", &[]).unwrap();
-        assert!(!latch::lock(&db.plan_cache).map.is_empty());
+        assert!(!latch::lock(&db.plan_cache, WaitSite::PlanCache)
+            .map
+            .is_empty());
         db.execute("CREATE INDEX extra ON node (doc, depth)", &[])
             .unwrap();
-        assert!(latch::lock(&db.plan_cache).map.is_empty());
+        assert!(latch::lock(&db.plan_cache, WaitSite::PlanCache)
+            .map
+            .is_empty());
     }
 
     #[test]
@@ -1892,6 +1942,45 @@ mod tests {
         assert!(r.stats.index_scans >= 1);
         assert!(r.stats.btree_descents >= 1, "{:?}", r.stats);
         assert!(r.stats.pages_read >= 1, "{:?}", r.stats);
+    }
+
+    #[test]
+    fn explain_analyze_renders_multi_layer_span_tree() {
+        let mut db = setup();
+        seed(&mut db, 50);
+        let r = db
+            .run(
+                "EXPLAIN ANALYZE SELECT val FROM node WHERE doc = 1 AND pos = 25",
+                &[],
+            )
+            .unwrap();
+        let lines: Vec<String> = r
+            .rows
+            .iter()
+            .map(|row| row[0].as_text().unwrap().to_string())
+            .collect();
+        let at = lines
+            .iter()
+            .position(|l| l == "Span tree:")
+            .unwrap_or_else(|| panic!("no span tree in:\n{}", lines.join("\n")));
+        let tree = &lines[at + 1..];
+        let has = |name: &str| tree.iter().any(|l| l.trim_start().starts_with(name));
+        assert!(has("exec"), "{tree:?}");
+        assert!(has("op."), "{tree:?}");
+        assert!(has("btree.descent"), "{tree:?}");
+        assert!(has("pager.read"), "{tree:?}");
+        // The tree must span at least 4 layers: exec → operator → child
+        // operator / index probe → pager access.
+        let depths: std::collections::BTreeSet<usize> = tree
+            .iter()
+            .map(|l| l.len() - l.trim_start().len())
+            .collect();
+        assert!(
+            depths.len() >= 4,
+            "span tree has {} indent layers:\n{}",
+            depths.len(),
+            tree.join("\n")
+        );
     }
 
     #[test]

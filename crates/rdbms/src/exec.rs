@@ -79,6 +79,84 @@ impl ExecStats {
     }
 }
 
+/// A thread-safe accumulation cell for [`ExecStats`]: fourteen relaxed
+/// atomics, one per counter. [`crate::Database`] keeps its cumulative
+/// per-database totals in one of these so that concurrent readers merging
+/// their statement stats never serialize on a mutex (the totals latch used
+/// to be the last lock on the shared-read path).
+#[derive(Debug, Default)]
+pub struct SharedExecStats {
+    cells: [std::sync::atomic::AtomicU64; 14],
+}
+
+impl SharedExecStats {
+    /// Adds `stats` into the totals.
+    pub fn merge(&self, stats: &ExecStats) {
+        use std::sync::atomic::Ordering;
+        for (cell, v) in self.cells.iter().zip(Self::unpack(stats)) {
+            if v > 0 {
+                cell.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A plain-value copy of the totals.
+    pub fn snapshot(&self) -> ExecStats {
+        use std::sync::atomic::Ordering;
+        let mut vals = [0u64; 14];
+        for (v, cell) in vals.iter_mut().zip(self.cells.iter()) {
+            *v = cell.load(Ordering::Relaxed);
+        }
+        Self::pack(vals)
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        use std::sync::atomic::Ordering;
+        for cell in &self.cells {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn unpack(s: &ExecStats) -> [u64; 14] {
+        [
+            s.rows_scanned,
+            s.index_scans,
+            s.index_rows,
+            s.rows_sorted,
+            s.subquery_evals,
+            s.rows_written,
+            s.pages_read,
+            s.cache_hits,
+            s.cache_misses,
+            s.pages_written,
+            s.evictions,
+            s.btree_descents,
+            s.btree_leaf_scans,
+            s.btree_splits,
+        ]
+    }
+
+    fn pack(v: [u64; 14]) -> ExecStats {
+        ExecStats {
+            rows_scanned: v[0],
+            index_scans: v[1],
+            index_rows: v[2],
+            rows_sorted: v[3],
+            subquery_evals: v[4],
+            rows_written: v[5],
+            pages_read: v[6],
+            cache_hits: v[7],
+            cache_misses: v[8],
+            pages_written: v[9],
+            evictions: v[10],
+            btree_descents: v[11],
+            btree_leaf_scans: v[12],
+            btree_splits: v[13],
+        }
+    }
+}
+
 /// Per-operator runtime profile collected under `EXPLAIN ANALYZE`.
 ///
 /// `elapsed` is *inclusive* of the operator's children (the executor is
@@ -132,6 +210,21 @@ pub fn run_select(
     run_node(env, stats, &plan.subplans, &plan.root, outer)
 }
 
+/// Stable trace-span name for a plan operator.
+fn op_name(node: &Node) -> &'static str {
+    match node {
+        Node::OneRow => "op.one_row",
+        Node::Scan(_) => "op.scan",
+        Node::Join { .. } => "op.join",
+        Node::Filter { .. } => "op.filter",
+        Node::Aggregate { .. } => "op.aggregate",
+        Node::Sort { .. } => "op.sort",
+        Node::Project { .. } => "op.project",
+        Node::Distinct { .. } => "op.distinct",
+        Node::Limit { .. } => "op.limit",
+    }
+}
+
 fn run_node(
     env: &Env<'_>,
     stats: &mut ExecStats,
@@ -139,6 +232,7 @@ fn run_node(
     node: &Node,
     outer: Option<&[Value]>,
 ) -> DbResult<Vec<Row>> {
+    let _span = crate::trace::span(op_name(node));
     let Some(prof) = env.prof else {
         return run_node_inner(env, stats, subplans, node, outer);
     };

@@ -50,6 +50,7 @@ pub mod plan;
 pub mod schema;
 pub mod sql;
 pub mod storage;
+pub mod trace;
 pub mod value;
 
 pub use btree::BTreeCounters;

@@ -1,11 +1,32 @@
 //! Engine observability: counters, duration histograms, timing spans, a
-//! global snapshot API, and a configurable slow-query log.
+//! global snapshot API, wait-site lock attribution, and a configurable
+//! slow-query log.
 //!
 //! Everything here is built on `std` only (the crate keeps an empty
 //! `[dependencies]` section). The whole layer sits behind a single
-//! process-wide enable flag — when disabled (the default is *enabled*), the
-//! per-statement overhead in [`crate::Database::run`] is one relaxed atomic
-//! load, so hot paths pay essentially nothing for the instrumentation.
+//! process-wide enable flag — when disabled, the per-statement overhead in
+//! [`crate::Database::run`] is one relaxed atomic load, so hot paths pay
+//! essentially nothing for the instrumentation.
+//!
+//! # Sharding
+//!
+//! The registry's hot path is *per-thread sharded*: every recording thread
+//! owns a private [`Shard`] of counters and histograms (registered once,
+//! on that thread's first record, under a mutex the hot path never takes
+//! again), and [`Registry::snapshot`] aggregates across all shards. Eight
+//! readers bumping `statements` therefore touch eight distinct cache
+//! lines — the metrics layer cannot serialize, or even slow, the
+//! concurrent read path it is supposed to measure. Counters are monotonic
+//! and shards are never deregistered, so a shard whose thread has exited
+//! keeps contributing its final values.
+//!
+//! # Wait sites
+//!
+//! Every contended latch acquisition (see [`crate::latch`]) is attributed
+//! to a named [`WaitSite`] — which subsystem's lock blocked — with a
+//! per-site wait-duration histogram. `snapshot().lock_waits_by_site`
+//! answers "who is waiting on what" directly, which is the measurement the
+//! ROADMAP's lock-splitting items need.
 //!
 //! The registry is process-global on purpose: it aggregates across every
 //! [`crate::Database`] in the process (per-database numbers live in
@@ -16,7 +37,7 @@
 use crate::exec::ExecStats;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 /// A monotonically increasing event counter (relaxed atomics; cheap enough
@@ -84,33 +105,69 @@ impl DurationHistogram {
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
     }
 
+    /// Folds this histogram's current contents into `acc` (used to merge
+    /// per-thread shards at snapshot time).
+    fn accumulate(&self, acc: &mut HistAccum) {
+        for (a, b) in acc.buckets.iter_mut().zip(self.buckets.iter()) {
+            *a += b.load(Ordering::Relaxed);
+        }
+        acc.count += self.count.load(Ordering::Relaxed);
+        acc.sum_ns += self.sum_ns.load(Ordering::Relaxed);
+        acc.max_ns = acc.max_ns.max(self.max_ns.load(Ordering::Relaxed));
+    }
+
     /// A plain-value snapshot with approximate quantiles.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let buckets: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let count = self.count.load(Ordering::Relaxed);
+        let mut acc = HistAccum::default();
+        self.accumulate(&mut acc);
+        acc.snapshot()
+    }
+}
+
+/// Plain-value accumulation of one or more histograms (shard merging).
+#[derive(Debug)]
+struct HistAccum {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for HistAccum {
+    fn default() -> Self {
+        HistAccum {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl HistAccum {
+    fn snapshot(&self) -> HistogramSnapshot {
         let quantile = |q: f64| -> Duration {
-            if count == 0 {
+            if self.count == 0 {
                 return Duration::ZERO;
             }
-            let target = ((count as f64) * q).ceil() as u64;
+            let target = ((self.count as f64) * q).ceil() as u64;
             let mut seen = 0u64;
-            for (i, n) in buckets.iter().enumerate() {
+            for (i, n) in self.buckets.iter().enumerate() {
                 seen += n;
                 if seen >= target {
-                    // Upper edge of the bucket: a conservative estimate.
-                    return Duration::from_nanos(1u64 << (i + 1).min(63));
+                    // Upper edge of the bucket, clamped to the true max so
+                    // quantiles never exceed an observed value (and
+                    // p50 ≤ p95 ≤ max holds by construction).
+                    let edge = 1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX);
+                    return Duration::from_nanos(edge.min(self.max_ns));
                 }
             }
-            Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+            Duration::from_nanos(self.max_ns)
         };
         HistogramSnapshot {
-            count,
-            total: Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed)),
-            max: Duration::from_nanos(self.max_ns.load(Ordering::Relaxed)),
+            count: self.count,
+            total: Duration::from_nanos(self.sum_ns),
+            max: Duration::from_nanos(self.max_ns),
             p50: quantile(0.50),
             p95: quantile(0.95),
             p99: quantile(0.99),
@@ -119,7 +176,8 @@ impl DurationHistogram {
 }
 
 /// Point-in-time summary of a [`DurationHistogram`]. Quantiles are
-/// bucket-resolution estimates (upper bucket edge), not exact.
+/// bucket-resolution estimates (upper bucket edge, clamped to `max`),
+/// not exact.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Recorded durations.
@@ -137,7 +195,10 @@ pub struct HistogramSnapshot {
 }
 
 /// A timing span: starts on construction, records its elapsed time into a
-/// histogram when dropped.
+/// histogram when dropped. [`Span::enter`] consults the global registry's
+/// enable flag; while disabled it costs one relaxed load plus a branch and
+/// the returned span is inert (it never reads the clock or touches the
+/// histogram).
 ///
 /// ```
 /// use ordxml_rdbms::obs;
@@ -150,28 +211,44 @@ pub struct HistogramSnapshot {
 /// ```
 #[derive(Debug)]
 pub struct Span<'a> {
-    hist: &'a DurationHistogram,
-    start: Instant,
+    inner: Option<(&'a DurationHistogram, Instant)>,
 }
 
 impl<'a> Span<'a> {
-    /// Starts a span that reports into `hist`.
+    /// Starts a span that reports into `hist` if the global registry is
+    /// enabled; otherwise returns an inert span.
     pub fn enter(hist: &'a DurationHistogram) -> Span<'a> {
+        Span::enter_if(registry().enabled(), hist)
+    }
+
+    /// Starts a span only when `enabled` is true — the caller supplies the
+    /// flag (e.g. a private registry's, or a precomputed one hoisted out of
+    /// a loop). A disabled span is a `None` and records nothing.
+    pub fn enter_if(enabled: bool, hist: &'a DurationHistogram) -> Span<'a> {
         Span {
-            hist,
-            start: Instant::now(),
+            inner: if enabled {
+                Some((hist, Instant::now()))
+            } else {
+                None
+            },
         }
     }
 
-    /// Elapsed time so far, without ending the span.
+    /// Elapsed time so far, without ending the span ([`Duration::ZERO`]
+    /// for an inert span).
     pub fn elapsed(&self) -> Duration {
-        self.start.elapsed()
+        self.inner
+            .as_ref()
+            .map(|(_, start)| start.elapsed())
+            .unwrap_or(Duration::ZERO)
     }
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
-        self.hist.record(self.start.elapsed());
+        if let Some((hist, start)) = self.inner.take() {
+            hist.record(start.elapsed());
+        }
     }
 }
 
@@ -191,40 +268,137 @@ pub struct SlowQuery {
 /// Capacity of the slow-query ring buffer.
 const SLOW_LOG_CAP: usize = 64;
 
+/// The named subsystems whose latches [`crate::latch`] attributes
+/// contended acquisitions to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitSite {
+    /// Pager backend (in-memory page table `RwLock` or file-backend mutex).
+    Backend,
+    /// Per-database prepared-plan cache.
+    PlanCache,
+    /// Write-ahead-log state.
+    Wal,
+    /// Transaction state (active-txn bookkeeping in the pager).
+    Txn,
+    /// XML store schema/state latch (`XmlStore::inner`).
+    Store,
+    /// Observability's own locks (slow-query log). Sharded counters mean
+    /// this site stays at zero on the read path.
+    Obs,
+    /// Statement-trace capture buffers in [`crate::Database`].
+    Trace,
+}
+
+impl WaitSite {
+    /// Number of wait sites (array dimension for per-site metrics).
+    pub const COUNT: usize = 7;
+
+    /// Every site, in the order used by per-site arrays.
+    pub const ALL: [WaitSite; WaitSite::COUNT] = [
+        WaitSite::Backend,
+        WaitSite::PlanCache,
+        WaitSite::Wal,
+        WaitSite::Txn,
+        WaitSite::Store,
+        WaitSite::Obs,
+        WaitSite::Trace,
+    ];
+
+    /// Stable lowercase name (report column suffixes, trace labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitSite::Backend => "backend",
+            WaitSite::PlanCache => "plan_cache",
+            WaitSite::Wal => "wal",
+            WaitSite::Txn => "txn",
+            WaitSite::Store => "store",
+            WaitSite::Obs => "obs",
+            WaitSite::Trace => "trace",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            WaitSite::Backend => 0,
+            WaitSite::PlanCache => 1,
+            WaitSite::Wal => 2,
+            WaitSite::Txn => 3,
+            WaitSite::Store => 4,
+            WaitSite::Obs => 5,
+            WaitSite::Trace => 6,
+        }
+    }
+}
+
+/// Indices into a shard's counter array.
+#[derive(Clone, Copy)]
+enum Metric {
+    Statements,
+    StatementErrors,
+    SlowStatements,
+    PlanCacheHits,
+    PlanCacheMisses,
+    BtreeDescents,
+    WalFrames,
+    TxnCommits,
+    TxnRollbacks,
+    Recoveries,
+}
+
+const NMETRICS: usize = 10;
+
+/// One thread's private metric cell. All fields are atomics only so the
+/// snapshot path can read them concurrently; the owning thread's writes
+/// are uncontended.
+#[derive(Debug)]
+struct Shard {
+    metrics: [AtomicU64; NMETRICS],
+    read_latency: DurationHistogram,
+    write_latency: DurationHistogram,
+    wait_counts: [AtomicU64; WaitSite::COUNT],
+    wait_latency: [DurationHistogram; WaitSite::COUNT],
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            metrics: std::array::from_fn(|_| AtomicU64::new(0)),
+            read_latency: DurationHistogram::new(),
+            write_latency: DurationHistogram::new(),
+            wait_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            wait_latency: std::array::from_fn(|_| DurationHistogram::new()),
+        }
+    }
+
+    fn bump(&self, m: Metric, n: u64) {
+        self.metrics[m as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+thread_local! {
+    /// This thread's shard of the *global* registry (private registries in
+    /// tests use their fallback shard instead).
+    static GLOBAL_SHARD: std::cell::OnceCell<Arc<Shard>> = const { std::cell::OnceCell::new() };
+}
+
 /// The process-wide metric registry: statement counters, latency
-/// histograms, and the slow-query log.
+/// histograms, per-site lock-wait attribution, and the slow-query log.
+///
+/// Counter reads go through [`Registry::snapshot`] — the hot-path cells are
+/// per-thread shards, so there is no single counter object to read.
 #[derive(Debug)]
 pub struct Registry {
     enabled: AtomicBool,
-    /// Statements executed (all kinds).
-    pub statements: Counter,
-    /// Statements that failed with an error.
-    pub statement_errors: Counter,
-    /// Statements that exceeded the slow-query threshold.
-    pub slow_statements: Counter,
-    /// Latency of read statements (`SELECT`, `EXPLAIN`).
-    pub read_latency: DurationHistogram,
-    /// Latency of write statements (`INSERT`/`UPDATE`/`DELETE`/DDL).
-    pub write_latency: DurationHistogram,
-    /// Statements whose plan was served from the per-database plan cache.
-    pub plan_cache_hits: Counter,
-    /// Statements that had to be parsed and planned (cold or evicted).
-    pub plan_cache_misses: Counter,
-    /// B+tree root-to-leaf descents across all statements (each disjoint
-    /// range of a multi-range scan costs one descent).
-    pub btree_descents: Counter,
-    /// Page-image frames appended to any write-ahead log.
-    pub wal_frames_written: Counter,
-    /// Transactions committed (explicit and auto-commit).
-    pub txn_commits: Counter,
-    /// Transactions rolled back (explicit, or automatic on statement error).
-    pub txn_rollbacks: Counter,
-    /// Database opens that found a non-empty WAL and ran recovery.
-    pub recoveries_run: Counter,
-    /// Lock acquisitions that found the lock held and had to block
-    /// (pager backend / WAL / transaction-state latches). Uncontended
-    /// acquisitions are not counted.
-    pub lock_waits: Counter,
+    /// Every thread shard ever registered. A plain mutex, NOT a
+    /// [`crate::latch`] wrapper: the latch layer reports into this module,
+    /// and self-accounting would recurse. Taken once per recording thread
+    /// (registration) plus once per snapshot — never on the record path.
+    shards: Mutex<Vec<Arc<Shard>>>,
+    /// Shard used when this registry is not the global one (private
+    /// registries in tests), or if thread-local storage is unavailable.
+    fallback: Arc<Shard>,
     slow_threshold_ns: AtomicU64,
     slow_log: Mutex<VecDeque<SlowQuery>>,
 }
@@ -233,28 +407,46 @@ impl Registry {
     fn new() -> Registry {
         Registry {
             enabled: AtomicBool::new(true),
-            statements: Counter::new(),
-            statement_errors: Counter::new(),
-            slow_statements: Counter::new(),
-            read_latency: DurationHistogram::new(),
-            write_latency: DurationHistogram::new(),
-            plan_cache_hits: Counter::new(),
-            plan_cache_misses: Counter::new(),
-            btree_descents: Counter::new(),
-            wal_frames_written: Counter::new(),
-            txn_commits: Counter::new(),
-            txn_rollbacks: Counter::new(),
-            recoveries_run: Counter::new(),
-            lock_waits: Counter::new(),
+            shards: Mutex::new(Vec::new()),
+            fallback: Arc::new(Shard::new()),
             slow_threshold_ns: AtomicU64::new(0),
             slow_log: Mutex::new(VecDeque::new()),
         }
     }
 
+    /// Runs `f` against the calling thread's shard. For the global registry
+    /// this is the thread-local cell (registered on first use); private
+    /// registries share their fallback shard, which is still thread-safe,
+    /// just not contention-free.
+    fn with_shard<R>(&self, f: impl FnOnce(&Shard) -> R) -> R {
+        if let Some(global) = REGISTRY.get() {
+            if std::ptr::eq(self, global) {
+                let done = GLOBAL_SHARD.try_with(|cell| {
+                    let shard = cell.get_or_init(|| {
+                        let shard = Arc::new(Shard::new());
+                        global
+                            .shards
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .push(Arc::clone(&shard));
+                        shard
+                    });
+                    Arc::clone(shard)
+                });
+                // TLS is gone during thread teardown; fall back rather
+                // than lose the record or panic in a destructor.
+                if let Ok(shard) = done {
+                    return f(&shard);
+                }
+            }
+        }
+        f(&self.fallback)
+    }
+
     /// Records WAL frame appends (no-op while disabled).
     pub fn record_wal_frames(&self, n: u64) {
         if self.enabled() && n > 0 {
-            self.wal_frames_written.add(n);
+            self.with_shard(|s| s.bump(Metric::WalFrames, n));
         }
     }
 
@@ -263,27 +455,41 @@ impl Registry {
         if !self.enabled() {
             return;
         }
-        if committed {
-            self.txn_commits.add(1);
+        let m = if committed {
+            Metric::TxnCommits
         } else {
-            self.txn_rollbacks.add(1);
-        }
+            Metric::TxnRollbacks
+        };
+        self.with_shard(|s| s.bump(m, 1));
     }
 
     /// Records one recovery pass that found WAL frames to deal with
     /// (no-op while disabled).
     pub fn record_recovery(&self) {
         if self.enabled() {
-            self.recoveries_run.add(1);
+            self.with_shard(|s| s.bump(Metric::Recoveries, 1));
         }
     }
 
-    /// Records one contended lock acquisition — the caller found the latch
-    /// held and had to block (no-op while disabled).
-    pub fn record_lock_wait(&self) {
+    /// Records one statement that failed with an error (no-op while
+    /// disabled).
+    pub fn record_statement_error(&self) {
         if self.enabled() {
-            self.lock_waits.add(1);
+            self.with_shard(|s| s.bump(Metric::StatementErrors, 1));
         }
+    }
+
+    /// Records one contended lock acquisition at `site` — the caller found
+    /// the latch held, blocked for `waited`, and now owns it (no-op while
+    /// disabled).
+    pub fn record_lock_wait(&self, site: WaitSite, waited: Duration) {
+        if !self.enabled() {
+            return;
+        }
+        self.with_shard(|s| {
+            s.wait_counts[site.index()].fetch_add(1, Ordering::Relaxed);
+            s.wait_latency[site.index()].record(waited);
+        });
     }
 
     /// Records a plan-cache lookup outcome (no-op while disabled).
@@ -291,11 +497,12 @@ impl Registry {
         if !self.enabled() {
             return;
         }
-        if hit {
-            self.plan_cache_hits.add(1);
+        let m = if hit {
+            Metric::PlanCacheHits
         } else {
-            self.plan_cache_misses.add(1);
-        }
+            Metric::PlanCacheMisses
+        };
+        self.with_shard(|s| s.bump(m, 1));
     }
 
     /// Whether statement instrumentation is collected. The check is a single
@@ -326,28 +533,29 @@ impl Registry {
     }
 
     /// Records one executed statement. `is_read` selects the latency
-    /// histogram; statements beyond the threshold land in the slow log.
+    /// histogram; statements beyond the threshold land in the slow log
+    /// (a fixed-capacity ring of the most recent [`SLOW_LOG_CAP`],
+    /// evicting oldest).
     pub fn record_statement(&self, sql: &str, is_read: bool, entry: &SlowQuery) {
         if !self.enabled() {
             return;
         }
-        self.statements.add(1);
-        self.btree_descents.add(entry.stats.btree_descents);
-        if is_read {
-            self.read_latency.record(entry.elapsed);
-        } else {
-            self.write_latency.record(entry.elapsed);
-        }
+        self.with_shard(|s| {
+            s.bump(Metric::Statements, 1);
+            s.bump(Metric::BtreeDescents, entry.stats.btree_descents);
+            if is_read {
+                s.read_latency.record(entry.elapsed);
+            } else {
+                s.write_latency.record(entry.elapsed);
+            }
+        });
         let threshold = self.slow_threshold_ns.load(Ordering::Relaxed);
         if threshold > 0 && entry.elapsed.as_nanos() >= threshold as u128 {
-            self.slow_statements.add(1);
+            self.with_shard(|s| s.bump(Metric::SlowStatements, 1));
             // A panic while the log was held must not take observability
             // down with it: the ring holds plain values, so a poisoned
             // lock's contents are still coherent.
-            let mut log = self
-                .slow_log
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut log = crate::latch::lock(&self.slow_log, WaitSite::Obs);
             if log.len() == SLOW_LOG_CAP {
                 log.pop_front();
             }
@@ -361,38 +569,71 @@ impl Registry {
     /// The captured slow queries, oldest first (bounded ring of
     /// the most recent 64).
     pub fn slow_queries(&self) -> Vec<SlowQuery> {
-        self.slow_log
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        crate::latch::lock(&self.slow_log, WaitSite::Obs)
             .iter()
             .cloned()
             .collect()
     }
 
-    /// Empties the slow-query log.
+    /// Empties the slow-query log. Safe against concurrent recorders: the
+    /// ring is mutated only under its latch, so a racing
+    /// [`Registry::record_statement`] either lands before the clear (and is
+    /// dropped) or after (and is retained); either way the ring stays
+    /// coherent and bounded.
     pub fn clear_slow_queries(&self) {
-        self.slow_log
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .clear();
+        crate::latch::lock(&self.slow_log, WaitSite::Obs).clear();
     }
 
-    /// A plain-value snapshot of every registry metric.
+    /// A plain-value snapshot of every registry metric, aggregated across
+    /// all thread shards.
     pub fn snapshot(&self) -> ObsSnapshot {
+        let shards: Vec<Arc<Shard>> = self
+            .shards
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let mut metrics = [0u64; NMETRICS];
+        let mut read = HistAccum::default();
+        let mut write = HistAccum::default();
+        let mut wait_counts = [0u64; WaitSite::COUNT];
+        let mut wait_accums: [HistAccum; WaitSite::COUNT] = Default::default();
+        for shard in shards
+            .iter()
+            .map(Arc::as_ref)
+            .chain(std::iter::once(self.fallback.as_ref()))
+        {
+            for (total, cell) in metrics.iter_mut().zip(shard.metrics.iter()) {
+                *total += cell.load(Ordering::Relaxed);
+            }
+            shard.read_latency.accumulate(&mut read);
+            shard.write_latency.accumulate(&mut write);
+            for (total, cell) in wait_counts.iter_mut().zip(shard.wait_counts.iter()) {
+                *total += cell.load(Ordering::Relaxed);
+            }
+            for (acc, hist) in wait_accums.iter_mut().zip(shard.wait_latency.iter()) {
+                hist.accumulate(acc);
+            }
+        }
+        let mut wait_latency_by_site = [HistogramSnapshot::default(); WaitSite::COUNT];
+        for (out, acc) in wait_latency_by_site.iter_mut().zip(wait_accums.iter()) {
+            *out = acc.snapshot();
+        }
         ObsSnapshot {
-            statements: self.statements.get(),
-            statement_errors: self.statement_errors.get(),
-            slow_statements: self.slow_statements.get(),
-            read_latency: self.read_latency.snapshot(),
-            write_latency: self.write_latency.snapshot(),
-            plan_cache_hits: self.plan_cache_hits.get(),
-            plan_cache_misses: self.plan_cache_misses.get(),
-            btree_descents: self.btree_descents.get(),
-            wal_frames_written: self.wal_frames_written.get(),
-            txn_commits: self.txn_commits.get(),
-            txn_rollbacks: self.txn_rollbacks.get(),
-            recoveries_run: self.recoveries_run.get(),
-            lock_waits: self.lock_waits.get(),
+            statements: metrics[Metric::Statements as usize],
+            statement_errors: metrics[Metric::StatementErrors as usize],
+            slow_statements: metrics[Metric::SlowStatements as usize],
+            read_latency: read.snapshot(),
+            write_latency: write.snapshot(),
+            plan_cache_hits: metrics[Metric::PlanCacheHits as usize],
+            plan_cache_misses: metrics[Metric::PlanCacheMisses as usize],
+            btree_descents: metrics[Metric::BtreeDescents as usize],
+            wal_frames_written: metrics[Metric::WalFrames as usize],
+            txn_commits: metrics[Metric::TxnCommits as usize],
+            txn_rollbacks: metrics[Metric::TxnRollbacks as usize],
+            recoveries_run: metrics[Metric::Recoveries as usize],
+            lock_waits: wait_counts.iter().sum(),
+            lock_waits_by_site: wait_counts,
+            wait_latency_by_site,
         }
     }
 }
@@ -424,13 +665,28 @@ pub struct ObsSnapshot {
     pub txn_rollbacks: u64,
     /// Opens that ran WAL recovery.
     pub recoveries_run: u64,
-    /// Contended lock acquisitions (blocked at least once).
+    /// Contended lock acquisitions (blocked at least once), all sites.
     pub lock_waits: u64,
+    /// Contended acquisitions per wait site, indexed as [`WaitSite::ALL`].
+    pub lock_waits_by_site: [u64; WaitSite::COUNT],
+    /// Wait-duration summary per site, indexed as [`WaitSite::ALL`].
+    pub wait_latency_by_site: [HistogramSnapshot; WaitSite::COUNT],
+}
+
+impl ObsSnapshot {
+    /// Contended acquisitions recorded for `site`.
+    pub fn lock_waits_at(&self, site: WaitSite) -> u64 {
+        self.lock_waits_by_site[site.index()]
+    }
+
+    /// Wait-duration summary for `site`.
+    pub fn wait_latency_at(&self, site: WaitSite) -> HistogramSnapshot {
+        self.wait_latency_by_site[site.index()]
+    }
 }
 
 /// The process-wide registry.
 pub fn registry() -> &'static Registry {
-    static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(Registry::new)
 }
 
@@ -464,13 +720,62 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_clamp_to_max_and_stay_ordered() {
+        // Empty histogram: everything zero.
+        let h = DurationHistogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50, Duration::ZERO);
+        assert_eq!(s.p95, Duration::ZERO);
+        assert_eq!(s.p99, Duration::ZERO);
+        assert_eq!(s.max, Duration::ZERO);
+
+        // Single sample: every quantile IS that sample (clamped to max).
+        let h = DurationHistogram::new();
+        h.record(Duration::from_micros(300));
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50, Duration::from_micros(300));
+        assert_eq!(s.p95, Duration::from_micros(300));
+        assert_eq!(s.p99, Duration::from_micros(300));
+        assert_eq!(s.max, Duration::from_micros(300));
+
+        // All-equal samples: same property.
+        let h = DurationHistogram::new();
+        for _ in 0..1000 {
+            h.record(Duration::from_nanos(12_345));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50, Duration::from_nanos(12_345));
+        assert_eq!(s.p95, Duration::from_nanos(12_345));
+        assert_eq!(s.max, Duration::from_nanos(12_345));
+    }
+
+    #[test]
     fn span_records_on_drop() {
         let h = DurationHistogram::new();
         {
-            let span = Span::enter(&h);
+            let span = Span::enter_if(true, &h);
             assert!(span.elapsed() < Duration::from_secs(1));
         }
         assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        // `enter_if(false, ..)` models `Span::enter` under a disabled
+        // registry without racing other tests on the global flag: the
+        // histogram must not mutate at all.
+        let h = DurationHistogram::new();
+        {
+            let span = Span::enter_if(false, &h);
+            assert_eq!(span.elapsed(), Duration::ZERO);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.total, Duration::ZERO);
+        assert_eq!(s.max, Duration::ZERO);
     }
 
     #[test]
@@ -499,9 +804,47 @@ mod tests {
         let log = reg.slow_queries();
         assert_eq!(log.len(), SLOW_LOG_CAP);
         assert_eq!(log[0].sql, "SELECT 10", "oldest entries evicted");
-        assert_eq!(reg.slow_statements.get(), SLOW_LOG_CAP as u64 + 10);
+        assert_eq!(reg.snapshot().slow_statements, SLOW_LOG_CAP as u64 + 10);
         reg.clear_slow_queries();
         assert!(reg.slow_queries().is_empty());
+    }
+
+    #[test]
+    fn clear_slow_queries_is_race_safe() {
+        use std::sync::atomic::AtomicBool;
+
+        let reg = Arc::new(Registry::new());
+        reg.set_slow_query_threshold(Some(Duration::from_nanos(1)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let recorders: Vec<_> = (0..4)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let q = SlowQuery {
+                            sql: format!("SELECT {t}/{n}"),
+                            elapsed: Duration::from_millis(9),
+                            rows: n,
+                            stats: ExecStats::default(),
+                        };
+                        reg.record_statement(&q.sql.clone(), true, &q);
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            reg.clear_slow_queries();
+            assert!(reg.slow_queries().len() <= SLOW_LOG_CAP);
+        }
+        stop.store(true, Ordering::Relaxed);
+        let recorded: u64 = recorders.into_iter().map(|t| t.join().unwrap()).sum();
+        assert!(recorded > 0);
+        assert!(reg.slow_queries().len() <= SLOW_LOG_CAP);
+        assert_eq!(reg.snapshot().slow_statements, recorded);
     }
 
     #[test]
@@ -548,7 +891,70 @@ mod tests {
             stats: ExecStats::default(),
         };
         reg.record_statement("SELECT 1", true, &q);
-        assert_eq!(reg.snapshot().statements, 0);
+        reg.record_lock_wait(WaitSite::Backend, Duration::from_millis(1));
+        let s = reg.snapshot();
+        assert_eq!(s.statements, 0);
+        assert_eq!(s.lock_waits, 0);
         reg.set_enabled(true);
+    }
+
+    #[test]
+    fn wait_sites_attribute_independently() {
+        let reg = Registry::new();
+        reg.record_lock_wait(WaitSite::Backend, Duration::from_micros(10));
+        reg.record_lock_wait(WaitSite::Backend, Duration::from_micros(20));
+        reg.record_lock_wait(WaitSite::PlanCache, Duration::from_micros(5));
+        let s = reg.snapshot();
+        assert_eq!(s.lock_waits, 3);
+        assert_eq!(s.lock_waits_at(WaitSite::Backend), 2);
+        assert_eq!(s.lock_waits_at(WaitSite::PlanCache), 1);
+        assert_eq!(s.lock_waits_at(WaitSite::Wal), 0);
+        let backend = s.wait_latency_at(WaitSite::Backend);
+        assert_eq!(backend.count, 2);
+        assert_eq!(backend.total, Duration::from_micros(30));
+        assert_eq!(s.wait_latency_at(WaitSite::Store).count, 0);
+    }
+
+    #[test]
+    fn sharded_counters_sum_across_threads() {
+        // The global registry aggregates every thread's shard. Other tests
+        // run concurrently, so assert growth, not exact totals.
+        let before = snapshot().txn_commits;
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..100 {
+                        registry().record_txn(true);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(snapshot().txn_commits >= before + 400);
+    }
+
+    mod percentile_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn quantiles_monotonic_and_bounded(samples in proptest::collection::vec(1u64..=10_000_000_000, 1..200)) {
+                let h = DurationHistogram::new();
+                for &ns in &samples {
+                    h.record(Duration::from_nanos(ns));
+                }
+                let s = h.snapshot();
+                let true_max = *samples.iter().max().unwrap();
+                prop_assert_eq!(s.count, samples.len() as u64);
+                prop_assert_eq!(s.max, Duration::from_nanos(true_max));
+                prop_assert!(s.p50 <= s.p95, "p50 {:?} > p95 {:?}", s.p50, s.p95);
+                prop_assert!(s.p95 <= s.p99, "p95 {:?} > p99 {:?}", s.p95, s.p99);
+                prop_assert!(s.p99 <= s.max, "p99 {:?} > max {:?}", s.p99, s.max);
+                prop_assert!(s.p50 > Duration::ZERO);
+            }
+        }
     }
 }

@@ -30,6 +30,8 @@ use super::page::{Page, PAGE_SIZE};
 use super::wal::Wal;
 use crate::error::{DbError, DbResult};
 use crate::latch;
+use crate::obs::WaitSite;
+use crate::trace;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom};
@@ -206,17 +208,17 @@ impl Pager {
     /// Attaches a write-ahead log: from now on the pager runs no-steal and
     /// commits route page images through the WAL.
     pub fn attach_wal(&self, wal: Wal) {
-        *latch::lock(&self.wal) = Some(wal);
+        *latch::lock(&self.wal, WaitSite::Wal) = Some(wal);
     }
 
     /// `true` once a WAL is attached.
     pub fn wal_enabled(&self) -> bool {
-        latch::lock(&self.wal).is_some()
+        latch::lock(&self.wal, WaitSite::Wal).is_some()
     }
 
     /// Frames currently sitting in the WAL (0 without a WAL).
     pub fn wal_frames_in_log(&self) -> u64 {
-        latch::lock(&self.wal)
+        latch::lock(&self.wal, WaitSite::Wal)
             .as_ref()
             .map_or(0, Wal::frames_in_log)
     }
@@ -238,12 +240,12 @@ impl Pager {
 
     /// `true` while a transaction started by [`Pager::begin_txn`] is open.
     pub fn in_txn(&self) -> bool {
-        latch::lock(&self.txn).is_some()
+        latch::lock(&self.txn, WaitSite::Txn).is_some()
     }
 
     /// `true` if the open transaction has modified (or allocated) any page.
     pub fn txn_has_writes(&self) -> bool {
-        latch::lock(&self.txn)
+        latch::lock(&self.txn, WaitSite::Txn)
             .as_ref()
             .is_some_and(|t| !t.pre_images.is_empty())
     }
@@ -251,7 +253,7 @@ impl Pager {
     /// Starts a transaction; returns its id. Errors if one is already open
     /// (the engine does not nest transactions).
     pub fn begin_txn(&self) -> DbResult<u64> {
-        let mut txn = latch::lock(&self.txn);
+        let mut txn = latch::lock(&self.txn, WaitSite::Txn);
         if txn.is_some() {
             return Err(DbError::Txn("transaction already active".into()));
         }
@@ -273,21 +275,22 @@ impl Pager {
     ///
     /// On error the transaction is still open; the caller must roll back.
     pub fn commit_txn(&self) -> DbResult<u64> {
-        let mut txn = latch::lock(&self.txn);
+        let _span = trace::span("pager.commit");
+        let mut txn = latch::lock(&self.txn, WaitSite::Txn);
         let txn_id = txn
             .as_ref()
             .ok_or_else(|| DbError::Txn("no active transaction".into()))?
             .id;
         let mut frames_written = 0u64;
         if let Backend::File(fbm) = &self.backend {
-            let fb = &mut *latch::lock(fbm);
+            let fb = &mut *latch::lock(fbm, WaitSite::Backend);
             let mut dirty: Vec<usize> = (0..fb.frames.len())
                 .filter(|&i| fb.frames[i].dirty)
                 .collect();
             dirty.sort_by_key(|&i| fb.frames[i].id);
             if !dirty.is_empty() {
                 let db_size = self.page_count();
-                let mut wal = latch::lock(&self.wal);
+                let mut wal = latch::lock(&self.wal, WaitSite::Wal);
                 if let Some(wal) = wal.as_mut() {
                     let pages: Vec<(PageId, &Page)> = dirty
                         .iter()
@@ -326,13 +329,13 @@ impl Pager {
     /// Returns `true` if the transaction had modified anything (callers use
     /// this to know whether derived in-memory state must be rebuilt).
     pub fn rollback_txn(&self) -> DbResult<bool> {
-        let txn = latch::lock(&self.txn)
+        let txn = latch::lock(&self.txn, WaitSite::Txn)
             .take()
             .ok_or_else(|| DbError::Txn("no active transaction".into()))?;
         let had_writes = !txn.pre_images.is_empty();
         match &self.backend {
             Backend::Mem(pages) => {
-                let pages = &mut *latch::write(pages);
+                let pages = &mut *latch::write(pages, WaitSite::Backend);
                 for (pid, pre) in txn.pre_images {
                     if let Some(img) = pre {
                         if let Some(slot) = pages.get_mut(pid as usize) {
@@ -343,7 +346,7 @@ impl Pager {
                 pages.truncate(txn.start_pages as usize);
             }
             Backend::File(fbm) => {
-                let fb = &mut *latch::lock(fbm);
+                let fb = &mut *latch::lock(fbm, WaitSite::Backend);
                 let wal_mode = self.wal_enabled();
                 for (pid, pre) in txn.pre_images {
                     match pre {
@@ -390,7 +393,7 @@ impl Pager {
         }
         self.n_pages.store(txn.start_pages, AtomicOrdering::Release);
         if had_writes {
-            if let Some(wal) = latch::lock(&self.wal).as_mut() {
+            if let Some(wal) = latch::lock(&self.wal, WaitSite::Wal).as_mut() {
                 // Best effort: recovery discards commit-less frames even
                 // when the abort record itself cannot be written.
                 let _ = wal.abort(txn.id, &self.faults);
@@ -403,11 +406,12 @@ impl Pager {
     /// half). Dirty frames left over from failed post-commit writes are
     /// retried first. Refused inside a transaction.
     pub fn checkpoint_wal(&self) -> DbResult<()> {
+        let _span = trace::span("pager.checkpoint");
         if self.in_txn() {
             return Err(DbError::Txn("checkpoint inside a transaction".into()));
         }
         if let Backend::File(fbm) = &self.backend {
-            let fb = &mut *latch::lock(fbm);
+            let fb = &mut *latch::lock(fbm, WaitSite::Backend);
             for i in 0..fb.frames.len() {
                 if !fb.frames[i].dirty {
                     continue;
@@ -419,7 +423,7 @@ impl Pager {
                 PagerStats::bump(&self.stats.physical_writes);
             }
             self.faults.sync(&fb.file)?;
-            if let Some(wal) = latch::lock(&self.wal).as_mut() {
+            if let Some(wal) = latch::lock(&self.wal, WaitSite::Wal).as_mut() {
                 wal.truncate(&self.faults)?;
             }
         }
@@ -431,15 +435,15 @@ impl Pager {
     /// writer (one writer at a time), so the load/store pair on the page
     /// count never races another allocation.
     pub fn allocate(&self) -> DbResult<PageId> {
-        let mut txn = latch::lock(&self.txn);
+        let mut txn = latch::lock(&self.txn, WaitSite::Txn);
         let id = self.page_count();
         match &self.backend {
             Backend::Mem(pages) => {
-                latch::write(pages).push(Page::new());
+                latch::write(pages, WaitSite::Backend).push(Page::new());
             }
             Backend::File(fbm) => {
                 let wal_mode = self.wal_enabled();
-                let fb = &mut *latch::lock(fbm);
+                let fb = &mut *latch::lock(fbm, WaitSite::Backend);
                 if wal_mode {
                     // WAL mode: the zero page enters the cache dirty and
                     // reaches the file only through a committed frame.
@@ -470,10 +474,11 @@ impl Pager {
     /// reads serialize on the buffer-pool latch (pinning mutates the frame
     /// table).
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> DbResult<R> {
+        let _span = trace::span("pager.read");
         PagerStats::bump(&self.stats.logical_reads);
         match &self.backend {
             Backend::Mem(pages) => {
-                let pages = latch::read(pages);
+                let pages = latch::read(pages, WaitSite::Backend);
                 let page = pages
                     .get(id as usize)
                     .ok_or_else(|| DbError::Storage(format!("page {id} out of range")))?;
@@ -481,7 +486,7 @@ impl Pager {
             }
             Backend::File(fbm) => {
                 let no_steal = self.no_steal();
-                let fb = &mut *latch::lock(fbm);
+                let fb = &mut *latch::lock(fbm, WaitSite::Backend);
                 let idx = Self::pin(fb, id, &self.stats, no_steal, &self.faults, None)?;
                 Ok(f(&fb.frames[idx].page))
             }
@@ -491,11 +496,12 @@ impl Pager {
     /// Runs `f` with exclusive access to the page, marking it dirty (and
     /// capturing a pre-image when a transaction is open).
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> DbResult<R> {
+        let _span = trace::span("pager.write");
         PagerStats::bump(&self.stats.logical_reads);
-        let mut txn = latch::lock(&self.txn);
+        let mut txn = latch::lock(&self.txn, WaitSite::Txn);
         match &self.backend {
             Backend::Mem(pages) => {
-                let mut pages = latch::write(pages);
+                let mut pages = latch::write(pages, WaitSite::Backend);
                 let page = pages
                     .get_mut(id as usize)
                     .ok_or_else(|| DbError::Storage(format!("page {id} out of range")))?;
@@ -506,7 +512,7 @@ impl Pager {
             }
             Backend::File(fbm) => {
                 let no_steal = txn.is_some() || self.wal_enabled();
-                let fb = &mut *latch::lock(fbm);
+                let fb = &mut *latch::lock(fbm, WaitSite::Backend);
                 let idx = Self::pin(fb, id, &self.stats, no_steal, &self.faults, None)?;
                 if let Some(t) = txn.as_mut() {
                     t.pre_images
@@ -624,7 +630,7 @@ impl Pager {
     /// [`Pager::checkpoint_wal`] enforces.
     pub fn flush(&self) -> DbResult<()> {
         if let Backend::File(fbm) = &self.backend {
-            let fb = &mut *latch::lock(fbm);
+            let fb = &mut *latch::lock(fbm, WaitSite::Backend);
             for i in 0..fb.frames.len() {
                 if !fb.frames[i].dirty {
                     continue;

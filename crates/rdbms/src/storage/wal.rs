@@ -174,6 +174,7 @@ impl Wal {
         faults: &FaultInjector,
     ) -> DbResult<u64> {
         debug_assert!(!pages.is_empty(), "empty commits are skipped by the pager");
+        let _span = crate::trace::span("wal.commit");
         let mut written = 0u64;
         for (i, (pid, page)) in pages.iter().enumerate() {
             let last = i + 1 == pages.len();
@@ -192,6 +193,7 @@ impl Wal {
     /// Appends an abort record for `txn_id` (best effort: the caller may
     /// ignore failures — recovery discards commit-less frames anyway).
     pub fn abort(&mut self, txn_id: u64, faults: &FaultInjector) -> DbResult<()> {
+        let _span = crate::trace::span("wal.abort");
         let zero = [0u8; PAGE_SIZE];
         let frame = build_frame(FLAG_ABORT, 0, 0, txn_id, &zero);
         faults.wal_frame_gate()?;
@@ -205,6 +207,7 @@ impl Wal {
     /// Resets the log to an empty header. Callers must have fsynced the
     /// database file first (this is the checkpoint's last step).
     pub fn truncate(&mut self, faults: &FaultInjector) -> DbResult<()> {
+        let _span = crate::trace::span("wal.truncate");
         faults.set_len(&self.file, WAL_HEADER)?;
         faults.sync(&self.file)?;
         self.end = WAL_HEADER;
@@ -231,6 +234,7 @@ pub struct RecoveryReport {
 /// a crash during recovery itself) converges to the same state because
 /// replay only writes committed images and the WAL is truncated last.
 pub fn recover(db_path: &Path, wal_p: &Path) -> DbResult<RecoveryReport> {
+    let _span = crate::trace::span("wal.recover");
     let mut report = RecoveryReport::default();
     let Ok(mut wal_file) = OpenOptions::new().read(true).write(true).open(wal_p) else {
         return Ok(report); // No WAL: nothing to do.

@@ -1,0 +1,506 @@
+//! Structured hierarchical tracing across every engine layer.
+//!
+//! A *span* marks one timed region of a statement's life — store call,
+//! XPath translation, plan-cache lookup, planning, an executor operator,
+//! a B+tree descent, a pager page access, a WAL commit. Spans nest on a
+//! per-thread stack, so a finished span knows its full ancestry
+//! (`store.xpath;translate;statement;op.scan;btree.descent`), its depth,
+//! and its self time (inclusive time minus time spent in child spans).
+//!
+//! Collection is process-global and off by default. While disabled,
+//! [`span`] costs one relaxed atomic load and a branch — the instrumented
+//! hot paths (B+tree descents, page accesses) pay essentially nothing.
+//! While enabled, finished spans are buffered thread-locally and flushed
+//! into a bounded global ring buffer whenever a thread's span stack
+//! empties (i.e. once per top-level span, typically once per statement),
+//! so tracing itself does not serialize concurrent readers.
+//!
+//! The ring exports two interchange formats:
+//!
+//! * [`to_chrome_json`] — Chrome trace-event JSON (`chrome://tracing`,
+//!   Perfetto), one complete (`"ph":"X"`) event per span;
+//! * [`to_collapsed`] — flamegraph-collapsed stacks (`a;b;c <self_ns>`),
+//!   ready for `flamegraph.pl` / speedscope.
+//!
+//! [`render_tree`] additionally renders a set of events as an indented
+//! span tree with aggregated counts and durations — this is what
+//! `EXPLAIN ANALYZE` and the XPath diagnostics surface print.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Upper bound on buffered finished spans. The ring keeps the most recent
+/// events and evicts the oldest, so a long traced run stays bounded.
+pub const RING_CAP: usize = 1 << 16;
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (`statement`, `op.scan`, `btree.descent`, …).
+    pub name: &'static str,
+    /// Optional free-form annotation (truncated SQL text, operator detail).
+    pub detail: String,
+    /// Stable small id of the recording thread.
+    pub tid: u64,
+    /// Nesting depth at the time the span was open (0 = top level).
+    pub depth: u16,
+    /// Start time in nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Inclusive duration (children included).
+    pub dur_ns: u64,
+    /// Self time: `dur_ns` minus time spent inside child spans.
+    pub self_ns: u64,
+    /// Full ancestry path, `;`-joined (`store.xpath;translate;statement`).
+    pub path: String,
+}
+
+/// An open span on the thread-local stack.
+struct OpenSpan {
+    name: &'static str,
+    detail: String,
+    start_ns: u64,
+    /// Nanoseconds consumed by already-closed direct children.
+    child_ns: u64,
+    path: String,
+}
+
+struct LocalBuf {
+    tid: u64,
+    stack: Vec<OpenSpan>,
+    done: Vec<TraceEvent>,
+}
+
+/// The effective collection flag — the only thing the hot path reads.
+/// Kept equal to `USER_ENABLED || CAPTURES > 0`.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// What the user last asked for via [`set_enabled`].
+static USER_ENABLED: AtomicBool = AtomicBool::new(false);
+/// Live [`capture`] scopes; each force-enables collection for its extent.
+static CAPTURES: AtomicU64 = AtomicU64::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process trace epoch (first use).
+pub fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The global ring of finished spans. A plain mutex (not a [`crate::latch`]
+/// wrapper): the trace layer cannot meta-account its own contention, and
+/// flushes are amortized to once per top-level span.
+fn ring() -> &'static Mutex<VecDeque<TraceEvent>> {
+    static RING: OnceLock<Mutex<VecDeque<TraceEvent>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::new()))
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        stack: Vec::new(),
+        done: Vec::new(),
+    });
+}
+
+/// Whether span collection is on. A single relaxed load — callers consult
+/// it on every instrumented operation.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span collection on or off (off by default). Turning it off does
+/// not clear already-collected events; see [`clear`]. A live [`capture`]
+/// scope keeps collection on regardless.
+pub fn set_enabled(on: bool) {
+    USER_ENABLED.store(on, Ordering::Relaxed);
+    ENABLED.store(
+        on || CAPTURES.load(Ordering::Relaxed) != 0,
+        Ordering::Relaxed,
+    );
+}
+
+/// Discards all collected events (the current thread's buffer and the
+/// global ring). Other threads' unflushed buffers drain on their next
+/// top-level span close.
+pub fn clear() {
+    LOCAL.with(|l| l.borrow_mut().done.clear());
+    ring()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+}
+
+/// A guard for one span: records itself when dropped. Obtained from
+/// [`span`] / [`span_with`]; a guard created while tracing was disabled is
+/// inert.
+#[derive(Debug)]
+#[must_use = "a span guard records on drop; binding it to `_` ends it immediately"]
+pub struct Span {
+    armed: bool,
+}
+
+/// Opens a span. While tracing is disabled this is one relaxed load and a
+/// branch; the returned guard is inert.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { armed: false };
+    }
+    push(name, String::new());
+    Span { armed: true }
+}
+
+/// Opens a span with a lazily-computed annotation (the closure runs only
+/// when tracing is enabled).
+#[inline]
+pub fn span_with(name: &'static str, detail: impl FnOnce() -> String) -> Span {
+    if !enabled() {
+        return Span { armed: false };
+    }
+    push(name, detail());
+    Span { armed: true }
+}
+
+fn push(name: &'static str, detail: String) {
+    let start_ns = now_ns();
+    LOCAL.with(|l| {
+        let l = &mut *l.borrow_mut();
+        let path = match l.stack.last() {
+            Some(parent) => format!("{};{}", parent.path, name),
+            None => name.to_string(),
+        };
+        l.stack.push(OpenSpan {
+            name,
+            detail,
+            start_ns,
+            child_ns: 0,
+            path,
+        });
+    });
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let end_ns = now_ns();
+        LOCAL.with(|l| {
+            let l = &mut *l.borrow_mut();
+            // The stack can only be empty if `clear`/drain raced a live
+            // guard on another path; dropping the record beats panicking.
+            let Some(open) = l.stack.pop() else { return };
+            let dur_ns = end_ns.saturating_sub(open.start_ns);
+            if let Some(parent) = l.stack.last_mut() {
+                parent.child_ns += dur_ns;
+            }
+            l.done.push(TraceEvent {
+                name: open.name,
+                detail: open.detail,
+                tid: l.tid,
+                depth: l.stack.len() as u16,
+                start_ns: open.start_ns,
+                dur_ns,
+                self_ns: dur_ns.saturating_sub(open.child_ns),
+                path: open.path,
+            });
+            if l.stack.is_empty() {
+                flush_locked(&mut l.done);
+            }
+        });
+    }
+}
+
+/// Moves a thread's finished events into the global ring, evicting the
+/// oldest past [`RING_CAP`].
+fn flush_locked(done: &mut Vec<TraceEvent>) {
+    if done.is_empty() {
+        return;
+    }
+    let mut ring = ring().lock().unwrap_or_else(PoisonError::into_inner);
+    for ev in done.drain(..) {
+        if ring.len() == RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+}
+
+/// Drains every collected event (current thread's buffer flushed first),
+/// oldest first. Events buffered by *other* threads mid-span are not
+/// visible until their stacks unwind.
+pub fn drain() -> Vec<TraceEvent> {
+    LOCAL.with(|l| flush_locked(&mut l.borrow_mut().done));
+    ring()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .drain(..)
+        .collect()
+}
+
+/// Runs `f` with tracing force-enabled and returns the spans the *current
+/// thread* recorded inside it (they also stay in the global ring). The
+/// user-configured enablement is restored once the last overlapping
+/// capture (any thread) exits. This is how `EXPLAIN ANALYZE` and the
+/// diagnostics APIs get a statement-scoped span tree without the caller
+/// configuring tracing.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<TraceEvent>) {
+    CAPTURES.fetch_add(1, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+    let mark = now_ns();
+    let tid = LOCAL.with(|l| l.borrow().tid);
+    let result = f();
+    if CAPTURES.fetch_sub(1, Ordering::Relaxed) == 1 {
+        ENABLED.store(USER_ENABLED.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+    let mine = |e: &TraceEvent| e.tid == tid && e.start_ns >= mark;
+    // Spans closed under an enclosing open span sit in the local buffer;
+    // spans whose stack emptied were flushed to the ring. Collect both.
+    let mut events: Vec<TraceEvent> = ring()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .filter(|e| mine(e))
+        .cloned()
+        .collect();
+    LOCAL.with(|l| {
+        events.extend(l.borrow().done.iter().filter(|e| mine(e)).cloned());
+    });
+    events.sort_by_key(|e| (e.start_ns, std::cmp::Reverse(e.dur_ns)));
+    (result, events)
+}
+
+fn esc_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders events as a Chrome trace-event JSON document (the
+/// `{"traceEvents": [...]}` object form; timestamps in microseconds).
+/// The output is strict RFC 8259 JSON.
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"ordxml\",\"ph\":\"X\",\"ts\":{}.{:03},\
+             \"dur\":{}.{:03},\"pid\":1,\"tid\":{}",
+            esc_json(e.name),
+            e.start_ns / 1_000,
+            e.start_ns % 1_000,
+            e.dur_ns / 1_000,
+            e.dur_ns % 1_000,
+            e.tid,
+        ));
+        if !e.detail.is_empty() {
+            out.push_str(&format!(
+                ",\"args\":{{\"detail\":\"{}\"}}",
+                esc_json(&e.detail)
+            ));
+        }
+        out.push('}');
+        out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders events as flamegraph-collapsed stacks: one line per distinct
+/// ancestry path, `path <total self nanoseconds>`, sorted by path.
+pub fn to_collapsed(events: &[TraceEvent]) -> String {
+    let mut by_path: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for e in events {
+        *by_path.entry(e.path.as_str()).or_insert(0) += e.self_ns;
+    }
+    let mut out = String::new();
+    for (path, self_ns) in by_path {
+        out.push_str(&format!("{path} {self_ns}\n"));
+    }
+    out
+}
+
+/// Renders events as an indented span tree. Spans with the same ancestry
+/// path are aggregated (count × total inclusive time); branches are ordered
+/// by first occurrence. Multi-thread event sets interleave by path, which
+/// is fine for the single-statement trees this feeds.
+pub fn render_tree(events: &[TraceEvent]) -> Vec<String> {
+    struct Agg {
+        count: u64,
+        total_ns: u64,
+        first_start: u64,
+        depth: u16,
+        name: &'static str,
+        detail: String,
+    }
+    let mut by_path: std::collections::HashMap<&str, Agg> = std::collections::HashMap::new();
+    for e in events {
+        let a = by_path.entry(e.path.as_str()).or_insert(Agg {
+            count: 0,
+            total_ns: 0,
+            first_start: e.start_ns,
+            depth: e.depth,
+            name: e.name,
+            detail: e.detail.clone(),
+        });
+        a.count += 1;
+        a.total_ns += e.dur_ns;
+        a.first_start = a.first_start.min(e.start_ns);
+    }
+    let mut ordered: Vec<(&str, Agg)> = by_path.into_iter().collect();
+    // A parent starts no later than its children; at equal starts the
+    // shallower span is the ancestor.
+    ordered.sort_by_key(|(_, a)| (a.first_start, a.depth));
+    // Captured sets can start below the thread's root (e.g. inside an
+    // enclosing `statement` span) — indent relative to the shallowest.
+    let base = ordered.iter().map(|(_, a)| a.depth).min().unwrap_or(0);
+    ordered
+        .into_iter()
+        .map(|(_, a)| {
+            let indent = "  ".repeat((a.depth - base) as usize);
+            let ms = a.total_ns as f64 / 1e6;
+            let detail = if a.detail.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", a.detail)
+            };
+            if a.count > 1 {
+                format!("{indent}{} x{} ({ms:.3}ms total){detail}", a.name, a.count)
+            } else {
+                format!("{indent}{} ({ms:.3}ms){detail}", a.name)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that toggle the global flag or drain the ring.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = guard();
+        set_enabled(false);
+        clear();
+        {
+            let _a = span("test.disabled.outer");
+            let _b = span_with("test.disabled.inner", || "never built".into());
+        }
+        assert!(
+            drain().iter().all(|e| !e.name.starts_with("test.disabled")),
+            "disabled tracing must not collect spans"
+        );
+    }
+
+    #[test]
+    fn nested_spans_carry_paths_depths_and_self_time() {
+        let _g = guard();
+        clear();
+        set_enabled(true);
+        {
+            let _a = span("test.a");
+            {
+                let _b = span_with("test.b", || "detail".into());
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        set_enabled(false);
+        let events = drain();
+        let a = events.iter().find(|e| e.name == "test.a").unwrap();
+        let b = events.iter().find(|e| e.name == "test.b").unwrap();
+        assert_eq!(a.path, "test.a");
+        assert_eq!(b.path, "test.a;test.b");
+        assert_eq!(a.depth, 0);
+        assert_eq!(b.depth, 1);
+        assert_eq!(b.detail, "detail");
+        assert!(a.dur_ns >= b.dur_ns, "parent includes child");
+        assert!(
+            a.self_ns <= a.dur_ns.saturating_sub(b.dur_ns) + 1_000_000,
+            "self time excludes the child"
+        );
+    }
+
+    #[test]
+    fn capture_returns_statement_scoped_events() {
+        let _g = guard();
+        set_enabled(false);
+        clear();
+        let (value, events) = capture(|| {
+            let _a = span("test.cap");
+            {
+                let _b = span("test.cap.child");
+            }
+            42
+        });
+        assert_eq!(value, 42);
+        assert!(!enabled(), "prior disabled state restored");
+        assert!(events.iter().any(|e| e.name == "test.cap"));
+        assert!(events.iter().any(|e| e.path == "test.cap;test.cap.child"));
+    }
+
+    #[test]
+    fn chrome_json_and_collapsed_round_trip() {
+        let _g = guard();
+        clear();
+        set_enabled(true);
+        {
+            let _a = span_with("test.fmt", || "quote \" and \\ and \n".into());
+            let _b = span("test.fmt.child");
+        }
+        set_enabled(false);
+        let events: Vec<TraceEvent> = drain()
+            .into_iter()
+            .filter(|e| e.name.starts_with("test.fmt"))
+            .collect();
+        assert_eq!(events.len(), 2);
+        let json = to_chrome_json(&events);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\\\" and \\\\ and \\n"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let collapsed = to_collapsed(&events);
+        assert!(
+            collapsed.contains("test.fmt;test.fmt.child "),
+            "{collapsed}"
+        );
+        let tree = render_tree(&events);
+        assert_eq!(tree.len(), 2, "{tree:?}");
+        assert!(tree[0].starts_with("test.fmt ("));
+        assert!(tree[1].starts_with("  test.fmt.child ("));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let _g = guard();
+        clear();
+        set_enabled(true);
+        for _ in 0..(RING_CAP + 64) {
+            let _s = span("test.ring");
+        }
+        set_enabled(false);
+        let events = drain();
+        assert!(events.len() <= RING_CAP);
+        assert!(events.len() >= RING_CAP.min(64), "recent events retained");
+    }
+}

@@ -12,10 +12,14 @@
 //!   `EXPLAIN ANALYZE` plan (per-operator row counts and timings).
 //! * `.stats` — cumulative engine counters for the session plus the
 //!   process-wide observability snapshot.
+//! * `.trace on|off` — toggle structured span tracing (statement → plan
+//!   cache → operators → btree/pager spans).
+//! * `.trace dump <path>` — export collected spans as Chrome trace-event
+//!   JSON (load in `chrome://tracing` or Perfetto), clearing the buffer.
 //! * `EXPLAIN [ANALYZE] <stmt>` also works directly as SQL.
 
 use ordxml::{Encoding, XmlStore};
-use ordxml_rdbms::{obs, Database, Value};
+use ordxml_rdbms::{obs, trace, Database, Value};
 use std::io::BufRead;
 
 struct Shell {
@@ -79,9 +83,34 @@ impl Shell {
                 self.explain = false;
                 println!("sql> .explain off\n");
             }
+            ".trace on" => {
+                trace::clear();
+                trace::set_enabled(true);
+                println!(
+                    "sql> .trace on\n     (collecting spans; `.trace dump <path>` to export)\n"
+                );
+            }
+            ".trace off" => {
+                trace::set_enabled(false);
+                println!("sql> .trace off\n");
+            }
+            _ if line.starts_with(".trace dump") => {
+                let path = line[".trace dump".len()..].trim();
+                let path = if path.is_empty() { "trace.json" } else { path };
+                let events = trace::drain();
+                let json = trace::to_chrome_json(&events);
+                match std::fs::write(path, &json) {
+                    Ok(()) => println!(
+                        "sql> .trace dump\n     {} span(s) written to {path} (Chrome trace format)\n",
+                        events.len()
+                    ),
+                    Err(e) => println!("sql> .trace dump\n     error writing {path}: {e}\n"),
+                }
+            }
             _ if line.starts_with('.') => {
                 println!(
-                    "sql> {line}\n     unknown meta-command (try `.explain on|off`, `.stats`)\n"
+                    "sql> {line}\n     unknown meta-command (try `.explain on|off`, `.stats`, \
+                     `.trace on|off`, `.trace dump <path>`)\n"
                 );
             }
             _ => return false,
