@@ -109,3 +109,33 @@ fn ablation(scale: Scale) {
     }
     table.print();
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ordxml::{Encoding, XmlStore};
+    use ordxml_rdbms::Database;
+
+    /// The descent-finger acceptance gate: on the batched Dewey descendant
+    /// workload — many context nodes, each contributing one prefix range to
+    /// a single MULTIRANGE statement — finger reuse must eliminate at least
+    /// 30% of the B+tree descents the query would otherwise pay (each
+    /// reuse is a descent the old code performed).
+    #[test]
+    fn batched_dewey_descendant_saves_at_least_30pct_of_descents() {
+        let doc = bushy(40, 25);
+        let mut store = XmlStore::new(Database::in_memory(), Encoding::Dewey);
+        store.set_execution_mode(ExecutionMode::Batched);
+        let d = store.load_document(&doc, "gate").unwrap();
+        let (hits, diag) = store.xpath_diagnostics(d, "//d//leaf").unwrap();
+        assert_eq!(hits.len(), 40 * 25);
+        let descents = diag.stats.btree_descents;
+        let reuses = diag.stats.btree_descent_reuses;
+        let would_be = descents + reuses;
+        assert!(
+            reuses * 10 >= would_be * 3,
+            "finger reuse saved only {reuses} of {would_be} descents \
+             ({descents} still paid)"
+        );
+    }
+}

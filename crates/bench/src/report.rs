@@ -45,6 +45,9 @@ pub struct EngineDelta {
     /// B+tree root-to-leaf descents (one per probed range; the batched
     /// execution mode's unit of index work).
     pub btree_descents: u64,
+    /// Descents skipped by reusing the previous range's leaf finger
+    /// (batched multi-range scans walking sibling links instead).
+    pub btree_descent_reuses: u64,
     /// Plan-cache hits.
     pub plan_cache_hits: u64,
     /// Plan-cache misses.
@@ -84,6 +87,7 @@ impl EngineDelta {
                 .total
                 .saturating_sub(before.write_latency.total),
             btree_descents: after.btree_descents - before.btree_descents,
+            btree_descent_reuses: after.btree_descent_reuses - before.btree_descent_reuses,
             plan_cache_hits: after.plan_cache_hits - before.plan_cache_hits,
             plan_cache_misses: after.plan_cache_misses - before.plan_cache_misses,
             wal_frames_written: after.wal_frames_written - before.wal_frames_written,
@@ -176,7 +180,7 @@ pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
              \"slow_statements\": {},\n        \"read_statements\": {},\n        \
              \"read_time_ms\": {:.3},\n        \"write_statements\": {},\n        \
              \"write_time_ms\": {:.3},\n        \"btree_descents\": {},\n        \
-             \"plan_cache_hits\": {},\n        \"plan_cache_misses\": {},\n        \
+             \"btree_descent_reuses\": {},\n        \"plan_cache_hits\": {},\n        \"plan_cache_misses\": {},\n        \
              \"wal_frames_written\": {},\n        \"txn_commits\": {},\n        \
              \"txn_rollbacks\": {},\n        \"recoveries_run\": {},\n        \
              \"lock_waits\": {},\n",
@@ -188,6 +192,7 @@ pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
             r.engine.write_statements,
             r.engine.write_time.as_secs_f64() * 1e3,
             r.engine.btree_descents,
+            r.engine.btree_descent_reuses,
             r.engine.plan_cache_hits,
             r.engine.plan_cache_misses,
             r.engine.wal_frames_written,

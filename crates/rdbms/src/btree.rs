@@ -21,6 +21,10 @@ const MAX_KEYS: usize = 64;
 const MIN_KEYS: usize = MAX_KEYS / 2;
 /// Sentinel "no node".
 const NIL: u32 = u32::MAX;
+/// Leaves a fingered seek ([`BTree::range_from`]) may walk past before
+/// falling back to a root descent — beyond this, the descent's
+/// `O(log n)` beats the sibling walk.
+const FINGER_WALK_LIMIT: usize = 4;
 
 #[derive(Debug)]
 enum Node {
@@ -50,6 +54,10 @@ pub struct BTreeCounters {
     /// Root-to-leaf descents: point lookups, inserts, removes, and the
     /// initial positioning of every range scan.
     pub descents: u64,
+    /// Range positionings that *avoided* a root-to-leaf descent by resuming
+    /// from the previous range's finger ([`BTree::range_from`]). A batched
+    /// multi-range statement does `descents + descent_reuses` positionings.
+    pub descent_reuses: u64,
     /// Leaf nodes visited by range iterators (including the starting leaf).
     pub leaf_scans: u64,
     /// Node splits (leaf and inner) triggered by inserts.
@@ -60,6 +68,7 @@ impl BTreeCounters {
     /// Adds `other` into `self` (used to sum counters across many trees).
     pub fn merge(&mut self, other: &BTreeCounters) {
         self.descents += other.descents;
+        self.descent_reuses += other.descent_reuses;
         self.leaf_scans += other.leaf_scans;
         self.splits += other.splits;
     }
@@ -73,6 +82,7 @@ pub struct BTree {
     root: u32,
     len: u64,
     descents: AtomicU64,
+    descent_reuses: AtomicU64,
     leaf_scans: AtomicU64,
     splits: AtomicU64,
 }
@@ -97,6 +107,7 @@ impl BTree {
             root: 0,
             len: 0,
             descents: AtomicU64::new(0),
+            descent_reuses: AtomicU64::new(0),
             leaf_scans: AtomicU64::new(0),
             splits: AtomicU64::new(0),
         }
@@ -107,6 +118,7 @@ impl BTree {
     pub fn counters(&self) -> BTreeCounters {
         BTreeCounters {
             descents: self.descents.load(Ordering::Relaxed),
+            descent_reuses: self.descent_reuses.load(Ordering::Relaxed),
             leaf_scans: self.leaf_scans.load(Ordering::Relaxed),
             splits: self.splits.load(Ordering::Relaxed),
         }
@@ -583,11 +595,113 @@ impl BTree {
             tree: self,
             leaf,
             idx,
+            done: false,
             upper: match upper {
                 Bound::Unbounded => None,
                 Bound::Included(k) => Some((k.to_vec(), true)),
                 Bound::Excluded(k) => Some((k.to_vec(), false)),
             },
+        }
+    }
+
+    /// Like [`BTree::range`], but tries to resume from `finger` — the
+    /// position a previous ascending scan over this (unmodified) tree
+    /// stopped at — by walking leaf sibling links instead of descending
+    /// from the root. Falls back to a plain descent when the finger cannot
+    /// prove itself valid for `lower` (target precedes it, the walk would
+    /// exceed [`FINGER_WALK_LIMIT`] leaves, or the node id went stale).
+    ///
+    /// The batched multi-range executor calls this with the ascending
+    /// disjoint ranges of one statement: each range after the first then
+    /// costs a short sibling walk (`descent_reuses`) instead of a full
+    /// root-to-leaf descent (`descents`).
+    pub fn range_from(
+        &self,
+        finger: Option<Finger>,
+        lower: Bound<&[u8]>,
+        upper: Bound<&[u8]>,
+    ) -> Range<'_> {
+        if let Some(fg) = finger {
+            if let Some((leaf, idx)) = self.seek_from(fg, lower) {
+                Self::bump(&self.descent_reuses);
+                Self::bump(&self.leaf_scans);
+                return Range {
+                    tree: self,
+                    leaf,
+                    idx,
+                    done: false,
+                    upper: match upper {
+                        Bound::Unbounded => None,
+                        Bound::Included(k) => Some((k.to_vec(), true)),
+                        Bound::Excluded(k) => Some((k.to_vec(), false)),
+                    },
+                };
+            }
+        }
+        self.range(lower, upper)
+    }
+
+    /// Finds `(leaf, index)` of the first entry satisfying `bound` by
+    /// walking forward from `finger`, or `None` when the finger cannot be
+    /// used (the caller then descends from the root).
+    ///
+    /// Self-validating: the position is accepted only if the entry
+    /// immediately *before* the finger is excluded by the bound (so the
+    /// first match provably cannot lie to its left), and a finger whose
+    /// node id no longer names a leaf — the tree changed — is rejected
+    /// rather than trusted.
+    fn seek_from(&self, finger: Finger, bound: Bound<&[u8]>) -> Option<(u32, usize)> {
+        // An unbounded lower targets the leftmost leaf; nothing to reuse.
+        if matches!(bound, Bound::Unbounded) {
+            return None;
+        }
+        let Some(Node::Leaf { keys, prev, .. }) = self.nodes.get(finger.leaf as usize) else {
+            return None; // stale finger: node freed or repurposed
+        };
+        let idx = finger.idx.min(keys.len());
+        // The nearest entry to the left of the finger position (possibly in
+        // the previous leaf). Sorted order makes this one comparison
+        // sufficient to prove every entry before the finger is excluded.
+        let pred: Option<&[u8]> = if idx > 0 {
+            Some(keys[idx - 1].as_slice())
+        } else if *prev == NIL {
+            None // beginning of the tree: trivially valid
+        } else {
+            match self.nodes.get(*prev as usize) {
+                Some(Node::Leaf { keys: pkeys, .. }) => pkeys.last().map(|k| k.as_slice()),
+                _ => return None,
+            }
+        };
+        if let Some(p) = pred {
+            let excluded = match bound {
+                Bound::Included(k) => p < k,
+                Bound::Excluded(k) => p <= k,
+                Bound::Unbounded => unreachable!("handled above"),
+            };
+            if !excluded {
+                return None;
+            }
+        }
+        // Walk sibling links to the first entry satisfying the bound.
+        let mut cur = finger.leaf;
+        let mut steps = 0;
+        loop {
+            let Some(Node::Leaf { keys, next, .. }) = self.nodes.get(cur as usize) else {
+                return None;
+            };
+            let pos = match bound {
+                Bound::Included(k) => keys.partition_point(|x| x.as_slice() < k),
+                Bound::Excluded(k) => keys.partition_point(|x| x.as_slice() <= k),
+                Bound::Unbounded => 0,
+            };
+            if pos < keys.len() || *next == NIL {
+                return Some((cur, pos));
+            }
+            steps += 1;
+            if steps > FINGER_WALK_LIMIT {
+                return None; // gap too wide: a root descent is cheaper
+            }
+            cur = *next;
         }
     }
 
@@ -695,12 +809,44 @@ impl BTree {
     }
 }
 
+/// An opaque resume position: the leaf/slot where an ascending scan
+/// stopped, as returned by [`Range::finger`]. Feed it to
+/// [`BTree::range_from`] to position the next (key-ordered later) range by
+/// walking leaf links instead of re-descending from the root. Plain data —
+/// it borrows nothing — and safe to hold across tree mutations: a finger
+/// the tree can no longer validate degrades to a normal descent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Finger {
+    leaf: u32,
+    idx: usize,
+}
+
 /// Ascending range iterator. See [`BTree::range`].
 pub struct Range<'a> {
     tree: &'a BTree,
     leaf: u32,
     idx: usize,
+    /// Set when the upper bound stopped the scan — `leaf`/`idx` then hold
+    /// the first out-of-range position, which [`Range::finger`] exposes
+    /// for the next range to resume from.
+    done: bool,
     upper: Option<(Vec<u8>, bool)>,
+}
+
+impl Range<'_> {
+    /// The position this scan has reached, for [`BTree::range_from`] —
+    /// `None` once the scan ran off the end of the tree (nothing follows,
+    /// so there is nothing to resume from).
+    pub fn finger(&self) -> Option<Finger> {
+        if self.leaf == NIL {
+            None
+        } else {
+            Some(Finger {
+                leaf: self.leaf,
+                idx: self.idx,
+            })
+        }
+    }
 }
 
 impl<'a> Iterator for Range<'a> {
@@ -708,7 +854,7 @@ impl<'a> Iterator for Range<'a> {
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
-            if self.leaf == NIL {
+            if self.leaf == NIL || self.done {
                 return None;
             }
             let Node::Leaf {
@@ -733,7 +879,9 @@ impl<'a> Iterator for Range<'a> {
                     key < upper.as_slice()
                 };
                 if !in_range {
-                    self.leaf = NIL;
+                    // Keep leaf/idx: they are the finger the next
+                    // key-ordered range resumes from.
+                    self.done = true;
                     return None;
                 }
             }
@@ -852,6 +1000,121 @@ mod tests {
         assert_eq!(got, vec![12, 14]);
         // Empty range.
         assert_eq!(t.range(Included(&key(13)), Excluded(&key(14))).count(), 0);
+    }
+
+    #[test]
+    fn fingered_ranges_match_plain_ranges_and_skip_descents() {
+        let mut t = BTree::new();
+        for i in 0..2000u64 {
+            t.insert(&key(i), i);
+        }
+        let before = t.counters();
+        // Three ascending adjacent/disjoint ranges, fingered.
+        let ranges = [(100u64, 200u64), (200, 300), (340, 400)];
+        let mut finger = None;
+        let mut got = Vec::new();
+        for (lo, hi) in ranges {
+            let mut scan = t.range_from(finger.take(), Included(&key(lo)), Excluded(&key(hi)));
+            got.extend(scan.by_ref().map(|(_, v)| v));
+            finger = scan.finger();
+        }
+        let want: Vec<u64> = (100..300).chain(340..400).collect();
+        assert_eq!(got, want);
+        let after = t.counters();
+        assert_eq!(
+            after.descents - before.descents,
+            1,
+            "only the first range descends"
+        );
+        assert_eq!(after.descent_reuses - before.descent_reuses, 2);
+    }
+
+    #[test]
+    fn finger_falls_back_when_target_precedes_it() {
+        let mut t = BTree::new();
+        for i in 0..2000u64 {
+            t.insert(&key(i), i);
+        }
+        let mut scan = t.range(Included(&key(1000)), Excluded(&key(1010)));
+        assert_eq!(scan.by_ref().count(), 10);
+        let finger = scan.finger();
+        assert!(finger.is_some());
+        let before = t.counters();
+        // A range *before* the finger must still be answered correctly —
+        // via a fresh descent, not a bogus reuse.
+        let got: Vec<u64> = t
+            .range_from(finger, Included(&key(5)), Excluded(&key(8)))
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(got, vec![5, 6, 7]);
+        let after = t.counters();
+        assert_eq!(after.descents - before.descents, 1);
+        assert_eq!(after.descent_reuses, before.descent_reuses);
+    }
+
+    #[test]
+    fn finger_survives_wide_gaps_by_descending() {
+        let mut t = BTree::new();
+        for i in 0..20_000u64 {
+            t.insert(&key(i), i);
+        }
+        let mut scan = t.range(Included(&key(0)), Excluded(&key(5)));
+        assert_eq!(scan.by_ref().count(), 5);
+        let finger = scan.finger();
+        let before = t.counters();
+        // The next range is thousands of keys away — farther than the
+        // bounded sibling walk — so the seek falls back to a descent.
+        let got: Vec<u64> = t
+            .range_from(finger, Included(&key(19_990)), Unbounded)
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(got, (19_990..20_000).collect::<Vec<u64>>());
+        let after = t.counters();
+        assert_eq!(after.descents - before.descents, 1);
+        assert_eq!(after.descent_reuses, before.descent_reuses);
+    }
+
+    #[test]
+    fn stale_finger_after_mutation_degrades_to_descent() {
+        let mut t = BTree::new();
+        for i in 0..500u64 {
+            t.insert(&key(i * 2), i);
+        }
+        let mut scan = t.range(Included(&key(100)), Excluded(&key(120)));
+        let _ = scan.by_ref().count();
+        let finger = scan.finger();
+        // Mutate heavily: deletions free and repurpose nodes.
+        for i in 0..400u64 {
+            t.remove(&key(i * 2));
+        }
+        t.check_invariants();
+        // The stale finger must never produce wrong rows.
+        let got: Vec<u64> = t
+            .range_from(finger, Included(&key(800)), Excluded(&key(820)))
+            .map(|(_, v)| v)
+            .collect();
+        let want: Vec<u64> = t
+            .range(Included(&key(800)), Excluded(&key(820)))
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn finger_is_none_after_running_off_the_tree_end() {
+        let mut t = BTree::new();
+        for i in 0..10u64 {
+            t.insert(&key(i), i);
+        }
+        let mut scan = t.range(Included(&key(5)), Unbounded);
+        assert_eq!(scan.by_ref().count(), 5);
+        assert!(scan.finger().is_none(), "exhausted scan has no position");
+        // And range_from with None simply descends.
+        let got: Vec<u64> = t
+            .range_from(None, Included(&key(2)), Excluded(&key(4)))
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(got, vec![2, 3]);
     }
 
     #[test]

@@ -28,9 +28,10 @@ use crate::trace;
 use crate::value::{Row, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// The result of running one statement.
@@ -115,21 +116,62 @@ struct DbTxn {
     catalog_pages: Vec<PageId>,
 }
 
+/// How many ways the plan cache is sharded. Statements hash to a shard by
+/// SQL text, so two threads running *different* statements never contend
+/// on the same latch; threads re-running the *same* statement share a
+/// read latch. Eight shards is plenty for the core counts this engine
+/// targets while keeping the per-shard LRU scan short.
+const PLAN_CACHE_SHARDS: usize = 8;
+
+/// Per-shard entry cap; the whole cache still holds [`PLAN_CACHE_CAP`]
+/// plans, just spread across shards.
+const PLAN_CACHE_SHARD_CAP: usize = PLAN_CACHE_CAP / PLAN_CACHE_SHARDS;
+
 struct Cached {
     parsed: ParsedStmt,
     /// Plan, for SELECT statements.
     plan: Option<SelectPlan>,
     /// Recency stamp for LRU eviction: the statement clock at last use.
-    last_used: u64,
+    /// Atomic so cache *hits* — the hot path — update recency under the
+    /// shard's shared read latch instead of an exclusive one.
+    last_used: AtomicU64,
 }
 
-/// The prepared-statement cache plus the monotonic statement clock that
-/// drives its LRU stamps, kept under one latch so concurrent readers
-/// share cached plans without racing the clock.
+/// One plan-cache shard: a latched map plus hit/miss counters for the
+/// shard (surfaced by [`Database::plan_cache_shard_stats`]).
 #[derive(Default)]
+struct PlanCacheShard {
+    map: RwLock<HashMap<String, Arc<Cached>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// The prepared-statement cache, sharded by statement-text hash so
+/// concurrent readers do not serialize on a single latch. The LRU clock
+/// is a lock-free global counter shared by all shards; entries are
+/// `Arc`ed so a lookup pins its plan without holding any latch while the
+/// statement runs.
 struct PlanCache {
-    map: HashMap<String, Cached>,
-    clock: u64,
+    shards: [PlanCacheShard; PLAN_CACHE_SHARDS],
+    clock: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache {
+            shards: std::array::from_fn(|_| PlanCacheShard::default()),
+            clock: AtomicU64::new(0),
+        }
+    }
+}
+
+impl PlanCache {
+    /// The shard responsible for `sql`.
+    fn shard(&self, sql: &str) -> &PlanCacheShard {
+        let mut h = DefaultHasher::new();
+        sql.hash(&mut h);
+        &self.shards[(h.finish() as usize) % PLAN_CACHE_SHARDS]
+    }
 }
 
 /// An embedded relational database.
@@ -146,7 +188,7 @@ struct PlanCache {
 pub struct Database {
     pager: Pager,
     catalog: Catalog,
-    plan_cache: Mutex<PlanCache>,
+    plan_cache: PlanCache,
     /// Cumulative execution counters across all statements. An atomic cell,
     /// not a latch: concurrent readers merge their statement stats without
     /// serializing.
@@ -171,7 +213,7 @@ impl Database {
         Database {
             pager: Pager::in_memory(),
             catalog: Catalog::new(),
-            plan_cache: Mutex::new(PlanCache::default()),
+            plan_cache: PlanCache::default(),
             total_stats: SharedExecStats::default(),
             trace_on: AtomicBool::new(false),
             trace: Mutex::new(None),
@@ -231,7 +273,7 @@ impl Database {
         Ok(Database {
             pager,
             catalog,
-            plan_cache: Mutex::new(PlanCache::default()),
+            plan_cache: PlanCache::default(),
             total_stats: SharedExecStats::default(),
             trace_on: AtomicBool::new(false),
             trace: Mutex::new(None),
@@ -424,58 +466,95 @@ impl Database {
     }
 
     /// Looks `sql` up in the plan cache, parsing and planning it on a miss
-    /// (with LRU eviction at the cap), and returns the pieces execution
-    /// needs. Plans are cloned out so the cache latch is never held while a
-    /// statement runs.
-    fn lookup_plan(&self, sql: &str) -> DbResult<(Stmt, bool, Option<SelectPlan>)> {
+    /// (with per-shard LRU eviction at the cap), and returns the pinned
+    /// entry. Hits take only the owning shard's *read* latch — concurrent
+    /// lookups of cached statements never exclude each other — and misses
+    /// parse and plan outside any latch, taking the shard's write latch
+    /// only for the insert.
+    fn lookup_plan(&self, sql: &str) -> DbResult<Arc<Cached>> {
         let _span = trace::span("plan_cache.lookup");
-        let mut cache = latch::lock(&self.plan_cache, WaitSite::PlanCache);
-        cache.clock += 1;
-        let clock = cache.clock;
-        if let Some(cached) = cache.map.get_mut(sql) {
-            cached.last_used = clock;
+        let shard = self.plan_cache.shard(sql);
+        let clock = self.plan_cache.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let hit = latch::read(&shard.map, WaitSite::PlanCache)
+            .get(sql)
+            .map(Arc::clone);
+        if let Some(cached) = hit {
+            cached.last_used.store(clock, Ordering::Relaxed);
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             obs::registry().record_plan_cache(true);
-        } else {
-            obs::registry().record_plan_cache(false);
-            let _plan_span = trace::span("plan.build");
-            let parsed = parse(sql)?;
-            // EXPLAIN shares the wrapped statement's plan slot, so EXPLAIN
-            // renders exactly the plan the bare statement would run.
-            let planned = match &parsed.stmt {
-                Stmt::Explain { inner, .. } => inner.as_ref(),
-                other => other,
-            };
-            let plan = match planned {
-                Stmt::Select(s) => Some(plan_select(&self.catalog, s, &parsed.subqueries, None)?),
-                _ => None,
-            };
-            if cache.map.len() >= PLAN_CACHE_CAP {
-                // Evict the least-recently-used entry. Linear at the cap,
-                // which stays cheap relative to parse + plan work.
-                if let Some(lru) = cache
-                    .map
-                    .iter()
-                    .min_by_key(|(_, c)| c.last_used)
-                    .map(|(k, _)| k.clone())
-                {
-                    cache.map.remove(&lru);
-                }
-            }
-            cache.map.insert(
-                sql.to_string(),
-                Cached {
-                    parsed,
-                    plan,
-                    last_used: clock,
-                },
-            );
+            return Ok(cached);
         }
-        let cached = &cache.map[sql];
-        Ok((
-            cached.parsed.stmt.clone(),
-            !cached.parsed.subqueries.is_empty(),
-            cached.plan.clone(),
-        ))
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        obs::registry().record_plan_cache(false);
+        let _plan_span = trace::span("plan.build");
+        let parsed = parse(sql)?;
+        // EXPLAIN shares the wrapped statement's plan slot, so EXPLAIN
+        // renders exactly the plan the bare statement would run.
+        let planned = match &parsed.stmt {
+            Stmt::Explain { inner, .. } => inner.as_ref(),
+            other => other,
+        };
+        let plan = match planned {
+            Stmt::Select(s) => Some(plan_select(&self.catalog, s, &parsed.subqueries, None)?),
+            _ => None,
+        };
+        let entry = Arc::new(Cached {
+            parsed,
+            plan,
+            last_used: AtomicU64::new(clock),
+        });
+        let mut map = latch::write(&shard.map, WaitSite::PlanCache);
+        // Another thread may have planned the same statement while this one
+        // held no latch; keep the incumbent so both callers share one entry.
+        if let Some(existing) = map.get(sql) {
+            existing.last_used.store(clock, Ordering::Relaxed);
+            return Ok(Arc::clone(existing));
+        }
+        if map.len() >= PLAN_CACHE_SHARD_CAP {
+            // Evict the shard's least-recently-used entry. Linear at the
+            // (per-shard) cap, cheap relative to parse + plan work.
+            if let Some(lru) = map
+                .iter()
+                .min_by_key(|(_, c)| c.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&lru);
+            }
+        }
+        map.insert(sql.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Per-shard `(hits, misses)` counters for the plan cache, in shard
+    /// order. Sums across shards match the registry's aggregate plan-cache
+    /// counters for this database.
+    pub fn plan_cache_shard_stats(&self) -> Vec<(u64, u64)> {
+        self.plan_cache
+            .shards
+            .iter()
+            .map(|s| {
+                (
+                    s.hits.load(Ordering::Relaxed),
+                    s.misses.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
+    /// Total number of cached plans across all shards (test visibility).
+    #[cfg(test)]
+    fn plan_cache_len(&self) -> usize {
+        self.plan_cache
+            .shards
+            .iter()
+            .map(|s| latch::read(&s.map, WaitSite::PlanCache).len())
+            .sum()
+    }
+
+    /// Whether `sql` currently has a cached plan (test visibility).
+    #[cfg(test)]
+    fn plan_cache_contains(&self, sql: &str) -> bool {
+        latch::read(&self.plan_cache.shard(sql).map, WaitSite::PlanCache).contains_key(sql)
     }
 
     /// Runs one SQL statement. Statements are parsed and (for SELECT)
@@ -483,7 +562,14 @@ impl Database {
     /// behave as prepared statements.
     pub fn run(&mut self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
         let _stmt_span = trace::span_with("statement", || truncate_sql(sql));
-        let (stmt, has_subqueries, plan) = self.lookup_plan(sql)?;
+        let cached = self.lookup_plan(sql)?;
+        // The write path's dispatch consumes the statement (and may mutate
+        // the database out from under the cache), so it gets clones; only
+        // the read path borrows straight from the cache entry.
+        let stmt = cached.parsed.stmt.clone();
+        let has_subqueries = !cached.parsed.subqueries.is_empty();
+        let plan = cached.plan.clone();
+        drop(cached);
         let is_read = matches!(&stmt, Stmt::Select(_) | Stmt::Explain { .. });
         // Snapshot the shared pager/B+tree counters so the statement's
         // QueryResult carries only its own page and index traffic.
@@ -532,12 +618,15 @@ impl Database {
     /// which takes `&mut self` and therefore excludes concurrent readers.
     pub fn run_read(&self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
         let _stmt_span = trace::span_with("statement", || truncate_sql(sql));
-        let (stmt, _has_subqueries, plan) = self.lookup_plan(sql)?;
+        let cached = self.lookup_plan(sql)?;
         let pages_before = self.pager.stats().full();
         let trees_before = self.catalog.btree_counters();
         let observing = self.tracing() || obs::registry().enabled();
         let started = observing.then(Instant::now);
-        let mut result = match self.dispatch_read(stmt, plan, params) {
+        // Borrow the statement and plan straight out of the pinned cache
+        // entry: the read hot path never deep-clones a SelectPlan.
+        let mut result = match self.dispatch_read(&cached.parsed.stmt, cached.plan.as_ref(), params)
+        {
             Ok(r) => r,
             Err(e) => {
                 obs::registry().record_statement_error();
@@ -603,8 +692,8 @@ impl Database {
     /// itself a read). Everything else is a write and is refused.
     fn dispatch_read(
         &self,
-        stmt: Stmt,
-        plan: Option<SelectPlan>,
+        stmt: &Stmt,
+        plan: Option<&SelectPlan>,
         params: &[Value],
     ) -> DbResult<QueryResult> {
         let mut stats = ExecStats::default();
@@ -617,7 +706,7 @@ impl Database {
                     params,
                     prof: None,
                 };
-                let rows = run_select(&env, &mut stats, &plan, None)?;
+                let rows = run_select(&env, &mut stats, plan, None)?;
                 Ok(QueryResult {
                     columns: plan.columns.clone(),
                     rows,
@@ -625,9 +714,9 @@ impl Database {
                     stats,
                 })
             }
-            Stmt::Explain { analyze, inner } if matches!(*inner, Stmt::Select(_)) => {
+            Stmt::Explain { analyze, inner } if matches!(**inner, Stmt::Select(_)) => {
                 let plan = plan.expect("EXPLAIN SELECT is planned at cache time");
-                let lines = if analyze {
+                let lines = if *analyze {
                     let prof = RefCell::new(Profiler::default());
                     let (rows, spans) = trace::capture(|| {
                         let _exec = trace::span("exec");
@@ -637,11 +726,11 @@ impl Database {
                             params,
                             prof: Some(&prof),
                         };
-                        run_select(&env, &mut stats, &plan, None)
+                        run_select(&env, &mut stats, plan, None)
                     });
                     let rows = rows?;
                     let prof = prof.into_inner();
-                    let mut lines = render_plan(&self.catalog, &plan, Some(&prof));
+                    let mut lines = render_plan(&self.catalog, plan, Some(&prof));
                     lines.push(format!("Rows returned: {}", rows.len()));
                     lines.push("Span tree:".to_string());
                     for line in trace::render_tree(&spans) {
@@ -649,7 +738,7 @@ impl Database {
                     }
                     lines
                 } else {
-                    render_plan(&self.catalog, &plan, None)
+                    render_plan(&self.catalog, plan, None)
                 };
                 Ok(QueryResult {
                     columns: vec!["plan".to_string()],
@@ -691,6 +780,9 @@ impl Database {
         // saturating_sub: DROP TABLE discards that table's trees (and their
         // counts), so the totals are not strictly monotonic.
         s.btree_descents += trees_after.descents.saturating_sub(trees_before.descents);
+        s.btree_descent_reuses += trees_after
+            .descent_reuses
+            .saturating_sub(trees_before.descent_reuses);
         s.btree_leaf_scans += trees_after
             .leaf_scans
             .saturating_sub(trees_before.leaf_scans);
@@ -1202,9 +1294,9 @@ impl Database {
     }
 
     fn invalidate_plans(&mut self) {
-        latch::lock(&self.plan_cache, WaitSite::PlanCache)
-            .map
-            .clear();
+        for shard in &self.plan_cache.shards {
+            latch::write(&shard.map, WaitSite::PlanCache).clear();
+        }
     }
 
     /// Persists the catalog and makes everything durable (file mode; a no-op
@@ -1432,7 +1524,11 @@ mod tests {
         assert_eq!(got, vec![10, 11, 12, 40, 41, 42, 70]);
         assert_eq!(r.stats.rows_sorted, 0, "scan order satisfies ORDER BY");
         assert_eq!(r.stats.index_scans, 1, "one operator invocation");
-        assert_eq!(r.stats.btree_descents, 3, "one descent per disjoint range");
+        assert_eq!(r.stats.btree_descents, 1, "only the first range descends");
+        assert_eq!(
+            r.stats.btree_descent_reuses, 2,
+            "later ranges reuse the previous range's leaf finger"
+        );
     }
 
     #[test]
@@ -1548,11 +1644,7 @@ mod tests {
             assert_eq!(rows[0][0], Value::text(format!("v{want}")));
         }
         // One INSERT statement (from seeding) + one SELECT, each cached once.
-        assert_eq!(
-            latch::lock(&db.plan_cache, WaitSite::PlanCache).map.len(),
-            2,
-            "plans are reused, not re-made"
-        );
+        assert_eq!(db.plan_cache_len(), 2, "plans are reused, not re-made");
     }
 
     #[test]
@@ -1570,18 +1662,40 @@ mod tests {
             }
         }
         assert!(
-            latch::lock(&db.plan_cache, WaitSite::PlanCache).map.len() <= PLAN_CACHE_CAP,
+            db.plan_cache_len() <= PLAN_CACHE_CAP,
             "cache stays bounded: {}",
-            latch::lock(&db.plan_cache, WaitSite::PlanCache).map.len()
+            db.plan_cache_len()
         );
         assert!(
-            latch::lock(&db.plan_cache, WaitSite::PlanCache)
-                .map
-                .contains_key(hot),
+            db.plan_cache_contains(hot),
             "recently used entries survive eviction"
         );
         // Evicted statements still run (they are just re-planned).
         assert_eq!(db.query("SELECT 0", &[]).unwrap()[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn plan_cache_shard_stats_attribute_hits_to_the_owning_shard() {
+        let mut db = setup();
+        seed(&mut db, 5);
+        let sql = "SELECT pos FROM node WHERE doc = 1";
+        for _ in 0..5 {
+            db.query(sql, &[]).unwrap();
+        }
+        let stats = db.plan_cache_shard_stats();
+        assert_eq!(stats.len(), PLAN_CACHE_SHARDS);
+        let (hits, misses): (u64, u64) = stats
+            .iter()
+            .fold((0, 0), |(h, m), (sh, sm)| (h + sh, m + sm));
+        // Seeding + the SELECT each miss once; the four re-runs all hit.
+        assert!(misses >= 2, "two distinct statements were planned");
+        assert!(hits >= 4, "re-running a statement hits its shard");
+        // The SELECT's shard specifically absorbed those hits.
+        let mut h = DefaultHasher::new();
+        sql.hash(&mut h);
+        let shard = (h.finish() as usize) % PLAN_CACHE_SHARDS;
+        assert!(stats[shard].0 >= 4);
+        assert!(stats[shard].1 >= 1);
     }
 
     #[test]
@@ -1832,14 +1946,10 @@ mod tests {
         let mut db = setup();
         seed(&mut db, 5);
         db.query("SELECT pos FROM node WHERE doc = 1", &[]).unwrap();
-        assert!(!latch::lock(&db.plan_cache, WaitSite::PlanCache)
-            .map
-            .is_empty());
+        assert!(db.plan_cache_len() > 0);
         db.execute("CREATE INDEX extra ON node (doc, depth)", &[])
             .unwrap();
-        assert!(latch::lock(&db.plan_cache, WaitSite::PlanCache)
-            .map
-            .is_empty());
+        assert_eq!(db.plan_cache_len(), 0);
     }
 
     #[test]

@@ -53,6 +53,9 @@ pub struct ExecStats {
     pub evictions: u64,
     /// B+tree root-to-leaf descents (lookups, writes, range-scan seeks).
     pub btree_descents: u64,
+    /// B+tree range positionings that reused the previous range's finger
+    /// (leaf-link walk) instead of descending from the root.
+    pub btree_descent_reuses: u64,
     /// B+tree leaf nodes visited by range scans.
     pub btree_leaf_scans: u64,
     /// B+tree node splits triggered by index maintenance.
@@ -74,19 +77,20 @@ impl ExecStats {
         self.pages_written += other.pages_written;
         self.evictions += other.evictions;
         self.btree_descents += other.btree_descents;
+        self.btree_descent_reuses += other.btree_descent_reuses;
         self.btree_leaf_scans += other.btree_leaf_scans;
         self.btree_splits += other.btree_splits;
     }
 }
 
-/// A thread-safe accumulation cell for [`ExecStats`]: fourteen relaxed
+/// A thread-safe accumulation cell for [`ExecStats`]: fifteen relaxed
 /// atomics, one per counter. [`crate::Database`] keeps its cumulative
 /// per-database totals in one of these so that concurrent readers merging
 /// their statement stats never serialize on a mutex (the totals latch used
 /// to be the last lock on the shared-read path).
 #[derive(Debug, Default)]
 pub struct SharedExecStats {
-    cells: [std::sync::atomic::AtomicU64; 14],
+    cells: [std::sync::atomic::AtomicU64; 15],
 }
 
 impl SharedExecStats {
@@ -103,7 +107,7 @@ impl SharedExecStats {
     /// A plain-value copy of the totals.
     pub fn snapshot(&self) -> ExecStats {
         use std::sync::atomic::Ordering;
-        let mut vals = [0u64; 14];
+        let mut vals = [0u64; 15];
         for (v, cell) in vals.iter_mut().zip(self.cells.iter()) {
             *v = cell.load(Ordering::Relaxed);
         }
@@ -118,7 +122,7 @@ impl SharedExecStats {
         }
     }
 
-    fn unpack(s: &ExecStats) -> [u64; 14] {
+    fn unpack(s: &ExecStats) -> [u64; 15] {
         [
             s.rows_scanned,
             s.index_scans,
@@ -132,12 +136,13 @@ impl SharedExecStats {
             s.pages_written,
             s.evictions,
             s.btree_descents,
+            s.btree_descent_reuses,
             s.btree_leaf_scans,
             s.btree_splits,
         ]
     }
 
-    fn pack(v: [u64; 14]) -> ExecStats {
+    fn pack(v: [u64; 15]) -> ExecStats {
         ExecStats {
             rows_scanned: v[0],
             index_scans: v[1],
@@ -151,8 +156,9 @@ impl SharedExecStats {
             pages_written: v[9],
             evictions: v[10],
             btree_descents: v[11],
-            btree_leaf_scans: v[12],
-            btree_splits: v[13],
+            btree_descent_reuses: v[12],
+            btree_leaf_scans: v[13],
+            btree_splits: v[14],
         }
     }
 }
@@ -469,10 +475,11 @@ fn run_access(
             let ranges = compute_multi_ranges(env, stats, subplans, access, left_row, outer)?;
             stats.index_scans += 1;
             let mut out = Vec::new();
-            // The ranges are merged and ascending, so walking them in order
-            // yields the union already in key order (one descent each).
-            for (lo, hi) in &ranges {
-                let rowids = table.index_range(*index, bound_as_ref(lo), bound_as_ref(hi), false);
+            // The ranges are merged and ascending, so scanning them as one
+            // fingered batch yields the union already in key order — one
+            // root descent for the first range, a leaf-link walk for each
+            // range after it (`btree_descent_reuses`).
+            for rowids in table.index_range_multi(*index, &ranges) {
                 stats.index_rows += rowids.len() as u64;
                 stats.rows_scanned += rowids.len() as u64;
                 for rid in rowids {
@@ -547,8 +554,7 @@ pub fn scan_for_update(
             let ranges = compute_multi_ranges(env, stats, &[], &access, &[], None)?;
             stats.index_scans += 1;
             let mut out = Vec::new();
-            for (lo, hi) in &ranges {
-                let rowids = table.index_range(*index, bound_as_ref(lo), bound_as_ref(hi), false);
+            for rowids in table.index_range_multi(*index, &ranges) {
                 stats.index_rows += rowids.len() as u64;
                 stats.rows_scanned += rowids.len() as u64;
                 for rid in rowids {

@@ -339,13 +339,14 @@ enum Metric {
     PlanCacheHits,
     PlanCacheMisses,
     BtreeDescents,
+    BtreeDescentReuses,
     WalFrames,
     TxnCommits,
     TxnRollbacks,
     Recoveries,
 }
 
-const NMETRICS: usize = 10;
+const NMETRICS: usize = 11;
 
 /// One thread's private metric cell. All fields are atomics only so the
 /// snapshot path can read them concurrently; the owning thread's writes
@@ -543,6 +544,7 @@ impl Registry {
         self.with_shard(|s| {
             s.bump(Metric::Statements, 1);
             s.bump(Metric::BtreeDescents, entry.stats.btree_descents);
+            s.bump(Metric::BtreeDescentReuses, entry.stats.btree_descent_reuses);
             if is_read {
                 s.read_latency.record(entry.elapsed);
             } else {
@@ -627,6 +629,7 @@ impl Registry {
             plan_cache_hits: metrics[Metric::PlanCacheHits as usize],
             plan_cache_misses: metrics[Metric::PlanCacheMisses as usize],
             btree_descents: metrics[Metric::BtreeDescents as usize],
+            btree_descent_reuses: metrics[Metric::BtreeDescentReuses as usize],
             wal_frames_written: metrics[Metric::WalFrames as usize],
             txn_commits: metrics[Metric::TxnCommits as usize],
             txn_rollbacks: metrics[Metric::TxnRollbacks as usize],
@@ -657,6 +660,9 @@ pub struct ObsSnapshot {
     pub plan_cache_misses: u64,
     /// B+tree root-to-leaf descents.
     pub btree_descents: u64,
+    /// B+tree range positionings that reused a descent finger (leaf-link
+    /// walk) instead of descending from the root.
+    pub btree_descent_reuses: u64,
     /// Page-image frames appended to any write-ahead log.
     pub wal_frames_written: u64,
     /// Transactions committed.
@@ -855,6 +861,7 @@ mod tests {
         reg.record_plan_cache(true);
         let stats = ExecStats {
             btree_descents: 5,
+            btree_descent_reuses: 2,
             ..ExecStats::default()
         };
         reg.record_statement(
@@ -871,6 +878,7 @@ mod tests {
         assert_eq!(s.plan_cache_hits, 2);
         assert_eq!(s.plan_cache_misses, 1);
         assert_eq!(s.btree_descents, 5);
+        assert_eq!(s.btree_descent_reuses, 2);
         // While disabled, none of the new counters move either.
         reg.set_enabled(false);
         reg.record_plan_cache(true);

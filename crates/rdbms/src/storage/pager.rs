@@ -1,8 +1,11 @@
 //! The pager: page allocation, caching, transactions, and the two backends.
 //!
-//! * [`Pager::in_memory`] keeps every page in a `Vec` — the default for the
-//!   experiment harness (the paper's cost differences are algorithmic, not
-//!   I/O-bound, and an in-memory backend removes disk noise).
+//! * [`Pager::in_memory`] keeps every page in an epoch-published immutable
+//!   page map — the default for the experiment harness (the paper's cost
+//!   differences are algorithmic, not I/O-bound, and an in-memory backend
+//!   removes disk noise). Readers validate a thread-local snapshot against
+//!   the published epoch and never lock anything; writers copy-on-write
+//!   the touched pages and publish at commit (see [`MemBackend`]).
 //! * [`Pager::open_file`] stores pages in a file behind a clock-replacement
 //!   buffer pool of configurable capacity, for durability tests and
 //!   out-of-memory-sized documents.
@@ -113,15 +116,122 @@ struct FileBackend {
     hand: usize,
 }
 
-/// The two storage backends, each behind the latch its access pattern
-/// needs. The in-memory page vector is read-mostly, so it sits behind an
-/// `RwLock` and concurrent readers never serialize on it. The file backend
-/// cannot offer shared reads — even a logically read-only [`Pager::with_page`]
-/// pins a frame, which mutates the frame table and may evict — so it sits
-/// behind a `Mutex` and reads serialize (contention shows up in the
-/// `lock_waits` counter).
+/// Ways in the per-thread snapshot cache (direct-mapped by pager id).
+const SNAP_WAYS: usize = 4;
+
+/// One published page map: the unit the in-memory backend publishes
+/// atomically. Pages are individually `Arc`ed so a writer can copy-on-write
+/// only the pages it touches.
+type PageMap = Vec<Arc<Page>>;
+
+/// One snapshot-cache way: `(pager id, epoch, snapshot)`.
+type SnapEntry = (u64, u64, Arc<PageMap>);
+
+thread_local! {
+    /// Per-thread cache of validated `(pager id, epoch, snapshot)` triples,
+    /// direct-mapped by pager id. A reader whose cached epoch still matches
+    /// the pager's published epoch serves pages with two shared atomic
+    /// *loads* and zero shared read-modify-writes — nothing for other
+    /// readers to contend on.
+    static SNAP_CACHE: std::cell::RefCell<[Option<SnapEntry>; SNAP_WAYS]> =
+        const { std::cell::RefCell::new([None, None, None, None]) };
+}
+
+/// A process-unique token for the calling thread (never 0, which the
+/// writer slot uses for "none"). `ThreadId` has no stable integer form, so
+/// the pager numbers threads itself.
+fn thread_token() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TOKEN: u64 = NEXT.fetch_add(1, AtomicOrdering::Relaxed);
+    }
+    // During thread teardown TLS may be gone; u64::MAX is never allocated
+    // as a token, so such a thread simply never matches the writer slot.
+    TOKEN.try_with(|t| *t).unwrap_or(u64::MAX)
+}
+
+/// The in-memory backend: an epoch-published immutable page map.
+///
+/// Readers never lock the map. [`MemBackend::with_map`] validates the
+/// calling thread's cached snapshot against the published epoch (one
+/// `Acquire` load) and only touches the [`latch::EpochCell`]'s slot lock on
+/// a mismatch — i.e. once per commit per thread, not once per read.
+///
+/// Writers mutate `working` (copy-on-write per page via [`Arc::make_mut`])
+/// and *publish* a clone of it: at commit/rollback when a transaction is
+/// open, or immediately after each mutation otherwise. A writer that
+/// panics mid-transaction therefore never publishes — the previously
+/// published epoch stays readable, and the still-open transaction keeps
+/// new writers out until it is rolled back (which restores pre-images and
+/// publishes the restored map, from any thread).
+struct MemBackend {
+    /// Unique id keying the per-thread snapshot cache.
+    id: u64,
+    /// The writer's working map; always equal to the published map between
+    /// publications. Only mutating entry points lock it.
+    working: RwLock<PageMap>,
+    /// The last published (committed) page map.
+    published: latch::EpochCell<PageMap>,
+    /// Thread token of the thread that opened the current transaction
+    /// (0 = none). That thread's reads route to `working` so it observes
+    /// its own uncommitted writes; every other thread reads the published
+    /// snapshot.
+    writer: AtomicU64,
+}
+
+impl MemBackend {
+    fn new() -> MemBackend {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+        MemBackend {
+            id: NEXT_ID.fetch_add(1, AtomicOrdering::Relaxed),
+            working: RwLock::new(Vec::new()),
+            published: latch::EpochCell::new(Arc::new(Vec::new())),
+            writer: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs `f` against the current published snapshot, through the
+    /// calling thread's cache. Lock-free once the cache is warm: two
+    /// shared atomic loads (writer slot, epoch) and a TLS lookup.
+    fn with_map<R>(&self, f: impl FnOnce(&PageMap) -> R) -> R {
+        let current = self.published.epoch();
+        let way = (self.id as usize) % SNAP_WAYS;
+        let mut f = Some(f);
+        let out = SNAP_CACHE.try_with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let slot = &mut cache[way];
+            let valid = matches!(slot, Some((id, epoch, _)) if *id == self.id && *epoch == current);
+            if !valid {
+                let (epoch, snap) = self.published.load(WaitSite::Backend);
+                *slot = Some((self.id, epoch, snap));
+            }
+            let (_, _, snap) = slot.as_ref().expect("just validated or refilled");
+            (f.take().expect("with_map closure consumed once"))(snap)
+        });
+        match out {
+            Ok(r) => r,
+            // TLS is gone during thread teardown; read the slot directly.
+            Err(_) => {
+                let g = f.take().expect("closure unused when TLS failed");
+                g(&self.published.load(WaitSite::Backend).1)
+            }
+        }
+    }
+
+    /// Publishes `map` as the new committed snapshot.
+    fn publish(&self, map: PageMap) {
+        self.published.publish(Arc::new(map), WaitSite::Backend);
+    }
+}
+
+/// The two storage backends. The in-memory backend is an epoch-published
+/// immutable page map ([`MemBackend`]) — concurrent readers share it with
+/// no lock at all. The file backend cannot offer shared reads — even a
+/// logically read-only [`Pager::with_page`] pins a frame, which mutates
+/// the frame table and may evict — so it sits behind a `Mutex` and reads
+/// serialize (contention shows up in the `lock_waits` counter).
 enum Backend {
-    Mem(RwLock<Vec<Page>>),
+    Mem(MemBackend),
     File(Mutex<FileBackend>),
 }
 
@@ -145,8 +255,10 @@ struct TxnState {
 /// writer at a time; see `XmlStore` in the core crate).
 ///
 /// Lock order, for paths that hold more than one latch: `txn` → `backend`
-/// → `wal`. `n_pages` and `txn_seq` are atomics and participate in no
-/// ordering.
+/// (the in-memory working map or the file frame table, then the published
+/// snapshot slot) → `wal`. `n_pages` and `txn_seq` are atomics and
+/// participate in no ordering. The in-memory *read* path takes none of
+/// these — it runs against the epoch-published snapshot.
 pub struct Pager {
     backend: Backend,
     n_pages: AtomicU32,
@@ -161,7 +273,7 @@ impl Pager {
     /// A pager whose pages live entirely in memory.
     pub fn in_memory() -> Self {
         Pager {
-            backend: Backend::Mem(RwLock::new(Vec::new())),
+            backend: Backend::Mem(MemBackend::new()),
             n_pages: AtomicU32::new(0),
             stats: Arc::new(PagerStats::default()),
             faults: Arc::new(FaultInjector::new()),
@@ -263,6 +375,11 @@ impl Pager {
             pre_images: HashMap::new(),
             start_pages: self.page_count(),
         });
+        if let Backend::Mem(mem) = &self.backend {
+            // Route this thread's reads to the working map for the
+            // transaction's lifetime so it observes its own writes.
+            mem.writer.store(thread_token(), AtomicOrdering::Release);
+        }
         Ok(id)
     }
 
@@ -320,6 +437,14 @@ impl Pager {
                 }
             }
         }
+        if let Backend::Mem(mem) = &self.backend {
+            // Publish the working map as the new committed snapshot, then
+            // release the writer routing — in that order, so the (single)
+            // writer thread never reads a map missing its own commit.
+            let map = latch::read(&mem.working, WaitSite::Backend).clone();
+            mem.publish(map);
+            mem.writer.store(0, AtomicOrdering::Release);
+        }
         *txn = None;
         Ok(frames_written)
     }
@@ -334,16 +459,26 @@ impl Pager {
             .ok_or_else(|| DbError::Txn("no active transaction".into()))?;
         let had_writes = !txn.pre_images.is_empty();
         match &self.backend {
-            Backend::Mem(pages) => {
-                let pages = &mut *latch::write(pages, WaitSite::Backend);
-                for (pid, pre) in txn.pre_images {
-                    if let Some(img) = pre {
-                        if let Some(slot) = pages.get_mut(pid as usize) {
-                            *slot = img;
+            Backend::Mem(mem) => {
+                let restored = {
+                    let pages = &mut *latch::write(&mem.working, WaitSite::Backend);
+                    for (pid, pre) in txn.pre_images {
+                        if let Some(img) = pre {
+                            if let Some(slot) = pages.get_mut(pid as usize) {
+                                *slot = Arc::new(img);
+                            }
                         }
                     }
-                }
-                pages.truncate(txn.start_pages as usize);
+                    pages.truncate(txn.start_pages as usize);
+                    pages.clone()
+                };
+                // Re-publish the restored map: content-identical to the
+                // previous epoch, but readers whose cached epoch lapsed
+                // mid-transaction (non-txn publications cannot interleave;
+                // this is belt-and-braces) revalidate cleanly, and the
+                // working map and published map are equal again.
+                mem.publish(restored);
+                mem.writer.store(0, AtomicOrdering::Release);
             }
             Backend::File(fbm) => {
                 let fb = &mut *latch::lock(fbm, WaitSite::Backend);
@@ -438,8 +573,23 @@ impl Pager {
         let mut txn = latch::lock(&self.txn, WaitSite::Txn);
         let id = self.page_count();
         match &self.backend {
-            Backend::Mem(pages) => {
-                latch::write(pages, WaitSite::Backend).push(Page::new());
+            Backend::Mem(mem) => {
+                let map = {
+                    let pages = &mut *latch::write(&mem.working, WaitSite::Backend);
+                    pages.push(Arc::new(Page::new()));
+                    if txn.is_none() {
+                        Some(pages.clone())
+                    } else {
+                        None
+                    }
+                };
+                // Outside a transaction the allocation publishes
+                // immediately — and before the page count advances, so a
+                // reader that observes the new count always finds the page
+                // in the snapshot it loads.
+                if let Some(map) = map {
+                    mem.publish(map);
+                }
             }
             Backend::File(fbm) => {
                 let wal_mode = self.wal_enabled();
@@ -470,19 +620,30 @@ impl Pager {
     }
 
     /// Runs `f` with shared access to the page. On the in-memory backend
-    /// any number of threads run this concurrently; on the file backend
-    /// reads serialize on the buffer-pool latch (pinning mutates the frame
-    /// table).
+    /// any number of threads run this concurrently *without locking*:
+    /// each reads the epoch-published snapshot through its thread-local
+    /// cache (see [`MemBackend`]), so the `backend` wait site stays at
+    /// zero on the read path. On the file backend reads serialize on the
+    /// buffer-pool latch (pinning mutates the frame table).
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> DbResult<R> {
         let _span = trace::span("pager.read");
         PagerStats::bump(&self.stats.logical_reads);
         match &self.backend {
-            Backend::Mem(pages) => {
-                let pages = latch::read(pages, WaitSite::Backend);
-                let page = pages
-                    .get(id as usize)
-                    .ok_or_else(|| DbError::Storage(format!("page {id} out of range")))?;
-                Ok(f(page))
+            Backend::Mem(mem) => {
+                let w = mem.writer.load(AtomicOrdering::Acquire);
+                if w != 0 && w == thread_token() {
+                    // The transaction's own thread sees its uncommitted
+                    // writes from the working map.
+                    let pages = latch::read(&mem.working, WaitSite::Backend);
+                    return match pages.get(id as usize) {
+                        Some(page) => Ok(f(page)),
+                        None => Err(DbError::Storage(format!("page {id} out of range"))),
+                    };
+                }
+                mem.with_map(|pages| match pages.get(id as usize) {
+                    Some(page) => Ok(f(page)),
+                    None => Err(DbError::Storage(format!("page {id} out of range"))),
+                })
             }
             Backend::File(fbm) => {
                 let no_steal = self.no_steal();
@@ -500,15 +661,28 @@ impl Pager {
         PagerStats::bump(&self.stats.logical_reads);
         let mut txn = latch::lock(&self.txn, WaitSite::Txn);
         match &self.backend {
-            Backend::Mem(pages) => {
-                let mut pages = latch::write(pages, WaitSite::Backend);
-                let page = pages
+            Backend::Mem(mem) => {
+                let mut pages = latch::write(&mem.working, WaitSite::Backend);
+                let slot = pages
                     .get_mut(id as usize)
                     .ok_or_else(|| DbError::Storage(format!("page {id} out of range")))?;
                 if let Some(t) = txn.as_mut() {
-                    t.pre_images.entry(id).or_insert_with(|| Some(page.clone()));
+                    t.pre_images
+                        .entry(id)
+                        .or_insert_with(|| Some((**slot).clone()));
                 }
-                Ok(f(page))
+                // Copy-on-write: if the published snapshot still shares
+                // this page, mutate a private copy — readers keep the
+                // committed image until the next publication.
+                let r = f(Arc::make_mut(slot));
+                if txn.is_none() {
+                    // No transaction: each mutation publishes immediately
+                    // (auto-commit granularity).
+                    let map = pages.clone();
+                    drop(pages);
+                    mem.publish(map);
+                }
+                Ok(r)
             }
             Backend::File(fbm) => {
                 let no_steal = txn.is_some() || self.wal_enabled();
@@ -850,6 +1024,104 @@ mod tests {
         pager.commit_txn().unwrap();
         assert!(matches!(pager.commit_txn(), Err(DbError::Txn(_))));
         assert!(matches!(pager.rollback_txn(), Err(DbError::Txn(_))));
+    }
+
+    #[test]
+    fn readers_see_pre_or_post_commit_snapshot_never_uncommitted() {
+        // Two pages are updated inside one transaction on a writer thread.
+        // While the transaction is open (and provably uncommitted — the
+        // writer blocks on a channel), other threads must see the old
+        // committed epoch on BOTH pages; after commit, the new one.
+        let pager = Arc::new(Pager::in_memory());
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        for id in [a, b] {
+            pager
+                .with_page_mut(id, |p| {
+                    p.insert(b"old").unwrap();
+                })
+                .unwrap();
+        }
+        let (mutated_tx, mutated_rx) = std::sync::mpsc::channel::<()>();
+        let (commit_tx, commit_rx) = std::sync::mpsc::channel::<()>();
+        let w = Arc::clone(&pager);
+        let writer = std::thread::spawn(move || {
+            w.begin_txn().unwrap();
+            for id in [a, b] {
+                w.with_page_mut(id, |p| {
+                    p.insert(b"new").unwrap();
+                })
+                .unwrap();
+            }
+            // The writer itself sees its own uncommitted writes...
+            assert_eq!(w.with_page(a, |p| p.live_count()).unwrap(), 2);
+            mutated_tx.send(()).unwrap();
+            commit_rx.recv().unwrap(); // hold the txn open until told
+            w.commit_txn().unwrap();
+        });
+        mutated_rx.recv().unwrap();
+        // ...while every other thread still reads the published epoch.
+        for id in [a, b] {
+            assert_eq!(
+                pager.with_page(id, |p| p.live_count()).unwrap(),
+                1,
+                "uncommitted write leaked to a non-writer thread"
+            );
+        }
+        let r = Arc::clone(&pager);
+        std::thread::spawn(move || {
+            for id in [a, b] {
+                assert_eq!(r.with_page(id, |p| p.live_count()).unwrap(), 1);
+            }
+        })
+        .join()
+        .unwrap();
+        commit_tx.send(()).unwrap();
+        writer.join().unwrap();
+        // Post-commit: the new epoch, atomically covering both pages.
+        for id in [a, b] {
+            assert_eq!(pager.with_page(id, |p| p.live_count()).unwrap(), 2);
+        }
+    }
+
+    #[test]
+    fn writer_panic_mid_txn_leaves_published_epoch_readable() {
+        let pager = Arc::new(Pager::in_memory());
+        let a = pager.allocate().unwrap();
+        pager
+            .with_page_mut(a, |p| {
+                p.insert(b"committed").unwrap();
+            })
+            .unwrap();
+        // A writer thread opens a transaction, mutates, and dies without
+        // committing — simulating a panic mid-commit.
+        let w = Arc::clone(&pager);
+        let _ = std::thread::spawn(move || {
+            w.begin_txn().unwrap();
+            w.with_page_mut(a, |p| {
+                p.insert(b"uncommitted").unwrap();
+            })
+            .unwrap();
+            panic!("writer dies mid-transaction");
+        })
+        .join();
+        // Readers (this thread and fresh ones) still see the previously
+        // published epoch: exactly one committed record.
+        assert_eq!(pager.with_page(a, |p| p.live_count()).unwrap(), 1);
+        let r = Arc::clone(&pager);
+        std::thread::spawn(move || {
+            assert_eq!(r.with_page(a, |p| p.live_count()).unwrap(), 1);
+        })
+        .join()
+        .unwrap();
+        // The orphaned transaction still guards the pager...
+        assert!(matches!(pager.begin_txn(), Err(DbError::Txn(_))));
+        // ...until rollback (from this thread — not the dead writer's)
+        // restores the pre-image and reopens the write path.
+        assert!(pager.rollback_txn().unwrap());
+        assert_eq!(pager.with_page(a, |p| p.live_count()).unwrap(), 1);
+        pager.begin_txn().unwrap();
+        pager.commit_txn().unwrap();
     }
 
     #[test]

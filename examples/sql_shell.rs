@@ -45,9 +45,10 @@ impl Shell {
             s.pages_read, s.cache_hits, s.cache_misses, s.pages_written, s.evictions
         );
         println!(
-            "     btree: descents={} leaf_scans={} splits={}",
-            s.btree_descents, s.btree_leaf_scans, s.btree_splits
+            "     btree: descents={} descent_reuses={} leaf_scans={} splits={}",
+            s.btree_descents, s.btree_descent_reuses, s.btree_leaf_scans, s.btree_splits
         );
+        let shard_stats = self.store.db().plan_cache_shard_stats();
         let o = obs::snapshot();
         println!(
             "     process: statements={} errors={} slow={} read_p50={:?} write_p50={:?}",
@@ -58,8 +59,24 @@ impl Shell {
             o.write_latency.p50
         );
         println!(
-            "     plan cache: hits={} misses={} (descents={})",
-            o.plan_cache_hits, o.plan_cache_misses, o.btree_descents
+            "     plan cache: hits={} misses={} (descents={} reuses={})",
+            o.plan_cache_hits, o.plan_cache_misses, o.btree_descents, o.btree_descent_reuses
+        );
+        // Per-shard hit rates for this session's cache (the process-wide
+        // numbers above aggregate every database in the process).
+        let shards: Vec<String> = shard_stats
+            .iter()
+            .enumerate()
+            .filter(|(_, (h, m))| h + m > 0)
+            .map(|(i, (h, m))| format!("{i}:{:.0}%", *h as f64 / (h + m) as f64 * 100.0))
+            .collect();
+        println!(
+            "     plan cache shards (hit rate): {}",
+            if shards.is_empty() {
+                "(untouched)".to_string()
+            } else {
+                shards.join(" ")
+            }
         );
         println!(
             "     durability: wal_frames={} commits={} rollbacks={} recoveries={}",
