@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E12). See `DESIGN.md` §5 for the index and
+//! The experiment suite (E1–E13). See `DESIGN.md` §5 for the index and
 //! `EXPERIMENTS.md` for recorded results vs the paper's claims.
 
 pub mod e01_storage;
@@ -13,13 +13,14 @@ pub mod e09_mixed;
 pub mod e10_scale;
 pub mod e11_durability;
 pub mod e12_concurrency;
+pub mod e13_governance;
 
 use crate::report::{self, EngineDelta, ExperimentRecord};
 use crate::Scale;
 use ordxml_rdbms::obs;
 use std::time::Instant;
 
-/// Runs one experiment by id (`"e1"`..`"e12"`), bracketing it with engine
+/// Runs one experiment by id (`"e1"`..`"e13"`), bracketing it with engine
 /// counter snapshots; returns its record for the machine-readable report,
 /// or `None` for an unknown id.
 pub fn run(id: &str, scale: Scale) -> Option<ExperimentRecord> {
@@ -39,6 +40,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentRecord> {
         "e10" => e10_scale::run(scale),
         "e11" => e11_durability::run(scale),
         "e12" => e12_concurrency::run(scale),
+        "e13" => e13_governance::run(scale),
         _ => return None,
     }
     let elapsed = started.elapsed();
@@ -54,7 +56,9 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentRecord> {
 /// The default experiment ids, in order. E11 (file-backed durability) is
 /// not in the default sweep; the report binary adds it with `--durable`,
 /// or run it explicitly by id. E12 (concurrent read throughput) runs by
-/// default: it is in-memory and its quick windows are sub-second.
+/// default: it is in-memory and its quick windows are sub-second. E13
+/// (governance overhead + fault absorption) runs by default too: its
+/// file-backed half uses a tiny cache and finishes quickly.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "e13",
 ];

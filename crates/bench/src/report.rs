@@ -60,6 +60,16 @@ pub struct EngineDelta {
     pub txn_rollbacks: u64,
     /// WAL recoveries run by `Database::open`.
     pub recoveries_run: u64,
+    /// Statements that tripped their governance deadline.
+    pub queries_timed_out: u64,
+    /// Statements canceled via the shared cancel flag.
+    pub queries_canceled: u64,
+    /// Physical page reads retried after an I/O error or checksum mismatch.
+    pub read_retries: u64,
+    /// Healthy-to-degraded transitions (persistent write-path failures).
+    pub degraded_entries: u64,
+    /// Write transactions refused while degraded read-only.
+    pub degraded_rejects: u64,
     /// Contended lock acquisitions (the caller blocked at least once).
     pub lock_waits: u64,
     /// Contended acquisitions per wait site, indexed as [`WaitSite::ALL`]
@@ -94,6 +104,11 @@ impl EngineDelta {
             txn_commits: after.txn_commits - before.txn_commits,
             txn_rollbacks: after.txn_rollbacks - before.txn_rollbacks,
             recoveries_run: after.recoveries_run - before.recoveries_run,
+            queries_timed_out: after.queries_timed_out - before.queries_timed_out,
+            queries_canceled: after.queries_canceled - before.queries_canceled,
+            read_retries: after.read_retries - before.read_retries,
+            degraded_entries: after.degraded_entries - before.degraded_entries,
+            degraded_rejects: after.degraded_rejects - before.degraded_rejects,
             lock_waits: after.lock_waits - before.lock_waits,
             lock_waits_by_site: std::array::from_fn(|i| {
                 after.lock_waits_by_site[i] - before.lock_waits_by_site[i]
@@ -183,7 +198,9 @@ pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
              \"btree_descent_reuses\": {},\n        \"plan_cache_hits\": {},\n        \"plan_cache_misses\": {},\n        \
              \"wal_frames_written\": {},\n        \"txn_commits\": {},\n        \
              \"txn_rollbacks\": {},\n        \"recoveries_run\": {},\n        \
-             \"lock_waits\": {},\n",
+             \"queries_timed_out\": {},\n        \"queries_canceled\": {},\n        \
+             \"read_retries\": {},\n        \"degraded_entries\": {},\n        \
+             \"degraded_rejects\": {},\n        \"lock_waits\": {},\n",
             r.engine.statements,
             r.engine.statement_errors,
             r.engine.slow_statements,
@@ -199,6 +216,11 @@ pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
             r.engine.txn_commits,
             r.engine.txn_rollbacks,
             r.engine.recoveries_run,
+            r.engine.queries_timed_out,
+            r.engine.queries_canceled,
+            r.engine.read_retries,
+            r.engine.degraded_entries,
+            r.engine.degraded_rejects,
             r.engine.lock_waits,
         ));
         for (i, site) in WaitSite::ALL.iter().enumerate() {

@@ -14,7 +14,7 @@ use crate::shred::{self, KIND_ATTR, KIND_ELEMENT};
 use crate::update::UpdateCost;
 use crate::xpath::{self, XPathError};
 use ordxml_rdbms::obs::WaitSite;
-use ordxml_rdbms::{latch, trace, Database, DbError, Row, Value};
+use ordxml_rdbms::{governance, latch, trace, Database, DbError, Row, StoreHealth, Value};
 use ordxml_xml::{Document, NodePath};
 use std::fmt;
 use std::ops::{Deref, DerefMut};
@@ -365,6 +365,50 @@ impl XmlStore {
         self.encoding
     }
 
+    /// Sets a deadline, in milliseconds, for every subsequent query or
+    /// update (0 clears it). A whole [`XmlStore::xpath`] call — however many
+    /// SQL statements its mediator phases issue — runs under one deadline;
+    /// past it the call returns [`DbError::Timeout`] and any open
+    /// transaction rolls back.
+    pub fn set_deadline_ms(&self, ms: u64) {
+        latch::read(&self.inner, WaitSite::Store)
+            .db
+            .set_deadline_ms(ms);
+    }
+
+    /// Sets a work budget (≈ rows visited + pages read) for every
+    /// subsequent query or update (0 clears it); exceeding it returns
+    /// [`DbError::ResourceExhausted`].
+    pub fn set_work_budget(&self, units: u64) {
+        latch::read(&self.inner, WaitSite::Store)
+            .db
+            .set_work_budget(units);
+    }
+
+    /// The shared cancel flag: set it to `true` from any thread to make
+    /// in-flight and future queries return [`DbError::Canceled`] at their
+    /// next governance check; clear it to resume service.
+    pub fn cancel_flag(&self) -> std::sync::Arc<std::sync::atomic::AtomicBool> {
+        latch::read(&self.inner, WaitSite::Store).db.cancel_flag()
+    }
+
+    /// The store's health. After a persistent write-path failure the store
+    /// degrades to read-only: queries keep serving committed data, updates
+    /// return [`DbError::Degraded`]. See [`XmlStore::try_restore`].
+    pub fn health(&self) -> StoreHealth {
+        latch::read(&self.inner, WaitSite::Store).db.health()
+    }
+
+    /// Attempts to leave degraded read-only mode by re-checkpointing
+    /// against the (hopefully recovered) write path; on success updates are
+    /// accepted again.
+    pub fn try_restore(&self) -> StoreResult<()> {
+        latch::write(&self.inner, WaitSite::Store)
+            .db
+            .try_restore()
+            .map_err(StoreError::from)
+    }
+
     /// Direct access to the underlying database (for diagnostics and the
     /// benchmark harness's counter collection). The guard holds the store's
     /// write latch: drop it before calling any other store method.
@@ -437,6 +481,10 @@ impl XmlStore {
     pub fn xpath_parsed(&self, doc: i64, path: &xpath::Path) -> StoreResult<Vec<XNode>> {
         let _span = trace::span("store.xpath");
         let inner = self.read_inner()?;
+        // One governance scope for the whole call: mediator phases may issue
+        // many SQL statements, and they all share this deadline and budget
+        // (per-statement scope entry nests as a no-op under this one).
+        let _gov = governance::Scope::enter(inner.db.limits());
         crate::translate::execute_full(
             &inner.db,
             inner.encoding,
@@ -460,6 +508,7 @@ impl XmlStore {
         let path = xpath::parse(expr)?;
         let mut inner = self.write_inner()?;
         inner.db.start_trace();
+        let _gov = governance::Scope::enter(inner.db.limits());
         let (result, spans) = trace::capture(|| {
             let _span = trace::span("store.xpath");
             crate::translate::execute_full(

@@ -126,6 +126,11 @@ impl BTree {
 
     fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+        // Every bump marks one unit of tree work (a descent, a leaf-link
+        // advance, a split); charge it against the governing scope, if any.
+        // Iterators cannot return errors, so a tripped limit latches here
+        // and surfaces at the caller's next fallible checkpoint.
+        crate::governance::note_work(1);
     }
 
     /// Number of stored entries.

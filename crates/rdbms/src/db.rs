@@ -16,6 +16,7 @@ use crate::catalog::Catalog;
 use crate::error::{DbError, DbResult};
 use crate::exec::{run_select, scan_for_update, Env, ExecStats, Profiler, SharedExecStats};
 use crate::expr::{eval, Expr, SimpleCtx};
+use crate::governance;
 use crate::latch;
 use crate::obs;
 use crate::obs::WaitSite;
@@ -31,8 +32,10 @@ use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
+
+pub use crate::storage::pager::StoreHealth;
 
 /// The result of running one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -205,6 +208,16 @@ pub struct Database {
     file_backed: bool,
     /// Open explicit or auto-commit transaction, if any.
     txn: Option<DbTxn>,
+    /// Per-statement deadline in milliseconds (0 = none). See
+    /// [`Database::set_deadline_ms`].
+    gov_deadline_ms: AtomicU64,
+    /// Per-statement work budget in units (0 = none). See
+    /// [`Database::set_work_budget`].
+    gov_work_budget: AtomicU64,
+    /// Shared cancel flag, created lazily by [`Database::cancel_flag`];
+    /// statements only pay for cancellation checks once a caller has asked
+    /// for the flag.
+    gov_cancel: OnceLock<Arc<AtomicBool>>,
 }
 
 impl Database {
@@ -220,6 +233,9 @@ impl Database {
             catalog_pages: Vec::new(),
             file_backed: false,
             txn: None,
+            gov_deadline_ms: AtomicU64::new(0),
+            gov_work_budget: AtomicU64::new(0),
+            gov_cancel: OnceLock::new(),
         }
     }
 
@@ -280,7 +296,69 @@ impl Database {
             catalog_pages,
             file_backed: true,
             txn: None,
+            gov_deadline_ms: AtomicU64::new(0),
+            gov_work_budget: AtomicU64::new(0),
+            gov_cancel: OnceLock::new(),
         })
+    }
+
+    /// Sets a per-statement deadline (0 clears it). Every subsequent
+    /// statement gets `ms` milliseconds from its start; past that, hot
+    /// loops surface [`DbError::Timeout`] at their next governance
+    /// checkpoint and the statement unwinds like any other error
+    /// (transactions roll back, latches release).
+    pub fn set_deadline_ms(&self, ms: u64) {
+        self.gov_deadline_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Sets a per-statement work budget in units of rows visited + pages
+    /// read (0 clears it); exceeding it surfaces
+    /// [`DbError::ResourceExhausted`].
+    pub fn set_work_budget(&self, units: u64) {
+        self.gov_work_budget.store(units, Ordering::Relaxed);
+    }
+
+    /// The shared cancel flag for this database's statements. Setting it
+    /// to `true` from any thread makes in-flight and future statements
+    /// surface [`DbError::Canceled`] at their next periodic governance
+    /// check; clear it to resume normal service. The flag is created on
+    /// first call — until then statements pay nothing for cancellation.
+    pub fn cancel_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(
+            self.gov_cancel
+                .get_or_init(|| Arc::new(AtomicBool::new(false))),
+        )
+    }
+
+    /// The governance limits a statement starting *now* would run under.
+    /// Callers issuing many statements as one logical query (the XML layer's
+    /// `xpath()`) enter one [`governance::Scope`] with these limits up
+    /// front, so the whole call shares a single deadline and budget.
+    pub fn limits(&self) -> governance::Limits {
+        let ms = self.gov_deadline_ms.load(Ordering::Relaxed);
+        let budget = self.gov_work_budget.load(Ordering::Relaxed);
+        governance::Limits {
+            deadline: (ms > 0).then(|| Instant::now() + Duration::from_millis(ms)),
+            cancel: self.gov_cancel.get().map(Arc::clone),
+            work_budget: (budget > 0).then_some(budget),
+        }
+    }
+
+    /// This store's health: [`StoreHealth::Healthy`], or
+    /// [`StoreHealth::Degraded`] after a persistent write-path failure
+    /// (out-of-space, dead device). Degraded mode is read-only: reads keep
+    /// serving committed data while [`Database::begin`] (and therefore
+    /// every write statement) returns [`DbError::Degraded`].
+    pub fn health(&self) -> StoreHealth {
+        self.pager.health()
+    }
+
+    /// Attempts to leave degraded read-only mode by re-running a full
+    /// checkpoint (flush + fsync + WAL reset) against the — hopefully
+    /// recovered — write path. On success writes are accepted again; on
+    /// failure the store stays degraded and the error is returned.
+    pub fn try_restore(&mut self) -> DbResult<()> {
+        self.pager.try_restore()
     }
 
     /// The catalog (read-only view).
@@ -562,6 +640,11 @@ impl Database {
     /// behave as prepared statements.
     pub fn run(&mut self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
         let _stmt_span = trace::span_with("statement", || truncate_sql(sql));
+        // Governance covers the whole statement, planning included. When an
+        // outer scope is already installed (an XPath query issuing many
+        // statements under one deadline), entering is a no-op and the outer
+        // limits keep governing.
+        let _gov = governance::Scope::enter(self.limits());
         let cached = self.lookup_plan(sql)?;
         // The write path's dispatch consumes the statement (and may mutate
         // the database out from under the cache), so it gets clones; only
@@ -588,7 +671,7 @@ impl Database {
             Ok(r) => {
                 if auto_txn {
                     if let Err(e) = self.commit() {
-                        obs::registry().record_statement_error();
+                        self.record_failure(&e);
                         return Err(e);
                     }
                 }
@@ -598,7 +681,7 @@ impl Database {
                 if auto_txn {
                     let _ = self.rollback();
                 }
-                obs::registry().record_statement_error();
+                self.record_failure(&e);
                 return Err(e);
             }
         };
@@ -618,6 +701,7 @@ impl Database {
     /// which takes `&mut self` and therefore excludes concurrent readers.
     pub fn run_read(&self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
         let _stmt_span = trace::span_with("statement", || truncate_sql(sql));
+        let _gov = governance::Scope::enter(self.limits());
         let cached = self.lookup_plan(sql)?;
         let pages_before = self.pager.stats().full();
         let trees_before = self.catalog.btree_counters();
@@ -629,7 +713,7 @@ impl Database {
         {
             Ok(r) => r,
             Err(e) => {
-                obs::registry().record_statement_error();
+                self.record_failure(&e);
                 return Err(e);
             }
         };
@@ -639,6 +723,26 @@ impl Database {
             self.record_statement(sql, params, true, started, &result);
         }
         Ok(result)
+    }
+
+    /// Records one failed statement: the generic error counter, plus the
+    /// governance counters (registry and cumulative stats) when the failure
+    /// was a tripped deadline or cancellation.
+    fn record_failure(&self, e: &DbError) {
+        obs::registry().record_statement_error();
+        let mut s = ExecStats::default();
+        match e {
+            DbError::Timeout(_) => {
+                obs::registry().record_query_timeout();
+                s.queries_timed_out = 1;
+            }
+            DbError::Canceled(_) => {
+                obs::registry().record_query_cancel();
+                s.queries_canceled = 1;
+            }
+            _ => return,
+        }
+        self.total_stats.merge(&s);
     }
 
     /// `true` while a statement trace is being recorded (one relaxed load —
@@ -777,6 +881,9 @@ impl Database {
             .physical_writes
             .saturating_sub(pages_before.physical_writes);
         s.evictions += pages_after.evictions.saturating_sub(pages_before.evictions);
+        s.read_retries += pages_after
+            .read_retries
+            .saturating_sub(pages_before.read_retries);
         // saturating_sub: DROP TABLE discards that table's trees (and their
         // counts), so the totals are not strictly monotonic.
         s.btree_descents += trees_after.descents.saturating_sub(trees_before.descents);

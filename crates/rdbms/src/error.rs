@@ -28,6 +28,18 @@ pub enum DbError {
     Txn(String),
     /// The feature is recognized but intentionally unsupported.
     Unsupported(String),
+    /// The statement exceeded its deadline and was stopped at a governance
+    /// checkpoint. The store is untouched: read snapshots stay published and
+    /// no latch is poisoned.
+    Timeout(String),
+    /// The statement was cooperatively canceled via its cancel flag.
+    Canceled(String),
+    /// The statement exceeded a resource budget (rows examined, pages read).
+    ResourceExhausted(String),
+    /// The store is in degraded read-only mode after a persistent storage
+    /// failure; writes are refused until `try_restore` succeeds. Reads keep
+    /// serving the last committed snapshot.
+    Degraded(String),
 }
 
 impl DbError {
@@ -52,6 +64,10 @@ impl fmt::Display for DbError {
             DbError::Storage(msg) => write!(f, "storage error: {msg}"),
             DbError::Txn(msg) => write!(f, "transaction error: {msg}"),
             DbError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            DbError::Timeout(msg) => write!(f, "query deadline exceeded: {msg}"),
+            DbError::Canceled(msg) => write!(f, "query canceled: {msg}"),
+            DbError::ResourceExhausted(msg) => write!(f, "resource budget exhausted: {msg}"),
+            DbError::Degraded(msg) => write!(f, "store degraded (read-only): {msg}"),
         }
     }
 }

@@ -60,6 +60,17 @@ pub struct ExecStats {
     pub btree_leaf_scans: u64,
     /// B+tree node splits triggered by index maintenance.
     pub btree_splits: u64,
+    /// Physical page reads retried after an I/O error or checksum mismatch
+    /// (folded in from the pager; always 0 in memory mode).
+    pub read_retries: u64,
+    /// Statements that tripped their deadline ([`crate::DbError::Timeout`]).
+    /// Only ever non-zero in cumulative totals — a timed-out statement
+    /// returns no per-statement stats.
+    pub queries_timed_out: u64,
+    /// Statements canceled via the shared cancel flag
+    /// ([`crate::DbError::Canceled`]). Cumulative-only, like
+    /// `queries_timed_out`.
+    pub queries_canceled: u64,
 }
 
 impl ExecStats {
@@ -80,17 +91,20 @@ impl ExecStats {
         self.btree_descent_reuses += other.btree_descent_reuses;
         self.btree_leaf_scans += other.btree_leaf_scans;
         self.btree_splits += other.btree_splits;
+        self.read_retries += other.read_retries;
+        self.queries_timed_out += other.queries_timed_out;
+        self.queries_canceled += other.queries_canceled;
     }
 }
 
-/// A thread-safe accumulation cell for [`ExecStats`]: fifteen relaxed
+/// A thread-safe accumulation cell for [`ExecStats`]: eighteen relaxed
 /// atomics, one per counter. [`crate::Database`] keeps its cumulative
 /// per-database totals in one of these so that concurrent readers merging
 /// their statement stats never serialize on a mutex (the totals latch used
 /// to be the last lock on the shared-read path).
 #[derive(Debug, Default)]
 pub struct SharedExecStats {
-    cells: [std::sync::atomic::AtomicU64; 15],
+    cells: [std::sync::atomic::AtomicU64; 18],
 }
 
 impl SharedExecStats {
@@ -107,7 +121,7 @@ impl SharedExecStats {
     /// A plain-value copy of the totals.
     pub fn snapshot(&self) -> ExecStats {
         use std::sync::atomic::Ordering;
-        let mut vals = [0u64; 15];
+        let mut vals = [0u64; 18];
         for (v, cell) in vals.iter_mut().zip(self.cells.iter()) {
             *v = cell.load(Ordering::Relaxed);
         }
@@ -122,7 +136,7 @@ impl SharedExecStats {
         }
     }
 
-    fn unpack(s: &ExecStats) -> [u64; 15] {
+    fn unpack(s: &ExecStats) -> [u64; 18] {
         [
             s.rows_scanned,
             s.index_scans,
@@ -139,10 +153,13 @@ impl SharedExecStats {
             s.btree_descent_reuses,
             s.btree_leaf_scans,
             s.btree_splits,
+            s.read_retries,
+            s.queries_timed_out,
+            s.queries_canceled,
         ]
     }
 
-    fn pack(v: [u64; 15]) -> ExecStats {
+    fn pack(v: [u64; 18]) -> ExecStats {
         ExecStats {
             rows_scanned: v[0],
             index_scans: v[1],
@@ -159,6 +176,9 @@ impl SharedExecStats {
             btree_descent_reuses: v[12],
             btree_leaf_scans: v[13],
             btree_splits: v[14],
+            read_retries: v[15],
+            queries_timed_out: v[16],
+            queries_canceled: v[17],
         }
     }
 }
@@ -269,6 +289,7 @@ fn run_node_inner(
             let rows = run_node(env, stats, subplans, input, outer)?;
             let mut out = Vec::new();
             for row in rows {
+                crate::governance::checkpoint(1)?;
                 let keep = {
                     let mut ctx = Ctx {
                         env,
@@ -314,11 +335,13 @@ fn run_node_inner(
                 None
             };
             for lrow in left_rows {
+                crate::governance::checkpoint(1)?;
                 let rrows = match &cached_inner {
                     Some(c) => c.clone(),
                     None => run_access(env, stats, subplans, right, &lrow, outer)?,
                 };
                 for rrow in rrows {
+                    crate::governance::checkpoint(1)?;
                     let mut combined = lrow.clone();
                     combined.extend(rrow);
                     let keep = match residual {
@@ -352,6 +375,7 @@ fn run_node_inner(
             // Precompute sort keys.
             let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
             for row in rows {
+                crate::governance::checkpoint(1)?;
                 let mut kv = Vec::with_capacity(keys.len());
                 for (e, _) in keys {
                     let mut ctx = Ctx {
@@ -381,6 +405,7 @@ fn run_node_inner(
             let rows = run_node(env, stats, subplans, input, outer)?;
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
+                crate::governance::checkpoint(1)?;
                 let mut projected = Vec::with_capacity(exprs.len());
                 for e in exprs {
                     let mut ctx = Ctx {
@@ -401,6 +426,7 @@ fn run_node_inner(
             let mut seen = std::collections::HashSet::new();
             let mut out = Vec::new();
             for row in rows {
+                crate::governance::checkpoint(1)?;
                 if seen.insert(encode_key(&row)) {
                     out.push(row);
                 }
@@ -451,6 +477,7 @@ fn run_access(
             let mut out = Vec::with_capacity(table.row_count() as usize);
             for pi in 0..table.heap.page_count() {
                 for (_, rec) in table.heap.page_rows(env.pager, pi)? {
+                    crate::governance::checkpoint(1)?;
                     out.push(crate::value::decode_row(&rec)?);
                 }
             }
@@ -468,7 +495,10 @@ fn run_access(
             stats.rows_scanned += rowids.len() as u64;
             rowids
                 .into_iter()
-                .map(|rid| table.get_row(env.pager, rid))
+                .map(|rid| {
+                    crate::governance::checkpoint(1)?;
+                    table.get_row(env.pager, rid)
+                })
                 .collect()
         }
         AccessPath::MultiRange { index, .. } => {
@@ -483,6 +513,7 @@ fn run_access(
                 stats.index_rows += rowids.len() as u64;
                 stats.rows_scanned += rowids.len() as u64;
                 for rid in rowids {
+                    crate::governance::checkpoint(1)?;
                     out.push(table.get_row(env.pager, rid)?);
                 }
             }
@@ -507,6 +538,7 @@ pub fn scan_for_update(
             let mut out = Vec::with_capacity(table.row_count() as usize);
             for pi in 0..table.heap.page_count() {
                 for (rid, rec) in table.heap.page_rows(env.pager, pi)? {
+                    crate::governance::checkpoint(1)?;
                     out.push((rid, crate::value::decode_row(&rec)?));
                 }
             }
@@ -542,7 +574,10 @@ pub fn scan_for_update(
             stats.rows_scanned += rowids.len() as u64;
             rowids
                 .into_iter()
-                .map(|rid| Ok((rid, table.get_row(env.pager, rid)?)))
+                .map(|rid| {
+                    crate::governance::checkpoint(1)?;
+                    Ok((rid, table.get_row(env.pager, rid)?))
+                })
                 .collect()
         }
         AccessPath::MultiRange { index, .. } => {
@@ -558,6 +593,7 @@ pub fn scan_for_update(
                 stats.index_rows += rowids.len() as u64;
                 stats.rows_scanned += rowids.len() as u64;
                 for rid in rowids {
+                    crate::governance::checkpoint(1)?;
                     out.push((rid, table.get_row(env.pager, rid)?));
                 }
             }
@@ -866,6 +902,7 @@ fn run_hash_join(
     // Build side: right table.
     let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::new();
     for (i, rrow) in right_rows.iter().enumerate() {
+        crate::governance::checkpoint(1)?;
         let mut vals = Vec::with_capacity(right_keys.len());
         let mut null = false;
         for e in right_keys {
@@ -887,6 +924,7 @@ fn run_hash_join(
     }
     let mut out = Vec::new();
     for lrow in left_rows {
+        crate::governance::checkpoint(1)?;
         let mut vals = Vec::with_capacity(left_keys.len());
         let mut null = false;
         for e in left_keys {
@@ -949,6 +987,7 @@ fn run_aggregate(
         index.insert(Vec::new(), 0);
     }
     for row in &rows {
+        crate::governance::checkpoint(1)?;
         let mut gvals = Vec::with_capacity(group_by.len());
         for e in group_by {
             let mut ctx = Ctx {

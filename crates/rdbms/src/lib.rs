@@ -44,6 +44,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod governance;
 pub mod latch;
 pub mod obs;
 pub mod plan;
@@ -54,7 +55,7 @@ pub mod trace;
 pub mod value;
 
 pub use btree::BTreeCounters;
-pub use db::{Database, Durability, QueryResult, StatementTrace};
+pub use db::{Database, Durability, QueryResult, StatementTrace, StoreHealth};
 pub use error::{DbError, DbResult};
 pub use exec::{ExecStats, OpProfile, Profiler};
 pub use schema::{ColumnDef, IndexDef, TableSchema};

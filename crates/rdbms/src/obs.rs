@@ -344,9 +344,14 @@ enum Metric {
     TxnCommits,
     TxnRollbacks,
     Recoveries,
+    QueriesTimedOut,
+    QueriesCanceled,
+    ReadRetries,
+    DegradedEntries,
+    DegradedRejects,
 }
 
-const NMETRICS: usize = 11;
+const NMETRICS: usize = 16;
 
 /// One thread's private metric cell. All fields are atomics only so the
 /// snapshot path can read them concurrently; the owning thread's writes
@@ -477,6 +482,45 @@ impl Registry {
     pub fn record_statement_error(&self) {
         if self.enabled() {
             self.with_shard(|s| s.bump(Metric::StatementErrors, 1));
+        }
+    }
+
+    /// Records one statement stopped by its deadline (no-op while disabled).
+    pub fn record_query_timeout(&self) {
+        if self.enabled() {
+            self.with_shard(|s| s.bump(Metric::QueriesTimedOut, 1));
+        }
+    }
+
+    /// Records one statement stopped by its cancel flag (no-op while
+    /// disabled).
+    pub fn record_query_cancel(&self) {
+        if self.enabled() {
+            self.with_shard(|s| s.bump(Metric::QueriesCanceled, 1));
+        }
+    }
+
+    /// Records retried page reads — transient read faults that a retry
+    /// absorbed (no-op while disabled).
+    pub fn record_read_retries(&self, n: u64) {
+        if self.enabled() && n > 0 {
+            self.with_shard(|s| s.bump(Metric::ReadRetries, n));
+        }
+    }
+
+    /// Records one transition into degraded read-only mode (no-op while
+    /// disabled).
+    pub fn record_degraded_entry(&self) {
+        if self.enabled() {
+            self.with_shard(|s| s.bump(Metric::DegradedEntries, 1));
+        }
+    }
+
+    /// Records one write refused because the store was degraded (no-op
+    /// while disabled).
+    pub fn record_degraded_reject(&self) {
+        if self.enabled() {
+            self.with_shard(|s| s.bump(Metric::DegradedRejects, 1));
         }
     }
 
@@ -634,6 +678,11 @@ impl Registry {
             txn_commits: metrics[Metric::TxnCommits as usize],
             txn_rollbacks: metrics[Metric::TxnRollbacks as usize],
             recoveries_run: metrics[Metric::Recoveries as usize],
+            queries_timed_out: metrics[Metric::QueriesTimedOut as usize],
+            queries_canceled: metrics[Metric::QueriesCanceled as usize],
+            read_retries: metrics[Metric::ReadRetries as usize],
+            degraded_entries: metrics[Metric::DegradedEntries as usize],
+            degraded_rejects: metrics[Metric::DegradedRejects as usize],
             lock_waits: wait_counts.iter().sum(),
             lock_waits_by_site: wait_counts,
             wait_latency_by_site,
@@ -671,6 +720,16 @@ pub struct ObsSnapshot {
     pub txn_rollbacks: u64,
     /// Opens that ran WAL recovery.
     pub recoveries_run: u64,
+    /// Statements stopped by their deadline ([`crate::DbError::Timeout`]).
+    pub queries_timed_out: u64,
+    /// Statements stopped by a cancel flag ([`crate::DbError::Canceled`]).
+    pub queries_canceled: u64,
+    /// Page-read retries that absorbed a transient read fault.
+    pub read_retries: u64,
+    /// Transitions into degraded read-only mode.
+    pub degraded_entries: u64,
+    /// Writes refused while degraded ([`crate::DbError::Degraded`]).
+    pub degraded_rejects: u64,
     /// Contended lock acquisitions (blocked at least once), all sites.
     pub lock_waits: u64,
     /// Contended acquisitions per wait site, indexed as [`WaitSite::ALL`].
@@ -885,6 +944,31 @@ mod tests {
         reg.record_plan_cache(false);
         assert_eq!(reg.snapshot().plan_cache_hits, 2);
         assert_eq!(reg.snapshot().plan_cache_misses, 1);
+    }
+
+    #[test]
+    fn governance_counters_record_and_respect_disable() {
+        let reg = Registry::new();
+        reg.record_query_timeout();
+        reg.record_query_cancel();
+        reg.record_query_cancel();
+        reg.record_read_retries(3);
+        reg.record_degraded_entry();
+        reg.record_degraded_reject();
+        reg.record_degraded_reject();
+        let s = reg.snapshot();
+        assert_eq!(s.queries_timed_out, 1);
+        assert_eq!(s.queries_canceled, 2);
+        assert_eq!(s.read_retries, 3);
+        assert_eq!(s.degraded_entries, 1);
+        assert_eq!(s.degraded_rejects, 2);
+        reg.set_enabled(false);
+        reg.record_query_timeout();
+        reg.record_read_retries(5);
+        reg.record_degraded_reject();
+        assert_eq!(reg.snapshot().queries_timed_out, 1);
+        assert_eq!(reg.snapshot().read_retries, 3);
+        assert_eq!(reg.snapshot().degraded_rejects, 2);
     }
 
     #[test]

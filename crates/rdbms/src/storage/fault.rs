@@ -18,13 +18,18 @@
 //! crashed state, modelling a sector-granular partial write at power loss.
 
 use std::fs::File;
-use std::io::{Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Message carried by every injected error, so tests (and error paths) can
 /// tell an injected fault from a real I/O failure.
 pub const INJECTED_FAULT: &str = "injected fault";
+
+/// `ENOSPC` — the errno used by [`FaultInjector::fail_writes_with_enospc`]
+/// to model a full disk. Deliberately indistinguishable from the real thing:
+/// the degradation policy must treat both identically.
+pub const ENOSPC: i32 = 28;
 
 #[derive(Debug, Default)]
 struct FaultPlan {
@@ -35,10 +40,22 @@ struct FaultPlan {
     torn_prefix: Option<usize>,
     /// Fail the fsync after this many more successful fsyncs.
     fsyncs_until_fail: Option<u64>,
+    /// Fail the page read after this many more successful reads (0 = next).
+    reads_until_fail: Option<u64>,
+    /// Corrupt the page image returned by the read after this many more
+    /// reads (0 = next). The read itself "succeeds" — the caller's checksum
+    /// validation is what must catch it.
+    reads_until_corrupt: Option<u64>,
     /// Enter the crashed state once this many more WAL frames have been
     /// appended (0 = before the next frame).
     wal_frames_until_crash: Option<u64>,
-    /// All I/O fails from here on.
+    /// Every write and fsync fails with `ENOSPC` ("disk full") until reset.
+    /// Unlike `crashed` this models a device that is alive but cannot accept
+    /// new data: reads keep working.
+    enospc: bool,
+    /// All writes and fsyncs fail from here on ("the process died here").
+    /// Reads are deliberately unaffected: a crashed *write path* is exactly
+    /// the situation degraded read-only mode keeps serving reads through.
     crashed: bool,
 }
 
@@ -48,11 +65,30 @@ pub struct FaultInjector {
     plan: Mutex<FaultPlan>,
     writes: AtomicU64,
     fsyncs: AtomicU64,
+    reads: AtomicU64,
+    set_lens: AtomicU64,
     wal_frames: AtomicU64,
 }
 
 fn injected() -> std::io::Error {
     std::io::Error::other(INJECTED_FAULT)
+}
+
+fn enospc() -> std::io::Error {
+    std::io::Error::from_raw_os_error(ENOSPC)
+}
+
+/// `true` when `e` was produced by a [`FaultInjector`] (as opposed to a real
+/// device failure). Use this instead of string-matching [`INJECTED_FAULT`].
+pub fn is_injected(e: &std::io::Error) -> bool {
+    e.get_ref().is_some_and(|r| r.to_string() == INJECTED_FAULT) || e.to_string() == INJECTED_FAULT
+}
+
+/// `true` when `e` reports a full disk (`ENOSPC`), real or injected. A full
+/// disk is persistent from the engine's point of view — retrying the write
+/// will not help — so it triggers degraded read-only mode.
+pub fn is_enospc(e: &std::io::Error) -> bool {
+    e.raw_os_error() == Some(ENOSPC)
 }
 
 impl FaultInjector {
@@ -86,6 +122,27 @@ impl FaultInjector {
         self.plan.lock().expect("fault plan lock").fsyncs_until_fail = Some(n.saturating_sub(1));
     }
 
+    /// Arms a transient failure of the `n`-th upcoming page read (1-based).
+    pub fn fail_nth_read(&self, n: u64) {
+        self.plan.lock().expect("fault plan lock").reads_until_fail = Some(n.saturating_sub(1));
+    }
+
+    /// Arms a corruption of the `n`-th upcoming page read (1-based): the
+    /// read succeeds but the returned image has bytes flipped, so only
+    /// checksum validation can detect it.
+    pub fn corrupt_nth_read(&self, n: u64) {
+        self.plan
+            .lock()
+            .expect("fault plan lock")
+            .reads_until_corrupt = Some(n.saturating_sub(1));
+    }
+
+    /// Models a full disk: every write and fsync fails with `ENOSPC` until
+    /// [`FaultInjector::reset`]. Reads keep working.
+    pub fn fail_writes_with_enospc(&self) {
+        self.plan.lock().expect("fault plan lock").enospc = true;
+    }
+
     /// Enters the crashed state once `k` more WAL frames have been written:
     /// frame `k+1` (and everything after it) fails. `k = 0` crashes before
     /// the next frame.
@@ -117,6 +174,17 @@ impl FaultInjector {
         self.fsyncs.load(Ordering::Relaxed)
     }
 
+    /// Total page reads attempted through this injector (including failed
+    /// ones).
+    pub fn reads_observed(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Total truncations attempted through this injector.
+    pub fn set_lens_observed(&self) -> u64 {
+        self.set_lens.load(Ordering::Relaxed)
+    }
+
     /// Total WAL frames successfully appended through this injector.
     pub fn wal_frames_observed(&self) -> u64 {
         self.wal_frames.load(Ordering::Relaxed)
@@ -129,6 +197,9 @@ impl FaultInjector {
             let mut plan = self.plan.lock().expect("fault plan lock");
             if plan.crashed {
                 return Err(injected());
+            }
+            if plan.enospc {
+                return Err(enospc());
             }
             match plan.writes_until_fail {
                 Some(0) => {
@@ -158,6 +229,9 @@ impl FaultInjector {
             let mut plan = self.plan.lock().expect("fault plan lock");
             if plan.crashed {
                 return Err(injected());
+            }
+            if plan.enospc {
+                return Err(enospc());
             }
             match plan.fsyncs_until_fail {
                 Some(0) => {
@@ -191,12 +265,57 @@ impl FaultInjector {
         Ok(())
     }
 
-    /// Truncates `file` to `len`, subject to the crashed state (counts as a
-    /// write).
+    /// Reads exactly `buf.len()` bytes at absolute offset `off`, subject to
+    /// armed read faults: `fail_nth_read` turns this read into an injected
+    /// error, `corrupt_nth_read` lets it succeed with flipped bytes.
+    pub fn read_at(&self, file: &mut File, off: u64, buf: &mut [u8]) -> std::io::Result<()> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let corrupt = {
+            let mut plan = self.plan.lock().expect("fault plan lock");
+            match plan.reads_until_fail {
+                Some(0) => {
+                    plan.reads_until_fail = None;
+                    return Err(injected());
+                }
+                Some(n) => plan.reads_until_fail = Some(n - 1),
+                None => {}
+            }
+            match plan.reads_until_corrupt {
+                Some(0) => {
+                    plan.reads_until_corrupt = None;
+                    true
+                }
+                Some(n) => {
+                    plan.reads_until_corrupt = Some(n - 1);
+                    false
+                }
+                None => false,
+            }
+        };
+        file.seek(SeekFrom::Start(off))?;
+        file.read_exact(buf)?;
+        if corrupt {
+            // Flip a spread of bytes so any reasonable checksum notices.
+            for i in (0..buf.len()).step_by(97) {
+                buf[i] ^= 0xA5;
+            }
+        }
+        Ok(())
+    }
+
+    /// Truncates `file` to `len`, subject to the crashed/ENOSPC states
+    /// (counts as both a write and a truncation).
     pub fn set_len(&self, file: &File, len: u64) -> std::io::Result<()> {
         self.writes.fetch_add(1, Ordering::Relaxed);
-        if self.plan.lock().expect("fault plan lock").crashed {
-            return Err(injected());
+        self.set_lens.fetch_add(1, Ordering::Relaxed);
+        {
+            let plan = self.plan.lock().expect("fault plan lock");
+            if plan.crashed {
+                return Err(injected());
+            }
+            if plan.enospc {
+                return Err(enospc());
+            }
         }
         file.set_len(len)
     }
@@ -244,6 +363,78 @@ mod tests {
         assert!(faults.is_crashed());
         assert!(faults.write_at(&mut file, 0, b"zzzzzz").is_err());
         assert_eq!(std::fs::read(&path).unwrap(), b"abc");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn nth_read_fails_once_then_recovers() {
+        let (path, mut file) = scratch_file("read.bin");
+        let faults = FaultInjector::new();
+        faults.write_at(&mut file, 0, b"abcdefgh").unwrap();
+        faults.fail_nth_read(1);
+        let mut buf = [0u8; 4];
+        let err = faults.read_at(&mut file, 0, &mut buf).unwrap_err();
+        assert!(is_injected(&err), "{err}");
+        // Transient: the retry succeeds.
+        faults.read_at(&mut file, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"abcd");
+        assert_eq!(faults.reads_observed(), 2);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_nth_read_flips_bytes_once() {
+        let (path, mut file) = scratch_file("corrupt.bin");
+        let faults = FaultInjector::new();
+        faults.write_at(&mut file, 0, b"abcdefgh").unwrap();
+        faults.corrupt_nth_read(1);
+        let mut buf = [0u8; 8];
+        faults.read_at(&mut file, 0, &mut buf).unwrap();
+        assert_ne!(&buf, b"abcdefgh", "corrupted read must differ");
+        faults.read_at(&mut file, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"abcdefgh", "corruption is one-shot");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn enospc_fails_writes_persistently_but_not_reads() {
+        let (path, mut file) = scratch_file("enospc.bin");
+        let faults = FaultInjector::new();
+        faults.write_at(&mut file, 0, b"abcd").unwrap();
+        faults.fail_writes_with_enospc();
+        let err = faults.write_at(&mut file, 4, b"efgh").unwrap_err();
+        assert!(is_enospc(&err), "{err}");
+        assert!(!is_injected(&err), "ENOSPC mimics a real full disk");
+        assert!(is_enospc(&faults.sync(&file).unwrap_err()));
+        // Persistent until reset — a second attempt still fails.
+        assert!(faults.write_at(&mut file, 4, b"efgh").is_err());
+        let mut buf = [0u8; 4];
+        faults.read_at(&mut file, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"abcd");
+        faults.reset();
+        faults.write_at(&mut file, 4, b"efgh").unwrap();
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn crashed_state_leaves_reads_alone() {
+        let (path, mut file) = scratch_file("crash-read.bin");
+        let faults = FaultInjector::new();
+        faults.write_at(&mut file, 0, b"abcd").unwrap();
+        faults.crash_now();
+        assert!(faults.write_at(&mut file, 0, b"zzzz").is_err());
+        let mut buf = [0u8; 4];
+        faults.read_at(&mut file, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"abcd");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn set_len_has_its_own_counter() {
+        let (path, file) = scratch_file("setlen.bin");
+        let faults = FaultInjector::new();
+        faults.set_len(&file, 16).unwrap();
+        assert_eq!(faults.set_lens_observed(), 1);
         std::fs::remove_file(path).unwrap();
     }
 

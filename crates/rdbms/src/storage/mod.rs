@@ -7,7 +7,7 @@ pub mod page;
 pub mod pager;
 pub mod wal;
 
-pub use fault::FaultInjector;
+pub use fault::{is_enospc, is_injected, FaultInjector};
 pub use heap::{HeapFile, RowId};
 pub use page::{Page, SlotId, PAGE_SIZE};
 pub use pager::{PageId, Pager, PagerStats};

@@ -26,9 +26,26 @@
 //! and rollback rewrites stolen pre-images directly.
 //!
 //! All file I/O is routed through a shared [`FaultInjector`], so durability
-//! tests can fail any write/fsync or crash at any WAL frame.
+//! tests can fail any write/fsync or crash at any WAL frame, fail or
+//! corrupt any page read, or fill the disk.
+//!
+//! # Fault tolerance and degradation
+//!
+//! Page reads from the file backend are checksummed (FNV-1a per page,
+//! recorded at write time) and wrapped in a bounded retry-with-backoff:
+//! a transient read error or a corrupted image costs a retry (counted in
+//! [`PagerStats::read_retries`]), not a failed statement. Write-path
+//! failures are classified at the WAL commit barrier and at checkpoints:
+//! a *persistent* failure (the injector's crashed state, or `ENOSPC` real
+//! or injected) transitions the pager to [`StoreHealth::Degraded`] —
+//! readers keep serving (the last published epoch in memory mode, the
+//! WAL-protected committed state on file), [`Pager::begin_txn`] refuses
+//! new writes with [`DbError::Degraded`], and [`Pager::try_restore`]
+//! re-checkpoints and re-enables writes once I/O succeeds again.
+//! Transient one-shot faults never degrade: the transaction rolls back
+//! and the very next attempt may succeed.
 
-use super::fault::FaultInjector;
+use super::fault::{self, FaultInjector};
 use super::page::{Page, PAGE_SIZE};
 use super::wal::Wal;
 use crate::error::{DbError, DbResult};
@@ -37,10 +54,10 @@ use crate::obs::WaitSite;
 use crate::trace;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
 
 /// Identifier of a page within a pager.
 pub type PageId = u32;
@@ -60,6 +77,9 @@ pub struct PagerStats {
     pub physical_writes: AtomicU64,
     /// Frames evicted from the buffer pool. Always 0 in memory mode.
     pub evictions: AtomicU64,
+    /// Page-read retries: transient read faults or checksum mismatches
+    /// absorbed by the bounded retry policy. Always 0 in memory mode.
+    pub read_retries: AtomicU64,
 }
 
 /// A plain-value copy of every pager counter, for delta arithmetic.
@@ -73,6 +93,8 @@ pub struct PagerSnapshot {
     pub physical_writes: u64,
     /// Frames evicted from the buffer pool.
     pub evictions: u64,
+    /// Page-read retries absorbed by the retry policy.
+    pub read_retries: u64,
 }
 
 impl PagerStats {
@@ -96,7 +118,28 @@ impl PagerStats {
             physical_reads: self.physical_reads.load(AtomicOrdering::Relaxed),
             physical_writes: self.physical_writes.load(AtomicOrdering::Relaxed),
             evictions: self.evictions.load(AtomicOrdering::Relaxed),
+            read_retries: self.read_retries.load(AtomicOrdering::Relaxed),
         }
+    }
+}
+
+/// Health of a pager (and of the store built on it): either fully serving,
+/// or degraded read-only after a persistent storage failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreHealth {
+    /// Reads and writes both served.
+    Healthy,
+    /// A persistent write-path failure (crashed injector, `ENOSPC`) was
+    /// observed: reads keep serving the last committed state, writes are
+    /// refused with [`DbError::Degraded`] until a successful
+    /// [`Pager::try_restore`]. Carries the reason for the transition.
+    Degraded(String),
+}
+
+impl StoreHealth {
+    /// `true` in the degraded (read-only) state.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, StoreHealth::Degraded(_))
     }
 }
 
@@ -114,7 +157,25 @@ struct FileBackend {
     map: HashMap<PageId, usize>,
     capacity: usize,
     hand: usize,
+    /// FNV-1a checksum of the last image written to (or validated from) the
+    /// file, per page. Misses validate against this on re-read; a mismatch
+    /// is treated like a transient read fault and retried.
+    sums: HashMap<PageId, u64>,
 }
+
+/// 64-bit FNV-1a over a page image (file-read validation).
+fn page_sum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Attempts per physical page read before the error surfaces (first try
+/// plus bounded retries with exponential backoff).
+const READ_ATTEMPTS: u32 = 3;
 
 /// Ways in the per-thread snapshot cache (direct-mapped by pager id).
 const SNAP_WAYS: usize = 4;
@@ -267,6 +328,10 @@ pub struct Pager {
     wal: Mutex<Option<Wal>>,
     txn: Mutex<Option<TxnState>>,
     txn_seq: AtomicU64,
+    /// `Some(reason)` while degraded read-only (see [`StoreHealth`]).
+    /// Checked only on the write path (`begin_txn`) — readers never touch
+    /// it.
+    health: Mutex<Option<String>>,
 }
 
 impl Pager {
@@ -280,6 +345,7 @@ impl Pager {
             wal: Mutex::new(None),
             txn: Mutex::new(None),
             txn_seq: AtomicU64::new(0),
+            health: Mutex::new(None),
         }
     }
 
@@ -307,6 +373,7 @@ impl Pager {
                 map: HashMap::new(),
                 capacity: cache_pages.max(8),
                 hand: 0,
+                sums: HashMap::new(),
             })),
             n_pages: AtomicU32::new(n_pages),
             stats: Arc::new(PagerStats::default()),
@@ -314,6 +381,7 @@ impl Pager {
             wal: Mutex::new(None),
             txn: Mutex::new(None),
             txn_seq: AtomicU64::new(0),
+            health: Mutex::new(None),
         })
     }
 
@@ -362,9 +430,60 @@ impl Pager {
             .is_some_and(|t| !t.pre_images.is_empty())
     }
 
+    /// Current health. Degradation is entered only by *persistent*
+    /// write-path failures (crashed injector or `ENOSPC`) at the WAL commit
+    /// barrier or during a checkpoint; transient faults roll back without
+    /// degrading.
+    pub fn health(&self) -> StoreHealth {
+        match &*latch::lock(&self.health, WaitSite::Txn) {
+            Some(reason) => StoreHealth::Degraded(reason.clone()),
+            None => StoreHealth::Healthy,
+        }
+    }
+
+    /// Transitions to degraded read-only (idempotent; counted once).
+    fn enter_degraded(&self, reason: String) {
+        let mut health = latch::lock(&self.health, WaitSite::Txn);
+        if health.is_none() {
+            *health = Some(reason);
+            crate::obs::registry().record_degraded_entry();
+        }
+    }
+
+    /// Classifies a write-path `io::Error`: persistent failures (crashed
+    /// injector, full disk) degrade the store; every failure is returned as
+    /// the original storage error so the caller's rollback contract is
+    /// unchanged.
+    fn classify_write_failure(&self, at: &str, e: std::io::Error) -> DbError {
+        if self.faults.is_crashed() || fault::is_enospc(&e) {
+            self.enter_degraded(format!("{at}: {e}"));
+        }
+        e.into()
+    }
+
+    /// Attempts to leave degraded mode: re-runs the checkpoint (retrying
+    /// dirty home-page writes, fsyncing, truncating the WAL). On success
+    /// the pager is healthy again and `begin_txn` accepts writers; on
+    /// failure it stays degraded and the error is returned. A no-op when
+    /// already healthy.
+    pub fn try_restore(&self) -> DbResult<()> {
+        if !self.health().is_degraded() {
+            return Ok(());
+        }
+        self.checkpoint_wal()?;
+        *latch::lock(&self.health, WaitSite::Txn) = None;
+        Ok(())
+    }
+
     /// Starts a transaction; returns its id. Errors if one is already open
-    /// (the engine does not nest transactions).
+    /// (the engine does not nest transactions), or with
+    /// [`DbError::Degraded`] while the store is degraded read-only
+    /// (rollback of an already-open transaction stays allowed).
     pub fn begin_txn(&self) -> DbResult<u64> {
+        if let Some(reason) = latch::lock(&self.health, WaitSite::Txn).clone() {
+            crate::obs::registry().record_degraded_reject();
+            return Err(DbError::Degraded(reason));
+        }
         let mut txn = latch::lock(&self.txn, WaitSite::Txn);
         if txn.is_some() {
             return Err(DbError::Txn("transaction already active".into()));
@@ -413,7 +532,9 @@ impl Pager {
                         .iter()
                         .map(|&i| (fb.frames[i].id, &fb.frames[i].page))
                         .collect();
-                    frames_written = wal.commit(txn_id, &pages, db_size, &self.faults)?;
+                    frames_written = wal
+                        .commit(txn_id, &pages, db_size, &self.faults)
+                        .map_err(|e| self.classify_write_failure("wal commit", e))?;
                     crate::obs::registry().record_wal_frames(frames_written);
                 }
                 // Write the pages home. Past the WAL barrier these are
@@ -428,6 +549,8 @@ impl Pager {
                         .write_at(&mut fb.file, off, fb.frames[i].page.bytes());
                     match res {
                         Ok(()) => {
+                            let sum = page_sum(fb.frames[i].page.bytes());
+                            fb.sums.insert(fb.frames[i].id, sum);
                             fb.frames[i].dirty = false;
                             PagerStats::bump(&self.stats.physical_writes);
                         }
@@ -498,6 +621,7 @@ impl Pager {
                                 // pre-image in place.
                                 let off = pid as u64 * PAGE_SIZE as u64;
                                 self.faults.write_at(&mut fb.file, off, img.bytes())?;
+                                fb.sums.insert(pid, page_sum(img.bytes()));
                                 PagerStats::bump(&self.stats.physical_writes);
                             }
                         }
@@ -553,13 +677,19 @@ impl Pager {
                 }
                 let off = fb.frames[i].id as u64 * PAGE_SIZE as u64;
                 self.faults
-                    .write_at(&mut fb.file, off, fb.frames[i].page.bytes())?;
+                    .write_at(&mut fb.file, off, fb.frames[i].page.bytes())
+                    .map_err(|e| self.classify_write_failure("checkpoint write", e))?;
+                let sum = page_sum(fb.frames[i].page.bytes());
+                fb.sums.insert(fb.frames[i].id, sum);
                 fb.frames[i].dirty = false;
                 PagerStats::bump(&self.stats.physical_writes);
             }
-            self.faults.sync(&fb.file)?;
+            self.faults
+                .sync(&fb.file)
+                .map_err(|e| self.classify_write_failure("checkpoint fsync", e))?;
             if let Some(wal) = latch::lock(&self.wal, WaitSite::Wal).as_mut() {
-                wal.truncate(&self.faults)?;
+                wal.truncate(&self.faults)
+                    .map_err(|e| self.classify_write_failure("wal truncate", e))?;
             }
         }
         Ok(())
@@ -603,11 +733,13 @@ impl Pager {
                 } else {
                     // Legacy: extend the file eagerly so page reads never
                     // run past EOF.
+                    let zero = Page::new();
                     self.faults.write_at(
                         &mut fb.file,
                         id as u64 * PAGE_SIZE as u64,
-                        Page::new().bytes(),
+                        zero.bytes(),
                     )?;
+                    fb.sums.insert(id, page_sum(zero.bytes()));
                     PagerStats::bump(&self.stats.physical_writes);
                 }
             }
@@ -627,6 +759,7 @@ impl Pager {
     /// buffer-pool latch (pinning mutates the frame table).
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> DbResult<R> {
         let _span = trace::span("pager.read");
+        crate::governance::checkpoint(1)?;
         PagerStats::bump(&self.stats.logical_reads);
         match &self.backend {
             Backend::Mem(mem) => {
@@ -726,11 +859,7 @@ impl Pager {
             Some(p) => p,
             None => {
                 PagerStats::bump(&stats.physical_reads);
-                let mut buf = Box::new([0u8; PAGE_SIZE]);
-                fb.file
-                    .seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-                fb.file.read_exact(&mut buf[..])?;
-                Page::from_bytes(buf)
+                Self::read_page_checked(fb, id, stats, faults)?
             }
         };
         if fb.frames.len() < fb.capacity {
@@ -785,8 +914,12 @@ impl Pager {
                 victim.id as u64 * PAGE_SIZE as u64,
                 victim.page.bytes(),
             )?;
+            let sum = page_sum(victim.page.bytes());
+            let vid = victim.id;
+            fb.sums.insert(vid, sum);
             PagerStats::bump(&stats.physical_writes);
         }
+        let victim = &mut fb.frames[idx];
         fb.map.remove(&victim.id);
         fb.map.insert(id, idx);
         fb.frames[idx] = Frame {
@@ -796,6 +929,57 @@ impl Pager {
             referenced: true,
         };
         Ok(idx)
+    }
+
+    /// One physical page read with checksum validation and bounded
+    /// retry-with-backoff. A transient injected error or a checksum
+    /// mismatch (corrupted image) costs a retry; only after
+    /// [`READ_ATTEMPTS`] consecutive failures does the error surface. A
+    /// page with no recorded checksum (first read of a recovered or
+    /// pre-existing file) records one for later validation.
+    fn read_page_checked(
+        fb: &mut FileBackend,
+        id: PageId,
+        stats: &PagerStats,
+        faults: &FaultInjector,
+    ) -> DbResult<Page> {
+        let off = id as u64 * PAGE_SIZE as u64;
+        let expected = fb.sums.get(&id).copied();
+        let mut last_err = String::new();
+        for attempt in 0..READ_ATTEMPTS {
+            if attempt > 0 {
+                PagerStats::bump(&stats.read_retries);
+                crate::obs::registry().record_read_retries(1);
+                // Tiny exponential backoff: transient device hiccups clear
+                // in microseconds; anything longer is for the error path.
+                std::thread::sleep(Duration::from_micros(50 << attempt));
+            }
+            let mut buf = Box::new([0u8; PAGE_SIZE]);
+            match faults.read_at(&mut fb.file, off, &mut buf[..]) {
+                Ok(()) => {
+                    let sum = page_sum(&buf[..]);
+                    match expected {
+                        Some(want) if want != sum => {
+                            last_err =
+                                format!("checksum mismatch (want {want:#018x}, got {sum:#018x})");
+                            continue;
+                        }
+                        Some(_) => {}
+                        None => {
+                            fb.sums.insert(id, sum);
+                        }
+                    }
+                    return Ok(Page::from_bytes(buf));
+                }
+                Err(e) => {
+                    last_err = e.to_string();
+                    continue;
+                }
+            }
+        }
+        Err(DbError::Storage(format!(
+            "page {id} unreadable after {READ_ATTEMPTS} attempts: {last_err}"
+        )))
     }
 
     /// Writes all dirty frames back to the file and fsyncs it (no-op in
@@ -812,6 +996,8 @@ impl Pager {
                 let off = fb.frames[i].id as u64 * PAGE_SIZE as u64;
                 self.faults
                     .write_at(&mut fb.file, off, fb.frames[i].page.bytes())?;
+                let sum = page_sum(fb.frames[i].page.bytes());
+                fb.sums.insert(fb.frames[i].id, sum);
                 fb.frames[i].dirty = false;
                 PagerStats::bump(&self.stats.physical_writes);
             }

@@ -165,14 +165,16 @@ impl Wal {
     /// On error the transaction is NOT committed (the caller should roll
     /// back); any frames already appended are voided by their missing commit
     /// record and discarded at the next recovery or overwritten by
-    /// truncation.
+    /// truncation. The raw `io::Error` is returned so the pager can classify
+    /// it (transient vs persistent — see `Pager`'s degradation policy)
+    /// before converting it into a [`DbError`].
     pub fn commit(
         &mut self,
         txn_id: u64,
         pages: &[(PageId, &Page)],
         db_size: u32,
         faults: &FaultInjector,
-    ) -> DbResult<u64> {
+    ) -> std::io::Result<u64> {
         debug_assert!(!pages.is_empty(), "empty commits are skipped by the pager");
         let _span = crate::trace::span("wal.commit");
         let mut written = 0u64;
@@ -192,7 +194,7 @@ impl Wal {
 
     /// Appends an abort record for `txn_id` (best effort: the caller may
     /// ignore failures — recovery discards commit-less frames anyway).
-    pub fn abort(&mut self, txn_id: u64, faults: &FaultInjector) -> DbResult<()> {
+    pub fn abort(&mut self, txn_id: u64, faults: &FaultInjector) -> std::io::Result<()> {
         let _span = crate::trace::span("wal.abort");
         let zero = [0u8; PAGE_SIZE];
         let frame = build_frame(FLAG_ABORT, 0, 0, txn_id, &zero);
@@ -205,8 +207,9 @@ impl Wal {
     }
 
     /// Resets the log to an empty header. Callers must have fsynced the
-    /// database file first (this is the checkpoint's last step).
-    pub fn truncate(&mut self, faults: &FaultInjector) -> DbResult<()> {
+    /// database file first (this is the checkpoint's last step). Returns the
+    /// raw `io::Error` for the pager's transient/persistent classification.
+    pub fn truncate(&mut self, faults: &FaultInjector) -> std::io::Result<()> {
         let _span = crate::trace::span("wal.truncate");
         faults.set_len(&self.file, WAL_HEADER)?;
         faults.sync(&self.file)?;

@@ -16,6 +16,9 @@
 //!   cache → operators → btree/pager spans).
 //! * `.trace dump <path>` — export collected spans as Chrome trace-event
 //!   JSON (load in `chrome://tracing` or Perfetto), clearing the buffer.
+//! * `.timeout <ms>` — set a per-statement deadline (0 clears it); a
+//!   statement past its deadline returns the typed `Timeout` error instead
+//!   of running on.
 //! * `EXPLAIN [ANALYZE] <stmt>` also works directly as SQL.
 
 use ordxml::{Encoding, XmlStore};
@@ -82,6 +85,16 @@ impl Shell {
             "     durability: wal_frames={} commits={} rollbacks={} recoveries={}",
             o.wal_frames_written, o.txn_commits, o.txn_rollbacks, o.recoveries_run
         );
+        println!(
+            "     governance: timed_out={} canceled={} read_retries={} \
+             degraded_entries={} degraded_rejects={} health={:?}",
+            o.queries_timed_out,
+            o.queries_canceled,
+            o.read_retries,
+            o.degraded_entries,
+            o.degraded_rejects,
+            self.store.health()
+        );
         println!();
     }
 
@@ -111,6 +124,25 @@ impl Shell {
                 trace::set_enabled(false);
                 println!("sql> .trace off\n");
             }
+            _ if line.starts_with(".timeout") => {
+                let arg = line[".timeout".len()..].trim();
+                match arg.parse::<u64>() {
+                    Ok(0) => {
+                        self.store.set_deadline_ms(0);
+                        println!("sql> .timeout 0\n     (deadline cleared)\n");
+                    }
+                    Ok(ms) => {
+                        self.store.set_deadline_ms(ms);
+                        println!(
+                            "sql> .timeout {ms}\n     (statements past {ms}ms now return \
+                             the Timeout error)\n"
+                        );
+                    }
+                    Err(_) => {
+                        println!("sql> {line}\n     usage: .timeout <milliseconds> (0 clears)\n")
+                    }
+                }
+            }
             _ if line.starts_with(".trace dump") => {
                 let path = line[".trace dump".len()..].trim();
                 let path = if path.is_empty() { "trace.json" } else { path };
@@ -127,7 +159,7 @@ impl Shell {
             _ if line.starts_with('.') => {
                 println!(
                     "sql> {line}\n     unknown meta-command (try `.explain on|off`, `.stats`, \
-                     `.trace on|off`, `.trace dump <path>`)\n"
+                     `.timeout <ms>`, `.trace on|off`, `.trace dump <path>`)\n"
                 );
             }
             _ => return false,
