@@ -78,7 +78,7 @@ fn main() {
                 records.push(r);
             }
             None => {
-                eprintln!("unknown experiment `{id}` (expected e1..e13 or `all`)");
+                eprintln!("unknown experiment `{id}` (expected e1..e14 or `all`)");
                 std::process::exit(2);
             }
         }

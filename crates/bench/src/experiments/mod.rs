@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E13). See `DESIGN.md` §5 for the index and
+//! The experiment suite (E1–E14). See `DESIGN.md` §5 for the index and
 //! `EXPERIMENTS.md` for recorded results vs the paper's claims.
 
 pub mod e01_storage;
@@ -14,13 +14,14 @@ pub mod e10_scale;
 pub mod e11_durability;
 pub mod e12_concurrency;
 pub mod e13_governance;
+pub mod e14_serving;
 
 use crate::report::{self, EngineDelta, ExperimentRecord};
 use crate::Scale;
 use ordxml_rdbms::obs;
 use std::time::Instant;
 
-/// Runs one experiment by id (`"e1"`..`"e13"`), bracketing it with engine
+/// Runs one experiment by id (`"e1"`..`"e14"`), bracketing it with engine
 /// counter snapshots; returns its record for the machine-readable report,
 /// or `None` for an unknown id.
 pub fn run(id: &str, scale: Scale) -> Option<ExperimentRecord> {
@@ -41,6 +42,7 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentRecord> {
         "e11" => e11_durability::run(scale),
         "e12" => e12_concurrency::run(scale),
         "e13" => e13_governance::run(scale),
+        "e14" => e14_serving::run(scale),
         _ => return None,
     }
     let elapsed = started.elapsed();
@@ -59,6 +61,8 @@ pub fn run(id: &str, scale: Scale) -> Option<ExperimentRecord> {
 /// default: it is in-memory and its quick windows are sub-second. E13
 /// (governance overhead + fault absorption) runs by default too: its
 /// file-backed half uses a tiny cache and finishes quickly.
+/// E14 (serving layer) runs by default: its windows are bounded and its
+/// file-backed half uses a small pool.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "e13",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "e13", "e14",
 ];

@@ -70,6 +70,10 @@ pub struct EngineDelta {
     pub degraded_entries: u64,
     /// Write transactions refused while degraded read-only.
     pub degraded_rejects: u64,
+    /// Serving-layer sessions opened (wire connections, piped shells).
+    pub serve_sessions: u64,
+    /// Serving-layer requests handled (protocol lines).
+    pub serve_requests: u64,
     /// Contended lock acquisitions (the caller blocked at least once).
     pub lock_waits: u64,
     /// Contended acquisitions per wait site, indexed as [`WaitSite::ALL`]
@@ -109,6 +113,8 @@ impl EngineDelta {
             read_retries: after.read_retries - before.read_retries,
             degraded_entries: after.degraded_entries - before.degraded_entries,
             degraded_rejects: after.degraded_rejects - before.degraded_rejects,
+            serve_sessions: after.serve_sessions - before.serve_sessions,
+            serve_requests: after.serve_requests - before.serve_requests,
             lock_waits: after.lock_waits - before.lock_waits,
             lock_waits_by_site: std::array::from_fn(|i| {
                 after.lock_waits_by_site[i] - before.lock_waits_by_site[i]
@@ -200,7 +206,8 @@ pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
              \"txn_rollbacks\": {},\n        \"recoveries_run\": {},\n        \
              \"queries_timed_out\": {},\n        \"queries_canceled\": {},\n        \
              \"read_retries\": {},\n        \"degraded_entries\": {},\n        \
-             \"degraded_rejects\": {},\n        \"lock_waits\": {},\n",
+             \"degraded_rejects\": {},\n        \"serve_sessions\": {},\n        \
+             \"serve_requests\": {},\n        \"lock_waits\": {},\n",
             r.engine.statements,
             r.engine.statement_errors,
             r.engine.slow_statements,
@@ -221,6 +228,8 @@ pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
             r.engine.read_retries,
             r.engine.degraded_entries,
             r.engine.degraded_rejects,
+            r.engine.serve_sessions,
+            r.engine.serve_requests,
             r.engine.lock_waits,
         ));
         for (i, site) in WaitSite::ALL.iter().enumerate() {

@@ -16,6 +16,8 @@
 //! * [`reconstruct`] — relational rows → XML subtrees, in document order.
 //! * [`naive`] — an in-memory DOM evaluator (correctness oracle & baseline).
 //! * [`store`] — [`XmlStore`], the user-facing facade.
+//! * [`pool`] — [`DocumentPool`]: many documents hashed onto independent shards.
+//! * [`serve`] — line-protocol sessions + TCP front-end over a pool.
 //! * [`diag`] — per-operation diagnostics: SQL surface, plans, counters.
 //!
 //! # Quickstart
@@ -38,7 +40,9 @@
 pub mod diag;
 pub mod encoding;
 pub mod naive;
+pub mod pool;
 pub mod reconstruct;
+pub mod serve;
 pub mod shred;
 pub mod store;
 pub mod translate;
@@ -47,6 +51,8 @@ pub mod xpath;
 
 pub use diag::{QueryDiagnostics, StatementProfile, UpdateDiagnostics};
 pub use encoding::{DeweyKey, Encoding, OrderConfig};
+pub use pool::{DocId, DocumentPool, PoolStats, ShardStats};
+pub use serve::{run_session, serve, Reply, Session, Status};
 pub use store::{NodeRef, StoreError, StoreResult, XNode, XmlStore};
 pub use translate::{ExecutionMode, PositionStrategy};
 pub use update::UpdateCost;

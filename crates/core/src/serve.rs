@@ -1,0 +1,605 @@
+//! Line-protocol serving front-end over a [`DocumentPool`].
+//!
+//! Promotes the `sql_shell` command language to the wire: one request per
+//! line (SQL, `xpath <expr>`, or a `.meta` command), one framed reply per
+//! request. Replies are line-oriented so any client — `nc`, a shell pipe,
+//! the bundled `xml_client` example — can speak the protocol:
+//!
+//! ```text
+//! | <payload line>          zero or more, each prefixed "| "
+//! ok <summary>              terminator on success
+//! err <code>: <message>     terminator on failure
+//! ```
+//!
+//! Error codes are stable and typed (`timeout`, `canceled`, `budget`,
+//! `degraded`, `sql`, `xpath`, `unsupported`, `bad-node`, `db`, `io`,
+//! `usage`) so clients can branch without parsing prose. A `degraded`
+//! error's message names the failing shard (`[shard-2] ...`).
+//!
+//! **Sessions are isolated.** Each session carries its own governance
+//! limits (`.timeout`, `.budget` — entered as a [`governance::Scope`]
+//! around every statement, so one client's 50 ms deadline never throttles
+//! another), its own current document, and its own prepared-XPath cache
+//! (parse once, evaluate per request). `.timeout 0` / `.budget 0` disarm.
+//!
+//! **Sessions are crash-proof.** Input is read lossily (invalid UTF-8
+//! becomes U+FFFD, never a panic) and a read error ends the session with a
+//! framed `err io:` reply — a malformed client line can never kill the
+//! process. See [`run_session`].
+
+use crate::pool::DocumentPool;
+use crate::store::{StoreError, XNode};
+use crate::xpath;
+use ordxml_rdbms::{governance, obs, DbError, StoreHealth, Value};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Parsed XPath plans cached per session. Small and bounded: the cache
+/// exists to amortize parsing across a session's repeated queries, not to
+/// be a second plan cache (the engine's per-shard SQL plan cache handles
+/// that level).
+const PLAN_CACHE_CAP: usize = 64;
+
+/// Reply terminator status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Status {
+    /// `ok <summary>`
+    Ok(String),
+    /// `err <code>: <message>`
+    Err {
+        /// Stable machine-readable code (`timeout`, `degraded`, ...).
+        code: &'static str,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One framed reply: payload lines plus a terminator.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// Payload lines (sent prefixed with `"| "`).
+    pub lines: Vec<String>,
+    /// Terminator.
+    pub status: Status,
+    /// `true` when the session should end after this reply (`.quit`).
+    pub quit: bool,
+}
+
+impl Reply {
+    fn ok(summary: impl Into<String>, lines: Vec<String>) -> Reply {
+        Reply {
+            lines,
+            status: Status::Ok(summary.into()),
+            quit: false,
+        }
+    }
+
+    fn err(code: &'static str, message: impl Into<String>) -> Reply {
+        Reply {
+            lines: Vec::new(),
+            status: Status::Err {
+                code,
+                message: message.into(),
+            },
+            quit: false,
+        }
+    }
+
+    /// Writes the reply in wire framing.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        for line in &self.lines {
+            writeln!(w, "| {line}")?;
+        }
+        match &self.status {
+            Status::Ok(summary) => writeln!(w, "ok {summary}")?,
+            Status::Err { code, message } => writeln!(w, "err {code}: {message}")?,
+        }
+        w.flush()
+    }
+}
+
+/// Maps an error to its stable wire code.
+fn error_code(e: &StoreError) -> &'static str {
+    match e {
+        StoreError::Db(DbError::Timeout(_)) => "timeout",
+        StoreError::Db(DbError::Canceled(_)) => "canceled",
+        StoreError::Db(DbError::ResourceExhausted(_)) => "budget",
+        StoreError::Db(DbError::Degraded(_)) => "degraded",
+        StoreError::Db(DbError::Parse { .. }) => "sql",
+        StoreError::Db(_) => "db",
+        StoreError::XPath(_) => "xpath",
+        StoreError::Unsupported(_) => "unsupported",
+        StoreError::BadNode(_) => "bad-node",
+    }
+}
+
+/// One client session: current document, governance limits, prepared-XPath
+/// cache, counters. Transport-agnostic — [`Session::handle`] maps a request
+/// line to a [`Reply`], so the same type backs the TCP server, tests over
+/// in-memory buffers, and piped stdin.
+pub struct Session {
+    pool: Arc<DocumentPool>,
+    /// Current document (None until `.use` / first `.load`).
+    doc: Option<u64>,
+    explain: bool,
+    deadline_ms: u64,
+    work_budget: u64,
+    cancel: Arc<AtomicBool>,
+    plans: HashMap<String, xpath::Path>,
+    requests: u64,
+    plan_hits: u64,
+    plan_misses: u64,
+}
+
+impl Session {
+    /// A fresh session over `pool` with no limits armed.
+    pub fn new(pool: Arc<DocumentPool>) -> Session {
+        obs::registry().record_serve_session();
+        Session {
+            pool,
+            doc: None,
+            explain: false,
+            deadline_ms: 0,
+            work_budget: 0,
+            cancel: Arc::new(AtomicBool::new(false)),
+            plans: HashMap::new(),
+            requests: 0,
+            plan_hits: 0,
+            plan_misses: 0,
+        }
+    }
+
+    /// `(hits, misses)` of this session's prepared-XPath cache.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (self.plan_hits, self.plan_misses)
+    }
+
+    /// This session's governance limits, built fresh per statement so the
+    /// deadline starts at statement arrival. `0` means disarmed.
+    fn limits(&self) -> governance::Limits {
+        governance::Limits {
+            deadline: (self.deadline_ms > 0)
+                .then(|| Instant::now() + Duration::from_millis(self.deadline_ms)),
+            cancel: Some(Arc::clone(&self.cancel)),
+            work_budget: (self.work_budget > 0).then_some(self.work_budget),
+        }
+    }
+
+    /// The current document, or a typed `usage` error.
+    fn current_doc(&self) -> Result<u64, Reply> {
+        self.doc
+            .ok_or_else(|| Reply::err("usage", "no document selected (.docs to list, .use <id>)"))
+    }
+
+    /// Parses `expr` through the session's prepared-plan cache.
+    fn plan(&mut self, expr: &str) -> Result<xpath::Path, StoreError> {
+        if let Some(path) = self.plans.get(expr) {
+            self.plan_hits += 1;
+            return Ok(path.clone());
+        }
+        let path = xpath::parse(expr)?;
+        self.plan_misses += 1;
+        if self.plans.len() >= PLAN_CACHE_CAP {
+            self.plans.clear();
+        }
+        self.plans.insert(expr.to_string(), path.clone());
+        Ok(path)
+    }
+
+    fn xpath_reply(&mut self, doc: u64, expr: &str) -> Reply {
+        let path = match self.plan(expr) {
+            Ok(p) => p,
+            Err(e) => return Reply::err(error_code(&e), e.to_string()),
+        };
+        let _scope = governance::Scope::enter(self.limits());
+        let hits: Vec<XNode> = match self.pool.xpath_parsed(doc, &path) {
+            Ok(h) => h,
+            Err(e) => return Reply::err(error_code(&e), e.to_string()),
+        };
+        let mut lines = Vec::with_capacity(hits.len());
+        for hit in &hits {
+            match self.pool.serialize(doc, hit) {
+                Ok(s) => lines.push(s),
+                Err(e) => return Reply::err(error_code(&e), e.to_string()),
+            }
+        }
+        Reply::ok(format!("{} node(s)", lines.len()), lines)
+    }
+
+    fn sql_reply(&mut self, doc: u64, sql: &str) -> Reply {
+        let mut lines = Vec::new();
+        if self.explain {
+            let already = sql.trim_start().to_ascii_uppercase().starts_with("EXPLAIN");
+            if !already {
+                let _scope = governance::Scope::enter(self.limits());
+                match self.pool.sql(doc, &format!("EXPLAIN {sql}"), &[]) {
+                    Ok(plan) => {
+                        for row in &plan.rows {
+                            let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+                            lines.push(format!("plan: {}", cells.join(" | ")));
+                        }
+                    }
+                    Err(e) => lines.push(format!("plan: (unavailable: {e})")),
+                }
+            }
+        }
+        let _scope = governance::Scope::enter(self.limits());
+        match self.pool.sql(doc, sql, &[]) {
+            Ok(result) => {
+                if !result.columns.is_empty() {
+                    lines.push(result.columns.join(" | "));
+                }
+                for row in &result.rows {
+                    let cells: Vec<String> = row.iter().map(Value::to_string).collect();
+                    lines.push(cells.join(" | "));
+                }
+                Reply::ok(
+                    format!(
+                        "{} row(s), {} affected",
+                        result.rows.len(),
+                        result.rows_affected
+                    ),
+                    lines,
+                )
+            }
+            Err(e) => Reply::err(error_code(&e), e.to_string()),
+        }
+    }
+
+    fn stats_reply(&self) -> Reply {
+        let stats = self.pool.stats();
+        let mut lines = vec![format!(
+            "session: requests={} plan_hits={} plan_misses={} timeout_ms={} budget={} doc={}",
+            self.requests,
+            self.plan_hits,
+            self.plan_misses,
+            self.deadline_ms,
+            self.work_budget,
+            self.doc.map_or("none".to_string(), |d| d.to_string()),
+        )];
+        let o = obs::snapshot();
+        lines.push(format!(
+            "process: sessions={} requests={} statements={} timed_out={} degraded_rejects={}",
+            o.serve_sessions,
+            o.serve_requests,
+            o.statements,
+            o.queries_timed_out,
+            o.degraded_rejects,
+        ));
+        for s in &stats.shards {
+            lines.push(format!(
+                "{}: docs={} health={} rows_scanned={} rows_written={} pages_read={}",
+                s.identity,
+                s.documents,
+                match &s.health {
+                    StoreHealth::Healthy => "healthy".to_string(),
+                    StoreHealth::Degraded(reason) => format!("degraded ({reason})"),
+                },
+                s.stats.rows_scanned,
+                s.stats.rows_written,
+                s.stats.pages_read,
+            ));
+        }
+        Reply::ok(
+            format!(
+                "{} shard(s), {} doc(s), {} degraded",
+                stats.shards.len(),
+                stats.documents(),
+                stats.degraded_shards()
+            ),
+            lines,
+        )
+    }
+
+    fn help_reply() -> Reply {
+        Reply::ok(
+            "commands",
+            [
+                "SQL statement        run SQL on the current document's shard",
+                "xpath <expr>         evaluate XPath on the current document",
+                ".docs                list documents (id, shard, name)",
+                ".use <id>            select the current document",
+                ".load <name> <xml>   load an XML document, select it",
+                ".explain on|off      show plans before each SQL statement",
+                ".timeout <ms>        per-statement deadline; 0 disarms it",
+                ".budget <units>      per-statement work budget; 0 disarms it",
+                ".stats               session + per-shard counters",
+                ".health              per-shard health",
+                ".restore <shard>     try to restore a degraded shard",
+                ".help                this text",
+                ".quit                end the session",
+            ]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        )
+    }
+
+    /// Handles one request line, returning the framed reply. Never panics
+    /// on malformed input: unknown commands and bad arguments come back as
+    /// typed `err usage:` replies.
+    pub fn handle(&mut self, line: &str) -> Reply {
+        self.requests += 1;
+        obs::registry().record_serve_requests(1);
+        let line = line.trim();
+        match line {
+            "" => Reply::ok("", Vec::new()),
+            ".quit" => Reply {
+                lines: Vec::new(),
+                status: Status::Ok("bye".to_string()),
+                quit: true,
+            },
+            ".help" => Self::help_reply(),
+            ".stats" => self.stats_reply(),
+            ".docs" => {
+                let docs = self.pool.documents();
+                let lines = docs
+                    .iter()
+                    .map(|(id, shard, name)| format!("{id} shard-{shard} {name}"))
+                    .collect::<Vec<_>>();
+                Reply::ok(format!("{} doc(s)", docs.len()), lines)
+            }
+            ".health" => {
+                let lines = self
+                    .pool
+                    .health()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, h)| match h {
+                        StoreHealth::Healthy => format!("shard-{i} healthy"),
+                        StoreHealth::Degraded(reason) => format!("shard-{i} degraded: {reason}"),
+                    })
+                    .collect();
+                Reply::ok(format!("{} shard(s)", self.pool.shard_count()), lines)
+            }
+            ".explain on" => {
+                self.explain = true;
+                Reply::ok("explain on", Vec::new())
+            }
+            ".explain off" => {
+                self.explain = false;
+                Reply::ok("explain off", Vec::new())
+            }
+            _ if line.starts_with(".use") => match line[".use".len()..].trim().parse::<u64>() {
+                Ok(id) if self.pool.documents().iter().any(|(d, _, _)| *d == id) => {
+                    self.doc = Some(id);
+                    Reply::ok(
+                        format!("doc {id} (shard-{})", self.pool.shard_of(id)),
+                        vec![],
+                    )
+                }
+                Ok(id) => Reply::err("bad-node", format!("no document with pool id {id}")),
+                Err(_) => Reply::err("usage", ".use <id>"),
+            },
+            _ if line.starts_with(".load") => {
+                let rest = line[".load".len()..].trim();
+                let Some((name, xml)) = rest.split_once(char::is_whitespace) else {
+                    return Reply::err("usage", ".load <name> <xml>");
+                };
+                let doc = match ordxml_xml::parse(xml.trim()) {
+                    Ok(d) => d,
+                    Err(e) => return Reply::err("xpath", format!("XML parse error: {e}")),
+                };
+                let _scope = governance::Scope::enter(self.limits());
+                match self.pool.load(&doc, name) {
+                    Ok(id) => {
+                        self.doc = Some(id);
+                        Reply::ok(
+                            format!("doc {id} (shard-{}) loaded", self.pool.shard_of(id)),
+                            vec![],
+                        )
+                    }
+                    Err(e) => Reply::err(error_code(&e), e.to_string()),
+                }
+            }
+            _ if line.starts_with(".timeout") => {
+                match line[".timeout".len()..].trim().parse::<u64>() {
+                    Ok(ms) => {
+                        // 0 disarms: the session's Limits only arm a
+                        // deadline for ms > 0.
+                        self.deadline_ms = ms;
+                        Reply::ok(
+                            if ms == 0 {
+                                "deadline disarmed".to_string()
+                            } else {
+                                format!("deadline {ms}ms")
+                            },
+                            vec![],
+                        )
+                    }
+                    Err(_) => Reply::err("usage", ".timeout <ms> (0 disarms)"),
+                }
+            }
+            _ if line.starts_with(".budget") => {
+                match line[".budget".len()..].trim().parse::<u64>() {
+                    Ok(units) => {
+                        self.work_budget = units;
+                        Reply::ok(
+                            if units == 0 {
+                                "budget disarmed".to_string()
+                            } else {
+                                format!("budget {units} units")
+                            },
+                            vec![],
+                        )
+                    }
+                    Err(_) => Reply::err("usage", ".budget <units> (0 disarms)"),
+                }
+            }
+            _ if line.starts_with(".restore") => {
+                match line[".restore".len()..].trim().parse::<usize>() {
+                    Ok(i) if i < self.pool.shard_count() => match self.pool.try_restore(i) {
+                        Ok(()) => Reply::ok(format!("shard-{i} restored"), vec![]),
+                        Err(e) => Reply::err(error_code(&e), e.to_string()),
+                    },
+                    Ok(i) => Reply::err(
+                        "usage",
+                        format!("shard {i} out of range (0..{})", self.pool.shard_count()),
+                    ),
+                    Err(_) => Reply::err("usage", ".restore <shard>"),
+                }
+            }
+            _ if line.starts_with('.') => {
+                Reply::err("usage", format!("unknown command {line:?} (try .help)"))
+            }
+            // `get` (not `[..5]`): a lossily-decoded line can start with a
+            // multi-byte U+FFFD, and a direct slice would panic on the
+            // char boundary — the exact crash class this layer must absorb.
+            _ if line
+                .get(..5)
+                .is_some_and(|p| p.eq_ignore_ascii_case("xpath")) =>
+            {
+                let expr = line[5..].trim();
+                if expr.is_empty() {
+                    return Reply::err("usage", "xpath <expr>");
+                }
+                match self.current_doc() {
+                    Ok(doc) => self.xpath_reply(doc, expr),
+                    Err(reply) => reply,
+                }
+            }
+            sql => match self.current_doc() {
+                Ok(doc) => self.sql_reply(doc, sql),
+                Err(reply) => reply,
+            },
+        }
+    }
+}
+
+/// Reads one line lossily: invalid UTF-8 becomes U+FFFD instead of an
+/// error, so a byte-garbage client line degrades to an unknown command
+/// instead of killing the session (let alone the process).
+fn read_line_lossy(r: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    if r.read_until(b'\n', &mut buf)? == 0 {
+        return Ok(None);
+    }
+    Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
+}
+
+/// Drives a [`Session`] over any byte stream until EOF, `.quit`, or an I/O
+/// error (which is reported as a best-effort framed `err io:` reply, never
+/// a panic). Returns the number of requests served.
+pub fn run_session(
+    pool: Arc<DocumentPool>,
+    reader: impl Read,
+    mut writer: impl Write,
+) -> std::io::Result<u64> {
+    let mut session = Session::new(pool);
+    let mut reader = BufReader::new(reader);
+    loop {
+        let line = match read_line_lossy(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(e) => {
+                // Session input is gone; tell the client (best effort) and
+                // end this session only.
+                let _ = Reply::err("io", e.to_string()).write_to(&mut writer);
+                break;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = session.handle(&line);
+        reply.write_to(&mut writer)?;
+        if reply.quit {
+            break;
+        }
+    }
+    Ok(session.requests)
+}
+
+/// Accept loop: one thread per connection, each with its own [`Session`].
+/// A panicking or erroring session takes down its thread, never the
+/// listener. Runs until the listener errors (or forever).
+pub fn serve(listener: TcpListener, pool: Arc<DocumentPool>) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream: TcpStream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                // Transient accept errors (EMFILE, aborted handshakes)
+                // should not stop the server.
+                eprintln!("serve: accept error: {e}");
+                continue;
+            }
+        };
+        let pool = Arc::clone(&pool);
+        std::thread::spawn(move || {
+            let reader = match stream.try_clone() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("serve: clone error: {e}");
+                    return;
+                }
+            };
+            if let Err(e) = run_session(pool, reader, stream) {
+                eprintln!("serve: session error: {e}");
+            }
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Encoding;
+
+    fn pool_with_doc() -> (Arc<DocumentPool>, u64) {
+        let pool = Arc::new(DocumentPool::in_memory(2, Encoding::Global));
+        let doc = ordxml_xml::parse("<a><b>1</b><b>2</b></a>").unwrap();
+        let id = pool.load(&doc, "t").unwrap();
+        (pool, id)
+    }
+
+    #[test]
+    fn xpath_and_sql_round_trip() {
+        let (pool, id) = pool_with_doc();
+        let mut s = Session::new(pool);
+        assert!(matches!(
+            s.handle(&format!(".use {id}")).status,
+            Status::Ok(_)
+        ));
+        let r = s.handle("xpath /a/b[2]");
+        assert_eq!(r.lines, vec!["<b>2</b>"]);
+        let r = s.handle("SELECT COUNT(*) FROM global_node WHERE doc = 1");
+        assert!(matches!(r.status, Status::Ok(_)), "{:?}", r.status);
+    }
+
+    #[test]
+    fn prepared_plan_cache_counts_hits() {
+        let (pool, id) = pool_with_doc();
+        let mut s = Session::new(pool);
+        s.handle(&format!(".use {id}"));
+        s.handle("xpath /a/b");
+        s.handle("xpath /a/b");
+        s.handle("xpath /a/b");
+        assert_eq!(s.plan_misses, 1);
+        assert_eq!(s.plan_hits, 2);
+    }
+
+    #[test]
+    fn errors_are_typed_not_fatal() {
+        let (pool, _) = pool_with_doc();
+        let mut s = Session::new(pool);
+        let r = s.handle("xpath /a");
+        assert!(matches!(r.status, Status::Err { code: "usage", .. }));
+        let r = s.handle(".use 999");
+        assert!(matches!(
+            r.status,
+            Status::Err {
+                code: "bad-node",
+                ..
+            }
+        ));
+        let r = s.handle(".nonsense");
+        assert!(matches!(r.status, Status::Err { code: "usage", .. }));
+        // Still alive and serving.
+        assert!(matches!(s.handle(".help").status, Status::Ok(_)));
+    }
+}

@@ -14,7 +14,9 @@ use crate::shred::{self, KIND_ATTR, KIND_ELEMENT};
 use crate::update::UpdateCost;
 use crate::xpath::{self, XPathError};
 use ordxml_rdbms::obs::WaitSite;
-use ordxml_rdbms::{governance, latch, trace, Database, DbError, Row, StoreHealth, Value};
+use ordxml_rdbms::{
+    governance, latch, trace, Database, DbError, QueryResult, Row, StoreHealth, Value,
+};
 use ordxml_xml::{Document, NodePath};
 use std::fmt;
 use std::ops::{Deref, DerefMut};
@@ -390,6 +392,48 @@ impl XmlStore {
     /// next governance check; clear it to resume service.
     pub fn cancel_flag(&self) -> std::sync::Arc<std::sync::atomic::AtomicBool> {
         latch::read(&self.inner, WaitSite::Store).db.cancel_flag()
+    }
+
+    /// Labels the store for operator-facing error messages: degraded-mode
+    /// errors are prefixed with `[label]` so a pool operator can tell which
+    /// shard to [`XmlStore::try_restore`].
+    pub fn set_identity(&self, label: &str) {
+        latch::read(&self.inner, WaitSite::Store)
+            .db
+            .set_identity(label);
+    }
+
+    /// Runs a single SQL statement. `SELECT`/`EXPLAIN` statements take the
+    /// shared read latch (concurrent with other readers); everything else
+    /// takes the write latch. Used by the serving layer, which speaks raw
+    /// SQL alongside XPath.
+    pub fn sql(&self, sql: &str, params: &[Value]) -> StoreResult<QueryResult> {
+        let head = sql.trim_start().to_ascii_uppercase();
+        if head.starts_with("SELECT") || head.starts_with("EXPLAIN") {
+            let inner = self.read_inner()?;
+            let _scope = governance::Scope::enter(inner.db.limits());
+            Ok(inner.db.run_read(sql, params)?)
+        } else {
+            let mut inner = self.write_inner()?;
+            let limits = inner.db.limits();
+            let _scope = governance::Scope::enter(limits);
+            Ok(inner.db.run(sql, params)?)
+        }
+    }
+
+    /// `(id, name)` of every loaded document, in id order.
+    pub fn documents(&self) -> StoreResult<Vec<(i64, String)>> {
+        let inner = self.read_inner()?;
+        let rows = inner.db.query_read(
+            &format!(
+                "SELECT doc, name FROM {} ORDER BY doc",
+                inner.encoding.docs_table()
+            ),
+            &[],
+        )?;
+        rows.iter()
+            .map(|r| Ok((r[0].as_int()?, r[1].as_text()?.to_string())))
+            .collect()
     }
 
     /// The store's health. After a persistent write-path failure the store

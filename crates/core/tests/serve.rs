@@ -1,0 +1,169 @@
+//! Serving-layer integration tests: the session protocol over in-memory
+//! buffers (framing, typed errors, `.timeout 0` disarm regression, hostile
+//! input) and a real TCP round-trip against the accept loop.
+
+use ordxml::{run_session, serve, DocumentPool, Encoding, Session, Status};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+fn pool_with_docs(n: usize) -> Arc<DocumentPool> {
+    let pool = Arc::new(DocumentPool::in_memory(2, Encoding::Global));
+    for i in 0..n {
+        let doc = ordxml_xml::parse(&format!(
+            "<doc><item><name>Item {i}</name></item><item><name>Other {i}</name></item></doc>"
+        ))
+        .unwrap();
+        pool.load(&doc, &format!("doc{i}")).unwrap();
+    }
+    pool
+}
+
+/// Runs a scripted session over in-memory buffers, returning the raw wire
+/// output.
+fn drive(pool: Arc<DocumentPool>, script: &str) -> String {
+    let mut out = Vec::new();
+    run_session(pool, script.as_bytes(), &mut out).unwrap();
+    String::from_utf8(out).unwrap()
+}
+
+#[test]
+fn protocol_framing_and_round_trip() {
+    let out = drive(
+        pool_with_docs(2),
+        ".docs\n.use 1\nxpath /doc/item[2]/name\nSELECT COUNT(*) FROM global_node\n.quit\n",
+    );
+    // .docs lists both documents with their shard.
+    assert!(out.contains("ok 2 doc(s)"), "{out}");
+    // XPath payload is framed with the "| " prefix.
+    assert!(out.contains("| <name>Other 0</name>"), "{out}");
+    assert!(out.contains("ok 1 node(s)"), "{out}");
+    // SQL result row comes back framed too.
+    assert!(out.contains("ok 1 row(s)"), "{out}");
+    assert!(out.ends_with("ok bye\n"), "{out}");
+}
+
+#[test]
+fn errors_are_framed_and_typed_never_fatal() {
+    let out = drive(
+        pool_with_docs(1),
+        "xpath /doc\n.use 42\n.use 1\nxpath ///\nSELECT FROM\n.frobnicate\nxpath /doc/item[1]\n",
+    );
+    // Query before .use → usage error.
+    assert!(out.contains("err usage: no document selected"), "{out}");
+    // Unknown id, bad xpath, bad SQL, unknown meta: all typed.
+    assert!(out.contains("err bad-node:"), "{out}");
+    assert!(out.contains("err xpath:"), "{out}");
+    assert!(out.contains("err sql:"), "{out}");
+    assert!(out.contains("err usage: unknown command"), "{out}");
+    // The session survived all of it and still serves.
+    assert!(out.contains("| <item><name>Item 0</name></item>"), "{out}");
+}
+
+#[test]
+fn invalid_utf8_degrades_lossily_instead_of_killing_the_session() {
+    let pool = pool_with_docs(1);
+    let mut script: Vec<u8> = Vec::new();
+    script.extend_from_slice(b".use 1\n");
+    script.extend_from_slice(b"\xff\xfe garbage \xff\n"); // invalid UTF-8
+    script.extend_from_slice(b"xpath /doc/item[1]/name\n");
+    let mut out = Vec::new();
+    run_session(pool, &script[..], &mut out).unwrap();
+    let out = String::from_utf8(out).unwrap();
+    // The garbage line became a (failed) SQL statement, not a crash...
+    assert!(out.contains("err "), "{out}");
+    // ...and the session kept serving afterwards.
+    assert!(out.contains("| <name>Item 0</name>"), "{out}");
+}
+
+/// Regression test for the `.timeout 0` bug class: after disarming, no
+/// statement may time out — a 0 value must mean "no deadline", not "a 0 ms
+/// deadline that fails every statement instantly".
+#[test]
+fn timeout_zero_disarms_the_deadline() {
+    let pool = pool_with_docs(1);
+    let mut s = Session::new(pool);
+    assert!(matches!(s.handle(".use 1").status, Status::Ok(_)));
+    // Arm an impossible deadline: the statement must fail typed.
+    s.handle(".timeout 1");
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let mut timed_out = false;
+    for _ in 0..50 {
+        let r = s.handle(
+            "SELECT COUNT(*) FROM global_node a, global_node b, global_node c, \
+             global_node d, global_node e, global_node f",
+        );
+        if let Status::Err { code, .. } = r.status {
+            assert_eq!(code, "timeout");
+            timed_out = true;
+            break;
+        }
+    }
+    assert!(timed_out, "a 1ms deadline must eventually trip");
+    // Disarm with 0: the same statement must now succeed.
+    let r = s.handle(".timeout 0");
+    match &r.status {
+        Status::Ok(m) => assert!(m.contains("disarmed"), "{m}"),
+        other => panic!("{other:?}"),
+    }
+    let r = s.handle(
+        "SELECT COUNT(*) FROM global_node a, global_node b, global_node c, \
+         global_node d, global_node e, global_node f",
+    );
+    assert!(
+        matches!(r.status, Status::Ok(_)),
+        "after .timeout 0 nothing may time out: {:?}",
+        r.status
+    );
+}
+
+#[test]
+fn per_session_limits_do_not_leak_across_sessions() {
+    let pool = pool_with_docs(1);
+    let mut a = Session::new(Arc::clone(&pool));
+    let mut b = Session::new(pool);
+    a.handle(".use 1");
+    b.handle(".use 1");
+    // Session A arms a brutal work budget; session B must be unaffected.
+    a.handle(".budget 1");
+    let r = a.handle("SELECT COUNT(*) FROM global_node a, global_node b");
+    assert!(
+        matches!(r.status, Status::Err { code: "budget", .. }),
+        "{:?}",
+        r.status
+    );
+    let r = b.handle("SELECT COUNT(*) FROM global_node a, global_node b");
+    assert!(matches!(r.status, Status::Ok(_)), "{:?}", r.status);
+}
+
+#[test]
+fn tcp_round_trip_with_concurrent_clients() {
+    let pool = pool_with_docs(4);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let _ = serve(listener, pool);
+    });
+
+    let client = move |doc: usize| {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        writeln!(stream, ".use {}", doc + 1).unwrap();
+        writeln!(stream, "xpath /doc/item[1]/name").unwrap();
+        writeln!(stream, ".quit").unwrap();
+        let mut out = String::new();
+        for line in BufReader::new(stream).lines() {
+            out.push_str(&line.unwrap());
+            out.push('\n');
+        }
+        out
+    };
+    let handles: Vec<_> = (0..4)
+        .map(|i| std::thread::spawn(move || (i, client(i))))
+        .collect();
+    for h in handles {
+        let (i, out) = h.join().unwrap();
+        assert!(out.contains(&format!("| <name>Item {i}</name>")), "{out}");
+        assert!(out.contains("ok 1 node(s)"), "{out}");
+        assert!(out.contains("ok bye"), "{out}");
+    }
+}

@@ -344,6 +344,21 @@ impl Database {
         }
     }
 
+    /// Sets this database's operator-facing identity. Multi-store
+    /// deployments (a sharded document pool) label each store
+    /// (`"shard-3"`); the label is prepended to every
+    /// [`DbError::Degraded`] message and to [`StoreHealth::Degraded`]'s
+    /// reason, so a degraded-mode error names the store to
+    /// [`Database::try_restore`].
+    pub fn set_identity(&self, label: &str) {
+        self.pager.set_identity(label);
+    }
+
+    /// The operator-facing identity, if one was set.
+    pub fn identity(&self) -> Option<String> {
+        self.pager.identity()
+    }
+
     /// This store's health: [`StoreHealth::Healthy`], or
     /// [`StoreHealth::Degraded`] after a persistent write-path failure
     /// (out-of-space, dead device). Degraded mode is read-only: reads keep

@@ -349,9 +349,11 @@ enum Metric {
     ReadRetries,
     DegradedEntries,
     DegradedRejects,
+    ServeSessions,
+    ServeRequests,
 }
 
-const NMETRICS: usize = 16;
+const NMETRICS: usize = 18;
 
 /// One thread's private metric cell. All fields are atomics only so the
 /// snapshot path can read them concurrently; the owning thread's writes
@@ -524,6 +526,22 @@ impl Registry {
         }
     }
 
+    /// Records one serving-layer session opened (a wire connection or a
+    /// piped shell session; no-op while disabled).
+    pub fn record_serve_session(&self) {
+        if self.enabled() {
+            self.with_shard(|s| s.bump(Metric::ServeSessions, 1));
+        }
+    }
+
+    /// Records serving-layer requests handled (protocol lines, meta-commands
+    /// included; no-op while disabled).
+    pub fn record_serve_requests(&self, n: u64) {
+        if self.enabled() && n > 0 {
+            self.with_shard(|s| s.bump(Metric::ServeRequests, n));
+        }
+    }
+
     /// Records one contended lock acquisition at `site` — the caller found
     /// the latch held, blocked for `waited`, and now owns it (no-op while
     /// disabled).
@@ -683,6 +701,8 @@ impl Registry {
             read_retries: metrics[Metric::ReadRetries as usize],
             degraded_entries: metrics[Metric::DegradedEntries as usize],
             degraded_rejects: metrics[Metric::DegradedRejects as usize],
+            serve_sessions: metrics[Metric::ServeSessions as usize],
+            serve_requests: metrics[Metric::ServeRequests as usize],
             lock_waits: wait_counts.iter().sum(),
             lock_waits_by_site: wait_counts,
             wait_latency_by_site,
@@ -730,6 +750,10 @@ pub struct ObsSnapshot {
     pub degraded_entries: u64,
     /// Writes refused while degraded ([`crate::DbError::Degraded`]).
     pub degraded_rejects: u64,
+    /// Serving-layer sessions opened (wire connections, piped shells).
+    pub serve_sessions: u64,
+    /// Serving-layer requests handled (protocol lines).
+    pub serve_requests: u64,
     /// Contended lock acquisitions (blocked at least once), all sites.
     pub lock_waits: u64,
     /// Contended acquisitions per wait site, indexed as [`WaitSite::ALL`].

@@ -332,6 +332,13 @@ pub struct Pager {
     /// Checked only on the write path (`begin_txn`) — readers never touch
     /// it.
     health: Mutex<Option<String>>,
+    /// Optional operator-facing identity (`"shard-3"`). Once multiple
+    /// stores share a process (a document pool), a bare degraded-mode
+    /// error no longer says *which* store to `try_restore()`; the
+    /// identity is prepended to every degraded reason so the error names
+    /// its shard. Leaf lock: never held while another pager latch is
+    /// taken.
+    identity: Mutex<Option<String>>,
 }
 
 impl Pager {
@@ -346,6 +353,7 @@ impl Pager {
             txn: Mutex::new(None),
             txn_seq: AtomicU64::new(0),
             health: Mutex::new(None),
+            identity: Mutex::new(None),
         }
     }
 
@@ -382,6 +390,7 @@ impl Pager {
             txn: Mutex::new(None),
             txn_seq: AtomicU64::new(0),
             health: Mutex::new(None),
+            identity: Mutex::new(None),
         })
     }
 
@@ -430,13 +439,34 @@ impl Pager {
             .is_some_and(|t| !t.pre_images.is_empty())
     }
 
+    /// Sets the operator-facing identity included in degraded-mode errors
+    /// (a document pool labels each shard's pager `"shard-<n>"`).
+    pub fn set_identity(&self, label: &str) {
+        *latch::lock(&self.identity, WaitSite::Txn) = Some(label.to_string());
+    }
+
+    /// The operator-facing identity, if one was set.
+    pub fn identity(&self) -> Option<String> {
+        latch::lock(&self.identity, WaitSite::Txn).clone()
+    }
+
+    /// Prefixes `reason` with this pager's identity (when set), so degraded
+    /// errors surfaced through a shared store name the failing shard.
+    fn tag_reason(&self, reason: &str) -> String {
+        match &*latch::lock(&self.identity, WaitSite::Txn) {
+            Some(id) => format!("[{id}] {reason}"),
+            None => reason.to_string(),
+        }
+    }
+
     /// Current health. Degradation is entered only by *persistent*
     /// write-path failures (crashed injector or `ENOSPC`) at the WAL commit
     /// barrier or during a checkpoint; transient faults roll back without
     /// degrading.
     pub fn health(&self) -> StoreHealth {
-        match &*latch::lock(&self.health, WaitSite::Txn) {
-            Some(reason) => StoreHealth::Degraded(reason.clone()),
+        let reason = latch::lock(&self.health, WaitSite::Txn).clone();
+        match reason {
+            Some(reason) => StoreHealth::Degraded(self.tag_reason(&reason)),
             None => StoreHealth::Healthy,
         }
     }
@@ -482,7 +512,7 @@ impl Pager {
     pub fn begin_txn(&self) -> DbResult<u64> {
         if let Some(reason) = latch::lock(&self.health, WaitSite::Txn).clone() {
             crate::obs::registry().record_degraded_reject();
-            return Err(DbError::Degraded(reason));
+            return Err(DbError::Degraded(self.tag_reason(&reason)));
         }
         let mut txn = latch::lock(&self.txn, WaitSite::Txn);
         if txn.is_some() {

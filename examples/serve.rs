@@ -1,0 +1,123 @@
+//! The engine as a service: a sharded [`ordxml::DocumentPool`] behind a
+//! line-protocol TCP front-end.
+//!
+//! ```text
+//! cargo run --example serve -- --addr 127.0.0.1:7878 --shards 4 --preload 8
+//! ```
+//!
+//! Then from another terminal:
+//!
+//! ```text
+//! printf '.docs\n.use 1\nxpath /doc/item[1]\n.stats\n.quit\n' \
+//!   | cargo run --example xml_client -- 127.0.0.1:7878
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--addr <host:port>` — listen address (default `127.0.0.1:7878`;
+//!   port 0 picks a free port and prints it).
+//! * `--shards <n>` — shard count (default 4).
+//! * `--encoding global|local|dewey` — order encoding (default dewey).
+//! * `--dir <path>` — file-backed pool under `path` (default: in-memory).
+//! * `--preload <n>` — load `n` small demo documents before serving.
+
+use ordxml::{DocumentPool, Encoding};
+use std::net::TcpListener;
+use std::process::exit;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--addr host:port] [--shards n] [--encoding global|local|dewey] \
+         [--dir path] [--preload n]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut shards = 4usize;
+    let mut encoding = Encoding::Dewey;
+    let mut dir: Option<String> = None;
+    let mut preload = 0usize;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = || {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {}", args[i]);
+                usage()
+            })
+        };
+        match args[i].as_str() {
+            "--addr" => addr = value(),
+            "--shards" => shards = value().parse().unwrap_or_else(|_| usage()),
+            "--encoding" => {
+                encoding = match value().as_str() {
+                    "global" => Encoding::Global,
+                    "local" => Encoding::Local,
+                    "dewey" => Encoding::Dewey,
+                    _ => usage(),
+                }
+            }
+            "--dir" => dir = Some(value()),
+            "--preload" => preload = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    let pool = match &dir {
+        Some(dir) => match DocumentPool::open(std::path::Path::new(dir), shards, encoding, 256) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("serve: cannot open pool at {dir}: {e}");
+                exit(1);
+            }
+        },
+        None => DocumentPool::in_memory(shards, encoding),
+    };
+
+    for n in 0..preload {
+        let doc = ordxml_xml::parse(&format!(
+            "<doc><item id=\"a{n}\"><name>Item {n}</name><price>{}</price></item>\
+             <item id=\"b{n}\"><name>Other {n}</name><price>{}</price></item></doc>",
+            n * 10,
+            n * 10 + 5
+        ))
+        .expect("preload document parses");
+        if let Err(e) = pool.load(&doc, &format!("demo{n}")) {
+            eprintln!("serve: preload failed: {e}");
+            exit(1);
+        }
+    }
+
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            exit(1);
+        }
+    };
+    let local = listener.local_addr().expect("bound socket has an address");
+    println!(
+        "listening on {local} ({} shard(s), {} encoding, {} doc(s) preloaded, {})",
+        pool.shard_count(),
+        match encoding {
+            Encoding::Global => "global",
+            Encoding::Local => "local",
+            Encoding::Dewey => "dewey",
+        },
+        pool.documents().len(),
+        if dir.is_some() {
+            "file-backed"
+        } else {
+            "in-memory"
+        },
+    );
+    if let Err(e) = ordxml::serve(listener, Arc::new(pool)) {
+        eprintln!("serve: listener error: {e}");
+        exit(1);
+    }
+}

@@ -19,11 +19,22 @@
 //! * `.timeout <ms>` — set a per-statement deadline (0 clears it); a
 //!   statement past its deadline returns the typed `Timeout` error instead
 //!   of running on.
+//! * `.help` — list the meta-commands.
 //! * `EXPLAIN [ANALYZE] <stmt>` also works directly as SQL.
 
 use ordxml::{Encoding, XmlStore};
 use ordxml_rdbms::{obs, trace, Database, Value};
 use std::io::BufRead;
+
+const HELP: &str = "\
+.help                 this text
+.explain on|off       show EXPLAIN ANALYZE plans before each statement
+.stats                session + process counters
+.trace on|off         toggle structured span tracing
+.trace dump <path>    export spans as Chrome trace-event JSON
+.timeout <ms>         per-statement deadline; 0 disarms it (statements run
+                      with no deadline again)
+<anything else>       runs as SQL (EXPLAIN [ANALYZE] <stmt> works too)";
 
 struct Shell {
     store: XmlStore,
@@ -101,6 +112,13 @@ impl Shell {
     /// Handles a `.meta` command; returns `false` if `line` is plain SQL.
     fn meta(&mut self, line: &str) -> bool {
         match line {
+            ".help" => {
+                println!("sql> .help");
+                for l in HELP.lines() {
+                    println!("     {l}");
+                }
+                println!();
+            }
             ".stats" => {
                 println!("sql> .stats");
                 self.print_stats();
@@ -157,10 +175,7 @@ impl Shell {
                 }
             }
             _ if line.starts_with('.') => {
-                println!(
-                    "sql> {line}\n     unknown meta-command (try `.explain on|off`, `.stats`, \
-                     `.timeout <ms>`, `.trace on|off`, `.trace dump <path>`)\n"
-                );
+                println!("sql> {line}\n     unknown meta-command (try `.help`)\n");
             }
             _ => return false,
         }
@@ -225,10 +240,24 @@ fn main() {
 
     let pipe_mode = std::env::args().nth(1).as_deref() == Some("-");
     if pipe_mode {
-        for line in std::io::stdin().lock().lines() {
-            let line = line.unwrap();
-            if !line.trim().is_empty() {
-                shell.run_and_print(line.trim());
+        // Lossy read: invalid UTF-8 on stdin degrades to U+FFFD (and an SQL
+        // parse error for that line) instead of a panic; an actual read
+        // error exits with a typed message rather than unwinding.
+        let mut stdin = std::io::stdin().lock();
+        loop {
+            let mut raw = Vec::new();
+            match stdin.read_until(b'\n', &mut raw) {
+                Ok(0) => break,
+                Ok(_) => {
+                    let line = String::from_utf8_lossy(&raw);
+                    if !line.trim().is_empty() {
+                        shell.run_and_print(line.trim());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("sql_shell: stdin read error: {e}");
+                    std::process::exit(1);
+                }
             }
         }
         return;

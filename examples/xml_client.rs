@@ -1,0 +1,92 @@
+//! Minimal client for the `serve` example: forwards stdin lines to the
+//! server and prints each framed reply (`| payload` lines, then `ok`/`err`).
+//!
+//! ```text
+//! printf '.docs\n.use 1\nxpath /doc/item[1]\n.quit\n' \
+//!   | cargo run --example xml_client -- 127.0.0.1:7878
+//! ```
+//!
+//! Exits 0 when every request succeeded, 1 when any reply was an `err`,
+//! 2 on usage/connection failures. Input is read lossily: invalid UTF-8
+//! on stdin is forwarded as U+FFFD rather than crashing.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::exit;
+
+fn main() {
+    let Some(addr) = std::env::args().nth(1) else {
+        eprintln!("usage: xml_client <host:port>");
+        exit(2);
+    };
+    let mut stream = match TcpStream::connect(&addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xml_client: cannot connect to {addr}: {e}");
+            exit(2);
+        }
+    };
+    let mut replies = BufReader::new(match stream.try_clone() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xml_client: {e}");
+            exit(2);
+        }
+    });
+
+    let mut stdin = BufReader::new(std::io::stdin().lock());
+    let mut saw_err = false;
+    loop {
+        // Lossy read: byte garbage on stdin becomes U+FFFD, not a panic.
+        let mut raw = Vec::new();
+        match stdin.read_until(b'\n', &mut raw) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("xml_client: stdin read error: {e}");
+                exit(2);
+            }
+        }
+        let line = String::from_utf8_lossy(&raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Err(e) = writeln!(stream, "{line}") {
+            eprintln!("xml_client: send error: {e}");
+            exit(2);
+        }
+        // Read payload lines until the ok/err terminator.
+        loop {
+            let mut reply = String::new();
+            match replies.read_line(&mut reply) {
+                Ok(0) => {
+                    eprintln!("xml_client: server closed the connection");
+                    exit(if saw_err { 1 } else { 0 });
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    eprintln!("xml_client: read error: {e}");
+                    exit(2);
+                }
+            }
+            print!("{reply}");
+            if reply.starts_with("ok ") || reply.starts_with("ok\n") {
+                break;
+            }
+            if reply.starts_with("err ") {
+                saw_err = true;
+                break;
+            }
+        }
+        if line == ".quit" {
+            break;
+        }
+    }
+    // Drain anything the server still has buffered (e.g. after EOF without
+    // an explicit .quit).
+    let mut rest = String::new();
+    let _ = replies.read_to_string(&mut rest);
+    print!("{rest}");
+    exit(if saw_err { 1 } else { 0 });
+}
