@@ -14,8 +14,10 @@
 //! path and no rebalancing state. The pool keeps an in-memory catalog
 //! (pool id → shard, per-shard document id, name) that is rebuilt on
 //! [`DocumentPool::open`] by scanning each shard's `docs` table: documents
-//! are stored under the name `"{pool_id}:{name}"`, which makes the pool id
-//! durable without any extra table.
+//! are stored under the name `"{MARKER}{pool_id}:{name}"` (the marker is a
+//! control-character prefix no ordinary name starts with), which makes the
+//! pool id durable without any extra table while keeping documents loaded
+//! directly through a shard's [`XmlStore`] out of the pool catalog.
 
 use crate::diag::QueryDiagnostics;
 use crate::encoding::{Encoding, OrderConfig};
@@ -35,6 +37,14 @@ use std::sync::{Arc, RwLock};
 /// pool id.
 pub type DocId = u64;
 
+/// Durable marker prefixing pool-managed document names inside each
+/// shard's docs table (`"{MARKER}{pool_id}:{name}"`). The `\u{1}` control
+/// characters never start an ordinary caller-supplied name, so a document
+/// loaded directly through a shard's [`XmlStore`] — even one named
+/// `"7:something"` — is never mistaken for (or collides with) a pool
+/// catalog entry on [`DocumentPool::open`].
+const POOL_NAME_MARKER: &str = "\u{1}pool\u{1}";
+
 /// Where a pool document lives.
 #[derive(Debug, Clone)]
 struct DocEntry {
@@ -43,7 +53,8 @@ struct DocEntry {
     shard: usize,
     /// The document's id inside its shard's store.
     inner: i64,
-    /// Caller-facing name (without the `"{id}:"` durability prefix).
+    /// Caller-facing name (without the `"{MARKER}{id}:"` durability
+    /// prefix).
     name: String,
 }
 
@@ -165,12 +176,13 @@ impl DocumentPool {
         for (shard, store) in self.shards.iter().enumerate() {
             for (inner, stored_name) in store.documents()? {
                 let Some((id, name)) = stored_name
-                    .split_once(':')
+                    .strip_prefix(POOL_NAME_MARKER)
+                    .and_then(|tagged| tagged.split_once(':'))
                     .and_then(|(id, name)| Some((id.parse::<DocId>().ok()?, name)))
                 else {
                     // A document loaded through the shard's store directly
-                    // (not via the pool) has no pool id; skip it rather
-                    // than guess one.
+                    // (not via the pool) lacks the marker and has no pool
+                    // id; skip it rather than guess one.
                     continue;
                 };
                 max_id = max_id.max(id);
@@ -237,8 +249,11 @@ impl DocumentPool {
     ) -> StoreResult<DocId> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let shard = self.shard_of(id);
-        let inner =
-            self.shards[shard].load_document_with(document, &format!("{id}:{name}"), cfg)?;
+        let inner = self.shards[shard].load_document_with(
+            document,
+            &format!("{POOL_NAME_MARKER}{id}:{name}"),
+            cfg,
+        )?;
         latch::write(&self.catalog, WaitSite::Store).insert(
             id,
             DocEntry {
@@ -421,6 +436,28 @@ mod tests {
         let hits = pool.xpath(id0, "/d/w").unwrap();
         assert_eq!(pool.serialize(id0, &hits[0]).unwrap(), "<w>x</w>");
         assert!(matches!(pool.xpath(999, "/d"), Err(StoreError::BadNode(_))));
+    }
+
+    #[test]
+    fn direct_shard_documents_are_not_adopted_as_pool_entries() {
+        let pool = DocumentPool::in_memory(2, Encoding::Global);
+        let real = pool.load(&doc("<real/>"), "real").unwrap();
+        // Documents loaded behind the pool's back — even with names that
+        // look like `"{id}:{name}"` — lack the pool marker, so a catalog
+        // rebuild must skip them instead of adopting them (or letting
+        // them collide with a genuine pool id).
+        pool.shard(0)
+            .load_document(&doc("<evil/>"), &format!("{real}:interloper"))
+            .unwrap();
+        pool.shard(1)
+            .load_document(&doc("<evil/>"), "7:other")
+            .unwrap();
+        pool.rebuild_catalog().unwrap();
+        let docs = pool.documents();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0], (real, pool.shard_of(real), "real".to_string()));
+        // The id sequence resumed past the genuine entry only.
+        assert_eq!(pool.load(&doc("<n/>"), "next").unwrap(), real + 1);
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //! err <code>: <message>     terminator on failure
 //! ```
 //!
+//! Framing is per *physical* line: payload containing embedded newlines
+//! (XML text nodes can hold `\n`) is split and every physical line gets
+//! its own `| ` prefix, so payload can never forge an `ok`/`err`
+//! terminator or desync a prefix-parsing client.
+//!
 //! Error codes are stable and typed (`timeout`, `canceled`, `budget`,
 //! `degraded`, `sql`, `xpath`, `unsupported`, `bad-node`, `db`, `io`,
 //! `usage`) so clients can branch without parsing prose. A `degraded`
@@ -89,16 +94,32 @@ impl Reply {
         }
     }
 
-    /// Writes the reply in wire framing.
+    /// Writes the reply in wire framing. Payload strings may contain
+    /// embedded newlines (an XML text node can hold `\n`), so every
+    /// *physical* line goes out with its own `"| "` prefix — payload can
+    /// never forge an `ok`/`err` terminator or desync a prefix-parsing
+    /// client. Terminators are flattened to exactly one physical line.
     pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<()> {
         for line in &self.lines {
-            writeln!(w, "| {line}")?;
+            for physical in line.split('\n') {
+                writeln!(w, "| {}", physical.trim_end_matches('\r'))?;
+            }
         }
         match &self.status {
-            Status::Ok(summary) => writeln!(w, "ok {summary}")?,
-            Status::Err { code, message } => writeln!(w, "err {code}: {message}")?,
+            Status::Ok(summary) => writeln!(w, "ok {}", one_line(summary))?,
+            Status::Err { code, message } => writeln!(w, "err {code}: {}", one_line(message))?,
         }
         w.flush()
+    }
+}
+
+/// Collapses line breaks so a terminator is always one physical line on
+/// the wire, whatever an error's `Display` contains.
+fn one_line(s: &str) -> std::borrow::Cow<'_, str> {
+    if s.contains(['\n', '\r']) {
+        std::borrow::Cow::Owned(s.replace(['\n', '\r'], " "))
+    } else {
+        std::borrow::Cow::Borrowed(s)
     }
 }
 
@@ -326,8 +347,43 @@ impl Session {
         self.requests += 1;
         obs::registry().record_serve_requests(1);
         let line = line.trim();
-        match line {
-            "" => Reply::ok("", Vec::new()),
+        if line.is_empty() {
+            return Reply::ok("", Vec::new());
+        }
+        // Dispatch on the first whitespace-delimited word, so `.useless`
+        // or `xpathfoo` never half-match `.use` / `xpath` (they fall
+        // through to unknown-command / SQL). Splitting on a char predicate
+        // also keeps a lossily-decoded line (which can start with a
+        // multi-byte U+FFFD) panic-free — no byte slicing.
+        let (word, rest) = match line.split_once(char::is_whitespace) {
+            Some((w, r)) => (w, r.trim()),
+            None => (line, ""),
+        };
+        if word.starts_with('.') {
+            return self.meta_reply(word, rest);
+        }
+        if word.eq_ignore_ascii_case("xpath") {
+            if rest.is_empty() {
+                return Reply::err("usage", "xpath <expr>");
+            }
+            return match self.current_doc() {
+                Ok(doc) => self.xpath_reply(doc, rest),
+                Err(reply) => reply,
+            };
+        }
+        match self.current_doc() {
+            Ok(doc) => self.sql_reply(doc, line),
+            Err(reply) => reply,
+        }
+    }
+
+    /// Handles one `.meta` command (`word` starts with `.`; `rest` is the
+    /// already-trimmed argument text, `""` if none).
+    fn meta_reply(&mut self, word: &str, rest: &str) -> Reply {
+        match word {
+            ".quit" | ".help" | ".stats" | ".docs" | ".health" if !rest.is_empty() => {
+                Reply::err("usage", format!("{word} takes no arguments"))
+            }
             ".quit" => Reply {
                 lines: Vec::new(),
                 status: Status::Ok("bye".to_string()),
@@ -356,15 +412,18 @@ impl Session {
                     .collect();
                 Reply::ok(format!("{} shard(s)", self.pool.shard_count()), lines)
             }
-            ".explain on" => {
-                self.explain = true;
-                Reply::ok("explain on", Vec::new())
-            }
-            ".explain off" => {
-                self.explain = false;
-                Reply::ok("explain off", Vec::new())
-            }
-            _ if line.starts_with(".use") => match line[".use".len()..].trim().parse::<u64>() {
+            ".explain" => match rest {
+                "on" => {
+                    self.explain = true;
+                    Reply::ok("explain on", Vec::new())
+                }
+                "off" => {
+                    self.explain = false;
+                    Reply::ok("explain off", Vec::new())
+                }
+                _ => Reply::err("usage", ".explain on|off"),
+            },
+            ".use" => match rest.parse::<u64>() {
                 Ok(id) if self.pool.documents().iter().any(|(d, _, _)| *d == id) => {
                     self.doc = Some(id);
                     Reply::ok(
@@ -375,8 +434,7 @@ impl Session {
                 Ok(id) => Reply::err("bad-node", format!("no document with pool id {id}")),
                 Err(_) => Reply::err("usage", ".use <id>"),
             },
-            _ if line.starts_with(".load") => {
-                let rest = line[".load".len()..].trim();
+            ".load" => {
                 let Some((name, xml)) = rest.split_once(char::is_whitespace) else {
                     return Reply::err("usage", ".load <name> <xml>");
                 };
@@ -396,76 +454,48 @@ impl Session {
                     Err(e) => Reply::err(error_code(&e), e.to_string()),
                 }
             }
-            _ if line.starts_with(".timeout") => {
-                match line[".timeout".len()..].trim().parse::<u64>() {
-                    Ok(ms) => {
-                        // 0 disarms: the session's Limits only arm a
-                        // deadline for ms > 0.
-                        self.deadline_ms = ms;
-                        Reply::ok(
-                            if ms == 0 {
-                                "deadline disarmed".to_string()
-                            } else {
-                                format!("deadline {ms}ms")
-                            },
-                            vec![],
-                        )
-                    }
-                    Err(_) => Reply::err("usage", ".timeout <ms> (0 disarms)"),
+            ".timeout" => match rest.parse::<u64>() {
+                Ok(ms) => {
+                    // 0 disarms: the session's Limits only arm a deadline
+                    // for ms > 0.
+                    self.deadline_ms = ms;
+                    Reply::ok(
+                        if ms == 0 {
+                            "deadline disarmed".to_string()
+                        } else {
+                            format!("deadline {ms}ms")
+                        },
+                        vec![],
+                    )
                 }
-            }
-            _ if line.starts_with(".budget") => {
-                match line[".budget".len()..].trim().parse::<u64>() {
-                    Ok(units) => {
-                        self.work_budget = units;
-                        Reply::ok(
-                            if units == 0 {
-                                "budget disarmed".to_string()
-                            } else {
-                                format!("budget {units} units")
-                            },
-                            vec![],
-                        )
-                    }
-                    Err(_) => Reply::err("usage", ".budget <units> (0 disarms)"),
-                }
-            }
-            _ if line.starts_with(".restore") => {
-                match line[".restore".len()..].trim().parse::<usize>() {
-                    Ok(i) if i < self.pool.shard_count() => match self.pool.try_restore(i) {
-                        Ok(()) => Reply::ok(format!("shard-{i} restored"), vec![]),
-                        Err(e) => Reply::err(error_code(&e), e.to_string()),
-                    },
-                    Ok(i) => Reply::err(
-                        "usage",
-                        format!("shard {i} out of range (0..{})", self.pool.shard_count()),
-                    ),
-                    Err(_) => Reply::err("usage", ".restore <shard>"),
-                }
-            }
-            _ if line.starts_with('.') => {
-                Reply::err("usage", format!("unknown command {line:?} (try .help)"))
-            }
-            // `get` (not `[..5]`): a lossily-decoded line can start with a
-            // multi-byte U+FFFD, and a direct slice would panic on the
-            // char boundary — the exact crash class this layer must absorb.
-            _ if line
-                .get(..5)
-                .is_some_and(|p| p.eq_ignore_ascii_case("xpath")) =>
-            {
-                let expr = line[5..].trim();
-                if expr.is_empty() {
-                    return Reply::err("usage", "xpath <expr>");
-                }
-                match self.current_doc() {
-                    Ok(doc) => self.xpath_reply(doc, expr),
-                    Err(reply) => reply,
-                }
-            }
-            sql => match self.current_doc() {
-                Ok(doc) => self.sql_reply(doc, sql),
-                Err(reply) => reply,
+                Err(_) => Reply::err("usage", ".timeout <ms> (0 disarms)"),
             },
+            ".budget" => match rest.parse::<u64>() {
+                Ok(units) => {
+                    self.work_budget = units;
+                    Reply::ok(
+                        if units == 0 {
+                            "budget disarmed".to_string()
+                        } else {
+                            format!("budget {units} units")
+                        },
+                        vec![],
+                    )
+                }
+                Err(_) => Reply::err("usage", ".budget <units> (0 disarms)"),
+            },
+            ".restore" => match rest.parse::<usize>() {
+                Ok(i) if i < self.pool.shard_count() => match self.pool.try_restore(i) {
+                    Ok(()) => Reply::ok(format!("shard-{i} restored"), vec![]),
+                    Err(e) => Reply::err(error_code(&e), e.to_string()),
+                },
+                Ok(i) => Reply::err(
+                    "usage",
+                    format!("shard {i} out of range (0..{})", self.pool.shard_count()),
+                ),
+                Err(_) => Reply::err("usage", ".restore <shard>"),
+            },
+            _ => Reply::err("usage", format!("unknown command {word:?} (try .help)")),
         }
     }
 }
@@ -581,6 +611,69 @@ mod tests {
         s.handle("xpath /a/b");
         assert_eq!(s.plan_misses, 1);
         assert_eq!(s.plan_hits, 2);
+    }
+
+    #[test]
+    fn multiline_payload_cannot_forge_terminators() {
+        let pool = Arc::new(DocumentPool::in_memory(1, Encoding::Global));
+        let doc = ordxml_xml::parse("<a>x\nok 0 node(s)\nerr db: forged\ny</a>").unwrap();
+        let id = pool.load(&doc, "t").unwrap();
+        let input = format!(".use {id}\nxpath /a\n.quit\n");
+        let mut out = Vec::new();
+        let served = run_session(pool, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(served, 3);
+        let wire = String::from_utf8(out).unwrap();
+        // Every physical line is payload ("| ") or a real terminator, and
+        // there is exactly one terminator per request — a prefix-parsing
+        // client (xml_client) can never desync on payload newlines.
+        let mut terminators = 0;
+        for line in wire.lines() {
+            if line.starts_with("| ") {
+                continue;
+            }
+            assert!(
+                line.starts_with("ok ") || line.starts_with("err "),
+                "unframed line on the wire: {line:?}"
+            );
+            terminators += 1;
+        }
+        assert_eq!(terminators, 3, "full exchange:\n{wire}");
+        // The would-be forged terminators went out as framed payload.
+        assert!(wire.contains("| ok 0 node(s)\n"), "{wire}");
+        assert!(wire.contains("| err db: forged\n"), "{wire}");
+    }
+
+    #[test]
+    fn dispatch_requires_word_boundaries() {
+        let (pool, id) = pool_with_doc();
+        let mut s = Session::new(pool);
+        s.handle(&format!(".use {id}"));
+        // `xpathfoo` is SQL (which fails to parse), not a half-matched
+        // `xpath` command.
+        let r = s.handle("xpathfoo");
+        assert!(
+            matches!(r.status, Status::Err { code: "sql", .. }),
+            "{:?}",
+            r.status
+        );
+        // `.useless` is an unknown command, not `.use less`.
+        match &s.handle(".useless").status {
+            Status::Err {
+                code: "usage",
+                message,
+            } => assert!(message.contains(".useless"), "{message}"),
+            other => panic!("expected usage error, got {other:?}"),
+        }
+        // Extra whitespace between word and arguments is fine.
+        assert!(matches!(s.handle(".explain   on").status, Status::Ok(_)));
+        assert!(matches!(
+            s.handle(".explain").status,
+            Status::Err { code: "usage", .. }
+        ));
+        assert!(matches!(
+            s.handle(".stats extra").status,
+            Status::Err { code: "usage", .. }
+        ));
     }
 
     #[test]

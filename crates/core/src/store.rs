@@ -403,22 +403,37 @@ impl XmlStore {
             .set_identity(label);
     }
 
-    /// Runs a single SQL statement. `SELECT`/`EXPLAIN` statements take the
-    /// shared read latch (concurrent with other readers); everything else
-    /// takes the write latch. Used by the serving layer, which speaks raw
-    /// SQL alongside XPath.
+    /// Runs a single SQL statement. Read candidates — a leading `SELECT`,
+    /// `EXPLAIN`, `WITH` keyword or `(` — first try the shared read latch
+    /// so they run concurrently with other readers; a candidate the read
+    /// path refuses as a write (e.g. `EXPLAIN` of an `INSERT`) safely
+    /// falls back to the exclusive write latch, which serves every
+    /// statement kind. Used by the serving layer, which speaks raw SQL
+    /// alongside XPath.
     pub fn sql(&self, sql: &str, params: &[Value]) -> StoreResult<QueryResult> {
-        let head = sql.trim_start().to_ascii_uppercase();
-        if head.starts_with("SELECT") || head.starts_with("EXPLAIN") {
+        let trimmed = sql.trim_start();
+        let keyword = trimmed
+            .chars()
+            .take_while(char::is_ascii_alphabetic)
+            .collect::<String>()
+            .to_ascii_uppercase();
+        let read_candidate =
+            matches!(keyword.as_str(), "SELECT" | "EXPLAIN" | "WITH") || trimmed.starts_with('(');
+        if read_candidate {
             let inner = self.read_inner()?;
             let _scope = governance::Scope::enter(inner.db.limits());
-            Ok(inner.db.run_read(sql, params)?)
-        } else {
-            let mut inner = self.write_inner()?;
-            let limits = inner.db.limits();
-            let _scope = governance::Scope::enter(limits);
-            Ok(inner.db.run(sql, params)?)
+            match inner.db.run_read(sql, params) {
+                // The read path refuses statements that turn out to write
+                // (EXPLAIN of an INSERT, a writable CTE): retry below
+                // under the exclusive latch.
+                Err(DbError::Unsupported(_)) => {}
+                result => return Ok(result?),
+            }
         }
+        let mut inner = self.write_inner()?;
+        let limits = inner.db.limits();
+        let _scope = governance::Scope::enter(limits);
+        Ok(inner.db.run(sql, params)?)
     }
 
     /// `(id, name)` of every loaded document, in id order.
@@ -981,6 +996,32 @@ mod tests {
         assert_eq!(root.tag.as_deref(), Some("a"));
         let d2 = s.load_document(&parse(XML).unwrap(), "t2").unwrap();
         assert!(s.reconstruct_document(d2).is_ok());
+    }
+
+    #[test]
+    fn sql_read_candidates_fall_back_to_the_write_path() {
+        let s = XmlStore::new(Database::in_memory(), Encoding::Global);
+        s.load_document(&parse(XML).unwrap(), "t").unwrap();
+        // Plain SELECT runs on the concurrent read path.
+        let r = s.sql("SELECT COUNT(*) FROM global_node", &[]).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        // EXPLAIN of a write is refused by the read path and must fall
+        // back to the exclusive path instead of surfacing Unsupported.
+        let r = s
+            .sql("EXPLAIN DELETE FROM global_node WHERE pos = -999", &[])
+            .unwrap();
+        assert_eq!(r.columns, vec!["plan".to_string()]);
+        assert!(!r.rows.is_empty());
+        // Read-shaped prefixes the grammar does not (yet) accept surface
+        // their parse error rather than being misrouted.
+        assert!(matches!(
+            s.sql("WITH x AS (SELECT 1) SELECT * FROM x", &[]),
+            Err(StoreError::Db(DbError::Parse { .. }))
+        ));
+        assert!(matches!(
+            s.sql("(SELECT 1)", &[]),
+            Err(StoreError::Db(DbError::Parse { .. }))
+        ));
     }
 
     #[test]
