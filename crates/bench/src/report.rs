@@ -74,6 +74,9 @@ pub struct EngineDelta {
     pub serve_sessions: u64,
     /// Serving-layer requests handled (protocol lines).
     pub serve_requests: u64,
+    /// Read-shaped store `sql()` calls that fell back to the exclusive
+    /// write path (misclassified reads serializing behind writers).
+    pub sql_read_fallbacks: u64,
     /// Contended lock acquisitions (the caller blocked at least once).
     pub lock_waits: u64,
     /// Contended acquisitions per wait site, indexed as [`WaitSite::ALL`]
@@ -115,6 +118,7 @@ impl EngineDelta {
             degraded_rejects: after.degraded_rejects - before.degraded_rejects,
             serve_sessions: after.serve_sessions - before.serve_sessions,
             serve_requests: after.serve_requests - before.serve_requests,
+            sql_read_fallbacks: after.sql_read_fallbacks - before.sql_read_fallbacks,
             lock_waits: after.lock_waits - before.lock_waits,
             lock_waits_by_site: std::array::from_fn(|i| {
                 after.lock_waits_by_site[i] - before.lock_waits_by_site[i]
@@ -207,7 +211,8 @@ pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
              \"queries_timed_out\": {},\n        \"queries_canceled\": {},\n        \
              \"read_retries\": {},\n        \"degraded_entries\": {},\n        \
              \"degraded_rejects\": {},\n        \"serve_sessions\": {},\n        \
-             \"serve_requests\": {},\n        \"lock_waits\": {},\n",
+             \"serve_requests\": {},\n        \"sql_read_fallbacks\": {},\n        \
+             \"lock_waits\": {},\n",
             r.engine.statements,
             r.engine.statement_errors,
             r.engine.slow_statements,
@@ -230,6 +235,7 @@ pub fn to_json(scale: &str, records: &[ExperimentRecord]) -> String {
             r.engine.degraded_rejects,
             r.engine.serve_sessions,
             r.engine.serve_requests,
+            r.engine.sql_read_fallbacks,
             r.engine.lock_waits,
         ));
         for (i, site) in WaitSite::ALL.iter().enumerate() {
@@ -302,8 +308,10 @@ mod tests {
         assert!(json.contains("\"btree_descents\": 0"));
         assert!(json.contains("\"wal_frames_written\": 0"));
         assert!(json.contains("\"txn_commits\": 0"));
+        assert!(json.contains("\"sql_read_fallbacks\": 0"));
         assert!(json.contains("\"lock_waits\": 0"));
         assert!(json.contains("\"lock_waits_backend\": 0"));
+        assert!(json.contains("\"lock_waits_snapshot\": 0"));
         assert!(json.contains("\"lock_waits_obs\": 0"));
         assert!(json.contains("\"lock_wait_time_store_ms\": 0.000"));
         assert!(json.contains("t \\\"quoted\\\""));

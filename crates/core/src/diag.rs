@@ -11,7 +11,7 @@
 
 use crate::encoding::Encoding;
 use crate::update::UpdateCost;
-use ordxml_rdbms::{Database, ExecStats, StatementTrace, Value};
+use ordxml_rdbms::{ExecStats, StatementTrace, Value};
 use std::fmt;
 use std::time::Duration;
 
@@ -137,8 +137,14 @@ impl fmt::Display for UpdateDiagnostics {
 
 /// Folds a raw statement trace into per-distinct-statement profiles plus
 /// operation-wide totals, attaching engine plans for explainable statements.
+///
+/// `explain` renders the plan for one statement (empty for statements the
+/// engine does not explain). It is a closure so callers choose the planning
+/// surface: the snapshot read path explains against its committed catalog
+/// without touching the live database, while traced updates explain against
+/// the live database (which can plan write statements too).
 pub(crate) fn fold_trace(
-    db: &mut Database,
+    mut explain: impl FnMut(&str, &[Value]) -> Vec<String>,
     trace: Vec<StatementTrace>,
 ) -> (Vec<StatementProfile>, ExecStats, Duration, u64) {
     let mut profiles: Vec<StatementProfile> = Vec::new();
@@ -155,7 +161,7 @@ pub(crate) fn fold_trace(
             p.elapsed += t.elapsed;
             p.stats.merge(&t.stats);
         } else {
-            let plan = db.explain(&t.sql, &t.params, false).unwrap_or_default();
+            let plan = explain(&t.sql, &t.params);
             profiles.push(StatementProfile {
                 sql: t.sql,
                 params: t.params,

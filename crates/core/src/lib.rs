@@ -53,6 +53,6 @@ pub use diag::{QueryDiagnostics, StatementProfile, UpdateDiagnostics};
 pub use encoding::{DeweyKey, Encoding, OrderConfig};
 pub use pool::{DocId, DocumentPool, PoolStats, ShardStats};
 pub use serve::{run_session, serve, Reply, Session, Status};
-pub use store::{NodeRef, StoreError, StoreResult, XNode, XmlStore};
+pub use store::{NodeRef, StoreError, StoreResult, StoreSnapshot, XNode, XmlStore};
 pub use translate::{ExecutionMode, PositionStrategy};
 pub use update::UpdateCost;

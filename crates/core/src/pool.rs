@@ -387,8 +387,11 @@ impl DocumentPool {
                 .map(|(i, store)| ShardStats {
                     identity: format!("shard-{i}"),
                     documents: per_shard_docs[i],
+                    // Both served lock-free from the shard's published
+                    // snapshot — `.stats`/`.health` answer even while a
+                    // writer holds the shard's write latch mid-transaction.
                     health: store.health(),
-                    stats: store.db().total_stats(),
+                    stats: store.total_stats(),
                 })
                 .collect(),
         }

@@ -9,14 +9,14 @@
 use crate::encoding::Encoding;
 use crate::shred::{KIND_ATTR, KIND_COMMENT, KIND_ELEMENT, KIND_PI, KIND_TEXT};
 use crate::store::{decode_node_row, select_list, NodeRef, StoreError, StoreResult, XNode};
-use ordxml_rdbms::{Database, Value};
+use ordxml_rdbms::{SqlRead, Value};
 use ordxml_xml::{Document, NodeId, NodeKind, WriteOptions};
 use std::collections::HashMap;
 
 /// Serializes the subtree rooted at `node`: XML text for elements, the raw
 /// value for text/attribute/comment/PI nodes.
 pub fn serialize_subtree(
-    db: &Database,
+    db: &dyn SqlRead,
     enc: Encoding,
     doc: i64,
     node: &XNode,
@@ -34,7 +34,7 @@ pub fn serialize_subtree(
 /// Rebuilds the subtree rooted at `node` (an element) as a standalone
 /// [`Document`].
 pub fn subtree_document(
-    db: &Database,
+    db: &dyn SqlRead,
     enc: Encoding,
     doc: i64,
     node: &XNode,
@@ -51,7 +51,7 @@ pub fn subtree_document(
 /// All nodes of the subtree rooted at `root` (excluding `root` itself), in
 /// document order.
 pub fn fetch_subtree(
-    db: &Database,
+    db: &dyn SqlRead,
     enc: Encoding,
     doc: i64,
     root: &XNode,
@@ -102,7 +102,12 @@ pub fn fetch_subtree(
     }
 }
 
-fn children_local(db: &Database, enc: Encoding, doc: i64, node: &XNode) -> StoreResult<Vec<XNode>> {
+fn children_local(
+    db: &dyn SqlRead,
+    enc: Encoding,
+    doc: i64,
+    node: &XNode,
+) -> StoreResult<Vec<XNode>> {
     let NodeRef::Local { id, .. } = &node.node else {
         unreachable!("local children query on a non-Local node")
     };
@@ -243,7 +248,7 @@ mod tests {
         for enc in Encoding::all() {
             let (s, d) = store_with(enc);
             let root = s.root(d).unwrap();
-            let all = fetch_subtree(&s.db(), enc, d, &root).unwrap();
+            let all = fetch_subtree(&*s.db(), enc, d, &root).unwrap();
             // 9 rows follow the root: @x, b, "t", comment, pi, c, d, e, "deep".
             assert_eq!(all.len(), 9, "{enc}");
             assert_eq!(all[0].kind, crate::shred::KIND_ATTR, "{enc}");
@@ -257,7 +262,7 @@ mod tests {
         for enc in Encoding::all() {
             let (s, d) = store_with(enc);
             let text = &s.xpath(d, "/a/b/text()").unwrap()[0].clone();
-            assert!(subtree_document(&s.db(), enc, d, text).is_err(), "{enc}");
+            assert!(subtree_document(&*s.db(), enc, d, text).is_err(), "{enc}");
             // But serialize returns its value.
             assert_eq!(s.serialize(d, text).unwrap(), "t", "{enc}");
         }

@@ -13,14 +13,15 @@ use crate::encoding::{DeweyKey, Encoding, OrderConfig};
 use crate::shred::{self, KIND_ATTR, KIND_ELEMENT};
 use crate::update::UpdateCost;
 use crate::xpath::{self, XPathError};
-use ordxml_rdbms::obs::WaitSite;
+use ordxml_rdbms::obs::{self, WaitSite};
 use ordxml_rdbms::{
-    governance, latch, trace, Database, DbError, QueryResult, Row, StoreHealth, Value,
+    governance, latch, trace, Database, DbError, DbSnapshot, QueryResult, Row, SqlRead,
+    StoreHealth, Value,
 };
 use ordxml_xml::{Document, NodePath};
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, PoisonError, RwLock, RwLockWriteGuard};
 
 /// Errors of the store layer.
 #[derive(Debug)]
@@ -224,7 +225,7 @@ pub(crate) fn decode_node_row(enc: Encoding, doc: i64, row: &Row) -> StoreResult
 /// order, via one indexed query. Shared by the facade, the translator's
 /// mediator, and the update layer.
 pub(crate) fn fetch_children(
-    db: &Database,
+    db: &dyn SqlRead,
     enc: Encoding,
     doc: i64,
     node: &XNode,
@@ -259,11 +260,119 @@ pub(crate) fn fetch_children(
     rows.iter().map(|r| decode_node_row(enc, doc, r)).collect()
 }
 
-/// Everything behind the store's reader–writer latch: the database plus the
+// ---------------------------------------------------------------------
+// Read helpers shared by the live write path (which must see its own
+// uncommitted statements inside a transaction) and the snapshot read path
+// (which must not): both sides are just a `SqlRead`.
+// ---------------------------------------------------------------------
+
+fn root_at(db: &dyn SqlRead, enc: Encoding, doc: i64) -> StoreResult<XNode> {
+    let sql = match enc {
+        Encoding::Global => format!(
+            "SELECT {} FROM global_node n WHERE n.doc = ? AND n.parent_pos = ?",
+            select_list(enc, "n")
+        ),
+        Encoding::Local => format!(
+            "SELECT {} FROM local_node n WHERE n.doc = ? AND n.parent_id = ?",
+            select_list(enc, "n")
+        ),
+        Encoding::Dewey => format!(
+            "SELECT {} FROM dewey_node n WHERE n.doc = ? AND n.key = ?",
+            select_list(enc, "n")
+        ),
+    };
+    let params = match enc {
+        Encoding::Dewey => vec![Value::Int(doc), Value::Bytes(DeweyKey::root().to_bytes())],
+        _ => vec![Value::Int(doc), Value::Int(shred::NO_PARENT)],
+    };
+    let rows = db.query_read(&sql, &params)?;
+    let row = rows
+        .first()
+        .ok_or_else(|| StoreError::BadNode(format!("no document {doc}")))?;
+    decode_node_row(enc, doc, row)
+}
+
+fn gap_at(db: &dyn SqlRead, enc: Encoding, doc: i64) -> StoreResult<u64> {
+    let rows = db.query_read(
+        &format!("SELECT gap FROM {} WHERE doc = ?", enc.docs_table()),
+        &[Value::Int(doc)],
+    )?;
+    let row = rows
+        .first()
+        .ok_or_else(|| StoreError::BadNode(format!("no document {doc}")))?;
+    Ok(row[0].as_int()? as u64)
+}
+
+fn resolve_at(db: &dyn SqlRead, enc: Encoding, doc: i64, path: &NodePath) -> StoreResult<XNode> {
+    let mut cur = root_at(db, enc, doc)?;
+    for &idx in &path.0 {
+        let kids = fetch_children(db, enc, doc, &cur)?;
+        let non_attr: Vec<XNode> = kids.into_iter().filter(|k| !k.is_attribute()).collect();
+        cur = non_attr
+            .into_iter()
+            .nth(idx)
+            .ok_or_else(|| StoreError::BadNode(format!("path {path} has no child {idx}")))?;
+    }
+    Ok(cur)
+}
+
+fn reconstruct_at(db: &dyn SqlRead, enc: Encoding, doc: i64) -> StoreResult<Document> {
+    let root = root_at(db, enc, doc)?;
+    crate::reconstruct::subtree_document(db, enc, doc, &root)
+}
+
+fn documents_at(db: &dyn SqlRead, enc: Encoding) -> StoreResult<Vec<(i64, String)>> {
+    let rows = db.query_read(
+        &format!("SELECT doc, name FROM {} ORDER BY doc", enc.docs_table()),
+        &[],
+    )?;
+    rows.iter()
+        .map(|r| Ok((r[0].as_int()?, r[1].as_text()?.to_string())))
+        .collect()
+}
+
+fn document_ids_at(db: &dyn SqlRead, enc: Encoding) -> StoreResult<Vec<i64>> {
+    let rows = db.query_read(
+        &format!("SELECT doc FROM {} ORDER BY doc", enc.docs_table()),
+        &[],
+    )?;
+    rows.iter()
+        .map(|r| r[0].as_int().map_err(StoreError::from))
+        .collect()
+}
+
+fn node_count_at(db: &dyn SqlRead, enc: Encoding, doc: i64) -> StoreResult<u64> {
+    let rows = db.query_read(
+        &format!("SELECT COUNT(*) FROM {} WHERE doc = ?", enc.node_table()),
+        &[Value::Int(doc)],
+    )?;
+    Ok(rows[0][0].as_int()? as u64)
+}
+
+/// Everything behind the store's writer latch: the live database plus the
 /// lazily-initialized schema flag and the ablation knobs that shape query
-/// translation.
+/// translation. Readers never lock this — they run against the last
+/// published [`StoreSnapshot`].
 struct StoreInner {
     db: Database,
+    encoding: Encoding,
+    schema_ready: bool,
+    position_strategy: crate::translate::PositionStrategy,
+    execution_mode: crate::translate::ExecutionMode,
+}
+
+/// One committed version of an [`XmlStore`] — the MVCC snapshot every read
+/// method runs against.
+///
+/// Obtained from [`XmlStore::snapshot`] (every read method also captures one
+/// implicitly). A snapshot is immutable and self-contained: its reads take
+/// **no** store latch and execute against the version that was committed
+/// when it was captured, so any number of readers proceed while a writer
+/// holds the store's write latch mid-update. Hold one snapshot across many
+/// reads to observe a single consistent version regardless of concurrent
+/// commits; drop it to let the engine reclaim that version's pages.
+pub struct StoreSnapshot {
+    db: DbSnapshot,
     encoding: Encoding,
     schema_ready: bool,
     position_strategy: crate::translate::PositionStrategy,
@@ -274,32 +383,76 @@ struct StoreInner {
 ///
 /// `XmlStore` is `Send + Sync`: wrap it in an [`Arc`](std::sync::Arc) and
 /// share it across threads. Queries ([`XmlStore::xpath`] and the other read
-/// methods) take a shared read latch and run concurrently; updates
+/// methods) run against the last *committed* [`StoreSnapshot`] — published
+/// lock-free at every write-latch release — so readers never wait on a
+/// writer and always observe either the complete pre-update or the complete
+/// post-update document, never a half-applied one. Updates
 /// ([`XmlStore::insert_fragment`], [`XmlStore::delete_subtree`], …) take the
-/// write latch, so every reader observes either the complete pre-update or
-/// the complete post-update document — never a half-applied one. Combined
-/// with the WAL's no-steal policy this makes a committed update atomic both
-/// across threads and across crashes.
+/// write latch, which is exclusive only among writers. Combined with the
+/// WAL's no-steal policy this makes a committed update atomic both across
+/// threads and across crashes.
 pub struct XmlStore {
     encoding: Encoding,
     inner: RwLock<StoreInner>,
+    /// The last committed version. Republished every time a write latch is
+    /// released; readers load it with one epoch-cell read (a latch no
+    /// writer ever holds across real work, so loads never wait).
+    published: latch::EpochCell<StoreSnapshot>,
 }
 
 /// Exclusive access to the store's underlying [`Database`], returned by
-/// [`XmlStore::db`]. Dereferences to [`Database`]; queries and updates are
-/// blocked for as long as the guard is held.
-pub struct DbGuard<'a>(RwLockWriteGuard<'a, StoreInner>);
+/// [`XmlStore::db`]. Dereferences to [`Database`]; updates are blocked for
+/// as long as the guard is held (readers keep serving the published
+/// snapshot). Dropping the guard republishes the committed state, so any
+/// writes made through it become visible to readers.
+pub struct DbGuard<'a> {
+    store: &'a XmlStore,
+    guard: RwLockWriteGuard<'a, StoreInner>,
+}
 
 impl Deref for DbGuard<'_> {
     type Target = Database;
     fn deref(&self) -> &Database {
-        &self.0.db
+        &self.guard.db
     }
 }
 
 impl DerefMut for DbGuard<'_> {
     fn deref_mut(&mut self) -> &mut Database {
-        &mut self.0.db
+        &mut self.guard.db
+    }
+}
+
+impl Drop for DbGuard<'_> {
+    fn drop(&mut self) {
+        self.store.publish(&self.guard);
+    }
+}
+
+/// The store's write latch plus republish-on-release: every store path that
+/// can mutate the database holds one of these, so the published snapshot is
+/// refreshed the moment the writer is done — readers never wait for it.
+struct StoreWriteGuard<'a> {
+    store: &'a XmlStore,
+    guard: RwLockWriteGuard<'a, StoreInner>,
+}
+
+impl Deref for StoreWriteGuard<'_> {
+    type Target = StoreInner;
+    fn deref(&self) -> &StoreInner {
+        &self.guard
+    }
+}
+
+impl DerefMut for StoreWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut StoreInner {
+        &mut self.guard
+    }
+}
+
+impl Drop for StoreWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.store.publish(&self.guard);
     }
 }
 
@@ -307,59 +460,81 @@ impl XmlStore {
     /// Wraps a database with the chosen order encoding. The relational
     /// schema is created lazily on first use.
     pub fn new(db: Database, encoding: Encoding) -> XmlStore {
+        let inner = StoreInner {
+            db,
+            encoding,
+            schema_ready: false,
+            position_strategy: crate::translate::PositionStrategy::default(),
+            execution_mode: crate::translate::ExecutionMode::default(),
+        };
+        let published = latch::EpochCell::new(Arc::new(inner.capture()));
         XmlStore {
             encoding,
-            inner: RwLock::new(StoreInner {
-                db,
-                encoding,
-                schema_ready: false,
-                position_strategy: crate::translate::PositionStrategy::default(),
-                execution_mode: crate::translate::ExecutionMode::default(),
-            }),
+            inner: RwLock::new(inner),
+            published,
         }
     }
 
-    fn inner_mut(&mut self) -> &mut StoreInner {
-        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    /// Captures and publishes the committed state for lock-free readers.
+    /// Called at construction and whenever a write latch is released.
+    fn publish(&self, inner: &StoreInner) {
+        self.published
+            .publish(Arc::new(inner.capture()), WaitSite::Snapshot);
     }
 
-    /// Shared read access, creating the schema first if no statement has
-    /// touched the store yet (double-checked: the common case stays on the
-    /// read latch).
-    fn read_inner(&self) -> StoreResult<RwLockReadGuard<'_, StoreInner>> {
-        let guard = latch::read(&self.inner, WaitSite::Store);
-        if guard.schema_ready {
-            return Ok(guard);
+    /// The current committed snapshot, creating the schema first if no
+    /// statement has touched the store yet. The common case is one
+    /// lock-free epoch-cell load; the one-time slow path takes the write
+    /// latch to run the DDL and republishes.
+    fn read_snapshot(&self) -> StoreResult<Arc<StoreSnapshot>> {
+        let (_, snap) = self.published.load(WaitSite::Snapshot);
+        if snap.schema_ready {
+            return Ok(snap);
         }
-        drop(guard);
-        latch::write(&self.inner, WaitSite::Store).ensure_schema()?;
-        Ok(latch::read(&self.inner, WaitSite::Store))
+        drop(snap);
+        // write_inner creates the schema; its guard republishes on drop.
+        drop(self.write_inner()?);
+        Ok(self.published.load(WaitSite::Snapshot).1)
+    }
+
+    /// A handle onto the current committed version. All the store's read
+    /// methods are available on the snapshot and run without taking any
+    /// store latch; the snapshot keeps serving exactly this version however
+    /// many updates commit after it was captured.
+    pub fn snapshot(&self) -> StoreResult<Arc<StoreSnapshot>> {
+        self.read_snapshot()
     }
 
     /// Exclusive access with the schema guaranteed to exist.
-    fn write_inner(&self) -> StoreResult<RwLockWriteGuard<'_, StoreInner>> {
+    fn write_inner(&self) -> StoreResult<StoreWriteGuard<'_>> {
         let mut guard = latch::write(&self.inner, WaitSite::Store);
         guard.ensure_schema()?;
-        Ok(guard)
+        Ok(StoreWriteGuard { store: self, guard })
     }
 
     /// Chooses how positional predicates are evaluated (an ablation knob;
     /// see [`crate::translate::PositionStrategy`]). The default is the
     /// paper's pure-SQL correlated-count translation.
     pub fn set_position_strategy(&mut self, strategy: crate::translate::PositionStrategy) {
-        self.inner_mut().position_strategy = strategy;
+        let inner = self.inner.get_mut().unwrap_or_else(PoisonError::into_inner);
+        inner.position_strategy = strategy;
+        self.published
+            .publish(Arc::new(inner.capture()), WaitSite::Snapshot);
     }
 
     /// Chooses how mediator phases visit their context set (an ablation
     /// knob; see [`crate::translate::ExecutionMode`]). The default is
     /// set-at-a-time batched execution.
     pub fn set_execution_mode(&mut self, mode: crate::translate::ExecutionMode) {
-        self.inner_mut().execution_mode = mode;
+        let inner = self.inner.get_mut().unwrap_or_else(PoisonError::into_inner);
+        inner.execution_mode = mode;
+        self.published
+            .publish(Arc::new(inner.capture()), WaitSite::Snapshot);
     }
 
     /// The store's current execution mode.
     pub fn execution_mode(&self) -> crate::translate::ExecutionMode {
-        latch::read(&self.inner, WaitSite::Store).execution_mode
+        self.published.load(WaitSite::Snapshot).1.execution_mode
     }
 
     /// The store's encoding.
@@ -372,44 +547,59 @@ impl XmlStore {
     /// SQL statements its mediator phases issue — runs under one deadline;
     /// past it the call returns [`DbError::Timeout`] and any open
     /// transaction rolls back.
+    ///
+    /// Governance state is shared between the live database and every
+    /// snapshot, so this takes no store latch — it works even while a
+    /// writer holds the write latch.
     pub fn set_deadline_ms(&self, ms: u64) {
-        latch::read(&self.inner, WaitSite::Store)
+        self.published
+            .load(WaitSite::Snapshot)
+            .1
             .db
             .set_deadline_ms(ms);
     }
 
     /// Sets a work budget (≈ rows visited + pages read) for every
     /// subsequent query or update (0 clears it); exceeding it returns
-    /// [`DbError::ResourceExhausted`].
+    /// [`DbError::ResourceExhausted`]. Lock-free, like
+    /// [`XmlStore::set_deadline_ms`].
     pub fn set_work_budget(&self, units: u64) {
-        latch::read(&self.inner, WaitSite::Store)
+        self.published
+            .load(WaitSite::Snapshot)
+            .1
             .db
             .set_work_budget(units);
     }
 
     /// The shared cancel flag: set it to `true` from any thread to make
     /// in-flight and future queries return [`DbError::Canceled`] at their
-    /// next governance check; clear it to resume service.
+    /// next governance check; clear it to resume service. Lock-free, like
+    /// [`XmlStore::set_deadline_ms`] — retrievable even mid-update, which
+    /// is exactly when an operator wants it.
     pub fn cancel_flag(&self) -> std::sync::Arc<std::sync::atomic::AtomicBool> {
-        latch::read(&self.inner, WaitSite::Store).db.cancel_flag()
+        self.published.load(WaitSite::Snapshot).1.db.cancel_flag()
     }
 
     /// Labels the store for operator-facing error messages: degraded-mode
     /// errors are prefixed with `[label]` so a pool operator can tell which
-    /// shard to [`XmlStore::try_restore`].
+    /// shard to [`XmlStore::try_restore`]. Pager-level state shared with
+    /// every snapshot, so no store latch is taken.
     pub fn set_identity(&self, label: &str) {
-        latch::read(&self.inner, WaitSite::Store)
+        self.published
+            .load(WaitSite::Snapshot)
+            .1
             .db
             .set_identity(label);
     }
 
     /// Runs a single SQL statement. Read candidates — a leading `SELECT`,
-    /// `EXPLAIN`, `WITH` keyword or `(` — first try the shared read latch
-    /// so they run concurrently with other readers; a candidate the read
-    /// path refuses as a write (e.g. `EXPLAIN` of an `INSERT`) safely
-    /// falls back to the exclusive write latch, which serves every
-    /// statement kind. Used by the serving layer, which speaks raw SQL
-    /// alongside XPath.
+    /// `EXPLAIN`, `WITH` keyword or `(` — run on the committed snapshot,
+    /// concurrent with any writer; a candidate the snapshot path refuses as
+    /// a write (e.g. `EXPLAIN` of an `INSERT`) safely falls back to the
+    /// exclusive write latch, which serves every statement kind (the
+    /// fallback is counted in the `sql_read_fallbacks` observability
+    /// metric). Used by the serving layer, which speaks raw SQL alongside
+    /// XPath.
     pub fn sql(&self, sql: &str, params: &[Value]) -> StoreResult<QueryResult> {
         let trimmed = sql.trim_start();
         let keyword = trimmed
@@ -420,13 +610,13 @@ impl XmlStore {
         let read_candidate =
             matches!(keyword.as_str(), "SELECT" | "EXPLAIN" | "WITH") || trimmed.starts_with('(');
         if read_candidate {
-            let inner = self.read_inner()?;
-            let _scope = governance::Scope::enter(inner.db.limits());
-            match inner.db.run_read(sql, params) {
-                // The read path refuses statements that turn out to write
-                // (EXPLAIN of an INSERT, a writable CTE): retry below
-                // under the exclusive latch.
-                Err(DbError::Unsupported(_)) => {}
+            let snap = self.read_snapshot()?;
+            let _scope = governance::Scope::enter(snap.db.limits());
+            match snap.db.run_read(sql, params) {
+                // The snapshot path refuses statements that turn out to
+                // write (EXPLAIN of an INSERT, a writable CTE): count the
+                // fallback and retry below under the exclusive latch.
+                Err(DbError::Unsupported(_)) => obs::registry().record_sql_read_fallback(),
                 result => return Ok(result?),
             }
         }
@@ -438,41 +628,47 @@ impl XmlStore {
 
     /// `(id, name)` of every loaded document, in id order.
     pub fn documents(&self) -> StoreResult<Vec<(i64, String)>> {
-        let inner = self.read_inner()?;
-        let rows = inner.db.query_read(
-            &format!(
-                "SELECT doc, name FROM {} ORDER BY doc",
-                inner.encoding.docs_table()
-            ),
-            &[],
-        )?;
-        rows.iter()
-            .map(|r| Ok((r[0].as_int()?, r[1].as_text()?.to_string())))
-            .collect()
+        self.read_snapshot()?.documents()
     }
 
     /// The store's health. After a persistent write-path failure the store
     /// degrades to read-only: queries keep serving committed data, updates
     /// return [`DbError::Degraded`]. See [`XmlStore::try_restore`].
+    ///
+    /// Served from the published snapshot (health is pager-level shared
+    /// state), so it always answers — even while a writer holds the write
+    /// latch mid-transaction.
     pub fn health(&self) -> StoreHealth {
-        latch::read(&self.inner, WaitSite::Store).db.health()
+        self.published.load(WaitSite::Snapshot).1.db.health()
+    }
+
+    /// Cumulative engine counters, served lock-free from the published
+    /// snapshot (the counter cells are shared with the live database), so
+    /// stats endpoints answer while a writer is mid-transaction.
+    pub fn total_stats(&self) -> ordxml_rdbms::ExecStats {
+        self.published.load(WaitSite::Snapshot).1.db.total_stats()
     }
 
     /// Attempts to leave degraded read-only mode by re-checkpointing
     /// against the (hopefully recovered) write path; on success updates are
     /// accepted again.
     pub fn try_restore(&self) -> StoreResult<()> {
-        latch::write(&self.inner, WaitSite::Store)
-            .db
-            .try_restore()
-            .map_err(StoreError::from)
+        let mut guard = StoreWriteGuard {
+            store: self,
+            guard: latch::write(&self.inner, WaitSite::Store),
+        };
+        guard.db.try_restore().map_err(StoreError::from)
     }
 
     /// Direct access to the underlying database (for diagnostics and the
     /// benchmark harness's counter collection). The guard holds the store's
-    /// write latch: drop it before calling any other store method.
+    /// write latch: drop it before calling any other writing store method
+    /// (reads keep serving the published snapshot and stay available).
     pub fn db(&self) -> DbGuard<'_> {
-        DbGuard(latch::write(&self.inner, WaitSite::Store))
+        DbGuard {
+            store: self,
+            guard: latch::write(&self.inner, WaitSite::Store),
+        }
     }
 
     /// Loads (shreds) a document with the default sparse-numbering gap and
@@ -497,40 +693,22 @@ impl XmlStore {
 
     /// Ids of all loaded documents.
     pub fn document_ids(&self) -> StoreResult<Vec<i64>> {
-        let inner = self.read_inner()?;
-        let rows = inner.db.query_read(
-            &format!(
-                "SELECT doc FROM {} ORDER BY doc",
-                inner.encoding.docs_table()
-            ),
-            &[],
-        )?;
-        rows.iter()
-            .map(|r| r[0].as_int().map_err(StoreError::from))
-            .collect()
+        self.read_snapshot()?.document_ids()
     }
 
     /// The sparse-numbering gap a document was loaded with.
     pub fn gap(&self, doc: i64) -> StoreResult<u64> {
-        self.read_inner()?.gap(doc)
+        self.read_snapshot()?.gap(doc)
     }
 
     /// Number of stored node rows for a document.
     pub fn node_count(&self, doc: i64) -> StoreResult<u64> {
-        let inner = self.read_inner()?;
-        let rows = inner.db.query_read(
-            &format!(
-                "SELECT COUNT(*) FROM {} WHERE doc = ?",
-                inner.encoding.node_table()
-            ),
-            &[Value::Int(doc)],
-        )?;
-        Ok(rows[0][0].as_int()? as u64)
+        self.read_snapshot()?.node_count(doc)
     }
 
     /// Evaluates an XPath expression, returning matching nodes in document
-    /// order. Takes the shared read latch: any number of threads can query
-    /// one store concurrently.
+    /// order. Runs on the committed snapshot: any number of threads query
+    /// one store concurrently, and none of them waits on a writer.
     pub fn xpath(&self, doc: i64, expr: &str) -> StoreResult<Vec<XNode>> {
         let path = xpath::parse(expr)?;
         self.xpath_parsed(doc, &path)
@@ -538,20 +716,7 @@ impl XmlStore {
 
     /// Evaluates a pre-parsed path.
     pub fn xpath_parsed(&self, doc: i64, path: &xpath::Path) -> StoreResult<Vec<XNode>> {
-        let _span = trace::span("store.xpath");
-        let inner = self.read_inner()?;
-        // One governance scope for the whole call: mediator phases may issue
-        // many SQL statements, and they all share this deadline and budget
-        // (per-statement scope entry nests as a no-op under this one).
-        let _gov = governance::Scope::enter(inner.db.limits());
-        crate::translate::execute_full(
-            &inner.db,
-            inner.encoding,
-            doc,
-            path,
-            inner.position_strategy,
-            inner.execution_mode,
-        )
+        self.read_snapshot()?.xpath_parsed(doc, path)
     }
 
     /// Evaluates an XPath expression like [`XmlStore::xpath`], additionally
@@ -559,41 +724,16 @@ impl XmlStore {
     /// issued (mediator phases repeat one statement per context node), the
     /// engine's rendered plan per distinct statement, and the merged
     /// execution counters.
+    ///
+    /// Diagnostics are read-only and run on the committed snapshot —
+    /// concurrent with other readers *and* with an in-flight writer (they
+    /// used to take the exclusive write latch for the whole query).
     pub fn xpath_diagnostics(
         &self,
         doc: i64,
         expr: &str,
     ) -> StoreResult<(Vec<XNode>, QueryDiagnostics)> {
-        let path = xpath::parse(expr)?;
-        let mut inner = self.write_inner()?;
-        inner.db.start_trace();
-        let _gov = governance::Scope::enter(inner.db.limits());
-        let (result, spans) = trace::capture(|| {
-            let _span = trace::span("store.xpath");
-            crate::translate::execute_full(
-                &inner.db,
-                inner.encoding,
-                doc,
-                &path,
-                inner.position_strategy,
-                inner.execution_mode,
-            )
-        });
-        let stmt_trace = inner.db.take_trace();
-        let nodes = result?;
-        let (statements, stats, elapsed, statements_executed) =
-            diag::fold_trace(&mut inner.db, stmt_trace);
-        let diagnostics = QueryDiagnostics {
-            expr: expr.to_string(),
-            encoding: inner.encoding,
-            rows: nodes.len() as u64,
-            statements_executed,
-            elapsed,
-            stats,
-            statements,
-            span_tree: trace::render_tree(&spans),
-        };
-        Ok((nodes, diagnostics))
+        self.read_snapshot()?.xpath_diagnostics(doc, expr)
     }
 
     /// Runs a store operation under statement tracing and folds the trace
@@ -608,10 +748,16 @@ impl XmlStore {
         let result = f(&mut inner);
         let trace = inner.db.take_trace();
         let cost = result?;
-        let (_, stats, elapsed, statements_executed) = diag::fold_trace(&mut inner.db, trace);
+        let encoding = inner.encoding;
+        // Explain against the live database: update traces contain write
+        // statements, which only the exclusive path can plan.
+        let (_, stats, elapsed, statements_executed) = diag::fold_trace(
+            |sql, params| inner.db.explain(sql, params, false).unwrap_or_default(),
+            trace,
+        );
         let diagnostics = UpdateDiagnostics {
             operation: operation.to_string(),
-            encoding: inner.encoding,
+            encoding,
             cost,
             statements_executed,
             elapsed,
@@ -657,30 +803,29 @@ impl XmlStore {
 
     /// The root node of a document.
     pub fn root(&self, doc: i64) -> StoreResult<XNode> {
-        self.read_inner()?.root(doc)
+        self.read_snapshot()?.root(doc)
     }
 
     /// All stored children of a node (attributes included), in order.
     pub fn children(&self, doc: i64, node: &XNode) -> StoreResult<Vec<XNode>> {
-        self.read_inner()?.children(doc, node)
+        self.read_snapshot()?.children(doc, node)
     }
 
     /// Resolves a structural [`NodePath`] (child indexes counting non-
     /// attribute children, as in the DOM) to a stored node.
     pub fn resolve(&self, doc: i64, path: &NodePath) -> StoreResult<XNode> {
-        self.read_inner()?.resolve(doc, path)
+        self.read_snapshot()?.resolve(doc, path)
     }
 
     /// Serializes the subtree rooted at `node` back to XML text (elements),
     /// or returns the node's value (text/attribute/comment/PI nodes).
     pub fn serialize(&self, doc: i64, node: &XNode) -> StoreResult<String> {
-        let inner = self.read_inner()?;
-        crate::reconstruct::serialize_subtree(&inner.db, inner.encoding, doc, node)
+        self.read_snapshot()?.serialize(doc, node)
     }
 
     /// Reconstructs the full document from its relational image.
     pub fn reconstruct_document(&self, doc: i64) -> StoreResult<Document> {
-        self.read_inner()?.reconstruct_document(doc)
+        self.read_snapshot()?.reconstruct_document(doc)
     }
 
     // -----------------------------------------------------------------
@@ -736,6 +881,19 @@ impl XmlStore {
 }
 
 impl StoreInner {
+    /// Captures the last committed version as a fresh [`StoreSnapshot`]
+    /// (cheap: one committed-state epoch-cell load plus a handful of `Arc`
+    /// clones).
+    fn capture(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            db: self.db.snapshot(),
+            encoding: self.encoding,
+            schema_ready: self.schema_ready,
+            position_strategy: self.position_strategy,
+            execution_mode: self.execution_mode,
+        }
+    }
+
     fn ensure_schema(&mut self) -> StoreResult<()> {
         if !self.schema_ready {
             shred::create_schema(&mut self.db, self.encoding)?;
@@ -797,67 +955,19 @@ impl StoreInner {
             + 1)
     }
 
+    // Reads on the live database: inside a transaction these see the
+    // transaction's own uncommitted statements, which the update layer
+    // depends on (resolve-then-mutate sequences).
     fn gap(&self, doc: i64) -> StoreResult<u64> {
-        let rows = self.db.query_read(
-            &format!(
-                "SELECT gap FROM {} WHERE doc = ?",
-                self.encoding.docs_table()
-            ),
-            &[Value::Int(doc)],
-        )?;
-        let row = rows
-            .first()
-            .ok_or_else(|| StoreError::BadNode(format!("no document {doc}")))?;
-        Ok(row[0].as_int()? as u64)
-    }
-
-    fn root(&self, doc: i64) -> StoreResult<XNode> {
-        let enc = self.encoding;
-        let sql = match enc {
-            Encoding::Global => format!(
-                "SELECT {} FROM global_node n WHERE n.doc = ? AND n.parent_pos = ?",
-                select_list(enc, "n")
-            ),
-            Encoding::Local => format!(
-                "SELECT {} FROM local_node n WHERE n.doc = ? AND n.parent_id = ?",
-                select_list(enc, "n")
-            ),
-            Encoding::Dewey => format!(
-                "SELECT {} FROM dewey_node n WHERE n.doc = ? AND n.key = ?",
-                select_list(enc, "n")
-            ),
-        };
-        let params = match enc {
-            Encoding::Dewey => vec![Value::Int(doc), Value::Bytes(DeweyKey::root().to_bytes())],
-            _ => vec![Value::Int(doc), Value::Int(shred::NO_PARENT)],
-        };
-        let rows = self.db.query_read(&sql, &params)?;
-        let row = rows
-            .first()
-            .ok_or_else(|| StoreError::BadNode(format!("no document {doc}")))?;
-        decode_node_row(enc, doc, row)
-    }
-
-    fn children(&self, doc: i64, node: &XNode) -> StoreResult<Vec<XNode>> {
-        fetch_children(&self.db, self.encoding, doc, node)
+        gap_at(&self.db, self.encoding, doc)
     }
 
     fn resolve(&self, doc: i64, path: &NodePath) -> StoreResult<XNode> {
-        let mut cur = self.root(doc)?;
-        for &idx in &path.0 {
-            let kids = self.children(doc, &cur)?;
-            let non_attr: Vec<XNode> = kids.into_iter().filter(|k| !k.is_attribute()).collect();
-            cur = non_attr
-                .into_iter()
-                .nth(idx)
-                .ok_or_else(|| StoreError::BadNode(format!("path {path} has no child {idx}")))?;
-        }
-        Ok(cur)
+        resolve_at(&self.db, self.encoding, doc, path)
     }
 
     fn reconstruct_document(&self, doc: i64) -> StoreResult<Document> {
-        let root = self.root(doc)?;
-        crate::reconstruct::subtree_document(&self.db, self.encoding, doc, &root)
+        reconstruct_at(&self.db, self.encoding, doc)
     }
 
     fn insert_fragment(
@@ -941,6 +1051,153 @@ impl StoreInner {
             let node = s.resolve(doc, target)?;
             crate::update::update_text(&mut s.db, s.encoding, doc, &node, text)
         })
+    }
+}
+
+impl StoreSnapshot {
+    /// The snapshot's encoding.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
+    }
+
+    /// Evaluates an XPath expression against this committed version.
+    pub fn xpath(&self, doc: i64, expr: &str) -> StoreResult<Vec<XNode>> {
+        let path = xpath::parse(expr)?;
+        self.xpath_parsed(doc, &path)
+    }
+
+    /// Evaluates a pre-parsed path against this committed version.
+    pub fn xpath_parsed(&self, doc: i64, path: &xpath::Path) -> StoreResult<Vec<XNode>> {
+        let _span = trace::span("store.xpath");
+        // One governance scope for the whole call: mediator phases may issue
+        // many SQL statements, and they all share this deadline and budget
+        // (per-statement scope entry nests as a no-op under this one).
+        let _gov = governance::Scope::enter(self.db.limits());
+        crate::translate::execute_full(
+            &self.db,
+            self.encoding,
+            doc,
+            path,
+            self.position_strategy,
+            self.execution_mode,
+        )
+    }
+
+    /// [`XmlStore::xpath_diagnostics`] against this committed version. The
+    /// statement trace is private to one diagnostics call (the underlying
+    /// snapshot handle is forked), so concurrent diagnostics never
+    /// interleave their traces.
+    pub fn xpath_diagnostics(
+        &self,
+        doc: i64,
+        expr: &str,
+    ) -> StoreResult<(Vec<XNode>, QueryDiagnostics)> {
+        let path = xpath::parse(expr)?;
+        let db = self.db.fork();
+        db.start_trace();
+        let _gov = governance::Scope::enter(db.limits());
+        let (result, spans) = trace::capture(|| {
+            let _span = trace::span("store.xpath");
+            crate::translate::execute_full(
+                &db,
+                self.encoding,
+                doc,
+                &path,
+                self.position_strategy,
+                self.execution_mode,
+            )
+        });
+        let stmt_trace = db.take_trace();
+        let nodes = result?;
+        let (statements, stats, elapsed, statements_executed) = diag::fold_trace(
+            |sql, params| db.explain_read(sql, params).unwrap_or_default(),
+            stmt_trace,
+        );
+        let diagnostics = QueryDiagnostics {
+            expr: expr.to_string(),
+            encoding: self.encoding,
+            rows: nodes.len() as u64,
+            statements_executed,
+            elapsed,
+            stats,
+            statements,
+            span_tree: trace::render_tree(&spans),
+        };
+        Ok((nodes, diagnostics))
+    }
+
+    /// Runs one read-shaped SQL statement against this committed version.
+    /// Write statements are refused ([`DbError::Unsupported`]): a snapshot
+    /// has no write path.
+    pub fn sql(&self, sql: &str, params: &[Value]) -> StoreResult<QueryResult> {
+        let _scope = governance::Scope::enter(self.db.limits());
+        Ok(self.db.run_read(sql, params)?)
+    }
+
+    /// `(id, name)` of every document in this version, in id order.
+    pub fn documents(&self) -> StoreResult<Vec<(i64, String)>> {
+        documents_at(&self.db, self.encoding)
+    }
+
+    /// Ids of all documents in this version.
+    pub fn document_ids(&self) -> StoreResult<Vec<i64>> {
+        document_ids_at(&self.db, self.encoding)
+    }
+
+    /// The sparse-numbering gap a document was loaded with.
+    pub fn gap(&self, doc: i64) -> StoreResult<u64> {
+        gap_at(&self.db, self.encoding, doc)
+    }
+
+    /// Number of stored node rows for a document in this version.
+    pub fn node_count(&self, doc: i64) -> StoreResult<u64> {
+        node_count_at(&self.db, self.encoding, doc)
+    }
+
+    /// The root node of a document.
+    pub fn root(&self, doc: i64) -> StoreResult<XNode> {
+        root_at(&self.db, self.encoding, doc)
+    }
+
+    /// All stored children of a node (attributes included), in order.
+    pub fn children(&self, doc: i64, node: &XNode) -> StoreResult<Vec<XNode>> {
+        fetch_children(&self.db, self.encoding, doc, node)
+    }
+
+    /// Resolves a structural [`NodePath`] to a stored node.
+    pub fn resolve(&self, doc: i64, path: &NodePath) -> StoreResult<XNode> {
+        resolve_at(&self.db, self.encoding, doc, path)
+    }
+
+    /// Serializes the subtree rooted at `node` back to XML text.
+    pub fn serialize(&self, doc: i64, node: &XNode) -> StoreResult<String> {
+        crate::reconstruct::serialize_subtree(&self.db, self.encoding, doc, node)
+    }
+
+    /// Reconstructs the full document from this version's relational image.
+    pub fn reconstruct_document(&self, doc: i64) -> StoreResult<Document> {
+        reconstruct_at(&self.db, self.encoding, doc)
+    }
+
+    /// The store's health (pager-level shared state: always current, even
+    /// on an old snapshot).
+    pub fn health(&self) -> StoreHealth {
+        self.db.health()
+    }
+
+    /// Cumulative engine counters (shared cells: always current, even on
+    /// an old snapshot).
+    pub fn total_stats(&self) -> ordxml_rdbms::ExecStats {
+        self.db.total_stats()
+    }
+}
+
+impl fmt::Debug for StoreSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StoreSnapshot")
+            .field("encoding", &self.encoding)
+            .field("schema_ready", &self.schema_ready)
+            .finish()
     }
 }
 

@@ -33,7 +33,7 @@ use crate::encoding::{DeweyKey, Encoding};
 use crate::shred::{KIND_ATTR, KIND_ELEMENT, KIND_TEXT, NO_PARENT};
 use crate::store::{decode_node_row, select_list, NodeRef, StoreError, StoreResult, XNode};
 use crate::xpath::{Axis, CmpOp, NodeTest, Path, Pred, SimpleStep, Step};
-use ordxml_rdbms::{encode_range_batch, Database, RangeSpec, Value};
+use ordxml_rdbms::{encode_range_batch, RangeSpec, SqlRead, Value};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// How positional predicates (`[k]`, `position() op k`, `last()`) are
@@ -69,13 +69,13 @@ pub enum ExecutionMode {
 
 /// Evaluates an absolute path against document `doc`, returning matching
 /// nodes in document order (duplicates removed).
-pub fn execute(db: &Database, enc: Encoding, doc: i64, path: &Path) -> StoreResult<Vec<XNode>> {
+pub fn execute(db: &dyn SqlRead, enc: Encoding, doc: i64, path: &Path) -> StoreResult<Vec<XNode>> {
     execute_with(db, enc, doc, path, PositionStrategy::CountSubquery)
 }
 
 /// [`execute`] with an explicit positional-predicate strategy.
 pub fn execute_with(
-    db: &Database,
+    db: &dyn SqlRead,
     enc: Encoding,
     doc: i64,
     path: &Path,
@@ -86,7 +86,7 @@ pub fn execute_with(
 
 /// [`execute`] with explicit positional-predicate and execution-mode knobs.
 pub fn execute_full(
-    db: &Database,
+    db: &dyn SqlRead,
     enc: Encoding,
     doc: i64,
     path: &Path,
@@ -251,7 +251,7 @@ impl Sql {
 }
 
 struct Translator<'a> {
-    db: &'a Database,
+    db: &'a dyn SqlRead,
     enc: Encoding,
     doc: i64,
     strategy: PositionStrategy,
@@ -2283,6 +2283,7 @@ fn pred_positional(p: &Pred) -> bool {
 mod tests {
     use super::*;
     use crate::store::XmlStore;
+    use ordxml_rdbms::Database;
     use ordxml_xml::parse as parse_xml;
 
     fn store_with(enc: Encoding, xml: &str) -> (XmlStore, i64) {

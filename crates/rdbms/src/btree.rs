@@ -26,7 +26,7 @@ const NIL: u32 = u32::MAX;
 /// `O(log n)` beats the sibling walk.
 const FINGER_WALK_LIMIT: usize = 4;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Node {
     Leaf {
         keys: Vec<Vec<u8>>,
@@ -90,6 +90,25 @@ pub struct BTree {
 impl Default for BTree {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Clone for BTree {
+    /// Deep copy for catalog copy-on-write: a published snapshot shares a
+    /// table until a writer touches it, at which point the whole tree is
+    /// cloned. Counters are carried over as fresh atomics so the copy's
+    /// totals start where the original's were.
+    fn clone(&self) -> Self {
+        BTree {
+            nodes: self.nodes.clone(),
+            free: self.free.clone(),
+            root: self.root,
+            len: self.len,
+            descents: AtomicU64::new(self.descents.load(Ordering::Relaxed)),
+            descent_reuses: AtomicU64::new(self.descent_reuses.load(Ordering::Relaxed)),
+            leaf_scans: AtomicU64::new(self.leaf_scans.load(Ordering::Relaxed)),
+            splits: AtomicU64::new(self.splits.load(Ordering::Relaxed)),
+        }
     }
 }
 

@@ -17,13 +17,18 @@ use crate::storage::{HeapFile, PageId, Pager, RowId};
 use crate::value::{decode_row, encode_key, encode_row, DataType, Row, Value};
 use std::collections::HashMap;
 use std::ops::Bound;
+use std::sync::Arc;
 
 /// One `[lower, upper)`-style encoded-key range, as produced by the
 /// executor's multi-range batching (see [`Table::index_range_multi`]).
 pub type KeyRange = (Bound<Vec<u8>>, Bound<Vec<u8>>);
 
 /// A table: schema + heap + indexes.
-#[derive(Debug)]
+///
+/// `Clone` is a deep copy (heap page list + full index trees); the catalog
+/// shares tables behind `Arc` so cloning only happens copy-on-write, when a
+/// writer first touches a table that a published snapshot still references.
+#[derive(Debug, Clone)]
 pub struct Table {
     /// The logical schema.
     pub schema: TableSchema,
@@ -279,9 +284,14 @@ impl Table {
 }
 
 /// The set of tables in a database.
-#[derive(Debug, Default)]
+///
+/// Tables live behind `Arc` so that `Catalog::clone` (used to publish MVCC
+/// snapshots) is cheap: it copies the name map and bumps refcounts. Writers
+/// mutate through [`Catalog::table_mut`], which copy-on-writes a table the
+/// first time it is touched while a snapshot still shares it.
+#[derive(Debug, Default, Clone)]
 pub struct Catalog {
-    tables: Vec<Table>,
+    tables: Vec<Arc<Table>>,
     by_name: HashMap<String, usize>,
 }
 
@@ -310,7 +320,7 @@ impl Catalog {
             }
         }
         self.by_name.insert(name, self.tables.len());
-        self.tables.push(Table::new(schema));
+        self.tables.push(Arc::new(Table::new(schema)));
         Ok(())
     }
 
@@ -371,7 +381,7 @@ impl Catalog {
     pub fn table(&self, name: &str) -> DbResult<&Table> {
         self.by_name
             .get(&name.to_ascii_lowercase())
-            .map(|&i| &self.tables[i])
+            .map(|&i| &*self.tables[i])
             .ok_or_else(|| DbError::Unknown(format!("table `{name}`")))
     }
 
@@ -381,7 +391,7 @@ impl Catalog {
             .by_name
             .get(&name.to_ascii_lowercase())
             .ok_or_else(|| DbError::Unknown(format!("table `{name}`")))?;
-        Ok(&mut self.tables[idx])
+        Ok(Arc::make_mut(&mut self.tables[idx]))
     }
 
     /// `true` if the table exists.

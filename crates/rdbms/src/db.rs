@@ -175,6 +175,114 @@ impl PlanCache {
         sql.hash(&mut h);
         &self.shards[(h.finish() as usize) % PLAN_CACHE_SHARDS]
     }
+
+    /// Looks `sql` up, parsing and planning it against `catalog` on a miss
+    /// (with per-shard LRU eviction at the cap), and returns the pinned
+    /// entry. Hits take only the owning shard's *read* latch — concurrent
+    /// lookups of cached statements never exclude each other — and misses
+    /// parse and plan outside any latch, taking the shard's write latch
+    /// only for the insert. The cache is shared between the live database
+    /// and its published snapshots (same schema; DDL invalidates).
+    fn lookup(&self, catalog: &Catalog, sql: &str) -> DbResult<Arc<Cached>> {
+        let _span = trace::span("plan_cache.lookup");
+        let shard = self.shard(sql);
+        let clock = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let hit = latch::read(&shard.map, WaitSite::PlanCache)
+            .get(sql)
+            .map(Arc::clone);
+        if let Some(cached) = hit {
+            cached.last_used.store(clock, Ordering::Relaxed);
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+            obs::registry().record_plan_cache(true);
+            return Ok(cached);
+        }
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        obs::registry().record_plan_cache(false);
+        let _plan_span = trace::span("plan.build");
+        let parsed = parse(sql)?;
+        // EXPLAIN shares the wrapped statement's plan slot, so EXPLAIN
+        // renders exactly the plan the bare statement would run.
+        let planned = match &parsed.stmt {
+            Stmt::Explain { inner, .. } => inner.as_ref(),
+            other => other,
+        };
+        let plan = match planned {
+            Stmt::Select(s) => Some(plan_select(catalog, s, &parsed.subqueries, None)?),
+            _ => None,
+        };
+        let entry = Arc::new(Cached {
+            parsed,
+            plan,
+            last_used: AtomicU64::new(clock),
+        });
+        let mut map = latch::write(&shard.map, WaitSite::PlanCache);
+        // Another thread may have planned the same statement while this one
+        // held no latch; keep the incumbent so both callers share one entry.
+        if let Some(existing) = map.get(sql) {
+            existing.last_used.store(clock, Ordering::Relaxed);
+            return Ok(Arc::clone(existing));
+        }
+        if map.len() >= PLAN_CACHE_SHARD_CAP {
+            // Evict the shard's least-recently-used entry. Linear at the
+            // (per-shard) cap, cheap relative to parse + plan work.
+            if let Some(lru) = map
+                .iter()
+                .min_by_key(|(_, c)| c.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+            {
+                map.remove(&lru);
+            }
+        }
+        map.insert(sql.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+}
+
+/// Governance knobs shared between a live [`Database`] and every
+/// [`DbSnapshot`] taken from it: a deadline or budget set on either side
+/// governs both, and one cancel flag stops reads and writes alike.
+struct GovState {
+    /// Per-statement deadline in milliseconds (0 = none).
+    deadline_ms: AtomicU64,
+    /// Per-statement work budget in units (0 = none).
+    work_budget: AtomicU64,
+    /// Shared cancel flag, created lazily; statements only pay for
+    /// cancellation checks once a caller has asked for the flag.
+    cancel: OnceLock<Arc<AtomicBool>>,
+}
+
+impl GovState {
+    fn new() -> GovState {
+        GovState {
+            deadline_ms: AtomicU64::new(0),
+            work_budget: AtomicU64::new(0),
+            cancel: OnceLock::new(),
+        }
+    }
+
+    fn cancel_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(self.cancel.get_or_init(|| Arc::new(AtomicBool::new(false))))
+    }
+
+    fn limits(&self) -> governance::Limits {
+        let ms = self.deadline_ms.load(Ordering::Relaxed);
+        let budget = self.work_budget.load(Ordering::Relaxed);
+        governance::Limits {
+            deadline: (ms > 0).then(|| Instant::now() + Duration::from_millis(ms)),
+            cancel: self.cancel.get().map(Arc::clone),
+            work_budget: (budget > 0).then_some(budget),
+        }
+    }
+}
+
+/// One committed version of the database: the catalog as of a commit,
+/// paired with a [`crate::storage::PageView`] of exactly the pages that
+/// commit produced. Published as a unit by the writer (which holds
+/// `&mut Database`, so the pair can never be torn) and shared by `Arc`
+/// clone with every reader.
+struct CommittedState {
+    catalog: Arc<Catalog>,
+    view: crate::storage::PageView,
 }
 
 /// An embedded relational database.
@@ -189,13 +297,15 @@ impl PlanCache {
 /// who need interleaved reads and writes put the database behind an
 /// `RwLock` (see `XmlStore` in the core crate).
 pub struct Database {
-    pager: Pager,
+    pager: Arc<Pager>,
     catalog: Catalog,
-    plan_cache: PlanCache,
+    /// Shared with published snapshots ([`DbSnapshot`]), so snapshot reads
+    /// reuse — and warm — the same prepared plans as live statements.
+    plan_cache: Arc<PlanCache>,
     /// Cumulative execution counters across all statements. An atomic cell,
     /// not a latch: concurrent readers merge their statement stats without
-    /// serializing.
-    total_stats: SharedExecStats,
+    /// serializing. Shared with snapshots, so their reads land here too.
+    total_stats: Arc<SharedExecStats>,
     /// `true` while a statement trace is being recorded — checked with one
     /// relaxed load per statement so the `trace` latch is never touched on
     /// the (hot, concurrent) untraced path.
@@ -208,34 +318,35 @@ pub struct Database {
     file_backed: bool,
     /// Open explicit or auto-commit transaction, if any.
     txn: Option<DbTxn>,
-    /// Per-statement deadline in milliseconds (0 = none). See
-    /// [`Database::set_deadline_ms`].
-    gov_deadline_ms: AtomicU64,
-    /// Per-statement work budget in units (0 = none). See
-    /// [`Database::set_work_budget`].
-    gov_work_budget: AtomicU64,
-    /// Shared cancel flag, created lazily by [`Database::cancel_flag`];
-    /// statements only pay for cancellation checks once a caller has asked
-    /// for the flag.
-    gov_cancel: OnceLock<Arc<AtomicBool>>,
+    /// Governance knobs, shared with every snapshot.
+    gov: Arc<GovState>,
+    /// The last committed version, republished by every commit, rollback,
+    /// and auto-commit write. [`Database::snapshot`] loads it; readers run
+    /// against it while a writer proceeds.
+    committed: latch::EpochCell<CommittedState>,
 }
 
 impl Database {
     /// A fresh, fully in-memory database.
     pub fn in_memory() -> Database {
+        let pager = Arc::new(Pager::in_memory());
+        let catalog = Catalog::new();
+        let committed = latch::EpochCell::new(Arc::new(CommittedState {
+            catalog: Arc::new(catalog.clone()),
+            view: Pager::view(&pager),
+        }));
         Database {
-            pager: Pager::in_memory(),
-            catalog: Catalog::new(),
-            plan_cache: PlanCache::default(),
-            total_stats: SharedExecStats::default(),
+            pager,
+            catalog,
+            plan_cache: Arc::new(PlanCache::default()),
+            total_stats: Arc::new(SharedExecStats::default()),
             trace_on: AtomicBool::new(false),
             trace: Mutex::new(None),
             catalog_pages: Vec::new(),
             file_backed: false,
             txn: None,
-            gov_deadline_ms: AtomicU64::new(0),
-            gov_work_budget: AtomicU64::new(0),
-            gov_cancel: OnceLock::new(),
+            gov: Arc::new(GovState::new()),
+            committed,
         }
     }
 
@@ -286,19 +397,23 @@ impl Database {
             }
             (Catalog::decode(&blob, &pager)?, pages)
         };
+        let pager = Arc::new(pager);
+        let committed = latch::EpochCell::new(Arc::new(CommittedState {
+            catalog: Arc::new(catalog.clone()),
+            view: Pager::view(&pager),
+        }));
         Ok(Database {
             pager,
             catalog,
-            plan_cache: PlanCache::default(),
-            total_stats: SharedExecStats::default(),
+            plan_cache: Arc::new(PlanCache::default()),
+            total_stats: Arc::new(SharedExecStats::default()),
             trace_on: AtomicBool::new(false),
             trace: Mutex::new(None),
             catalog_pages,
             file_backed: true,
             txn: None,
-            gov_deadline_ms: AtomicU64::new(0),
-            gov_work_budget: AtomicU64::new(0),
-            gov_cancel: OnceLock::new(),
+            gov: Arc::new(GovState::new()),
+            committed,
         })
     }
 
@@ -308,14 +423,14 @@ impl Database {
     /// checkpoint and the statement unwinds like any other error
     /// (transactions roll back, latches release).
     pub fn set_deadline_ms(&self, ms: u64) {
-        self.gov_deadline_ms.store(ms, Ordering::Relaxed);
+        self.gov.deadline_ms.store(ms, Ordering::Relaxed);
     }
 
     /// Sets a per-statement work budget in units of rows visited + pages
     /// read (0 clears it); exceeding it surfaces
     /// [`DbError::ResourceExhausted`].
     pub fn set_work_budget(&self, units: u64) {
-        self.gov_work_budget.store(units, Ordering::Relaxed);
+        self.gov.work_budget.store(units, Ordering::Relaxed);
     }
 
     /// The shared cancel flag for this database's statements. Setting it
@@ -324,10 +439,7 @@ impl Database {
     /// check; clear it to resume normal service. The flag is created on
     /// first call — until then statements pay nothing for cancellation.
     pub fn cancel_flag(&self) -> Arc<AtomicBool> {
-        Arc::clone(
-            self.gov_cancel
-                .get_or_init(|| Arc::new(AtomicBool::new(false))),
-        )
+        self.gov.cancel_flag()
     }
 
     /// The governance limits a statement starting *now* would run under.
@@ -335,13 +447,7 @@ impl Database {
     /// `xpath()`) enter one [`governance::Scope`] with these limits up
     /// front, so the whole call shares a single deadline and budget.
     pub fn limits(&self) -> governance::Limits {
-        let ms = self.gov_deadline_ms.load(Ordering::Relaxed);
-        let budget = self.gov_work_budget.load(Ordering::Relaxed);
-        governance::Limits {
-            deadline: (ms > 0).then(|| Instant::now() + Duration::from_millis(ms)),
-            cancel: self.gov_cancel.get().map(Arc::clone),
-            work_budget: (budget > 0).then_some(budget),
-        }
+        self.gov.limits()
     }
 
     /// Sets this database's operator-facing identity. Multi-store
@@ -427,6 +533,7 @@ impl Database {
         match res {
             Ok(()) => {
                 self.txn = None;
+                self.publish_committed();
                 obs::registry().record_txn(true);
                 if self.pager.wal_frames_in_log() >= WAL_AUTOCHECKPOINT_FRAMES {
                     // Best effort: the commit is already durable; a failed
@@ -466,8 +573,42 @@ impl Database {
             self.catalog_pages = st.catalog_pages;
             self.invalidate_plans();
         }
+        // Republish the restored state: content-identical to the previous
+        // version, but snapshots taken from now on carry the rebuilt
+        // catalog (and a fresh page view, releasing the aborted epoch).
+        self.publish_committed();
         obs::registry().record_txn(false);
         Ok(())
+    }
+
+    /// Publishes the current (committed) catalog + page state as the
+    /// version [`Database::snapshot`] hands out. Called at every commit,
+    /// rollback, and standalone auto-commit write — never mid-transaction,
+    /// so readers only ever pair a catalog with exactly its pages. Cheap:
+    /// the catalog clone shares every table by `Arc` (copy-on-write).
+    fn publish_committed(&self) {
+        let state = CommittedState {
+            catalog: Arc::new(self.catalog.clone()),
+            view: Pager::view(&self.pager),
+        };
+        self.committed.publish(Arc::new(state), WaitSite::Snapshot);
+    }
+
+    /// A read-only [`DbSnapshot`] of the last committed version. Cheap
+    /// (one epoch-cell load); any number of threads may query their
+    /// snapshots while this database runs a writer. The snapshot stays
+    /// valid — and pins at most its own version — for as long as it lives.
+    pub fn snapshot(&self) -> DbSnapshot {
+        let (_, state) = self.committed.load(WaitSite::Snapshot);
+        DbSnapshot {
+            state,
+            pager: Arc::clone(&self.pager),
+            plans: Arc::clone(&self.plan_cache),
+            total_stats: Arc::clone(&self.total_stats),
+            gov: Arc::clone(&self.gov),
+            trace_on: AtomicBool::new(false),
+            trace: Mutex::new(None),
+        }
     }
 
     /// Runs `f` inside a transaction: commit on `Ok`, rollback on `Err`.
@@ -558,64 +699,10 @@ impl Database {
         Ok(self.run_read(sql, params)?.rows)
     }
 
-    /// Looks `sql` up in the plan cache, parsing and planning it on a miss
-    /// (with per-shard LRU eviction at the cap), and returns the pinned
-    /// entry. Hits take only the owning shard's *read* latch — concurrent
-    /// lookups of cached statements never exclude each other — and misses
-    /// parse and plan outside any latch, taking the shard's write latch
-    /// only for the insert.
+    /// Looks `sql` up in the shared plan cache, planning it against the
+    /// live catalog on a miss (see [`PlanCache::lookup`]).
     fn lookup_plan(&self, sql: &str) -> DbResult<Arc<Cached>> {
-        let _span = trace::span("plan_cache.lookup");
-        let shard = self.plan_cache.shard(sql);
-        let clock = self.plan_cache.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        let hit = latch::read(&shard.map, WaitSite::PlanCache)
-            .get(sql)
-            .map(Arc::clone);
-        if let Some(cached) = hit {
-            cached.last_used.store(clock, Ordering::Relaxed);
-            shard.hits.fetch_add(1, Ordering::Relaxed);
-            obs::registry().record_plan_cache(true);
-            return Ok(cached);
-        }
-        shard.misses.fetch_add(1, Ordering::Relaxed);
-        obs::registry().record_plan_cache(false);
-        let _plan_span = trace::span("plan.build");
-        let parsed = parse(sql)?;
-        // EXPLAIN shares the wrapped statement's plan slot, so EXPLAIN
-        // renders exactly the plan the bare statement would run.
-        let planned = match &parsed.stmt {
-            Stmt::Explain { inner, .. } => inner.as_ref(),
-            other => other,
-        };
-        let plan = match planned {
-            Stmt::Select(s) => Some(plan_select(&self.catalog, s, &parsed.subqueries, None)?),
-            _ => None,
-        };
-        let entry = Arc::new(Cached {
-            parsed,
-            plan,
-            last_used: AtomicU64::new(clock),
-        });
-        let mut map = latch::write(&shard.map, WaitSite::PlanCache);
-        // Another thread may have planned the same statement while this one
-        // held no latch; keep the incumbent so both callers share one entry.
-        if let Some(existing) = map.get(sql) {
-            existing.last_used.store(clock, Ordering::Relaxed);
-            return Ok(Arc::clone(existing));
-        }
-        if map.len() >= PLAN_CACHE_SHARD_CAP {
-            // Evict the shard's least-recently-used entry. Linear at the
-            // (per-shard) cap, cheap relative to parse + plan work.
-            if let Some(lru) = map
-                .iter()
-                .min_by_key(|(_, c)| c.last_used.load(Ordering::Relaxed))
-                .map(|(k, _)| k.clone())
-            {
-                map.remove(&lru);
-            }
-        }
-        map.insert(sql.to_string(), Arc::clone(&entry));
-        Ok(entry)
+        self.plan_cache.lookup(&self.catalog, sql)
     }
 
     /// Per-shard `(hits, misses)` counters for the plan cache, in shard
@@ -678,7 +765,8 @@ impl Database {
         // Standalone write statements auto-commit under WAL durability, so
         // every write is atomic and durable on its own; statements inside an
         // explicit transaction ride on its commit.
-        let auto_txn = self.pager.wal_enabled() && !self.in_transaction() && stmt_writes(&stmt);
+        let is_write = stmt_writes(&stmt);
+        let auto_txn = self.pager.wal_enabled() && !self.in_transaction() && is_write;
         if auto_txn {
             self.begin()?;
         }
@@ -700,6 +788,12 @@ impl Database {
                 return Err(e);
             }
         };
+        // Writes that commit without a transaction (no WAL: the in-memory
+        // backend, legacy checkpoint durability) republish here; auto-commit
+        // and explicit transactions republish inside `commit`.
+        if is_write && !auto_txn && !self.in_transaction() {
+            self.publish_committed();
+        }
         self.fold_engine_deltas(&mut result.stats, &pages_before, &trees_before);
         self.total_stats.merge(&result.stats);
         if let Some(started) = started {
@@ -744,20 +838,7 @@ impl Database {
     /// governance counters (registry and cumulative stats) when the failure
     /// was a tripped deadline or cancellation.
     fn record_failure(&self, e: &DbError) {
-        obs::registry().record_statement_error();
-        let mut s = ExecStats::default();
-        match e {
-            DbError::Timeout(_) => {
-                obs::registry().record_query_timeout();
-                s.queries_timed_out = 1;
-            }
-            DbError::Canceled(_) => {
-                obs::registry().record_query_cancel();
-                s.queries_canceled = 1;
-            }
-            _ => return,
-        }
-        self.total_stats.merge(&s);
+        record_failure_to(&self.total_stats, e);
     }
 
     /// `true` while a statement trace is being recorded (one relaxed load —
@@ -776,34 +857,15 @@ impl Database {
         started: Instant,
         result: &QueryResult,
     ) {
-        let elapsed = started.elapsed();
-        let rows = if result.rows.is_empty() {
-            result.rows_affected
-        } else {
-            result.rows.len() as u64
-        };
-        obs::registry().record_statement(
+        record_statement_to(
+            &self.trace_on,
+            &self.trace,
             sql,
+            params,
             is_read,
-            &obs::SlowQuery {
-                sql: String::new(),
-                elapsed,
-                rows,
-                stats: result.stats,
-            },
+            started,
+            result,
         );
-        if self.tracing() {
-            if let Some(trace) = latch::lock(&self.trace, WaitSite::Trace).as_mut() {
-                trace.push(StatementTrace {
-                    sql: sql.to_string(),
-                    params: params.to_vec(),
-                    rows: result.rows.len() as u64,
-                    rows_affected: result.rows_affected,
-                    elapsed,
-                    stats: result.stats,
-                });
-            }
-        }
     }
 
     /// The read-only subset of [`Database::dispatch`]: `SELECT`, and
@@ -815,61 +877,7 @@ impl Database {
         plan: Option<&SelectPlan>,
         params: &[Value],
     ) -> DbResult<QueryResult> {
-        let mut stats = ExecStats::default();
-        match stmt {
-            Stmt::Select(_) => {
-                let plan = plan.expect("SELECT statements are planned at cache time");
-                let env = Env {
-                    catalog: &self.catalog,
-                    pager: &self.pager,
-                    params,
-                    prof: None,
-                };
-                let rows = run_select(&env, &mut stats, plan, None)?;
-                Ok(QueryResult {
-                    columns: plan.columns.clone(),
-                    rows,
-                    rows_affected: 0,
-                    stats,
-                })
-            }
-            Stmt::Explain { analyze, inner } if matches!(**inner, Stmt::Select(_)) => {
-                let plan = plan.expect("EXPLAIN SELECT is planned at cache time");
-                let lines = if *analyze {
-                    let prof = RefCell::new(Profiler::default());
-                    let (rows, spans) = trace::capture(|| {
-                        let _exec = trace::span("exec");
-                        let env = Env {
-                            catalog: &self.catalog,
-                            pager: &self.pager,
-                            params,
-                            prof: Some(&prof),
-                        };
-                        run_select(&env, &mut stats, plan, None)
-                    });
-                    let rows = rows?;
-                    let prof = prof.into_inner();
-                    let mut lines = render_plan(&self.catalog, plan, Some(&prof));
-                    lines.push(format!("Rows returned: {}", rows.len()));
-                    lines.push("Span tree:".to_string());
-                    for line in trace::render_tree(&spans) {
-                        lines.push(format!("  {line}"));
-                    }
-                    lines
-                } else {
-                    render_plan(&self.catalog, plan, None)
-                };
-                Ok(QueryResult {
-                    columns: vec!["plan".to_string()],
-                    rows: lines.into_iter().map(|l| vec![Value::text(l)]).collect(),
-                    rows_affected: 0,
-                    stats,
-                })
-            }
-            _ => Err(DbError::Unsupported(
-                "write statements need exclusive database access (use `run`)".into(),
-            )),
-        }
+        dispatch_read_at(&self.catalog, &self.pager, stmt, plan, params)
     }
 
     /// Folds buffer-pool and B+tree counter movement since the given
@@ -881,34 +889,7 @@ impl Database {
         pages_before: &crate::storage::pager::PagerSnapshot,
         trees_before: &crate::btree::BTreeCounters,
     ) {
-        let pages_after = self.pager.stats().full();
-        let trees_after = self.catalog.btree_counters();
-        let logical = pages_after
-            .logical_reads
-            .saturating_sub(pages_before.logical_reads);
-        let physical = pages_after
-            .physical_reads
-            .saturating_sub(pages_before.physical_reads);
-        s.pages_read += logical;
-        s.cache_misses += physical;
-        s.cache_hits += logical.saturating_sub(physical);
-        s.pages_written += pages_after
-            .physical_writes
-            .saturating_sub(pages_before.physical_writes);
-        s.evictions += pages_after.evictions.saturating_sub(pages_before.evictions);
-        s.read_retries += pages_after
-            .read_retries
-            .saturating_sub(pages_before.read_retries);
-        // saturating_sub: DROP TABLE discards that table's trees (and their
-        // counts), so the totals are not strictly monotonic.
-        s.btree_descents += trees_after.descents.saturating_sub(trees_before.descents);
-        s.btree_descent_reuses += trees_after
-            .descent_reuses
-            .saturating_sub(trees_before.descent_reuses);
-        s.btree_leaf_scans += trees_after
-            .leaf_scans
-            .saturating_sub(trees_before.leaf_scans);
-        s.btree_splits += trees_after.splits.saturating_sub(trees_before.splits);
+        fold_engine_deltas_at(&self.catalog, &self.pager, s, pages_before, trees_before);
     }
 
     /// Executes one already-parsed statement (the body of [`Database::run`],
@@ -1234,6 +1215,11 @@ impl Database {
                 return Err(e);
             }
         };
+        // Mirror `run`: commits republish inside `commit`; a bulk load that
+        // commits without a transaction (no WAL) republishes here.
+        if !auto_txn && !self.in_transaction() {
+            self.publish_committed();
+        }
         let mut stats = ExecStats {
             rows_written: n,
             ..ExecStats::default()
@@ -1477,6 +1463,390 @@ fn stmt_writes(stmt: &Stmt) -> bool {
         Stmt::Select(_) => false,
         Stmt::Explain { analyze, inner } => *analyze && stmt_writes(inner),
         _ => true,
+    }
+}
+
+/// The shared body of [`Database::dispatch_read`] and the snapshot read
+/// path: executes `SELECT` / `EXPLAIN [ANALYZE]` of a `SELECT` against the
+/// supplied catalog and pager; refuses writes.
+fn dispatch_read_at(
+    catalog: &Catalog,
+    pager: &Pager,
+    stmt: &Stmt,
+    plan: Option<&SelectPlan>,
+    params: &[Value],
+) -> DbResult<QueryResult> {
+    let mut stats = ExecStats::default();
+    match stmt {
+        Stmt::Select(_) => {
+            let plan = plan.expect("SELECT statements are planned at cache time");
+            let env = Env {
+                catalog,
+                pager,
+                params,
+                prof: None,
+            };
+            let rows = run_select(&env, &mut stats, plan, None)?;
+            Ok(QueryResult {
+                columns: plan.columns.clone(),
+                rows,
+                rows_affected: 0,
+                stats,
+            })
+        }
+        Stmt::Explain { analyze, inner } if matches!(**inner, Stmt::Select(_)) => {
+            let plan = plan.expect("EXPLAIN SELECT is planned at cache time");
+            let lines = if *analyze {
+                let prof = RefCell::new(Profiler::default());
+                let (rows, spans) = trace::capture(|| {
+                    let _exec = trace::span("exec");
+                    let env = Env {
+                        catalog,
+                        pager,
+                        params,
+                        prof: Some(&prof),
+                    };
+                    run_select(&env, &mut stats, plan, None)
+                });
+                let rows = rows?;
+                let prof = prof.into_inner();
+                let mut lines = render_plan(catalog, plan, Some(&prof));
+                lines.push(format!("Rows returned: {}", rows.len()));
+                lines.push("Span tree:".to_string());
+                for line in trace::render_tree(&spans) {
+                    lines.push(format!("  {line}"));
+                }
+                lines
+            } else {
+                render_plan(catalog, plan, None)
+            };
+            Ok(QueryResult {
+                columns: vec!["plan".to_string()],
+                rows: lines.into_iter().map(|l| vec![Value::text(l)]).collect(),
+                rows_affected: 0,
+                stats,
+            })
+        }
+        _ => Err(DbError::Unsupported(
+            "write statements need exclusive database access (use `run`)".into(),
+        )),
+    }
+}
+
+/// The shared body of [`Database::fold_engine_deltas`] and the snapshot
+/// read path: folds buffer-pool and B+tree counter movement since the
+/// given snapshots into `s`.
+fn fold_engine_deltas_at(
+    catalog: &Catalog,
+    pager: &Pager,
+    s: &mut ExecStats,
+    pages_before: &crate::storage::pager::PagerSnapshot,
+    trees_before: &crate::btree::BTreeCounters,
+) {
+    let pages_after = pager.stats().full();
+    let trees_after = catalog.btree_counters();
+    let logical = pages_after
+        .logical_reads
+        .saturating_sub(pages_before.logical_reads);
+    let physical = pages_after
+        .physical_reads
+        .saturating_sub(pages_before.physical_reads);
+    s.pages_read += logical;
+    s.cache_misses += physical;
+    s.cache_hits += logical.saturating_sub(physical);
+    s.pages_written += pages_after
+        .physical_writes
+        .saturating_sub(pages_before.physical_writes);
+    s.evictions += pages_after.evictions.saturating_sub(pages_before.evictions);
+    s.read_retries += pages_after
+        .read_retries
+        .saturating_sub(pages_before.read_retries);
+    // saturating_sub: DROP TABLE discards that table's trees (and their
+    // counts), so the totals are not strictly monotonic.
+    s.btree_descents += trees_after.descents.saturating_sub(trees_before.descents);
+    s.btree_descent_reuses += trees_after
+        .descent_reuses
+        .saturating_sub(trees_before.descent_reuses);
+    s.btree_leaf_scans += trees_after
+        .leaf_scans
+        .saturating_sub(trees_before.leaf_scans);
+    s.btree_splits += trees_after.splits.saturating_sub(trees_before.splits);
+}
+
+/// The shared body of [`Database::record_failure`].
+fn record_failure_to(total: &SharedExecStats, e: &DbError) {
+    obs::registry().record_statement_error();
+    let mut s = ExecStats::default();
+    match e {
+        DbError::Timeout(_) => {
+            obs::registry().record_query_timeout();
+            s.queries_timed_out = 1;
+        }
+        DbError::Canceled(_) => {
+            obs::registry().record_query_cancel();
+            s.queries_canceled = 1;
+        }
+        _ => return,
+    }
+    total.merge(&s);
+}
+
+/// The shared body of [`Database::record_statement`]: feeds one finished
+/// statement into the global registry and the supplied trace cells.
+fn record_statement_to(
+    trace_on: &AtomicBool,
+    trace_cell: &Mutex<Option<Vec<StatementTrace>>>,
+    sql: &str,
+    params: &[Value],
+    is_read: bool,
+    started: Instant,
+    result: &QueryResult,
+) {
+    let elapsed = started.elapsed();
+    let rows = if result.rows.is_empty() {
+        result.rows_affected
+    } else {
+        result.rows.len() as u64
+    };
+    obs::registry().record_statement(
+        sql,
+        is_read,
+        &obs::SlowQuery {
+            sql: String::new(),
+            elapsed,
+            rows,
+            stats: result.stats,
+        },
+    );
+    if trace_on.load(Ordering::Relaxed) {
+        if let Some(trace) = latch::lock(trace_cell, WaitSite::Trace).as_mut() {
+            trace.push(StatementTrace {
+                sql: sql.to_string(),
+                params: params.to_vec(),
+                rows: result.rows.len() as u64,
+                rows_affected: result.rows_affected,
+                elapsed,
+                stats: result.stats,
+            });
+        }
+    }
+}
+
+/// A read-only handle onto one *committed* version of a [`Database`] — the
+/// MVCC snapshot readers run against while a writer proceeds.
+///
+/// Snapshots are cheap ([`Database::snapshot`] is one epoch-cell load) and
+/// self-contained: reads execute against the snapshot's own catalog and an
+/// installed [`crate::storage::PageView`] of exactly that commit's pages,
+/// taking **no** database-level latch — a writer mid-transaction neither
+/// blocks nor is blocked by any number of snapshot readers. The plan
+/// cache, cumulative statistics, and governance knobs are shared with the
+/// live database, so snapshot reads stay governed, observable, and warm.
+///
+/// A snapshot holds its version for as long as it lives (in-memory: the
+/// published page map; file: registered pre-image deltas) — drop it to
+/// release them. Each snapshot carries its *own* trace cells, so two
+/// concurrent diagnostics never interleave their statement traces.
+pub struct DbSnapshot {
+    state: Arc<CommittedState>,
+    pager: Arc<Pager>,
+    plans: Arc<PlanCache>,
+    total_stats: Arc<SharedExecStats>,
+    gov: Arc<GovState>,
+    trace_on: AtomicBool,
+    trace: Mutex<Option<Vec<StatementTrace>>>,
+}
+
+impl DbSnapshot {
+    /// Runs one read statement (`SELECT`, or `EXPLAIN [ANALYZE]` of one)
+    /// against this snapshot's committed version. Mirrors
+    /// [`Database::run_read`], but never waits on a writer.
+    pub fn run_read(&self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
+        let _stmt_span = trace::span_with("statement", || truncate_sql(sql));
+        let _gov = governance::Scope::enter(self.gov.limits());
+        let cached = self.plans.lookup(&self.state.catalog, sql)?;
+        let pages_before = self.pager.stats().full();
+        let trees_before = self.state.catalog.btree_counters();
+        let observing = self.tracing() || obs::registry().enabled();
+        let started = observing.then(Instant::now);
+        // Route this thread's page reads through the snapshot's view for
+        // the duration of the statement.
+        let _view = self.state.view.install();
+        let mut result = match dispatch_read_at(
+            &self.state.catalog,
+            &self.pager,
+            &cached.parsed.stmt,
+            cached.plan.as_ref(),
+            params,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                record_failure_to(&self.total_stats, &e);
+                return Err(e);
+            }
+        };
+        fold_engine_deltas_at(
+            &self.state.catalog,
+            &self.pager,
+            &mut result.stats,
+            &pages_before,
+            &trees_before,
+        );
+        self.total_stats.merge(&result.stats);
+        if let Some(started) = started {
+            record_statement_to(
+                &self.trace_on,
+                &self.trace,
+                sql,
+                params,
+                true,
+                started,
+                &result,
+            );
+        }
+        Ok(result)
+    }
+
+    /// [`DbSnapshot::run_read`], returning only the rows.
+    pub fn query_read(&self, sql: &str, params: &[Value]) -> DbResult<Vec<Row>> {
+        Ok(self.run_read(sql, params)?.rows)
+    }
+
+    /// The snapshot's catalog (the schema as of its commit).
+    pub fn catalog(&self) -> &Catalog {
+        &self.state.catalog
+    }
+
+    /// The governance limits a statement starting now would run under
+    /// (shared with the live database).
+    pub fn limits(&self) -> governance::Limits {
+        self.gov.limits()
+    }
+
+    /// Sets the shared deadline (0 clears it) — governance state is shared
+    /// with the live database, so this takes no database latch yet governs
+    /// both sides.
+    pub fn set_deadline_ms(&self, ms: u64) {
+        self.gov.deadline_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Sets the shared work budget (0 clears it); see
+    /// [`DbSnapshot::set_deadline_ms`] for the sharing story.
+    pub fn set_work_budget(&self, units: u64) {
+        self.gov.work_budget.store(units, Ordering::Relaxed);
+    }
+
+    /// The shared cancel flag (same cell as [`Database::cancel_flag`]).
+    pub fn cancel_flag(&self) -> Arc<AtomicBool> {
+        self.gov.cancel_flag()
+    }
+
+    /// Labels the underlying store for operator-facing error messages
+    /// (pager-level state, shared with the live database).
+    pub fn set_identity(&self, label: &str) {
+        self.pager.set_identity(label);
+    }
+
+    /// Health of the underlying store. Served from the pager's leaf latch —
+    /// never from a database-level lock — so it answers during a commit.
+    pub fn health(&self) -> StoreHealth {
+        self.pager.health()
+    }
+
+    /// Cumulative engine counters (the same sharded cells the live
+    /// database merges into) — no database-level lock, so stats endpoints
+    /// answer while a writer is mid-commit.
+    pub fn total_stats(&self) -> ExecStats {
+        self.total_stats.snapshot()
+    }
+
+    /// Starts recording a [`StatementTrace`] for every statement run
+    /// through *this snapshot handle* from now on.
+    pub fn start_trace(&self) {
+        *latch::lock(&self.trace, WaitSite::Trace) = Some(Vec::new());
+        self.trace_on.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops tracing and returns the recorded statements.
+    pub fn take_trace(&self) -> Vec<StatementTrace> {
+        self.trace_on.store(false, Ordering::Relaxed);
+        latch::lock(&self.trace, WaitSite::Trace)
+            .take()
+            .unwrap_or_default()
+    }
+
+    /// A sibling handle onto the same committed version with fresh trace
+    /// cells, so concurrent diagnostics never interleave their traces.
+    pub fn fork(&self) -> DbSnapshot {
+        DbSnapshot {
+            state: Arc::clone(&self.state),
+            pager: Arc::clone(&self.pager),
+            plans: Arc::clone(&self.plans),
+            total_stats: Arc::clone(&self.total_stats),
+            gov: Arc::clone(&self.gov),
+            trace_on: AtomicBool::new(false),
+            trace: Mutex::new(None),
+        }
+    }
+
+    fn tracing(&self) -> bool {
+        self.trace_on.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for DbSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbSnapshot")
+            .field("tables", &self.state.catalog.table_names())
+            .field("view", &self.state.view)
+            .finish()
+    }
+}
+
+/// The read surface shared by a live [`Database`] and a [`DbSnapshot`]:
+/// everything the XPath translation and reconstruction layers need to
+/// execute read-shaped SQL. Code written against `&dyn SqlRead` runs
+/// unchanged on the exclusive write path (reading its own uncommitted
+/// writes through the live database) and on the lock-free snapshot path.
+pub trait SqlRead {
+    /// Runs one read statement (`SELECT`, or `EXPLAIN [ANALYZE]` of one).
+    fn run_read(&self, sql: &str, params: &[Value]) -> DbResult<QueryResult>;
+
+    /// [`SqlRead::run_read`], returning only the rows.
+    fn query_read(&self, sql: &str, params: &[Value]) -> DbResult<Vec<Row>> {
+        Ok(SqlRead::run_read(self, sql, params)?.rows)
+    }
+
+    /// The governance limits a statement starting now would run under.
+    fn limits(&self) -> governance::Limits;
+
+    /// Renders the plan for a read statement (plan lines of `EXPLAIN`).
+    fn explain_read(&self, sql: &str, params: &[Value]) -> DbResult<Vec<String>> {
+        let r = SqlRead::run_read(self, &format!("EXPLAIN {sql}"), params)?;
+        r.rows
+            .iter()
+            .map(|row| Ok(row[0].as_text()?.to_string()))
+            .collect()
+    }
+}
+
+impl SqlRead for Database {
+    fn run_read(&self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
+        Database::run_read(self, sql, params)
+    }
+
+    fn limits(&self) -> governance::Limits {
+        Database::limits(self)
+    }
+}
+
+impl SqlRead for DbSnapshot {
+    fn run_read(&self, sql: &str, params: &[Value]) -> DbResult<QueryResult> {
+        DbSnapshot::run_read(self, sql, params)
+    }
+
+    fn limits(&self) -> governance::Limits {
+        DbSnapshot::limits(self)
     }
 }
 

@@ -287,11 +287,15 @@ pub enum WaitSite {
     Obs,
     /// Statement-trace capture buffers in [`crate::Database`].
     Trace,
+    /// Epoch-published snapshot cells (committed page maps, committed
+    /// database state, store snapshots). Publish-side collisions land here
+    /// so they never count against the reader-facing sites.
+    Snapshot,
 }
 
 impl WaitSite {
     /// Number of wait sites (array dimension for per-site metrics).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Every site, in the order used by per-site arrays.
     pub const ALL: [WaitSite; WaitSite::COUNT] = [
@@ -302,6 +306,7 @@ impl WaitSite {
         WaitSite::Store,
         WaitSite::Obs,
         WaitSite::Trace,
+        WaitSite::Snapshot,
     ];
 
     /// Stable lowercase name (report column suffixes, trace labels).
@@ -314,6 +319,7 @@ impl WaitSite {
             WaitSite::Store => "store",
             WaitSite::Obs => "obs",
             WaitSite::Trace => "trace",
+            WaitSite::Snapshot => "snapshot",
         }
     }
 
@@ -326,6 +332,7 @@ impl WaitSite {
             WaitSite::Store => 4,
             WaitSite::Obs => 5,
             WaitSite::Trace => 6,
+            WaitSite::Snapshot => 7,
         }
     }
 }
@@ -351,9 +358,10 @@ enum Metric {
     DegradedRejects,
     ServeSessions,
     ServeRequests,
+    SqlReadFallbacks,
 }
 
-const NMETRICS: usize = 18;
+const NMETRICS: usize = 19;
 
 /// One thread's private metric cell. All fields are atomics only so the
 /// snapshot path can read them concurrently; the owning thread's writes
@@ -542,6 +550,16 @@ impl Registry {
         }
     }
 
+    /// Records one read-shaped store `sql()` call that fell back to the
+    /// exclusive write path because the read dispatcher refused it (no-op
+    /// while disabled). A rising value means reads are serializing behind
+    /// writers due to statement misclassification.
+    pub fn record_sql_read_fallback(&self) {
+        if self.enabled() {
+            self.with_shard(|s| s.bump(Metric::SqlReadFallbacks, 1));
+        }
+    }
+
     /// Records one contended lock acquisition at `site` — the caller found
     /// the latch held, blocked for `waited`, and now owns it (no-op while
     /// disabled).
@@ -703,6 +721,7 @@ impl Registry {
             degraded_rejects: metrics[Metric::DegradedRejects as usize],
             serve_sessions: metrics[Metric::ServeSessions as usize],
             serve_requests: metrics[Metric::ServeRequests as usize],
+            sql_read_fallbacks: metrics[Metric::SqlReadFallbacks as usize],
             lock_waits: wait_counts.iter().sum(),
             lock_waits_by_site: wait_counts,
             wait_latency_by_site,
@@ -754,6 +773,9 @@ pub struct ObsSnapshot {
     pub serve_sessions: u64,
     /// Serving-layer requests handled (protocol lines).
     pub serve_requests: u64,
+    /// Read-shaped store `sql()` calls that fell back to the exclusive
+    /// write path (misclassified reads serializing behind writers).
+    pub sql_read_fallbacks: u64,
     /// Contended lock acquisitions (blocked at least once), all sites.
     pub lock_waits: u64,
     /// Contended acquisitions per wait site, indexed as [`WaitSite::ALL`].

@@ -52,7 +52,7 @@ use crate::error::{DbError, DbResult};
 use crate::latch;
 use crate::obs::WaitSite;
 use crate::trace;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
 use std::path::Path;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering as AtomicOrdering};
@@ -150,6 +150,11 @@ struct Frame {
     referenced: bool,
 }
 
+/// Pre-image entry kept for snapshot readers: `Some(page)` is the image a
+/// page held at the snapshot's epoch, `None` marks a page that did not yet
+/// exist (allocated later — snapshot reads of it are out-of-range).
+type PreImage = Option<Arc<Page>>;
+
 struct FileBackend {
     file: File,
     frames: Vec<Frame>,
@@ -161,6 +166,50 @@ struct FileBackend {
     /// file, per page. Misses validate against this on re-read; a mismatch
     /// is treated like a transient read fault and retried.
     sums: HashMap<PageId, u64>,
+    /// Commit counter: bumped once per committed transaction (and per
+    /// auto-commit mutation while snapshot readers exist). A [`PageView`]
+    /// taken at epoch `V` reads pages as of commit `V`.
+    epoch: u64,
+    /// Mirror of the open transaction's first-touch pre-images, maintained
+    /// under the pool mutex so snapshot reads never see uncommitted frame
+    /// content. Moved into `retained` at commit, cleared on rollback.
+    txn_pre: HashMap<PageId, PreImage>,
+    /// Per-commit pre-image deltas kept alive for registered readers.
+    /// The delta at key `k` holds the images pages had *through* epoch `k`
+    /// (it was retained by the commit that moved the backend to `k + 1`).
+    /// A reader at epoch `V` resolves page `P` from the first delta at
+    /// `k >= V` that contains `P`; if none does and the open transaction
+    /// has not touched `P`, the current frame is unchanged since `V`.
+    retained: BTreeMap<u64, HashMap<PageId, PreImage>>,
+    /// Registered snapshot readers per epoch ([`PageView`] handles).
+    /// Deltas older than the oldest registered epoch are pruned, so a slow
+    /// reader pins at most the versions back to its own snapshot.
+    readers: BTreeMap<u64, usize>,
+}
+
+impl FileBackend {
+    /// Drops retained deltas no live reader can need: a delta at key `k`
+    /// serves readers at epochs `<= k`, so everything below the oldest
+    /// registered epoch goes (all of it, when no reader is registered).
+    fn prune_retained(&mut self) {
+        match self.readers.keys().next().copied() {
+            Some(min) => self.retained.retain(|k, _| *k >= min),
+            None => self.retained.clear(),
+        }
+    }
+
+    /// Records the pre-image chain entry for one auto-commit mutation
+    /// (`pre = None` for an allocation) and advances the epoch, so
+    /// registered readers keep resolving their version. A no-op while no
+    /// reader is registered — the epoch only needs to move when someone
+    /// can observe it.
+    fn retain_autocommit(&mut self, id: PageId, pre: PreImage) {
+        if self.readers.is_empty() {
+            return;
+        }
+        self.retained.entry(self.epoch).or_default().insert(id, pre);
+        self.epoch += 1;
+    }
 }
 
 /// 64-bit FNV-1a over a page image (file-read validation).
@@ -296,13 +345,162 @@ enum Backend {
     File(Mutex<FileBackend>),
 }
 
+/// A read-only view of the pager as of one committed epoch — the page half
+/// of an MVCC snapshot. Cheap to clone (one `Arc`); holding one pins at
+/// most the page versions back to its own epoch:
+///
+/// * **in-memory**: the view holds the published immutable page map of its
+///   epoch — reads touch no lock at all, and dropping the view releases
+///   the map.
+/// * **file**: the view registers its epoch with the buffer pool; commits
+///   that overwrite pages it can still see retain per-commit pre-image
+///   deltas, which are pruned as soon as no registered reader needs them.
+///   Reads serialize on the pool mutex like every file read.
+///
+/// A view takes effect through [`PageView::install`]: while the returned
+/// guard lives, every [`Pager::with_page`] on the calling thread against
+/// this view's pager serves from the view instead of the live state.
+#[derive(Clone)]
+pub struct PageView {
+    inner: Arc<ViewInner>,
+}
+
+struct ViewInner {
+    pager: Arc<Pager>,
+    core: ViewCore,
+}
+
+enum ViewCore {
+    /// The epoch-published immutable map itself — self-contained.
+    Mem(Arc<PageMap>),
+    /// A registered reader epoch on the file backend's version chain.
+    File { epoch: u64 },
+}
+
+impl Drop for ViewInner {
+    fn drop(&mut self) {
+        if let ViewCore::File { epoch } = self.core {
+            if let Backend::File(fbm) = &self.pager.backend {
+                let fb = &mut *latch::lock(fbm, WaitSite::Backend);
+                if let Some(n) = fb.readers.get_mut(&epoch) {
+                    *n -= 1;
+                    if *n == 0 {
+                        fb.readers.remove(&epoch);
+                    }
+                }
+                fb.prune_retained();
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Stack of installed `(pager uid, view)` overrides for this thread.
+    /// [`Pager::with_page`] consults the top-most entry for its pager
+    /// before touching live state, so snapshot reads compose (a snapshot
+    /// executing on the writer thread still sees the snapshot, not the
+    /// writer's uncommitted pages).
+    static VIEW_STACK: std::cell::RefCell<Vec<(u64, PageView)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// RAII guard from [`PageView::install`]: pops the thread-local override
+/// when dropped.
+pub struct ViewGuard {
+    installed: bool,
+}
+
+impl Drop for ViewGuard {
+    fn drop(&mut self) {
+        if self.installed {
+            let _ = VIEW_STACK.try_with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+impl PageView {
+    /// Routes this thread's reads of the view's pager through the view
+    /// until the returned guard drops. Guards nest (innermost wins).
+    pub fn install(&self) -> ViewGuard {
+        let installed = VIEW_STACK
+            .try_with(|s| {
+                s.borrow_mut().push((self.inner.pager.uid, self.clone()));
+            })
+            .is_ok();
+        ViewGuard { installed }
+    }
+
+    /// The committed epoch this view reads at (file backend; the in-memory
+    /// backend's map is self-describing). Diagnostic only.
+    pub fn epoch(&self) -> u64 {
+        match &self.inner.core {
+            ViewCore::Mem(_) => self.inner.pager.mem_epoch(),
+            ViewCore::File { epoch } => *epoch,
+        }
+    }
+
+    /// Serves one page read as of this view's epoch.
+    fn read_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> DbResult<R> {
+        let pager = &self.inner.pager;
+        match &self.inner.core {
+            ViewCore::Mem(map) => match map.get(id as usize) {
+                Some(page) => Ok(f(page)),
+                None => Err(DbError::Storage(format!("page {id} out of range"))),
+            },
+            ViewCore::File { epoch } => {
+                let Backend::File(fbm) = &pager.backend else {
+                    unreachable!("file view on a non-file pager");
+                };
+                let wal_mode = pager.wal_enabled();
+                let fb = &mut *latch::lock(fbm, WaitSite::Backend);
+                // Resolve the version chain: the first retained delta at or
+                // after our epoch that mentions the page holds its image as
+                // of our snapshot; failing that, the open transaction's
+                // pre-images shield us from uncommitted frame content;
+                // failing that, the page is unchanged since our epoch and
+                // the live frame is correct.
+                let pre = fb
+                    .retained
+                    .range(*epoch..)
+                    .find_map(|(_, delta)| delta.get(&id).cloned())
+                    .or_else(|| fb.txn_pre.get(&id).cloned());
+                match pre {
+                    Some(Some(img)) => Ok(f(&img)),
+                    Some(None) => Err(DbError::Storage(format!("page {id} out of range"))),
+                    None => {
+                        let no_steal = wal_mode || !fb.txn_pre.is_empty();
+                        let idx = Pager::pin(fb, id, &pager.stats, no_steal, &pager.faults, None)?;
+                        Ok(f(&fb.frames[idx].page))
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PageView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.inner.core {
+            ViewCore::Mem(_) => "mem",
+            ViewCore::File { .. } => "file",
+        };
+        f.debug_struct("PageView")
+            .field("backend", &kind)
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
 /// Per-transaction pager state: pre-images for rollback.
 struct TxnState {
     /// Monotonic id stamped into WAL frames.
     id: u64,
     /// First-touch pre-image per modified page; `None` marks a page
-    /// allocated inside this transaction (rollback drops it).
-    pre_images: HashMap<PageId, Option<Page>>,
+    /// allocated inside this transaction (rollback drops it). `Arc`ed so
+    /// the file backend's snapshot mirror shares the same image.
+    pre_images: HashMap<PageId, PreImage>,
     /// Page count at `begin_txn` (rollback target).
     start_pages: u32,
 }
@@ -321,6 +519,8 @@ struct TxnState {
 /// participate in no ordering. The in-memory *read* path takes none of
 /// these — it runs against the epoch-published snapshot.
 pub struct Pager {
+    /// Process-unique id keying thread-local [`PageView`] overrides.
+    uid: u64,
     backend: Backend,
     n_pages: AtomicU32,
     stats: Arc<PagerStats>,
@@ -341,10 +541,17 @@ pub struct Pager {
     identity: Mutex<Option<String>>,
 }
 
+/// Process-unique pager ids (see [`Pager::uid`]).
+fn next_pager_uid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, AtomicOrdering::Relaxed)
+}
+
 impl Pager {
     /// A pager whose pages live entirely in memory.
     pub fn in_memory() -> Self {
         Pager {
+            uid: next_pager_uid(),
             backend: Backend::Mem(MemBackend::new()),
             n_pages: AtomicU32::new(0),
             stats: Arc::new(PagerStats::default()),
@@ -375,6 +582,7 @@ impl Pager {
         }
         let n_pages = (len / PAGE_SIZE as u64) as u32;
         Ok(Pager {
+            uid: next_pager_uid(),
             backend: Backend::File(Mutex::new(FileBackend {
                 file,
                 frames: Vec::new(),
@@ -382,6 +590,10 @@ impl Pager {
                 capacity: cache_pages.max(8),
                 hand: 0,
                 sums: HashMap::new(),
+                epoch: 0,
+                txn_pre: HashMap::new(),
+                retained: BTreeMap::new(),
+                readers: BTreeMap::new(),
             })),
             n_pages: AtomicU32::new(n_pages),
             stats: Arc::new(PagerStats::default()),
@@ -420,6 +632,36 @@ impl Pager {
     /// The shared statistics handle.
     pub fn stats(&self) -> Arc<PagerStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// The in-memory backend's published epoch (0 for file pagers;
+    /// diagnostic only).
+    fn mem_epoch(&self) -> u64 {
+        match &self.backend {
+            Backend::Mem(mem) => mem.published.epoch(),
+            Backend::File(_) => 0,
+        }
+    }
+
+    /// Captures a read-only [`PageView`] of the last committed state.
+    /// Cheap: one published-map load (in-memory) or one reader-epoch
+    /// registration under the pool mutex (file). Associated function
+    /// because the view keeps its pager alive.
+    pub fn view(pager: &Arc<Pager>) -> PageView {
+        let core = match &pager.backend {
+            Backend::Mem(mem) => ViewCore::Mem(mem.published.load(WaitSite::Backend).1),
+            Backend::File(fbm) => {
+                let fb = &mut *latch::lock(fbm, WaitSite::Backend);
+                *fb.readers.entry(fb.epoch).or_insert(0) += 1;
+                ViewCore::File { epoch: fb.epoch }
+            }
+        };
+        PageView {
+            inner: Arc::new(ViewInner {
+                pager: Arc::clone(pager),
+                core,
+            }),
+        }
     }
 
     /// Number of allocated pages.
@@ -589,6 +831,18 @@ impl Pager {
                     }
                 }
             }
+            // The commit is durable: move the transaction's pre-images onto
+            // the version chain (only if a registered reader can still need
+            // them) and advance the epoch, so views taken before this
+            // commit keep resolving their versions.
+            if !fb.txn_pre.is_empty() {
+                let pre = std::mem::take(&mut fb.txn_pre);
+                if !fb.readers.is_empty() {
+                    fb.retained.entry(fb.epoch).or_default().extend(pre);
+                }
+                fb.epoch += 1;
+                fb.prune_retained();
+            }
         }
         if let Backend::Mem(mem) = &self.backend {
             // Publish the working map as the new committed snapshot, then
@@ -618,7 +872,7 @@ impl Pager {
                     for (pid, pre) in txn.pre_images {
                         if let Some(img) = pre {
                             if let Some(slot) = pages.get_mut(pid as usize) {
-                                *slot = Arc::new(img);
+                                *slot = img;
                             }
                         }
                     }
@@ -635,12 +889,16 @@ impl Pager {
             }
             Backend::File(fbm) => {
                 let fb = &mut *latch::lock(fbm, WaitSite::Backend);
+                // The rollback restores the frames to exactly the committed
+                // images, so snapshot readers no longer need the shield
+                // (and the epoch must *not* advance: nothing committed).
+                fb.txn_pre.clear();
                 let wal_mode = self.wal_enabled();
                 for (pid, pre) in txn.pre_images {
                     match pre {
                         Some(img) => {
                             if let Some(&idx) = fb.map.get(&pid) {
-                                fb.frames[idx].page = img;
+                                fb.frames[idx].page = (*img).clone();
                                 // Dirty so any stale on-file copy (legacy
                                 // steal, or an earlier commit whose home
                                 // write failed) is rewritten later.
@@ -772,6 +1030,14 @@ impl Pager {
                     fb.sums.insert(id, page_sum(zero.bytes()));
                     PagerStats::bump(&self.stats.physical_writes);
                 }
+                // Snapshot readers must see the page as nonexistent: mark
+                // it `None` on the open transaction's mirror, or directly
+                // on the version chain for an auto-commit allocation.
+                if txn.is_some() {
+                    fb.txn_pre.entry(id).or_insert(None);
+                } else {
+                    fb.retain_autocommit(id, None);
+                }
             }
         }
         if let Some(t) = txn.as_mut() {
@@ -791,6 +1057,27 @@ impl Pager {
         let _span = trace::span("pager.read");
         crate::governance::checkpoint(1)?;
         PagerStats::bump(&self.stats.logical_reads);
+        // An installed thread-local view overrides live state — checked
+        // before the writer-token routing so a snapshot executing on the
+        // writer's own thread still reads the snapshot. The read is served
+        // *inside* the shared TLS borrow: no per-read `Arc` clone, so
+        // concurrent readers sharing one view have nothing to contend on.
+        let mut f = Some(f);
+        let overridden = VIEW_STACK.try_with(|stack| {
+            let stack = stack.borrow();
+            stack
+                .iter()
+                .rev()
+                .find(|(uid, _)| *uid == self.uid)
+                .map(|(_, view)| {
+                    let g = f.take().expect("with_page closure consumed once");
+                    view.read_page(id, g)
+                })
+        });
+        if let Ok(Some(res)) = overridden {
+            return res;
+        }
+        let f = f.take().expect("closure unused without a view override");
         match &self.backend {
             Backend::Mem(mem) => {
                 let w = mem.writer.load(AtomicOrdering::Acquire);
@@ -830,9 +1117,12 @@ impl Pager {
                     .get_mut(id as usize)
                     .ok_or_else(|| DbError::Storage(format!("page {id} out of range")))?;
                 if let Some(t) = txn.as_mut() {
+                    // Sharing the slot's Arc (instead of deep-cloning) also
+                    // pins its refcount above 1, so `make_mut` below is
+                    // guaranteed to copy-on-write.
                     t.pre_images
                         .entry(id)
-                        .or_insert_with(|| Some((**slot).clone()));
+                        .or_insert_with(|| Some(Arc::clone(slot)));
                 }
                 // Copy-on-write: if the published snapshot still shares
                 // this page, mutate a private copy — readers keep the
@@ -851,10 +1141,26 @@ impl Pager {
                 let no_steal = txn.is_some() || self.wal_enabled();
                 let fb = &mut *latch::lock(fbm, WaitSite::Backend);
                 let idx = Self::pin(fb, id, &self.stats, no_steal, &self.faults, None)?;
-                if let Some(t) = txn.as_mut() {
-                    t.pre_images
-                        .entry(id)
-                        .or_insert_with(|| Some(fb.frames[idx].page.clone()));
+                match txn.as_mut() {
+                    Some(t) => {
+                        // One shared image feeds both rollback (txn state)
+                        // and snapshot reads (the backend mirror).
+                        if let std::collections::hash_map::Entry::Vacant(e) = t.pre_images.entry(id)
+                        {
+                            let img = Arc::new(fb.frames[idx].page.clone());
+                            e.insert(Some(Arc::clone(&img)));
+                            fb.txn_pre.insert(id, Some(img));
+                        }
+                    }
+                    None => {
+                        // Auto-commit granularity: the mutation commits by
+                        // itself, so registered readers need the old image
+                        // on the version chain before it changes.
+                        if !fb.readers.is_empty() {
+                            let old = Arc::new(fb.frames[idx].page.clone());
+                            fb.retain_autocommit(id, Some(old));
+                        }
+                    }
                 }
                 fb.frames[idx].dirty = true;
                 Ok(f(&mut fb.frames[idx].page))
